@@ -1,0 +1,49 @@
+//! Regenerates **Fig. 3** of the paper: the staged frontend pipeline
+//! (parse → evaluate/expand → sugar → DRC), reporting where the
+//! compilation time of each TPC-H query goes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tydi_tpch::{all_queries, GenOptions, TpchData};
+
+fn print_stage_breakdown(data: &TpchData) {
+    println!("\n====== Fig. 3: frontend stage timings per query ======");
+    println!(
+        "{:<12} {:>10} {:>12} {:>10} {:>10} {:>12}",
+        "query", "parse", "elaborate", "sugar", "drc", "IR conns"
+    );
+    for case in all_queries(data) {
+        let out = case.compile().expect("compile");
+        let t = out.timings;
+        println!(
+            "{:<12} {:>9.2?} {:>11.2?} {:>9.2?} {:>9.2?} {:>12}",
+            case.id,
+            t.parse,
+            t.elaborate,
+            t.sugar,
+            t.drc,
+            out.project.stats().connections
+        );
+    }
+    println!("=======================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let data = TpchData::generate(GenOptions { rows: 64, seed: 4 });
+    print_stage_breakdown(&data);
+
+    let mut group = c.benchmark_group("fig3_pipeline");
+    group.sample_size(20);
+    for case in all_queries(&data) {
+        group.bench_function(format!("frontend/{}", case.id), |b| {
+            b.iter(|| {
+                let out = black_box(&case).compile().expect("compile");
+                black_box(out.project.stats())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

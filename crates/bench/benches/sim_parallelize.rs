@@ -1,0 +1,65 @@
+//! Regenerates the **§IV-B / §V claim**: a processing unit with an
+//! 8-cycle delay reaches one packet per cycle when parallelized over
+//! 8 channels with the `parallelize` template; the simulator's
+//! bottleneck report names the congested ports while the design is
+//! under-provisioned.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tydi_bench::{compile_parallelize, simulate_parallelize};
+use tydi_sim::{BehaviorRegistry, Packet, Simulator};
+
+const DELAY: u64 = 8;
+const PACKETS: u64 = 128;
+
+fn print_sweep() {
+    println!("\n===== parallelize_i throughput sweep (delay = {DELAY}) =====");
+    println!(
+        "{:>8} {:>10} {:>12} {:>16}",
+        "channel", "cycles", "packets/cyc", "speedup vs 1"
+    );
+    let mut base = 0.0f64;
+    for channel in [1usize, 2, 4, 8, 16] {
+        let (cycles, delivered) = simulate_parallelize(channel, DELAY, PACKETS);
+        assert_eq!(delivered, PACKETS, "channel {channel} lost packets");
+        let throughput = delivered as f64 / cycles as f64;
+        if channel == 1 {
+            base = throughput;
+        }
+        println!(
+            "{channel:>8} {cycles:>10} {throughput:>12.4} {:>15.2}x",
+            throughput / base
+        );
+    }
+    println!(
+        "Expected shape: throughput ~ min(channel/{DELAY}, mux limit), saturating\n\
+         around {DELAY} channels (paper section IV-B: \"achieving 1 data/cycle\")."
+    );
+
+    // Bottleneck analysis (paper §V-B): with 2 channels the demux's
+    // outputs block on the busy processing units.
+    let compiled = compile_parallelize(2, DELAY);
+    let registry = BehaviorRegistry::with_std();
+    let mut sim = Simulator::new(&compiled.project, "top_i", &registry).unwrap();
+    sim.feed("i", (0..PACKETS as i64).map(Packet::data)).unwrap();
+    sim.run(PACKETS * (DELAY + 4) * 4);
+    let report = sim.bottlenecks();
+    println!("\nBottleneck report at channel = 2:");
+    print!("{report}");
+    println!("===========================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_sweep();
+    let mut group = c.benchmark_group("sim_parallelize");
+    group.sample_size(10);
+    for channel in [1usize, 4, 8] {
+        group.bench_function(format!("simulate/{channel}ch"), |b| {
+            b.iter(|| black_box(simulate_parallelize(channel, DELAY, 64)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

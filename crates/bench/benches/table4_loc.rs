@@ -1,0 +1,42 @@
+//! Regenerates **Table IV** of the paper: lines of code for
+//! translating TPC-H queries to Tydi-lang vs. the generated VHDL,
+//! with the ratios `Rq = LoCvhdl/LoCq` and `Ra = LoCvhdl/LoCa`.
+//!
+//! The table itself is printed once at startup; Criterion then
+//! measures the full query-to-VHDL compilation time per query (the
+//! cost of regenerating one table cell).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tydi_tpch::{all_queries, render_table4, table4, GenOptions, TpchData};
+
+fn print_table(data: &TpchData) {
+    let rows = table4(data).expect("Table IV regeneration");
+    println!("\n================ Table IV (regenerated) ================");
+    println!("{}", render_table4(&rows));
+    println!(
+        "Paper reference shape: Rq 18.8-42.5, Ra 10.5-19.1; desugared Q1\n\
+         total larger than sugared Q1 (402 vs 284 LoC of Tydi-lang)."
+    );
+    println!("=========================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let data = TpchData::generate(GenOptions { rows: 64, seed: 4 });
+    print_table(&data);
+
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    for case in all_queries(&data) {
+        group.bench_function(format!("compile_to_vhdl/{}", case.id), |b| {
+            b.iter(|| {
+                let row = tydi_tpch::table4::measure(black_box(&case)).expect("measure");
+                black_box(row.loc_vhdl)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Compile-time scaling of the template system: elaboration cost as
+//! the number of distinct template instantiations grows, and the
+//! effect of instantiation memoisation (paper §IV-B: templates are
+//! expanded once per distinct argument list).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tydi_bench::compile_scaling;
+use tydi_lang::{compile, CompileOptions};
+use tydi_stdlib::with_stdlib;
+
+/// A program instantiating ONE template `n` times (all cache hits
+/// after the first).
+fn repeated_source(n: usize) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from(
+        "package scale;\nuse std;\n\ntype W16 = Stream(Bit(16));\nstreamlet top_s {\n",
+    );
+    for k in 0..n {
+        let _ = writeln!(s, "    o_{k} : Stream(Bit(16)) out,");
+    }
+    s.push_str("}\n@NoStrictType\nimpl top_i of top_s {\n");
+    for k in 0..n {
+        let _ = writeln!(
+            s,
+            "    instance c_{k}(const_vec_i<type W16, 1, 4>),\n    c_{k}.o => o_{k},"
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn print_scaling() {
+    println!("\n===== template instantiation scaling =====");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "N", "distinct(ms)", "repeat(ms)", "cache hits"
+    );
+    for n in [8usize, 32, 128] {
+        let t0 = std::time::Instant::now();
+        let distinct = compile_scaling(n);
+        let distinct_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let src = repeated_source(n);
+        let sources = with_stdlib(&[("scale.td", src.as_str())]);
+        let refs: Vec<(&str, &str)> =
+            sources.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let t1 = std::time::Instant::now();
+        let repeated = compile(&refs, &CompileOptions::default()).expect("repeat compile");
+        let repeat_ms = t1.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{n:>6} {distinct_ms:>12.2} {repeat_ms:>12.2} {:>12}",
+            repeated.elab_info.template_cache_hits
+        );
+        black_box((distinct, repeated));
+    }
+    println!(
+        "Memoisation keeps the repeated case flat: one elaboration per\n\
+         distinct template-argument list (paper section IV-B).\n\
+         ==========================================\n"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_scaling();
+    let mut group = c.benchmark_group("template_scaling");
+    group.sample_size(10);
+    for n in [8usize, 64] {
+        group.bench_function(format!("distinct/{n}"), |b| {
+            b.iter(|| black_box(compile_scaling(n)));
+        });
+        let src = repeated_source(n);
+        group.bench_function(format!("memoised/{n}"), |b| {
+            b.iter(|| {
+                let sources = with_stdlib(&[("scale.td", src.as_str())]);
+                let refs: Vec<(&str, &str)> =
+                    sources.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+                black_box(compile(&refs, &CompileOptions::default()).expect("compile"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

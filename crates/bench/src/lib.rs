@@ -1,0 +1,162 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Each bench target regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the experiment index); the builders here are
+//! shared between benches, examples and integration tests.
+
+use tydi_lang::{compile, CompileOptions, CompileOutput};
+use tydi_sim::{BehaviorRegistry, Packet, Simulator};
+use tydi_stdlib::with_stdlib;
+
+/// The paper's §IV-B running example: a processing unit with an
+/// 8-cycle delay, parallelized over `channel` units with a demux/mux
+/// pair to reach one packet per cycle. Returns the Tydi-lang source.
+pub fn parallelize_source(channel: usize, delay: u64) -> String {
+    format!(
+        r#"package par;
+use std;
+
+type W32 = Stream(Bit(32));
+
+// The abstract processing-unit interface (paper section IV-B).
+streamlet process_unit_s {{
+    i : W32 in,
+    o : W32 out,
+}}
+
+// A 32-bit adder with a delay of {delay} clock cycles, described by
+// event-driven simulation code (paper section V-A).
+impl adder_delay_i of process_unit_s external {{
+    simulation {{
+        state st = "idle";
+        on (i.recv && st == "idle") {{
+            set_state(st, "busy");
+            delay({delay});
+            send(o, i.data + 1);
+            ack(i);
+            set_state(st, "idle");
+        }}
+    }}
+}}
+
+streamlet parallelize_s {{
+    i : W32 in,
+    o : W32 out,
+}}
+
+// The parallelize template: a demux distributes packets over the
+// processing units, a mux collects the results in order.
+impl parallelize_i<pu: impl of process_unit_s, channel: int> of parallelize_s {{
+    instance dm(demux_i<type W32, channel>),
+    instance mx(mux_i<type W32, channel>),
+    instance pu_inst(pu) [channel],
+    i => dm.i,
+    for k in (0..channel) {{
+        dm.o[k] => pu_inst[k].i,
+        pu_inst[k].o => mx.i[k],
+    }}
+    mx.o => o,
+}}
+
+impl top_i of parallelize_s {{
+    instance p(parallelize_i<impl adder_delay_i, {channel}>),
+    i => p.i,
+    p.o => o,
+}}
+"#
+    )
+}
+
+/// Compiles the parallelize design for a channel count.
+pub fn compile_parallelize(channel: usize, delay: u64) -> CompileOutput {
+    let source = parallelize_source(channel, delay);
+    let sources = with_stdlib(&[("par.td", source.as_str())]);
+    let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+    compile(&refs, &CompileOptions::default()).unwrap_or_else(|e| panic!("parallelize failed:\n{e}"))
+}
+
+/// Simulates the parallelize design with `packets` stimuli; returns
+/// `(cycles, packets_delivered)`.
+pub fn simulate_parallelize(channel: usize, delay: u64, packets: u64) -> (u64, u64) {
+    let compiled = compile_parallelize(channel, delay);
+    let registry = BehaviorRegistry::with_std();
+    let mut sim = Simulator::new(&compiled.project, "top_i", &registry).expect("simulator");
+    sim.feed("i", (0..packets as i64).map(Packet::data)).unwrap();
+    let budget = packets * (delay + 4) * 4 + 1000;
+    sim.run(budget);
+    let delivered = sim.outputs("o").expect("probe").len() as u64;
+    let last_arrival = sim
+        .outputs("o")
+        .expect("probe")
+        .last()
+        .map(|(c, _)| *c)
+        .unwrap_or(0);
+    (last_arrival.max(1), delivered)
+}
+
+/// A synthetic program with `n` *distinct* template instantiations
+/// (scaling the expansion stage) wired into sinks.
+pub fn template_scaling_source(n: usize) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from(
+        "package scale;\nuse std;\n\ntype W16 = Stream(Bit(16));\nstreamlet top_s {\n",
+    );
+    for k in 0..n {
+        let _ = writeln!(s, "    o_{k} : Stream(Bit(16)) out,");
+    }
+    s.push_str("}\n@NoStrictType\nimpl top_i of top_s {\n");
+    for k in 0..n {
+        // Each constant is distinct, forcing a fresh instantiation.
+        let _ = writeln!(
+            s,
+            "    instance c_{k}(const_vec_i<type W16, {k}, 4>),\n    c_{k}.o => o_{k},"
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Compiles the template-scaling program.
+pub fn compile_scaling(n: usize) -> CompileOutput {
+    let source = template_scaling_source(n);
+    let sources = with_stdlib(&[("scale.td", source.as_str())]);
+    let refs: Vec<(&str, &str)> = sources.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    compile(&refs, &CompileOptions::default()).unwrap_or_else(|e| panic!("scaling failed:\n{e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelize_compiles_for_various_channels() {
+        for channel in [1, 2, 8] {
+            let out = compile_parallelize(channel, 8);
+            let top = out.project.implementation("top_i").unwrap();
+            assert_eq!(top.instances().len(), 1);
+        }
+    }
+
+    #[test]
+    fn parallelize_throughput_scales_with_channels() {
+        // Paper §IV-B: with an 8-cycle processing unit, 8 channels
+        // sustain ~1 packet/cycle while 1 channel gives ~1/8.
+        let (cycles_1, n1) = simulate_parallelize(1, 8, 40);
+        let (cycles_8, n8) = simulate_parallelize(8, 8, 40);
+        assert_eq!(n1, 40);
+        assert_eq!(n8, 40);
+        let t1 = n1 as f64 / cycles_1 as f64;
+        let t8 = n8 as f64 / cycles_8 as f64;
+        assert!(
+            t8 > 3.0 * t1,
+            "8 channels should be much faster: t1={t1:.3}, t8={t8:.3}"
+        );
+    }
+
+    #[test]
+    fn scaling_source_grows() {
+        let out = compile_scaling(16);
+        // 16 distinct const instantiations.
+        assert!(out.elab_info.template_instantiations >= 16);
+    }
+}

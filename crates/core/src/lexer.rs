@@ -1,0 +1,468 @@
+//! The Tydi-lang lexer.
+//!
+//! Hand-written (the reference compiler uses a pest grammar; this
+//! implementation avoids the dependency). Supports `//` line comments,
+//! `/* */` block comments (nesting allowed), decimal and hexadecimal
+//! integers, floats, and escaped string literals.
+
+use crate::diagnostics::Diagnostic;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Lexes `source` (registered as file index `file`) into tokens ending
+/// with an `Eof` token. Lexical errors are reported as diagnostics;
+/// lexing continues after an error by skipping the offending byte.
+pub fn lex(file: usize, source: &str) -> (Vec<Token>, Vec<Diagnostic>) {
+    let mut lexer = Lexer {
+        file,
+        bytes: source.as_bytes(),
+        pos: 0,
+        tokens: Vec::new(),
+        diagnostics: Vec::new(),
+    };
+    lexer.run();
+    (lexer.tokens, lexer.diagnostics)
+}
+
+struct Lexer<'a> {
+    file: usize,
+    bytes: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Lexer<'_> {
+    fn run(&mut self) {
+        loop {
+            self.skip_trivia();
+            let start = self.pos;
+            let Some(c) = self.peek() else {
+                self.push(TokenKind::Eof, start);
+                return;
+            };
+            match c {
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b'{' => self.single(TokenKind::LBrace),
+                b'}' => self.single(TokenKind::RBrace),
+                b'[' => self.single(TokenKind::LBracket),
+                b']' => self.single(TokenKind::RBracket),
+                b',' => self.single(TokenKind::Comma),
+                b';' => self.single(TokenKind::Semi),
+                b':' => self.single(TokenKind::Colon),
+                b'@' => self.single(TokenKind::At),
+                b'+' => self.single(TokenKind::Plus),
+                b'-' => self.single(TokenKind::Minus),
+                b'*' => self.single(TokenKind::Star),
+                b'/' => self.single(TokenKind::Slash),
+                b'%' => self.single(TokenKind::Percent),
+                b'^' => self.single(TokenKind::Caret),
+                b'.' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'.') {
+                        self.pos += 1;
+                        self.push(TokenKind::DotDot, start);
+                    } else {
+                        self.push(TokenKind::Dot, start);
+                    }
+                }
+                b'<' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        self.push(TokenKind::Le, start);
+                    } else {
+                        self.push(TokenKind::Lt, start);
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        self.push(TokenKind::Ge, start);
+                    } else {
+                        self.push(TokenKind::Gt, start);
+                    }
+                }
+                b'=' => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'=') => {
+                            self.pos += 1;
+                            self.push(TokenKind::EqEq, start);
+                        }
+                        Some(b'>') => {
+                            self.pos += 1;
+                            self.push(TokenKind::FatArrow, start);
+                        }
+                        _ => self.push(TokenKind::Eq, start),
+                    }
+                }
+                b'!' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        self.push(TokenKind::NotEq, start);
+                    } else {
+                        self.push(TokenKind::Bang, start);
+                    }
+                }
+                b'&' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'&') {
+                        self.pos += 1;
+                        self.push(TokenKind::AndAnd, start);
+                    } else {
+                        self.error(start, "expected `&&`");
+                    }
+                }
+                b'|' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'|') {
+                        self.pos += 1;
+                        self.push(TokenKind::OrOr, start);
+                    } else {
+                        self.error(start, "expected `||`");
+                    }
+                }
+                b'"' => self.string(start),
+                b'0'..=b'9' => self.number(start),
+                c if c.is_ascii_alphabetic() || c == b'_' => self.ident(start),
+                other => {
+                    self.pos += 1;
+                    self.error(start, format!("unexpected character `{}`", other as char));
+                }
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn single(&mut self, kind: TokenKind) {
+        let start = self.pos;
+        self.pos += 1;
+        self.push(kind, start);
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        self.tokens.push(Token {
+            kind,
+            span: Span::new(self.file, start, self.pos),
+        });
+    }
+
+    fn error(&mut self, start: usize, message: impl Into<String>) {
+        self.diagnostics.push(Diagnostic::error(
+            "lex",
+            message,
+            Some(Span::new(self.file, start, self.pos)),
+        ));
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => self.pos += 1,
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        self.pos += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    let mut depth = 1;
+                    while depth > 0 {
+                        match (self.peek(), self.peek_at(1)) {
+                            (Some(b'*'), Some(b'/')) => {
+                                depth -= 1;
+                                self.pos += 2;
+                            }
+                            (Some(b'/'), Some(b'*')) => {
+                                depth += 1;
+                                self.pos += 2;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                self.error(start, "unterminated block comment");
+                                return;
+                            }
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn string(&mut self, start: usize) {
+        self.pos += 1; // opening quote
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                None | Some(b'\n') => {
+                    self.error(start, "unterminated string literal");
+                    break;
+                }
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'n') => value.push('\n'),
+                        Some(b't') => value.push('\t'),
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(other) => {
+                            self.error(self.pos, format!("unknown escape `\\{}`", other as char));
+                        }
+                        None => {
+                            self.error(start, "unterminated string literal");
+                            break;
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Collect a full UTF-8 character.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).unwrap_or("");
+                    if let Some(c) = s.chars().next() {
+                        value.push(c);
+                        self.pos += c.len_utf8();
+                    } else {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+        self.push(TokenKind::Str(value), start);
+    }
+
+    fn number(&mut self, start: usize) {
+        if self.peek() == Some(b'0') && matches!(self.peek_at(1), Some(b'x') | Some(b'X')) {
+            self.pos += 2;
+            let digits_start = self.pos;
+            while self
+                .peek()
+                .is_some_and(|c| c.is_ascii_hexdigit() || c == b'_')
+            {
+                self.pos += 1;
+            }
+            let text: String = std::str::from_utf8(&self.bytes[digits_start..self.pos])
+                .unwrap_or("")
+                .replace('_', "");
+            match i64::from_str_radix(&text, 16) {
+                Ok(v) => self.push(TokenKind::Int(v), start),
+                Err(_) => self.error(start, "invalid hexadecimal literal"),
+            }
+            return;
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        // A `.` followed by a digit makes it a float; `..` is a range.
+        if self.peek() == Some(b'.')
+            && self.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E'))
+            && self
+                .peek_at(1)
+                .is_some_and(|c| c.is_ascii_digit() || c == b'+' || c == b'-')
+        {
+            is_float = true;
+            self.pos += 2;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text: String = std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap_or("")
+            .replace('_', "");
+        if is_float {
+            match text.parse::<f64>() {
+                Ok(v) => self.push(TokenKind::Float(v), start),
+                Err(_) => self.error(start, "invalid float literal"),
+            }
+        } else {
+            match text.parse::<i64>() {
+                Ok(v) => self.push(TokenKind::Int(v), start),
+                Err(_) => self.error(start, "integer literal out of range"),
+            }
+        }
+    }
+
+    fn ident(&mut self, start: usize) {
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap_or("")
+            .to_string();
+        self.push(TokenKind::Ident(text), start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let (tokens, diags) = lex(0, src);
+        assert!(diags.is_empty(), "unexpected diagnostics: {diags:?}");
+        tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn punctuation_and_operators() {
+        assert_eq!(
+            kinds("( ) { } [ ] < > <= >= == != = => + - * / % ^ ! && || , ; : . .. @"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::LBracket,
+                TokenKind::RBracket,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Eq,
+                TokenKind::FatArrow,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Percent,
+                TokenKind::Caret,
+                TokenKind::Bang,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Comma,
+                TokenKind::Semi,
+                TokenKind::Colon,
+                TokenKind::Dot,
+                TokenKind::DotDot,
+                TokenKind::At,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 0x2A 3.5 1e3 2.5e-2 1_000"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Int(42),
+                TokenKind::Float(3.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.025),
+                TokenKind::Int(1000),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        assert_eq!(
+            kinds("0..8"),
+            vec![
+                TokenKind::Int(0),
+                TokenKind::DotDot,
+                TokenKind::Int(8),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""MED BAG" "a\"b" "x\ny""#),
+            vec![
+                TokenKind::Str("MED BAG".into()),
+                TokenKind::Str("a\"b".into()),
+                TokenKind::Str("x\ny".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers() {
+        assert_eq!(
+            kinds("foo _bar baz_9 Bit"),
+            vec![
+                TokenKind::Ident("foo".into()),
+                TokenKind::Ident("_bar".into()),
+                TokenKind::Ident("baz_9".into()),
+                TokenKind::Ident("Bit".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a // line\nb /* block /* nested */ still */ c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_recovered() {
+        let (tokens, diags) = lex(0, "a $ b");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains('$'));
+        assert_eq!(tokens.len(), 3); // a, b, eof
+    }
+
+    #[test]
+    fn unterminated_string_reported() {
+        let (_, diags) = lex(0, "\"abc");
+        assert!(diags.iter().any(|d| d.message.contains("unterminated")));
+    }
+
+    #[test]
+    fn spans_track_offsets() {
+        let (tokens, _) = lex(0, "ab cd");
+        assert_eq!(tokens[0].span.start, 0);
+        assert_eq!(tokens[0].span.end, 2);
+        assert_eq!(tokens[1].span.start, 3);
+        assert_eq!(tokens[1].span.end, 5);
+    }
+}

@@ -1,0 +1,328 @@
+//! The staged compiler pipeline (paper Fig. 3).
+//!
+//! `parse` → `evaluate`/`expand` (elaboration) → `sugar` → `DRC` →
+//! Tydi-IR, with per-stage wall-clock timings so the benchmark harness
+//! can report where compilation time goes.
+
+use crate::diagnostics::{has_errors, Diagnostic};
+use crate::instantiate::{elaborate, ElabInfo};
+use crate::parser::parse_package;
+use crate::span::SourceFile;
+use crate::sugar::{apply_sugaring, SugarReport};
+use std::fmt;
+use std::time::{Duration, Instant};
+use tydi_ir::{IrError, Project};
+
+/// Compilation options.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Name of the output IR project.
+    pub project_name: String,
+    /// Run the sugaring pass (paper Fig. 4). Disabling it reproduces
+    /// the paper's "without sugaring" Table IV row: designs must then
+    /// connect every port explicitly.
+    pub enable_sugaring: bool,
+    /// Run the design-rule check and fail compilation on violations.
+    pub run_drc: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            project_name: "tydi_design".to_string(),
+            enable_sugaring: true,
+            run_drc: true,
+        }
+    }
+}
+
+/// Wall-clock time spent per pipeline stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Lexing + parsing.
+    pub parse: Duration,
+    /// Evaluation, template instantiation, generative expansion.
+    pub elaborate: Duration,
+    /// Duplicator/voider insertion.
+    pub sugar: Duration,
+    /// Design-rule check.
+    pub drc: Duration,
+}
+
+impl StageTimings {
+    /// Total time across stages.
+    pub fn total(&self) -> Duration {
+        self.parse + self.elaborate + self.sugar + self.drc
+    }
+}
+
+/// A successful compilation.
+#[derive(Debug)]
+pub struct CompileOutput {
+    /// The validated IR project.
+    pub project: Project,
+    /// Non-error diagnostics (warnings, notes).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-stage timings.
+    pub timings: StageTimings,
+    /// Registered source files (for rendering diagnostics).
+    pub files: Vec<SourceFile>,
+    /// What sugaring did.
+    pub sugar_report: SugarReport,
+    /// Elaboration statistics.
+    pub elab_info: ElabInfo,
+}
+
+/// A failed compilation, carrying everything needed to render the
+/// errors.
+#[derive(Debug)]
+pub struct CompileFailure {
+    /// All diagnostics, including at least one error.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Registered source files.
+    pub files: Vec<SourceFile>,
+}
+
+impl CompileFailure {
+    /// Renders every diagnostic against the sources.
+    pub fn render(&self) -> String {
+        self.diagnostics
+            .iter()
+            .map(|d| d.render(&self.files))
+            .collect()
+    }
+}
+
+impl fmt::Display for CompileFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl std::error::Error for CompileFailure {}
+
+/// Compiles Tydi-lang sources (`(file name, text)` pairs) to Tydi-IR.
+pub fn compile(
+    sources: &[(&str, &str)],
+    options: &CompileOptions,
+) -> Result<CompileOutput, Box<CompileFailure>> {
+    let mut diagnostics = Vec::new();
+    let mut files = Vec::with_capacity(sources.len());
+    let mut packages = Vec::new();
+
+    // Stage 1: parse (code structure #1).
+    let t0 = Instant::now();
+    for (index, (name, text)) in sources.iter().enumerate() {
+        files.push(SourceFile::new(*name, *text));
+        let (package, mut file_diags) = parse_package(index, text);
+        diagnostics.append(&mut file_diags);
+        if let Some(p) = package {
+            packages.push(p);
+        }
+    }
+    let parse_time = t0.elapsed();
+    if has_errors(&diagnostics) {
+        return Err(Box::new(CompileFailure { diagnostics, files }));
+    }
+
+    // Stage 2: evaluate + expand (code structures #2/#3).
+    let t1 = Instant::now();
+    let (mut project, elab_info, mut elab_diags) = elaborate(packages, &options.project_name);
+    diagnostics.append(&mut elab_diags);
+    let elaborate_time = t1.elapsed();
+    if has_errors(&diagnostics) {
+        return Err(Box::new(CompileFailure { diagnostics, files }));
+    }
+
+    // Stage 3: sugaring.
+    let t2 = Instant::now();
+    let sugar_report = if options.enable_sugaring {
+        apply_sugaring(&mut project)
+    } else {
+        SugarReport::default()
+    };
+    let sugar_time = t2.elapsed();
+    if sugar_report.duplicators + sugar_report.voiders > 0 {
+        diagnostics.push(Diagnostic::note(
+            "sugar",
+            format!(
+                "inserted {} duplicator(s) and {} voider(s)",
+                sugar_report.duplicators, sugar_report.voiders
+            ),
+            None,
+        ));
+    }
+
+    // Stage 4: design-rule check.
+    let t3 = Instant::now();
+    if options.run_drc {
+        if let Err(errors) = project.validate() {
+            for error in errors {
+                let span = connection_span_of(&error, &elab_info);
+                diagnostics.push(Diagnostic::error("drc", error.to_string(), span));
+            }
+        }
+    }
+    let drc_time = t3.elapsed();
+    if has_errors(&diagnostics) {
+        return Err(Box::new(CompileFailure { diagnostics, files }));
+    }
+
+    Ok(CompileOutput {
+        project,
+        diagnostics,
+        timings: StageTimings {
+            parse: parse_time,
+            elaborate: elaborate_time,
+            sugar: sugar_time,
+            drc: drc_time,
+        },
+        files,
+        sugar_report,
+        elab_info,
+    })
+}
+
+/// Best-effort mapping from an IR validation error back to the source
+/// span of the offending connection.
+fn connection_span_of(error: &IrError, info: &ElabInfo) -> Option<crate::span::Span> {
+    let (implementation, connection) = match error {
+        IrError::TypeMismatch {
+            implementation,
+            connection,
+            ..
+        }
+        | IrError::StrictTypeMismatch {
+            implementation,
+            connection,
+            ..
+        }
+        | IrError::ComplexityMismatch {
+            implementation,
+            connection,
+            ..
+        }
+        | IrError::ClockDomainMismatch {
+            implementation,
+            connection,
+            ..
+        }
+        | IrError::DirectionError {
+            implementation,
+            connection,
+            ..
+        } => (implementation, connection),
+        _ => return None,
+    };
+    info.connection_spans
+        .get(&(implementation.clone(), connection.clone()))
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WIRE: &str = r#"
+package demo;
+type Byte = Stream(Bit(8));
+streamlet wire_s { i : Byte in, o : Byte out, }
+impl wire_i of wire_s { i => o, }
+"#;
+
+    #[test]
+    fn compile_wire() {
+        let out = compile(&[("wire.td", WIRE)], &CompileOptions::default()).unwrap();
+        assert!(out.project.implementation("wire_i").is_some());
+        assert_eq!(out.sugar_report, SugarReport::default());
+        assert!(out.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn sugaring_fixes_fanout_and_reports() {
+        let src = r#"
+package demo;
+type Byte = Stream(Bit(8));
+streamlet fan_s { i : Byte in, o1 : Byte out, o2 : Byte out, }
+impl fan_i of fan_s {
+    i => o1,
+    i => o2,
+}
+"#;
+        let out = compile(&[("fan.td", src)], &CompileOptions::default()).unwrap();
+        assert_eq!(out.sugar_report.duplicators, 1);
+        assert!(out
+            .diagnostics
+            .iter()
+            .any(|d| d.stage == "sugar" && d.message.contains("1 duplicator")));
+
+        // Without sugaring, the same design fails the DRC.
+        let no_sugar = CompileOptions {
+            enable_sugaring: false,
+            ..CompileOptions::default()
+        };
+        let err = compile(&[("fan.td", src)], &no_sugar).unwrap_err();
+        assert!(err
+            .diagnostics
+            .iter()
+            .any(|d| d.stage == "drc" && d.message.contains("port usage")));
+    }
+
+    #[test]
+    fn drc_type_mismatch_has_span() {
+        let src = r#"
+package demo;
+type A = Stream(Bit(8));
+type B = Stream(Bit(16));
+streamlet s { i : A in, o : B out, }
+impl x of s { i => o, }
+"#;
+        let err = compile(&[("t.td", src)], &CompileOptions::default()).unwrap_err();
+        let drc: Vec<_> = err
+            .diagnostics
+            .iter()
+            .filter(|d| d.stage == "drc")
+            .collect();
+        assert!(!drc.is_empty());
+        assert!(drc.iter().any(|d| d.span.is_some()));
+        let rendered = err.render();
+        assert!(rendered.contains("t.td"));
+    }
+
+    #[test]
+    fn strict_type_mismatch_detected_and_relaxable() {
+        // Two aliases with identical structure: strict DRC must still
+        // reject the connection (paper §IV-B).
+        let src = r#"
+package demo;
+type A = Stream(Bit(8));
+type B = Stream(Bit(8));
+streamlet s { i : A in, o : B out, }
+impl x of s { i => o, }
+"#;
+        let err = compile(&[("t.td", src)], &CompileOptions::default()).unwrap_err();
+        assert!(err
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("strict type equality")));
+
+        // The @NoStrictType attribute relaxes the check.
+        let relaxed = r#"
+package demo;
+type A = Stream(Bit(8));
+type B = Stream(Bit(8));
+streamlet s { i : A in, o : B out, }
+@NoStrictType
+impl x of s { i => o, }
+"#;
+        let out = compile(&[("t.td", relaxed)], &CompileOptions::default()).unwrap();
+        assert!(out.project.implementation("x").is_some());
+    }
+
+    #[test]
+    fn parse_failure_short_circuits() {
+        let err = compile(&[("bad.td", "package x;\nconst = ;")], &CompileOptions::default())
+            .unwrap_err();
+        assert!(err.diagnostics.iter().any(|d| d.stage == "parse"));
+    }
+}

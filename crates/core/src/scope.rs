@@ -1,0 +1,109 @@
+//! Lexical scope frames.
+//!
+//! Template bodies, `for` loops and implementation bodies each push a
+//! frame; variable shadowing is explicitly allowed (paper §IV-A:
+//! "variable shadowing is possible and useful").
+
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A stack of name-to-value frames.
+#[derive(Debug, Default)]
+pub struct ScopeFrames {
+    frames: Vec<HashMap<String, Value>>,
+}
+
+impl ScopeFrames {
+    /// Creates an empty stack (no frames).
+    pub fn new() -> Self {
+        ScopeFrames::default()
+    }
+
+    /// Pushes a fresh frame.
+    pub fn push(&mut self) {
+        self.frames.push(HashMap::new());
+    }
+
+    /// Pops the innermost frame.
+    ///
+    /// # Panics
+    /// Panics when no frame is active (a compiler bug).
+    pub fn pop(&mut self) {
+        self.frames.pop().expect("scope frame underflow");
+    }
+
+    /// Defines (or shadows within the innermost frame) a name.
+    ///
+    /// # Panics
+    /// Panics when no frame is active (a compiler bug).
+    pub fn define(&mut self, name: impl Into<String>, value: Value) {
+        self.frames
+            .last_mut()
+            .expect("no active scope frame")
+            .insert(name.into(), value);
+    }
+
+    /// Looks a name up, innermost frame first.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.frames.iter().rev().find_map(|f| f.get(name))
+    }
+
+    /// Current nesting depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Runs `f` inside a fresh frame, popping it afterwards.
+    pub fn scoped<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> T {
+        self.push();
+        let result = f(self);
+        self.pop();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_and_lookup() {
+        let mut s = ScopeFrames::new();
+        s.push();
+        s.define("x", Value::Int(1));
+        assert_eq!(s.get("x"), Some(&Value::Int(1)));
+        assert_eq!(s.get("y"), None);
+    }
+
+    #[test]
+    fn shadowing_and_unwinding() {
+        let mut s = ScopeFrames::new();
+        s.push();
+        s.define("x", Value::Int(1));
+        s.push();
+        s.define("x", Value::Int(2));
+        assert_eq!(s.get("x"), Some(&Value::Int(2)));
+        s.pop();
+        assert_eq!(s.get("x"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn scoped_helper() {
+        let mut s = ScopeFrames::new();
+        s.push();
+        s.define("x", Value::Int(1));
+        let inner = s.scoped(|s| {
+            s.define("x", Value::Int(9));
+            s.get("x").cloned()
+        });
+        assert_eq!(inner, Some(Value::Int(9)));
+        assert_eq!(s.get("x"), Some(&Value::Int(1)));
+        assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn pop_without_push_panics() {
+        ScopeFrames::new().pop();
+    }
+}

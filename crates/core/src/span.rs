@@ -1,0 +1,114 @@
+//! Source positions for diagnostics.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A source file registered with the compiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFile {
+    /// File name shown in diagnostics.
+    pub name: Arc<str>,
+    /// Full text.
+    pub text: Arc<str>,
+}
+
+impl SourceFile {
+    /// Creates a source file.
+    pub fn new(name: impl AsRef<str>, text: impl AsRef<str>) -> Self {
+        SourceFile {
+            name: Arc::from(name.as_ref()),
+            text: Arc::from(text.as_ref()),
+        }
+    }
+
+    /// Converts a byte offset to 1-based (line, column).
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let clamped = offset.min(self.text.len());
+        let mut line = 1;
+        let mut col = 1;
+        for (i, c) in self.text.char_indices() {
+            if i >= clamped {
+                break;
+            }
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+
+    /// Returns the text of the 1-based line, without the newline.
+    pub fn line_text(&self, line: usize) -> Option<&str> {
+        self.text.lines().nth(line.saturating_sub(1))
+    }
+}
+
+/// A byte range within one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Index into the compiler's file table.
+    pub file: usize,
+    /// Start byte offset (inclusive).
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(file: usize, start: usize, end: usize) -> Self {
+        Span { file, start, end }
+    }
+
+    /// A span covering both operands (must be in the same file).
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            file: self.file,
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// A zero-width placeholder span for synthesized nodes.
+    pub fn synthetic() -> Span {
+        Span::default()
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_basics() {
+        let f = SourceFile::new("x.td", "ab\ncd\nef");
+        assert_eq!(f.line_col(0), (1, 1));
+        assert_eq!(f.line_col(1), (1, 2));
+        assert_eq!(f.line_col(3), (2, 1));
+        assert_eq!(f.line_col(7), (3, 2));
+        assert_eq!(f.line_col(999), (3, 3));
+    }
+
+    #[test]
+    fn line_text_lookup() {
+        let f = SourceFile::new("x.td", "ab\ncd\nef");
+        assert_eq!(f.line_text(2), Some("cd"));
+        assert_eq!(f.line_text(9), None);
+    }
+
+    #[test]
+    fn span_merge() {
+        let a = Span::new(0, 3, 7);
+        let b = Span::new(0, 5, 12);
+        assert_eq!(a.merge(b), Span::new(0, 3, 12));
+    }
+}

@@ -1,0 +1,441 @@
+//! Sugaring: automatic duplicator and voider insertion (paper §IV-D,
+//! Fig. 4).
+//!
+//! The Tydi handshake requires every port to be connected exactly
+//! once. Software-style designs naturally fan a value out to several
+//! consumers and ignore outputs they don't need, so the compiler
+//! releases the restriction by rewriting the design:
+//!
+//! * an internal data *source* (an own `in` port or an instance `out`
+//!   port) connected to N > 1 sinks gets a **duplicator** with N
+//!   outputs spliced in, its logical type and output count inferred;
+//! * an internal source that is never used gets a **voider**, a
+//!   component that is always ready and drops the data.
+//!
+//! Inserted components are external implementations bound to the
+//! `std.duplicator` / `std.voider` builtin RTL generators and are
+//! flagged `inserted_by_sugar` so reports can separate user code from
+//! inferred code.
+
+use std::collections::HashMap;
+use tydi_ir::{
+    Connection, EndpointRef, Implementation, Instance, Port, PortDirection, Project, Streamlet,
+};
+
+/// What the sugaring pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SugarReport {
+    /// Duplicators inserted.
+    pub duplicators: usize,
+    /// Voiders inserted.
+    pub voiders: usize,
+}
+
+#[derive(Debug)]
+struct VoiderPlan {
+    source: EndpointRef,
+    port: Port,
+}
+
+#[derive(Debug)]
+struct DuplicatorPlan {
+    source: EndpointRef,
+    port: Port,
+    /// Indices of the connections (into the impl's connection list)
+    /// whose source must be rewritten to the duplicator outputs.
+    connections: Vec<usize>,
+}
+
+#[derive(Debug, Default)]
+struct ImplPlan {
+    voiders: Vec<VoiderPlan>,
+    duplicators: Vec<DuplicatorPlan>,
+}
+
+/// Applies sugaring to every normal implementation in the project.
+pub fn apply_sugaring(project: &mut Project) -> SugarReport {
+    // Phase 1: read-only planning.
+    let mut plans: Vec<(String, ImplPlan)> = Vec::new();
+    for implementation in project.implementations() {
+        let plan = plan_implementation(project, implementation);
+        if !plan.voiders.is_empty() || !plan.duplicators.is_empty() {
+            plans.push((implementation.name.clone(), plan));
+        }
+    }
+
+    // Phase 2: apply. Helper components are shared via a cache keyed
+    // by the port type (+ origin + clock) and, for duplicators, the
+    // fan-out.
+    let mut report = SugarReport::default();
+    let mut helper_cache: HashMap<String, String> = HashMap::new();
+    let mut unique = 0usize;
+
+    for (impl_name, plan) in plans {
+        for voider in plan.voiders {
+            let helper_impl = ensure_voider(project, &voider.port, &mut helper_cache, &mut unique);
+            let inst_name = fresh_instance_name(project, &impl_name, "voider");
+            let implementation = project
+                .implementation_mut(&impl_name)
+                .expect("planned impl exists");
+            implementation.add_instance(Instance::new(inst_name.clone(), helper_impl));
+            let mut connection = Connection::new(
+                voider.source,
+                EndpointRef::instance(inst_name, "i"),
+            );
+            connection.inserted_by_sugar = true;
+            implementation.add_connection(connection);
+            report.voiders += 1;
+        }
+        for duplicator in plan.duplicators {
+            let fan_out = duplicator.connections.len();
+            let helper_impl = ensure_duplicator(
+                project,
+                &duplicator.port,
+                fan_out,
+                &mut helper_cache,
+                &mut unique,
+            );
+            let inst_name = fresh_instance_name(project, &impl_name, "dup");
+            let implementation = project
+                .implementation_mut(&impl_name)
+                .expect("planned impl exists");
+            implementation.add_instance(Instance::new(inst_name.clone(), helper_impl));
+            // Rewrite each consumer connection to read from one
+            // duplicator output.
+            for (k, &conn_idx) in duplicator.connections.iter().enumerate() {
+                if let tydi_ir::ImplKind::Normal { connections, .. } = &mut implementation.kind {
+                    connections[conn_idx].source =
+                        EndpointRef::instance(inst_name.clone(), format!("o_{k}"));
+                    connections[conn_idx].inserted_by_sugar = true;
+                }
+            }
+            let mut feed = Connection::new(
+                duplicator.source,
+                EndpointRef::instance(inst_name, "i"),
+            );
+            feed.inserted_by_sugar = true;
+            implementation.add_connection(feed);
+            report.duplicators += 1;
+        }
+    }
+    report
+}
+
+/// Plans voider/duplicator insertion for one implementation.
+fn plan_implementation(project: &Project, implementation: &Implementation) -> ImplPlan {
+    let mut plan = ImplPlan::default();
+    if implementation.is_external() {
+        return plan;
+    }
+    let Some(own_streamlet) = project.streamlet(&implementation.streamlet) else {
+        return plan;
+    };
+
+    // Count how many connections read from each source endpoint.
+    let mut source_uses: HashMap<EndpointRef, Vec<usize>> = HashMap::new();
+    for (idx, connection) in implementation.connections().iter().enumerate() {
+        source_uses
+            .entry(connection.source.clone())
+            .or_default()
+            .push(idx);
+    }
+
+    // Every internal source endpoint with its port definition.
+    let mut sources: Vec<(EndpointRef, Port)> = Vec::new();
+    for port in &own_streamlet.ports {
+        if port.direction == PortDirection::In {
+            sources.push((EndpointRef::own(port.name.clone()), port.clone()));
+        }
+    }
+    for instance in implementation.instances() {
+        if let Some(streamlet) = project.streamlet_of(&instance.impl_name) {
+            for port in &streamlet.ports {
+                if port.direction == PortDirection::Out {
+                    sources.push((
+                        EndpointRef::instance(instance.name.clone(), port.name.clone()),
+                        port.clone(),
+                    ));
+                }
+            }
+        }
+    }
+
+    for (endpoint, port) in sources {
+        match source_uses.get(&endpoint).map(Vec::as_slice) {
+            None | Some([]) => plan.voiders.push(VoiderPlan {
+                source: endpoint,
+                port,
+            }),
+            Some([_single]) => {}
+            Some(multiple) => plan.duplicators.push(DuplicatorPlan {
+                source: endpoint,
+                port,
+                connections: multiple.to_vec(),
+            }),
+        }
+    }
+    plan
+}
+
+fn helper_key(prefix: &str, port: &Port, fan_out: usize) -> String {
+    format!(
+        "{prefix}|{}|{}|{}|{fan_out}",
+        port.ty,
+        port.type_origin.as_deref().unwrap_or(""),
+        port.clock.name()
+    )
+}
+
+fn clone_port(port: &Port, name: &str, direction: PortDirection) -> Port {
+    let mut p = Port::new(name, direction, (*port.ty).clone()).with_clock(port.clock.clone());
+    p.type_origin = port.type_origin.clone();
+    p
+}
+
+fn ensure_voider(
+    project: &mut Project,
+    port: &Port,
+    cache: &mut HashMap<String, String>,
+    unique: &mut usize,
+) -> String {
+    let key = helper_key("voider", port, 0);
+    if let Some(existing) = cache.get(&key) {
+        return existing.clone();
+    }
+    *unique += 1;
+    let streamlet_name = format!("voider_s_{unique}");
+    let impl_name = format!("voider_i_{unique}");
+    let mut streamlet = Streamlet::new(streamlet_name.clone());
+    streamlet.doc = format!("Auto-inserted voider for {}", port.ty);
+    streamlet.ports.push(clone_port(port, "i", PortDirection::In));
+    project
+        .add_streamlet(streamlet)
+        .expect("voider streamlet name is fresh");
+    let implementation = Implementation::external(impl_name.clone(), streamlet_name)
+        .with_builtin("std.voider");
+    project
+        .add_implementation(implementation)
+        .expect("voider impl name is fresh");
+    cache.insert(key, impl_name.clone());
+    impl_name
+}
+
+fn ensure_duplicator(
+    project: &mut Project,
+    port: &Port,
+    fan_out: usize,
+    cache: &mut HashMap<String, String>,
+    unique: &mut usize,
+) -> String {
+    let key = helper_key("dup", port, fan_out);
+    if let Some(existing) = cache.get(&key) {
+        return existing.clone();
+    }
+    *unique += 1;
+    let streamlet_name = format!("duplicator{fan_out}_s_{unique}");
+    let impl_name = format!("duplicator{fan_out}_i_{unique}");
+    let mut streamlet = Streamlet::new(streamlet_name.clone());
+    streamlet.doc = format!("Auto-inserted {fan_out}-way duplicator for {}", port.ty);
+    streamlet.ports.push(clone_port(port, "i", PortDirection::In));
+    for k in 0..fan_out {
+        streamlet
+            .ports
+            .push(clone_port(port, &format!("o_{k}"), PortDirection::Out));
+    }
+    project
+        .add_streamlet(streamlet)
+        .expect("duplicator streamlet name is fresh");
+    let mut implementation = Implementation::external(impl_name.clone(), streamlet_name)
+        .with_builtin("std.duplicator");
+    implementation
+        .attributes
+        .insert("param_outputs".into(), fan_out.to_string());
+    project
+        .add_implementation(implementation)
+        .expect("duplicator impl name is fresh");
+    cache.insert(key, impl_name.clone());
+    impl_name
+}
+
+fn fresh_instance_name(project: &Project, impl_name: &str, kind: &str) -> String {
+    let implementation = project.implementation(impl_name).expect("impl exists");
+    let mut counter = 0usize;
+    loop {
+        let candidate = format!("__{kind}_{counter}");
+        if !implementation
+            .instances()
+            .iter()
+            .any(|i| i.name == candidate)
+        {
+            return candidate;
+        }
+        counter += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tydi_spec::{LogicalType, StreamParams};
+
+    fn stream8() -> LogicalType {
+        LogicalType::stream(LogicalType::Bit(8), StreamParams::new())
+    }
+
+    /// A source feeding two consumers plus an ignored output:
+    /// the paper's Fig. 4 configuration.
+    fn fig4_project() -> Project {
+        let mut p = Project::new("fig4");
+        p.add_streamlet(
+            Streamlet::new("producer_s")
+                .with_port(Port::new("o", PortDirection::Out, stream8()))
+                .with_port(Port::new("unused", PortDirection::Out, stream8())),
+        )
+        .unwrap();
+        p.add_streamlet(
+            Streamlet::new("consumer_s").with_port(Port::new("i", PortDirection::In, stream8())),
+        )
+        .unwrap();
+        p.add_streamlet(Streamlet::new("top_s")).unwrap();
+        p.add_implementation(
+            Implementation::external("producer_i", "producer_s").with_builtin("std.passthrough"),
+        )
+        .unwrap();
+        p.add_implementation(
+            Implementation::external("consumer_i", "consumer_s").with_builtin("std.voider"),
+        )
+        .unwrap();
+        let mut top = Implementation::normal("top_i", "top_s");
+        top.add_instance(Instance::new("src", "producer_i"));
+        top.add_instance(Instance::new("c0", "consumer_i"));
+        top.add_instance(Instance::new("c1", "consumer_i"));
+        // src.o feeds both consumers (needs a duplicator);
+        // src.unused is never read (needs a voider).
+        top.add_connection(Connection::new(
+            EndpointRef::instance("src", "o"),
+            EndpointRef::instance("c0", "i"),
+        ));
+        top.add_connection(Connection::new(
+            EndpointRef::instance("src", "o"),
+            EndpointRef::instance("c1", "i"),
+        ));
+        p.add_implementation(top).unwrap();
+        p
+    }
+
+    #[test]
+    fn fig4_duplicator_and_voider_inserted() {
+        let mut p = fig4_project();
+        // Before sugaring the design violates the port usage rule.
+        assert!(p.validate().is_err());
+        let report = apply_sugaring(&mut p);
+        assert_eq!(report.duplicators, 1);
+        assert_eq!(report.voiders, 1);
+        // After sugaring the design satisfies all design rules.
+        assert_eq!(p.validate(), Ok(()));
+        let top = p.implementation("top_i").unwrap();
+        // 2 rewritten + dup feed + voider feed = 4 connections.
+        assert_eq!(top.connections().len(), 4);
+        assert_eq!(top.instances().len(), 5);
+        assert!(top
+            .connections()
+            .iter()
+            .filter(|c| c.inserted_by_sugar)
+            .count() >= 3);
+    }
+
+    #[test]
+    fn sugaring_is_idempotent() {
+        let mut p = fig4_project();
+        apply_sugaring(&mut p);
+        let report2 = apply_sugaring(&mut p);
+        assert_eq!(report2, SugarReport::default());
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn helper_components_are_shared() {
+        let mut p = fig4_project();
+        // Add a second unused producer output of the same type: the
+        // voider impl must be reused.
+        let mut top2 = Implementation::normal("top2_i", "top_s");
+        top2.add_instance(Instance::new("src", "producer_i"));
+        top2.add_instance(Instance::new("c0", "consumer_i"));
+        top2.add_connection(Connection::new(
+            EndpointRef::instance("src", "o"),
+            EndpointRef::instance("c0", "i"),
+        ));
+        p.add_implementation(top2).unwrap();
+        let report = apply_sugaring(&mut p);
+        assert_eq!(report.voiders, 2);
+        // Only one voider streamlet was created for the shared type.
+        let voider_streamlets = p
+            .streamlets()
+            .iter()
+            .filter(|s| s.name.starts_with("voider_s"))
+            .count();
+        assert_eq!(voider_streamlets, 1);
+    }
+
+    #[test]
+    fn clean_project_untouched() {
+        let mut p = Project::new("clean");
+        p.add_streamlet(
+            Streamlet::new("pass_s")
+                .with_port(Port::new("i", PortDirection::In, stream8()))
+                .with_port(Port::new("o", PortDirection::Out, stream8())),
+        )
+        .unwrap();
+        let mut w = Implementation::normal("wire_i", "pass_s");
+        w.add_connection(Connection::new(EndpointRef::own("i"), EndpointRef::own("o")));
+        p.add_implementation(w).unwrap();
+        let before = p.stats();
+        let report = apply_sugaring(&mut p);
+        assert_eq!(report, SugarReport::default());
+        assert_eq!(p.stats(), before);
+    }
+
+    #[test]
+    fn own_in_port_fanout_gets_duplicator() {
+        let mut p = Project::new("t");
+        p.add_streamlet(
+            Streamlet::new("s")
+                .with_port(Port::new("i", PortDirection::In, stream8()))
+                .with_port(Port::new("o1", PortDirection::Out, stream8()))
+                .with_port(Port::new("o2", PortDirection::Out, stream8())),
+        )
+        .unwrap();
+        let mut imp = Implementation::normal("fan_i", "s");
+        imp.add_connection(Connection::new(EndpointRef::own("i"), EndpointRef::own("o1")));
+        imp.add_connection(Connection::new(EndpointRef::own("i"), EndpointRef::own("o2")));
+        p.add_implementation(imp).unwrap();
+        let report = apply_sugaring(&mut p);
+        assert_eq!(report.duplicators, 1);
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn sugar_preserves_type_origin_for_strict_drc() {
+        let mut p = Project::new("t");
+        let mut port_i = Port::new("i", PortDirection::In, stream8());
+        port_i.type_origin = Some("pack.Byte".into());
+        let mut port_o1 = Port::new("o1", PortDirection::Out, stream8());
+        port_o1.type_origin = Some("pack.Byte".into());
+        let mut port_o2 = Port::new("o2", PortDirection::Out, stream8());
+        port_o2.type_origin = Some("pack.Byte".into());
+        p.add_streamlet(
+            Streamlet::new("s")
+                .with_port(port_i)
+                .with_port(port_o1)
+                .with_port(port_o2),
+        )
+        .unwrap();
+        let mut imp = Implementation::normal("fan_i", "s");
+        imp.add_connection(Connection::new(EndpointRef::own("i"), EndpointRef::own("o1")));
+        imp.add_connection(Connection::new(EndpointRef::own("i"), EndpointRef::own("o2")));
+        p.add_implementation(imp).unwrap();
+        apply_sugaring(&mut p);
+        // Strict type equality holds through the inserted duplicator.
+        assert_eq!(p.validate(), Ok(()));
+    }
+}

@@ -1,0 +1,213 @@
+//! Runtime values of the Tydi-lang evaluation stage.
+//!
+//! The five variable kinds of paper §IV-A (integer, float, string,
+//! boolean, clock domain), arrays of these, plus the two entity-level
+//! values that template arguments can carry: logical types and
+//! implementations.
+
+use std::fmt;
+use std::sync::Arc;
+use tydi_spec::{ClockDomain, LogicalType};
+
+/// An evaluated logical type together with the declaration it came
+/// from, which drives the strict type equality DRC (paper §IV-B).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeValue {
+    /// The structural type.
+    pub ty: Arc<LogicalType>,
+    /// Fully-qualified origin (`package.Name` or a template mangling)
+    /// for named declarations; `None` for anonymous type expressions.
+    pub origin: Option<String>,
+}
+
+impl TypeValue {
+    /// An anonymous type value.
+    pub fn anonymous(ty: LogicalType) -> Self {
+        TypeValue {
+            ty: Arc::new(ty),
+            origin: None,
+        }
+    }
+
+    /// A named type value.
+    pub fn named(ty: LogicalType, origin: impl Into<String>) -> Self {
+        TypeValue {
+            ty: Arc::new(ty),
+            origin: Some(origin.into()),
+        }
+    }
+}
+
+/// A reference to an elaborated implementation (used as a template
+/// argument: `impl adder_32`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImplValue {
+    /// The elaborated (mangled) implementation name in the output IR.
+    pub name: String,
+    /// The elaborated streamlet this implementation realizes.
+    pub streamlet: String,
+    /// The base (template) name of that streamlet, used to check
+    /// `impl of <streamlet>` template-parameter bounds.
+    pub streamlet_base: String,
+}
+
+/// A Tydi-lang value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Clock domain.
+    Clock(ClockDomain),
+    /// Array of values.
+    Array(Vec<Value>),
+    /// Logical type (template arguments, type aliases).
+    Type(TypeValue),
+    /// Implementation reference (template arguments).
+    Impl(ImplValue),
+}
+
+impl Value {
+    /// A short kind name for diagnostics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Bool(_) => "bool",
+            Value::Clock(_) => "clockdomain",
+            Value::Array(_) => "array",
+            Value::Type(_) => "type",
+            Value::Impl(_) => "impl",
+        }
+    }
+
+    /// Integer view.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (ints widen to float).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True when the value is numeric (int or float).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_))
+    }
+
+    /// Canonical text used for template-instance mangling. Two equal
+    /// values always produce identical text; the text contains no
+    /// whitespace.
+    pub fn mangle(&self) -> String {
+        match self {
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) => format!("{v:?}"),
+            Value::Str(s) => format!("{s:?}"),
+            Value::Bool(b) => b.to_string(),
+            Value::Clock(c) => format!("!{}", c.name()),
+            Value::Array(items) => {
+                let inner: Vec<String> = items.iter().map(Value::mangle).collect();
+                format!("[{}]", inner.join(","))
+            }
+            Value::Type(t) => t.ty.to_string().replace(' ', ""),
+            Value::Impl(i) => i.name.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Strings display raw; every other value displays as its
+    /// canonical mangled text.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            other => write!(f, "{}", other.mangle()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(Value::Int(1).kind_name(), "int");
+        assert_eq!(Value::Array(vec![]).kind_name(), "array");
+        assert_eq!(
+            Value::Clock(ClockDomain::new("m")).kind_name(),
+            "clockdomain"
+        );
+    }
+
+    #[test]
+    fn views() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Float(2.5).as_int(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+    }
+
+    #[test]
+    fn mangling_is_whitespace_free_and_distinct() {
+        let t = TypeValue::anonymous(LogicalType::group(vec![
+            ("a", LogicalType::Bit(2)),
+            ("b", LogicalType::Bit(3)),
+        ]));
+        let m = Value::Type(t).mangle();
+        assert!(!m.contains(' '));
+        assert!(m.contains("Group"));
+        assert_ne!(Value::Int(1).mangle(), Value::Str("1".into()).mangle());
+        assert_ne!(Value::Float(1.0).mangle(), Value::Int(1).mangle());
+        assert_eq!(
+            Value::Array(vec![Value::Int(1), Value::Int(2)]).mangle(),
+            "[1,2]"
+        );
+    }
+
+    #[test]
+    fn display_strings_are_raw() {
+        assert_eq!(Value::Str("hi".into()).to_string(), "hi");
+        assert_eq!(Value::Int(4).to_string(), "4");
+    }
+}

@@ -1,0 +1,132 @@
+//! Encoding column values as stream integers.
+//!
+//! Hardware streams carry fixed-width bit patterns, so variable-width
+//! values are encoded before they reach the accelerator, exactly as
+//! Arrow-native systems do: strings become dictionary indices,
+//! decimals become scaled integers, dates become day counts.
+
+use std::collections::HashMap;
+
+/// A value after encoding.
+pub type EncodedValue = i64;
+
+/// A string dictionary assigning stable indices in first-seen order.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    index: HashMap<String, EncodedValue>,
+    values: Vec<String>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Encodes a string, assigning a fresh index on first sight.
+    pub fn encode(&mut self, value: &str) -> EncodedValue {
+        if let Some(&i) = self.index.get(value) {
+            return i;
+        }
+        let i = self.values.len() as EncodedValue;
+        self.index.insert(value.to_string(), i);
+        self.values.push(value.to_string());
+        i
+    }
+
+    /// Looks up an already-encoded string without inserting.
+    pub fn lookup(&self, value: &str) -> Option<EncodedValue> {
+        self.index.get(value).copied()
+    }
+
+    /// Decodes an index back to its string.
+    pub fn decode(&self, code: EncodedValue) -> Option<&str> {
+        usize::try_from(code)
+            .ok()
+            .and_then(|i| self.values.get(i))
+            .map(String::as_str)
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no strings have been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Encodes a decimal given as `(integral, hundredths)` to a scaled
+/// integer with two fractional digits (the TPC-H money scale).
+pub fn encode_decimal_cents(units: i64, cents: i64) -> EncodedValue {
+    units * 100 + cents
+}
+
+/// Encodes a date `(year, month, day)` as days since 1970-01-01
+/// (proleptic Gregorian, matching Arrow `date32`).
+pub fn encode_date(year: i32, month: u32, day: u32) -> EncodedValue {
+    // Howard Hinnant's days_from_civil algorithm.
+    let y = i64::from(year) - i64::from(month <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let m = i64::from(month);
+    let d = i64::from(day);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_round_trip() {
+        let mut d = Dictionary::new();
+        let a = d.encode("MED BAG");
+        let b = d.encode("MED BOX");
+        let a2 = d.encode("MED BAG");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.decode(a), Some("MED BAG"));
+        assert_eq!(d.decode(99), None);
+        assert_eq!(d.lookup("MED BOX"), Some(b));
+        assert_eq!(d.lookup("missing"), None);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn decimal_encoding() {
+        assert_eq!(encode_decimal_cents(12, 34), 1234);
+        assert_eq!(encode_decimal_cents(0, 5), 5);
+        assert_eq!(encode_decimal_cents(-1, 0), -100);
+    }
+
+    #[test]
+    fn date_encoding_matches_known_values() {
+        assert_eq!(encode_date(1970, 1, 1), 0);
+        assert_eq!(encode_date(1970, 1, 2), 1);
+        assert_eq!(encode_date(1969, 12, 31), -1);
+        assert_eq!(encode_date(2000, 3, 1), 11017);
+        // TPC-H date range sanity.
+        assert_eq!(encode_date(1994, 1, 1), 8766);
+        assert_eq!(encode_date(1995, 1, 1), 9131);
+    }
+
+    #[test]
+    fn date_encoding_is_monotonic_over_a_year() {
+        let mut prev = encode_date(1994, 1, 1);
+        for month in 1..=12u32 {
+            for day in [1u32, 15, 28] {
+                let v = encode_date(1994, month, day);
+                if (month, day) != (1, 1) {
+                    assert!(v > prev, "{month}-{day}");
+                    prev = v;
+                }
+            }
+        }
+    }
+}

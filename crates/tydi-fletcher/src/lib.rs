@@ -1,0 +1,36 @@
+//! # tydi-fletcher
+//!
+//! The Fletcher substrate (paper §II/§III, Fig. 2): Fletcher is the
+//! framework that generates hardware interfaces for FPGA accelerators
+//! to access Apache Arrow data on host memory. The paper's workflow
+//! starts from an Arrow schema, lets Fletcher generate the
+//! memory-access components, and hand-writes only their Tydi-lang
+//! *interfaces* (the `LoCf` column of Table IV).
+//!
+//! This crate reproduces that role without the physical PCIe/OpenCAPI
+//! transport (a documented substitution, see DESIGN.md):
+//!
+//! * an Arrow-style [`schema`] model ([`ArrowSchema`], [`ArrowType`]);
+//! * the schema-to-Tydi [`map`]ping (column streams, Fletcher-style);
+//! * [`generate`]: Tydi-lang source for per-table *reader* streamlets,
+//!   exactly the interface code the paper counts as the Fletcher part;
+//! * [`encode`]: dictionary encoding of strings / decimals / dates to
+//!   the integers that travel on hardware streams;
+//! * [`sim`]: a `fletcher.source` behaviour that feeds the generated
+//!   readers from in-memory [`Table`]s during simulation.
+
+#![warn(missing_docs)]
+
+pub mod encode;
+pub mod generate;
+pub mod map;
+pub mod rtl;
+pub mod schema;
+pub mod sim;
+
+pub use encode::{Dictionary, EncodedValue};
+pub use generate::generate_reader_package;
+pub use map::{column_stream_type, logical_type_of};
+pub use rtl::register_fletcher_rtl;
+pub use schema::{ArrowField, ArrowSchema, ArrowType};
+pub use sim::{register_fletcher_behaviors, Table};

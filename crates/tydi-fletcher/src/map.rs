@@ -1,0 +1,86 @@
+//! Mapping Arrow types to Tydi logical types (the Fletcher mapping the
+//! paper relies on: "Tydi-lang can take advantage of Fletcher to map
+//! the Arrow data structures to Tydi-lang logical types", §II).
+
+use crate::schema::{ArrowField, ArrowType};
+use tydi_spec::{Complexity, LogicalType, StreamParams};
+
+/// The element-level logical type of one Arrow value.
+pub fn logical_type_of(ty: &ArrowType) -> LogicalType {
+    LogicalType::Bit(ty.bit_width())
+}
+
+/// The stream type of a whole column: a dimension-1 sequence of
+/// elements (one sequence per record batch), at the complexity level
+/// Fletcher interfaces use.
+pub fn column_stream_type(field: &ArrowField) -> LogicalType {
+    let element = if field.nullable {
+        LogicalType::group(vec![
+            ("valid", LogicalType::Bit(1)),
+            ("value", logical_type_of(&field.ty)),
+        ])
+    } else {
+        logical_type_of(&field.ty)
+    };
+    LogicalType::stream(
+        element,
+        StreamParams::new()
+            .with_dimension(1)
+            .with_complexity(Complexity::new(2).expect("valid complexity")),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ArrowField;
+
+    #[test]
+    fn plain_column_is_bit_stream() {
+        let f = ArrowField::new("l_quantity", ArrowType::Int(32));
+        let t = column_stream_type(&f);
+        match &t {
+            LogicalType::Stream { element, params } => {
+                assert_eq!(**element, LogicalType::Bit(32));
+                assert_eq!(params.dimension, 1);
+                assert_eq!(params.complexity.level(), 2);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn nullable_column_gains_validity_bit() {
+        let f = ArrowField {
+            name: "c".into(),
+            ty: ArrowType::Int(8),
+            nullable: true,
+        };
+        let t = column_stream_type(&f);
+        match &t {
+            LogicalType::Stream { element, .. } => {
+                assert_eq!(element.bit_width(), 9);
+                assert!(element.field("valid").is_some());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn decimal_width_follows_paper_formula() {
+        let f = ArrowField::new(
+            "l_extendedprice",
+            ArrowType::Decimal {
+                precision: 12,
+                scale: 2,
+            },
+        );
+        let t = column_stream_type(&f);
+        match &t {
+            LogicalType::Stream { element, .. } => {
+                assert_eq!(element.bit_width(), 41); // ceil(log2(1e12-1)) + sign
+            }
+            _ => panic!(),
+        }
+    }
+}

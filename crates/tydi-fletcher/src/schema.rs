@@ -1,0 +1,166 @@
+//! Arrow-style schemas.
+
+use std::fmt;
+
+/// Column data types (the subset of Apache Arrow the TPC-H evaluation
+/// needs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrowType {
+    /// Signed integer of the given bit width (8/16/32/64).
+    Int(u32),
+    /// Boolean.
+    Bool,
+    /// UTF-8 string (dictionary-encoded on hardware streams).
+    Utf8,
+    /// Fixed-point decimal with `precision` significant decimal
+    /// digits and `scale` digits after the point (SQL
+    /// `decimal(p, s)`, paper §IV-A).
+    Decimal {
+        /// Total decimal digits.
+        precision: u32,
+        /// Digits after the decimal point.
+        scale: u32,
+    },
+    /// Days since the UNIX epoch (Arrow `date32`).
+    Date32,
+}
+
+impl ArrowType {
+    /// Hardware bits needed for one value of this type. Decimals use
+    /// the paper's formula `ceil(log2(10^precision - 1))` plus a sign
+    /// bit; strings are dictionary indices.
+    pub fn bit_width(&self) -> u32 {
+        match self {
+            ArrowType::Int(w) => *w,
+            ArrowType::Bool => 1,
+            ArrowType::Utf8 => 32,
+            ArrowType::Decimal { precision, .. } => {
+                let digits = (*precision).max(1) as f64;
+                (10f64.powf(digits) - 1.0).log2().ceil() as u32 + 1
+            }
+            ArrowType::Date32 => 32,
+        }
+    }
+}
+
+impl fmt::Display for ArrowType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrowType::Int(w) => write!(f, "int{w}"),
+            ArrowType::Bool => write!(f, "bool"),
+            ArrowType::Utf8 => write!(f, "utf8"),
+            ArrowType::Decimal { precision, scale } => write!(f, "decimal({precision},{scale})"),
+            ArrowType::Date32 => write!(f, "date32"),
+        }
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrowField {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: ArrowType,
+    /// Whether the column may contain nulls (adds a validity bit).
+    pub nullable: bool,
+}
+
+impl ArrowField {
+    /// Creates a non-nullable field.
+    pub fn new(name: impl Into<String>, ty: ArrowType) -> Self {
+        ArrowField {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
+    }
+}
+
+/// A table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrowSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns.
+    pub fields: Vec<ArrowField>,
+}
+
+impl ArrowSchema {
+    /// Creates a schema.
+    pub fn new(name: impl Into<String>, fields: Vec<ArrowField>) -> Self {
+        ArrowSchema {
+            name: name.into(),
+            fields,
+        }
+    }
+
+    /// Looks a field up by name.
+    pub fn field(&self, name: &str) -> Option<&ArrowField> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// A sub-schema containing only the named columns (a query rarely
+    /// touches the whole table, paper §IV-D).
+    pub fn project(&self, columns: &[&str]) -> ArrowSchema {
+        ArrowSchema {
+            name: self.name.clone(),
+            fields: columns
+                .iter()
+                .filter_map(|c| self.field(c).cloned())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_widths() {
+        assert_eq!(ArrowType::Int(32).bit_width(), 32);
+        assert_eq!(ArrowType::Bool.bit_width(), 1);
+        assert_eq!(ArrowType::Utf8.bit_width(), 32);
+        assert_eq!(ArrowType::Date32.bit_width(), 32);
+        // Paper §IV-A: Decimal(15) needs ceil(log2(10^15 - 1)) = 50
+        // magnitude bits (plus sign).
+        assert_eq!(
+            ArrowType::Decimal {
+                precision: 15,
+                scale: 2
+            }
+            .bit_width(),
+            51
+        );
+    }
+
+    #[test]
+    fn schema_projection() {
+        let s = ArrowSchema::new(
+            "t",
+            vec![
+                ArrowField::new("a", ArrowType::Int(32)),
+                ArrowField::new("b", ArrowType::Utf8),
+                ArrowField::new("c", ArrowType::Bool),
+            ],
+        );
+        let p = s.project(&["c", "a"]);
+        assert_eq!(p.fields.len(), 2);
+        assert_eq!(p.fields[0].name, "c");
+        assert!(s.field("b").is_some());
+        assert!(p.field("b").is_none());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            ArrowType::Decimal {
+                precision: 12,
+                scale: 2
+            }
+            .to_string(),
+            "decimal(12,2)"
+        );
+    }
+}

@@ -1,0 +1,299 @@
+//! Arbitrary-width bit values.
+//!
+//! Tydi data elements can be wider than any machine integer (a `Group`
+//! of several 64-bit decimals, for instance), so testbenches and the
+//! simulator carry element payloads as [`BitsValue`]: a little-endian
+//! packed bit vector with an explicit width.
+
+use std::fmt;
+
+/// A fixed-width bit string. Bit 0 is the least significant bit and is
+/// stored in the lowest bit of `words[0]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitsValue {
+    width: u32,
+    words: Vec<u64>,
+}
+
+impl BitsValue {
+    /// Creates an all-zero value of the given width.
+    pub fn zero(width: u32) -> Self {
+        BitsValue {
+            width,
+            words: vec![0; words_for(width)],
+        }
+    }
+
+    /// Creates a value from a `u64`, truncating to `width` bits.
+    pub fn from_u64(value: u64, width: u32) -> Self {
+        let mut v = BitsValue::zero(width);
+        if width > 0 {
+            v.words[0] = value & mask_u64(width.min(64));
+            if width > 64 {
+                // Upper words stay zero; value fits in one word.
+            }
+        }
+        v
+    }
+
+    /// Creates a value from an `i64` using two's complement at `width`.
+    pub fn from_i64(value: i64, width: u32) -> Self {
+        let mut v = BitsValue {
+            width,
+            words: vec![if value < 0 { u64::MAX } else { 0 }; words_for(width)],
+        };
+        if !v.words.is_empty() {
+            v.words[0] = value as u64;
+        }
+        v.truncate_top_word();
+        v
+    }
+
+    /// The declared width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Reads a single bit.
+    pub fn bit(&self, index: u32) -> bool {
+        assert!(index < self.width, "bit index {index} out of width {}", self.width);
+        (self.words[(index / 64) as usize] >> (index % 64)) & 1 == 1
+    }
+
+    /// Sets a single bit.
+    pub fn set_bit(&mut self, index: u32, value: bool) {
+        assert!(index < self.width, "bit index {index} out of width {}", self.width);
+        let word = &mut self.words[(index / 64) as usize];
+        if value {
+            *word |= 1 << (index % 64);
+        } else {
+            *word &= !(1 << (index % 64));
+        }
+    }
+
+    /// Interprets the value as an unsigned integer, if it fits in 64
+    /// bits of significance.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.words.iter().skip(1).any(|&w| w != 0) {
+            None
+        } else {
+            Some(self.words.first().copied().unwrap_or(0))
+        }
+    }
+
+    /// Interprets the value as a two's-complement signed integer.
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.width == 0 {
+            return Some(0);
+        }
+        if self.width <= 64 {
+            let raw = self.words[0];
+            let shift = 64 - self.width;
+            Some(((raw << shift) as i64) >> shift)
+        } else {
+            // Only representable if the top words are a sign extension.
+            let negative = self.bit(self.width - 1);
+            let ext = if negative { u64::MAX } else { 0 };
+            let top_ok = self.words.iter().skip(1).enumerate().all(|(i, &w)| {
+                let word_index = (i + 1) as u32;
+                let bits_in_word = (self.width - word_index * 64).min(64);
+                w == ext & mask_u64(bits_in_word)
+            });
+            if top_ok {
+                let raw = self.words[0];
+                if negative || raw <= i64::MAX as u64 {
+                    Some(raw as i64)
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Writes another value into a bit range of this one. Used to pack
+    /// group fields into a single element payload.
+    pub fn splice(&mut self, offset: u32, value: &BitsValue) {
+        assert!(
+            offset + value.width <= self.width,
+            "splice of {} bits at offset {offset} exceeds width {}",
+            value.width,
+            self.width
+        );
+        for i in 0..value.width {
+            self.set_bit(offset + i, value.bit(i));
+        }
+    }
+
+    /// Extracts `width` bits starting at `offset` into a new value.
+    pub fn extract(&self, offset: u32, width: u32) -> BitsValue {
+        assert!(
+            offset + width <= self.width,
+            "extract of {width} bits at offset {offset} exceeds width {}",
+            self.width
+        );
+        let mut out = BitsValue::zero(width);
+        for i in 0..width {
+            out.set_bit(i, self.bit(offset + i));
+        }
+        out
+    }
+
+    /// Concatenates `other` above `self` (other occupies the most
+    /// significant bits of the result).
+    pub fn concat(&self, other: &BitsValue) -> BitsValue {
+        let mut out = BitsValue::zero(self.width + other.width);
+        out.splice(0, self);
+        out.splice(self.width, other);
+        out
+    }
+
+    /// Renders as a binary string, most significant bit first, as used
+    /// by VHDL literals (`"0101"`).
+    pub fn to_bin_string(&self) -> String {
+        (0..self.width)
+            .rev()
+            .map(|i| if self.bit(i) { '1' } else { '0' })
+            .collect()
+    }
+
+    /// Parses a binary string (most significant bit first).
+    pub fn from_bin_string(s: &str) -> Option<BitsValue> {
+        let mut v = BitsValue::zero(s.len() as u32);
+        for (i, c) in s.chars().rev().enumerate() {
+            match c {
+                '0' => {}
+                '1' => v.set_bit(i as u32, true),
+                _ => return None,
+            }
+        }
+        Some(v)
+    }
+
+    fn truncate_top_word(&mut self) {
+        if !self.width.is_multiple_of(64) {
+            if let Some(top) = self.words.last_mut() {
+                *top &= mask_u64(self.width % 64);
+            }
+        }
+    }
+}
+
+fn words_for(width: u32) -> usize {
+    (width as usize).div_ceil(64)
+}
+
+fn mask_u64(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+impl fmt::Display for BitsValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.to_u64() {
+            Some(v) => write!(f, "{v}:{}", self.width),
+            None => write!(f, "0b{}:{}", self.to_bin_string(), self.width),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_width() {
+        let v = BitsValue::zero(130);
+        assert_eq!(v.width(), 130);
+        assert_eq!(v.to_u64(), Some(0));
+    }
+
+    #[test]
+    fn from_u64_truncates() {
+        let v = BitsValue::from_u64(0xFF, 4);
+        assert_eq!(v.to_u64(), Some(0xF));
+        assert_eq!(v.width(), 4);
+    }
+
+    #[test]
+    fn from_i64_sign_extends() {
+        let v = BitsValue::from_i64(-1, 8);
+        assert_eq!(v.to_u64(), Some(0xFF));
+        assert_eq!(v.to_i64(), Some(-1));
+        let v = BitsValue::from_i64(-2, 128);
+        assert_eq!(v.to_i64(), Some(-2));
+        let v = BitsValue::from_i64(5, 128);
+        assert_eq!(v.to_i64(), Some(5));
+    }
+
+    #[test]
+    fn bit_twiddling() {
+        let mut v = BitsValue::zero(70);
+        v.set_bit(0, true);
+        v.set_bit(69, true);
+        assert!(v.bit(0));
+        assert!(v.bit(69));
+        assert!(!v.bit(35));
+        v.set_bit(69, false);
+        assert!(!v.bit(69));
+        assert_eq!(v.to_u64(), Some(1));
+    }
+
+    #[test]
+    fn to_u64_none_when_wide() {
+        let mut v = BitsValue::zero(70);
+        v.set_bit(65, true);
+        assert_eq!(v.to_u64(), None);
+    }
+
+    #[test]
+    fn splice_and_extract() {
+        let mut v = BitsValue::zero(64);
+        v.splice(0, &BitsValue::from_u64(0xAB, 8));
+        v.splice(8, &BitsValue::from_u64(0xCD, 8));
+        assert_eq!(v.to_u64(), Some(0xCDAB));
+        assert_eq!(v.extract(8, 8).to_u64(), Some(0xCD));
+        assert_eq!(v.extract(0, 16).to_u64(), Some(0xCDAB));
+    }
+
+    #[test]
+    fn splice_across_word_boundary() {
+        let mut v = BitsValue::zero(128);
+        v.splice(60, &BitsValue::from_u64(0xFF, 8));
+        assert_eq!(v.extract(60, 8).to_u64(), Some(0xFF));
+        assert_eq!(v.extract(0, 60).to_u64(), Some(0));
+        assert_eq!(v.extract(68, 60).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn concat_orders_operands() {
+        let lo = BitsValue::from_u64(0x1, 4);
+        let hi = BitsValue::from_u64(0xF, 4);
+        let v = lo.concat(&hi);
+        assert_eq!(v.width(), 8);
+        assert_eq!(v.to_u64(), Some(0xF1));
+    }
+
+    #[test]
+    fn bin_string_round_trip() {
+        let v = BitsValue::from_u64(0b1011, 6);
+        assert_eq!(v.to_bin_string(), "001011");
+        assert_eq!(BitsValue::from_bin_string("001011").unwrap(), v);
+        assert!(BitsValue::from_bin_string("10x1").is_none());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(BitsValue::from_u64(42, 8).to_string(), "42:8");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of width")]
+    fn bit_out_of_range_panics() {
+        BitsValue::zero(4).bit(4);
+    }
+}

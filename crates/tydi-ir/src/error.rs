@@ -1,0 +1,213 @@
+//! IR-level errors: structural problems and design-rule violations.
+
+use std::fmt;
+use tydi_spec::SpecError;
+
+/// Errors produced while building, validating or parsing Tydi-IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// An entity name was defined twice in the same project.
+    DuplicateDefinition {
+        /// What was duplicated ("streamlet", "implementation", ...).
+        kind: &'static str,
+        /// The clashing name.
+        name: String,
+    },
+    /// A reference to an undefined streamlet/implementation/port.
+    Unresolved {
+        /// What kind of entity was referenced.
+        kind: &'static str,
+        /// The missing name.
+        name: String,
+        /// Where the reference occurred.
+        context: String,
+    },
+    /// A port type that is not a stream (every Tydi-IR port must bind a
+    /// stream type, paper Table I).
+    PortNotStream {
+        /// The declaring streamlet.
+        streamlet: String,
+        /// The offending port.
+        port: String,
+    },
+    /// An underlying logical-type error.
+    Spec(SpecError),
+    /// Connection design-rule violation: logical types differ.
+    TypeMismatch {
+        /// The implementation containing the connection.
+        implementation: String,
+        /// The connection, as `src => sink`.
+        connection: String,
+        /// Canonical text of the source port type.
+        source_type: String,
+        /// Canonical text of the sink port type.
+        sink_type: String,
+    },
+    /// Connection design-rule violation: strict (by-declaration) type
+    /// equality failed even though the structures match.
+    StrictTypeMismatch {
+        /// The implementation containing the connection.
+        implementation: String,
+        /// The connection, as `src => sink`.
+        connection: String,
+        /// Declaration the source type came from.
+        source_origin: String,
+        /// Declaration the sink type came from.
+        sink_origin: String,
+    },
+    /// Connection design-rule violation: protocol complexities are
+    /// incompatible (source must not exceed sink).
+    ComplexityMismatch {
+        /// The implementation containing the connection.
+        implementation: String,
+        /// The connection, as `src => sink`.
+        connection: String,
+        /// Source protocol complexity level.
+        source_complexity: u8,
+        /// Sink protocol complexity level.
+        sink_complexity: u8,
+    },
+    /// Connection design-rule violation: clock domains differ.
+    ClockDomainMismatch {
+        /// The implementation containing the connection.
+        implementation: String,
+        /// The connection, as `src => sink`.
+        connection: String,
+        /// Source clock domain name.
+        source_domain: String,
+        /// Sink clock domain name.
+        sink_domain: String,
+    },
+    /// Connection endpoints have illegal directions (e.g. two sources).
+    DirectionError {
+        /// The implementation containing the connection.
+        implementation: String,
+        /// The connection, as `src => sink`.
+        connection: String,
+        /// What is wrong with the directions.
+        message: String,
+    },
+    /// A port was used more or fewer times than exactly once
+    /// (paper DRC rule 2).
+    PortUsage {
+        /// The implementation violating the rule.
+        implementation: String,
+        /// The under- or over-used endpoint.
+        endpoint: String,
+        /// How many times the endpoint was used.
+        uses: usize,
+    },
+    /// Text-format parse error.
+    Parse {
+        /// 1-based line in the IR text.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::DuplicateDefinition { kind, name } => {
+                write!(f, "duplicate {kind} definition `{name}`")
+            }
+            IrError::Unresolved { kind, name, context } => {
+                write!(f, "unresolved {kind} `{name}` referenced from {context}")
+            }
+            IrError::PortNotStream { streamlet, port } => write!(
+                f,
+                "port `{port}` of streamlet `{streamlet}` must bind a Stream type"
+            ),
+            IrError::Spec(e) => write!(f, "{e}"),
+            IrError::TypeMismatch {
+                implementation,
+                connection,
+                source_type,
+                sink_type,
+            } => write!(
+                f,
+                "type mismatch in `{implementation}` on `{connection}`: source is `{source_type}` but sink is `{sink_type}`"
+            ),
+            IrError::StrictTypeMismatch {
+                implementation,
+                connection,
+                source_origin,
+                sink_origin,
+            } => write!(
+                f,
+                "strict type equality failed in `{implementation}` on `{connection}`: source declared as `{source_origin}` but sink declared as `{sink_origin}` (add @NoStrictType to compare structure instead)"
+            ),
+            IrError::ComplexityMismatch {
+                implementation,
+                connection,
+                source_complexity,
+                sink_complexity,
+            } => write!(
+                f,
+                "complexity mismatch in `{implementation}` on `{connection}`: source C={source_complexity} may not drive sink C={sink_complexity}"
+            ),
+            IrError::ClockDomainMismatch {
+                implementation,
+                connection,
+                source_domain,
+                sink_domain,
+            } => write!(
+                f,
+                "clock domain mismatch in `{implementation}` on `{connection}`: `!{source_domain}` vs `!{sink_domain}`"
+            ),
+            IrError::DirectionError {
+                implementation,
+                connection,
+                message,
+            } => write!(f, "direction error in `{implementation}` on `{connection}`: {message}"),
+            IrError::PortUsage {
+                implementation,
+                endpoint,
+                uses,
+            } => write!(
+                f,
+                "port usage violation in `{implementation}`: `{endpoint}` is used {uses} times but every port must be used exactly once"
+            ),
+            IrError::Parse { line, message } => write!(f, "IR parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+impl From<SpecError> for IrError {
+    fn from(e: SpecError) -> Self {
+        IrError::Spec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_facts() {
+        let e = IrError::PortUsage {
+            implementation: "top_i".into(),
+            endpoint: "a.out".into(),
+            uses: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("top_i") && msg.contains("a.out") && msg.contains('2'));
+
+        let e = IrError::ComplexityMismatch {
+            implementation: "x".into(),
+            connection: "c".into(),
+            source_complexity: 7,
+            sink_complexity: 2,
+        };
+        assert!(e.to_string().contains("C=7"));
+    }
+
+    #[test]
+    fn spec_errors_convert() {
+        let e: IrError = SpecError::ZeroWidthBit.into();
+        assert!(matches!(e, IrError::Spec(_)));
+    }
+}

@@ -1,0 +1,214 @@
+//! The project container: a named set of streamlets and
+//! implementations with lookup and validation entry points.
+
+use crate::component::{Implementation, Streamlet};
+use crate::error::IrError;
+use crate::validate;
+use std::collections::HashMap;
+
+/// A complete Tydi-IR design.
+///
+/// Definition order is preserved (it determines VHDL emission order);
+/// name lookup is constant-time.
+#[derive(Debug, Clone, Default)]
+pub struct Project {
+    /// Project name; becomes the VHDL library/file prefix.
+    pub name: String,
+    streamlets: Vec<Streamlet>,
+    streamlet_index: HashMap<String, usize>,
+    impls: Vec<Implementation>,
+    impl_index: HashMap<String, usize>,
+}
+
+impl Project {
+    /// Creates an empty project.
+    pub fn new(name: impl Into<String>) -> Self {
+        Project {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a streamlet definition.
+    pub fn add_streamlet(&mut self, streamlet: Streamlet) -> Result<(), IrError> {
+        if self.streamlet_index.contains_key(&streamlet.name) {
+            return Err(IrError::DuplicateDefinition {
+                kind: "streamlet",
+                name: streamlet.name.clone(),
+            });
+        }
+        self.streamlet_index
+            .insert(streamlet.name.clone(), self.streamlets.len());
+        self.streamlets.push(streamlet);
+        Ok(())
+    }
+
+    /// Adds an implementation definition.
+    pub fn add_implementation(&mut self, implementation: Implementation) -> Result<(), IrError> {
+        if self.impl_index.contains_key(&implementation.name) {
+            return Err(IrError::DuplicateDefinition {
+                kind: "implementation",
+                name: implementation.name.clone(),
+            });
+        }
+        self.impl_index
+            .insert(implementation.name.clone(), self.impls.len());
+        self.impls.push(implementation);
+        Ok(())
+    }
+
+    /// Looks up a streamlet by name.
+    pub fn streamlet(&self, name: &str) -> Option<&Streamlet> {
+        self.streamlet_index.get(name).map(|&i| &self.streamlets[i])
+    }
+
+    /// Looks up an implementation by name.
+    pub fn implementation(&self, name: &str) -> Option<&Implementation> {
+        self.impl_index.get(name).map(|&i| &self.impls[i])
+    }
+
+    /// Mutable lookup of an implementation by name.
+    pub fn implementation_mut(&mut self, name: &str) -> Option<&mut Implementation> {
+        let i = *self.impl_index.get(name)?;
+        Some(&mut self.impls[i])
+    }
+
+    /// All streamlets in definition order.
+    pub fn streamlets(&self) -> &[Streamlet] {
+        &self.streamlets
+    }
+
+    /// All implementations in definition order.
+    pub fn implementations(&self) -> &[Implementation] {
+        &self.impls
+    }
+
+    /// The streamlet realized by the named implementation.
+    pub fn streamlet_of(&self, impl_name: &str) -> Option<&Streamlet> {
+        self.implementation(impl_name)
+            .and_then(|i| self.streamlet(&i.streamlet))
+    }
+
+    /// Runs all design-rule checks (paper §III); returns every
+    /// violation found rather than stopping at the first.
+    pub fn validate(&self) -> Result<(), Vec<IrError>> {
+        let errors = validate::validate_project(self);
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Project statistics for reports and compiler output.
+    pub fn stats(&self) -> ProjectStats {
+        let mut stats = ProjectStats {
+            streamlets: self.streamlets.len(),
+            implementations: self.impls.len(),
+            ..Default::default()
+        };
+        for s in &self.streamlets {
+            stats.ports += s.ports.len();
+        }
+        for i in &self.impls {
+            stats.instances += i.instances().len();
+            stats.connections += i.connections().len();
+            stats.sugar_connections += i
+                .connections()
+                .iter()
+                .filter(|c| c.inserted_by_sugar)
+                .count();
+            if i.is_external() {
+                stats.externals += 1;
+            }
+        }
+        stats
+    }
+}
+
+/// Aggregate counts over a project.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProjectStats {
+    /// Number of streamlet definitions.
+    pub streamlets: usize,
+    /// Number of implementation definitions.
+    pub implementations: usize,
+    /// Number of external implementations.
+    pub externals: usize,
+    /// Total ports across all streamlets.
+    pub ports: usize,
+    /// Total instances across all normal implementations.
+    pub instances: usize,
+    /// Total connections across all normal implementations.
+    pub connections: usize,
+    /// Connections synthesized by the sugaring passes.
+    pub sugar_connections: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Connection, EndpointRef, Instance, Port, PortDirection};
+    use tydi_spec::{LogicalType, StreamParams};
+
+    fn stream8() -> LogicalType {
+        LogicalType::stream(LogicalType::Bit(8), StreamParams::new())
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut p = Project::new("demo");
+        p.add_streamlet(Streamlet::new("a_s")).unwrap();
+        p.add_implementation(Implementation::normal("a_i", "a_s"))
+            .unwrap();
+        assert!(p.streamlet("a_s").is_some());
+        assert!(p.implementation("a_i").is_some());
+        assert_eq!(p.streamlet_of("a_i").unwrap().name, "a_s");
+        assert!(p.streamlet("missing").is_none());
+    }
+
+    #[test]
+    fn duplicate_definitions_rejected() {
+        let mut p = Project::new("demo");
+        p.add_streamlet(Streamlet::new("a")).unwrap();
+        assert!(matches!(
+            p.add_streamlet(Streamlet::new("a")),
+            Err(IrError::DuplicateDefinition { kind: "streamlet", .. })
+        ));
+        p.add_implementation(Implementation::normal("i", "a")).unwrap();
+        assert!(p
+            .add_implementation(Implementation::normal("i", "a"))
+            .is_err());
+    }
+
+    #[test]
+    fn stats_count_everything() {
+        let mut p = Project::new("demo");
+        p.add_streamlet(
+            Streamlet::new("pass_s")
+                .with_port(Port::new("i", PortDirection::In, stream8()))
+                .with_port(Port::new("o", PortDirection::Out, stream8())),
+        )
+        .unwrap();
+        p.add_implementation(Implementation::external("leaf_i", "pass_s"))
+            .unwrap();
+        let mut top = Implementation::normal("top_i", "pass_s");
+        top.add_instance(Instance::new("l", "leaf_i"));
+        top.add_connection(Connection::new(
+            EndpointRef::own("i"),
+            EndpointRef::instance("l", "i"),
+        ));
+        top.add_connection(Connection::new(
+            EndpointRef::instance("l", "o"),
+            EndpointRef::own("o"),
+        ));
+        p.add_implementation(top).unwrap();
+        let s = p.stats();
+        assert_eq!(s.streamlets, 1);
+        assert_eq!(s.implementations, 2);
+        assert_eq!(s.externals, 1);
+        assert_eq!(s.ports, 2);
+        assert_eq!(s.instances, 1);
+        assert_eq!(s.connections, 2);
+    }
+}

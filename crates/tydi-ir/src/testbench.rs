@@ -1,0 +1,212 @@
+//! Testbench representation.
+//!
+//! The Tydi simulator records the data entering and leaving a top-level
+//! implementation and emits the trace as a *Tydi-IR testbench*; the
+//! VHDL backend then lowers that testbench into a VHDL process that
+//! drives the stimuli and checks the expectations (paper §V-C, the
+//! "input – current state – output" testing system).
+
+use crate::bits::BitsValue;
+use std::fmt;
+use tydi_spec::ClockDomain;
+
+/// Whether a transfer is driven into the design or expected out of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferDirection {
+    /// Driven into an input port of the top-level design.
+    Stimulus,
+    /// Expected on an output port of the top-level design.
+    Expectation,
+}
+
+impl fmt::Display for TransferDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferDirection::Stimulus => write!(f, "stimulus"),
+            TransferDirection::Expectation => write!(f, "expect"),
+        }
+    }
+}
+
+/// One handshaked transfer on a port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transfer {
+    /// Cycle (in the testbench clock domain) at which the transfer is
+    /// driven / by which it is expected.
+    pub cycle: u64,
+    /// Port of the top-level streamlet.
+    pub port: String,
+    /// Element payload bits.
+    pub data: BitsValue,
+    /// `last` flags, innermost dimension first (index 0 maps to bit 0
+    /// of the `last` signal; empty for dimension 0).
+    pub last: Vec<bool>,
+    /// Stimulus or expectation.
+    pub direction: TransferDirection,
+}
+
+impl Transfer {
+    /// Creates a stimulus transfer.
+    pub fn stimulus(cycle: u64, port: impl Into<String>, data: BitsValue) -> Self {
+        Transfer {
+            cycle,
+            port: port.into(),
+            data,
+            last: Vec::new(),
+            direction: TransferDirection::Stimulus,
+        }
+    }
+
+    /// Creates an expectation transfer.
+    pub fn expectation(cycle: u64, port: impl Into<String>, data: BitsValue) -> Self {
+        Transfer {
+            cycle,
+            port: port.into(),
+            data,
+            last: Vec::new(),
+            direction: TransferDirection::Expectation,
+        }
+    }
+
+    /// Attaches `last` flags (innermost dimension first).
+    pub fn with_last(mut self, last: Vec<bool>) -> Self {
+        self.last = last;
+        self
+    }
+}
+
+impl fmt::Display for Transfer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "@{} {} {} = {}",
+            self.cycle, self.direction, self.port, self.data
+        )?;
+        if !self.last.is_empty() {
+            let flags: String = self
+                .last
+                .iter()
+                .map(|&b| if b { '1' } else { '0' })
+                .collect();
+            write!(f, " last={flags}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete testbench for one top-level implementation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Testbench {
+    /// Testbench name; becomes the VHDL entity name suffixed `_tb`.
+    pub name: String,
+    /// The implementation under test.
+    pub top_impl: String,
+    /// Clock domain the cycle counts refer to.
+    pub clock: ClockDomain,
+    /// All transfers, in insertion order.
+    pub transfers: Vec<Transfer>,
+    /// Free-form description embedded as a comment in generated VHDL.
+    pub comment: String,
+}
+
+impl Testbench {
+    /// Creates an empty testbench.
+    pub fn new(name: impl Into<String>, top_impl: impl Into<String>) -> Self {
+        Testbench {
+            name: name.into(),
+            top_impl: top_impl.into(),
+            clock: ClockDomain::default(),
+            transfers: Vec::new(),
+            comment: String::new(),
+        }
+    }
+
+    /// Adds a transfer.
+    pub fn push(&mut self, transfer: Transfer) {
+        self.transfers.push(transfer);
+    }
+
+    /// All stimuli, ordered by cycle (stable for equal cycles).
+    pub fn stimuli(&self) -> Vec<&Transfer> {
+        self.sorted(TransferDirection::Stimulus)
+    }
+
+    /// All expectations, ordered by cycle.
+    pub fn expectations(&self) -> Vec<&Transfer> {
+        self.sorted(TransferDirection::Expectation)
+    }
+
+    fn sorted(&self, direction: TransferDirection) -> Vec<&Transfer> {
+        let mut v: Vec<&Transfer> = self
+            .transfers
+            .iter()
+            .filter(|t| t.direction == direction)
+            .collect();
+        v.sort_by_key(|t| t.cycle);
+        v
+    }
+
+    /// The last cycle that appears in the testbench (simulation length).
+    pub fn horizon(&self) -> u64 {
+        self.transfers.iter().map(|t| t.cycle).max().unwrap_or(0)
+    }
+
+    /// Ports touched by any transfer, deduplicated in first-seen order.
+    pub fn ports(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for t in &self.transfers {
+            if !out.contains(&t.port.as_str()) {
+                out.push(&t.port);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tb() -> Testbench {
+        let mut tb = Testbench::new("adder_tb", "adder_i");
+        tb.push(Transfer::stimulus(0, "in0", BitsValue::from_u64(1, 32)));
+        tb.push(Transfer::stimulus(0, "in1", BitsValue::from_u64(2, 32)));
+        tb.push(
+            Transfer::expectation(8, "out", BitsValue::from_u64(3, 32)).with_last(vec![true]),
+        );
+        tb.push(Transfer::stimulus(1, "in0", BitsValue::from_u64(5, 32)));
+        tb
+    }
+
+    #[test]
+    fn stimuli_and_expectations_partition() {
+        let tb = tb();
+        assert_eq!(tb.stimuli().len(), 3);
+        assert_eq!(tb.expectations().len(), 1);
+        assert_eq!(tb.horizon(), 8);
+    }
+
+    #[test]
+    fn stimuli_sorted_by_cycle() {
+        let tb = tb();
+        let cycles: Vec<u64> = tb.stimuli().iter().map(|t| t.cycle).collect();
+        assert_eq!(cycles, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn ports_deduplicated_in_order() {
+        let tb = tb();
+        assert_eq!(tb.ports(), vec!["in0", "in1", "out"]);
+    }
+
+    #[test]
+    fn transfer_display() {
+        let t = Transfer::expectation(8, "out", BitsValue::from_u64(3, 32)).with_last(vec![true, false]);
+        assert_eq!(t.to_string(), "@8 expect out = 3:32 last=10");
+    }
+
+    #[test]
+    fn empty_testbench_horizon() {
+        assert_eq!(Testbench::new("x", "y").horizon(), 0);
+    }
+}

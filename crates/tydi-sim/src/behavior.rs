@@ -1,0 +1,240 @@
+//! Component behaviour models and the behaviour registry.
+
+use crate::channel::{Channel, Packet};
+use std::collections::HashMap;
+use tydi_ir::{Implementation, Streamlet};
+
+/// The per-tick I/O view a behaviour gets: peek/receive on input
+/// ports, send on output ports, and blockage bookkeeping for the
+/// bottleneck analysis (paper §V-B).
+pub struct IoCtx<'a> {
+    pub(crate) cycle: u64,
+    pub(crate) channels: &'a mut [Channel],
+    pub(crate) inputs: &'a HashMap<String, usize>,
+    pub(crate) outputs: &'a HashMap<String, usize>,
+    /// Blocked-output counters, shared with the engine. Index is the
+    /// component's output port slot.
+    pub(crate) blocked: &'a mut HashMap<String, u64>,
+    /// Set when any packet moved (for quiescence detection).
+    pub(crate) activity: &'a mut bool,
+}
+
+impl IoCtx<'_> {
+    /// The current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// True when an input port has a packet at its head.
+    pub fn can_recv(&self, port: &str) -> bool {
+        self.inputs
+            .get(port)
+            .is_some_and(|&c| self.channels[c].peek().is_some())
+    }
+
+    /// The packet at the head of an input port.
+    pub fn peek(&self, port: &str) -> Option<Packet> {
+        self.inputs
+            .get(port)
+            .and_then(|&c| self.channels[c].peek().copied())
+    }
+
+    /// Consumes (acknowledges) the packet at the head of an input.
+    pub fn recv(&mut self, port: &str) -> Option<Packet> {
+        let c = *self.inputs.get(port)?;
+        let p = self.channels[c].pop();
+        if p.is_some() {
+            *self.activity = true;
+        }
+        p
+    }
+
+    /// True when an output port can accept a packet this cycle.
+    pub fn can_send(&self, port: &str) -> bool {
+        self.outputs
+            .get(port)
+            .is_some_and(|&c| self.channels[c].can_push())
+    }
+
+    /// Sends a packet on an output port; returns false (and records a
+    /// blocked cycle) when the channel is full.
+    pub fn send(&mut self, port: &str, packet: Packet) -> bool {
+        let Some(&c) = self.outputs.get(port) else {
+            return false;
+        };
+        if self.channels[c].push(packet) {
+            *self.activity = true;
+            true
+        } else {
+            *self.blocked.entry(port.to_string()).or_insert(0) += 1;
+            false
+        }
+    }
+
+    /// Records that the component wanted to send on `port` but was
+    /// held up, without attempting the send.
+    pub fn note_blocked(&mut self, port: &str) {
+        *self.blocked.entry(port.to_string()).or_insert(0) += 1;
+    }
+
+    /// True when the channel behind an output port is completely
+    /// drained (used to approximate the `port.ack` event).
+    pub fn output_drained(&self, port: &str) -> bool {
+        self.outputs
+            .get(port)
+            .is_some_and(|&c| self.channels[c].is_empty())
+    }
+
+    /// Input port names, sorted.
+    pub fn input_ports(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inputs.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Output port names, sorted.
+    pub fn output_ports(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.outputs.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+/// A component behaviour model. `tick` is called once per cycle.
+pub trait Behavior: Send {
+    /// Advances the component by one cycle.
+    fn tick(&mut self, io: &mut IoCtx<'_>);
+
+    /// A state label for the state-transition table (paper §V-B);
+    /// `None` for stateless components.
+    fn state_label(&self) -> Option<String> {
+        None
+    }
+}
+
+/// Factory signature: builds a behaviour for a concrete elaborated
+/// component.
+pub type BehaviorFactory =
+    dyn Fn(&Implementation, &Streamlet) -> Result<Box<dyn Behavior>, String> + Send + Sync;
+
+/// Maps builtin keys (`std.add`, ...) to behaviour factories.
+pub struct BehaviorRegistry {
+    factories: HashMap<String, Box<BehaviorFactory>>,
+}
+
+impl Default for BehaviorRegistry {
+    fn default() -> Self {
+        Self::with_std()
+    }
+}
+
+impl BehaviorRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        BehaviorRegistry {
+            factories: HashMap::new(),
+        }
+    }
+
+    /// A registry preloaded with every standard-library behaviour.
+    pub fn with_std() -> Self {
+        let mut reg = BehaviorRegistry::new();
+        crate::builtin_behaviors::register_std_behaviors(&mut reg);
+        reg
+    }
+
+    /// Registers (or replaces) a factory.
+    pub fn register(
+        &mut self,
+        key: impl Into<String>,
+        factory: impl Fn(&Implementation, &Streamlet) -> Result<Box<dyn Behavior>, String>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.factories.insert(key.into(), Box::new(factory));
+    }
+
+    /// True when `key` is registered.
+    pub fn contains(&self, key: &str) -> bool {
+        self.factories.contains_key(key)
+    }
+
+    /// Builds a behaviour for `key`.
+    pub fn build(
+        &self,
+        key: &str,
+        implementation: &Implementation,
+        streamlet: &Streamlet,
+    ) -> Result<Box<dyn Behavior>, String> {
+        match self.factories.get(key) {
+            Some(f) => f(implementation, streamlet),
+            None => Err(format!("no behaviour registered for builtin `{key}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::Channel;
+
+    fn io_fixture() -> (Vec<Channel>, HashMap<String, usize>, HashMap<String, usize>) {
+        let channels = vec![Channel::new("in", 2), Channel::new("out", 1)];
+        let mut inputs = HashMap::new();
+        inputs.insert("i".to_string(), 0);
+        let mut outputs = HashMap::new();
+        outputs.insert("o".to_string(), 1);
+        (channels, inputs, outputs)
+    }
+
+    #[test]
+    fn io_recv_send_roundtrip() {
+        let (mut channels, inputs, outputs) = io_fixture();
+        channels[0].push(Packet::data(7));
+        channels[0].commit();
+        let mut blocked = HashMap::new();
+        let mut activity = false;
+        let mut io = IoCtx {
+            cycle: 0,
+            channels: &mut channels,
+            inputs: &inputs,
+            outputs: &outputs,
+            blocked: &mut blocked,
+            activity: &mut activity,
+        };
+        assert!(io.can_recv("i"));
+        assert_eq!(io.peek("i"), Some(Packet::data(7)));
+        let p = io.recv("i").unwrap();
+        assert!(io.send("o", p));
+        assert!(activity);
+    }
+
+    #[test]
+    fn send_to_full_channel_counts_blockage() {
+        let (mut channels, inputs, outputs) = io_fixture();
+        let mut blocked = HashMap::new();
+        let mut activity = false;
+        let mut io = IoCtx {
+            cycle: 0,
+            channels: &mut channels,
+            inputs: &inputs,
+            outputs: &outputs,
+            blocked: &mut blocked,
+            activity: &mut activity,
+        };
+        assert!(io.send("o", Packet::data(1)));
+        assert!(!io.send("o", Packet::data(2))); // capacity 1
+        io.note_blocked("o");
+        let _ = io;
+        assert_eq!(blocked.get("o"), Some(&2));
+    }
+
+    #[test]
+    fn registry_lookup() {
+        let reg = BehaviorRegistry::with_std();
+        assert!(reg.contains("std.add"));
+        assert!(reg.contains("std.duplicator"));
+        assert!(!reg.contains("std.nothing"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Packets and handshake channels.
+
+use std::collections::VecDeque;
+
+/// One handshaked transfer travelling through the design.
+///
+/// Data is a dictionary-encoded signed integer (strings and decimals
+/// are encoded upstream, as in Arrow-style columnar systems). `last`
+/// counts how many nested sequence dimensions close *after* this
+/// element; an `empty` packet carries only dimension-closing
+/// information, which is how Tydi represents e.g. a filtered-out final
+/// element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Element payload.
+    pub data: i64,
+    /// Number of dimension levels closed after this element.
+    pub last: u32,
+    /// True when the packet carries no element, only `last` flags.
+    pub empty: bool,
+}
+
+impl Packet {
+    /// A plain data packet.
+    pub fn data(value: i64) -> Packet {
+        Packet {
+            data: value,
+            last: 0,
+            empty: false,
+        }
+    }
+
+    /// A data packet that closes `levels` sequence dimensions.
+    pub fn last(value: i64, levels: u32) -> Packet {
+        Packet {
+            data: value,
+            last: levels,
+            empty: false,
+        }
+    }
+
+    /// An empty packet closing `levels` dimensions.
+    pub fn close(levels: u32) -> Packet {
+        Packet {
+            data: 0,
+            last: levels,
+            empty: true,
+        }
+    }
+}
+
+/// A bounded FIFO connecting one source endpoint to one sink endpoint.
+///
+/// Pushes performed during a cycle become visible to consumers at the
+/// start of the next cycle (a registered hop), which makes simulation
+/// results independent of component iteration order.
+#[derive(Debug)]
+pub struct Channel {
+    /// Human-readable name: `source -> sink`.
+    pub name: String,
+    queue: VecDeque<Packet>,
+    staged: Vec<Packet>,
+    capacity: usize,
+    /// Total packets that ever passed through.
+    pub transferred: u64,
+}
+
+impl Channel {
+    /// Creates a channel with the given FIFO capacity (minimum 1).
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        Channel {
+            name: name.into(),
+            queue: VecDeque::new(),
+            staged: Vec::new(),
+            capacity: capacity.max(1),
+            transferred: 0,
+        }
+    }
+
+    /// True when a push would be accepted this cycle.
+    pub fn can_push(&self) -> bool {
+        self.queue.len() + self.staged.len() < self.capacity
+    }
+
+    /// Pushes a packet; returns false when full.
+    pub fn push(&mut self, packet: Packet) -> bool {
+        if self.can_push() {
+            self.staged.push(packet);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The packet at the head, if visible.
+    pub fn peek(&self) -> Option<&Packet> {
+        self.queue.front()
+    }
+
+    /// Pops the head packet.
+    pub fn pop(&mut self) -> Option<Packet> {
+        let p = self.queue.pop_front();
+        if p.is_some() {
+            self.transferred += 1;
+        }
+        p
+    }
+
+    /// Number of packets currently visible.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no packets are visible or staged.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty() && self.staged.is_empty()
+    }
+
+    /// End-of-cycle commit: staged pushes become visible.
+    pub fn commit(&mut self) -> bool {
+        let moved = !self.staged.is_empty();
+        self.queue.extend(self.staged.drain(..));
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_constructors() {
+        assert_eq!(Packet::data(5), Packet { data: 5, last: 0, empty: false });
+        assert_eq!(Packet::last(5, 2).last, 2);
+        assert!(Packet::close(1).empty);
+    }
+
+    #[test]
+    fn staged_pushes_invisible_until_commit() {
+        let mut c = Channel::new("a -> b", 4);
+        assert!(c.push(Packet::data(1)));
+        assert_eq!(c.peek(), None);
+        assert!(!c.is_empty());
+        c.commit();
+        assert_eq!(c.peek(), Some(&Packet::data(1)));
+        assert_eq!(c.pop(), Some(Packet::data(1)));
+        assert_eq!(c.transferred, 1);
+    }
+
+    #[test]
+    fn capacity_counts_staged() {
+        let mut c = Channel::new("x", 2);
+        assert!(c.push(Packet::data(1)));
+        assert!(c.push(Packet::data(2)));
+        assert!(!c.can_push());
+        assert!(!c.push(Packet::data(3)));
+        c.commit();
+        assert!(!c.can_push());
+        c.pop();
+        assert!(c.can_push());
+    }
+
+    #[test]
+    fn commit_reports_movement() {
+        let mut c = Channel::new("x", 2);
+        assert!(!c.commit());
+        c.push(Packet::data(1));
+        assert!(c.commit());
+    }
+
+    #[test]
+    fn minimum_capacity_is_one() {
+        let c = Channel::new("x", 0);
+        assert!(c.can_push());
+    }
+}

@@ -1,0 +1,612 @@
+//! The simulation engine: cycle loop, stimulus feeders, output
+//! probes, quiescence/deadlock detection and metric collection.
+
+use crate::behavior::{Behavior, BehaviorRegistry, IoCtx};
+use crate::channel::{Channel, Packet};
+use crate::graph::{flatten, ComponentNode, GraphError};
+use crate::interp::SimInterpreter;
+use crate::report::{BottleneckReport, PortBlockage};
+use std::collections::HashMap;
+use tydi_ir::Project;
+
+/// Simulator construction/run errors.
+#[derive(Debug)]
+pub enum SimError {
+    /// Graph construction failed.
+    Graph(GraphError),
+    /// A behaviour could not be built.
+    Behaviour {
+        /// Hierarchical path of the component.
+        component: String,
+        /// Why the behaviour factory failed.
+        message: String,
+    },
+    /// A port name passed to `feed`/`outputs` is not a boundary port.
+    UnknownBoundaryPort(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Graph(e) => write!(f, "{e}"),
+            SimError::Behaviour { component, message } => {
+                write!(f, "cannot build behaviour for `{component}`: {message}")
+            }
+            SimError::UnknownBoundaryPort(p) => write!(f, "unknown boundary port `{p}`"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<GraphError> for SimError {
+    fn from(e: GraphError) -> Self {
+        SimError::Graph(e)
+    }
+}
+
+struct RunningComponent {
+    node: ComponentNode,
+    behavior: Box<dyn Behavior>,
+    blocked: HashMap<String, u64>,
+    last_state: Option<String>,
+}
+
+struct Feeder {
+    channel: usize,
+    pending: std::collections::VecDeque<Packet>,
+    sent: Vec<(u64, Packet)>,
+}
+
+struct Probe {
+    channel: usize,
+    received: Vec<(u64, Packet)>,
+    /// Accept a packet only every `accept_every` cycles (1 = always).
+    accept_every: u64,
+}
+
+/// Outcome of a [`Simulator::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// Cycles actually simulated.
+    pub cycles: u64,
+    /// True when the design went quiescent (no activity for the idle
+    /// threshold) with nothing in flight.
+    pub finished: bool,
+    /// A deadlock/stall report when the design went quiescent with
+    /// packets still in flight (paper §V-B deadlock identification).
+    pub deadlock: Option<DeadlockReport>,
+}
+
+/// Where a stalled design is stuck.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// Cycle at which quiescence was declared.
+    pub cycle: u64,
+    /// Channels still holding packets: `(name, occupancy)`.
+    pub stuck_channels: Vec<(String, usize)>,
+    /// Boundary ports with undelivered stimuli.
+    pub pending_inputs: Vec<String>,
+}
+
+/// A handshake-accurate simulator for one top-level implementation.
+pub struct Simulator {
+    channels: Vec<Channel>,
+    components: Vec<RunningComponent>,
+    feeders: HashMap<String, Feeder>,
+    probes: HashMap<String, Probe>,
+    cycle: u64,
+    last_activity: u64,
+    /// Recorded `(cycle, component path, from, to)` state transitions.
+    transitions: Vec<(u64, String, String, String)>,
+    /// Quiescence threshold in idle cycles.
+    idle_threshold: u64,
+    /// Mapping from the simulated clock domain to a physical clock
+    /// (paper §V-B: "the mapping from the clock-domain to physical
+    /// frequency and phase").
+    physical_clock: Option<tydi_spec::clock::PhysicalClock>,
+}
+
+impl Simulator {
+    /// Builds a simulator for `top_impl`, resolving behaviours from
+    /// `registry` (builtin keys) and from simulation code.
+    pub fn new(
+        project: &Project,
+        top_impl: &str,
+        registry: &BehaviorRegistry,
+    ) -> Result<Simulator, SimError> {
+        let graph = flatten(project, top_impl, 2)?;
+        let mut components = Vec::with_capacity(graph.components.len());
+        for node in graph.components {
+            let behavior: Box<dyn Behavior> = if let Some(key) = &node.builtin {
+                let implementation = project
+                    .implementation(&node.impl_name)
+                    .cloned()
+                    .unwrap_or_else(|| tydi_ir::Implementation::external("__wire", "__wire"));
+                let streamlet = project
+                    .streamlet(&implementation.streamlet)
+                    .cloned()
+                    .unwrap_or_else(|| reconstruct_streamlet(&node));
+                registry
+                    .build(key, &implementation, &streamlet)
+                    .map_err(|message| SimError::Behaviour {
+                        component: node.path.clone(),
+                        message,
+                    })?
+            } else if let Some(source) = &node.sim_source {
+                Box::new(SimInterpreter::from_source(source).map_err(|message| {
+                    SimError::Behaviour {
+                        component: node.path.clone(),
+                        message,
+                    }
+                })?)
+            } else {
+                return Err(SimError::Behaviour {
+                    component: node.path.clone(),
+                    message: "no behaviour available".to_string(),
+                });
+            };
+            components.push(RunningComponent {
+                node,
+                behavior,
+                blocked: HashMap::new(),
+                last_state: None,
+            });
+        }
+        let feeders = graph
+            .boundary_inputs
+            .into_iter()
+            .map(|(port, channel)| {
+                (
+                    port,
+                    Feeder {
+                        channel,
+                        pending: Default::default(),
+                        sent: Vec::new(),
+                    },
+                )
+            })
+            .collect();
+        let probes = graph
+            .boundary_outputs
+            .into_iter()
+            .map(|(port, channel)| {
+                (
+                    port,
+                    Probe {
+                        channel,
+                        received: Vec::new(),
+                        accept_every: 1,
+                    },
+                )
+            })
+            .collect();
+        Ok(Simulator {
+            channels: graph.channels,
+            components,
+            feeders,
+            probes,
+            cycle: 0,
+            last_activity: 0,
+            transitions: Vec::new(),
+            idle_threshold: 64,
+            physical_clock: None,
+        })
+    }
+
+    /// Binds the simulation's clock domain to a physical frequency so
+    /// cycle counts convert to wall-clock time (paper §V-B).
+    pub fn set_physical_clock(&mut self, clock: tydi_spec::clock::PhysicalClock) {
+        self.physical_clock = Some(clock);
+    }
+
+    /// The current simulated time in seconds, when a physical clock
+    /// has been bound.
+    pub fn elapsed_seconds(&self) -> Option<f64> {
+        self.physical_clock
+            .as_ref()
+            .map(|c| c.cycles_to_seconds(self.cycle))
+    }
+
+    /// Observed throughput of an output port in elements per second,
+    /// when a physical clock has been bound.
+    pub fn throughput_hz(&self, port: &str) -> Result<Option<f64>, SimError> {
+        let delivered = self.outputs(port)?.len() as f64;
+        Ok(self
+            .elapsed_seconds()
+            .filter(|&s| s > 0.0)
+            .map(|s| delivered / s))
+    }
+
+    /// Queues stimulus packets on a boundary input port.
+    pub fn feed(
+        &mut self,
+        port: &str,
+        packets: impl IntoIterator<Item = Packet>,
+    ) -> Result<(), SimError> {
+        let feeder = self
+            .feeders
+            .get_mut(port)
+            .ok_or_else(|| SimError::UnknownBoundaryPort(port.to_string()))?;
+        feeder.pending.extend(packets);
+        Ok(())
+    }
+
+    /// Applies backpressure on an output: accept only every `n`-th
+    /// cycle.
+    pub fn set_probe_backpressure(&mut self, port: &str, n: u64) -> Result<(), SimError> {
+        let probe = self
+            .probes
+            .get_mut(port)
+            .ok_or_else(|| SimError::UnknownBoundaryPort(port.to_string()))?;
+        probe.accept_every = n.max(1);
+        Ok(())
+    }
+
+    /// The current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Packets observed on a boundary output, with arrival cycles.
+    pub fn outputs(&self, port: &str) -> Result<&[(u64, Packet)], SimError> {
+        self.probes
+            .get(port)
+            .map(|p| p.received.as_slice())
+            .ok_or_else(|| SimError::UnknownBoundaryPort(port.to_string()))
+    }
+
+    /// Stimuli actually injected, with injection cycles.
+    pub fn injected(&self, port: &str) -> Result<&[(u64, Packet)], SimError> {
+        self.feeders
+            .get(port)
+            .map(|f| f.sent.as_slice())
+            .ok_or_else(|| SimError::UnknownBoundaryPort(port.to_string()))
+    }
+
+    /// Advances one cycle; returns true when anything moved.
+    pub fn step(&mut self) -> bool {
+        let mut activity = false;
+        // 1. Feeders inject stimuli.
+        for feeder in self.feeders.values_mut() {
+            if let Some(&packet) = feeder.pending.front() {
+                if self.channels[feeder.channel].push(packet) {
+                    feeder.pending.pop_front();
+                    feeder.sent.push((self.cycle, packet));
+                    activity = true;
+                }
+            }
+        }
+        // 2. Components tick.
+        for component in &mut self.components {
+            let mut io = IoCtx {
+                cycle: self.cycle,
+                channels: &mut self.channels,
+                inputs: &component.node.inputs,
+                outputs: &component.node.outputs,
+                blocked: &mut component.blocked,
+                activity: &mut activity,
+            };
+            component.behavior.tick(&mut io);
+            let state = component.behavior.state_label();
+            if state != component.last_state {
+                if let (Some(old), Some(new)) = (&component.last_state, &state) {
+                    self.transitions.push((
+                        self.cycle,
+                        component.node.path.clone(),
+                        old.clone(),
+                        new.clone(),
+                    ));
+                }
+                component.last_state = state;
+            }
+        }
+        // 3. Probes drain boundary outputs.
+        for probe in self.probes.values_mut() {
+            if self.cycle.is_multiple_of(probe.accept_every) {
+                if let Some(packet) = self.channels[probe.channel].pop() {
+                    probe.received.push((self.cycle, packet));
+                    activity = true;
+                }
+            }
+        }
+        // 4. Commit staged pushes.
+        for channel in &mut self.channels {
+            if channel.commit() {
+                activity = true;
+            }
+        }
+        self.cycle += 1;
+        if activity {
+            self.last_activity = self.cycle;
+        }
+        activity
+    }
+
+    /// Runs until quiescence or `max_cycles`.
+    pub fn run(&mut self, max_cycles: u64) -> RunResult {
+        let end = self.cycle + max_cycles;
+        while self.cycle < end {
+            self.step();
+            if self.cycle - self.last_activity > self.idle_threshold {
+                break;
+            }
+        }
+        let in_flight: Vec<(String, usize)> = self
+            .channels
+            .iter()
+            .filter(|c| !c.is_empty())
+            .map(|c| (c.name.clone(), c.len()))
+            .collect();
+        let pending_inputs: Vec<String> = self
+            .feeders
+            .iter()
+            .filter(|(_, f)| !f.pending.is_empty())
+            .map(|(p, _)| p.clone())
+            .collect();
+        let quiescent = self.cycle - self.last_activity > self.idle_threshold;
+        let stuck = quiescent && (!in_flight.is_empty() || !pending_inputs.is_empty());
+        RunResult {
+            cycles: self.cycle,
+            finished: quiescent && !stuck,
+            deadlock: if stuck {
+                Some(DeadlockReport {
+                    cycle: self.last_activity,
+                    stuck_channels: in_flight,
+                    pending_inputs,
+                })
+            } else {
+                None
+            },
+        }
+    }
+
+    /// The bottleneck report: output-port blockage counts, worst
+    /// first (paper §V-B: "investigate the output ports with the
+    /// longest blockage to find the bottleneck component").
+    pub fn bottlenecks(&self) -> BottleneckReport {
+        let mut blockages: Vec<PortBlockage> = Vec::new();
+        for component in &self.components {
+            for (port, &cycles) in &component.blocked {
+                if cycles > 0 {
+                    blockages.push(PortBlockage {
+                        component: component.node.path.clone(),
+                        port: port.clone(),
+                        blocked_cycles: cycles,
+                    });
+                }
+            }
+        }
+        blockages.sort_by_key(|b| std::cmp::Reverse(b.blocked_cycles));
+        BottleneckReport {
+            blockages,
+            total_cycles: self.cycle,
+        }
+    }
+
+    /// Recorded state transitions: `(cycle, component, from, to)`.
+    pub fn state_transitions(&self) -> &[(u64, String, String, String)] {
+        &self.transitions
+    }
+
+    /// Names of boundary input ports.
+    pub fn input_ports(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.feeders.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Names of boundary output ports.
+    pub fn output_ports(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.probes.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+/// Reconstructs a minimal streamlet for synthetic nodes (implicit
+/// wires) that have no project entry.
+fn reconstruct_streamlet(node: &ComponentNode) -> tydi_ir::Streamlet {
+    let ty = tydi_spec::LogicalType::stream(
+        tydi_spec::LogicalType::Bit(1),
+        tydi_spec::StreamParams::new(),
+    );
+    let mut s = tydi_ir::Streamlet::new("__wire");
+    for name in node.inputs.keys() {
+        s.ports.push(tydi_ir::Port::new(
+            name.clone(),
+            tydi_ir::PortDirection::In,
+            ty.clone(),
+        ));
+    }
+    for name in node.outputs.keys() {
+        s.ports.push(tydi_ir::Port::new(
+            name.clone(),
+            tydi_ir::PortDirection::Out,
+            ty.clone(),
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tydi_lang::{compile, CompileOptions};
+    use tydi_stdlib::with_stdlib;
+
+    fn compile_app(user: &str) -> Project {
+        let sources = with_stdlib(&[("app.td", user)]);
+        let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+        compile(&refs, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("compile failed:\n{e}"))
+            .project
+    }
+
+    #[test]
+    fn passthrough_chain_end_to_end() {
+        let project = compile_app(
+            r#"
+package app;
+use std;
+type Byte = Stream(Bit(8));
+streamlet top_s { i : Byte in, o : Byte out, }
+impl top_i of top_s {
+    instance a(passthrough_i<type Byte>),
+    instance b(passthrough_i<type Byte>),
+    i => a.i,
+    a.o => b.i,
+    b.o => o,
+}
+"#,
+        );
+        let registry = BehaviorRegistry::with_std();
+        let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();
+        sim.feed("i", (0..10).map(Packet::data)).unwrap();
+        let result = sim.run(1000);
+        assert!(result.finished, "{result:?}");
+        let out = sim.outputs("o").unwrap();
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[0].1, Packet::data(0));
+        assert_eq!(out[9].1, Packet::data(9));
+    }
+
+    #[test]
+    fn arithmetic_pipeline_computes() {
+        // (a + b) via stdlib adder.
+        let project = compile_app(
+            r#"
+package app;
+use std;
+type W32 = Stream(Bit(32));
+streamlet top_s { a : W32 in, b : W32 in, s : W32 out, }
+impl top_i of top_s {
+    instance add(adder_i<type W32, type W32, type W32>),
+    a => add.in0,
+    b => add.in1,
+    add.o => s,
+}
+"#,
+        );
+        let registry = BehaviorRegistry::with_std();
+        let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();
+        sim.feed("a", [Packet::data(10), Packet::data(20)]).unwrap();
+        sim.feed("b", [Packet::data(1), Packet::data(2)]).unwrap();
+        let result = sim.run(1000);
+        assert!(result.finished);
+        let out: Vec<i64> = sim.outputs("s").unwrap().iter().map(|(_, p)| p.data).collect();
+        assert_eq!(out, vec![11, 22]);
+    }
+
+    #[test]
+    fn sugared_fanout_simulates() {
+        // One input feeding two adders: the duplicator comes from
+        // sugaring, and the simulation must still be correct.
+        let project = compile_app(
+            r#"
+package app;
+use std;
+type W32 = Stream(Bit(32));
+streamlet top_s { a : W32 in, b : W32 in, s0 : W32 out, s1 : W32 out, }
+impl top_i of top_s {
+    instance add0(adder_i<type W32, type W32, type W32>),
+    instance add1(adder_i<type W32, type W32, type W32>),
+    a => add0.in0,
+    a => add1.in0,
+    b => add0.in1,
+    b => add1.in1,
+    add0.o => s0,
+    add1.o => s1,
+}
+"#,
+        );
+        let registry = BehaviorRegistry::with_std();
+        let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();
+        sim.feed("a", [Packet::data(5)]).unwrap();
+        sim.feed("b", [Packet::data(7)]).unwrap();
+        let result = sim.run(1000);
+        assert!(result.finished);
+        assert_eq!(sim.outputs("s0").unwrap()[0].1.data, 12);
+        assert_eq!(sim.outputs("s1").unwrap()[0].1.data, 12);
+    }
+
+    #[test]
+    fn deadlock_detected_when_sink_never_drains() {
+        let project = compile_app(
+            r#"
+package app;
+use std;
+type Byte = Stream(Bit(8));
+streamlet top_s { i : Byte in, o : Byte out, }
+impl top_i of top_s {
+    instance p(passthrough_i<type Byte>),
+    i => p.i,
+    p.o => o,
+}
+"#,
+        );
+        let registry = BehaviorRegistry::with_std();
+        let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();
+        // Probe that never accepts: downstream congestion.
+        sim.set_probe_backpressure("o", u64::MAX).unwrap();
+        sim.feed("i", (0..20).map(Packet::data)).unwrap();
+        let result = sim.run(5000);
+        let deadlock = result.deadlock.expect("expected a stall report");
+        assert!(!deadlock.stuck_channels.is_empty());
+        assert!(deadlock.pending_inputs.contains(&"i".to_string()));
+        // The passthrough's output is the blocked port.
+        let report = sim.bottlenecks();
+        assert!(!report.blockages.is_empty());
+        assert_eq!(report.blockages[0].port, "o");
+    }
+
+    #[test]
+    fn backpressure_throttles_throughput() {
+        let project = compile_app(
+            r#"
+package app;
+use std;
+type Byte = Stream(Bit(8));
+streamlet top_s { i : Byte in, o : Byte out, }
+impl top_i of top_s {
+    instance p(passthrough_i<type Byte>),
+    i => p.i,
+    p.o => o,
+}
+"#,
+        );
+        let registry = BehaviorRegistry::with_std();
+        let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();
+        sim.set_probe_backpressure("o", 4).unwrap();
+        sim.feed("i", (0..8).map(Packet::data)).unwrap();
+        let result = sim.run(1000);
+        assert!(result.finished);
+        let out = sim.outputs("o").unwrap();
+        assert_eq!(out.len(), 8);
+        // Arrival spacing is at least 4 cycles.
+        for pair in out.windows(2) {
+            assert!(pair[1].0 - pair[0].0 >= 4);
+        }
+    }
+
+    #[test]
+    fn unknown_port_errors() {
+        let project = compile_app(
+            r#"
+package app;
+use std;
+type Byte = Stream(Bit(8));
+streamlet top_s { i : Byte in, o : Byte out, }
+impl top_i of top_s {
+    instance p(passthrough_i<type Byte>),
+    i => p.i,
+    p.o => o,
+}
+"#,
+        );
+        let registry = BehaviorRegistry::with_std();
+        let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();
+        assert!(sim.feed("nope", [Packet::data(1)]).is_err());
+        assert!(sim.outputs("nope").is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # tydi-sim
+//!
+//! The Tydi simulator (paper §V): an event-driven, handshake-accurate
+//! simulator for elaborated Tydi designs.
+//!
+//! The simulator flattens a validated [`tydi_ir::Project`] into a
+//! graph of leaf components (external implementations) connected by
+//! bounded FIFO channels that model the `valid`/`ready` handshake.
+//! Component behaviour comes from three sources:
+//!
+//! * **builtin models** for every `std.*` standard-library component;
+//! * **interpreted simulation code** (`simulation { ... }` blocks on
+//!   external impls, paper §V-A) — state variables, composite events,
+//!   explicit acknowledgement and `delay(n)`;
+//! * **custom Rust behaviours** registered by the embedding crate
+//!   (the Fletcher substrate uses this to feed table columns).
+//!
+//! Analyses reproduce the paper's §V-B capabilities: per-port blocked
+//! time for *bottleneck* identification, quiescence-based *deadlock*
+//! detection, data-flow recording, and state-transition tables. The
+//! boundary recording lowers to a [`tydi_ir::Testbench`], which
+//! `tydi-vhdl` turns into a VHDL testbench (paper §V-C).
+
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod builtin_behaviors;
+pub mod channel;
+pub mod engine;
+pub mod graph;
+pub mod interp;
+pub mod report;
+pub mod testbench_gen;
+
+pub use behavior::{Behavior, BehaviorRegistry, IoCtx};
+pub use channel::{Channel, Packet};
+pub use engine::{RunResult, SimError, Simulator};
+pub use report::{BottleneckReport, PortBlockage};

@@ -1,0 +1,99 @@
+//! Bottleneck reporting (paper §V-B).
+
+use std::fmt;
+
+/// Blocked-cycles count for one output port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortBlockage {
+    /// Hierarchical component path.
+    pub component: String,
+    /// Output port name.
+    pub port: String,
+    /// Cycles the component wanted to send but the sink was not ready.
+    pub blocked_cycles: u64,
+}
+
+/// All blockages observed during a run, worst first.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BottleneckReport {
+    /// Sorted blockages (descending blocked cycles).
+    pub blockages: Vec<PortBlockage>,
+    /// Total simulated cycles, for computing blockage ratios.
+    pub total_cycles: u64,
+}
+
+impl BottleneckReport {
+    /// The `n` worst blocked ports.
+    pub fn top(&self, n: usize) -> &[PortBlockage] {
+        &self.blockages[..self.blockages.len().min(n)]
+    }
+
+    /// Fraction of total cycles the worst port spent blocked.
+    pub fn worst_ratio(&self) -> f64 {
+        match self.blockages.first() {
+            Some(b) if self.total_cycles > 0 => b.blocked_cycles as f64 / self.total_cycles as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for BottleneckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Bottleneck report over {} cycles:", self.total_cycles)?;
+        if self.blockages.is_empty() {
+            writeln!(f, "  no blocked output ports")?;
+        }
+        for b in self.top(10) {
+            writeln!(
+                f,
+                "  {:>8} blocked cycles  {}.{}",
+                b.blocked_cycles, b.component, b.port
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> BottleneckReport {
+        BottleneckReport {
+            blockages: vec![
+                PortBlockage {
+                    component: "top.a".into(),
+                    port: "o".into(),
+                    blocked_cycles: 80,
+                },
+                PortBlockage {
+                    component: "top.b".into(),
+                    port: "o".into(),
+                    blocked_cycles: 10,
+                },
+            ],
+            total_cycles: 100,
+        }
+    }
+
+    #[test]
+    fn top_limits() {
+        let r = report();
+        assert_eq!(r.top(1).len(), 1);
+        assert_eq!(r.top(10).len(), 2);
+        assert_eq!(r.top(1)[0].component, "top.a");
+    }
+
+    #[test]
+    fn worst_ratio() {
+        assert!((report().worst_ratio() - 0.8).abs() < 1e-12);
+        assert_eq!(BottleneckReport::default().worst_ratio(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_ports() {
+        let text = report().to_string();
+        assert!(text.contains("top.a.o"));
+        assert!(text.contains("80"));
+    }
+}

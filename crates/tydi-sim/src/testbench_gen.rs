@@ -1,0 +1,128 @@
+//! Testbench generation from a simulation run (paper §V-C).
+//!
+//! The boundary recording of a [`Simulator`] — every stimulus injected
+//! and every packet observed — becomes a [`tydi_ir::Testbench`], which
+//! `tydi-vhdl` lowers to a self-checking VHDL testbench. This is the
+//! paper's "input – current state – output" testing flow: high-level
+//! simulation fixes the expected behaviour, the generated testbench
+//! verifies the low-level implementation against it.
+
+use crate::engine::{SimError, Simulator};
+use tydi_ir::{BitsValue, Project, Testbench, Transfer};
+use tydi_spec::lower;
+
+/// Records the boundary traffic of `sim` as a testbench for
+/// `top_impl`.
+pub fn record_testbench(
+    sim: &Simulator,
+    project: &Project,
+    top_impl: &str,
+    name: &str,
+) -> Result<Testbench, SimError> {
+    let streamlet = project.streamlet_of(top_impl).ok_or_else(|| {
+        SimError::Behaviour {
+            component: top_impl.to_string(),
+            message: "missing streamlet".to_string(),
+        }
+    })?;
+    let width_of = |port: &str| -> u32 {
+        streamlet
+            .port(port)
+            .and_then(|p| lower(&p.ty).ok())
+            .map(|phys| phys[0].signals().data_bits)
+            .unwrap_or(64)
+    };
+    let dim_of = |port: &str| -> u32 {
+        streamlet
+            .port(port)
+            .and_then(|p| lower(&p.ty).ok())
+            .map(|phys| phys[0].dimension)
+            .unwrap_or(0)
+    };
+
+    let mut tb = Testbench::new(name, top_impl);
+    tb.comment = format!(
+        "Recorded by tydi-sim over {} cycles ({} input / {} output ports).",
+        sim.cycle(),
+        sim.input_ports().len(),
+        sim.output_ports().len()
+    );
+    for port in sim.input_ports() {
+        let width = width_of(&port);
+        let dim = dim_of(&port);
+        for (cycle, packet) in sim.injected(&port)? {
+            tb.push(
+                Transfer::stimulus(*cycle, &port, BitsValue::from_i64(packet.data, width))
+                    .with_last(last_flags(packet.last, dim)),
+            );
+        }
+    }
+    for port in sim.output_ports() {
+        let width = width_of(&port);
+        let dim = dim_of(&port);
+        for (cycle, packet) in sim.outputs(&port)? {
+            tb.push(
+                Transfer::expectation(*cycle, &port, BitsValue::from_i64(packet.data, width))
+                    .with_last(last_flags(packet.last, dim)),
+            );
+        }
+    }
+    Ok(tb)
+}
+
+/// Expands a `last` level count into per-dimension flags (innermost
+/// first).
+fn last_flags(levels: u32, dimension: u32) -> Vec<bool> {
+    (0..dimension).map(|d| d < levels).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::BehaviorRegistry;
+    use crate::channel::Packet;
+    use tydi_lang::{compile, CompileOptions};
+    use tydi_stdlib::with_stdlib;
+    use tydi_vhdl::{check::check_vhdl, generate_testbench, VhdlOptions};
+
+    #[test]
+    fn recorded_testbench_lowers_to_vhdl() {
+        let user = r#"
+package app;
+use std;
+type Seq8 = Stream(Bit(8), d=1);
+streamlet top_s { i : Seq8 in, o : Seq8 out, }
+impl top_i of top_s {
+    instance p(passthrough_i<type Seq8>),
+    i => p.i,
+    p.o => o,
+}
+"#;
+        let sources = with_stdlib(&[("app.td", user)]);
+        let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+        let project = compile(&refs, &CompileOptions::default()).unwrap().project;
+        let registry = BehaviorRegistry::with_std();
+        let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();
+        sim.feed("i", [Packet::data(1), Packet::data(2), Packet::last(3, 1)])
+            .unwrap();
+        let result = sim.run(1000);
+        assert!(result.finished);
+
+        let tb = record_testbench(&sim, &project, "top_i", "pass_tb").unwrap();
+        assert_eq!(tb.stimuli().len(), 3);
+        assert_eq!(tb.expectations().len(), 3);
+        assert_eq!(tb.expectations()[2].last, vec![true]);
+
+        let vhdl = generate_testbench(&project, &tb, &VhdlOptions::default()).unwrap();
+        assert!(vhdl.contains("entity pass_tb is"));
+        assert!(check_vhdl(&vhdl).is_empty());
+    }
+
+    #[test]
+    fn last_flag_expansion() {
+        assert_eq!(last_flags(0, 2), vec![false, false]);
+        assert_eq!(last_flags(1, 2), vec![true, false]);
+        assert_eq!(last_flags(2, 2), vec![true, true]);
+        assert_eq!(last_flags(1, 0), Vec::<bool>::new());
+    }
+}

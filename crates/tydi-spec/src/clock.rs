@@ -1,0 +1,116 @@
+//! Clock domains.
+//!
+//! The Tydi specification attaches a *clock domain* to every port. The
+//! handshaking protocol only works between two ports driven by the same
+//! clock, so the design-rule check (paper Table I) refuses connections
+//! that cross clock domains. A clock domain is identified by name; the
+//! mapping from name to physical frequency and phase is supplied only at
+//! simulation time (paper §V-B).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A named clock domain.
+///
+/// Clock domains compare by name: two ports may only be connected when
+/// their clock domain names are identical. The default domain is named
+/// `"default"` and is used for every port that does not specify one.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClockDomain(Arc<str>);
+
+impl ClockDomain {
+    /// Creates a clock domain with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        ClockDomain(Arc::from(name.as_ref()))
+    }
+
+    /// The default clock domain shared by all unannotated ports.
+    pub fn default_domain() -> Self {
+        ClockDomain::new("default")
+    }
+
+    /// Returns the domain name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns true if this is the default domain.
+    pub fn is_default(&self) -> bool {
+        self.name() == "default"
+    }
+}
+
+impl Default for ClockDomain {
+    fn default() -> Self {
+        ClockDomain::default_domain()
+    }
+}
+
+impl fmt::Display for ClockDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "!{}", self.0)
+    }
+}
+
+/// A mapping from a clock domain to a physical clock, used by the
+/// simulator to convert cycle counts into wall-clock time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalClock {
+    /// The domain this physical clock drives.
+    pub domain: ClockDomain,
+    /// Frequency in Hz.
+    pub frequency_hz: f64,
+    /// Phase offset in seconds relative to simulation time zero.
+    pub phase_s: f64,
+}
+
+impl PhysicalClock {
+    /// Creates a physical clock with zero phase.
+    pub fn new(domain: ClockDomain, frequency_hz: f64) -> Self {
+        PhysicalClock {
+            domain,
+            frequency_hz,
+            phase_s: 0.0,
+        }
+    }
+
+    /// The period of one clock cycle in seconds.
+    pub fn period_s(&self) -> f64 {
+        1.0 / self.frequency_hz
+    }
+
+    /// Converts a cycle count in this domain to seconds.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        self.phase_s + cycles as f64 * self.period_s()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_domain_name() {
+        assert_eq!(ClockDomain::default().name(), "default");
+        assert!(ClockDomain::default().is_default());
+        assert!(!ClockDomain::new("mem").is_default());
+    }
+
+    #[test]
+    fn equality_is_by_name() {
+        assert_eq!(ClockDomain::new("a"), ClockDomain::new("a"));
+        assert_ne!(ClockDomain::new("a"), ClockDomain::new("b"));
+    }
+
+    #[test]
+    fn display_uses_bang_prefix() {
+        assert_eq!(ClockDomain::new("sys").to_string(), "!sys");
+    }
+
+    #[test]
+    fn physical_clock_conversion() {
+        let c = PhysicalClock::new(ClockDomain::new("sys"), 100e6);
+        assert!((c.period_s() - 10e-9).abs() < 1e-15);
+        assert!((c.cycles_to_seconds(100) - 1e-6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type shared by all tydi-spec operations.
+
+use std::fmt;
+
+/// Errors produced while constructing, validating, lowering or parsing
+/// Tydi logical types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A `Bit` type was declared with zero width.
+    ZeroWidthBit,
+    /// A `Group` or `Union` declared two fields with the same name.
+    DuplicateField(String),
+    /// A `Union` with no variants (a union must carry at least one).
+    EmptyUnion,
+    /// A stream parameter was out of its legal range.
+    InvalidParameter {
+        /// Which parameter was invalid (e.g. `"complexity"`).
+        parameter: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// The type is not representable on hardware (e.g. a top-level type
+    /// containing no stream at all when a stream is required).
+    NotSynthesizable(String),
+    /// Failure while parsing the canonical text format.
+    Parse {
+        /// Byte offset in the input where the failure occurred.
+        offset: usize,
+        /// Human-readable description of the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::ZeroWidthBit => write!(f, "Bit type must have a width of at least 1"),
+            SpecError::DuplicateField(name) => {
+                write!(f, "duplicate field name `{name}` in composite type")
+            }
+            SpecError::EmptyUnion => write!(f, "union types must declare at least one variant"),
+            SpecError::InvalidParameter { parameter, message } => {
+                write!(f, "invalid stream parameter `{parameter}`: {message}")
+            }
+            SpecError::NotSynthesizable(msg) => write!(f, "type is not synthesizable: {msg}"),
+            SpecError::Parse { offset, message } => {
+                write!(f, "type parse error at byte {offset}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = SpecError::DuplicateField("data0".into());
+        assert!(e.to_string().contains("data0"));
+        let e = SpecError::InvalidParameter {
+            parameter: "complexity",
+            message: "must be between 1 and 8".into(),
+        };
+        assert!(e.to_string().contains("complexity"));
+    }
+}

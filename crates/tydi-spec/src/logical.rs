@@ -1,0 +1,369 @@
+//! Logical types: `Null`, `Bit`, `Group`, `Union` and `Stream`.
+//!
+//! All composite data structures in Tydi are built from these five
+//! constructors (paper §II). `Group` is a product type whose bit width
+//! is the sum of its children; `Union` is a sum type whose width is the
+//! maximum child width plus a tag; `Stream` wraps an element type with
+//! stream-space parameters and defines the hardware protocol.
+
+use crate::stream::StreamParams;
+use crate::SpecError;
+use std::fmt;
+
+/// A named field of a `Group` or variant of a `Union`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    /// Field name, unique within the composite.
+    pub name: String,
+    /// Field type.
+    pub ty: LogicalType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, ty: LogicalType) -> Self {
+        Field {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// A Tydi logical type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LogicalType {
+    /// Empty data; streams of `Null` are optimized out.
+    Null,
+    /// Data requiring `n` hardware bits.
+    Bit(u32),
+    /// Product of the child types; width is the sum of child widths.
+    Group(Vec<Field>),
+    /// Sum of the child types; width is the largest child width plus a
+    /// tag of `ceil(log2(#variants))` bits.
+    Union(Vec<Field>),
+    /// A stream of the element type with stream-space parameters.
+    Stream {
+        /// Element type transported by the stream.
+        element: Box<LogicalType>,
+        /// Stream-space parameters (dimension, throughput, ...).
+        params: StreamParams,
+    },
+}
+
+impl LogicalType {
+    /// Convenience constructor for a stream type.
+    pub fn stream(element: LogicalType, params: StreamParams) -> LogicalType {
+        LogicalType::Stream {
+            element: Box::new(element),
+            params,
+        }
+    }
+
+    /// Convenience constructor for a group type.
+    pub fn group(fields: Vec<(&str, LogicalType)>) -> LogicalType {
+        LogicalType::Group(
+            fields
+                .into_iter()
+                .map(|(n, t)| Field::new(n, t))
+                .collect(),
+        )
+    }
+
+    /// Convenience constructor for a union type.
+    pub fn union(fields: Vec<(&str, LogicalType)>) -> LogicalType {
+        LogicalType::Union(
+            fields
+                .into_iter()
+                .map(|(n, t)| Field::new(n, t))
+                .collect(),
+        )
+    }
+
+    /// Validates the structural well-formedness rules:
+    ///
+    /// * `Bit` width must be at least 1,
+    /// * composite field names must be unique,
+    /// * unions must have at least one variant,
+    /// * all nested types must be valid.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        match self {
+            LogicalType::Null => Ok(()),
+            LogicalType::Bit(0) => Err(SpecError::ZeroWidthBit),
+            LogicalType::Bit(_) => Ok(()),
+            LogicalType::Group(fields) => {
+                check_unique(fields)?;
+                fields.iter().try_for_each(|f| f.ty.validate())
+            }
+            LogicalType::Union(fields) => {
+                if fields.is_empty() {
+                    return Err(SpecError::EmptyUnion);
+                }
+                check_unique(fields)?;
+                fields.iter().try_for_each(|f| f.ty.validate())
+            }
+            LogicalType::Stream { element, params } => {
+                element.validate()?;
+                if let Some(user) = &params.user {
+                    user.validate()?;
+                    if user.contains_stream() {
+                        return Err(SpecError::InvalidParameter {
+                            parameter: "user",
+                            message: "user types may not contain streams".into(),
+                        });
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The number of data bits needed to represent one *element* of
+    /// this type, ignoring any nested streams (nested streams lower to
+    /// separate physical streams and contribute zero bits to their
+    /// parent's element).
+    pub fn bit_width(&self) -> u32 {
+        match self {
+            LogicalType::Null => 0,
+            LogicalType::Bit(n) => *n,
+            LogicalType::Group(fields) => fields.iter().map(|f| f.ty.bit_width()).sum(),
+            LogicalType::Union(fields) => {
+                let data = fields.iter().map(|f| f.ty.bit_width()).max().unwrap_or(0);
+                data + union_tag_width(fields.len())
+            }
+            LogicalType::Stream { .. } => 0,
+        }
+    }
+
+    /// True if this type or any nested type is a `Stream`.
+    pub fn contains_stream(&self) -> bool {
+        match self {
+            LogicalType::Stream { .. } => true,
+            LogicalType::Group(fields) | LogicalType::Union(fields) => {
+                fields.iter().any(|f| f.ty.contains_stream())
+            }
+            _ => false,
+        }
+    }
+
+    /// True if the type carries no information at all (it is `Null`, or
+    /// a composite of nothing but `Null` without nested streams).
+    pub fn is_null(&self) -> bool {
+        match self {
+            LogicalType::Null => true,
+            LogicalType::Bit(_) => false,
+            LogicalType::Group(fields) => fields.iter().all(|f| f.ty.is_null()),
+            LogicalType::Union(fields) => {
+                fields.len() <= 1 && fields.iter().all(|f| f.ty.is_null())
+            }
+            LogicalType::Stream { element, params } => element.is_null() && !params.keep,
+        }
+    }
+
+    /// Looks up a direct field/variant by name on a composite type.
+    pub fn field(&self, name: &str) -> Option<&LogicalType> {
+        match self {
+            LogicalType::Group(fields) | LogicalType::Union(fields) => {
+                fields.iter().find(|f| f.name == name).map(|f| &f.ty)
+            }
+            _ => None,
+        }
+    }
+
+    /// Iterates over direct fields of a composite type (empty iterator
+    /// for non-composites).
+    pub fn fields(&self) -> &[Field] {
+        match self {
+            LogicalType::Group(fields) | LogicalType::Union(fields) => fields,
+            _ => &[],
+        }
+    }
+
+    /// Structural compatibility: two types are compatible when their
+    /// canonical structures are identical. The paper's *strict* type
+    /// equality (same declaration) is enforced one level up, by the
+    /// Tydi-lang DRC; this structural check is the relaxed
+    /// "type hierarchy" equality enabled by the `@NoStrictType`
+    /// attribute.
+    pub fn structurally_equal(&self, other: &LogicalType) -> bool {
+        self == other
+    }
+
+    /// Counts the total number of type nodes, a rough complexity metric
+    /// used by compiler statistics.
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            LogicalType::Group(fields) | LogicalType::Union(fields) => {
+                fields.iter().map(|f| f.ty.node_count()).sum()
+            }
+            LogicalType::Stream { element, params } => {
+                element.node_count()
+                    + params.user.as_ref().map(|u| u.node_count()).unwrap_or(0)
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// Tag width for a union with `n` variants: 0 for a single variant,
+/// otherwise `ceil(log2(n))`.
+pub fn union_tag_width(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+fn check_unique(fields: &[Field]) -> Result<(), SpecError> {
+    for (i, f) in fields.iter().enumerate() {
+        if fields[..i].iter().any(|g| g.name == f.name) {
+            return Err(SpecError::DuplicateField(f.name.clone()));
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for LogicalType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::text::write_logical_type(f, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{Complexity, StreamParams, Throughput};
+
+    fn ascii_char() -> LogicalType {
+        LogicalType::Bit(8)
+    }
+
+    #[test]
+    fn bit_width_of_primitives() {
+        assert_eq!(LogicalType::Null.bit_width(), 0);
+        assert_eq!(LogicalType::Bit(8).bit_width(), 8);
+        assert_eq!(LogicalType::Bit(1).bit_width(), 1);
+    }
+
+    #[test]
+    fn group_width_is_sum() {
+        // Paper Table I: Group(x, y) width = sum of child widths.
+        let g = LogicalType::group(vec![("data0", LogicalType::Bit(32)), ("data1", LogicalType::Bit(32))]);
+        assert_eq!(g.bit_width(), 64);
+    }
+
+    #[test]
+    fn union_width_is_max_plus_tag() {
+        // Paper Table I: Union(x, y) width = max child width (plus tag).
+        let u = LogicalType::union(vec![("a", LogicalType::Bit(3)), ("b", LogicalType::Bit(8))]);
+        assert_eq!(u.bit_width(), 8 + 1);
+        let u3 = LogicalType::union(vec![
+            ("a", LogicalType::Bit(4)),
+            ("b", LogicalType::Bit(4)),
+            ("c", LogicalType::Bit(4)),
+        ]);
+        assert_eq!(u3.bit_width(), 4 + 2);
+    }
+
+    #[test]
+    fn union_tag_widths() {
+        assert_eq!(union_tag_width(0), 0);
+        assert_eq!(union_tag_width(1), 0);
+        assert_eq!(union_tag_width(2), 1);
+        assert_eq!(union_tag_width(3), 2);
+        assert_eq!(union_tag_width(4), 2);
+        assert_eq!(union_tag_width(5), 3);
+        assert_eq!(union_tag_width(256), 8);
+    }
+
+    #[test]
+    fn stream_contributes_no_parent_bits() {
+        let g = LogicalType::group(vec![
+            ("len", LogicalType::Bit(16)),
+            (
+                "chars",
+                LogicalType::stream(ascii_char(), StreamParams::new().with_dimension(1)),
+            ),
+        ]);
+        assert_eq!(g.bit_width(), 16);
+    }
+
+    #[test]
+    fn validation_rejects_zero_width_bit() {
+        assert_eq!(LogicalType::Bit(0).validate(), Err(SpecError::ZeroWidthBit));
+        let nested = LogicalType::group(vec![("x", LogicalType::Bit(0))]);
+        assert_eq!(nested.validate(), Err(SpecError::ZeroWidthBit));
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_fields() {
+        let g = LogicalType::group(vec![("x", LogicalType::Bit(1)), ("x", LogicalType::Bit(2))]);
+        assert_eq!(g.validate(), Err(SpecError::DuplicateField("x".into())));
+    }
+
+    #[test]
+    fn validation_rejects_empty_union() {
+        assert_eq!(LogicalType::Union(vec![]).validate(), Err(SpecError::EmptyUnion));
+    }
+
+    #[test]
+    fn validation_rejects_stream_in_user_type() {
+        let bad_user = LogicalType::stream(LogicalType::Bit(1), StreamParams::new());
+        let s = LogicalType::stream(
+            LogicalType::Bit(8),
+            StreamParams::new().with_user(bad_user),
+        );
+        assert!(matches!(
+            s.validate(),
+            Err(SpecError::InvalidParameter { parameter: "user", .. })
+        ));
+    }
+
+    #[test]
+    fn null_detection() {
+        assert!(LogicalType::Null.is_null());
+        assert!(LogicalType::group(vec![("a", LogicalType::Null)]).is_null());
+        assert!(!LogicalType::Bit(1).is_null());
+        let null_stream = LogicalType::stream(LogicalType::Null, StreamParams::new());
+        assert!(null_stream.is_null());
+        let kept = LogicalType::stream(LogicalType::Null, StreamParams::new().with_keep(true));
+        assert!(!kept.is_null());
+    }
+
+    #[test]
+    fn field_lookup() {
+        let g = LogicalType::group(vec![("a", LogicalType::Bit(2)), ("b", LogicalType::Bit(3))]);
+        assert_eq!(g.field("b"), Some(&LogicalType::Bit(3)));
+        assert_eq!(g.field("c"), None);
+        assert_eq!(LogicalType::Bit(1).field("a"), None);
+    }
+
+    #[test]
+    fn structural_equality_considers_params() {
+        let a = LogicalType::stream(LogicalType::Bit(8), StreamParams::new().with_dimension(1));
+        let b = LogicalType::stream(LogicalType::Bit(8), StreamParams::new().with_dimension(2));
+        assert!(!a.structurally_equal(&b));
+        let c = LogicalType::stream(LogicalType::Bit(8), StreamParams::new().with_dimension(1));
+        assert!(a.structurally_equal(&c));
+    }
+
+    #[test]
+    fn structural_equality_considers_throughput_and_complexity() {
+        let base = StreamParams::new();
+        let a = LogicalType::stream(LogicalType::Bit(8), base.clone().with_throughput(Throughput::new(2, 1).unwrap()));
+        let b = LogicalType::stream(LogicalType::Bit(8), base.clone());
+        assert_ne!(a, b);
+        let c = LogicalType::stream(LogicalType::Bit(8), base.clone().with_complexity(Complexity::new(7).unwrap()));
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn node_count() {
+        let g = LogicalType::group(vec![
+            ("a", LogicalType::Bit(2)),
+            ("b", LogicalType::stream(LogicalType::Bit(3), StreamParams::new())),
+        ]);
+        // group + bit + stream + bit = 4
+        assert_eq!(g.node_count(), 4);
+    }
+}

@@ -1,0 +1,425 @@
+//! Lowering logical types to physical streams.
+//!
+//! Every `Stream` node in a logical type becomes one *physical stream*:
+//! a bundle of hardware signals with a `valid`/`ready` handshake. Data
+//! carried by `Bit`/`Group`/`Union` structure inside the stream element
+//! is packed into the `data` signal; nested `Stream` nodes split off
+//! into their own physical streams (this is how Tydi transfers
+//! variable-length fields such as strings inside records).
+//!
+//! The signal-presence rules follow the Tydi specification thresholds
+//! documented on [`Complexity`](crate::stream::Complexity).
+
+use crate::logical::LogicalType;
+use crate::stream::{Direction, StreamParams};
+use crate::SpecError;
+use std::fmt;
+
+/// The widths of all signals of one physical stream.
+///
+/// `valid` and `ready` are always present (1 bit each) and are not
+/// listed explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignalBundle {
+    /// `data`: lanes x element width.
+    pub data_bits: u32,
+    /// `last`: dimension bits (per transfer below complexity 8, per
+    /// lane at complexity 8).
+    pub last_bits: u32,
+    /// `stai`: start index, present at complexity >= 6 with > 1 lane.
+    pub stai_bits: u32,
+    /// `endi`: end index, present at complexity >= 5 (or with nonzero
+    /// dimension) with > 1 lane.
+    pub endi_bits: u32,
+    /// `strb`: per-lane strobe, present at complexity >= 7 or with
+    /// nonzero dimension.
+    pub strb_bits: u32,
+    /// `user`: transfer-level sideband signal.
+    pub user_bits: u32,
+}
+
+impl SignalBundle {
+    /// Total payload width excluding the `valid`/`ready` handshake.
+    pub fn payload_bits(&self) -> u32 {
+        self.data_bits + self.last_bits + self.stai_bits + self.endi_bits + self.strb_bits
+            + self.user_bits
+    }
+
+    /// Total width including `valid` and `ready`.
+    pub fn total_bits(&self) -> u32 {
+        self.payload_bits() + 2
+    }
+
+    /// Iterates over the named payload signals with nonzero width, in
+    /// canonical order. Used by the VHDL backend to emit port lists.
+    pub fn named_signals(&self) -> impl Iterator<Item = (&'static str, u32)> {
+        [
+            ("data", self.data_bits),
+            ("last", self.last_bits),
+            ("stai", self.stai_bits),
+            ("endi", self.endi_bits),
+            ("strb", self.strb_bits),
+            ("user", self.user_bits),
+        ]
+        .into_iter()
+        .filter(|&(_, w)| w > 0)
+    }
+}
+
+/// One physical stream produced by lowering a logical type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PhysicalStream {
+    /// Path of field names from the root of the logical type to the
+    /// `Stream` node, e.g. `["chars"]`. Empty for a root-level stream.
+    pub path: Vec<String>,
+    /// Bits per element (the stream element's width, nested streams
+    /// excluded).
+    pub element_bits: u32,
+    /// Effective dimension after applying synchronicity rules.
+    pub dimension: u32,
+    /// Stream parameters of the originating `Stream` node.
+    pub params: StreamParams,
+    /// Resolved absolute direction (parent reversals applied).
+    pub direction: Direction,
+}
+
+impl PhysicalStream {
+    /// Number of element lanes (`ceil(throughput)`).
+    pub fn lanes(&self) -> u32 {
+        self.params.throughput.lanes()
+    }
+
+    /// Computes the signal widths of this physical stream.
+    pub fn signals(&self) -> SignalBundle {
+        let lanes = self.lanes();
+        let c = self.params.complexity.level();
+        let d = self.dimension;
+        let lane_index_bits = index_width(lanes);
+        SignalBundle {
+            data_bits: lanes * self.element_bits,
+            last_bits: if c >= 8 { lanes * d } else { d },
+            stai_bits: if c >= 6 && lanes > 1 { lane_index_bits } else { 0 },
+            endi_bits: if (c >= 5 || d >= 1) && lanes > 1 {
+                lane_index_bits
+            } else {
+                0
+            },
+            strb_bits: if c >= 7 || d >= 1 { lanes } else { 0 },
+            user_bits: self.params.user.as_ref().map(|u| u.bit_width()).unwrap_or(0),
+        }
+    }
+
+    /// The canonical signal-name prefix for this stream: the path
+    /// joined with `_`, or the empty string for the root stream.
+    pub fn name_suffix(&self) -> String {
+        self.path.join("_")
+    }
+}
+
+impl fmt::Display for PhysicalStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sig = self.signals();
+        write!(
+            f,
+            "PhysicalStream(path=[{}], element={}b, lanes={}, dim={}, payload={}b)",
+            self.path.join("."),
+            self.element_bits,
+            self.lanes(),
+            self.dimension,
+            sig.payload_bits()
+        )
+    }
+}
+
+/// Width of an index covering `n` lanes: `ceil(log2(n))`, and zero for
+/// single-lane streams.
+pub fn index_width(n: u32) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        u32::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// Lowers a logical type into its physical streams.
+///
+/// Returns an error when the type is invalid or when it contains no
+/// stream at all (a port type must have at least one physical stream).
+pub fn lower(root: &LogicalType) -> Result<Vec<PhysicalStream>, SpecError> {
+    root.validate()?;
+    let mut out = Vec::new();
+    collect(root, &mut Vec::new(), 0, Direction::Forward, &mut out);
+    if out.is_empty() {
+        return Err(SpecError::NotSynthesizable(format!(
+            "type `{root}` contains no physical stream (wrap it in Stream(...))"
+        )));
+    }
+    Ok(out)
+}
+
+fn collect(
+    ty: &LogicalType,
+    path: &mut Vec<String>,
+    parent_dim: u32,
+    parent_dir: Direction,
+    out: &mut Vec<PhysicalStream>,
+) {
+    match ty {
+        LogicalType::Null | LogicalType::Bit(_) => {}
+        LogicalType::Group(fields) | LogicalType::Union(fields) => {
+            for f in fields {
+                path.push(f.name.clone());
+                collect(&f.ty, path, parent_dim, parent_dir, out);
+                path.pop();
+            }
+        }
+        LogicalType::Stream { element, params } => {
+            let dim = params.dimension
+                + if params.synchronicity.inherits_parent_dimension() {
+                    parent_dim
+                } else {
+                    0
+                };
+            let dir = match params.direction {
+                Direction::Forward => parent_dir,
+                Direction::Reverse => parent_dir.reverse(),
+            };
+            let elem_bits = element.bit_width();
+            // Streams of Null are optimized out (paper Table I) unless
+            // explicitly kept.
+            if elem_bits > 0 || params.keep || params.user.is_some() {
+                out.push(PhysicalStream {
+                    path: path.clone(),
+                    element_bits: elem_bits,
+                    dimension: dim,
+                    params: params.clone(),
+                    direction: dir,
+                });
+            }
+            // A directly nested stream shares this stream's path; give
+            // it a synthetic `el` path element so signal names stay
+            // unique (fields of groups/unions extend the path anyway).
+            if matches!(**element, LogicalType::Stream { .. }) {
+                path.push("el".to_string());
+                collect(element, path, dim, dir, out);
+                path.pop();
+            } else {
+                collect(element, path, dim, dir, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{Complexity, StreamParams, Synchronicity, Throughput};
+
+    fn bit_stream(width: u32, params: StreamParams) -> LogicalType {
+        LogicalType::stream(LogicalType::Bit(width), params)
+    }
+
+    #[test]
+    fn index_widths() {
+        assert_eq!(index_width(1), 0);
+        assert_eq!(index_width(2), 1);
+        assert_eq!(index_width(3), 2);
+        assert_eq!(index_width(4), 2);
+        assert_eq!(index_width(5), 3);
+        assert_eq!(index_width(8), 3);
+    }
+
+    #[test]
+    fn sentence_example_from_paper() {
+        // Stream(Bit(8), dimension = 2): one physical stream, 8 data
+        // bits, two last bits.
+        let t = bit_stream(8, StreamParams::new().with_dimension(2));
+        let phys = lower(&t).unwrap();
+        assert_eq!(phys.len(), 1);
+        let s = phys[0].signals();
+        assert_eq!(s.data_bits, 8);
+        assert_eq!(s.last_bits, 2);
+        assert_eq!(s.stai_bits, 0);
+        assert_eq!(s.endi_bits, 0);
+        // dimension >= 1 implies a strobe lane marker.
+        assert_eq!(s.strb_bits, 1);
+    }
+
+    #[test]
+    fn scalar_stream_minimal_signals() {
+        let t = bit_stream(32, StreamParams::new());
+        let s = lower(&t).unwrap()[0].signals();
+        assert_eq!(s.data_bits, 32);
+        assert_eq!(s.last_bits, 0);
+        assert_eq!(s.strb_bits, 0);
+        assert_eq!(s.endi_bits, 0);
+        assert_eq!(s.stai_bits, 0);
+        assert_eq!(s.payload_bits(), 32);
+        assert_eq!(s.total_bits(), 34);
+    }
+
+    #[test]
+    fn multilane_signals() {
+        let t = bit_stream(
+            8,
+            StreamParams::new()
+                .with_throughput(Throughput::new(4, 1).unwrap())
+                .with_complexity(Complexity::new(7).unwrap())
+                .with_dimension(1),
+        );
+        let s = lower(&t).unwrap()[0].signals();
+        assert_eq!(s.data_bits, 32);
+        assert_eq!(s.last_bits, 1);
+        assert_eq!(s.stai_bits, 2); // c >= 6, 4 lanes
+        assert_eq!(s.endi_bits, 2); // c >= 5, 4 lanes
+        assert_eq!(s.strb_bits, 4); // c >= 7
+    }
+
+    #[test]
+    fn complexity8_per_lane_last() {
+        let t = bit_stream(
+            8,
+            StreamParams::new()
+                .with_throughput(Throughput::new(2, 1).unwrap())
+                .with_complexity(Complexity::new(8).unwrap())
+                .with_dimension(2),
+        );
+        let s = lower(&t).unwrap()[0].signals();
+        assert_eq!(s.last_bits, 4); // 2 lanes x 2 dims
+    }
+
+    #[test]
+    fn nested_stream_splits_off() {
+        // Group { len: Bit(16), chars: Stream(Bit(8), d=1) } inside a
+        // Stream: two physical streams.
+        let record = LogicalType::group(vec![
+            ("len", LogicalType::Bit(16)),
+            ("chars", bit_stream(8, StreamParams::new().with_dimension(1))),
+        ]);
+        let t = LogicalType::stream(record, StreamParams::new());
+        let phys = lower(&t).unwrap();
+        assert_eq!(phys.len(), 2);
+        assert_eq!(phys[0].path, Vec::<String>::new());
+        assert_eq!(phys[0].element_bits, 16);
+        assert_eq!(phys[1].path, vec!["chars".to_string()]);
+        assert_eq!(phys[1].element_bits, 8);
+        // Sync child inherits parent dimension 0 + its own 1.
+        assert_eq!(phys[1].dimension, 1);
+    }
+
+    #[test]
+    fn sync_child_inherits_parent_dimension() {
+        let inner = bit_stream(8, StreamParams::new().with_dimension(1));
+        let t = LogicalType::stream(
+            LogicalType::group(vec![("x", LogicalType::Bit(4)), ("s", inner)]),
+            StreamParams::new().with_dimension(2),
+        );
+        let phys = lower(&t).unwrap();
+        assert_eq!(phys[0].dimension, 2);
+        assert_eq!(phys[1].dimension, 3); // 2 inherited + 1 own
+    }
+
+    #[test]
+    fn flatten_child_drops_parent_dimension() {
+        let inner = bit_stream(
+            8,
+            StreamParams::new()
+                .with_dimension(1)
+                .with_synchronicity(Synchronicity::Flatten),
+        );
+        let t = LogicalType::stream(
+            LogicalType::group(vec![("x", LogicalType::Bit(4)), ("s", inner)]),
+            StreamParams::new().with_dimension(2),
+        );
+        let phys = lower(&t).unwrap();
+        assert_eq!(phys[1].dimension, 1); // own only
+    }
+
+    #[test]
+    fn reverse_direction_propagates() {
+        let inner = bit_stream(
+            8,
+            StreamParams::new().with_direction(Direction::Reverse),
+        );
+        let t = LogicalType::stream(
+            LogicalType::group(vec![("req", LogicalType::Bit(4)), ("resp", inner)]),
+            StreamParams::new(),
+        );
+        let phys = lower(&t).unwrap();
+        assert_eq!(phys[0].direction, Direction::Forward);
+        assert_eq!(phys[1].direction, Direction::Reverse);
+        // Double reversal cancels out.
+        let inner2 = bit_stream(
+            8,
+            StreamParams::new().with_direction(Direction::Reverse),
+        );
+        let mid = LogicalType::stream(
+            LogicalType::group(vec![("x", inner2)]),
+            StreamParams::new().with_direction(Direction::Reverse),
+        );
+        let t2 = LogicalType::stream(
+            LogicalType::group(vec![("m", mid), ("d", LogicalType::Bit(1))]),
+            StreamParams::new(),
+        );
+        let phys2 = lower(&t2).unwrap();
+        let nested = phys2.iter().find(|p| p.path == vec!["m", "x"]).unwrap();
+        assert_eq!(nested.direction, Direction::Forward);
+    }
+
+    #[test]
+    fn null_stream_is_optimized_out() {
+        let t = LogicalType::stream(
+            LogicalType::group(vec![
+                ("d", LogicalType::Bit(8)),
+                ("n", LogicalType::stream(LogicalType::Null, StreamParams::new())),
+            ]),
+            StreamParams::new(),
+        );
+        let phys = lower(&t).unwrap();
+        assert_eq!(phys.len(), 1);
+    }
+
+    #[test]
+    fn kept_null_stream_survives() {
+        let t = LogicalType::stream(LogicalType::Null, StreamParams::new().with_keep(true));
+        let phys = lower(&t).unwrap();
+        assert_eq!(phys.len(), 1);
+        assert_eq!(phys[0].element_bits, 0);
+    }
+
+    #[test]
+    fn pure_data_type_is_not_synthesizable() {
+        assert!(matches!(
+            lower(&LogicalType::Bit(8)),
+            Err(SpecError::NotSynthesizable(_))
+        ));
+    }
+
+    #[test]
+    fn user_bits_counted() {
+        let t = LogicalType::stream(
+            LogicalType::Bit(8),
+            StreamParams::new().with_user(LogicalType::Bit(3)),
+        );
+        let s = lower(&t).unwrap()[0].signals();
+        assert_eq!(s.user_bits, 3);
+    }
+
+    #[test]
+    fn name_suffix_joins_path() {
+        let record = LogicalType::group(vec![(
+            "inner",
+            LogicalType::group(vec![(
+                "chars",
+                bit_stream(8, StreamParams::new().with_dimension(1)),
+            )]),
+        )]);
+        let t = LogicalType::stream(
+            LogicalType::group(vec![("len", LogicalType::Bit(4)), ("rec", record.fields()[0].ty.clone())]),
+            StreamParams::new(),
+        );
+        let phys = lower(&t).unwrap();
+        let nested = phys.iter().find(|p| !p.path.is_empty()).unwrap();
+        assert_eq!(nested.name_suffix(), "rec_chars");
+    }
+}

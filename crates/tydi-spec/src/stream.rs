@@ -1,0 +1,403 @@
+//! Stream-space parameters: throughput, dimension, complexity,
+//! direction and synchronicity.
+//!
+//! A `Stream` logical type wraps an element type and describes how that
+//! element travels through hardware (paper Table I): how many elements
+//! per cycle (*throughput*), how many levels of nested sequences
+//! (*dimension*), how much freedom the source has in laying elements
+//! onto transfers (*complexity*), whether the stream flows with or
+//! against its parent (*direction*), and how a child stream relates to
+//! the dimensionality of its parent (*synchronicity*).
+
+use crate::SpecError;
+use std::fmt;
+
+/// Throughput: the *minimum* number of elements transferable per cycle.
+///
+/// Stored as an exact ratio so that stream types have well-defined
+/// equality and hashing (a requirement for the strict type equality
+/// design-rule check of the paper). The number of element lanes of the
+/// physical stream is `ceil(throughput)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Throughput {
+    num: u32,
+    den: u32,
+}
+
+impl Throughput {
+    /// Creates a throughput of `num / den` elements per cycle.
+    ///
+    /// Returns an error when the ratio is zero or the denominator is
+    /// zero: Tydi requires a strictly positive throughput.
+    pub fn new(num: u32, den: u32) -> Result<Self, SpecError> {
+        if den == 0 {
+            return Err(SpecError::InvalidParameter {
+                parameter: "throughput",
+                message: "denominator must be non-zero".into(),
+            });
+        }
+        if num == 0 {
+            return Err(SpecError::InvalidParameter {
+                parameter: "throughput",
+                message: "throughput must be positive".into(),
+            });
+        }
+        let g = gcd(num, den);
+        Ok(Throughput {
+            num: num / g,
+            den: den / g,
+        })
+    }
+
+    /// One element per cycle: the default throughput.
+    pub fn one() -> Self {
+        Throughput { num: 1, den: 1 }
+    }
+
+    /// Approximates a floating point throughput as a ratio with a
+    /// denominator of at most 1000 (Tydi-lang sources write throughput
+    /// as a float literal, e.g. `t=0.5`).
+    pub fn from_f64(value: f64) -> Result<Self, SpecError> {
+        if !value.is_finite() || value <= 0.0 {
+            return Err(SpecError::InvalidParameter {
+                parameter: "throughput",
+                message: format!("throughput must be positive and finite, got {value}"),
+            });
+        }
+        if value > u32::MAX as f64 / 1000.0 {
+            return Err(SpecError::InvalidParameter {
+                parameter: "throughput",
+                message: format!("throughput {value} is too large"),
+            });
+        }
+        let num = (value * 1000.0).round() as u32;
+        Throughput::new(num.max(1), 1000)
+    }
+
+    /// The number of data lanes required on the physical stream.
+    pub fn lanes(&self) -> u32 {
+        self.num.div_ceil(self.den)
+    }
+
+    /// The exact ratio as `(numerator, denominator)`.
+    pub fn ratio(&self) -> (u32, u32) {
+        (self.num, self.den)
+    }
+
+    /// The throughput as a float, for reporting.
+    pub fn as_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl Default for Throughput {
+    fn default() -> Self {
+        Throughput::one()
+    }
+}
+
+impl fmt::Display for Throughput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+fn gcd(mut a: u32, mut b: u32) -> u32 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Protocol complexity, `C` in the Tydi specification.
+///
+/// Higher complexity gives the *source* more freedom (and burdens the
+/// sink with more signals). The legal range is 1 through 8. The
+/// signal-presence thresholds implemented in [`crate::physical`] follow
+/// the Tydi specification:
+///
+/// * `C >= 5`: `endi` present when there is more than one lane.
+/// * `C >= 6`: `stai` present when there is more than one lane.
+/// * `C >= 7`: `strb` present (per-lane strobe).
+/// * `C >= 8`: `last` is transferred per lane instead of per transfer.
+///
+/// A source of complexity `c` may be connected to a sink of complexity
+/// `c' >= c` (the sink must understand at least as much freedom); the
+/// paper's design-rule check calls this "compatible protocol
+/// complexities".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Complexity(u8);
+
+impl Complexity {
+    /// Lowest complexity: one element per transfer, aligned.
+    pub const MIN: Complexity = Complexity(1);
+    /// Highest complexity defined by the specification.
+    pub const MAX: Complexity = Complexity(8);
+
+    /// Creates a complexity level, validating the range `1..=8`.
+    pub fn new(level: u8) -> Result<Self, SpecError> {
+        if (1..=8).contains(&level) {
+            Ok(Complexity(level))
+        } else {
+            Err(SpecError::InvalidParameter {
+                parameter: "complexity",
+                message: format!("must be between 1 and 8, got {level}"),
+            })
+        }
+    }
+
+    /// The numeric complexity level.
+    pub fn level(&self) -> u8 {
+        self.0
+    }
+
+    /// Whether a source of this complexity may drive a sink of
+    /// complexity `sink`.
+    pub fn compatible_with_sink(&self, sink: Complexity) -> bool {
+        self.0 <= sink.0
+    }
+}
+
+impl Default for Complexity {
+    fn default() -> Self {
+        Complexity(1)
+    }
+}
+
+impl fmt::Display for Complexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Direction of a stream relative to its parent (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Direction {
+    /// Data flows from source to sink (the usual case).
+    #[default]
+    Forward,
+    /// Data flows from sink to source (e.g. a request stream paired
+    /// with a response stream).
+    Reverse,
+}
+
+impl Direction {
+    /// Flips the direction.
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Reverse,
+            Direction::Reverse => Direction::Forward,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Forward => write!(f, "Forward"),
+            Direction::Reverse => write!(f, "Reverse"),
+        }
+    }
+}
+
+/// Synchronicity of a child stream with respect to its parent's
+/// dimensionality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Synchronicity {
+    /// The child redundantly carries the parent's `last` bits: its
+    /// effective dimension is the parent's plus its own.
+    #[default]
+    Sync,
+    /// Like `Sync` but the parent dimension bits are flattened away;
+    /// only the child's own dimension remains.
+    Flatten,
+    /// The child is decoupled from parent transfers but still carries
+    /// the combined dimensionality.
+    Desync,
+    /// Fully decoupled and flattened.
+    FlatDesync,
+}
+
+impl Synchronicity {
+    /// Whether the parent's dimension bits are carried by the child.
+    pub fn inherits_parent_dimension(&self) -> bool {
+        matches!(self, Synchronicity::Sync | Synchronicity::Desync)
+    }
+
+    /// Whether child transfers are element-wise coupled to the parent.
+    pub fn is_coupled(&self) -> bool {
+        matches!(self, Synchronicity::Sync | Synchronicity::Flatten)
+    }
+}
+
+impl fmt::Display for Synchronicity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Synchronicity::Sync => write!(f, "Sync"),
+            Synchronicity::Flatten => write!(f, "Flatten"),
+            Synchronicity::Desync => write!(f, "Desync"),
+            Synchronicity::FlatDesync => write!(f, "FlatDesync"),
+        }
+    }
+}
+
+/// The full parameter set of a `Stream` logical type.
+///
+/// Defaults reproduce the Tydi-lang defaults: dimension 0, throughput 1,
+/// complexity 1, forward direction, sync, no user type, keep = false.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct StreamParams {
+    /// Number of sequence-nesting levels (`d` in Tydi-lang sources).
+    pub dimension: u32,
+    /// Minimum elements per cycle (`t`).
+    pub throughput: Throughput,
+    /// Protocol complexity (`c`).
+    pub complexity: Complexity,
+    /// Direction relative to the parent (`r`).
+    pub direction: Direction,
+    /// Synchronicity with the parent dimensions (`x`).
+    pub synchronicity: Synchronicity,
+    /// Optional user signal type carried next to the data
+    /// (`u`; transfer-level sideband information).
+    pub user: Option<Box<crate::LogicalType>>,
+    /// Keep the stream even if its element type reduces to `Null`.
+    pub keep: bool,
+}
+
+impl StreamParams {
+    /// Creates the default parameter set.
+    pub fn new() -> Self {
+        StreamParams::default()
+    }
+
+    /// Sets the dimension.
+    pub fn with_dimension(mut self, dimension: u32) -> Self {
+        self.dimension = dimension;
+        self
+    }
+
+    /// Sets the throughput.
+    pub fn with_throughput(mut self, throughput: Throughput) -> Self {
+        self.throughput = throughput;
+        self
+    }
+
+    /// Sets the complexity.
+    pub fn with_complexity(mut self, complexity: Complexity) -> Self {
+        self.complexity = complexity;
+        self
+    }
+
+    /// Sets the direction.
+    pub fn with_direction(mut self, direction: Direction) -> Self {
+        self.direction = direction;
+        self
+    }
+
+    /// Sets the synchronicity.
+    pub fn with_synchronicity(mut self, synchronicity: Synchronicity) -> Self {
+        self.synchronicity = synchronicity;
+        self
+    }
+
+    /// Sets the user type.
+    pub fn with_user(mut self, user: crate::LogicalType) -> Self {
+        self.user = Some(Box::new(user));
+        self
+    }
+
+    /// Sets the keep flag.
+    pub fn with_keep(mut self, keep: bool) -> Self {
+        self.keep = keep;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_reduces_ratio() {
+        let t = Throughput::new(4, 2).unwrap();
+        assert_eq!(t.ratio(), (2, 1));
+        assert_eq!(t.lanes(), 2);
+        assert_eq!(t.to_string(), "2");
+    }
+
+    #[test]
+    fn throughput_fractional_lanes_round_up() {
+        let t = Throughput::new(1, 2).unwrap();
+        assert_eq!(t.lanes(), 1);
+        assert_eq!(t.to_string(), "1/2");
+        let t = Throughput::new(3, 2).unwrap();
+        assert_eq!(t.lanes(), 2);
+    }
+
+    #[test]
+    fn throughput_rejects_zero() {
+        assert!(Throughput::new(0, 1).is_err());
+        assert!(Throughput::new(1, 0).is_err());
+        assert!(Throughput::from_f64(0.0).is_err());
+        assert!(Throughput::from_f64(-1.0).is_err());
+        assert!(Throughput::from_f64(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn throughput_from_f64_round_trips_common_values() {
+        assert_eq!(Throughput::from_f64(2.0).unwrap(), Throughput::new(2, 1).unwrap());
+        assert_eq!(Throughput::from_f64(0.5).unwrap(), Throughput::new(1, 2).unwrap());
+        assert_eq!(Throughput::from_f64(1.5).unwrap().lanes(), 2);
+    }
+
+    #[test]
+    fn complexity_range() {
+        assert!(Complexity::new(0).is_err());
+        assert!(Complexity::new(9).is_err());
+        for c in 1..=8 {
+            assert_eq!(Complexity::new(c).unwrap().level(), c);
+        }
+    }
+
+    #[test]
+    fn complexity_source_sink_compatibility() {
+        let c2 = Complexity::new(2).unwrap();
+        let c7 = Complexity::new(7).unwrap();
+        assert!(c2.compatible_with_sink(c7));
+        assert!(!c7.compatible_with_sink(c2));
+        assert!(c7.compatible_with_sink(c7));
+    }
+
+    #[test]
+    fn direction_reverse() {
+        assert_eq!(Direction::Forward.reverse(), Direction::Reverse);
+        assert_eq!(Direction::Reverse.reverse(), Direction::Forward);
+    }
+
+    #[test]
+    fn synchronicity_classification() {
+        assert!(Synchronicity::Sync.inherits_parent_dimension());
+        assert!(Synchronicity::Desync.inherits_parent_dimension());
+        assert!(!Synchronicity::Flatten.inherits_parent_dimension());
+        assert!(Synchronicity::Sync.is_coupled());
+        assert!(!Synchronicity::Desync.is_coupled());
+    }
+
+    #[test]
+    fn params_builder() {
+        let p = StreamParams::new()
+            .with_dimension(2)
+            .with_complexity(Complexity::new(7).unwrap())
+            .with_keep(true);
+        assert_eq!(p.dimension, 2);
+        assert_eq!(p.complexity.level(), 7);
+        assert!(p.keep);
+        assert_eq!(p.throughput, Throughput::one());
+    }
+}

@@ -1,0 +1,388 @@
+//! Canonical text format for logical types.
+//!
+//! The Tydi-IR text format and compiler diagnostics both need a stable,
+//! parseable rendering of logical types. The writer prints only
+//! non-default stream parameters; the parser accepts the writer's
+//! output as well as the Tydi-lang surface spellings (`d=`, `t=`, `c=`,
+//! `r=`, `x=`, `u=`, `keep`).
+//!
+//! ```
+//! use tydi_spec::{parse_logical_type, LogicalType};
+//! let t = parse_logical_type("Stream(Group(a: Bit(3), b: Bit(5)), d=2, c=7)").unwrap();
+//! assert_eq!(parse_logical_type(&t.to_string()).unwrap(), t);
+//! ```
+
+use crate::logical::{Field, LogicalType};
+use crate::stream::{Complexity, Direction, StreamParams, Synchronicity, Throughput};
+use crate::SpecError;
+use std::fmt;
+
+/// Writes the canonical rendering of `ty` to a formatter. Exposed so
+/// `LogicalType`'s `Display` impl can share the code.
+pub fn write_logical_type(f: &mut fmt::Formatter<'_>, ty: &LogicalType) -> fmt::Result {
+    match ty {
+        LogicalType::Null => write!(f, "Null"),
+        LogicalType::Bit(n) => write!(f, "Bit({n})"),
+        LogicalType::Group(fields) => write_composite(f, "Group", fields),
+        LogicalType::Union(fields) => write_composite(f, "Union", fields),
+        LogicalType::Stream { element, params } => {
+            write!(f, "Stream({element}")?;
+            if params.dimension != 0 {
+                write!(f, ", d={}", params.dimension)?;
+            }
+            if params.throughput != Throughput::one() {
+                write!(f, ", t={}", params.throughput)?;
+            }
+            if params.complexity != Complexity::default() {
+                write!(f, ", c={}", params.complexity)?;
+            }
+            if params.direction != Direction::Forward {
+                write!(f, ", r={}", params.direction)?;
+            }
+            if params.synchronicity != Synchronicity::Sync {
+                write!(f, ", x={}", params.synchronicity)?;
+            }
+            if let Some(user) = &params.user {
+                write!(f, ", u={user}")?;
+            }
+            if params.keep {
+                write!(f, ", keep")?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+fn write_composite(f: &mut fmt::Formatter<'_>, kind: &str, fields: &[Field]) -> fmt::Result {
+    write!(f, "{kind}(")?;
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{}: {}", field.name, field.ty)?;
+    }
+    write!(f, ")")
+}
+
+/// Parses a logical type from its canonical text format.
+pub fn parse_logical_type(input: &str) -> Result<LogicalType, SpecError> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    let ty = p.parse_type()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing characters after type"));
+    }
+    ty.validate()?;
+    Ok(ty)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> SpecError {
+        SpecError::Parse {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), SpecError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SpecError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len()
+            && (self.input[self.pos].is_ascii_alphanumeric() || self.input[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .expect("ascii slice")
+            .to_string())
+    }
+
+    fn number(&mut self) -> Result<u32, SpecError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected number"));
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .expect("ascii slice")
+            .parse()
+            .map_err(|_| self.err("number out of range"))
+    }
+
+    fn parse_type(&mut self) -> Result<LogicalType, SpecError> {
+        let head = self.ident()?;
+        match head.as_str() {
+            "Null" => Ok(LogicalType::Null),
+            "Bit" => {
+                self.expect(b'(')?;
+                let width = self.number()?;
+                self.expect(b')')?;
+                Ok(LogicalType::Bit(width))
+            }
+            "Group" => Ok(LogicalType::Group(self.parse_fields()?)),
+            "Union" => Ok(LogicalType::Union(self.parse_fields()?)),
+            "Stream" => self.parse_stream(),
+            other => Err(self.err(format!(
+                "unknown type constructor `{other}` (expected Null, Bit, Group, Union or Stream)"
+            ))),
+        }
+    }
+
+    fn parse_fields(&mut self) -> Result<Vec<Field>, SpecError> {
+        self.expect(b'(')?;
+        let mut fields = Vec::new();
+        if self.eat(b')') {
+            return Ok(fields);
+        }
+        loop {
+            let name = self.ident()?;
+            self.expect(b':')?;
+            let ty = self.parse_type()?;
+            fields.push(Field { name, ty });
+            if self.eat(b')') {
+                return Ok(fields);
+            }
+            self.expect(b',')?;
+            // Tolerate trailing comma before the closing parenthesis.
+            if self.eat(b')') {
+                return Ok(fields);
+            }
+        }
+    }
+
+    fn parse_stream(&mut self) -> Result<LogicalType, SpecError> {
+        self.expect(b'(')?;
+        let element = self.parse_type()?;
+        let mut params = StreamParams::new();
+        while self.eat(b',') {
+            if self.eat(b')') {
+                return Ok(LogicalType::stream(element, params));
+            }
+            let key = self.ident()?;
+            match key.as_str() {
+                "keep" => params.keep = true,
+                "d" | "dimension" => {
+                    self.expect(b'=')?;
+                    params.dimension = self.number()?;
+                }
+                "t" | "throughput" => {
+                    self.expect(b'=')?;
+                    let num = self.number()?;
+                    if self.eat(b'/') {
+                        let den = self.number()?;
+                        params.throughput = Throughput::new(num, den)?;
+                    } else if self.eat(b'.') {
+                        let frac_start = self.pos;
+                        let frac = self.number()?;
+                        let digits = (self.pos - frac_start) as u32;
+                        let den = 10u32.checked_pow(digits).ok_or_else(|| {
+                            self.err("throughput fraction too precise")
+                        })?;
+                        params.throughput =
+                            Throughput::new(num.saturating_mul(den).saturating_add(frac), den)?;
+                    } else {
+                        params.throughput = Throughput::new(num, 1)?;
+                    }
+                }
+                "c" | "complexity" => {
+                    self.expect(b'=')?;
+                    let level = self.number()?;
+                    params.complexity = Complexity::new(
+                        u8::try_from(level).map_err(|_| self.err("complexity out of range"))?,
+                    )?;
+                }
+                "r" | "direction" => {
+                    self.expect(b'=')?;
+                    let value = self.ident()?;
+                    params.direction = match value.as_str() {
+                        "Forward" => Direction::Forward,
+                        "Reverse" => Direction::Reverse,
+                        _ => return Err(self.err("direction must be Forward or Reverse")),
+                    };
+                }
+                "x" | "synchronicity" => {
+                    self.expect(b'=')?;
+                    let value = self.ident()?;
+                    params.synchronicity = match value.as_str() {
+                        "Sync" => Synchronicity::Sync,
+                        "Flatten" => Synchronicity::Flatten,
+                        "Desync" => Synchronicity::Desync,
+                        "FlatDesync" => Synchronicity::FlatDesync,
+                        _ => {
+                            return Err(self.err(
+                                "synchronicity must be Sync, Flatten, Desync or FlatDesync",
+                            ))
+                        }
+                    };
+                }
+                "u" | "user" => {
+                    self.expect(b'=')?;
+                    params.user = Some(Box::new(self.parse_type()?));
+                }
+                other => return Err(self.err(format!("unknown stream parameter `{other}`"))),
+            }
+        }
+        self.expect(b')')?;
+        Ok(LogicalType::stream(element, params))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(src: &str) -> LogicalType {
+        let t = parse_logical_type(src).unwrap();
+        let printed = t.to_string();
+        let reparsed = parse_logical_type(&printed).unwrap();
+        assert_eq!(t, reparsed, "round trip failed: {src} -> {printed}");
+        t
+    }
+
+    #[test]
+    fn parse_primitives() {
+        assert_eq!(round_trip("Null"), LogicalType::Null);
+        assert_eq!(round_trip("Bit(8)"), LogicalType::Bit(8));
+        assert_eq!(round_trip("  Bit( 32 ) "), LogicalType::Bit(32));
+    }
+
+    #[test]
+    fn parse_group_and_union() {
+        let g = round_trip("Group(data0: Bit(32), data1: Bit(32))");
+        assert_eq!(g.bit_width(), 64);
+        let u = round_trip("Union(a: Bit(3), b: Bit(8))");
+        assert_eq!(u.bit_width(), 9);
+    }
+
+    #[test]
+    fn parse_stream_defaults() {
+        let t = round_trip("Stream(Bit(8))");
+        match &t {
+            LogicalType::Stream { params, .. } => {
+                assert_eq!(params.dimension, 0);
+                assert_eq!(params.throughput, Throughput::one());
+            }
+            _ => panic!("expected stream"),
+        }
+    }
+
+    #[test]
+    fn parse_stream_parameters() {
+        let t = round_trip("Stream(Bit(8), d=2, t=3/2, c=7, r=Reverse, x=Flatten, u=Bit(3), keep)");
+        match &t {
+            LogicalType::Stream { params, .. } => {
+                assert_eq!(params.dimension, 2);
+                assert_eq!(params.throughput, Throughput::new(3, 2).unwrap());
+                assert_eq!(params.complexity.level(), 7);
+                assert_eq!(params.direction, Direction::Reverse);
+                assert_eq!(params.synchronicity, Synchronicity::Flatten);
+                assert_eq!(params.user.as_deref(), Some(&LogicalType::Bit(3)));
+                assert!(params.keep);
+            }
+            _ => panic!("expected stream"),
+        }
+    }
+
+    #[test]
+    fn parse_decimal_throughput() {
+        let t = parse_logical_type("Stream(Bit(8), t=0.5)").unwrap();
+        match &t {
+            LogicalType::Stream { params, .. } => {
+                assert_eq!(params.throughput, Throughput::new(1, 2).unwrap());
+            }
+            _ => panic!("expected stream"),
+        }
+        let t = parse_logical_type("Stream(Bit(8), t=2.0)").unwrap();
+        match &t {
+            LogicalType::Stream { params, .. } => {
+                assert_eq!(params.throughput, Throughput::new(2, 1).unwrap());
+            }
+            _ => panic!("expected stream"),
+        }
+    }
+
+    #[test]
+    fn parse_nested() {
+        let t = round_trip(
+            "Stream(Group(len: Bit(16), chars: Stream(Bit(8), d=1, x=Flatten)), d=1, c=7)",
+        );
+        let phys = crate::lower(&t).unwrap();
+        assert_eq!(phys.len(), 2);
+    }
+
+    #[test]
+    fn parse_long_form_keys() {
+        let t = parse_logical_type("Stream(Bit(4), dimension=1, complexity=5, throughput=2)")
+            .unwrap();
+        match &t {
+            LogicalType::Stream { params, .. } => {
+                assert_eq!(params.dimension, 1);
+                assert_eq!(params.complexity.level(), 5);
+                assert_eq!(params.throughput.lanes(), 2);
+            }
+            _ => panic!("expected stream"),
+        }
+    }
+
+    #[test]
+    fn reject_malformed() {
+        assert!(parse_logical_type("").is_err());
+        assert!(parse_logical_type("Bit").is_err());
+        assert!(parse_logical_type("Bit(）").is_err());
+        assert!(parse_logical_type("Bit(8) extra").is_err());
+        assert!(parse_logical_type("Frob(1)").is_err());
+        assert!(parse_logical_type("Stream(Bit(8), q=1)").is_err());
+        assert!(parse_logical_type("Group(a Bit(1))").is_err());
+        assert!(parse_logical_type("Stream(Bit(8), c=9)").is_err());
+        assert!(parse_logical_type("Bit(0)").is_err());
+    }
+
+    #[test]
+    fn tolerates_trailing_comma() {
+        let t = parse_logical_type("Group(a: Bit(1), b: Bit(2),)").unwrap();
+        assert_eq!(t.fields().len(), 2);
+    }
+}

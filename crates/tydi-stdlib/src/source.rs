@@ -1,0 +1,234 @@
+//! The embedded Tydi-lang source of the standard library.
+
+/// File name under which the standard library registers itself.
+pub const STDLIB_FILE_NAME: &str = "std.td";
+
+/// The standard library source (package `std`).
+pub const STDLIB_SOURCE: &str = r#"package std;
+
+// Boolean streams carry one bit per element; comparators produce them
+// and filters/logic gates consume them.
+type BoolStream = Stream(Bit(1));
+
+// ---------------------------------------------------------------------
+// Packet plumbing (handshake layer; inserted automatically by sugaring)
+// ---------------------------------------------------------------------
+streamlet duplicator_s<T: type, n: int> {
+    i : T in,
+    o : T out [n],
+}
+@builtin("std.duplicator")
+impl duplicator_i<T: type, n: int> of duplicator_s<type T, n> external;
+
+streamlet voider_s<T: type> {
+    i : T in,
+}
+@builtin("std.voider")
+impl voider_i<T: type> of voider_s<type T> external;
+
+streamlet passthrough_s<T: type> {
+    i : T in,
+    o : T out,
+}
+@builtin("std.passthrough")
+impl passthrough_i<T: type> of passthrough_s<type T> external;
+
+// ---------------------------------------------------------------------
+// Arithmetic: one template per operator, shared across logical types
+// (the two operands may be differently-typed columns)
+// ---------------------------------------------------------------------
+streamlet binop_s<Ta: type, Tb: type, Tout: type> {
+    in0 : Ta in,
+    in1 : Tb in,
+    o : Tout out,
+}
+@builtin("std.add")
+impl adder_i<Ta: type, Tb: type, Tout: type> of binop_s<type Ta, type Tb, type Tout> external;
+@builtin("std.sub")
+impl subtractor_i<Ta: type, Tb: type, Tout: type> of binop_s<type Ta, type Tb, type Tout> external;
+@builtin("std.mul")
+impl multiplier_i<Ta: type, Tb: type, Tout: type> of binop_s<type Ta, type Tb, type Tout> external;
+@builtin("std.div")
+impl divider_i<Ta: type, Tb: type, Tout: type> of binop_s<type Ta, type Tb, type Tout> external;
+
+// ---------------------------------------------------------------------
+// Comparators: two streams in, boolean stream out
+// ---------------------------------------------------------------------
+streamlet compare_s<Ta: type, Tb: type> {
+    in0 : Ta in,
+    in1 : Tb in,
+    o : BoolStream out,
+}
+@builtin("std.cmp_eq")
+impl eq_i<Ta: type, Tb: type> of compare_s<type Ta, type Tb> external;
+@builtin("std.cmp_ne")
+impl ne_i<Ta: type, Tb: type> of compare_s<type Ta, type Tb> external;
+@builtin("std.cmp_lt")
+impl lt_i<Ta: type, Tb: type> of compare_s<type Ta, type Tb> external;
+@builtin("std.cmp_le")
+impl le_i<Ta: type, Tb: type> of compare_s<type Ta, type Tb> external;
+@builtin("std.cmp_gt")
+impl gt_i<Ta: type, Tb: type> of compare_s<type Ta, type Tb> external;
+@builtin("std.cmp_ge")
+impl ge_i<Ta: type, Tb: type> of compare_s<type Ta, type Tb> external;
+
+// Compare against an elaboration-time constant (strings are
+// dictionary-encoded to integers upstream).
+streamlet compare_const_s<Tin: type> {
+    i : Tin in,
+    o : BoolStream out,
+}
+@builtin("std.eq_const")
+impl eq_const_i<Tin: type, v: int> of compare_const_s<type Tin> external;
+@builtin("std.ne_const")
+impl ne_const_i<Tin: type, v: int> of compare_const_s<type Tin> external;
+@builtin("std.lt_const")
+impl lt_const_i<Tin: type, v: int> of compare_const_s<type Tin> external;
+@builtin("std.le_const")
+impl le_const_i<Tin: type, v: int> of compare_const_s<type Tin> external;
+@builtin("std.gt_const")
+impl gt_const_i<Tin: type, v: int> of compare_const_s<type Tin> external;
+@builtin("std.ge_const")
+impl ge_const_i<Tin: type, v: int> of compare_const_s<type Tin> external;
+
+// ---------------------------------------------------------------------
+// N-ary boolean logic
+// ---------------------------------------------------------------------
+streamlet logic_n_s<n: int> {
+    i : BoolStream in [n],
+    o : BoolStream out,
+}
+@builtin("std.and_n")
+impl and_n_i<n: int> of logic_n_s<n> external;
+@builtin("std.or_n")
+impl or_n_i<n: int> of logic_n_s<n> external;
+
+streamlet not_s {
+    i : BoolStream in,
+    o : BoolStream out,
+}
+@builtin("std.not")
+impl not_i of not_s external;
+
+// ---------------------------------------------------------------------
+// Stream manipulation
+// ---------------------------------------------------------------------
+// Remove packets whose `keep` flag is 0 (the `where` clause).
+streamlet filter_s<T: type> {
+    i : T in,
+    keep : BoolStream in,
+    o : T out,
+}
+@builtin("std.filter")
+impl filter_i<T: type> of filter_s<type T> external;
+
+// Reductions over the innermost sequence dimension.
+streamlet reduce_s<Tin: type, Tout: type> {
+    i : Tin in,
+    o : Tout out,
+}
+@builtin("std.sum")
+impl sum_i<Tin: type, Tout: type> of reduce_s<type Tin, type Tout> external;
+@builtin("std.count")
+impl count_i<Tin: type, Tout: type> of reduce_s<type Tin, type Tout> external;
+@builtin("std.min")
+impl min_i<Tin: type, Tout: type> of reduce_s<type Tin, type Tout> external;
+@builtin("std.max")
+impl max_i<Tin: type, Tout: type> of reduce_s<type Tin, type Tout> external;
+
+// Round-robin packet distribution and collection (the parallelize
+// pattern of paper section IV-B).
+streamlet demux_s<T: type, n: int> {
+    i : T in,
+    o : T out [n],
+}
+@builtin("std.demux")
+impl demux_i<T: type, n: int> of demux_s<type T, n> external;
+
+streamlet mux_s<T: type, n: int> {
+    i : T in [n],
+    o : T out,
+}
+@builtin("std.mux")
+impl mux_i<T: type, n: int> of mux_s<type T, n> external;
+
+// Transforming logical types (the third stdlib category of paper
+// section IV-C, listed there as future work): split a two-field Group
+// stream into its field streams, or combine two streams into a Group.
+streamlet group_split2_s<Tin: type, Ta: type, Tb: type> {
+    i : Tin in,
+    a : Ta out,
+    b : Tb out,
+}
+@builtin("std.group_split2")
+impl group_split2_i<Tin: type, Ta: type, Tb: type> of group_split2_s<type Tin, type Ta, type Tb> external;
+
+streamlet group_combine2_s<Ta: type, Tb: type, Tout: type> {
+    a : Ta in,
+    b : Tb in,
+    o : Tout out,
+}
+@builtin("std.group_combine2")
+impl group_combine2_i<Ta: type, Tb: type, Tout: type> of group_combine2_s<type Ta, type Tb, type Tout> external;
+
+// Configurable constant generator (paper section IV-B).
+streamlet const_source_s<T: type> {
+    o : T out,
+}
+@builtin("std.const")
+impl const_source_i<T: type, v: int> of const_source_s<type T> external;
+// Finite variant: a constant column of n rows, closing the sequence
+// on the final row (aligns with Fletcher column streams).
+@builtin("std.const")
+impl const_vec_i<T: type, v: int, n: int> of const_source_s<type T> external;
+"#;
+
+/// Returns the standard library source text.
+pub fn stdlib_source() -> &'static str {
+    STDLIB_SOURCE
+}
+
+/// Lines of code of the standard library, counted with the paper's
+/// rule (non-blank, non-comment), the `LoCs` column of Table IV.
+pub fn stdlib_loc() -> usize {
+    tydi_vhdl::loc::count_tydi_loc(STDLIB_SOURCE)
+}
+
+/// Prepends the standard library to a set of user sources, producing
+/// an owned source list ready for [`tydi_lang::compile`].
+pub fn with_stdlib(user: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut out = Vec::with_capacity(user.len() + 1);
+    out.push((STDLIB_FILE_NAME.to_string(), STDLIB_SOURCE.to_string()));
+    for (name, text) in user {
+        out.push((name.to_string(), text.to_string()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tydi_lang::{compile, CompileOptions};
+
+    #[test]
+    fn stdlib_compiles_stand_alone() {
+        // The library is almost pure templates: compiling it alone
+        // elaborates only the single concrete component (`not_i`).
+        let out = compile(
+            &[(STDLIB_FILE_NAME, STDLIB_SOURCE)],
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.project.implementations().len(), 1);
+        assert!(out.project.implementation("not_i").is_some());
+        assert_eq!(out.project.streamlets().len(), 1);
+    }
+
+    #[test]
+    fn with_stdlib_prepends() {
+        let sources = with_stdlib(&[("a.td", "package a;")]);
+        assert_eq!(sources.len(), 2);
+        assert_eq!(sources[0].0, STDLIB_FILE_NAME);
+        assert_eq!(sources[1].0, "a.td");
+    }
+}

@@ -1,0 +1,419 @@
+//! Synthetic TPC-H data with the official column domains.
+//!
+//! The generator is deterministic (seeded) and column-major, producing
+//! the [`Table`]s the Fletcher simulation sources stream from. String
+//! columns are dictionary-encoded with domain-ordered dictionaries so
+//! that codes are stable across runs and row counts.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use tydi_fletcher::encode::{encode_date, Dictionary};
+use tydi_fletcher::schema::{ArrowField, ArrowSchema, ArrowType};
+use tydi_fletcher::Table;
+
+/// Data generation options.
+#[derive(Debug, Clone, Copy)]
+pub struct GenOptions {
+    /// Rows per table (the synthetic scale factor).
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            rows: 512,
+            seed: 0x7D11,
+        }
+    }
+}
+
+/// String domains, in dictionary order.
+pub const RETURNFLAGS: &[&str] = &["A", "N", "R"];
+/// `l_linestatus` domain.
+pub const LINESTATUS: &[&str] = &["F", "O"];
+/// `l_shipinstruct` domain.
+pub const SHIPINSTRUCT: &[&str] = &[
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+/// `l_shipmode` domain.
+pub const SHIPMODES: &[&str] = &["AIR", "AIR REG", "FOB", "MAIL", "RAIL", "SHIP", "TRUCK"];
+/// `c_mktsegment` domain.
+pub const MKTSEGMENTS: &[&str] = &[
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
+/// `r_name` domain.
+pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+fn brand_domain() -> Vec<String> {
+    let mut v = Vec::new();
+    for a in 1..=5 {
+        for b in 1..=5 {
+            v.push(format!("Brand#{a}{b}"));
+        }
+    }
+    v
+}
+
+fn container_domain() -> Vec<String> {
+    let sizes = ["SM", "MED", "LG", "JUMBO", "WRAP"];
+    let kinds = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+    let mut v = Vec::new();
+    for s in sizes {
+        for k in kinds {
+            v.push(format!("{s} {k}"));
+        }
+    }
+    v
+}
+
+/// The generated data set: Fletcher tables plus the per-column string
+/// dictionaries needed to splice constants into query sources.
+#[derive(Debug, Clone)]
+pub struct TpchData {
+    /// Rows per table.
+    pub rows: usize,
+    /// Tables keyed by name (`lineitem`, `lineitem_part`, `q3view`,
+    /// `q5view`).
+    pub tables: HashMap<String, Table>,
+    /// Dictionaries keyed by column name.
+    pub dicts: HashMap<&'static str, Dictionary>,
+}
+
+impl TpchData {
+    /// Generates the data set.
+    pub fn generate(options: GenOptions) -> TpchData {
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let rows = options.rows;
+
+        let mut dicts: HashMap<&'static str, Dictionary> = HashMap::new();
+        let mut dict =
+            |name: &'static str, domain: &[String]| -> Dictionary {
+                let mut d = Dictionary::new();
+                for value in domain {
+                    d.encode(value);
+                }
+                dicts.insert(name, d.clone());
+                d
+            };
+        let owned = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        let d_flag = dict("l_returnflag", &owned(RETURNFLAGS));
+        let d_status = dict("l_linestatus", &owned(LINESTATUS));
+        let d_instruct = dict("l_shipinstruct", &owned(SHIPINSTRUCT));
+        let d_mode = dict("l_shipmode", &owned(SHIPMODES));
+        let d_brand = dict("p_brand", &brand_domain());
+        let d_container = dict("p_container", &container_domain());
+        let d_segment = dict("c_mktsegment", &owned(MKTSEGMENTS));
+        let d_region = dict("r_name", &owned(REGIONS));
+
+        let date_lo = encode_date(1992, 1, 1);
+        let date_hi = encode_date(1998, 12, 1);
+
+        // Column generator.
+        fn gen_col(
+            rng: &mut StdRng,
+            rows: usize,
+            f: impl Fn(&mut StdRng) -> i64,
+        ) -> Vec<i64> {
+            (0..rows).map(|_| f(rng)).collect()
+        }
+        let quantity = gen_col(&mut rng, rows, |r| r.random_range(1..=50));
+        let extendedprice = gen_col(&mut rng, rows, |r| r.random_range(90_000..=10_000_000));
+        let discount = gen_col(&mut rng, rows, |r| r.random_range(0..=10));
+        let tax = gen_col(&mut rng, rows, |r| r.random_range(0..=8));
+        let returnflag = gen_col(&mut rng, rows, |r| r.random_range(0..d_flag.len() as i64));
+        let linestatus = gen_col(&mut rng, rows, |r| r.random_range(0..d_status.len() as i64));
+        let shipdate = gen_col(&mut rng, rows, |r| r.random_range(date_lo..=date_hi));
+        let shipinstruct = gen_col(&mut rng, rows, |r| r.random_range(0..d_instruct.len() as i64));
+        let shipmode = gen_col(&mut rng, rows, |r| r.random_range(0..d_mode.len() as i64));
+        let orderkey = gen_col(&mut rng, rows, |r| r.random_range(1..=1_500_000));
+
+        let mut tables = HashMap::new();
+        tables.insert(
+            "lineitem".to_string(),
+            Table::new()
+                .with_column("l_orderkey", orderkey)
+                .with_column("l_quantity", quantity.clone())
+                .with_column("l_extendedprice", extendedprice.clone())
+                .with_column("l_discount", discount.clone())
+                .with_column("l_tax", tax)
+                .with_column("l_returnflag", returnflag)
+                .with_column("l_linestatus", linestatus)
+                .with_column("l_shipdate", shipdate)
+                .with_column("l_shipinstruct", shipinstruct.clone())
+                .with_column("l_shipmode", shipmode.clone()),
+        );
+
+        // Pre-joined lineitem x part view for Q19. Quantities are
+        // biased low so the in-range predicates match.
+        let q19_quantity = gen_col(&mut rng, rows, |r| r.random_range(1..=30));
+        let brand = gen_col(&mut rng, rows, |r| r.random_range(0..d_brand.len() as i64));
+        let container = gen_col(&mut rng, rows, |r| r.random_range(0..d_container.len() as i64));
+        let size = gen_col(&mut rng, rows, |r| r.random_range(1..=50));
+        tables.insert(
+            "lineitem_part".to_string(),
+            Table::new()
+                .with_column("l_quantity", q19_quantity)
+                .with_column("l_extendedprice", extendedprice.clone())
+                .with_column("l_discount", discount.clone())
+                .with_column("l_shipinstruct", shipinstruct)
+                .with_column("l_shipmode", shipmode)
+                .with_column("p_brand", brand)
+                .with_column("p_container", container)
+                .with_column("p_size", size),
+        );
+
+        // Pre-joined customer x orders x lineitem view for Q3.
+        let segment = gen_col(&mut rng, rows, |r| r.random_range(0..d_segment.len() as i64));
+        let orderdate = gen_col(&mut rng, rows, |r| r.random_range(date_lo..=date_hi));
+        let q3_shipdate = gen_col(&mut rng, rows, |r| r.random_range(date_lo..=date_hi));
+        let q3_price = gen_col(&mut rng, rows, |r| r.random_range(90_000..=10_000_000));
+        let q3_disc = gen_col(&mut rng, rows, |r| r.random_range(0..=10));
+        tables.insert(
+            "q3view".to_string(),
+            Table::new()
+                .with_column("c_mktsegment", segment)
+                .with_column("o_orderdate", orderdate)
+                .with_column("l_shipdate", q3_shipdate)
+                .with_column("l_extendedprice", q3_price)
+                .with_column("l_discount", q3_disc),
+        );
+
+        // Pre-joined view for Q5.
+        let region = gen_col(&mut rng, rows, |r| r.random_range(0..d_region.len() as i64));
+        let q5_orderdate = gen_col(&mut rng, rows, |r| r.random_range(date_lo..=date_hi));
+        let c_nation = gen_col(&mut rng, rows, |r| r.random_range(0..25));
+        // Bias supplier nations so the equality join predicate hits.
+        let s_nation: Vec<i64> = c_nation
+            .iter()
+            .map(|&c| {
+                if rng.random_range(0..4) == 0 {
+                    c
+                } else {
+                    rng.random_range(0..25)
+                }
+            })
+            .collect();
+        let q5_price = gen_col(&mut rng, rows, |r| r.random_range(90_000..=10_000_000));
+        let q5_disc = gen_col(&mut rng, rows, |r| r.random_range(0..=10));
+        tables.insert(
+            "q5view".to_string(),
+            Table::new()
+                .with_column("r_name", region)
+                .with_column("o_orderdate", q5_orderdate)
+                .with_column("c_nationkey", c_nation)
+                .with_column("s_nationkey", s_nation)
+                .with_column("l_extendedprice", q5_price)
+                .with_column("l_discount", q5_disc),
+        );
+
+        TpchData {
+            rows,
+            tables,
+            dicts,
+        }
+    }
+
+    /// A column of a table.
+    pub fn column(&self, table: &str, column: &str) -> &[i64] {
+        self.tables
+            .get(table)
+            .and_then(|t| t.column(column))
+            .unwrap_or_else(|| panic!("missing column {table}.{column}"))
+    }
+
+    /// Dictionary code of a string constant.
+    pub fn code(&self, column: &str, value: &str) -> i64 {
+        self.dicts
+            .get(column)
+            .and_then(|d| d.lookup(value))
+            .unwrap_or_else(|| panic!("no dictionary code for {column}={value:?}"))
+    }
+}
+
+/// Full `lineitem` schema (all columns a query might touch; unused
+/// reader outputs exercise voider sugaring, paper §IV-D).
+pub fn lineitem_schema() -> ArrowSchema {
+    ArrowSchema::new(
+        "lineitem",
+        vec![
+            ArrowField::new("l_orderkey", ArrowType::Int(64)),
+            ArrowField::new("l_quantity", ArrowType::Int(32)),
+            ArrowField::new(
+                "l_extendedprice",
+                ArrowType::Decimal {
+                    precision: 12,
+                    scale: 2,
+                },
+            ),
+            ArrowField::new("l_discount", ArrowType::Int(8)),
+            ArrowField::new("l_tax", ArrowType::Int(8)),
+            ArrowField::new("l_returnflag", ArrowType::Utf8),
+            ArrowField::new("l_linestatus", ArrowType::Utf8),
+            ArrowField::new("l_shipdate", ArrowType::Date32),
+            ArrowField::new("l_shipinstruct", ArrowType::Utf8),
+            ArrowField::new("l_shipmode", ArrowType::Utf8),
+        ],
+    )
+}
+
+/// Pre-joined `lineitem x part` schema for Q19.
+pub fn lineitem_part_schema() -> ArrowSchema {
+    ArrowSchema::new(
+        "lineitem_part",
+        vec![
+            ArrowField::new("l_quantity", ArrowType::Int(32)),
+            ArrowField::new(
+                "l_extendedprice",
+                ArrowType::Decimal {
+                    precision: 12,
+                    scale: 2,
+                },
+            ),
+            ArrowField::new("l_discount", ArrowType::Int(8)),
+            ArrowField::new("l_shipinstruct", ArrowType::Utf8),
+            ArrowField::new("l_shipmode", ArrowType::Utf8),
+            ArrowField::new("p_brand", ArrowType::Utf8),
+            ArrowField::new("p_container", ArrowType::Utf8),
+            ArrowField::new("p_size", ArrowType::Int(32)),
+        ],
+    )
+}
+
+/// Pre-joined view schema for Q3.
+pub fn q3view_schema() -> ArrowSchema {
+    ArrowSchema::new(
+        "q3view",
+        vec![
+            ArrowField::new("c_mktsegment", ArrowType::Utf8),
+            ArrowField::new("o_orderdate", ArrowType::Date32),
+            ArrowField::new("l_shipdate", ArrowType::Date32),
+            ArrowField::new(
+                "l_extendedprice",
+                ArrowType::Decimal {
+                    precision: 12,
+                    scale: 2,
+                },
+            ),
+            ArrowField::new("l_discount", ArrowType::Int(8)),
+        ],
+    )
+}
+
+/// Pre-joined view schema for Q5.
+pub fn q5view_schema() -> ArrowSchema {
+    ArrowSchema::new(
+        "q5view",
+        vec![
+            ArrowField::new("r_name", ArrowType::Utf8),
+            ArrowField::new("o_orderdate", ArrowType::Date32),
+            ArrowField::new("c_nationkey", ArrowType::Int(8)),
+            ArrowField::new("s_nationkey", ArrowType::Int(8)),
+            ArrowField::new(
+                "l_extendedprice",
+                ArrowType::Decimal {
+                    precision: 12,
+                    scale: 2,
+                },
+            ),
+            ArrowField::new("l_discount", ArrowType::Int(8)),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TpchData::generate(GenOptions::default());
+        let b = TpchData::generate(GenOptions::default());
+        assert_eq!(
+            a.column("lineitem", "l_quantity"),
+            b.column("lineitem", "l_quantity")
+        );
+        assert_eq!(
+            a.column("q5view", "s_nationkey"),
+            b.column("q5view", "s_nationkey")
+        );
+    }
+
+    #[test]
+    fn seeds_change_data() {
+        let a = TpchData::generate(GenOptions::default());
+        let b = TpchData::generate(GenOptions {
+            seed: 99,
+            ..GenOptions::default()
+        });
+        assert_ne!(
+            a.column("lineitem", "l_quantity"),
+            b.column("lineitem", "l_quantity")
+        );
+    }
+
+    #[test]
+    fn domains_respected() {
+        let d = TpchData::generate(GenOptions {
+            rows: 2000,
+            seed: 3,
+        });
+        assert!(d
+            .column("lineitem", "l_quantity")
+            .iter()
+            .all(|&q| (1..=50).contains(&q)));
+        assert!(d
+            .column("lineitem", "l_discount")
+            .iter()
+            .all(|&x| (0..=10).contains(&x)));
+        let flags = d.column("lineitem", "l_returnflag");
+        assert!(flags.iter().all(|&f| (0..3).contains(&f)));
+        // All three flags appear at 2000 rows.
+        for code in 0..3 {
+            assert!(flags.contains(&code), "flag {code} missing");
+        }
+    }
+
+    #[test]
+    fn dictionary_codes_match_domains() {
+        let d = TpchData::generate(GenOptions::default());
+        assert_eq!(d.code("l_returnflag", "A"), 0);
+        assert_eq!(d.code("l_returnflag", "R"), 2);
+        assert_eq!(d.code("l_shipmode", "AIR"), 0);
+        assert_eq!(d.code("l_shipmode", "AIR REG"), 1);
+        assert_eq!(d.code("r_name", "ASIA"), 2);
+        assert_eq!(d.code("c_mktsegment", "BUILDING"), 1);
+        assert_eq!(d.code("p_brand", "Brand#12"), 1);
+        assert_eq!(d.code("p_container", "SM CASE"), 0);
+        assert_eq!(d.code("p_container", "MED BAG"), 10);
+    }
+
+    #[test]
+    fn schemas_cover_table_columns() {
+        let d = TpchData::generate(GenOptions { rows: 8, seed: 1 });
+        for (schema, table) in [
+            (lineitem_schema(), "lineitem"),
+            (lineitem_part_schema(), "lineitem_part"),
+            (q3view_schema(), "q3view"),
+            (q5view_schema(), "q5view"),
+        ] {
+            let t = &d.tables[table];
+            for field in &schema.fields {
+                assert!(
+                    t.column(&field.name).is_some(),
+                    "{table} missing {}",
+                    field.name
+                );
+            }
+        }
+    }
+}

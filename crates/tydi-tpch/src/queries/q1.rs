@@ -1,0 +1,388 @@
+//! TPC-H Query 1: the pricing summary report.
+//!
+//! Group-by over `(l_returnflag, l_linestatus)` is unrolled across the
+//! four observed combinations with the generative `for` syntax; each
+//! combination filters four value streams and a row counter.
+//!
+//! Two variants reproduce the paper's sugaring comparison (Table IV
+//! rows "TPC-H 1" and "TPC-H 1 (without sugaring)"): the sugared
+//! source lets the compiler insert duplicators and voiders; the
+//! desugared source spells out every `duplicator_i` / `voider_i`
+//! instance and is compiled with sugaring disabled.
+
+use super::QueryCase;
+use crate::data::TpchData;
+use tydi_fletcher::encode::encode_date;
+use tydi_fletcher::generate_reader_package;
+
+const SQL: &str = "\
+select
+    l_returnflag,
+    l_linestatus,
+    sum(l_quantity) as sum_qty,
+    sum(l_extendedprice) as sum_base_price,
+    sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+    sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge,
+    avg(l_quantity) as avg_qty,
+    avg(l_extendedprice) as avg_price,
+    avg(l_discount) as avg_disc,
+    count(*) as count_order
+from
+    lineitem
+where
+    l_shipdate <= date '1998-12-01' - interval '90' day
+group by
+    l_returnflag,
+    l_linestatus
+order by
+    l_returnflag,
+    l_linestatus;";
+
+/// The four `(returnflag, linestatus)` combinations of the TPC-H
+/// answer set, in output order.
+pub const COMBOS: [(&str, &str); 4] = [("A", "F"), ("N", "F"), ("N", "O"), ("R", "F")];
+
+fn preamble(package: &str, data: &TpchData, date: i64) -> String {
+    let flags: Vec<String> = COMBOS
+        .iter()
+        .map(|(f, _)| data.code("l_returnflag", f).to_string())
+        .collect();
+    let statuses: Vec<String> = COMBOS
+        .iter()
+        .map(|(_, s)| data.code("l_linestatus", s).to_string())
+        .collect();
+    format!(
+        r#"package {package};
+use std;
+use fletcher_lineitem;
+
+// TPC-H 1: pricing summary, unrolled over the four observed
+// (l_returnflag, l_linestatus) combinations.
+{types}
+const flags : [int] = [{flags}];
+const statuses : [int] = [{statuses}];
+const cutoff : int = {date};
+
+streamlet q1_s {{
+    sum_qty : Agg out [4],
+    sum_base : Agg out [4],
+    sum_disc : Agg out [4],
+    sum_charge : Agg out [4],
+    count_order : Agg out [4],
+}}
+"#,
+        types = super::money_types(),
+        flags = flags.join(", "),
+        statuses = statuses.join(", "),
+    )
+}
+
+/// The shared value-stream block: `disc_price` and `charge`.
+/// `price_src` is the endpoint feeding the disc_price multiplier.
+fn value_streams(rows: usize, price_src: &str) -> String {
+    format!(
+        r#"    // disc_price = l_extendedprice * (100 - l_discount) / 100
+    instance hundred_a(const_vec_i<type lineitem_l_discount_t, 100, {rows}>),
+    instance one_minus(subtractor_i<type lineitem_l_discount_t, type lineitem_l_discount_t, type lineitem_l_discount_t>),
+    hundred_a.o => one_minus.in0,
+    rd.l_discount => one_minus.in1,
+    instance disc_mul(multiplier_i<type lineitem_l_extendedprice_t, type lineitem_l_discount_t, type Money>),
+    {price_src} => disc_mul.in0,
+    one_minus.o => disc_mul.in1,
+    instance hundred_b(const_vec_i<type Money, 100, {rows}>),
+    instance disc_div(divider_i<type Money, type Money, type Money>),
+    disc_mul.o => disc_div.in0,
+    hundred_b.o => disc_div.in1,
+    // charge = disc_price * (100 + l_tax) / 100
+    instance hundred_c(const_vec_i<type lineitem_l_tax_t, 100, {rows}>),
+    instance tax_plus(adder_i<type lineitem_l_tax_t, type lineitem_l_tax_t, type lineitem_l_tax_t>),
+    hundred_c.o => tax_plus.in0,
+    rd.l_tax => tax_plus.in1,
+    instance charge_mul(multiplier_i<type Money, type lineitem_l_tax_t, type Money>),
+    {disc_src} => charge_mul.in0,
+    tax_plus.o => charge_mul.in1,
+    instance hundred_d(const_vec_i<type Money, 100, {rows}>),
+    instance charge_div(divider_i<type Money, type Money, type Money>),
+    charge_mul.o => charge_div.in0,
+    hundred_d.o => charge_div.in1,
+    // where l_shipdate <= :cutoff
+    instance date_ok(le_const_i<type lineitem_l_shipdate_t, cutoff>),
+    rd.l_shipdate => date_ok.i,
+"#,
+        disc_src = if price_src.starts_with("dup_") {
+            "dup_discprice.o[4]"
+        } else {
+            "disc_div.o"
+        },
+    )
+}
+
+/// The sugared query source: multi-use streams connected directly;
+/// the compiler infers duplicators and voiders (paper Fig. 4).
+fn sugared_source(data: &TpchData, date: i64, rows: usize) -> String {
+    let mut s = preamble("q1", data, date);
+    s.push_str("@NoStrictType\nimpl q1_i of q1_s {\n    instance rd(lineitem_reader_i),\n");
+    s.push_str(&value_streams(rows, "rd.l_extendedprice"));
+    s.push_str(
+        r#"    for c in (0..4) {
+        instance f_eq(eq_const_i<type lineitem_l_returnflag_t, flags[c]>),
+        rd.l_returnflag => f_eq.i,
+        instance s_eq(eq_const_i<type lineitem_l_linestatus_t, statuses[c]>),
+        rd.l_linestatus => s_eq.i,
+        instance keep(and_n_i<3>),
+        f_eq.o => keep.i[0],
+        s_eq.o => keep.i[1],
+        date_ok.o => keep.i[2],
+        instance f_qty(filter_i<type lineitem_l_quantity_t>),
+        rd.l_quantity => f_qty.i,
+        keep.o => f_qty.keep,
+        instance s_qty(sum_i<type lineitem_l_quantity_t, type Agg>),
+        f_qty.o => s_qty.i,
+        s_qty.o => sum_qty[c],
+        instance n_rows(count_i<type lineitem_l_quantity_t, type Agg>),
+        f_qty.o => n_rows.i,
+        n_rows.o => count_order[c],
+        instance f_base(filter_i<type lineitem_l_extendedprice_t>),
+        rd.l_extendedprice => f_base.i,
+        keep.o => f_base.keep,
+        instance s_base(sum_i<type lineitem_l_extendedprice_t, type Agg>),
+        f_base.o => s_base.i,
+        s_base.o => sum_base[c],
+        instance f_disc(filter_i<type Money>),
+        disc_div.o => f_disc.i,
+        keep.o => f_disc.keep,
+        instance s_disc(sum_i<type Money, type Agg>),
+        f_disc.o => s_disc.i,
+        s_disc.o => sum_disc[c],
+        instance f_charge(filter_i<type Money>),
+        charge_div.o => f_charge.i,
+        keep.o => f_charge.keep,
+        instance s_charge(sum_i<type Money, type Agg>),
+        f_charge.o => s_charge.i,
+        s_charge.o => sum_charge[c],
+    }
+}
+"#,
+    );
+    s
+}
+
+/// The desugared source: every duplicator and voider written out, as a
+/// designer would have to without the sugaring pass.
+fn desugared_source(data: &TpchData, date: i64, rows: usize) -> String {
+    let mut s = preamble("q1_nosugar", data, date);
+    s.push_str("@NoStrictType\nimpl q1_nosugar_i of q1_s {\n    instance rd(lineitem_reader_i),\n");
+    s.push_str(
+        r#"    // voiders for reader outputs this query does not use
+    instance v_okey(voider_i<type lineitem_l_orderkey_t>),
+    rd.l_orderkey => v_okey.i,
+    instance v_instr(voider_i<type lineitem_l_shipinstruct_t>),
+    rd.l_shipinstruct => v_instr.i,
+    instance v_mode(voider_i<type lineitem_l_shipmode_t>),
+    rd.l_shipmode => v_mode.i,
+    // explicit duplicators for every multiply-used stream
+    instance dup_flag(duplicator_i<type lineitem_l_returnflag_t, 4>),
+    rd.l_returnflag => dup_flag.i,
+    instance dup_status(duplicator_i<type lineitem_l_linestatus_t, 4>),
+    rd.l_linestatus => dup_status.i,
+    instance dup_qty(duplicator_i<type lineitem_l_quantity_t, 4>),
+    rd.l_quantity => dup_qty.i,
+    instance dup_price(duplicator_i<type lineitem_l_extendedprice_t, 5>),
+    rd.l_extendedprice => dup_price.i,
+    instance dup_discprice(duplicator_i<type Money, 5>),
+"#,
+    );
+    s.push_str(&value_streams(rows, "dup_price.o[4]"));
+    s.push_str(
+        r#"    disc_div.o => dup_discprice.i,
+    instance dup_charge(duplicator_i<type Money, 4>),
+    charge_div.o => dup_charge.i,
+    instance dup_dateok(duplicator_i<type BoolStream, 4>),
+    date_ok.o => dup_dateok.i,
+    for c in (0..4) {
+        instance f_eq(eq_const_i<type lineitem_l_returnflag_t, flags[c]>),
+        dup_flag.o[c] => f_eq.i,
+        instance s_eq(eq_const_i<type lineitem_l_linestatus_t, statuses[c]>),
+        dup_status.o[c] => s_eq.i,
+        instance keep(and_n_i<3>),
+        f_eq.o => keep.i[0],
+        s_eq.o => keep.i[1],
+        dup_dateok.o[c] => keep.i[2],
+        instance dup_keep(duplicator_i<type BoolStream, 4>),
+        keep.o => dup_keep.i,
+        instance f_qty(filter_i<type lineitem_l_quantity_t>),
+        dup_qty.o[c] => f_qty.i,
+        dup_keep.o[0] => f_qty.keep,
+        instance dup_fq(duplicator_i<type lineitem_l_quantity_t, 2>),
+        f_qty.o => dup_fq.i,
+        instance s_qty(sum_i<type lineitem_l_quantity_t, type Agg>),
+        dup_fq.o[0] => s_qty.i,
+        s_qty.o => sum_qty[c],
+        instance n_rows(count_i<type lineitem_l_quantity_t, type Agg>),
+        dup_fq.o[1] => n_rows.i,
+        n_rows.o => count_order[c],
+        instance f_base(filter_i<type lineitem_l_extendedprice_t>),
+        dup_price.o[c] => f_base.i,
+        dup_keep.o[1] => f_base.keep,
+        instance s_base(sum_i<type lineitem_l_extendedprice_t, type Agg>),
+        f_base.o => s_base.i,
+        s_base.o => sum_base[c],
+        instance f_disc(filter_i<type Money>),
+        dup_discprice.o[c] => f_disc.i,
+        dup_keep.o[2] => f_disc.keep,
+        instance s_disc(sum_i<type Money, type Agg>),
+        f_disc.o => s_disc.i,
+        s_disc.o => sum_disc[c],
+        instance f_charge(filter_i<type Money>),
+        dup_charge.o[c] => f_charge.i,
+        dup_keep.o[3] => f_charge.keep,
+        instance s_charge(sum_i<type Money, type Agg>),
+        f_charge.o => s_charge.i,
+        s_charge.o => sum_charge[c],
+    }
+}
+"#,
+    );
+    s
+}
+
+/// Per-combination aggregates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ComboAggregates {
+    /// `sum(l_quantity)`.
+    pub sum_qty: i64,
+    /// `sum(l_extendedprice)`.
+    pub sum_base: i64,
+    /// `sum(disc_price)`.
+    pub sum_disc: i64,
+    /// `sum(charge)`.
+    pub sum_charge: i64,
+    /// `count(*)`.
+    pub count: i64,
+}
+
+/// Reference executor over the four combinations.
+pub fn reference(data: &TpchData, date: i64) -> [ComboAggregates; 4] {
+    let flag = data.column("lineitem", "l_returnflag");
+    let status = data.column("lineitem", "l_linestatus");
+    let qty = data.column("lineitem", "l_quantity");
+    let price = data.column("lineitem", "l_extendedprice");
+    let disc = data.column("lineitem", "l_discount");
+    let tax = data.column("lineitem", "l_tax");
+    let shipdate = data.column("lineitem", "l_shipdate");
+    let combo_codes: Vec<(i64, i64)> = COMBOS
+        .iter()
+        .map(|(f, s)| (data.code("l_returnflag", f), data.code("l_linestatus", s)))
+        .collect();
+    let mut out = [ComboAggregates::default(); 4];
+    for i in 0..flag.len() {
+        if shipdate[i] > date {
+            continue;
+        }
+        let Some(c) = combo_codes
+            .iter()
+            .position(|&(f, s)| f == flag[i] && s == status[i])
+        else {
+            continue;
+        };
+        let disc_price = price[i] * (100 - disc[i]) / 100;
+        let charge = disc_price * (100 + tax[i]) / 100;
+        out[c].sum_qty += qty[i];
+        out[c].sum_base += price[i];
+        out[c].sum_disc += disc_price;
+        out[c].sum_charge += charge;
+        out[c].count += 1;
+    }
+    out
+}
+
+/// Builds the Q1 case (`desugared = true` gives the explicit variant
+/// compiled without sugaring).
+pub fn build(data: &TpchData, desugared: bool) -> QueryCase {
+    let date = encode_date(1998, 9, 2);
+    let aggregates = reference(data, date);
+    let mut expected = Vec::new();
+    for (series, extract) in [
+        ("sum_qty", (|a: &ComboAggregates| a.sum_qty) as fn(&ComboAggregates) -> i64),
+        ("sum_base", |a| a.sum_base),
+        ("sum_disc", |a| a.sum_disc),
+        ("sum_charge", |a| a.sum_charge),
+        ("count_order", |a| a.count),
+    ] {
+        for (c, agg) in aggregates.iter().enumerate() {
+            expected.push((format!("{series}_{c}"), vec![extract(agg)]));
+        }
+    }
+    let fletcher = vec![(
+        "fletcher_lineitem.td".to_string(),
+        generate_reader_package(&crate::data::lineitem_schema()),
+    )];
+    if desugared {
+        QueryCase {
+            id: "q1_nosugar",
+            title: "TPC-H 1 (without sugaring)",
+            sql: SQL,
+            fletcher_sources: fletcher,
+            query_source: (
+                "q1_nosugar.td".to_string(),
+                desugared_source(data, date, data.rows),
+            ),
+            top_impl: "q1_nosugar_i".to_string(),
+            sugaring: false,
+            expected,
+        }
+    } else {
+        QueryCase {
+            id: "q1",
+            title: "TPC-H 1",
+            sql: SQL,
+            fletcher_sources: fletcher,
+            query_source: ("q1.td".to_string(), sugared_source(data, date, data.rows)),
+            top_impl: "q1_i".to_string(),
+            sugaring: true,
+            expected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::GenOptions;
+
+    #[test]
+    fn reference_covers_all_combos() {
+        let data = TpchData::generate(GenOptions {
+            rows: 4096,
+            seed: 1,
+        });
+        let aggs = reference(&data, encode_date(1998, 9, 2));
+        for (i, a) in aggs.iter().enumerate() {
+            assert!(a.count > 0, "combo {i} empty");
+            assert!(a.sum_disc <= a.sum_base, "discount increases price?");
+            assert!(a.sum_charge >= a.sum_disc, "tax decreases charge?");
+        }
+    }
+
+    #[test]
+    fn desugared_source_is_longer() {
+        let data = TpchData::generate(GenOptions { rows: 16, seed: 1 });
+        let sugared = sugared_source(&data, 0, 16);
+        let desugared = desugared_source(&data, 0, 16);
+        let a = tydi_vhdl::loc::count_tydi_loc(&sugared);
+        let b = tydi_vhdl::loc::count_tydi_loc(&desugared);
+        assert!(b > a, "desugared {b} <= sugared {a}");
+        assert!(desugared.contains("duplicator_i"));
+        assert!(desugared.contains("voider_i"));
+        assert!(!sugared.contains("duplicator_i"));
+    }
+
+    #[test]
+    fn expected_port_names_match_streamlet_arrays() {
+        let data = TpchData::generate(GenOptions { rows: 16, seed: 1 });
+        let case = build(&data, false);
+        assert_eq!(case.expected.len(), 20);
+        assert!(case.expected.iter().any(|(p, _)| p == "sum_qty_0"));
+        assert!(case.expected.iter().any(|(p, _)| p == "count_order_3"));
+    }
+}

@@ -1,0 +1,238 @@
+//! TPC-H Queries 3 and 5 over pre-joined Fletcher views.
+//!
+//! Both queries share the `sum(l_extendedprice * (1 - l_discount))`
+//! revenue tail; they differ in their predicates. Per-key grouping
+//! (orderkey for Q3, nation for Q5) is reduced to the total aggregate
+//! — intermediate materialisation is outside the paper's scope (§VI).
+
+use super::{revenue_tail, row_revenue, QueryCase};
+use crate::data::TpchData;
+use tydi_fletcher::encode::encode_date;
+use tydi_fletcher::generate_reader_package;
+
+const Q3_SQL: &str = "\
+select
+    l_orderkey,
+    sum(l_extendedprice * (1 - l_discount)) as revenue,
+    o_orderdate,
+    o_shippriority
+from
+    customer,
+    orders,
+    lineitem
+where
+    c_mktsegment = 'BUILDING'
+    and c_custkey = o_custkey
+    and l_orderkey = o_orderkey
+    and o_orderdate < date '1995-03-15'
+    and l_shipdate > date '1995-03-15'
+group by
+    l_orderkey, o_orderdate, o_shippriority
+order by
+    revenue desc, o_orderdate;";
+
+const Q5_SQL: &str = "\
+select
+    n_name,
+    sum(l_extendedprice * (1 - l_discount)) as revenue
+from
+    customer, orders, lineitem, supplier, nation, region
+where
+    c_custkey = o_custkey
+    and l_orderkey = o_orderkey
+    and l_suppkey = s_suppkey
+    and c_nationkey = s_nationkey
+    and s_nationkey = n_nationkey
+    and n_regionkey = r_regionkey
+    and r_name = 'ASIA'
+    and o_orderdate >= date '1994-01-01'
+    and o_orderdate < date '1995-01-01'
+group by
+    n_name
+order by
+    revenue desc;";
+
+fn q3_source(segment_code: i64, date: i64, rows: usize) -> String {
+    format!(
+        r#"package q3;
+use std;
+use fletcher_q3view;
+
+// TPC-H 3: shipping priority (revenue over the pre-joined view).
+{types}
+streamlet q3_s {{
+    revenue : Agg out,
+}}
+@NoStrictType
+impl q3_i of q3_s {{
+    instance rd(q3view_reader_i),
+    // where c_mktsegment = 'BUILDING'
+    instance c_seg(eq_const_i<type q3view_c_mktsegment_t, {segment_code}>),
+    rd.c_mktsegment => c_seg.i,
+    // and o_orderdate < :date and l_shipdate > :date
+    instance c_odate(lt_const_i<type q3view_o_orderdate_t, {date}>),
+    rd.o_orderdate => c_odate.i,
+    instance c_sdate(gt_const_i<type q3view_l_shipdate_t, {date}>),
+    rd.l_shipdate => c_sdate.i,
+    instance keep_all(and_n_i<3>),
+    c_seg.o => keep_all.i[0],
+    c_odate.o => keep_all.i[1],
+    c_sdate.o => keep_all.i[2],
+{tail}}}
+"#,
+        types = super::money_types(),
+        tail = revenue_tail("q3view", "l_extendedprice", "l_discount", "keep_all.o", rows),
+    )
+}
+
+fn q5_source(region_code: i64, d0: i64, d1: i64, rows: usize) -> String {
+    format!(
+        r#"package q5;
+use std;
+use fletcher_q5view;
+
+// TPC-H 5: local supplier volume (revenue over the pre-joined view).
+{types}
+streamlet q5_s {{
+    revenue : Agg out,
+}}
+@NoStrictType
+impl q5_i of q5_s {{
+    instance rd(q5view_reader_i),
+    // where r_name = 'ASIA'
+    instance c_region(eq_const_i<type q5view_r_name_t, {region_code}>),
+    rd.r_name => c_region.i,
+    // and o_orderdate >= :d0 and o_orderdate < :d1
+    instance c_date_lo(ge_const_i<type q5view_o_orderdate_t, {d0}>),
+    instance c_date_hi(lt_const_i<type q5view_o_orderdate_t, {d1}>),
+    rd.o_orderdate => c_date_lo.i,
+    rd.o_orderdate => c_date_hi.i,
+    // and c_nationkey = s_nationkey (the local-supplier join condition)
+    instance c_nation(eq_i<type q5view_c_nationkey_t, type q5view_s_nationkey_t>),
+    rd.c_nationkey => c_nation.in0,
+    rd.s_nationkey => c_nation.in1,
+    instance keep_all(and_n_i<4>),
+    c_region.o => keep_all.i[0],
+    c_date_lo.o => keep_all.i[1],
+    c_date_hi.o => keep_all.i[2],
+    c_nation.o => keep_all.i[3],
+{tail}}}
+"#,
+        types = super::money_types(),
+        tail = revenue_tail("q5view", "l_extendedprice", "l_discount", "keep_all.o", rows),
+    )
+}
+
+/// Q3 reference result.
+pub fn q3_reference(data: &TpchData, segment_code: i64, date: i64) -> i64 {
+    let seg = data.column("q3view", "c_mktsegment");
+    let odate = data.column("q3view", "o_orderdate");
+    let sdate = data.column("q3view", "l_shipdate");
+    let price = data.column("q3view", "l_extendedprice");
+    let disc = data.column("q3view", "l_discount");
+    let mut revenue = 0;
+    for i in 0..seg.len() {
+        if seg[i] == segment_code && odate[i] < date && sdate[i] > date {
+            revenue += row_revenue(price[i], disc[i]);
+        }
+    }
+    revenue
+}
+
+/// Q5 reference result.
+pub fn q5_reference(data: &TpchData, region_code: i64, d0: i64, d1: i64) -> i64 {
+    let region = data.column("q5view", "r_name");
+    let odate = data.column("q5view", "o_orderdate");
+    let cn = data.column("q5view", "c_nationkey");
+    let sn = data.column("q5view", "s_nationkey");
+    let price = data.column("q5view", "l_extendedprice");
+    let disc = data.column("q5view", "l_discount");
+    let mut revenue = 0;
+    for i in 0..region.len() {
+        if region[i] == region_code && odate[i] >= d0 && odate[i] < d1 && cn[i] == sn[i] {
+            revenue += row_revenue(price[i], disc[i]);
+        }
+    }
+    revenue
+}
+
+/// Builds the Q3 case.
+pub fn build_q3(data: &TpchData) -> QueryCase {
+    let segment = data.code("c_mktsegment", "BUILDING");
+    let date = encode_date(1995, 3, 15);
+    QueryCase {
+        id: "q3",
+        title: "TPC-H 3",
+        sql: Q3_SQL,
+        fletcher_sources: vec![(
+            "fletcher_q3view.td".to_string(),
+            generate_reader_package(&crate::data::q3view_schema()),
+        )],
+        query_source: ("q3.td".to_string(), q3_source(segment, date, data.rows)),
+        top_impl: "q3_i".to_string(),
+        sugaring: true,
+        expected: vec![(
+            "revenue".to_string(),
+            vec![q3_reference(data, segment, date)],
+        )],
+    }
+}
+
+/// Builds the Q5 case.
+pub fn build_q5(data: &TpchData) -> QueryCase {
+    let region = data.code("r_name", "ASIA");
+    let d0 = encode_date(1994, 1, 1);
+    let d1 = encode_date(1995, 1, 1);
+    QueryCase {
+        id: "q5",
+        title: "TPC-H 5",
+        sql: Q5_SQL,
+        fletcher_sources: vec![(
+            "fletcher_q5view.td".to_string(),
+            generate_reader_package(&crate::data::q5view_schema()),
+        )],
+        query_source: ("q5.td".to_string(), q5_source(region, d0, d1, data.rows)),
+        top_impl: "q5_i".to_string(),
+        sugaring: true,
+        expected: vec![(
+            "revenue".to_string(),
+            vec![q5_reference(data, region, d0, d1)],
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::GenOptions;
+
+    #[test]
+    fn references_are_selective() {
+        let data = TpchData::generate(GenOptions {
+            rows: 4096,
+            seed: 5,
+        });
+        let q3 = q3_reference(
+            &data,
+            data.code("c_mktsegment", "BUILDING"),
+            encode_date(1995, 3, 15),
+        );
+        assert!(q3 > 0);
+        let q5 = q5_reference(
+            &data,
+            data.code("r_name", "ASIA"),
+            encode_date(1994, 1, 1),
+            encode_date(1995, 1, 1),
+        );
+        assert!(q5 > 0);
+    }
+
+    #[test]
+    fn sources_reference_views() {
+        let data = TpchData::generate(GenOptions { rows: 16, seed: 1 });
+        let q3 = build_q3(&data);
+        assert!(q3.query_source.1.contains("q3view_reader_i"));
+        let q5 = build_q5(&data);
+        assert!(q5.query_source.1.contains("eq_i<type q5view_c_nationkey_t"));
+    }
+}

@@ -1,0 +1,171 @@
+//! TPC-H Query 6: the forecasting revenue change query.
+//!
+//! `sum(l_extendedprice * l_discount)` over rows passing three range
+//! predicates. The smallest query of Table IV (9 SQL lines); both
+//! `l_shipdate` and `l_discount` feed two consumers each, so sugaring
+//! inserts duplicators, and the unused reader columns get voiders.
+
+use super::QueryCase;
+use crate::data::TpchData;
+use tydi_fletcher::encode::encode_date;
+use tydi_fletcher::generate_reader_package;
+
+const SQL: &str = "\
+select
+    sum(l_extendedprice * l_discount) as revenue
+from
+    lineitem
+where
+    l_shipdate >= date '1994-01-01'
+    and l_shipdate < date '1995-01-01'
+    and l_discount between 0.05 and 0.07
+    and l_quantity < 24;";
+
+/// Query parameters (validation values of the TPC-H spec).
+pub struct Params {
+    /// Ship date window start (inclusive), day number.
+    pub date_lo: i64,
+    /// Ship date window end (exclusive).
+    pub date_hi: i64,
+    /// Discount window (inclusive), percent.
+    pub disc_lo: i64,
+    /// Discount window end (inclusive).
+    pub disc_hi: i64,
+    /// Quantity bound (exclusive).
+    pub qty: i64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            date_lo: encode_date(1994, 1, 1),
+            date_hi: encode_date(1995, 1, 1),
+            disc_lo: 5,
+            disc_hi: 7,
+            qty: 24,
+        }
+    }
+}
+
+fn source(p: &Params) -> String {
+    format!(
+        r#"package q6;
+use std;
+use fletcher_lineitem;
+
+// TPC-H 6: revenue from discounted small-quantity shipments.
+{types}
+streamlet q6_s {{
+    revenue : Agg out,
+}}
+@NoStrictType
+impl q6_i of q6_s {{
+    instance rd(lineitem_reader_i),
+    // where l_shipdate >= :d0 and l_shipdate < :d1
+    instance c_date_lo(ge_const_i<type lineitem_l_shipdate_t, {date_lo}>),
+    instance c_date_hi(lt_const_i<type lineitem_l_shipdate_t, {date_hi}>),
+    rd.l_shipdate => c_date_lo.i,
+    rd.l_shipdate => c_date_hi.i,
+    // and l_discount between :lo and :hi
+    instance c_disc_lo(ge_const_i<type lineitem_l_discount_t, {disc_lo}>),
+    instance c_disc_hi(le_const_i<type lineitem_l_discount_t, {disc_hi}>),
+    rd.l_discount => c_disc_lo.i,
+    rd.l_discount => c_disc_hi.i,
+    // and l_quantity < :q
+    instance c_qty(lt_const_i<type lineitem_l_quantity_t, {qty}>),
+    rd.l_quantity => c_qty.i,
+    instance keep_all(and_n_i<5>),
+    c_date_lo.o => keep_all.i[0],
+    c_date_hi.o => keep_all.i[1],
+    c_disc_lo.o => keep_all.i[2],
+    c_disc_hi.o => keep_all.i[3],
+    c_qty.o => keep_all.i[4],
+    // revenue = l_extendedprice * l_discount
+    instance rev_mul(multiplier_i<type lineitem_l_extendedprice_t, type lineitem_l_discount_t, type Money>),
+    rd.l_extendedprice => rev_mul.in0,
+    rd.l_discount => rev_mul.in1,
+    instance keep_rev(filter_i<type Money>),
+    rev_mul.o => keep_rev.i,
+    keep_all.o => keep_rev.keep,
+    instance total(sum_i<type Money, type Agg>),
+    keep_rev.o => total.i,
+    total.o => revenue,
+}}
+"#,
+        types = super::money_types(),
+        date_lo = p.date_lo,
+        date_hi = p.date_hi,
+        disc_lo = p.disc_lo,
+        disc_hi = p.disc_hi,
+        qty = p.qty,
+    )
+}
+
+/// The reference executor (same integer semantics as the pipeline).
+pub fn reference(data: &TpchData, p: &Params) -> i64 {
+    let shipdate = data.column("lineitem", "l_shipdate");
+    let discount = data.column("lineitem", "l_discount");
+    let quantity = data.column("lineitem", "l_quantity");
+    let price = data.column("lineitem", "l_extendedprice");
+    let mut revenue = 0i64;
+    for i in 0..shipdate.len() {
+        if shipdate[i] >= p.date_lo
+            && shipdate[i] < p.date_hi
+            && discount[i] >= p.disc_lo
+            && discount[i] <= p.disc_hi
+            && quantity[i] < p.qty
+        {
+            revenue += price[i] * discount[i];
+        }
+    }
+    revenue
+}
+
+/// Builds the Q6 case.
+pub fn build(data: &TpchData) -> QueryCase {
+    let params = Params::default();
+    QueryCase {
+        id: "q6",
+        title: "TPC-H 6",
+        sql: SQL,
+        fletcher_sources: vec![(
+            "fletcher_lineitem.td".to_string(),
+            generate_reader_package(&crate::data::lineitem_schema()),
+        )],
+        query_source: ("q6.td".to_string(), source(&params)),
+        top_impl: "q6_i".to_string(),
+        sugaring: true,
+        expected: vec![("revenue".to_string(), vec![reference(data, &params)])],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::GenOptions;
+
+    #[test]
+    fn reference_is_selective() {
+        let data = TpchData::generate(GenOptions {
+            rows: 4096,
+            seed: 11,
+        });
+        let p = Params::default();
+        let all: i64 = {
+            let price = data.column("lineitem", "l_extendedprice");
+            let disc = data.column("lineitem", "l_discount");
+            price.iter().zip(disc).map(|(p, d)| p * d).sum()
+        };
+        let filtered = reference(&data, &p);
+        assert!(filtered > 0, "predicate never matched");
+        assert!(filtered < all, "predicate matched everything");
+    }
+
+    #[test]
+    fn source_embeds_parameters() {
+        let p = Params::default();
+        let s = source(&p);
+        assert!(s.contains(&format!("ge_const_i<type lineitem_l_shipdate_t, {}>", p.date_lo)));
+        assert!(s.contains("and_n_i<5>"));
+    }
+}

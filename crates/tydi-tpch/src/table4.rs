@@ -1,0 +1,139 @@
+//! Regenerating Table IV of the paper: lines of code for translating
+//! TPC-H queries to Tydi-lang, against the generated VHDL.
+//!
+//! `LoCa = LoCq + LoCf + LoCs`, `Rq = LoCvhdl / LoCq`,
+//! `Ra = LoCvhdl / LoCa` — the formulas of paper §VI.
+
+use crate::data::TpchData;
+use crate::queries::{all_queries, QueryCase};
+use std::fmt::Write as _;
+use tydi_fletcher::register_fletcher_rtl;
+use tydi_stdlib::{full_registry, stdlib_loc};
+use tydi_vhdl::{count_loc, generate_project, VhdlOptions};
+
+/// One row of Table IV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Query label ("TPC-H 1", ...).
+    pub query: String,
+    /// Lines of raw SQL.
+    pub sql_loc: usize,
+    /// Query logic in Tydi-lang (`LoCq`).
+    pub loc_q: usize,
+    /// Fletcher interface part (`LoCf`).
+    pub loc_f: usize,
+    /// Standard library (`LoCs`).
+    pub loc_s: usize,
+    /// Total Tydi-lang (`LoCa`).
+    pub loc_a: usize,
+    /// Generated VHDL (`LoCvhdl`).
+    pub loc_vhdl: usize,
+    /// `Rq = LoCvhdl / LoCq`.
+    pub rq: f64,
+    /// `Ra = LoCvhdl / LoCa`.
+    pub ra: f64,
+}
+
+/// Compiles one query to VHDL and measures every Table IV column.
+pub fn measure(case: &QueryCase) -> Result<Table4Row, String> {
+    let compiled = case.compile()?;
+    let registry = full_registry();
+    register_fletcher_rtl(&registry);
+    let options = VhdlOptions {
+        emit_comments: false,
+        validate: true,
+    };
+    let files = generate_project(&compiled.project, &registry, &options)
+        .map_err(|e| format!("{}: vhdl generation failed: {e}", case.id))?;
+    let loc_vhdl: usize = files.iter().map(|f| count_loc(&f.contents)).sum();
+    let loc_q = case.query_loc();
+    let loc_f = case.fletcher_loc();
+    let loc_s = stdlib_loc();
+    let loc_a = loc_q + loc_f + loc_s;
+    Ok(Table4Row {
+        query: case.title.to_string(),
+        sql_loc: case.sql_loc(),
+        loc_q,
+        loc_f,
+        loc_s,
+        loc_a,
+        loc_vhdl,
+        rq: loc_vhdl as f64 / loc_q as f64,
+        ra: loc_vhdl as f64 / loc_a as f64,
+    })
+}
+
+/// Regenerates the full table for every evaluated query.
+pub fn table4(data: &TpchData) -> Result<Vec<Table4Row>, String> {
+    all_queries(data).iter().map(measure).collect()
+}
+
+/// Renders the table in the paper's layout.
+pub fn render_table4(rows: &[Table4Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "TABLE IV: LoC FOR TRANSLATING TPC-H QUERIES TO TYDI-LANG"
+    );
+    if let Some(first) = rows.first() {
+        let _ = writeln!(
+            out,
+            "LoC for Fletcher part (LoCf): {}    LoC for Tydi-lang standard library (LoCs): {}",
+            first.loc_f, first.loc_s
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<28} {:>8} {:>8} {:>8} {:>10} {:>8} {:>8}",
+        "Query name", "Raw SQL", "LoCq", "LoCa", "LoCvhdl", "Rq", "Ra"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>8} {:>8} {:>10} {:>8.2} {:>8.2}",
+            r.query, r.sql_loc, r.loc_q, r.loc_a, r.loc_vhdl, r.rq, r.ra
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::GenOptions;
+
+    #[test]
+    fn table4_shape_matches_paper() {
+        let data = TpchData::generate(GenOptions { rows: 32, seed: 4 });
+        let rows = table4(&data).unwrap();
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            // The headline claim: VHDL is much larger than the query
+            // logic (Rq in the tens in the paper), and larger than the
+            // total Tydi-lang code (Ra > 1).
+            assert!(r.rq > 5.0, "{}: Rq = {}", r.query, r.rq);
+            assert!(r.ra > 1.0, "{}: Ra = {}", r.query, r.ra);
+            assert!(r.rq > r.ra, "{}", r.query);
+            assert_eq!(r.loc_a, r.loc_q + r.loc_f + r.loc_s);
+            // Tydi-lang query logic is within a small factor of SQL.
+            assert!(r.loc_q < 40 * r.sql_loc, "{}", r.query);
+        }
+        // Without sugaring the total grows (paper: 402 vs 284).
+        let sugared = rows.iter().find(|r| r.query == "TPC-H 1").unwrap();
+        let desugared = rows
+            .iter()
+            .find(|r| r.query.contains("without sugaring"))
+            .unwrap();
+        assert!(desugared.loc_q > sugared.loc_q);
+        assert!(desugared.ra < sugared.ra);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let data = TpchData::generate(GenOptions { rows: 32, seed: 4 });
+        let rows = table4(&data).unwrap();
+        let text = render_table4(&rows);
+        assert!(text.contains("TPC-H 19"));
+        assert!(text.contains("LoCvhdl"));
+    }
+}

@@ -1,0 +1,372 @@
+//! Builtin RTL generators.
+//!
+//! Standard-library components are "too elementary to be described as
+//! instances and connections", so their RTL is produced by a hard-coded
+//! generation process (paper §IV-C). This module provides the registry
+//! that maps a builtin key (such as `std.duplicator`) to a generator
+//! function, plus the handshake-layer generators the compiler itself
+//! depends on. `tydi-stdlib` registers the data-processing generators
+//! (arithmetic, comparison, filtering, ...) on top.
+
+use crate::error::VhdlError;
+use crate::signals::{expand_port, PortMode, VhdlSignal};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use tydi_ir::{Implementation, Port, PortDirection, Project, Streamlet};
+
+/// Everything a generator may inspect.
+pub struct BuiltinCtx<'a> {
+    /// The surrounding project (for cross-references).
+    pub project: &'a Project,
+    /// The streamlet whose ports the architecture must drive.
+    pub streamlet: &'a Streamlet,
+    /// The external implementation carrying the builtin key and any
+    /// `param_*` attributes left by template instantiation.
+    pub implementation: &'a Implementation,
+}
+
+impl BuiltinCtx<'_> {
+    /// Input ports of the streamlet.
+    pub fn inputs(&self) -> Vec<&Port> {
+        self.streamlet
+            .ports
+            .iter()
+            .filter(|p| p.direction == PortDirection::In)
+            .collect()
+    }
+
+    /// Output ports of the streamlet.
+    pub fn outputs(&self) -> Vec<&Port> {
+        self.streamlet
+            .ports
+            .iter()
+            .filter(|p| p.direction == PortDirection::Out)
+            .collect()
+    }
+
+    /// Looks up a `param_<name>` attribute.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.implementation
+            .attributes
+            .get(&format!("param_{name}"))
+            .map(String::as_str)
+    }
+}
+
+/// The architecture body a generator produces: declarations go between
+/// `architecture ... is` and `begin`; statements between `begin` and
+/// `end architecture`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArchBody {
+    /// Signal/constant declarations.
+    pub decls: String,
+    /// Concurrent statements and processes.
+    pub stmts: String,
+}
+
+/// A builtin generator function.
+pub type BuiltinFn = Arc<dyn Fn(&BuiltinCtx<'_>) -> Result<ArchBody, String> + Send + Sync>;
+
+/// Thread-safe registry of builtin generators.
+#[derive(Clone, Default)]
+pub struct BuiltinRegistry {
+    map: Arc<RwLock<HashMap<String, BuiltinFn>>>,
+}
+
+impl std::fmt::Debug for BuiltinRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let keys: Vec<String> = self.keys();
+        f.debug_struct("BuiltinRegistry").field("keys", &keys).finish()
+    }
+}
+
+impl BuiltinRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        BuiltinRegistry::default()
+    }
+
+    /// A registry preloaded with the handshake-layer builtins the
+    /// compiler's sugaring passes depend on: `std.passthrough`,
+    /// `std.duplicator` and `std.voider`.
+    pub fn with_core() -> Self {
+        let reg = BuiltinRegistry::new();
+        reg.register("std.passthrough", gen_passthrough);
+        reg.register("std.duplicator", gen_duplicator);
+        reg.register("std.voider", gen_voider);
+        reg
+    }
+
+    /// Registers (or replaces) a generator under `key`.
+    pub fn register(
+        &self,
+        key: impl Into<String>,
+        generator: impl Fn(&BuiltinCtx<'_>) -> Result<ArchBody, String> + Send + Sync + 'static,
+    ) {
+        self.map.write().insert(key.into(), Arc::new(generator));
+    }
+
+    /// True if `key` has a registered generator.
+    pub fn contains(&self, key: &str) -> bool {
+        self.map.read().contains_key(key)
+    }
+
+    /// All registered keys, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.map.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Runs the generator for `key`.
+    pub fn generate(&self, key: &str, ctx: &BuiltinCtx<'_>) -> Result<ArchBody, VhdlError> {
+        let generator = self.map.read().get(key).cloned();
+        match generator {
+            None => Err(VhdlError::UnknownBuiltin {
+                implementation: ctx.implementation.name.clone(),
+                key: key.to_string(),
+            }),
+            Some(g) => g(ctx).map_err(|message| VhdlError::BuiltinRejected {
+                implementation: ctx.implementation.name.clone(),
+                key: key.to_string(),
+                message,
+            }),
+        }
+    }
+}
+
+/// Pairs up the expanded signals of two ports (they must have the same
+/// shape, which the DRC guarantees for connected ports).
+fn paired_signals(a: &Port, b: &Port) -> Result<Vec<(VhdlSignal, VhdlSignal)>, String> {
+    let sa = expand_port(a).map_err(|e| e.to_string())?;
+    let sb = expand_port(b).map_err(|e| e.to_string())?;
+    if sa.len() != sb.len() {
+        return Err(format!(
+            "ports `{}` and `{}` have different signal shapes",
+            a.name, b.name
+        ));
+    }
+    Ok(sa.into_iter().zip(sb).collect())
+}
+
+/// `std.passthrough`: forward every signal from the input port to the
+/// output port; `ready` flows backward.
+fn gen_passthrough(ctx: &BuiltinCtx<'_>) -> Result<ArchBody, String> {
+    let inputs = ctx.inputs();
+    let outputs = ctx.outputs();
+    let (Some(input), Some(output)) = (inputs.first(), outputs.first()) else {
+        return Err("passthrough needs one input and one output port".into());
+    };
+    let mut stmts = String::new();
+    for (si, so) in paired_signals(input, output)? {
+        match si.mode {
+            PortMode::In => {
+                let _ = writeln!(stmts, "  {} <= {};", so.name, si.name);
+            }
+            PortMode::Out => {
+                let _ = writeln!(stmts, "  {} <= {};", si.name, so.name);
+            }
+        }
+    }
+    Ok(ArchBody {
+        decls: String::new(),
+        stmts,
+    })
+}
+
+/// `std.duplicator`: copy the input packet to every output and only
+/// acknowledge the input when *all* outputs acknowledged (paper §IV-C).
+fn gen_duplicator(ctx: &BuiltinCtx<'_>) -> Result<ArchBody, String> {
+    let inputs = ctx.inputs();
+    let outputs = ctx.outputs();
+    let Some(input) = inputs.first() else {
+        return Err("duplicator needs an input port".into());
+    };
+    if outputs.is_empty() {
+        return Err("duplicator needs at least one output port".into());
+    }
+    let in_sigs = expand_port(input).map_err(|e| e.to_string())?;
+    let mut decls = String::new();
+    let mut stmts = String::new();
+
+    // all_ready: every sink can accept.
+    let ready_terms: Vec<String> = outputs
+        .iter()
+        .map(|o| format!("{}_ready", o.name))
+        .collect();
+    let _ = writeln!(decls, "  signal all_ready : std_logic;");
+    let _ = writeln!(stmts, "  all_ready <= {};", ready_terms.join(" and "));
+    let _ = writeln!(stmts, "  {}_ready <= all_ready;", input.name);
+
+    for output in &outputs {
+        let out_sigs = expand_port(output).map_err(|e| e.to_string())?;
+        for (si, so) in in_sigs.iter().zip(out_sigs.iter()) {
+            if si.name.ends_with("_valid") {
+                let _ = writeln!(
+                    stmts,
+                    "  {} <= {} and all_ready;",
+                    so.name, si.name
+                );
+            } else if si.name.ends_with("_ready") {
+                // Handled via all_ready above.
+            } else {
+                let _ = writeln!(stmts, "  {} <= {};", so.name, si.name);
+            }
+        }
+    }
+    Ok(ArchBody { decls, stmts })
+}
+
+/// `std.voider`: always acknowledge and drop the data (paper §IV-C).
+fn gen_voider(ctx: &BuiltinCtx<'_>) -> Result<ArchBody, String> {
+    let inputs = ctx.inputs();
+    let Some(input) = inputs.first() else {
+        return Err("voider needs an input port".into());
+    };
+    let mut stmts = String::new();
+    let _ = writeln!(stmts, "  {}_ready <= '1';", input.name);
+    Ok(ArchBody {
+        decls: String::new(),
+        stmts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tydi_spec::{LogicalType, StreamParams};
+
+    fn stream8() -> LogicalType {
+        LogicalType::stream(LogicalType::Bit(8), StreamParams::new())
+    }
+
+    fn ctx_project(streamlet: Streamlet, implementation: Implementation) -> (Project, String, String) {
+        let mut p = Project::new("t");
+        let s_name = streamlet.name.clone();
+        let i_name = implementation.name.clone();
+        p.add_streamlet(streamlet).unwrap();
+        p.add_implementation(implementation).unwrap();
+        (p, s_name, i_name)
+    }
+
+    #[test]
+    fn registry_register_and_lookup() {
+        let reg = BuiltinRegistry::with_core();
+        assert!(reg.contains("std.duplicator"));
+        assert!(!reg.contains("std.missing"));
+        assert_eq!(
+            reg.keys(),
+            vec!["std.duplicator", "std.passthrough", "std.voider"]
+        );
+    }
+
+    #[test]
+    fn unknown_builtin_errors() {
+        let reg = BuiltinRegistry::new();
+        let s = Streamlet::new("s")
+            .with_port(Port::new("i", PortDirection::In, stream8()));
+        let imp = Implementation::external("x_i", "s");
+        let (p, s_name, i_name) = ctx_project(s, imp);
+        let ctx = BuiltinCtx {
+            project: &p,
+            streamlet: p.streamlet(&s_name).unwrap(),
+            implementation: p.implementation(&i_name).unwrap(),
+        };
+        assert!(matches!(
+            reg.generate("nope", &ctx),
+            Err(VhdlError::UnknownBuiltin { .. })
+        ));
+    }
+
+    #[test]
+    fn passthrough_forwards_and_backwards() {
+        let reg = BuiltinRegistry::with_core();
+        let s = Streamlet::new("s")
+            .with_port(Port::new("i", PortDirection::In, stream8()))
+            .with_port(Port::new("o", PortDirection::Out, stream8()));
+        let imp = Implementation::external("pass_i", "s");
+        let (p, s_name, i_name) = ctx_project(s, imp);
+        let ctx = BuiltinCtx {
+            project: &p,
+            streamlet: p.streamlet(&s_name).unwrap(),
+            implementation: p.implementation(&i_name).unwrap(),
+        };
+        let body = reg.generate("std.passthrough", &ctx).unwrap();
+        assert!(body.stmts.contains("o_valid <= i_valid;"));
+        assert!(body.stmts.contains("o_data <= i_data;"));
+        assert!(body.stmts.contains("i_ready <= o_ready;"));
+    }
+
+    #[test]
+    fn duplicator_acknowledges_when_all_ready() {
+        let reg = BuiltinRegistry::with_core();
+        let s = Streamlet::new("s")
+            .with_port(Port::new("i", PortDirection::In, stream8()))
+            .with_port(Port::new("o0", PortDirection::Out, stream8()))
+            .with_port(Port::new("o1", PortDirection::Out, stream8()));
+        let imp = Implementation::external("dup_i", "s");
+        let (p, s_name, i_name) = ctx_project(s, imp);
+        let ctx = BuiltinCtx {
+            project: &p,
+            streamlet: p.streamlet(&s_name).unwrap(),
+            implementation: p.implementation(&i_name).unwrap(),
+        };
+        let body = reg.generate("std.duplicator", &ctx).unwrap();
+        assert!(body.stmts.contains("all_ready <= o0_ready and o1_ready;"));
+        assert!(body.stmts.contains("i_ready <= all_ready;"));
+        assert!(body.stmts.contains("o0_valid <= i_valid and all_ready;"));
+        assert!(body.stmts.contains("o1_data <= i_data;"));
+    }
+
+    #[test]
+    fn voider_always_ready() {
+        let reg = BuiltinRegistry::with_core();
+        let s = Streamlet::new("s")
+            .with_port(Port::new("i", PortDirection::In, stream8()));
+        let imp = Implementation::external("void_i", "s");
+        let (p, s_name, i_name) = ctx_project(s, imp);
+        let ctx = BuiltinCtx {
+            project: &p,
+            streamlet: p.streamlet(&s_name).unwrap(),
+            implementation: p.implementation(&i_name).unwrap(),
+        };
+        let body = reg.generate("std.voider", &ctx).unwrap();
+        assert_eq!(body.stmts.trim(), "i_ready <= '1';");
+    }
+
+    #[test]
+    fn builtin_rejection_wraps_message() {
+        let reg = BuiltinRegistry::with_core();
+        let s = Streamlet::new("s"); // no ports at all
+        let imp = Implementation::external("dup_i", "s");
+        let (p, s_name, i_name) = ctx_project(s, imp);
+        let ctx = BuiltinCtx {
+            project: &p,
+            streamlet: p.streamlet(&s_name).unwrap(),
+            implementation: p.implementation(&i_name).unwrap(),
+        };
+        match reg.generate("std.duplicator", &ctx) {
+            Err(VhdlError::BuiltinRejected { message, .. }) => {
+                assert!(message.contains("input"));
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn param_lookup() {
+        let s = Streamlet::new("s");
+        let mut imp = Implementation::external("x", "s");
+        imp.attributes.insert("param_outputs".into(), "4".into());
+        let (p, s_name, i_name) = ctx_project(s, imp);
+        let ctx = BuiltinCtx {
+            project: &p,
+            streamlet: p.streamlet(&s_name).unwrap(),
+            implementation: p.implementation(&i_name).unwrap(),
+        };
+        assert_eq!(ctx.param("outputs"), Some("4"));
+        assert_eq!(ctx.param("missing"), None);
+    }
+}

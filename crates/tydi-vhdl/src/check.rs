@@ -1,0 +1,135 @@
+//! Lightweight structural checks on generated VHDL.
+//!
+//! This is not a VHDL parser; it is a tripwire used by the test suite
+//! to catch codegen regressions: unbalanced design units, unbalanced
+//! parentheses outside comments, and empty port maps.
+
+/// A single issue found by [`check_vhdl`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckIssue {
+    /// 1-based line of the issue (0 when file-level).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+/// Scans VHDL text for structural problems; returns all issues found.
+pub fn check_vhdl(text: &str) -> Vec<CheckIssue> {
+    let mut issues = Vec::new();
+    let mut entities = 0usize;
+    let mut entity_ends = 0usize;
+    let mut architectures = 0usize;
+    let mut architecture_ends = 0usize;
+    let mut paren_depth: i64 = 0;
+
+    for (i, raw_line) in text.lines().enumerate() {
+        let line = strip_comment(raw_line);
+        let lower = line.to_ascii_lowercase();
+        let words: Vec<&str> = lower.split_whitespace().collect();
+        if words.first() == Some(&"entity") && lower.contains(" is") {
+            entities += 1;
+        }
+        if words.first() == Some(&"architecture") {
+            architectures += 1;
+        }
+        if lower.starts_with("end entity") || lower.trim_start().starts_with("end entity") {
+            entity_ends += 1;
+        }
+        if lower.trim_start().starts_with("end architecture") {
+            architecture_ends += 1;
+        }
+        for c in line.chars() {
+            match c {
+                '(' => paren_depth += 1,
+                ')' => {
+                    paren_depth -= 1;
+                    if paren_depth < 0 {
+                        issues.push(CheckIssue {
+                            line: i + 1,
+                            message: "unbalanced closing parenthesis".into(),
+                        });
+                        paren_depth = 0;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if lower.contains(";;") {
+            issues.push(CheckIssue {
+                line: i + 1,
+                message: "double semicolon".into(),
+            });
+        }
+        if lower.contains("port map ( )") || lower.contains("port map ()") {
+            issues.push(CheckIssue {
+                line: i + 1,
+                message: "empty port map".into(),
+            });
+        }
+    }
+    if entities != entity_ends {
+        issues.push(CheckIssue {
+            line: 0,
+            message: format!("{entities} entity(s) but {entity_ends} `end entity`"),
+        });
+    }
+    if architectures != architecture_ends {
+        issues.push(CheckIssue {
+            line: 0,
+            message: format!(
+                "{architectures} architecture(s) but {architecture_ends} `end architecture`"
+            ),
+        });
+    }
+    if paren_depth != 0 {
+        issues.push(CheckIssue {
+            line: 0,
+            message: format!("unbalanced parentheses (depth {paren_depth} at end of file)"),
+        });
+    }
+    issues
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find("--") {
+        Some(idx) => &line[..idx],
+        None => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_unit_passes() {
+        let vhdl = "entity x is\n  port (\n    a : in std_logic\n  );\nend entity x;\narchitecture rtl of x is\nbegin\nend architecture rtl;\n";
+        assert!(check_vhdl(vhdl).is_empty());
+    }
+
+    #[test]
+    fn detects_missing_end() {
+        let vhdl = "entity x is\n  port (a : in std_logic);\n";
+        let issues = check_vhdl(vhdl);
+        assert!(issues.iter().any(|i| i.message.contains("entity")));
+    }
+
+    #[test]
+    fn detects_unbalanced_parens() {
+        let vhdl = "entity x is\n  port ((a : in std_logic);\nend entity x;\n";
+        let issues = check_vhdl(vhdl);
+        assert!(issues.iter().any(|i| i.message.contains("parenthes")));
+    }
+
+    #[test]
+    fn comments_do_not_confuse_paren_count() {
+        let vhdl = "entity x is\n  port (a : in std_logic); -- note ) stray\nend entity x;\n";
+        assert!(check_vhdl(vhdl).is_empty());
+    }
+
+    #[test]
+    fn detects_double_semicolon() {
+        let issues = check_vhdl("x <= y;;\n");
+        assert!(issues.iter().any(|i| i.message.contains("semicolon")));
+    }
+}

@@ -1,0 +1,87 @@
+//! Errors raised during VHDL code generation.
+
+use std::fmt;
+use tydi_ir::IrError;
+use tydi_spec::SpecError;
+
+/// Errors produced by the VHDL backend.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VhdlError {
+    /// The project failed IR validation; codegen refuses to run.
+    InvalidProject(Vec<IrError>),
+    /// An external implementation referenced a builtin generator that
+    /// is not registered.
+    UnknownBuiltin {
+        /// The implementation carrying the key.
+        implementation: String,
+        /// The unregistered builtin key.
+        key: String,
+    },
+    /// A builtin generator rejected the streamlet it was asked to
+    /// implement (e.g. a duplicator without any output port).
+    BuiltinRejected {
+        /// The implementation being generated.
+        implementation: String,
+        /// The builtin key.
+        key: String,
+        /// The generator's complaint.
+        message: String,
+    },
+    /// An underlying type error surfaced during lowering.
+    Spec(SpecError),
+    /// An IR inconsistency discovered mid-generation (should have been
+    /// caught by validation; indicates a pass ordering bug).
+    Inconsistent(String),
+}
+
+impl fmt::Display for VhdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VhdlError::InvalidProject(errors) => {
+                writeln!(f, "project failed validation with {} error(s):", errors.len())?;
+                for e in errors {
+                    writeln!(f, "  - {e}")?;
+                }
+                Ok(())
+            }
+            VhdlError::UnknownBuiltin { implementation, key } => write!(
+                f,
+                "implementation `{implementation}` references unregistered builtin `{key}`"
+            ),
+            VhdlError::BuiltinRejected {
+                implementation,
+                key,
+                message,
+            } => write!(
+                f,
+                "builtin `{key}` rejected implementation `{implementation}`: {message}"
+            ),
+            VhdlError::Spec(e) => write!(f, "{e}"),
+            VhdlError::Inconsistent(msg) => write!(f, "internal IR inconsistency: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VhdlError {}
+
+impl From<SpecError> for VhdlError {
+    fn from(e: SpecError) -> Self {
+        VhdlError::Spec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = VhdlError::UnknownBuiltin {
+            implementation: "dup_i".into(),
+            key: "std.duplicator".into(),
+        };
+        assert!(e.to_string().contains("std.duplicator"));
+        let e = VhdlError::InvalidProject(vec![]);
+        assert!(e.to_string().contains("0 error"));
+    }
+}

@@ -1,0 +1,80 @@
+//! End-to-end TPC-H flow (paper Fig. 2): Arrow schema → Fletcher
+//! readers → Tydi-lang query logic → compile → simulate → verify
+//! against a software reference → generate VHDL and count Table IV
+//! lines — for one query chosen on the command line.
+//!
+//! ```sh
+//! cargo run --example tpch_pipeline -- q6
+//! cargo run --example tpch_pipeline -- q19
+//! ```
+
+use tydi::tpch::{all_queries, run_query, table4, GenOptions, TpchData};
+
+fn main() {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "q6".to_string());
+    let data = TpchData::generate(GenOptions {
+        rows: 256,
+        seed: 2026,
+    });
+    let case = all_queries(&data)
+        .into_iter()
+        .find(|c| c.id == wanted)
+        .unwrap_or_else(|| {
+            eprintln!("unknown query `{wanted}` (try q1, q1_nosugar, q3, q5, q6, q19)");
+            std::process::exit(2);
+        });
+
+    println!("== {} ==\n\nSQL:\n{}\n", case.title, case.sql);
+    println!(
+        "Tydi-lang query logic: {} LoC (+ {} LoC Fletcher interface)",
+        case.query_loc(),
+        case.fletcher_loc()
+    );
+
+    // Compile and report the pipeline stages.
+    let output = case.compile().unwrap_or_else(|e| {
+        eprintln!("compile failed:\n{e}");
+        std::process::exit(1);
+    });
+    let stats = output.project.stats();
+    println!(
+        "compiled in {:?}: {} streamlets, {} impls, {} connections ({} from sugaring)",
+        output.timings.total(),
+        stats.streamlets,
+        stats.implementations,
+        stats.connections,
+        stats.sugar_connections,
+    );
+
+    // Simulate against the synthetic tables and verify.
+    let outputs = run_query(&case, &data).unwrap_or_else(|e| {
+        eprintln!("simulation failed: {e}");
+        std::process::exit(1);
+    });
+    println!("\nsimulated outputs vs reference:");
+    let mut ok = true;
+    for (port, expected) in &case.expected {
+        let got = outputs.get(port).cloned().unwrap_or_default();
+        let matched = &got == expected;
+        ok &= matched;
+        println!(
+            "  {:<14} expected {:?} got {:?} {}",
+            port,
+            expected,
+            got,
+            if matched { "OK" } else { "MISMATCH" }
+        );
+    }
+    assert!(ok, "simulation disagreed with the reference executor");
+
+    // Table IV row for this query.
+    let rows = table4(&data).expect("table4");
+    let row = rows
+        .iter()
+        .find(|r| r.query == case.title)
+        .expect("table row");
+    println!(
+        "\nTable IV row: LoCq={} LoCa={} LoCvhdl={} Rq={:.2} Ra={:.2}",
+        row.loc_q, row.loc_a, row.loc_vhdl, row.rq, row.ra
+    );
+}

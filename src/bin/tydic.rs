@@ -1,0 +1,165 @@
+//! `tydic` — the Tydi-lang command-line compiler.
+//!
+//! ```text
+//! tydic check   <file.td>...                 parse + elaborate + DRC
+//! tydic compile <file.td>... [options]       emit Tydi-IR or VHDL
+//!
+//! options:
+//!   --emit ir|vhdl      output format (default: ir)
+//!   --no-sugar          disable duplicator/voider insertion
+//!   --no-std            do not implicitly include the standard library
+//!   -o <dir>            write output files instead of stdout
+//! ```
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tydi_lang::{compile, CompileOptions};
+use tydi_stdlib::{full_registry, stdlib_source, STDLIB_FILE_NAME};
+use tydi_vhdl::{generate_project, VhdlOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("usage: tydic <check|compile> <file.td>... [--emit ir|vhdl] [--no-sugar] [--no-std] [-o dir]");
+        return ExitCode::from(2);
+    };
+
+    let mut emit = "ir".to_string();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut include_std = true;
+    let mut sugaring = true;
+    let mut files: Vec<String> = Vec::new();
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--emit" => {
+                emit = iter.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--emit needs a value (ir|vhdl)");
+                    std::process::exit(2);
+                })
+            }
+            "-o" => {
+                out_dir = Some(PathBuf::from(iter.next().cloned().unwrap_or_else(|| {
+                    eprintln!("-o needs a directory");
+                    std::process::exit(2);
+                })))
+            }
+            "--no-std" => include_std = false,
+            "--no-sugar" => sugaring = false,
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("no input files");
+        return ExitCode::from(2);
+    }
+
+    // Load sources (the standard library is implicit unless --no-std).
+    let mut sources: Vec<(String, String)> = Vec::new();
+    if include_std {
+        sources.push((STDLIB_FILE_NAME.to_string(), stdlib_source().to_string()));
+    }
+    for file in &files {
+        match fs::read_to_string(file) {
+            Ok(text) => sources.push((file.clone(), text)),
+            Err(e) => {
+                eprintln!("cannot read `{file}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+    let options = CompileOptions {
+        project_name: "tydic_out".to_string(),
+        enable_sugaring: sugaring,
+        run_drc: true,
+    };
+
+    let output = match compile(&refs, &options) {
+        Ok(output) => output,
+        Err(failure) => {
+            eprint!("{}", failure.render());
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &output.diagnostics {
+        eprint!("{}", d.render(&output.files));
+    }
+    let stats = output.project.stats();
+    eprintln!(
+        "ok: {} streamlet(s), {} implementation(s), {} connection(s) in {:?}",
+        stats.streamlets,
+        stats.implementations,
+        stats.connections,
+        output.timings.total()
+    );
+
+    if command == "check" {
+        return ExitCode::SUCCESS;
+    }
+
+    match emit.as_str() {
+        "ir" => {
+            let text = tydi_ir::text::emit_project(&output.project);
+            match out_dir {
+                Some(dir) => {
+                    if let Err(e) = fs::create_dir_all(&dir)
+                        .and_then(|()| fs::write(dir.join("project.tir"), &text))
+                    {
+                        eprintln!("write failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote {}", dir.join("project.tir").display());
+                }
+                None => {
+                    // Ignore broken pipes (e.g. piping into `head`).
+                    let _ = write!(std::io::stdout(), "{text}");
+                }
+            }
+        }
+        "vhdl" => {
+            let registry = full_registry();
+            tydi_fletcher::register_fletcher_rtl(&registry);
+            let generated =
+                match generate_project(&output.project, &registry, &VhdlOptions::default()) {
+                    Ok(files) => files,
+                    Err(e) => {
+                        eprintln!("VHDL generation failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            match out_dir {
+                Some(dir) => {
+                    if let Err(e) = fs::create_dir_all(&dir) {
+                        eprintln!("cannot create `{}`: {e}", dir.display());
+                        return ExitCode::FAILURE;
+                    }
+                    for file in &generated {
+                        if let Err(e) = fs::write(dir.join(&file.name), &file.contents) {
+                            eprintln!("write failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    eprintln!("wrote {} file(s) to {}", generated.len(), dir.display());
+                }
+                None => {
+                    let mut stdout = std::io::stdout();
+                    for file in &generated {
+                        let _ = write!(stdout, "{}", file.contents);
+                    }
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown --emit format `{other}` (expected ir|vhdl)");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}

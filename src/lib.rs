@@ -1,0 +1,9 @@
+//! Umbrella crate re-exporting the full Tydi-lang toolchain.
+pub use tydi_fletcher as fletcher;
+pub use tydi_ir as ir;
+pub use tydi_lang as lang;
+pub use tydi_sim as sim;
+pub use tydi_spec as spec;
+pub use tydi_stdlib as stdlib;
+pub use tydi_tpch as tpch;
+pub use tydi_vhdl as vhdl;

@@ -1,0 +1,185 @@
+//! The cookbook: one tutorial program per language feature (mirroring
+//! the reference repository's Cookbook folder). Every file must
+//! compile; selected ones are also simulated.
+
+use std::fs;
+use std::path::PathBuf;
+use tydi::lang::{compile, CompileOptions};
+use tydi::sim::{BehaviorRegistry, Packet, Simulator};
+use tydi::spec::clock::PhysicalClock;
+use tydi::spec::ClockDomain;
+use tydi::stdlib::{stdlib_source, STDLIB_FILE_NAME};
+
+fn cookbook_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("cookbook")
+}
+
+fn compile_cookbook(file: &str) -> tydi::lang::CompileOutput {
+    let path = cookbook_dir().join(file);
+    let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+    let sources = [
+        (STDLIB_FILE_NAME.to_string(), stdlib_source().to_string()),
+        (file.to_string(), text),
+    ];
+    let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+    compile(&refs, &CompileOptions::default())
+        .unwrap_or_else(|e| panic!("cookbook {file} failed to compile:\n{e}"))
+}
+
+#[test]
+fn every_cookbook_file_compiles() {
+    let mut count = 0;
+    for entry in fs::read_dir(cookbook_dir()).expect("cookbook directory") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().to_string();
+        if name.ends_with(".td") {
+            compile_cookbook(&name);
+            count += 1;
+        }
+    }
+    assert!(count >= 8, "expected at least 8 cookbook files, found {count}");
+}
+
+#[test]
+fn cookbook_01_math_system_results() {
+    let out = compile_cookbook("01_variables.td");
+    // The decimal-width stream landed at 50 bits.
+    let s = out.project.streamlet("pipe_s").unwrap();
+    let phys = tydi::spec::lower(&s.ports[0].ty).unwrap();
+    assert_eq!(phys[0].element_bits, 50);
+}
+
+#[test]
+fn cookbook_04_generative_expansion() {
+    let out = compile_cookbook("04_generative.td");
+    let fanout = out.project.implementation("fanout_i").unwrap();
+    // mux + 4 connections from the for loop + merged.
+    assert_eq!(fanout.instances().len(), 1);
+    assert_eq!(fanout.connections().len(), 5);
+    let inlist = out.project.implementation("inlist_i").unwrap();
+    // or-gate + 3 comparators + the duplicator sugaring inserted for
+    // the 3-way fan-out of `code`.
+    assert_eq!(inlist.instances().len(), 5);
+}
+
+#[test]
+fn cookbook_05_simulation_code_runs() {
+    let out = compile_cookbook("05_external_sim.td");
+    let registry = BehaviorRegistry::with_std();
+    let mut sim = Simulator::new(&out.project, "mac_i", &registry).expect("simulator");
+    sim.feed("a", [Packet::data(6), Packet::data(7)]).unwrap();
+    sim.feed("b", [Packet::data(7), Packet::data(8)]).unwrap();
+    let result = sim.run(10_000);
+    assert!(result.finished);
+    let out_data: Vec<i64> = sim.outputs("acc").unwrap().iter().map(|(_, p)| p.data).collect();
+    assert_eq!(out_data, vec![42, 56]);
+
+    // Clamp behaviour with handler if/else.
+    let gate = compile_cookbook("05_external_sim.td");
+    let mut sim = Simulator::new(&gate.project, "gate_i", &registry).expect("simulator");
+    sim.feed("i", [Packet::data(5), Packet::data(500)]).unwrap();
+    sim.run(10_000);
+    let out_data: Vec<i64> = sim.outputs("o").unwrap().iter().map(|(_, p)| p.data).collect();
+    assert_eq!(out_data, vec![5, 100]);
+}
+
+#[test]
+fn cookbook_06_sugaring_counts() {
+    let out = compile_cookbook("06_sugaring.td");
+    assert_eq!(out.sugar_report.duplicators, 1);
+    assert_eq!(out.sugar_report.voiders, 1);
+}
+
+#[test]
+fn cookbook_08_group_transform_round_trips() {
+    // The future-work feature: split a Pair stream, swap, recombine.
+    let out = compile_cookbook("08_transform_types.td");
+    let registry = BehaviorRegistry::with_std();
+    let mut sim = Simulator::new(&out.project, "swap_i", &registry).expect("simulator");
+    // Pair { x: 0x0003, y: 0x0004 } packs as y << 16 | x.
+    let packed = |x: i64, y: i64| (y << 16) | x;
+    sim.feed(
+        "pairs",
+        [
+            Packet::data(packed(3, 4)),
+            Packet::last(packed(10, 20), 1),
+        ],
+    )
+    .unwrap();
+    let result = sim.run(10_000);
+    assert!(result.finished, "{result:?}");
+    let swapped: Vec<i64> = sim
+        .outputs("swapped")
+        .unwrap()
+        .iter()
+        .map(|(_, p)| p.data)
+        .collect();
+    assert_eq!(swapped, vec![packed(4, 3), packed(20, 10)]);
+}
+
+#[test]
+fn physical_clock_mapping_reports_wall_time() {
+    // Paper V-B: cycle counts map to physical time once the clock
+    // domain is bound to a frequency.
+    let out = compile_cookbook("05_external_sim.td");
+    let registry = BehaviorRegistry::with_std();
+    let mut sim = Simulator::new(&out.project, "gate_i", &registry).expect("simulator");
+    sim.set_physical_clock(PhysicalClock::new(ClockDomain::default(), 100e6));
+    sim.feed("i", (0..50).map(Packet::data)).unwrap();
+    sim.run(10_000);
+    let seconds = sim.elapsed_seconds().expect("clock bound");
+    assert!(seconds > 0.0);
+    // 100 MHz -> 10 ns per cycle.
+    assert!((seconds - sim.cycle() as f64 * 10e-9).abs() < 1e-12);
+    let hz = sim.throughput_hz("o").unwrap().expect("clock bound");
+    assert!(hz > 0.0, "throughput should be positive, got {hz}");
+}
+
+#[test]
+fn cookbook_09_parallelize_reaches_one_per_cycle_shape() {
+    let out = compile_cookbook("09_parallelize.td");
+    let registry = BehaviorRegistry::with_std();
+    let mut sim = Simulator::new(&out.project, "one_per_cycle_i", &registry).expect("simulator");
+    let n = 64i64;
+    sim.feed("i", (0..n).map(Packet::data)).unwrap();
+    let result = sim.run(100_000);
+    assert!(result.finished, "{result:?}");
+    let outputs = sim.outputs("o").unwrap();
+    assert_eq!(outputs.len() as i64, n);
+    // Near the saturation point the whole batch takes ~2n cycles, far
+    // below the ~9n a single unit would need.
+    let last_cycle = outputs.last().unwrap().0;
+    assert!(
+        last_cycle < 4 * n as u64,
+        "64 packets took {last_cycle} cycles through 8 channels"
+    );
+    // Results arrive in order with the increment applied.
+    let data: Vec<i64> = outputs.iter().map(|(_, p)| p.data).collect();
+    let expected: Vec<i64> = (1..=n).collect();
+    assert_eq!(data, expected);
+}
+
+#[test]
+fn cookbook_10_full_flow_sums_filtered_prices() {
+    let out = compile_cookbook("10_full_flow.td");
+    let mut registry = BehaviorRegistry::with_std();
+    let prices = vec![40i64, 250, 99, 100, 1, 700];
+    let mut tables = std::collections::HashMap::new();
+    tables.insert(
+        "prices".to_string(),
+        tydi::fletcher::Table::new().with_column("price", prices.clone()),
+    );
+    tydi::fletcher::register_fletcher_behaviors(&mut registry, tables);
+    let mut sim = Simulator::new(&out.project, "cheap_total_i", &registry).expect("simulator");
+    let result = sim.run(10_000);
+    assert!(result.finished, "{result:?}");
+    let expected: i64 = prices.iter().filter(|&&p| p < 100).sum();
+    let totals: Vec<i64> = sim
+        .outputs("total")
+        .unwrap()
+        .iter()
+        .filter(|(_, p)| !p.empty)
+        .map(|(_, p)| p.data)
+        .collect();
+    assert_eq!(totals, vec![expected]);
+}

@@ -1,0 +1,209 @@
+//! T-II / DRC: the design-rule check scenarios the paper describes
+//! (§III: identical logical types and exactly-once port usage; §IV-B:
+//! strict type equality with the relaxation attribute; Table I: clock
+//! domain and complexity compatibility).
+
+use tydi::lang::{compile, CompileOptions, Severity};
+
+fn compile_str(source: &str) -> Result<tydi::lang::CompileOutput, String> {
+    compile(&[("case.td", source)], &CompileOptions::default()).map_err(|e| e.render())
+}
+
+fn expect_drc_error(source: &str, needle: &str) {
+    let err = compile(&[("case.td", source)], &CompileOptions::default())
+        .err()
+        .unwrap_or_else(|| panic!("expected a DRC failure containing `{needle}`"));
+    assert!(
+        err.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.message.contains(needle)),
+        "no error containing `{needle}`:\n{}",
+        err.render()
+    );
+}
+
+#[test]
+fn rule1_identical_logical_types() {
+    // "the logical types of two connected ports must be identical to
+    // avoid misinterpreted data" (paper III).
+    expect_drc_error(
+        r#"
+package t;
+type A = Stream(Bit(8));
+type B = Stream(Bit(16));
+streamlet s { i : A in, o : B out, }
+impl x of s { i => o, }
+"#,
+        "type mismatch",
+    );
+}
+
+#[test]
+fn rule1_strict_equality_distinguishes_same_width_types() {
+    // The paper's motivating case: "two types with the same number of
+    // hardware bits, but ... for different purposes and should not be
+    // connected" (IV-B). Celsius and Fahrenheit are structurally
+    // identical, so only the strict check can tell them apart.
+    expect_drc_error(
+        r#"
+package t;
+Group Celsius { degrees : Bit(16), }
+Group Fahrenheit { degrees : Bit(16), }
+type CStream = Stream(Celsius);
+type FStream = Stream(Fahrenheit);
+streamlet s { i : CStream in, o : FStream out, }
+impl x of s { i => o, }
+"#,
+        "strict type equality",
+    );
+
+    // Structurally identical but differently declared: strict check.
+    expect_drc_error(
+        r#"
+package t;
+type A = Stream(Bit(8));
+type B = Stream(Bit(8));
+streamlet s { i : A in, o : B out, }
+impl x of s { i => o, }
+"#,
+        "strict type equality",
+    );
+}
+
+#[test]
+fn strict_equality_relaxed_by_attribute() {
+    let out = compile_str(
+        r#"
+package t;
+type A = Stream(Bit(8));
+type B = Stream(Bit(8));
+streamlet s { i : A in, o : B out, }
+@NoStrictType
+impl x of s { i => o, }
+"#,
+    )
+    .expect("relaxed connection compiles");
+    assert!(out.project.implementation("x").is_some());
+}
+
+#[test]
+fn rule2_port_usage_exactly_once() {
+    // "each port must be used once under the handshaking mechanism"
+    // (paper III) - with sugaring disabled, both under- and over-use
+    // are DRC errors.
+    let no_sugar = CompileOptions {
+        enable_sugaring: false,
+        ..CompileOptions::default()
+    };
+    let unused = r#"
+package t;
+type A = Stream(Bit(8));
+streamlet s { i : A in, o : A out, o2 : A out, }
+impl x of s { i => o, }
+"#;
+    let err = compile(&[("case.td", unused)], &no_sugar).unwrap_err();
+    assert!(err.diagnostics.iter().any(|d| d.message.contains("used 0 times")));
+
+    let double = r#"
+package t;
+type A = Stream(Bit(8));
+streamlet s { i : A in, o : A out, o2 : A out, }
+impl x of s { i => o, i => o2, }
+"#;
+    let err = compile(&[("case.td", double)], &no_sugar).unwrap_err();
+    assert!(err.diagnostics.iter().any(|d| d.message.contains("used 2 times")));
+}
+
+#[test]
+fn clock_domain_compatibility() {
+    // "only two ports with the same clock domains can be connected
+    // together" (paper Table I).
+    expect_drc_error(
+        r#"
+package t;
+type A = Stream(Bit(8));
+streamlet s { i : A in !fast, o : A out !slow, }
+impl x of s { i => o, }
+"#,
+        "clock domain mismatch",
+    );
+
+    let out = compile_str(
+        r#"
+package t;
+type A = Stream(Bit(8));
+streamlet s { i : A in !fast, o : A out !fast, }
+impl x of s { i => o, }
+"#,
+    )
+    .expect("same-domain connection compiles");
+    let port = out.project.streamlet("s").unwrap().port("i").unwrap();
+    assert_eq!(port.clock.name(), "fast");
+}
+
+#[test]
+fn direction_legality() {
+    expect_drc_error(
+        r#"
+package t;
+type A = Stream(Bit(8));
+streamlet s { i : A in, o : A out, }
+impl x of s { o => i, }
+"#,
+        "direction error",
+    );
+}
+
+#[test]
+fn assert_blocks_bad_template_instantiations() {
+    // Paper IV-A: "template writers can use if and assert to restrict
+    // the logical type to avoid potential errors".
+    let source = r#"
+package t;
+type A = Stream(Bit(8));
+streamlet gen_s<width: int> { o : Stream(Bit(width)) out, }
+impl gen_i<width: int> of gen_s<width> {
+    assert(width % 8 == 0, "width must be a whole number of bytes"),
+    instance nothing_actually(gen_i_leaf<width>),
+    nothing_actually.o => o,
+}
+@builtin("std.const")
+impl gen_i_leaf<width: int> of gen_s<width> external;
+streamlet top_s { o : Stream(Bit(12)) out, }
+impl top_i of top_s {
+    instance g(gen_i<12>),
+    g.o => o,
+}
+"#;
+    let err = compile(&[("case.td", source)], &CompileOptions::default()).unwrap_err();
+    assert!(
+        err.diagnostics
+            .iter()
+            .any(|d| d.message.contains("whole number of bytes")),
+        "{}",
+        err.render()
+    );
+}
+
+#[test]
+fn diagnostics_carry_source_spans() {
+    let err = compile(
+        &[(
+            "case.td",
+            r#"
+package t;
+type A = Stream(Bit(8));
+type B = Stream(Bit(16));
+streamlet s { i : A in, o : B out, }
+impl x of s { i => o, }
+"#,
+        )],
+        &CompileOptions::default(),
+    )
+    .unwrap_err();
+    let rendered = err.render();
+    // The rendered diagnostic points into the file and excerpts the
+    // offending connection.
+    assert!(rendered.contains("case.td:6"), "{rendered}");
+    assert!(rendered.contains("i => o"), "{rendered}");
+}

@@ -1,0 +1,178 @@
+//! Property-based tests on the compiler frontend: the parser never
+//! panics, the math system obeys arithmetic laws, and sugaring always
+//! repairs fan-out/unused-port designs into DRC-clean projects.
+
+use proptest::prelude::*;
+use tydi::lang::{compile, CompileOptions};
+use tydi::stdlib::with_stdlib;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary byte soup must never panic the lexer/parser.
+    #[test]
+    fn parser_never_panics_on_garbage(input in "\\PC{0,200}") {
+        let _ = tydi::lang::parser::parse_package(0, &input);
+    }
+
+    /// Garbage assembled from Tydi-lang-ish fragments must never
+    /// panic either (exercises deeper parse paths than raw bytes).
+    #[test]
+    fn parser_never_panics_on_fragment_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("package"), Just("p"), Just(";"), Just("streamlet"),
+                Just("impl"), Just("of"), Just("{"), Just("}"), Just("<"),
+                Just(">"), Just("type"), Just("="), Just("Stream"), Just("("),
+                Just(")"), Just("Bit"), Just("8"), Just("in"), Just("out"),
+                Just(","), Just("=>"), Just("for"), Just("if"), Just("const"),
+                Just("instance"), Just(".."), Just("external"), Just("@"),
+            ],
+            0..60,
+        )
+    ) {
+        let source = parts.join(" ");
+        let _ = tydi::lang::parser::parse_package(0, &source);
+    }
+
+    /// Integer arithmetic in the math system matches Rust semantics.
+    #[test]
+    fn math_system_matches_host_arithmetic(a in -1000i64..1000, b in -1000i64..1000) {
+        prop_assume!(b != 0);
+        let source = format!(
+            "package t;\nconst r : int = ({a}) + ({b}) * 3 - ({a}) / ({b}) + ({a}) % ({b});\n\
+             type T = Stream(Bit(8));\nstreamlet s {{ i : T in, o : T out, }}\nimpl x of s {{ i => o, }}"
+        );
+        let out = compile(&[("t.td", &source)], &CompileOptions::default());
+        // The const is unused by hardware but still evaluated lazily;
+        // force it through a width expression instead.
+        prop_assert!(out.is_ok());
+        let expected = a + b * 3 - a / b + a % b;
+        let width_source = format!(
+            "package t;\nconst r : int = {};\ntype T = Stream(Bit(r));\n\
+             streamlet s {{ i : T in, o : T out, }}\nimpl x of s {{ i => o, }}",
+            expected.unsigned_abs().max(1)
+        );
+        let out = compile(&[("t.td", &width_source)], &CompileOptions::default()).unwrap();
+        let port = &out.project.streamlet("s").unwrap().ports[0];
+        let phys = tydi::spec::lower(&port.ty).unwrap();
+        prop_assert_eq!(u64::from(phys[0].element_bits), expected.unsigned_abs().max(1));
+    }
+
+    /// A generated fan-out design (one source, N consumers, M unused
+    /// outputs) always compiles clean WITH sugaring and always fails
+    /// the DRC WITHOUT it (for N != 1 or M > 0).
+    #[test]
+    fn sugaring_repairs_random_fanout(consumers in 1usize..6, unused in 0usize..3) {
+        use std::fmt::Write as _;
+        let mut source = String::from(
+            "package t;\nuse std;\ntype B = Stream(Bit(8));\nstreamlet src_s {\n    a : B out,\n",
+        );
+        for u in 0..unused {
+            let _ = writeln!(source, "    u_{u} : B out,");
+        }
+        source.push_str("}\n@builtin(\"fletcher.source\")\nimpl src_i of src_s external;\nstreamlet top_s { }\nimpl top_i of top_s {\n    instance s(src_i),\n");
+        for k in 0..consumers {
+            let _ = writeln!(
+                source,
+                "    instance v_{k}(voider_i<type B>),\n    s.a => v_{k}.i,"
+            );
+        }
+        source.push_str("}\n");
+
+        let sources = with_stdlib(&[("t.td", source.as_str())]);
+        let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+
+        let sugared = compile(&refs, &CompileOptions::default());
+        prop_assert!(sugared.is_ok(), "sugaring failed to repair the design");
+        let out = sugared.unwrap();
+        let expected_dups = usize::from(consumers > 1);
+        prop_assert_eq!(out.sugar_report.duplicators, expected_dups);
+        prop_assert_eq!(out.sugar_report.voiders, unused);
+
+        let no_sugar = CompileOptions { enable_sugaring: false, ..CompileOptions::default() };
+        let raw = compile(&refs, &no_sugar);
+        if consumers != 1 || unused > 0 {
+            prop_assert!(raw.is_err(), "DRC should reject without sugaring");
+        } else {
+            prop_assert!(raw.is_ok());
+        }
+    }
+
+    /// Template memoisation: instantiating one template N times with
+    /// K distinct argument values elaborates exactly K implementations
+    /// and hits the cache N - K times.
+    #[test]
+    fn template_memoisation_counts(uses in proptest::collection::vec(0i64..4, 1..12)) {
+        use std::fmt::Write as _;
+        let mut source = String::from(
+            "package t;\nuse std;\ntype B = Stream(Bit(16));\nstreamlet top_s {\n",
+        );
+        for k in 0..uses.len() {
+            let _ = writeln!(source, "    o_{k} : B out,");
+        }
+        source.push_str("}\n@NoStrictType\nimpl top_i of top_s {\n");
+        for (k, v) in uses.iter().enumerate() {
+            let _ = writeln!(
+                source,
+                "    instance c_{k}(const_vec_i<type B, {v}, 4>),\n    c_{k}.o => o_{k},"
+            );
+        }
+        source.push_str("}\n");
+        let sources = with_stdlib(&[("t.td", source.as_str())]);
+        let refs: Vec<(&str, &str)> = sources.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let out = compile(&refs, &CompileOptions::default()).expect("compile");
+        let distinct: std::collections::HashSet<i64> = uses.iter().copied().collect();
+        // One const impl per distinct value (each pulls in its
+        // streamlet instantiation too).
+        let const_impls = out
+            .project
+            .implementations()
+            .iter()
+            .filter(|i| i.name.starts_with("const_vec_i<"))
+            .count();
+        prop_assert_eq!(const_impls, distinct.len());
+    }
+
+    /// Algebraic laws of the math system, checked through Bit widths
+    /// (the only place a constant becomes observable in the IR).
+    #[test]
+    fn math_laws_through_widths(a in 1i64..1000, b in 1i64..1000, c in 1i64..50) {
+        let width_of = |expr: &str| -> u32 {
+            let source = format!(
+                "package t;\ntype T = Stream(Bit({expr}));\nstreamlet s {{ i : T in, o : T out, }}\nimpl x of s {{ i => o, }}"
+            );
+            let out = compile(&[("t.td", &source)], &CompileOptions::default())
+                .unwrap_or_else(|e| panic!("{e}"));
+            let port = &out.project.streamlet("s").unwrap().ports[0];
+            tydi::spec::lower(&port.ty).unwrap()[0].element_bits
+        };
+        // Commutativity.
+        prop_assert_eq!(width_of(&format!("{a} + {b}")), width_of(&format!("{b} + {a}")));
+        prop_assert_eq!(width_of(&format!("{a} * {c} + 1")), width_of(&format!("{c} * {a} + 1")));
+        // min/max relations.
+        prop_assert_eq!(
+            width_of(&format!("min({a}, {b}) + max({a}, {b})")),
+            width_of(&format!("{a} + {b}"))
+        );
+        // ceil(log2(2^c)) == c for exact powers.
+        prop_assert_eq!(u64::from(width_of(&format!("ceil(log2(2 ^ {c})) + 1"))), c as u64 + 1);
+    }
+
+    /// Generative for-loops expand to exactly the requested number of
+    /// instances and connections, regardless of bounds.
+    #[test]
+    fn for_expansion_count(n in 1usize..12) {
+        let source = format!(
+            "package t;\nuse std;\ntype B = Stream(Bit(8));\nstreamlet top_s {{ i : B in [{n}], }}\n\
+             impl top_i of top_s {{\n    for k in (0..{n}) {{\n        instance v(voider_i<type B>),\n        i[k] => v.i,\n    }}\n}}"
+        );
+        let sources = with_stdlib(&[("t.td", source.as_str())]);
+        let refs: Vec<(&str, &str)> = sources.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let out = compile(&refs, &CompileOptions::default()).unwrap();
+        let top = out.project.implementation("top_i").unwrap();
+        prop_assert_eq!(top.instances().len(), n);
+        prop_assert_eq!(top.connections().len(), n);
+        prop_assert_eq!(out.project.validate(), Ok(()));
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests on the IR and VHDL layers: bit-value algebra,
+//! identifier sanitization, IR text round trips, and LoC counting.
+
+use proptest::prelude::*;
+use tydi::ir::text::{emit_project, parse_project};
+use tydi::ir::{
+    BitsValue, Connection, EndpointRef, Implementation, Instance, Port, PortDirection, Project,
+    Streamlet,
+};
+use tydi::spec::{LogicalType, StreamParams};
+use tydi::vhdl::names::{sanitize, NameAllocator};
+
+proptest! {
+    #[test]
+    fn bits_value_u64_round_trip(value: u64, width in 1u32..=64) {
+        let truncated = if width == 64 { value } else { value & ((1u64 << width) - 1) };
+        let v = BitsValue::from_u64(value, width);
+        prop_assert_eq!(v.to_u64(), Some(truncated));
+        prop_assert_eq!(v.width(), width);
+    }
+
+    #[test]
+    fn bits_value_i64_round_trip(value: i64, extra in 0u32..66) {
+        // Any width wide enough to hold the value round-trips exactly.
+        let needed = 64 - value.unsigned_abs().leading_zeros() + 1;
+        let width = (needed + extra).clamp(1, 150);
+        let v = BitsValue::from_i64(value, width);
+        prop_assert_eq!(v.to_i64(), Some(value));
+    }
+
+    #[test]
+    fn bits_value_bin_string_round_trip(value: u64, width in 1u32..=64) {
+        let v = BitsValue::from_u64(value, width);
+        let s = v.to_bin_string();
+        prop_assert_eq!(s.len() as u32, width);
+        prop_assert_eq!(BitsValue::from_bin_string(&s), Some(v));
+    }
+
+    #[test]
+    fn splice_extract_inverse(
+        base_width in 1u32..100,
+        value: u64,
+        offset_frac in 0.0f64..1.0,
+        width in 1u32..64,
+    ) {
+        let width = width.min(base_width);
+        let max_offset = base_width - width;
+        let offset = (offset_frac * max_offset as f64) as u32;
+        let mut base = BitsValue::zero(base_width);
+        let piece = BitsValue::from_u64(value, width);
+        base.splice(offset, &piece);
+        prop_assert_eq!(base.extract(offset, width), piece);
+    }
+
+    #[test]
+    fn sanitize_always_yields_legal_identifier(name in "\\PC{0,40}") {
+        let id = sanitize(&name);
+        prop_assert!(!id.is_empty());
+        prop_assert!(id.chars().next().unwrap().is_ascii_alphabetic());
+        prop_assert!(id.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        prop_assert!(!id.contains("__"));
+        prop_assert!(!id.ends_with('_'));
+        // Idempotent up to reserved-word suffixing.
+        let again = sanitize(&id);
+        let suffixed = format!("{id}_v");
+        prop_assert!(again == id || again == suffixed);
+    }
+
+    #[test]
+    fn allocator_never_repeats(names in proptest::collection::vec("\\PC{0,12}", 1..30)) {
+        let mut alloc = NameAllocator::new();
+        let mut seen = std::collections::HashSet::new();
+        for name in &names {
+            let id = alloc.allocate(name).to_ascii_lowercase();
+            prop_assert!(seen.insert(id), "allocator repeated a name");
+        }
+    }
+
+    /// Random linear pipelines emit IR text that parses back to an
+    /// equivalent, still-valid project.
+    #[test]
+    fn ir_text_round_trips_for_random_chains(
+        width in 1u32..64,
+        stages in 1usize..6,
+        dim in 0u32..3,
+    ) {
+        let ty = LogicalType::stream(
+            LogicalType::Bit(width),
+            StreamParams::new().with_dimension(dim),
+        );
+        let mut p = Project::new("chain");
+        p.add_streamlet(
+            Streamlet::new("pass_s")
+                .with_port(Port::new("i", PortDirection::In, ty.clone()))
+                .with_port(Port::new("o", PortDirection::Out, ty)),
+        )
+        .unwrap();
+        p.add_implementation(
+            Implementation::external("leaf_i", "pass_s").with_builtin("std.passthrough"),
+        )
+        .unwrap();
+        let mut top = Implementation::normal("top_i", "pass_s");
+        for s in 0..stages {
+            top.add_instance(Instance::new(format!("n{s}"), "leaf_i"));
+        }
+        top.add_connection(Connection::new(
+            EndpointRef::own("i"),
+            EndpointRef::instance("n0", "i"),
+        ));
+        for s in 1..stages {
+            top.add_connection(Connection::new(
+                EndpointRef::instance(format!("n{}", s - 1), "o"),
+                EndpointRef::instance(format!("n{s}"), "i"),
+            ));
+        }
+        top.add_connection(Connection::new(
+            EndpointRef::instance(format!("n{}", stages - 1), "o"),
+            EndpointRef::own("o"),
+        ));
+        p.add_implementation(top).unwrap();
+        prop_assert_eq!(p.validate(), Ok(()));
+
+        let text = emit_project(&p);
+        let q = parse_project(&text).expect("round trip");
+        prop_assert_eq!(q.validate(), Ok(()));
+        prop_assert_eq!(emit_project(&q), text);
+    }
+
+    /// The IR text parser never panics on garbage.
+    #[test]
+    fn ir_text_parser_never_panics(input in "\\PC{0,300}") {
+        let _ = parse_project(&input);
+    }
+
+    /// The logical-type text parser never panics on garbage.
+    #[test]
+    fn type_text_parser_never_panics(input in "\\PC{0,120}") {
+        let _ = tydi::spec::parse_logical_type(&input);
+    }
+
+    /// The VHDL structural checker never panics and is quiet on the
+    /// empty file.
+    #[test]
+    fn vhdl_checker_never_panics(input in "\\PC{0,300}") {
+        let _ = tydi::vhdl::check::check_vhdl(&input);
+    }
+
+    /// LoC counting: comment/blank lines never count, code lines always
+    /// do, and the count is invariant under extra blank lines.
+    #[test]
+    fn loc_counting_invariants(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                Just("entity x is".to_string()),
+                Just("-- comment".to_string()),
+                Just("".to_string()),
+                Just("   ".to_string()),
+                Just("x <= y; -- trailing".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let text = lines.join("\n");
+        let expected = lines
+            .iter()
+            .filter(|l| {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with("--")
+            })
+            .count();
+        prop_assert_eq!(tydi::vhdl::count_loc(&text), expected);
+        // Blank-line padding never changes the count.
+        let padded = lines.join("\n\n\n");
+        prop_assert_eq!(tydi::vhdl::count_loc(&padded), expected);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests on the Tydi-spec type system: bit-width laws,
+//! text-format round trips, and physical lowering invariants.
+
+use proptest::prelude::*;
+use tydi::spec::{
+    lower, parse_logical_type, Complexity, LogicalType, StreamParams, Synchronicity, Throughput,
+};
+
+/// A recursive strategy for arbitrary valid logical types.
+fn arb_type() -> impl Strategy<Value = LogicalType> {
+    let leaf = prop_oneof![
+        Just(LogicalType::Null),
+        (1u32..=256).prop_map(LogicalType::Bit),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(|tys| {
+                LogicalType::Group(
+                    tys.into_iter()
+                        .enumerate()
+                        .map(|(i, t)| tydi::spec::Field::new(format!("f{i}"), t))
+                        .collect(),
+                )
+            }),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(|tys| {
+                LogicalType::Union(
+                    tys.into_iter()
+                        .enumerate()
+                        .map(|(i, t)| tydi::spec::Field::new(format!("v{i}"), t))
+                        .collect(),
+                )
+            }),
+            (inner, arb_params()).prop_map(|(t, p)| LogicalType::stream(t, p)),
+        ]
+    })
+}
+
+fn arb_params() -> impl Strategy<Value = StreamParams> {
+    (
+        0u32..4,
+        1u32..5,
+        1u8..=8,
+        prop_oneof![
+            Just(Synchronicity::Sync),
+            Just(Synchronicity::Flatten),
+            Just(Synchronicity::Desync),
+            Just(Synchronicity::FlatDesync)
+        ],
+        any::<bool>(),
+    )
+        .prop_map(|(d, t, c, x, keep)| {
+            StreamParams::new()
+                .with_dimension(d)
+                .with_throughput(Throughput::new(t, 1).expect("positive"))
+                .with_complexity(Complexity::new(c).expect("in range"))
+                .with_synchronicity(x)
+                .with_keep(keep)
+        })
+}
+
+proptest! {
+    #[test]
+    fn group_width_is_sum_of_children(tys in proptest::collection::vec(arb_type(), 1..5)) {
+        let expected: u32 = tys.iter().map(|t| t.bit_width()).sum();
+        let group = LogicalType::Group(
+            tys.into_iter()
+                .enumerate()
+                .map(|(i, t)| tydi::spec::Field::new(format!("f{i}"), t))
+                .collect(),
+        );
+        prop_assert_eq!(group.bit_width(), expected);
+    }
+
+    #[test]
+    fn union_width_is_max_plus_tag(tys in proptest::collection::vec(arb_type(), 1..5)) {
+        let max: u32 = tys.iter().map(|t| t.bit_width()).max().unwrap_or(0);
+        let n = tys.len();
+        let union = LogicalType::Union(
+            tys.into_iter()
+                .enumerate()
+                .map(|(i, t)| tydi::spec::Field::new(format!("v{i}"), t))
+                .collect(),
+        );
+        let tag = if n <= 1 { 0 } else { usize::BITS - (n - 1).leading_zeros() };
+        prop_assert_eq!(union.bit_width(), max + tag);
+    }
+
+    #[test]
+    fn text_format_round_trips(ty in arb_type()) {
+        prop_assume!(ty.validate().is_ok());
+        let text = ty.to_string();
+        let reparsed = parse_logical_type(&text)
+            .unwrap_or_else(|e| panic!("reparse of `{text}` failed: {e}"));
+        prop_assert_eq!(reparsed, ty);
+    }
+
+    #[test]
+    fn lowering_never_panics_and_streams_have_signals(ty in arb_type()) {
+        prop_assume!(ty.validate().is_ok());
+        if let Ok(streams) = lower(&ty) {
+            prop_assert!(!streams.is_empty());
+            for s in &streams {
+                let sig = s.signals();
+                // Data bits = lanes x element bits.
+                prop_assert_eq!(sig.data_bits, s.lanes() * s.element_bits);
+                // Valid/ready always exist on top of the payload.
+                prop_assert_eq!(sig.total_bits(), sig.payload_bits() + 2);
+                // stai/endi only exist with more than one lane.
+                if s.lanes() == 1 {
+                    prop_assert_eq!(sig.stai_bits, 0);
+                    prop_assert_eq!(sig.endi_bits, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lowered_stream_count_equals_kept_stream_nodes(ty in arb_type()) {
+        prop_assume!(ty.validate().is_ok());
+        // Wrap in a stream so there is always at least one — unless
+        // the whole type is null, in which case every stream is
+        // optimized out (paper Table I) and lowering refuses.
+        let root = LogicalType::stream(ty, StreamParams::new());
+        prop_assume!(!root.is_null());
+        let streams = match lower(&root) {
+            Ok(streams) => streams,
+            // Composites of nothing but null streams also reduce to
+            // nothing; that is legal lowering behaviour.
+            Err(tydi::spec::SpecError::NotSynthesizable(_)) => return Ok(()),
+            Err(other) => return Err(TestCaseError::fail(other.to_string())),
+        };
+        prop_assert!(!streams.is_empty());
+        // All name suffixes are distinct... or shared when sibling
+        // fields repeat names, which our generator never produces.
+        let mut suffixes: Vec<String> = streams.iter().map(|s| s.name_suffix()).collect();
+        suffixes.sort();
+        let before = suffixes.len();
+        suffixes.dedup();
+        prop_assert_eq!(before, suffixes.len());
+    }
+
+    #[test]
+    fn throughput_lanes_are_ceiling(num in 1u32..100, den in 1u32..100) {
+        let t = Throughput::new(num, den).expect("positive ratio");
+        prop_assert_eq!(t.lanes(), num.div_ceil(den));
+    }
+}
