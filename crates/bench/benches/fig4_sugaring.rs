@@ -23,15 +23,11 @@ fn print_comparison(data: &TpchData) {
     );
     println!(
         "{:<34} {:>10} {:>14}",
-        "duplicators (inferred / explicit)",
-        out_sugared.sugar_report.duplicators,
-        "in source"
+        "duplicators (inferred / explicit)", out_sugared.sugar_report.duplicators, "in source"
     );
     println!(
         "{:<34} {:>10} {:>14}",
-        "voiders (inferred / explicit)",
-        out_sugared.sugar_report.voiders,
-        "in source"
+        "voiders (inferred / explicit)", out_sugared.sugar_report.voiders, "in source"
     );
     println!(
         "{:<34} {:>10} {:>14}",

@@ -41,7 +41,8 @@ fn print_sweep() {
     let compiled = compile_parallelize(2, DELAY);
     let registry = BehaviorRegistry::with_std();
     let mut sim = Simulator::new(&compiled.project, "top_i", &registry).unwrap();
-    sim.feed("i", (0..PACKETS as i64).map(Packet::data)).unwrap();
+    sim.feed("i", (0..PACKETS as i64).map(Packet::data))
+        .unwrap();
     sim.run(PACKETS * (DELAY + 4) * 4);
     let report = sim.bottlenecks();
     println!("\nBottleneck report at channel = 2:");

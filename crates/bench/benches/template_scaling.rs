@@ -42,8 +42,10 @@ fn print_scaling() {
         let distinct_ms = t0.elapsed().as_secs_f64() * 1e3;
         let src = repeated_source(n);
         let sources = with_stdlib(&[("scale.td", src.as_str())]);
-        let refs: Vec<(&str, &str)> =
-            sources.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let refs: Vec<(&str, &str)> = sources
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+            .collect();
         let t1 = std::time::Instant::now();
         let repeated = compile(&refs, &CompileOptions::default()).expect("repeat compile");
         let repeat_ms = t1.elapsed().as_secs_f64() * 1e3;
@@ -72,8 +74,10 @@ fn bench(c: &mut Criterion) {
         group.bench_function(format!("memoised/{n}"), |b| {
             b.iter(|| {
                 let sources = with_stdlib(&[("scale.td", src.as_str())]);
-                let refs: Vec<(&str, &str)> =
-                    sources.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+                let refs: Vec<(&str, &str)> = sources
+                    .iter()
+                    .map(|(a, b)| (a.as_str(), b.as_str()))
+                    .collect();
                 black_box(compile(&refs, &CompileOptions::default()).expect("compile"))
             });
         });

@@ -71,8 +71,12 @@ impl top_i of parallelize_s {{
 pub fn compile_parallelize(channel: usize, delay: u64) -> CompileOutput {
     let source = parallelize_source(channel, delay);
     let sources = with_stdlib(&[("par.td", source.as_str())]);
-    let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
-    compile(&refs, &CompileOptions::default()).unwrap_or_else(|e| panic!("parallelize failed:\n{e}"))
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.as_str()))
+        .collect();
+    compile(&refs, &CompileOptions::default())
+        .unwrap_or_else(|e| panic!("parallelize failed:\n{e}"))
 }
 
 /// Simulates the parallelize design with `packets` stimuli; returns
@@ -81,7 +85,8 @@ pub fn simulate_parallelize(channel: usize, delay: u64, packets: u64) -> (u64, u
     let compiled = compile_parallelize(channel, delay);
     let registry = BehaviorRegistry::with_std();
     let mut sim = Simulator::new(&compiled.project, "top_i", &registry).expect("simulator");
-    sim.feed("i", (0..packets as i64).map(Packet::data)).unwrap();
+    sim.feed("i", (0..packets as i64).map(Packet::data))
+        .unwrap();
     let budget = packets * (delay + 4) * 4 + 1000;
     sim.run(budget);
     let delivered = sim.outputs("o").expect("probe").len() as u64;
@@ -120,7 +125,10 @@ pub fn template_scaling_source(n: usize) -> String {
 pub fn compile_scaling(n: usize) -> CompileOutput {
     let source = template_scaling_source(n);
     let sources = with_stdlib(&[("scale.td", source.as_str())]);
-    let refs: Vec<(&str, &str)> = sources.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
     compile(&refs, &CompileOptions::default()).unwrap_or_else(|e| panic!("scaling failed:\n{e}"))
 }
 

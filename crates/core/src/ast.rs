@@ -515,9 +515,9 @@ impl Decl {
     pub fn name(&self) -> Option<&str> {
         match self {
             Decl::Const(c) => Some(&c.name),
-            Decl::TypeAlias { name, .. }
-            | Decl::Group { name, .. }
-            | Decl::Union { name, .. } => Some(name),
+            Decl::TypeAlias { name, .. } | Decl::Group { name, .. } | Decl::Union { name, .. } => {
+                Some(name)
+            }
             Decl::Streamlet(s) => Some(&s.name),
             Decl::Impl(i) => Some(&i.name),
             Decl::Assert { .. } => None,

@@ -89,7 +89,10 @@ impl Diagnostic {
                 }
             }
             None => {
-                out.push_str(&format!("{}: {} [{}]\n", self.severity, self.message, self.stage));
+                out.push_str(&format!(
+                    "{}: {} [{}]\n",
+                    self.severity, self.message, self.stage
+                ));
             }
         }
         out

@@ -89,7 +89,10 @@ pub fn eval_expr(expr: &Expr, resolver: &mut dyn Resolver) -> Result<Value, Eval
                 }
             }
             if out.len() > 1_000_000 {
-                return Err(EvalError::new("range produces more than 1e6 elements", *span));
+                return Err(EvalError::new(
+                    "range produces more than 1e6 elements",
+                    *span,
+                ));
             }
             Ok(Value::Array(out))
         }
@@ -196,20 +199,15 @@ fn binary(op: BinOp, l: Value, r: Value, span: Span) -> Result<Value, EvalError>
     // Ordering on numbers and strings.
     if matches!(op, Lt | Le | Gt | Ge) {
         let ordering = match (&l, &r) {
-            (a, b) if a.is_numeric() && b.is_numeric() => a
-                .as_f64()
-                .unwrap()
-                .partial_cmp(&b.as_f64().unwrap()),
+            (a, b) if a.is_numeric() && b.is_numeric() => {
+                a.as_f64().unwrap().partial_cmp(&b.as_f64().unwrap())
+            }
             (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
             _ => None,
         };
         let Some(ordering) = ordering else {
             return Err(EvalError::new(
-                format!(
-                    "cannot order {} and {}",
-                    l.kind_name(),
-                    r.kind_name()
-                ),
+                format!("cannot order {} and {}", l.kind_name(), r.kind_name()),
                 span,
             ));
         };
@@ -248,10 +246,7 @@ fn binary(op: BinOp, l: Value, r: Value, span: Span) -> Result<Value, EvalError>
                 }
                 Pow => {
                     if b >= 0 {
-                        match u32::try_from(b)
-                            .ok()
-                            .and_then(|e| a.checked_pow(e))
-                        {
+                        match u32::try_from(b).ok().and_then(|e| a.checked_pow(e)) {
                             Some(v) => Ok(Value::Int(v)),
                             None => Err(EvalError::new("integer power overflow", span)),
                         }
@@ -394,7 +389,11 @@ fn call_builtin(name: &str, args: &[Value], span: Span) -> Result<Value, EvalErr
             for (i, a) in args.iter().enumerate().skip(1) {
                 let v = num(i)?;
                 all_int &= matches!(a, Value::Int(_));
-                best = if name == "min" { best.min(v) } else { best.max(v) };
+                best = if name == "min" {
+                    best.min(v)
+                } else {
+                    best.max(v)
+                };
             }
             if all_int {
                 Ok(Value::Int(best as i64))
@@ -408,7 +407,10 @@ fn call_builtin(name: &str, args: &[Value], span: Span) -> Result<Value, EvalErr
                 Value::Array(items) => Ok(Value::Int(items.len() as i64)),
                 Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
                 other => Err(EvalError::new(
-                    format!("`len` expects an array or string, got {}", other.kind_name()),
+                    format!(
+                        "`len` expects an array or string, got {}",
+                        other.kind_name()
+                    ),
                     span,
                 )),
             }
@@ -441,10 +443,7 @@ mod tests {
     fn eval_str(expr_text: &str) -> Result<Value, EvalError> {
         let src = format!("package t;\nconst x = {expr_text};");
         let (pkg, diags) = parse_package(0, &src);
-        assert!(
-            diags.is_empty(),
-            "parse diags for `{expr_text}`: {diags:?}"
-        );
+        assert!(diags.is_empty(), "parse diags for `{expr_text}`: {diags:?}");
         let pkg = pkg.unwrap();
         let crate::ast::Decl::Const(c) = &pkg.decls[0] else {
             panic!()
@@ -497,14 +496,8 @@ mod tests {
 
     #[test]
     fn string_concat() {
-        assert_eq!(
-            eval_str("\"w=\" + 8").unwrap(),
-            Value::Str("w=8".into())
-        );
-        assert_eq!(
-            eval_str("\"a\" + \"b\"").unwrap(),
-            Value::Str("ab".into())
-        );
+        assert_eq!(eval_str("\"w=\" + 8").unwrap(), Value::Str("w=8".into()));
+        assert_eq!(eval_str("\"a\" + \"b\"").unwrap(), Value::Str("ab".into()));
     }
 
     #[test]
@@ -519,7 +512,12 @@ mod tests {
         );
         assert_eq!(
             eval_str("(0..10 step 3)").unwrap(),
-            Value::Array(vec![Value::Int(0), Value::Int(3), Value::Int(6), Value::Int(9)])
+            Value::Array(vec![
+                Value::Int(0),
+                Value::Int(3),
+                Value::Int(6),
+                Value::Int(9)
+            ])
         );
         assert_eq!(eval_str("[5, 6, 7][1]").unwrap(), Value::Int(6));
         assert_eq!(eval_str("names[0]").unwrap(), Value::Str("a".into()));

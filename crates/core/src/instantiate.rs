@@ -18,20 +18,52 @@ use tydi_ir::{
     Connection, EndpointRef, Implementation, Instance, Port, PortDirection, Project, Streamlet,
 };
 use tydi_spec::{
-    ClockDomain, Complexity, Direction, Field, LogicalType, StreamParams, Synchronicity,
-    Throughput,
+    ClockDomain, Complexity, Direction, Field, LogicalType, StreamParams, Synchronicity, Throughput,
 };
 
 /// Side information the later pipeline stages need.
 #[derive(Debug, Default)]
 pub struct ElabInfo {
-    /// Span of each connection, keyed by `(impl name, "src => sink")`,
-    /// used to attach source locations to DRC findings.
-    pub connection_spans: HashMap<(String, String), Span>,
+    /// Interner backing the span table keys: implementation names and
+    /// connection descriptions are stored once as [`Symbol`]s instead
+    /// of owned string pairs per connection.
+    ///
+    /// [`Symbol`]: tydi_ir::Symbol
+    span_keys: tydi_ir::Interner,
+    /// Span of each connection, keyed by interned
+    /// `(impl name, "src => sink")` symbols, used to attach source
+    /// locations to DRC findings.
+    connection_spans: HashMap<(tydi_ir::Symbol, tydi_ir::Symbol), Span>,
     /// Number of template instantiations performed (cache misses).
     pub template_instantiations: usize,
     /// Number of template cache hits.
     pub template_cache_hits: usize,
+}
+
+impl ElabInfo {
+    /// Records the source span of a connection.
+    pub fn record_connection_span(&mut self, impl_name: &str, connection: &str, span: Span) {
+        let key = (
+            self.span_keys.intern(impl_name),
+            self.span_keys.intern(connection),
+        );
+        self.connection_spans.insert(key, span);
+    }
+
+    /// The source span of a connection, when known. Read-only: unknown
+    /// names are not interned.
+    pub fn connection_span(&self, impl_name: &str, connection: &str) -> Option<Span> {
+        let key = (
+            self.span_keys.get(impl_name)?,
+            self.span_keys.get(connection)?,
+        );
+        self.connection_spans.get(&key).copied()
+    }
+
+    /// Number of recorded connection spans.
+    pub fn connection_span_count(&self) -> usize {
+        self.connection_spans.len()
+    }
 }
 
 /// Elaborates merged packages into an IR project.
@@ -238,12 +270,14 @@ impl Elaborator {
             }
             Decl::TypeAlias { name, ty, span } => {
                 let qualified = format!("{}.{}", self.packages[id.package].name, name);
-                self.elaborate_type(ty, 0).map(|tv| {
-                    Value::Type(TypeValue {
-                        ty: tv.ty,
-                        origin: Some(qualified),
+                self.elaborate_type(ty, 0)
+                    .map(|tv| {
+                        Value::Type(TypeValue {
+                            ty: tv.ty,
+                            origin: Some(qualified),
+                        })
                     })
-                }).map_err(|e| EvalError::new(e.message, *span))
+                    .map_err(|e| EvalError::new(e.message, *span))
             }
             Decl::Group { name, fields, span } | Decl::Union { name, fields, span } => {
                 let qualified = format!("{}.{}", self.packages[id.package].name, name);
@@ -357,12 +391,12 @@ impl Elaborator {
             TypeExpr::Null(_) => Ok(TypeValue::anonymous(LogicalType::Null)),
             TypeExpr::Bit(width, span) => {
                 let w = eval_expr(width, self)?;
-                let w = w
-                    .as_int()
-                    .ok_or_else(|| EvalError::new(
+                let w = w.as_int().ok_or_else(|| {
+                    EvalError::new(
                         format!("Bit width must be an int, got {}", w.kind_name()),
                         *span,
-                    ))?;
+                    )
+                })?;
                 if w <= 0 || w > u32::MAX as i64 {
                     return Err(EvalError::new(
                         format!("Bit width must be positive, got {w}"),
@@ -416,9 +450,8 @@ impl Elaborator {
                             let c = v.as_int().ok_or_else(|| {
                                 EvalError::new("complexity must be an int", e.span())
                             })?;
-                            let c = u8::try_from(c).map_err(|_| {
-                                EvalError::new("complexity out of range", e.span())
-                            })?;
+                            let c = u8::try_from(c)
+                                .map_err(|_| EvalError::new("complexity out of range", e.span()))?;
                             params.complexity = Complexity::new(c)
                                 .map_err(|err| EvalError::new(err.to_string(), e.span()))?;
                         }
@@ -454,9 +487,9 @@ impl Elaborator {
                         }
                         StreamArg::Keep(e) => {
                             let v = eval_expr(e, self)?;
-                            params.keep = v.as_bool().ok_or_else(|| {
-                                EvalError::new("keep must be a bool", e.span())
-                            })?;
+                            params.keep = v
+                                .as_bool()
+                                .ok_or_else(|| EvalError::new("keep must be a bool", e.span()))?;
                         }
                     }
                 }
@@ -611,7 +644,9 @@ impl Elaborator {
         }
         let id = self
             .find_decl(self.current_package, &r.name, r.span)
-            .ok_or_else(|| EvalError::new(format!("unknown implementation `{}`", r.name), r.span))?;
+            .ok_or_else(|| {
+                EvalError::new(format!("unknown implementation `{}`", r.name), r.span)
+            })?;
         let decl = self.packages[id.package].decls[id.decl].clone();
         let Decl::Impl(i) = decl else {
             return Err(EvalError::new(
@@ -638,7 +673,11 @@ impl Elaborator {
         bindings: &[(String, Value)],
         depth: usize,
     ) -> Option<String> {
-        let key = format!("{}::{}", self.packages[pkg].name, self.mangle(&s.name, bindings));
+        let key = format!(
+            "{}::{}",
+            self.packages[pkg].name,
+            self.mangle(&s.name, bindings)
+        );
         if let Some(existing) = self.streamlet_cache.get(&key) {
             self.info.template_cache_hits += 1;
             return Some(existing.clone());
@@ -710,7 +749,10 @@ impl Elaborator {
                 Some(e) => match eval_expr(e, self) {
                     Ok(Value::Int(n)) if (1..=4096).contains(&n) => Some(n as usize),
                     Ok(Value::Int(n)) => {
-                        self.error(format!("port array size must be in 1..=4096, got {n}"), e.span());
+                        self.error(
+                            format!("port array size must be in 1..=4096, got {n}"),
+                            e.span(),
+                        );
                         ok = false;
                         continue;
                     }
@@ -738,7 +780,9 @@ impl Elaborator {
                 None => streamlet.ports.push(make_port(port.name.clone())),
                 Some(n) => {
                     for i in 0..n {
-                        streamlet.ports.push(make_port(format!("{}_{i}", port.name)));
+                        streamlet
+                            .ports
+                            .push(make_port(format!("{}_{i}", port.name)));
                     }
                 }
             }
@@ -768,7 +812,11 @@ impl Elaborator {
         bindings: &[(String, Value)],
         depth: usize,
     ) -> Option<ImplValue> {
-        let key = format!("{}::{}", self.packages[pkg].name, self.mangle(&i.name, bindings));
+        let key = format!(
+            "{}::{}",
+            self.packages[pkg].name,
+            self.mangle(&i.name, bindings)
+        );
         if let Some(existing) = self.impl_cache.get(&key) {
             self.info.template_cache_hits += 1;
             return Some(existing.clone());
@@ -894,15 +942,13 @@ impl Elaborator {
 
     fn run_stmt(&mut self, stmt: &Stmt, body: &mut BodyBuilder<'_>, depth: usize) {
         match stmt {
-            Stmt::Const(c) => {
-                match eval_expr(&c.value, self) {
-                    Ok(v) => match self.check_var_kind(&c.name, c.kind.as_ref(), v, c.span) {
-                        Ok(v) => self.locals.define(c.name.clone(), v),
-                        Err(e) => self.eval_error(e),
-                    },
+            Stmt::Const(c) => match eval_expr(&c.value, self) {
+                Ok(v) => match self.check_var_kind(&c.name, c.kind.as_ref(), v, c.span) {
+                    Ok(v) => self.locals.define(c.name.clone(), v),
                     Err(e) => self.eval_error(e),
-                }
-            }
+                },
+                Err(e) => self.eval_error(e),
+            },
             Stmt::Assert {
                 expr,
                 message,
@@ -974,20 +1020,22 @@ impl Elaborator {
                 };
                 let count = match array {
                     None => None,
-                    Some(e) => match eval_expr(e, self) {
-                        Ok(Value::Int(n)) if (1..=4096).contains(&n) => Some(n as usize),
-                        Ok(other) => {
-                            self.error(
+                    Some(e) => {
+                        match eval_expr(e, self) {
+                            Ok(Value::Int(n)) if (1..=4096).contains(&n) => Some(n as usize),
+                            Ok(other) => {
+                                self.error(
                                 format!("instance array size must be a small positive int, got {other}"),
                                 e.span(),
                             );
-                            return;
+                                return;
+                            }
+                            Err(e) => {
+                                self.eval_error(e);
+                                return;
+                            }
                         }
-                        Err(e) => {
-                            self.eval_error(e);
-                            return;
-                        }
-                    },
+                    }
                 };
                 // Inside a generative scope the declared name maps to
                 // a unique concrete name, scoped to this iteration.
@@ -1029,11 +1077,9 @@ impl Elaborator {
                     return;
                 };
                 let connection = Connection::new(source, sink);
-                self.info.connection_spans.insert(
-                    (
-                        body.implementation.name.clone(),
-                        connection.describe(),
-                    ),
+                self.info.record_connection_span(
+                    &body.implementation.name,
+                    &connection.describe(),
                     *span,
                 );
                 body.implementation.add_connection(connection);
@@ -1301,7 +1347,10 @@ impl top_i of top_s {
         // pass_i<...> elaborated once, hit once.
         assert!(info.template_cache_hits >= 1);
         let mangled = "pass_i<Stream(Bit(8))>";
-        assert!(project.implementation(mangled).is_some(), "missing {mangled}");
+        assert!(
+            project.implementation(mangled).is_some(),
+            "missing {mangled}"
+        );
         assert_eq!(project.validate(), Ok(()));
     }
 
@@ -1403,7 +1452,9 @@ impl top of wrap_s {
 }
 "#]);
         assert!(has_errors(&diags));
-        assert!(diags.iter().any(|d| d.message.contains("must be an impl of")));
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("must be an impl of")));
     }
 
     #[test]
@@ -1453,7 +1504,9 @@ streamlet s { i : T in, o : T out, }
 impl x of s { i => o, }
 "#]);
         assert!(has_errors(&diags));
-        assert!(diags.iter().any(|d| d.message.contains("undefined name `nope`")));
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("undefined name `nope`")));
     }
 
     #[test]
@@ -1464,7 +1517,9 @@ streamlet s { i : Bit(8) in, }
 impl x of s { }
 "#]);
         assert!(has_errors(&diags));
-        assert!(diags.iter().any(|d| d.message.contains("must bind a Stream")));
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("must bind a Stream")));
     }
 
     #[test]

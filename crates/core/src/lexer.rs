@@ -275,9 +275,7 @@ impl Lexer<'_> {
         }
         let mut is_float = false;
         // A `.` followed by a digit makes it a float; `..` is a range.
-        if self.peek() == Some(b'.')
-            && self.peek_at(1).is_some_and(|c| c.is_ascii_digit())
-        {
+        if self.peek() == Some(b'.') && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
             is_float = true;
             self.pos += 1;
             while self.peek().is_some_and(|c| c.is_ascii_digit()) {

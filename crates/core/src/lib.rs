@@ -47,6 +47,7 @@ pub mod lexer;
 pub mod parser;
 pub mod pipeline;
 pub mod scope;
+pub mod session;
 pub mod sim_ast;
 pub mod span;
 pub mod sugar;
@@ -55,6 +56,7 @@ pub mod value;
 
 pub use diagnostics::{Diagnostic, Severity};
 pub use pipeline::{compile, CompileOptions, CompileOutput, StageTimings};
+pub use session::{Session, Stage, StageRecord};
 pub use span::{SourceFile, Span};
 pub use value::Value;
 

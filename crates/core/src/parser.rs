@@ -42,7 +42,10 @@ pub fn parse_simulation_source(source: &str) -> Result<SimBlock, Vec<Diagnostic>
     };
     let block = parser.sim_block_items(source.to_string());
     diagnostics.append(&mut parser.diagnostics);
-    if diagnostics.iter().any(|d| d.severity == crate::Severity::Error) {
+    if diagnostics
+        .iter()
+        .any(|d| d.severity == crate::Severity::Error)
+    {
         Err(diagnostics)
     } else {
         Ok(block)
@@ -482,8 +485,7 @@ impl Parser<'_> {
                     self.expect(TokenKind::RParen);
                     e.map(ClockSpec::Expr)
                 } else {
-                    self.expect_ident()
-                        .map(|(n, s)| ClockSpec::Named(n, s))
+                    self.expect_ident().map(|(n, s)| ClockSpec::Named(n, s))
                 }
             } else {
                 None
@@ -1078,9 +1080,7 @@ impl Parser<'_> {
         // Find the matching close brace by token scanning to capture
         // the raw text; parsing proceeds over the same tokens.
         let mut block = self.sim_items_until_rbrace();
-        let close_span = self.tokens[self.pos.saturating_sub(1)
-            .min(self.tokens.len() - 1)]
-        .span;
+        let close_span = self.tokens[self.pos.saturating_sub(1).min(self.tokens.len() - 1)].span;
         let body_end = close_span.start.max(body_start).min(self.source.len());
         block.source = self.source[body_start..body_end].trim().to_string();
         Some(block)
@@ -1469,7 +1469,10 @@ mod tests {
     fn stream_type_with_args() {
         let p = parse_ok("package t;\ntype T = Stream(Bit(8), d=2, t=2.0, c=7, r=Reverse, x=Flatten, u=Bit(1), keep);");
         match &p.decls[0] {
-            Decl::TypeAlias { ty: TypeExpr::Stream { args, .. }, .. } => {
+            Decl::TypeAlias {
+                ty: TypeExpr::Stream { args, .. },
+                ..
+            } => {
                 assert_eq!(args.len(), 7);
             }
             other => panic!("{other:?}"),
@@ -1482,8 +1485,16 @@ mod tests {
         // 1 + (2 * (3 ^ 2))
         match &p.decls[0] {
             Decl::Const(c) => match &c.value {
-                Expr::Binary { op: BinOp::Add, rhs, .. } => match rhs.as_ref() {
-                    Expr::Binary { op: BinOp::Mul, rhs, .. } => {
+                Expr::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => match rhs.as_ref() {
+                    Expr::Binary {
+                        op: BinOp::Mul,
+                        rhs,
+                        ..
+                    } => {
                         assert!(matches!(rhs.as_ref(), Expr::Binary { op: BinOp::Pow, .. }));
                     }
                     other => panic!("{other:?}"),
@@ -1498,7 +1509,13 @@ mod tests {
     fn paper_bit_width_expression() {
         // Bit(ceil(log2(10^15 - 1))) from paper §IV-A.
         let p = parse_ok("package t;\ntype D = Bit(ceil(log2(10 ^ 15 - 1)));");
-        assert!(matches!(&p.decls[0], Decl::TypeAlias { ty: TypeExpr::Bit(..), .. }));
+        assert!(matches!(
+            &p.decls[0],
+            Decl::TypeAlias {
+                ty: TypeExpr::Bit(..),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1511,7 +1528,9 @@ mod tests {
                 assert_eq!(s.params.len(), 3);
                 assert_eq!(s.ports.len(), 3);
                 assert!(s.ports[1].array.is_some());
-                assert!(matches!(&s.ports[2].clock, Some(ClockSpec::Named(n, _)) if n == "mem_clock"));
+                assert!(
+                    matches!(&s.ports[2].clock, Some(ClockSpec::Named(n, _)) if n == "mem_clock")
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -1538,7 +1557,9 @@ impl parallelize_i<t_in: type, pu: impl of process_unit_s, channel: int> of para
         match &p.decls[0] {
             Decl::Impl(i) => {
                 assert_eq!(i.params.len(), 3);
-                assert!(matches!(i.params[1].kind, TemplateParamKind::ImplOf(ref s) if s == "process_unit_s"));
+                assert!(
+                    matches!(i.params[1].kind, TemplateParamKind::ImplOf(ref s) if s == "process_unit_s")
+                );
                 let ImplBody::Normal(stmts) = &i.body else {
                     panic!("expected normal body")
                 };
@@ -1557,7 +1578,9 @@ impl parallelize_i<t_in: type, pu: impl of process_unit_s, channel: int> of para
         );
         match &p.decls[0] {
             Decl::Impl(i) => {
-                let ImplBody::Normal(stmts) = &i.body else { panic!() };
+                let ImplBody::Normal(stmts) = &i.body else {
+                    panic!()
+                };
                 match &stmts[0] {
                     Stmt::Instance { impl_ref, .. } => {
                         assert_eq!(impl_ref.args.len(), 4);
@@ -1639,7 +1662,10 @@ impl adder_ext of adder_s external {
         .unwrap();
         assert_eq!(block.handlers.len(), 1);
         assert!(matches!(block.handlers[0].actions[0], SimAction::If { .. }));
-        assert!(matches!(block.handlers[0].actions[1], SimAction::For { .. }));
+        assert!(matches!(
+            block.handlers[0].actions[1],
+            SimAction::For { .. }
+        ));
     }
 
     #[test]
@@ -1649,7 +1675,9 @@ impl adder_ext of adder_s external {
         );
         match &p.decls[0] {
             Decl::Impl(i) => {
-                let ImplBody::Normal(stmts) = &i.body else { panic!() };
+                let ImplBody::Normal(stmts) = &i.body else {
+                    panic!()
+                };
                 match &stmts[2] {
                     Stmt::Connect { src, .. } => {
                         let (inst, idx) = src.instance.as_ref().unwrap();
@@ -1696,6 +1724,12 @@ impl adder_ext of adder_s external {
     #[test]
     fn top_level_assert() {
         let p = parse_ok("package t;\nassert(1 + 1 == 2, \"math is broken\");");
-        assert!(matches!(&p.decls[0], Decl::Assert { message: Some(_), .. }));
+        assert!(matches!(
+            &p.decls[0],
+            Decl::Assert {
+                message: Some(_),
+                ..
+            }
+        ));
     }
 }

@@ -3,15 +3,20 @@
 //! `parse` → `evaluate`/`expand` (elaboration) → `sugar` → `DRC` →
 //! Tydi-IR, with per-stage wall-clock timings so the benchmark harness
 //! can report where compilation time goes.
+//!
+//! [`compile`] is a compatibility wrapper over the
+//! [`Session`](crate::session::Session) driver, which exposes the same
+//! stages individually for tools that want to observe or interleave
+//! them.
 
-use crate::diagnostics::{has_errors, Diagnostic};
-use crate::instantiate::{elaborate, ElabInfo};
-use crate::parser::parse_package;
+use crate::diagnostics::Diagnostic;
+use crate::instantiate::ElabInfo;
+use crate::session::Session;
 use crate::span::SourceFile;
-use crate::sugar::{apply_sugaring, SugarReport};
+use crate::sugar::SugarReport;
 use std::fmt;
-use std::time::{Duration, Instant};
-use tydi_ir::{IrError, Project};
+use std::time::Duration;
+use tydi_ir::Project;
 
 /// Compilation options.
 #[derive(Debug, Clone)]
@@ -102,121 +107,25 @@ impl fmt::Display for CompileFailure {
 impl std::error::Error for CompileFailure {}
 
 /// Compiles Tydi-lang sources (`(file name, text)` pairs) to Tydi-IR.
+///
+/// This is the one-call entry point; it drives a
+/// [`Session`](crate::session::Session) through the four Fig. 3
+/// stages. Per-file parsing and the per-implementation DRC run in
+/// parallel (with a sequential fallback on single-core machines).
 pub fn compile(
     sources: &[(&str, &str)],
     options: &CompileOptions,
 ) -> Result<CompileOutput, Box<CompileFailure>> {
-    let mut diagnostics = Vec::new();
-    let mut files = Vec::with_capacity(sources.len());
-    let mut packages = Vec::new();
-
+    let mut session = Session::new(options.clone());
     // Stage 1: parse (code structure #1).
-    let t0 = Instant::now();
-    for (index, (name, text)) in sources.iter().enumerate() {
-        files.push(SourceFile::new(*name, *text));
-        let (package, mut file_diags) = parse_package(index, text);
-        diagnostics.append(&mut file_diags);
-        if let Some(p) = package {
-            packages.push(p);
-        }
-    }
-    let parse_time = t0.elapsed();
-    if has_errors(&diagnostics) {
-        return Err(Box::new(CompileFailure { diagnostics, files }));
-    }
-
+    let packages = session.parse(sources)?;
     // Stage 2: evaluate + expand (code structures #2/#3).
-    let t1 = Instant::now();
-    let (mut project, elab_info, mut elab_diags) = elaborate(packages, &options.project_name);
-    diagnostics.append(&mut elab_diags);
-    let elaborate_time = t1.elapsed();
-    if has_errors(&diagnostics) {
-        return Err(Box::new(CompileFailure { diagnostics, files }));
-    }
-
+    let (mut project, elab_info) = session.elaborate(packages)?;
     // Stage 3: sugaring.
-    let t2 = Instant::now();
-    let sugar_report = if options.enable_sugaring {
-        apply_sugaring(&mut project)
-    } else {
-        SugarReport::default()
-    };
-    let sugar_time = t2.elapsed();
-    if sugar_report.duplicators + sugar_report.voiders > 0 {
-        diagnostics.push(Diagnostic::note(
-            "sugar",
-            format!(
-                "inserted {} duplicator(s) and {} voider(s)",
-                sugar_report.duplicators, sugar_report.voiders
-            ),
-            None,
-        ));
-    }
-
+    let sugar_report = session.sugar(&mut project);
     // Stage 4: design-rule check.
-    let t3 = Instant::now();
-    if options.run_drc {
-        if let Err(errors) = project.validate() {
-            for error in errors {
-                let span = connection_span_of(&error, &elab_info);
-                diagnostics.push(Diagnostic::error("drc", error.to_string(), span));
-            }
-        }
-    }
-    let drc_time = t3.elapsed();
-    if has_errors(&diagnostics) {
-        return Err(Box::new(CompileFailure { diagnostics, files }));
-    }
-
-    Ok(CompileOutput {
-        project,
-        diagnostics,
-        timings: StageTimings {
-            parse: parse_time,
-            elaborate: elaborate_time,
-            sugar: sugar_time,
-            drc: drc_time,
-        },
-        files,
-        sugar_report,
-        elab_info,
-    })
-}
-
-/// Best-effort mapping from an IR validation error back to the source
-/// span of the offending connection.
-fn connection_span_of(error: &IrError, info: &ElabInfo) -> Option<crate::span::Span> {
-    let (implementation, connection) = match error {
-        IrError::TypeMismatch {
-            implementation,
-            connection,
-            ..
-        }
-        | IrError::StrictTypeMismatch {
-            implementation,
-            connection,
-            ..
-        }
-        | IrError::ComplexityMismatch {
-            implementation,
-            connection,
-            ..
-        }
-        | IrError::ClockDomainMismatch {
-            implementation,
-            connection,
-            ..
-        }
-        | IrError::DirectionError {
-            implementation,
-            connection,
-            ..
-        } => (implementation, connection),
-        _ => return None,
-    };
-    info.connection_spans
-        .get(&(implementation.clone(), connection.clone()))
-        .copied()
+    session.drc(&project, &elab_info)?;
+    Ok(session.finish(project, sugar_report, elab_info))
 }
 
 #[cfg(test)]
@@ -321,8 +230,11 @@ impl x of s { i => o, }
 
     #[test]
     fn parse_failure_short_circuits() {
-        let err = compile(&[("bad.td", "package x;\nconst = ;")], &CompileOptions::default())
-            .unwrap_err();
+        let err = compile(
+            &[("bad.td", "package x;\nconst = ;")],
+            &CompileOptions::default(),
+        )
+        .unwrap_err();
         assert!(err.diagnostics.iter().any(|d| d.stage == "parse"));
     }
 }

@@ -1,0 +1,417 @@
+//! The compilation session driver.
+//!
+//! A [`Session`] owns everything that outlives a single pipeline
+//! stage — options, registered source files, accumulated diagnostics
+//! and per-stage records — and exposes the paper's Fig. 3 stages as
+//! composable steps:
+//!
+//! ```text
+//! let mut session = Session::new(options);
+//! let packages            = session.parse(sources)?;     // parallel per file
+//! let (project, elab)     = session.elaborate(packages)?;
+//! let report              = session.sugar(&mut project);
+//! session.drc(&project, &elab)?;                         // parallel per impl
+//! let output              = session.finish(project, report, elab);
+//! ```
+//!
+//! Every stage runs under [`Session::run_stage`], which records its
+//! wall-clock duration and how many diagnostics it emitted, so tools
+//! report stage behaviour uniformly instead of each stage hand-rolling
+//! its own timing. [`compile`](crate::compile) is a thin wrapper over
+//! this driver and remains the one-call entry point.
+//!
+//! Parsing fans out per file and the DRC fans out per implementation
+//! (via rayon, falling back to sequential execution on single-core
+//! machines); diagnostics order stays deterministic because per-unit
+//! results are spliced back in input order.
+
+use crate::ast::Package;
+use crate::diagnostics::{has_errors, Diagnostic};
+use crate::instantiate::{elaborate, ElabInfo};
+use crate::parser::parse_package;
+use crate::pipeline::{CompileFailure, CompileOptions, CompileOutput, StageTimings};
+use crate::span::{SourceFile, Span};
+use crate::sugar::{apply_sugaring, SugarReport};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+use tydi_ir::{IrError, Project};
+
+/// The pipeline stages of paper Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Lexing + parsing (per file, parallel).
+    Parse,
+    /// Evaluation, template instantiation, generative expansion.
+    Elaborate,
+    /// Duplicator/voider insertion.
+    Sugar,
+    /// Design-rule checks (per implementation, parallel).
+    Drc,
+}
+
+impl Stage {
+    /// The stage's diagnostic label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Elaborate => "elaborate",
+            Stage::Sugar => "sugar",
+            Stage::Drc => "drc",
+        }
+    }
+}
+
+/// What one stage execution did.
+#[derive(Debug, Clone, Copy)]
+pub struct StageRecord {
+    /// Which stage ran.
+    pub stage: Stage,
+    /// Wall-clock duration.
+    pub duration: Duration,
+    /// Diagnostics emitted during the stage.
+    pub diagnostics: usize,
+}
+
+/// A compilation session: drives the staged pipeline and accumulates
+/// files, diagnostics and stage records across stages.
+#[derive(Debug)]
+pub struct Session {
+    options: CompileOptions,
+    files: Vec<SourceFile>,
+    diagnostics: Vec<Diagnostic>,
+    records: Vec<StageRecord>,
+}
+
+impl Session {
+    /// Creates a session with the given options.
+    pub fn new(options: CompileOptions) -> Self {
+        Session {
+            options,
+            files: Vec::new(),
+            diagnostics: Vec::new(),
+            records: Vec::new(),
+        }
+    }
+
+    /// The session's options.
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// All diagnostics accumulated so far.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// All source files registered so far.
+    pub fn files(&self) -> &[SourceFile] {
+        &self.files
+    }
+
+    /// Per-stage records, in execution order.
+    pub fn stage_records(&self) -> &[StageRecord] {
+        &self.records
+    }
+
+    /// Aggregated per-stage timings (summed when a stage ran twice).
+    pub fn timings(&self) -> StageTimings {
+        let mut t = StageTimings::default();
+        for record in &self.records {
+            match record.stage {
+                Stage::Parse => t.parse += record.duration,
+                Stage::Elaborate => t.elaborate += record.duration,
+                Stage::Sugar => t.sugar += record.duration,
+                Stage::Drc => t.drc += record.duration,
+            }
+        }
+        t
+    }
+
+    /// Runs `f` as a named stage, recording duration and emitted
+    /// diagnostics.
+    fn run_stage<T>(&mut self, stage: Stage, f: impl FnOnce(&mut Self) -> T) -> T {
+        let diags_before = self.diagnostics.len();
+        let t0 = Instant::now();
+        let out = f(self);
+        self.records.push(StageRecord {
+            stage,
+            duration: t0.elapsed(),
+            diagnostics: self.diagnostics.len() - diags_before,
+        });
+        out
+    }
+
+    /// The failure value for the current diagnostics.
+    fn fail(&self) -> Box<CompileFailure> {
+        Box::new(CompileFailure {
+            diagnostics: self.diagnostics.clone(),
+            files: self.files.clone(),
+        })
+    }
+
+    /// `Err` when any accumulated diagnostic is an error.
+    fn bail_on_errors(&self) -> Result<(), Box<CompileFailure>> {
+        if has_errors(&self.diagnostics) {
+            Err(self.fail())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Stage 1: parses `(file name, text)` pairs into packages, one
+    /// file per rayon task.
+    pub fn parse(&mut self, sources: &[(&str, &str)]) -> Result<Vec<Package>, Box<CompileFailure>> {
+        let packages = self.run_stage(Stage::Parse, |session| {
+            // File ids continue across parse() calls: spans index into
+            // the session-wide file table.
+            let base = session.files.len();
+            session.files.extend(
+                sources
+                    .iter()
+                    .map(|(name, text)| SourceFile::new(*name, *text)),
+            );
+            // Files are independent: parse in parallel, then splice
+            // results back in input order so diagnostics stay stable.
+            let indexed: Vec<(usize, &str)> = sources
+                .iter()
+                .enumerate()
+                .map(|(index, (_, text))| (base + index, *text))
+                .collect();
+            let parsed: Vec<(Option<Package>, Vec<Diagnostic>)> = indexed
+                .into_par_iter()
+                .map(|(index, text)| parse_package(index, text))
+                .collect();
+            let mut packages = Vec::new();
+            for (package, mut file_diags) in parsed {
+                session.diagnostics.append(&mut file_diags);
+                if let Some(p) = package {
+                    packages.push(p);
+                }
+            }
+            packages
+        });
+        self.bail_on_errors()?;
+        Ok(packages)
+    }
+
+    /// Stage 2: evaluates and expands packages into an IR project.
+    pub fn elaborate(
+        &mut self,
+        packages: Vec<Package>,
+    ) -> Result<(Project, ElabInfo), Box<CompileFailure>> {
+        let (project, info) = self.run_stage(Stage::Elaborate, |session| {
+            let (project, info, mut diags) = elaborate(packages, &session.options.project_name);
+            session.diagnostics.append(&mut diags);
+            (project, info)
+        });
+        self.bail_on_errors()?;
+        Ok((project, info))
+    }
+
+    /// Stage 3: duplicator/voider insertion. Skipped (recording an
+    /// empty stage) when the options disable sugaring.
+    pub fn sugar(&mut self, project: &mut Project) -> SugarReport {
+        self.run_stage(Stage::Sugar, |session| {
+            let report = if session.options.enable_sugaring {
+                apply_sugaring(project)
+            } else {
+                SugarReport::default()
+            };
+            if report.duplicators + report.voiders > 0 {
+                session.diagnostics.push(Diagnostic::note(
+                    Stage::Sugar.name(),
+                    format!(
+                        "inserted {} duplicator(s) and {} voider(s)",
+                        report.duplicators, report.voiders
+                    ),
+                    None,
+                ));
+            }
+            report
+        })
+    }
+
+    /// Stage 4: design-rule checks, one implementation per rayon task
+    /// (inside [`Project::validate`]). Violations become diagnostics
+    /// carrying the source span of the offending connection.
+    pub fn drc(&mut self, project: &Project, info: &ElabInfo) -> Result<(), Box<CompileFailure>> {
+        self.run_stage(Stage::Drc, |session| {
+            if !session.options.run_drc {
+                return;
+            }
+            if let Err(errors) = project.validate() {
+                for error in errors {
+                    let span = connection_span_of(&error, info);
+                    session.diagnostics.push(Diagnostic::error(
+                        Stage::Drc.name(),
+                        error.to_string(),
+                        span,
+                    ));
+                }
+            }
+        });
+        self.bail_on_errors()
+    }
+
+    /// Consumes the session into a successful [`CompileOutput`].
+    pub fn finish(
+        self,
+        project: Project,
+        sugar_report: SugarReport,
+        elab_info: ElabInfo,
+    ) -> CompileOutput {
+        let timings = self.timings();
+        CompileOutput {
+            project,
+            diagnostics: self.diagnostics,
+            timings,
+            files: self.files,
+            sugar_report,
+            elab_info,
+        }
+    }
+}
+
+/// Best-effort mapping from an IR validation error back to the source
+/// span of the offending connection.
+fn connection_span_of(error: &IrError, info: &ElabInfo) -> Option<Span> {
+    let (implementation, connection) = match error {
+        IrError::TypeMismatch {
+            implementation,
+            connection,
+            ..
+        }
+        | IrError::StrictTypeMismatch {
+            implementation,
+            connection,
+            ..
+        }
+        | IrError::ComplexityMismatch {
+            implementation,
+            connection,
+            ..
+        }
+        | IrError::ClockDomainMismatch {
+            implementation,
+            connection,
+            ..
+        }
+        | IrError::DirectionError {
+            implementation,
+            connection,
+            ..
+        } => (implementation, connection),
+        _ => return None,
+    };
+    info.connection_span(implementation, connection)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WIRE: &str = r#"
+package demo;
+type Byte = Stream(Bit(8));
+streamlet wire_s { i : Byte in, o : Byte out, }
+impl wire_i of wire_s { i => o, }
+"#;
+
+    #[test]
+    fn stages_record_uniformly() {
+        let mut session = Session::new(CompileOptions::default());
+        let packages = session.parse(&[("wire.td", WIRE)]).unwrap();
+        let (mut project, info) = session.elaborate(packages).unwrap();
+        let report = session.sugar(&mut project);
+        session.drc(&project, &info).unwrap();
+        let stages: Vec<Stage> = session.stage_records().iter().map(|r| r.stage).collect();
+        assert_eq!(
+            stages,
+            vec![Stage::Parse, Stage::Elaborate, Stage::Sugar, Stage::Drc]
+        );
+        assert!(session.timings().total() > Duration::ZERO);
+        let output = session.finish(project, report, info);
+        assert!(output.project.implementation("wire_i").is_some());
+    }
+
+    #[test]
+    fn parse_stage_counts_diagnostics() {
+        let mut session = Session::new(CompileOptions::default());
+        let err = session
+            .parse(&[("bad.td", "package x;\nconst = ;")])
+            .unwrap_err();
+        assert!(err.diagnostics.iter().any(|d| d.stage == "parse"));
+        let record = &session.stage_records()[0];
+        assert_eq!(record.stage, Stage::Parse);
+        assert!(record.diagnostics > 0);
+    }
+
+    #[test]
+    fn many_files_parse_in_order() {
+        // More files than the parallel threshold; package/diagnostic
+        // order must match the sequential result.
+        let sources: Vec<(String, String)> = (0..32)
+            .map(|k| {
+                (
+                    format!("f{k}.td"),
+                    format!(
+                        "package p{k};\ntype B = Stream(Bit(8));\n\
+                         streamlet s{k} {{ i : B in, o : B out, }}\n\
+                         impl x{k} of s{k} {{ i => o, }}"
+                    ),
+                )
+            })
+            .collect();
+        let refs: Vec<(&str, &str)> = sources
+            .iter()
+            .map(|(n, t)| (n.as_str(), t.as_str()))
+            .collect();
+        let mut session = Session::new(CompileOptions::default());
+        let packages = session.parse(&refs).unwrap();
+        assert_eq!(packages.len(), 32);
+        for (k, package) in packages.iter().enumerate() {
+            assert_eq!(package.name, format!("p{k}"));
+        }
+    }
+
+    #[test]
+    fn incremental_parse_calls_keep_file_ids_aligned() {
+        // A second parse() call must attach diagnostics to the files
+        // it registered, not to the first call's.
+        let mut session = Session::new(CompileOptions::default());
+        session.parse(&[("good.td", WIRE)]).unwrap();
+        let err = session
+            .parse(&[("bad.td", "package x;\nconst = ;")])
+            .unwrap_err();
+        let diag = err
+            .diagnostics
+            .iter()
+            .find(|d| d.stage == "parse")
+            .expect("parse error");
+        let rendered = diag.render(&err.files);
+        assert!(rendered.contains("bad.td"), "rendered: {rendered}");
+        assert!(!rendered.contains("good.td"), "rendered: {rendered}");
+    }
+
+    #[test]
+    fn drc_failure_keeps_session_usable_for_reporting() {
+        let src = r#"
+package demo;
+type A = Stream(Bit(8));
+type B = Stream(Bit(16));
+streamlet s { i : A in, o : B out, }
+impl x of s { i => o, }
+"#;
+        let mut session = Session::new(CompileOptions::default());
+        let packages = session.parse(&[("t.td", src)]).unwrap();
+        let (mut project, info) = session.elaborate(packages).unwrap();
+        session.sugar(&mut project);
+        let err = session.drc(&project, &info).unwrap_err();
+        assert!(err.diagnostics.iter().any(|d| d.stage == "drc"));
+        // The DRC stage was still recorded.
+        assert!(session
+            .stage_records()
+            .iter()
+            .any(|r| matches!(r.stage, Stage::Drc) && r.diagnostics > 0));
+    }
+}

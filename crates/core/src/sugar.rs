@@ -17,9 +17,10 @@
 //! flagged `inserted_by_sugar` so reports can separate user code from
 //! inferred code.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use tydi_ir::{
-    Connection, EndpointRef, Implementation, Instance, Port, PortDirection, Project, Streamlet,
+    Connection, EndpointRef, ImplId, Implementation, Instance, Port, PortDirection, Project,
+    Streamlet,
 };
 
 /// What the sugaring pass did.
@@ -54,12 +55,12 @@ struct ImplPlan {
 
 /// Applies sugaring to every normal implementation in the project.
 pub fn apply_sugaring(project: &mut Project) -> SugarReport {
-    // Phase 1: read-only planning.
-    let mut plans: Vec<(String, ImplPlan)> = Vec::new();
-    for implementation in project.implementations() {
+    // Phase 1: read-only planning, keyed by implementation id.
+    let mut plans: Vec<(ImplId, ImplPlan)> = Vec::new();
+    for (id, implementation) in project.implementations_with_ids() {
         let plan = plan_implementation(project, implementation);
         if !plan.voiders.is_empty() || !plan.duplicators.is_empty() {
-            plans.push((implementation.name.clone(), plan));
+            plans.push((id, plan));
         }
     }
 
@@ -70,18 +71,17 @@ pub fn apply_sugaring(project: &mut Project) -> SugarReport {
     let mut helper_cache: HashMap<String, String> = HashMap::new();
     let mut unique = 0usize;
 
-    for (impl_name, plan) in plans {
+    for (impl_id, plan) in plans {
+        // One pass over the existing instance names; fresh helper
+        // names then come from a bump counter checked against the set.
+        let mut namer = InstanceNamer::new(project.implementation_by_id(impl_id));
         for voider in plan.voiders {
             let helper_impl = ensure_voider(project, &voider.port, &mut helper_cache, &mut unique);
-            let inst_name = fresh_instance_name(project, &impl_name, "voider");
-            let implementation = project
-                .implementation_mut(&impl_name)
-                .expect("planned impl exists");
+            let inst_name = namer.fresh("voider");
+            let implementation = project.implementation_by_id_mut(impl_id);
             implementation.add_instance(Instance::new(inst_name.clone(), helper_impl));
-            let mut connection = Connection::new(
-                voider.source,
-                EndpointRef::instance(inst_name, "i"),
-            );
+            let mut connection =
+                Connection::new(voider.source, EndpointRef::instance(inst_name, "i"));
             connection.inserted_by_sugar = true;
             implementation.add_connection(connection);
             report.voiders += 1;
@@ -95,10 +95,8 @@ pub fn apply_sugaring(project: &mut Project) -> SugarReport {
                 &mut helper_cache,
                 &mut unique,
             );
-            let inst_name = fresh_instance_name(project, &impl_name, "dup");
-            let implementation = project
-                .implementation_mut(&impl_name)
-                .expect("planned impl exists");
+            let inst_name = namer.fresh("dup");
+            let implementation = project.implementation_by_id_mut(impl_id);
             implementation.add_instance(Instance::new(inst_name.clone(), helper_impl));
             // Rewrite each consumer connection to read from one
             // duplicator output.
@@ -109,10 +107,8 @@ pub fn apply_sugaring(project: &mut Project) -> SugarReport {
                     connections[conn_idx].inserted_by_sugar = true;
                 }
             }
-            let mut feed = Connection::new(
-                duplicator.source,
-                EndpointRef::instance(inst_name, "i"),
-            );
+            let mut feed =
+                Connection::new(duplicator.source, EndpointRef::instance(inst_name, "i"));
             feed.inserted_by_sugar = true;
             implementation.add_connection(feed);
             report.duplicators += 1;
@@ -207,12 +203,14 @@ fn ensure_voider(
     let impl_name = format!("voider_i_{unique}");
     let mut streamlet = Streamlet::new(streamlet_name.clone());
     streamlet.doc = format!("Auto-inserted voider for {}", port.ty);
-    streamlet.ports.push(clone_port(port, "i", PortDirection::In));
+    streamlet
+        .ports
+        .push(clone_port(port, "i", PortDirection::In));
     project
         .add_streamlet(streamlet)
         .expect("voider streamlet name is fresh");
-    let implementation = Implementation::external(impl_name.clone(), streamlet_name)
-        .with_builtin("std.voider");
+    let implementation =
+        Implementation::external(impl_name.clone(), streamlet_name).with_builtin("std.voider");
     project
         .add_implementation(implementation)
         .expect("voider impl name is fresh");
@@ -236,7 +234,9 @@ fn ensure_duplicator(
     let impl_name = format!("duplicator{fan_out}_i_{unique}");
     let mut streamlet = Streamlet::new(streamlet_name.clone());
     streamlet.doc = format!("Auto-inserted {fan_out}-way duplicator for {}", port.ty);
-    streamlet.ports.push(clone_port(port, "i", PortDirection::In));
+    streamlet
+        .ports
+        .push(clone_port(port, "i", PortDirection::In));
     for k in 0..fan_out {
         streamlet
             .ports
@@ -245,8 +245,8 @@ fn ensure_duplicator(
     project
         .add_streamlet(streamlet)
         .expect("duplicator streamlet name is fresh");
-    let mut implementation = Implementation::external(impl_name.clone(), streamlet_name)
-        .with_builtin("std.duplicator");
+    let mut implementation =
+        Implementation::external(impl_name.clone(), streamlet_name).with_builtin("std.duplicator");
     implementation
         .attributes
         .insert("param_outputs".into(), fan_out.to_string());
@@ -257,19 +257,34 @@ fn ensure_duplicator(
     impl_name
 }
 
-fn fresh_instance_name(project: &Project, impl_name: &str, kind: &str) -> String {
-    let implementation = project.implementation(impl_name).expect("impl exists");
-    let mut counter = 0usize;
-    loop {
-        let candidate = format!("__{kind}_{counter}");
-        if !implementation
-            .instances()
-            .iter()
-            .any(|i| i.name == candidate)
-        {
-            return candidate;
+/// Allocates helper instance names unique within one implementation.
+/// The existing names are hashed once up front, so allocation is O(1)
+/// per helper instead of a rescan of the instance list.
+struct InstanceNamer {
+    taken: HashSet<String>,
+    counter: usize,
+}
+
+impl InstanceNamer {
+    fn new(implementation: &Implementation) -> Self {
+        InstanceNamer {
+            taken: implementation
+                .instances()
+                .iter()
+                .map(|i| i.name.clone())
+                .collect(),
+            counter: 0,
         }
-        counter += 1;
+    }
+
+    fn fresh(&mut self, kind: &str) -> String {
+        loop {
+            let candidate = format!("__{kind}_{}", self.counter);
+            self.counter += 1;
+            if self.taken.insert(candidate.clone()) {
+                return candidate;
+            }
+        }
     }
 }
 
@@ -292,9 +307,11 @@ mod tests {
                 .with_port(Port::new("unused", PortDirection::Out, stream8())),
         )
         .unwrap();
-        p.add_streamlet(
-            Streamlet::new("consumer_s").with_port(Port::new("i", PortDirection::In, stream8())),
-        )
+        p.add_streamlet(Streamlet::new("consumer_s").with_port(Port::new(
+            "i",
+            PortDirection::In,
+            stream8(),
+        )))
         .unwrap();
         p.add_streamlet(Streamlet::new("top_s")).unwrap();
         p.add_implementation(
@@ -337,11 +354,13 @@ mod tests {
         // 2 rewritten + dup feed + voider feed = 4 connections.
         assert_eq!(top.connections().len(), 4);
         assert_eq!(top.instances().len(), 5);
-        assert!(top
-            .connections()
-            .iter()
-            .filter(|c| c.inserted_by_sugar)
-            .count() >= 3);
+        assert!(
+            top.connections()
+                .iter()
+                .filter(|c| c.inserted_by_sugar)
+                .count()
+                >= 3
+        );
     }
 
     #[test]
@@ -387,7 +406,10 @@ mod tests {
         )
         .unwrap();
         let mut w = Implementation::normal("wire_i", "pass_s");
-        w.add_connection(Connection::new(EndpointRef::own("i"), EndpointRef::own("o")));
+        w.add_connection(Connection::new(
+            EndpointRef::own("i"),
+            EndpointRef::own("o"),
+        ));
         p.add_implementation(w).unwrap();
         let before = p.stats();
         let report = apply_sugaring(&mut p);
@@ -406,8 +428,14 @@ mod tests {
         )
         .unwrap();
         let mut imp = Implementation::normal("fan_i", "s");
-        imp.add_connection(Connection::new(EndpointRef::own("i"), EndpointRef::own("o1")));
-        imp.add_connection(Connection::new(EndpointRef::own("i"), EndpointRef::own("o2")));
+        imp.add_connection(Connection::new(
+            EndpointRef::own("i"),
+            EndpointRef::own("o1"),
+        ));
+        imp.add_connection(Connection::new(
+            EndpointRef::own("i"),
+            EndpointRef::own("o2"),
+        ));
         p.add_implementation(imp).unwrap();
         let report = apply_sugaring(&mut p);
         assert_eq!(report.duplicators, 1);
@@ -431,8 +459,14 @@ mod tests {
         )
         .unwrap();
         let mut imp = Implementation::normal("fan_i", "s");
-        imp.add_connection(Connection::new(EndpointRef::own("i"), EndpointRef::own("o1")));
-        imp.add_connection(Connection::new(EndpointRef::own("i"), EndpointRef::own("o2")));
+        imp.add_connection(Connection::new(
+            EndpointRef::own("i"),
+            EndpointRef::own("o1"),
+        ));
+        imp.add_connection(Connection::new(
+            EndpointRef::own("i"),
+            EndpointRef::own("o2"),
+        ));
         p.add_implementation(imp).unwrap();
         apply_sugaring(&mut p);
         // Strict type equality holds through the inserted duplicator.

@@ -1,0 +1,174 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API slice the bench targets use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter` and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock harness: warm up, run `sample_size` timed samples, and
+//! print min / median / mean per benchmark. No plots, no statistical
+//! regression analysis. Swapping in the real criterion is a one-line
+//! change in the workspace `Cargo.toml`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark context handed to each `criterion_group!` function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.default_sample_size;
+        println!("\nbenchmark group `{name}`");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_benchmark(&id.into(), sample_size, f);
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement time; accepted for API compatibility and
+    /// unused (samples are bounded by count, not duration).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Times the routine under benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, recording one timing sample per
+    /// batch.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let t0 = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples
+            .push(t0.elapsed() / self.iters_per_sample as u32);
+    }
+}
+
+fn run_benchmark<F>(id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration: time one iteration to pick a batch size that keeps
+    // each sample around a millisecond (cheap routines) while capping
+    // total time for expensive ones.
+    let mut calib = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut calib);
+    let per_iter = calib.samples.first().copied().unwrap_or(Duration::ZERO);
+    let iters_per_sample = if per_iter < Duration::from_micros(50) {
+        (Duration::from_millis(1).as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000) as u64
+    } else {
+        1
+    };
+
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample,
+    };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("  {id:<40} (no samples)");
+        return;
+    }
+    samples.sort();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "  {id:<40} min {min:>10.2?}   median {median:>10.2?}   mean {mean:>10.2?}   ({} samples x {iters_per_sample} iters)",
+        samples.len()
+    );
+}
+
+/// Declares a group of benchmark functions; `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups;
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; `cargo test --benches`
+            // passes `--test`, in which case run nothing (matching
+            // criterion, which treats test mode as a smoke build).
+            let test_mode = std::env::args().any(|a| a == "--test");
+            if test_mode {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,252 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace
+//! crate implements the slice of proptest's API the test-suite uses:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_recursive` /
+//!   `boxed`;
+//! * range, tuple, `&str`-pattern, [`Just`] and [`collection::vec`]
+//!   strategies, plus [`any`] for primitives;
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`] and [`prop_assume!`]
+//!   macros;
+//! * a deterministic [`test_runner::Runner`] (seeded xoshiro via the
+//!   workspace `rand` shim).
+//!
+//! Two deliberate simplifications relative to real proptest: failing
+//! cases are *not shrunk* (the failing inputs are printed verbatim),
+//! and `&str` strategies interpret only the `\PC{lo,hi}`-style
+//! patterns the suite uses rather than full regex syntax. Swapping in
+//! the real crate is a one-line change in the workspace `Cargo.toml`.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of `element` values with a length
+    /// drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into();
+        VecStrategy::new(element, size.lo, size.hi)
+    }
+
+    /// Inclusive length bounds for collection strategies.
+    pub struct SizeRange {
+        pub(crate) lo: usize,
+        pub(crate) hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+}
+
+/// Everything a test imports with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests. Supports the standard forms:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0i64..100, raw: u64) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal: expands each `fn` inside [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_body! {
+                @cfg($cfg) @name($name) @body($body) @bindings() $($args)*
+            }
+        }
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Internal: munches the argument list of one property test, turning
+/// `name in strategy` and `name: Type` bindings into generated locals.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    // Terminal: all bindings collected (with or without trailing comma).
+    (@cfg($cfg:expr) @name($name:ident) @body($body:block)
+     @bindings($(($pat:ident, $strat:expr))*) $(,)?) => {{
+        let __config = $cfg;
+        let mut __runner = $crate::test_runner::Runner::new(__config, stringify!($name));
+        __runner.run(|__rng| {
+            $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+            let __inputs = || {
+                let mut __s = String::new();
+                $(
+                    __s.push_str(concat!(stringify!($pat), " = "));
+                    __s.push_str(&format!("{:?}, ", &$pat));
+                )*
+                __s
+            };
+            let __described = __inputs();
+            let __case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            };
+            (__case(), __described)
+        });
+    }};
+    // `name in strategy, rest...`
+    (@cfg($cfg:expr) @name($name:ident) @body($body:block) @bindings($($b:tt)*)
+     $pat:ident in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_body! {
+            @cfg($cfg) @name($name) @body($body) @bindings($($b)* ($pat, $strat)) $($rest)*
+        }
+    };
+    // `name in strategy` (final, no trailing comma)
+    (@cfg($cfg:expr) @name($name:ident) @body($body:block) @bindings($($b:tt)*)
+     $pat:ident in $strat:expr) => {
+        $crate::__proptest_body! {
+            @cfg($cfg) @name($name) @body($body) @bindings($($b)* ($pat, $strat))
+        }
+    };
+    // `name: Type, rest...`
+    (@cfg($cfg:expr) @name($name:ident) @body($body:block) @bindings($($b:tt)*)
+     $pat:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_body! {
+            @cfg($cfg) @name($name) @body($body)
+            @bindings($($b)* ($pat, $crate::strategy::any::<$ty>())) $($rest)*
+        }
+    };
+    // `name: Type` (final)
+    (@cfg($cfg:expr) @name($name:ident) @body($body:block) @bindings($($b:tt)*)
+     $pat:ident : $ty:ty) => {
+        $crate::__proptest_body! {
+            @cfg($cfg) @name($name) @body($body)
+            @bindings($($b)* ($pat, $crate::strategy::any::<$ty>()))
+        }
+    };
+}
+
+/// Picks one of the listed strategies uniformly at random. All arms
+/// must produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case when both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}` (both: `{:?}`)",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Skips the current case (without failing) unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,325 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use rand::RngExt;
+use std::fmt::Debug;
+use std::sync::Arc;
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy simply draws a value from the RNG.
+pub trait Strategy: Sized {
+    /// The type of generated values.
+    type Value: Clone + Debug + 'static;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Clone + Debug + 'static,
+        F: Fn(Self::Value) -> R,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` generates the leaves and
+    /// `recurse` wraps an inner strategy into composite values, nested
+    /// up to `depth` levels. `desired_size` and `expected_branch_size`
+    /// are accepted for API compatibility and unused (no value trees
+    /// here to budget).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            // Each level keeps a 50% chance of stopping at the
+            // shallower strategy so every depth (including bare
+            // leaves) stays reachable.
+            let deeper = recurse(strat.clone()).boxed();
+            strat = Union::new(vec![strat, deeper]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy {
+            gen: Arc::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    gen: Arc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Arc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T: Clone + Debug + 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// A strategy that always yields the same value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, R, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    R: Clone + Debug + 'static,
+    F: Fn(S::Value) -> R,
+{
+    type Value = R;
+    fn generate(&self, rng: &mut TestRng) -> R {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between several strategies; what [`prop_oneof!`]
+/// builds.
+///
+/// [`prop_oneof!`]: crate::prop_oneof
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over the given arms.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: Clone + Debug + 'static> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let k = rng.rng.random_range(0..self.arms.len());
+        self.arms[k].generate(rng)
+    }
+}
+
+/// The result of [`crate::collection::vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    lo: usize,
+    hi: usize,
+}
+
+impl<S> VecStrategy<S> {
+    pub(crate) fn new(element: S, lo: usize, hi: usize) -> Self {
+        VecStrategy { element, lo, hi }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.rng.random_range(self.lo..=self.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+// ---- numeric ranges -------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, usize, isize);
+
+impl Strategy for std::ops::Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.next_u64() % (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        if lo == u64::MIN && hi == u64::MAX {
+            return rng.next_u64();
+        }
+        lo + rng.next_u64() % (hi - lo + 1)
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+// ---- tuples ---------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---- string patterns ------------------------------------------------------
+
+/// `&str` acts as a string pattern, as in real proptest. Only the
+/// shape the test-suite uses is interpreted: an optional char-class
+/// prefix (ignored; printable chars are always produced) followed by a
+/// `{lo,hi}` length bound. Unrecognised patterns yield printable
+/// strings of length 0..=16.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_length_bounds(self).unwrap_or((0, 16));
+        let len = rng.rng.random_range(lo..=hi);
+        (0..len).map(|_| random_printable_char(rng)).collect()
+    }
+}
+
+/// Extracts the `{lo,hi}` suffix of a pattern like `\PC{0,200}`.
+fn parse_length_bounds(pattern: &str) -> Option<(usize, usize)> {
+    let open = pattern.rfind('{')?;
+    let close = pattern.rfind('}')?;
+    if close != pattern.len() - 1 || close <= open {
+        return None;
+    }
+    let body = &pattern[open + 1..close];
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// A printable character: mostly ASCII, with occasional multi-byte
+/// code points to stress UTF-8 handling (matching the intent of the
+/// `\PC` class — any printable char).
+fn random_printable_char(rng: &mut TestRng) -> char {
+    match rng.rng.random_range(0..10) {
+        0..=7 => char::from(rng.rng.random_range(0x20u8..0x7F)),
+        8 => char::from_u32(rng.rng.random_range(0xA1u32..0x250)).unwrap_or('¢'),
+        _ => ['λ', 'Ω', '→', '流', '𝕊', 'é', '�'][rng.rng.random_range(0usize..7)],
+    }
+}
+
+// ---- any ------------------------------------------------------------------
+
+/// Types with a canonical strategy; `any::<T>()`.
+pub trait Arbitrary: Clone + Debug + 'static {
+    /// Draws an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// A strategy over any [`Arbitrary`] type.
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}

@@ -1,0 +1,130 @@
+//! The case runner: configuration, RNG and failure reporting.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Runner configuration (`proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the offline suite
+        // fast while still exploring a useful amount of the space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold.
+    Fail(String),
+    /// The generated inputs violate a `prop_assume!` precondition;
+    /// the case is skipped, not failed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+        }
+    }
+}
+
+/// The deterministic RNG handed to strategies.
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// Returns the next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// Runs the cases of one property test.
+pub struct Runner {
+    config: ProptestConfig,
+    seed: u64,
+    name: &'static str,
+}
+
+impl Runner {
+    /// Creates a runner for the named test. The test name is folded
+    /// into the RNG seed so distinct properties explore distinct
+    /// streams while staying deterministic across runs.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Runner { config, seed, name }
+    }
+
+    /// Runs cases until `config.cases` have passed. `case` returns the
+    /// result plus a rendering of the generated inputs for failure
+    /// reports. Panics (failing the enclosing `#[test]`) on the first
+    /// failing case.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> (Result<(), TestCaseError>, String),
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let max_rejects = self.config.cases.saturating_mul(16).max(1024);
+        let mut index = 0u64;
+        while passed < self.config.cases {
+            let mut rng = TestRng {
+                rng: StdRng::seed_from_u64(self.seed.wrapping_add(index)),
+            };
+            index += 1;
+            let (result, inputs) = case(&mut rng);
+            match result {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "property `{}` rejected too many cases ({rejected}); \
+                             weaken the prop_assume! conditions",
+                            self.name
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(reason)) => {
+                    panic!(
+                        "property `{}` failed at case #{index}: {reason}\n  inputs: {inputs}",
+                        self.name
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace-local crate provides the small slice of rayon's API the
+//! toolchain uses: `par_iter`/`into_par_iter` with `map`, `for_each`
+//! and `collect`, plus [`join`]. Work is fanned out over
+//! `std::thread::scope` chunks; result order is preserved, exactly as
+//! rayon guarantees for indexed parallel iterators.
+//!
+//! Falls back to sequential execution when the machine reports a
+//! single core, when the input is too small to be worth a thread, or
+//! when the `TYDI_THREADS` environment variable is set to `1` (the
+//! documented single-thread escape hatch for debugging).
+//!
+//! Replacing this shim with the real rayon is a one-line change in the
+//! workspace `Cargo.toml`; no call site needs to change.
+
+use std::num::NonZeroUsize;
+
+/// The traits rayon users import; `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Inputs smaller than this run sequentially: thread spawn overhead
+/// dominates below it.
+const MIN_PARALLEL_LEN: usize = 8;
+
+/// Number of worker threads to use for `len` items (1 = sequential).
+/// `TYDI_THREADS=n` overrides the core count: `1` forces the
+/// sequential fallback, larger values force that many workers (useful
+/// for exercising the parallel path on single-core machines).
+fn thread_count(len: usize) -> usize {
+    if len < MIN_PARALLEL_LEN {
+        return 1;
+    }
+    let cores = match std::env::var("TYDI_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+    };
+    cores.min(len)
+}
+
+/// A parallel iterator over an exact-size list of items.
+///
+/// Unlike real rayon this is not lazy: adapters are recorded and the
+/// whole chain executes on `collect`/`for_each`. The visible behaviour
+/// (ordered results, parallel execution of the mapped closure) matches.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Conversion into a [`ParIter`] by value; rayon's `IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// Borrowing conversion; rayon's `IntoParallelRefIterator` (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Send + 'a;
+    /// Returns a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// The operations available on a [`ParIter`]; rayon's `ParallelIterator`.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Maps every element in parallel, preserving order.
+    fn map<R: Send, F>(self, f: F) -> ParIter<R>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send;
+
+    /// Runs `f` on every element in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send;
+
+    /// Collects the elements, preserving input order.
+    fn collect<C: FromParallel<Self::Item>>(self) -> C;
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn map<R: Send, F>(self, f: F) -> ParIter<R>
+    where
+        F: Fn(T) -> R + Sync + Send,
+    {
+        ParIter {
+            items: run_ordered(self.items, &f),
+        }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync + Send,
+    {
+        run_ordered(self.items, &|item| f(item));
+    }
+
+    fn collect<C: FromParallel<T>>(self) -> C {
+        C::from_vec(self.items)
+    }
+}
+
+/// Collection targets for [`ParallelIterator::collect`].
+pub trait FromParallel<T> {
+    /// Builds the collection from the ordered results.
+    fn from_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallel<T> for Vec<T> {
+    fn from_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParallel<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_vec(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// Runs `f` over all items, in parallel when worthwhile, returning the
+/// results in input order.
+fn run_ordered<T: Send, R: Send>(items: Vec<T>, f: &(dyn Fn(T) -> R + Sync)) -> Vec<R> {
+    let workers = thread_count(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    // Pair every item with its index, split into per-worker chunks and
+    // write results straight into disjoint slices of the output.
+    let indexed: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let mut chunks: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
+    let mut it = indexed.into_iter();
+    loop {
+        let c: Vec<(usize, T)> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let out = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for c in chunks {
+            let out = &out;
+            scope.spawn(move || {
+                let local: Vec<(usize, R)> = c.into_iter().map(|(i, x)| (i, f(x))).collect();
+                let mut guard = out.lock().expect("rayon shim poisoned");
+                for (i, r) in local {
+                    guard[i] = Some(r);
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index written"))
+        .collect()
+}
+
+/// Runs both closures, in parallel when the machine has spare cores,
+/// and returns both results; rayon's `join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if thread_count(MIN_PARALLEL_LEN) <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join closure panicked"))
+    })
+}
+
+/// Returns the number of threads the shim would use for a large input;
+/// rayon's `current_num_threads`.
+pub fn current_num_threads() -> usize {
+    thread_count(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_by_value() {
+        let squares: Vec<u64> = (0u64..100)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x * x)
+            .collect();
+        assert_eq!(squares[99], 99 * 99);
+    }
+
+    #[test]
+    fn collect_into_result() {
+        let ok: Result<Vec<u32>, String> = (0u32..50)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(Ok)
+            .collect();
+        assert_eq!(ok.unwrap().len(), 50);
+        let err: Result<Vec<u32>, String> = (0u32..50)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| {
+                if x == 25 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn small_inputs_run_sequentially() {
+        // Just exercises the fallback path.
+        let v: Vec<i32> = vec![1, 2, 3].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(v, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn forced_worker_count_spawns_real_threads() {
+        // TYDI_THREADS forces the scoped-thread path even on a
+        // single-core machine; results must still come back in order
+        // from distinct worker threads.
+        std::env::set_var("TYDI_THREADS", "4");
+        let input: Vec<u64> = (0..100).collect();
+        let ids: Vec<(u64, std::thread::ThreadId)> = input
+            .par_iter()
+            .map(|&x| (x * 3, std::thread::current().id()))
+            .collect();
+        std::env::remove_var("TYDI_THREADS");
+        let values: Vec<u64> = ids.iter().map(|(v, _)| *v).collect();
+        assert_eq!(values, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+        let distinct: std::collections::HashSet<_> = ids.iter().map(|(_, t)| *t).collect();
+        assert!(distinct.len() > 1, "expected multiple worker threads");
+    }
+}

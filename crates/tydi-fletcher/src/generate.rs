@@ -34,11 +34,7 @@ pub fn generate_reader_package(schema: &ArrowSchema) -> String {
     let _ = writeln!(out);
     let _ = writeln!(out, "streamlet {table}_reader_s {{");
     for field in &schema.fields {
-        let _ = writeln!(
-            out,
-            "    {} : {table}_{}_t out,",
-            field.name, field.name
-        );
+        let _ = writeln!(out, "    {} : {table}_{}_t out,", field.name, field.name);
     }
     let _ = writeln!(out, "}}");
     let _ = writeln!(out, "@builtin(\"fletcher.source\")");
@@ -74,8 +70,10 @@ mod tests {
     #[test]
     fn generated_package_compiles() {
         let source = generate_reader_package(&lineitem_subset());
-        let out = compile(&[("fletcher.td", &source)], &CompileOptions::default())
-            .unwrap_or_else(|e| panic!("generated Fletcher package failed to compile:\n{e}\n{source}"));
+        let out =
+            compile(&[("fletcher.td", &source)], &CompileOptions::default()).unwrap_or_else(|e| {
+                panic!("generated Fletcher package failed to compile:\n{e}\n{source}")
+            });
         let reader = out.project.streamlet("lineitem_reader_s").unwrap();
         assert_eq!(reader.ports.len(), 4);
         let imp = out.project.implementation("lineitem_reader_i").unwrap();
@@ -86,7 +84,10 @@ mod tests {
             }
             _ => panic!(),
         }
-        assert_eq!(imp.attributes.get("table").map(String::as_str), Some("lineitem"));
+        assert_eq!(
+            imp.attributes.get("table").map(String::as_str),
+            Some("lineitem")
+        );
     }
 
     #[test]

@@ -122,9 +122,7 @@ pub fn register_fletcher_behaviors(
                 let column = table
                     .columns
                     .get(&port.name)
-                    .ok_or_else(|| {
-                        format!("table `{table_name}` has no column `{}`", port.name)
-                    })?
+                    .ok_or_else(|| format!("table `{table_name}` has no column `{}`", port.name))?
                     .clone();
                 columns.push((port.name.clone(), column));
             }
@@ -195,7 +193,10 @@ impl top_i of top_s {
 }
 "#;
         let sources = with_stdlib(&[("fletcher.td", fletcher_src.as_str()), ("app.td", app)]);
-        let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+        let refs: Vec<(&str, &str)> = sources
+            .iter()
+            .map(|(n, t)| (n.as_str(), t.as_str()))
+            .collect();
         let compiled = compile(&refs, &CompileOptions::default())
             .unwrap_or_else(|e| panic!("compile failed:\n{e}"));
         let mut tables = HashMap::new();
@@ -237,7 +238,10 @@ impl top_i of top_s {
 }
 "#;
         let sources = with_stdlib(&[("fletcher.td", fletcher_src.as_str()), ("app.td", app)]);
-        let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+        let refs: Vec<(&str, &str)> = sources
+            .iter()
+            .map(|(n, t)| (n.as_str(), t.as_str()))
+            .collect();
         let compiled = compile(&refs, &CompileOptions::default()).unwrap();
         let mut registry = tydi_sim::BehaviorRegistry::with_std();
         register_fletcher_behaviors(&mut registry, HashMap::new());

@@ -56,13 +56,21 @@ impl BitsValue {
 
     /// Reads a single bit.
     pub fn bit(&self, index: u32) -> bool {
-        assert!(index < self.width, "bit index {index} out of width {}", self.width);
+        assert!(
+            index < self.width,
+            "bit index {index} out of width {}",
+            self.width
+        );
         (self.words[(index / 64) as usize] >> (index % 64)) & 1 == 1
     }
 
     /// Sets a single bit.
     pub fn set_bit(&mut self, index: u32, value: bool) {
-        assert!(index < self.width, "bit index {index} out of width {}", self.width);
+        assert!(
+            index < self.width,
+            "bit index {index} out of width {}",
+            self.width
+        );
         let word = &mut self.words[(index / 64) as usize];
         if value {
             *word |= 1 << (index % 64);

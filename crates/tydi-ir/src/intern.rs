@@ -1,0 +1,151 @@
+//! Symbol interning and typed indices.
+//!
+//! Every definition name in a [`Project`](crate::Project) is interned
+//! once into a [`Symbol`]; lookups, duplicate detection and span
+//! tables then work on compact integer ids instead of owned strings.
+//! [`StreamletId`] and [`ImplId`] index straight into the project's
+//! definition vectors, so resolving a reference is an array access —
+//! no hashing, no string compares — which is what lets the DRC fan
+//! out per-implementation work across threads cheaply.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned name.
+///
+/// Two symbols from the *same* interner are equal exactly when their
+/// strings are equal; comparing symbols from different interners is
+/// meaningless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The position of this symbol in its interner.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a streamlet definition within its project.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamletId(pub(crate) u32);
+
+impl StreamletId {
+    /// The position in [`Project::streamlets`](crate::Project::streamlets).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of an implementation definition within its project.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ImplId(pub(crate) u32);
+
+impl ImplId {
+    /// The position in
+    /// [`Project::implementations`](crate::Project::implementations).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A string interner: each distinct string is stored once and handed
+/// out as a [`Symbol`].
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<Arc<str>>,
+    map: HashMap<Arc<str>, Symbol>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns `name`, returning its symbol. Interning the same string
+    /// twice returns the same symbol.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(name) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.names.len()).expect("interner overflow"));
+        let shared: Arc<str> = Arc::from(name);
+        self.names.push(Arc::clone(&shared));
+        self.map.insert(shared, sym);
+        sym
+    }
+
+    /// Returns the symbol of an already-interned string, without
+    /// interning.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied()
+    }
+
+    /// The string behind a symbol.
+    ///
+    /// # Panics
+    /// Panics when the symbol comes from a different interner and is
+    /// out of range.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_resolve_round_trip() {
+        let mut i = Interner::new();
+        let a = i.intern("wire_i");
+        let b = i.intern("adder_i");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "wire_i");
+        assert_eq!(i.resolve(b), "adder_i");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("x");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("missing"), None);
+        let s = i.intern("present");
+        assert_eq!(i.get("present"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

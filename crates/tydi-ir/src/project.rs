@@ -3,21 +3,26 @@
 
 use crate::component::{Implementation, Streamlet};
 use crate::error::IrError;
+use crate::intern::{ImplId, Interner, StreamletId, Symbol};
 use crate::validate;
 use std::collections::HashMap;
 
 /// A complete Tydi-IR design.
 ///
-/// Definition order is preserved (it determines VHDL emission order);
-/// name lookup is constant-time.
+/// Definition order is preserved (it determines VHDL emission order).
+/// Every definition name is interned into a [`Symbol`]; the by-name
+/// lookups hash the query string once against the symbol table, and
+/// the by-id lookups ([`StreamletId`], [`ImplId`]) are plain array
+/// accesses — the form the validator and backends use on hot paths.
 #[derive(Debug, Clone, Default)]
 pub struct Project {
     /// Project name; becomes the VHDL library/file prefix.
     pub name: String,
+    symbols: Interner,
     streamlets: Vec<Streamlet>,
-    streamlet_index: HashMap<String, usize>,
+    streamlet_index: HashMap<Symbol, StreamletId>,
     impls: Vec<Implementation>,
-    impl_index: HashMap<String, usize>,
+    impl_index: HashMap<Symbol, ImplId>,
 }
 
 impl Project {
@@ -29,48 +34,89 @@ impl Project {
         }
     }
 
-    /// Adds a streamlet definition.
-    pub fn add_streamlet(&mut self, streamlet: Streamlet) -> Result<(), IrError> {
-        if self.streamlet_index.contains_key(&streamlet.name) {
+    /// The project's symbol table.
+    pub fn symbols(&self) -> &Interner {
+        &self.symbols
+    }
+
+    /// Interns a name into the project's symbol table.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        self.symbols.intern(name)
+    }
+
+    /// Adds a streamlet definition, returning its id.
+    pub fn add_streamlet(&mut self, streamlet: Streamlet) -> Result<StreamletId, IrError> {
+        let sym = self.symbols.intern(&streamlet.name);
+        if self.streamlet_index.contains_key(&sym) {
             return Err(IrError::DuplicateDefinition {
                 kind: "streamlet",
                 name: streamlet.name.clone(),
             });
         }
-        self.streamlet_index
-            .insert(streamlet.name.clone(), self.streamlets.len());
+        let id = StreamletId(u32::try_from(self.streamlets.len()).expect("too many streamlets"));
+        self.streamlet_index.insert(sym, id);
         self.streamlets.push(streamlet);
-        Ok(())
+        Ok(id)
     }
 
-    /// Adds an implementation definition.
-    pub fn add_implementation(&mut self, implementation: Implementation) -> Result<(), IrError> {
-        if self.impl_index.contains_key(&implementation.name) {
+    /// Adds an implementation definition, returning its id.
+    pub fn add_implementation(
+        &mut self,
+        implementation: Implementation,
+    ) -> Result<ImplId, IrError> {
+        let sym = self.symbols.intern(&implementation.name);
+        if self.impl_index.contains_key(&sym) {
             return Err(IrError::DuplicateDefinition {
                 kind: "implementation",
                 name: implementation.name.clone(),
             });
         }
-        self.impl_index
-            .insert(implementation.name.clone(), self.impls.len());
+        let id = ImplId(u32::try_from(self.impls.len()).expect("too many implementations"));
+        self.impl_index.insert(sym, id);
         self.impls.push(implementation);
-        Ok(())
+        Ok(id)
+    }
+
+    /// Resolves a streamlet name to its id.
+    pub fn streamlet_id(&self, name: &str) -> Option<StreamletId> {
+        self.streamlet_index.get(&self.symbols.get(name)?).copied()
+    }
+
+    /// Resolves an implementation name to its id.
+    pub fn implementation_id(&self, name: &str) -> Option<ImplId> {
+        self.impl_index.get(&self.symbols.get(name)?).copied()
+    }
+
+    /// A streamlet by id (array access; no hashing).
+    pub fn streamlet_by_id(&self, id: StreamletId) -> &Streamlet {
+        &self.streamlets[id.index()]
+    }
+
+    /// An implementation by id (array access; no hashing).
+    pub fn implementation_by_id(&self, id: ImplId) -> &Implementation {
+        &self.impls[id.index()]
+    }
+
+    /// Mutable access to an implementation by id.
+    pub fn implementation_by_id_mut(&mut self, id: ImplId) -> &mut Implementation {
+        &mut self.impls[id.index()]
     }
 
     /// Looks up a streamlet by name.
     pub fn streamlet(&self, name: &str) -> Option<&Streamlet> {
-        self.streamlet_index.get(name).map(|&i| &self.streamlets[i])
+        self.streamlet_id(name).map(|id| self.streamlet_by_id(id))
     }
 
     /// Looks up an implementation by name.
     pub fn implementation(&self, name: &str) -> Option<&Implementation> {
-        self.impl_index.get(name).map(|&i| &self.impls[i])
+        self.implementation_id(name)
+            .map(|id| self.implementation_by_id(id))
     }
 
     /// Mutable lookup of an implementation by name.
     pub fn implementation_mut(&mut self, name: &str) -> Option<&mut Implementation> {
-        let i = *self.impl_index.get(name)?;
-        Some(&mut self.impls[i])
+        let id = self.implementation_id(name)?;
+        Some(&mut self.impls[id.index()])
     }
 
     /// All streamlets in definition order.
@@ -81,6 +127,19 @@ impl Project {
     /// All implementations in definition order.
     pub fn implementations(&self) -> &[Implementation] {
         &self.impls
+    }
+
+    /// All implementations paired with their ids, in definition order.
+    pub fn implementations_with_ids(&self) -> impl Iterator<Item = (ImplId, &Implementation)> {
+        self.impls
+            .iter()
+            .enumerate()
+            .map(|(i, imp)| (ImplId(i as u32), imp))
+    }
+
+    /// The id of the streamlet realized by the given implementation.
+    pub fn streamlet_of_impl(&self, id: ImplId) -> Option<StreamletId> {
+        self.streamlet_id(&self.implementation_by_id(id).streamlet)
     }
 
     /// The streamlet realized by the named implementation.
@@ -173,12 +232,67 @@ mod tests {
         p.add_streamlet(Streamlet::new("a")).unwrap();
         assert!(matches!(
             p.add_streamlet(Streamlet::new("a")),
-            Err(IrError::DuplicateDefinition { kind: "streamlet", .. })
+            Err(IrError::DuplicateDefinition {
+                kind: "streamlet",
+                ..
+            })
         ));
-        p.add_implementation(Implementation::normal("i", "a")).unwrap();
+        p.add_implementation(Implementation::normal("i", "a"))
+            .unwrap();
         assert!(p
             .add_implementation(Implementation::normal("i", "a"))
             .is_err());
+    }
+
+    #[test]
+    fn id_lookups_match_name_lookups() {
+        let mut p = Project::new("demo");
+        let sid = p.add_streamlet(Streamlet::new("a_s")).unwrap();
+        let iid = p
+            .add_implementation(Implementation::normal("a_i", "a_s"))
+            .unwrap();
+        // By-id and by-name resolve to the same definitions.
+        assert_eq!(p.streamlet_id("a_s"), Some(sid));
+        assert_eq!(p.implementation_id("a_i"), Some(iid));
+        assert!(std::ptr::eq(
+            p.streamlet_by_id(sid),
+            p.streamlet("a_s").unwrap()
+        ));
+        assert!(std::ptr::eq(
+            p.implementation_by_id(iid),
+            p.implementation("a_i").unwrap()
+        ));
+        assert_eq!(p.streamlet_of_impl(iid), Some(sid));
+        // Unknown names resolve to no id without interning them.
+        assert_eq!(p.streamlet_id("ghost"), None);
+        assert_eq!(p.implementation_id("ghost"), None);
+        assert_eq!(p.symbols().get("ghost"), None);
+    }
+
+    #[test]
+    fn ids_are_stable_across_later_additions() {
+        let mut p = Project::new("demo");
+        let first = p.add_streamlet(Streamlet::new("s0")).unwrap();
+        for k in 1..50 {
+            p.add_streamlet(Streamlet::new(format!("s{k}"))).unwrap();
+        }
+        assert_eq!(p.streamlet_id("s0"), Some(first));
+        assert_eq!(p.streamlet_by_id(first).name, "s0");
+        assert_eq!(p.streamlet_id("s49").unwrap().index(), 49);
+    }
+
+    #[test]
+    fn definition_names_share_interned_symbols() {
+        let mut p = Project::new("demo");
+        p.add_streamlet(Streamlet::new("shared")).unwrap();
+        // The impl name `shared` would collide in the symbol table but
+        // not in the per-kind indices.
+        p.add_implementation(Implementation::normal("shared", "shared"))
+            .unwrap();
+        let sym = p.symbols().get("shared").unwrap();
+        assert_eq!(p.symbols().resolve(sym), "shared");
+        assert!(p.streamlet("shared").is_some());
+        assert!(p.implementation("shared").is_some());
     }
 
     #[test]

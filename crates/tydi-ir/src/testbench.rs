@@ -171,9 +171,7 @@ mod tests {
         let mut tb = Testbench::new("adder_tb", "adder_i");
         tb.push(Transfer::stimulus(0, "in0", BitsValue::from_u64(1, 32)));
         tb.push(Transfer::stimulus(0, "in1", BitsValue::from_u64(2, 32)));
-        tb.push(
-            Transfer::expectation(8, "out", BitsValue::from_u64(3, 32)).with_last(vec![true]),
-        );
+        tb.push(Transfer::expectation(8, "out", BitsValue::from_u64(3, 32)).with_last(vec![true]));
         tb.push(Transfer::stimulus(1, "in0", BitsValue::from_u64(5, 32)));
         tb
     }
@@ -201,7 +199,8 @@ mod tests {
 
     #[test]
     fn transfer_display() {
-        let t = Transfer::expectation(8, "out", BitsValue::from_u64(3, 32)).with_last(vec![true, false]);
+        let t = Transfer::expectation(8, "out", BitsValue::from_u64(3, 32))
+            .with_last(vec![true, false]);
         assert_eq!(t.to_string(), "@8 expect out = 3:32 last=10");
     }
 

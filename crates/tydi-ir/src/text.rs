@@ -43,7 +43,9 @@ pub fn emit_project(project: &Project) -> String {
             let _ = write!(
                 out,
                 "    port {} {} !{}",
-                port.name, port.direction, port.clock.name()
+                port.name,
+                port.direction,
+                port.clock.name()
             );
             if let Some(origin) = &port.type_origin {
                 let _ = write!(out, " origin \"{origin}\"");
@@ -64,7 +66,10 @@ pub fn emit_project(project: &Project) -> String {
             implementation.name, implementation.streamlet
         );
         match &implementation.kind {
-            ImplKind::External { builtin, sim_source } => {
+            ImplKind::External {
+                builtin,
+                sim_source,
+            } => {
                 let _ = write!(out, " external");
                 if let Some(key) = builtin {
                     let _ = write!(out, " builtin \"{key}\"");
@@ -83,7 +88,11 @@ pub fn emit_project(project: &Project) -> String {
                     let _ = writeln!(out, "    attr {attr};");
                 }
                 for instance in instances {
-                    let _ = writeln!(out, "    instance {} of {};", instance.name, instance.impl_name);
+                    let _ = writeln!(
+                        out,
+                        "    instance {} of {};",
+                        instance.name, instance.impl_name
+                    );
                 }
                 for connection in connections {
                     let _ = write!(
@@ -108,7 +117,9 @@ pub fn emit_project(project: &Project) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// Parses the text format back into a [`Project`].
@@ -213,12 +224,7 @@ impl<'a> TextParser<'a> {
             if let Some(word) = words.next() {
                 if word == "origin" {
                     let quoted: String = words.collect::<Vec<_>>().join(" ");
-                    origin = Some(
-                        quoted
-                            .trim()
-                            .trim_matches('"')
-                            .to_string(),
-                    );
+                    origin = Some(quoted.trim().trim_matches('"').to_string());
                 } else {
                     return Err(self.err(format!("unexpected token `{word}` in port line")));
                 }
@@ -253,8 +259,7 @@ impl<'a> TextParser<'a> {
                     let (inst_name, impl_name) = rest
                         .split_once(" of ")
                         .ok_or_else(|| self.err("expected `instance <name> of <impl>`"))?;
-                    implementation
-                        .add_instance(Instance::new(inst_name.trim(), impl_name.trim()));
+                    implementation.add_instance(Instance::new(inst_name.trim(), impl_name.trim()));
                 } else if let Some(rest) = line.strip_prefix("connect ") {
                     let (src, rest) = rest
                         .split_once("=>")
@@ -262,7 +267,8 @@ impl<'a> TextParser<'a> {
                     let mut words = rest.split_whitespace();
                     let sink = words.next().ok_or_else(|| self.err("missing sink"))?;
                     let mut connection = Connection::new(
-                        parse_endpoint(src.trim()).ok_or_else(|| self.err("bad source endpoint"))?,
+                        parse_endpoint(src.trim())
+                            .ok_or_else(|| self.err("bad source endpoint"))?,
                         parse_endpoint(sink).ok_or_else(|| self.err("bad sink endpoint"))?,
                     );
                     for word in words {
@@ -297,9 +303,8 @@ impl<'a> TextParser<'a> {
             let mut remaining = tail;
             while !remaining.is_empty() {
                 if let Some(rest) = remaining.strip_prefix("builtin ") {
-                    let (value, after) = read_quoted(rest).ok_or_else(|| {
-                        self.err("expected quoted value after `builtin`")
-                    })?;
+                    let (value, after) = read_quoted(rest)
+                        .ok_or_else(|| self.err("expected quoted value after `builtin`"))?;
                     implementation = implementation.with_builtin(value);
                     remaining = after.trim_start();
                 } else if let Some(rest) = remaining.strip_prefix("sim ") {
@@ -360,9 +365,7 @@ mod tests {
         let mut p = Project::new("demo");
         p.add_streamlet(
             Streamlet::new("pass_s")
-                .with_port(
-                    Port::new("i", PortDirection::In, stream8.clone()).with_origin("pack.T"),
-                )
+                .with_port(Port::new("i", PortDirection::In, stream8.clone()).with_origin("pack.T"))
                 .with_port(Port::new("o", PortDirection::Out, stream8)),
         )
         .unwrap();
@@ -396,7 +399,10 @@ mod tests {
         assert_eq!(q.implementations().len(), 2);
         let leaf = q.implementation("leaf_i").unwrap();
         match &leaf.kind {
-            ImplKind::External { builtin, sim_source } => {
+            ImplKind::External {
+                builtin,
+                sim_source,
+            } => {
                 assert_eq!(builtin.as_deref(), Some("std.passthrough"));
                 assert!(sim_source.as_deref().unwrap().contains("state s"));
                 assert!(sim_source.as_deref().unwrap().contains('\n'));
@@ -418,7 +424,10 @@ mod tests {
         assert!(parse_project("").is_err());
         assert!(parse_project("project x {").is_err());
         assert!(parse_project("project x {\n garbage;\n}").is_err());
-        assert!(parse_project("project x {\n streamlet s {\n port a sideways !d : Bit(1);\n }\n}").is_err());
+        assert!(
+            parse_project("project x {\n streamlet s {\n port a sideways !d : Bit(1);\n }\n}")
+                .is_err()
+        );
     }
 
     #[test]

@@ -5,23 +5,76 @@
 //! logical types (strict by-declaration equality unless relaxed),
 //! protocol complexities are compatible, directions are legal, clock
 //! domains match, and every port is used exactly once.
+//!
+//! The checks run over a [`ProjectIndex`] built once per validation:
+//! streamlet/implementation references are resolved to
+//! [`StreamletId`]/[`ImplId`] array indices and every port map gets a
+//! name→port hash index, so no check walks a definition list
+//! linearly. Implementations are independent of each other, which
+//! lets the per-implementation checks fan out across threads (rayon;
+//! sequential fallback on single-core machines) while keeping the
+//! error order deterministic.
 
 use crate::component::{Connection, EndpointRef, ImplKind, Implementation, Port, PortDirection};
 use crate::error::IrError;
+use crate::intern::StreamletId;
 use crate::project::Project;
+use rayon::prelude::*;
 use std::collections::HashMap;
 use tydi_spec::{Complexity, LogicalType};
 
 /// Runs every check and collects all violations.
 pub fn validate_project(project: &Project) -> Vec<IrError> {
+    let index = ProjectIndex::build(project);
     let mut errors = Vec::new();
     for streamlet in project.streamlets() {
         validate_streamlet(streamlet, &mut errors);
     }
-    for implementation in project.implementations() {
-        validate_implementation(project, implementation, &mut errors);
+    // Implementations are checked independently; fan out and splice
+    // the per-implementation errors back in definition order.
+    let per_impl: Vec<Vec<IrError>> = project
+        .implementations()
+        .par_iter()
+        .map(|implementation| {
+            let mut errs = Vec::new();
+            validate_implementation(&index, implementation, &mut errs);
+            errs
+        })
+        .collect();
+    for errs in per_impl {
+        errors.extend(errs);
     }
     errors
+}
+
+/// Resolved ids and per-streamlet port indices, built once per
+/// validation pass and shared (read-only) by all worker threads.
+struct ProjectIndex<'a> {
+    project: &'a Project,
+    /// Port name → port, indexed by [`StreamletId`].
+    port_maps: Vec<HashMap<&'a str, &'a Port>>,
+}
+
+impl<'a> ProjectIndex<'a> {
+    fn build(project: &'a Project) -> Self {
+        let port_maps = project
+            .streamlets()
+            .iter()
+            .map(|s| s.ports.iter().map(|p| (p.name.as_str(), p)).collect())
+            .collect();
+        ProjectIndex { project, port_maps }
+    }
+
+    /// The streamlet realized by the named implementation, as an id.
+    fn streamlet_of_impl_name(&self, impl_name: &str) -> Option<StreamletId> {
+        let id = self.project.implementation_id(impl_name)?;
+        self.project
+            .streamlet_id(&self.project.implementation_by_id(id).streamlet)
+    }
+
+    fn port(&self, streamlet: StreamletId, name: &str) -> Option<&'a Port> {
+        self.port_maps[streamlet.index()].get(name).copied()
+    }
 }
 
 fn validate_streamlet(streamlet: &crate::component::Streamlet, errors: &mut Vec<IrError>) {
@@ -45,6 +98,17 @@ fn validate_streamlet(streamlet: &crate::component::Streamlet, errors: &mut Vec<
     }
 }
 
+/// Per-implementation context: the enclosing streamlet and an indexed
+/// instance table, so endpoint resolution never scans.
+struct ImplCtx<'a> {
+    index: &'a ProjectIndex<'a>,
+    implementation: &'a Implementation,
+    /// Id of the streamlet this implementation realizes.
+    own: StreamletId,
+    /// Instance name → (instance, its streamlet id when resolvable).
+    instances: HashMap<&'a str, (&'a crate::component::Instance, Option<StreamletId>)>,
+}
+
 /// The resolved view of one connection endpoint.
 struct ResolvedEndpoint<'a> {
     port: &'a Port,
@@ -54,49 +118,39 @@ struct ResolvedEndpoint<'a> {
 }
 
 fn resolve_endpoint<'a>(
-    project: &'a Project,
-    implementation: &Implementation,
+    ctx: &ImplCtx<'a>,
     endpoint: &EndpointRef,
     errors: &mut Vec<IrError>,
 ) -> Option<ResolvedEndpoint<'a>> {
     match &endpoint.instance {
-        None => {
-            let streamlet = project.streamlet(&implementation.streamlet)?;
-            match streamlet.port(&endpoint.port) {
-                Some(port) => Some(ResolvedEndpoint {
-                    port,
-                    // An `in` port of the enclosing streamlet supplies
-                    // data to the body.
-                    acts_as_source: port.direction == PortDirection::In,
-                }),
-                None => {
-                    errors.push(IrError::Unresolved {
-                        kind: "port",
-                        name: endpoint.to_string(),
-                        context: format!("implementation `{}`", implementation.name),
-                    });
-                    None
-                }
+        None => match ctx.index.port(ctx.own, &endpoint.port) {
+            Some(port) => Some(ResolvedEndpoint {
+                port,
+                // An `in` port of the enclosing streamlet supplies
+                // data to the body.
+                acts_as_source: port.direction == PortDirection::In,
+            }),
+            None => {
+                errors.push(IrError::Unresolved {
+                    kind: "port",
+                    name: endpoint.to_string(),
+                    context: format!("implementation `{}`", ctx.implementation.name),
+                });
+                None
             }
-        }
+        },
         Some(instance_name) => {
-            let instance = implementation
-                .instances()
-                .iter()
-                .find(|i| &i.name == instance_name);
-            let Some(instance) = instance else {
+            let Some(&(_, streamlet)) = ctx.instances.get(instance_name.as_str()) else {
                 errors.push(IrError::Unresolved {
                     kind: "instance",
                     name: instance_name.clone(),
-                    context: format!("implementation `{}`", implementation.name),
+                    context: format!("implementation `{}`", ctx.implementation.name),
                 });
                 return None;
             };
-            let Some(streamlet) = project.streamlet_of(&instance.impl_name) else {
-                // Missing impl reported separately by instance checks.
-                return None;
-            };
-            match streamlet.port(&endpoint.port) {
+            // Missing impl reported separately by instance checks.
+            let streamlet = streamlet?;
+            match ctx.index.port(streamlet, &endpoint.port) {
                 Some(port) => Some(ResolvedEndpoint {
                     port,
                     // An instance's `out` port supplies data to the body.
@@ -106,7 +160,7 @@ fn resolve_endpoint<'a>(
                     errors.push(IrError::Unresolved {
                         kind: "port",
                         name: endpoint.to_string(),
-                        context: format!("implementation `{}`", implementation.name),
+                        context: format!("implementation `{}`", ctx.implementation.name),
                     });
                     None
                 }
@@ -123,18 +177,18 @@ fn top_complexity(ty: &LogicalType) -> Option<Complexity> {
 }
 
 fn validate_implementation(
-    project: &Project,
+    index: &ProjectIndex<'_>,
     implementation: &Implementation,
     errors: &mut Vec<IrError>,
 ) {
-    if project.streamlet(&implementation.streamlet).is_none() {
+    let Some(own) = index.project.streamlet_id(&implementation.streamlet) else {
         errors.push(IrError::Unresolved {
             kind: "streamlet",
             name: implementation.streamlet.clone(),
             context: format!("implementation `{}`", implementation.name),
         });
         return;
-    }
+    };
     let ImplKind::Normal {
         instances,
         connections,
@@ -143,16 +197,33 @@ fn validate_implementation(
         return;
     };
 
-    // Instance names unique, implementation references resolvable.
-    let mut seen: HashMap<&str, ()> = HashMap::new();
+    // Instance names unique, implementation references resolvable;
+    // the indexed table then backs every endpoint resolution.
+    let mut ctx = ImplCtx {
+        index,
+        implementation,
+        own,
+        instances: HashMap::with_capacity(instances.len()),
+    };
     for instance in instances {
-        if seen.insert(&instance.name, ()).is_some() {
-            errors.push(IrError::DuplicateDefinition {
-                kind: "instance",
-                name: format!("{}.{}", implementation.name, instance.name),
-            });
+        let streamlet = index.streamlet_of_impl_name(&instance.impl_name);
+        match ctx.instances.entry(instance.name.as_str()) {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                // First declaration wins for endpoint resolution.
+                errors.push(IrError::DuplicateDefinition {
+                    kind: "instance",
+                    name: format!("{}.{}", implementation.name, instance.name),
+                });
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert((instance, streamlet));
+            }
         }
-        if project.implementation(&instance.impl_name).is_none() {
+        if index
+            .project
+            .implementation_id(&instance.impl_name)
+            .is_none()
+        {
             errors.push(IrError::Unresolved {
                 kind: "implementation",
                 name: instance.impl_name.clone(),
@@ -165,35 +236,19 @@ fn validate_implementation(
     }
 
     let relax_all = implementation.attributes.contains_key("NoStrictType");
-    let mut usage: HashMap<EndpointRef, usize> = HashMap::new();
+    let mut usage: HashMap<&EndpointRef, usize> = HashMap::with_capacity(connections.len() * 2);
 
     for connection in connections {
-        validate_connection(project, implementation, connection, relax_all, errors);
-        *usage.entry(connection.source.clone()).or_insert(0) += 1;
-        *usage.entry(connection.sink.clone()).or_insert(0) += 1;
+        validate_connection(&ctx, connection, relax_all, errors);
+        *usage.entry(&connection.source).or_insert(0) += 1;
+        *usage.entry(&connection.sink).or_insert(0) += 1;
     }
 
     // Port usage rule: every own port and every instance port must be
     // used exactly once (paper DRC rule 2). Sugaring must already have
     // inserted duplicators/voiders before this check.
     if !implementation.attributes.contains_key("NoPortUsageCheck") {
-        let mut expected: Vec<EndpointRef> = Vec::new();
-        if let Some(streamlet) = project.streamlet(&implementation.streamlet) {
-            for port in &streamlet.ports {
-                expected.push(EndpointRef::own(port.name.clone()));
-            }
-        }
-        for instance in instances {
-            if let Some(streamlet) = project.streamlet_of(&instance.impl_name) {
-                for port in &streamlet.ports {
-                    expected.push(EndpointRef::instance(
-                        instance.name.clone(),
-                        port.name.clone(),
-                    ));
-                }
-            }
-        }
-        for endpoint in expected {
+        let check = |endpoint: EndpointRef, errors: &mut Vec<IrError>| {
             let uses = usage.get(&endpoint).copied().unwrap_or(0);
             if uses != 1 {
                 errors.push(IrError::PortUsage {
@@ -202,20 +257,34 @@ fn validate_implementation(
                     uses,
                 });
             }
+        };
+        for port in &index.project.streamlet_by_id(own).ports {
+            check(EndpointRef::own(port.name.clone()), errors);
+        }
+        for instance in instances {
+            let Some(&(_, Some(streamlet))) = ctx.instances.get(instance.name.as_str()) else {
+                continue;
+            };
+            for port in &index.project.streamlet_by_id(streamlet).ports {
+                check(
+                    EndpointRef::instance(instance.name.clone(), port.name.clone()),
+                    errors,
+                );
+            }
         }
     }
 }
 
 fn validate_connection(
-    project: &Project,
-    implementation: &Implementation,
+    ctx: &ImplCtx<'_>,
     connection: &Connection,
     relax_all: bool,
     errors: &mut Vec<IrError>,
 ) {
+    let implementation = ctx.implementation;
     let before = errors.len();
-    let source = resolve_endpoint(project, implementation, &connection.source, errors);
-    let sink = resolve_endpoint(project, implementation, &connection.sink, errors);
+    let source = resolve_endpoint(ctx, &connection.source, errors);
+    let sink = resolve_endpoint(ctx, &connection.sink, errors);
     if errors.len() > before {
         return;
     }
@@ -271,8 +340,10 @@ fn validate_connection(
     }
 
     // Compatible protocol complexities.
-    if let (Some(sc), Some(kc)) = (top_complexity(&source.port.ty), top_complexity(&sink.port.ty))
-    {
+    if let (Some(sc), Some(kc)) = (
+        top_complexity(&source.port.ty),
+        top_complexity(&sink.port.ty),
+    ) {
         if !sc.compatible_with_sink(kc) {
             errors.push(IrError::ComplexityMismatch {
                 implementation: implementation.name.clone(),
@@ -293,7 +364,6 @@ fn validate_connection(
         });
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,12 +419,16 @@ mod tests {
     #[test]
     fn non_stream_port_rejected() {
         let mut p = Project::new("t");
-        p.add_streamlet(
-            Streamlet::new("bad_s").with_port(Port::new("x", PortDirection::In, LogicalType::Bit(8))),
-        )
+        p.add_streamlet(Streamlet::new("bad_s").with_port(Port::new(
+            "x",
+            PortDirection::In,
+            LogicalType::Bit(8),
+        )))
         .unwrap();
         let errs = p.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, IrError::PortNotStream { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, IrError::PortNotStream { .. })));
     }
 
     #[test]
@@ -369,7 +443,8 @@ mod tests {
         p.add_implementation(Implementation::external("wide_i", "wide_s"))
             .unwrap();
         let mut top = Implementation::normal("top_i", "pass_s");
-        top.attributes.insert("NoPortUsageCheck".into(), String::new());
+        top.attributes
+            .insert("NoPortUsageCheck".into(), String::new());
         top.add_instance(Instance::new("w", "wide_i"));
         top.add_connection(Connection::new(
             EndpointRef::own("i"),
@@ -377,7 +452,9 @@ mod tests {
         ));
         p.add_implementation(top).unwrap();
         let errs = p.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, IrError::TypeMismatch { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, IrError::TypeMismatch { .. })));
     }
 
     #[test]
@@ -385,16 +462,15 @@ mod tests {
         let mut p = Project::new("t");
         p.add_streamlet(
             Streamlet::new("s")
-                .with_port(
-                    Port::new("i", PortDirection::In, stream(8)).with_origin("pack.TypeA"),
-                )
-                .with_port(
-                    Port::new("o", PortDirection::Out, stream(8)).with_origin("pack.TypeB"),
-                ),
+                .with_port(Port::new("i", PortDirection::In, stream(8)).with_origin("pack.TypeA"))
+                .with_port(Port::new("o", PortDirection::Out, stream(8)).with_origin("pack.TypeB")),
         )
         .unwrap();
         let mut top = Implementation::normal("top_i", "s");
-        top.add_connection(Connection::new(EndpointRef::own("i"), EndpointRef::own("o")));
+        top.add_connection(Connection::new(
+            EndpointRef::own("i"),
+            EndpointRef::own("o"),
+        ));
         p.add_implementation(top).unwrap();
         let errs = p.validate().unwrap_err();
         assert!(errs
@@ -435,7 +511,8 @@ mod tests {
         p.add_implementation(Implementation::external("lo_i", "lo_s"))
             .unwrap();
         let mut top = Implementation::normal("top_i", "s");
-        top.attributes.insert("NoPortUsageCheck".into(), String::new());
+        top.attributes
+            .insert("NoPortUsageCheck".into(), String::new());
         top.add_instance(Instance::new("l", "lo_i"));
         // C=7 source into C=2 sink: illegal, but types also differ, so
         // use identical types with different complexity via sink port.
@@ -448,7 +525,9 @@ mod tests {
         // Types differ (complexity is part of the type), so expect a
         // type mismatch; the dedicated complexity check fires when the
         // frontend relaxes types but keeps complexity metadata.
-        assert!(errs.iter().any(|e| matches!(e, IrError::TypeMismatch { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, IrError::TypeMismatch { .. })));
     }
 
     #[test]
@@ -464,7 +543,10 @@ mod tests {
         )
         .unwrap();
         let mut top = Implementation::normal("top_i", "s");
-        top.add_connection(Connection::new(EndpointRef::own("i"), EndpointRef::own("o")));
+        top.add_connection(Connection::new(
+            EndpointRef::own("i"),
+            EndpointRef::own("o"),
+        ));
         p.add_implementation(top).unwrap();
         let errs = p.validate().unwrap_err();
         assert!(errs
@@ -488,7 +570,9 @@ mod tests {
         ));
         p.add_implementation(top).unwrap();
         let errs = p.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, IrError::DirectionError { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, IrError::DirectionError { .. })));
     }
 
     #[test]
@@ -521,14 +605,19 @@ mod tests {
         )
         .unwrap();
         let mut top = Implementation::normal("fan_i", "two_s");
-        top.add_connection(Connection::new(EndpointRef::own("i"), EndpointRef::own("o1")));
-        top.add_connection(Connection::new(EndpointRef::own("i"), EndpointRef::own("o2")));
+        top.add_connection(Connection::new(
+            EndpointRef::own("i"),
+            EndpointRef::own("o1"),
+        ));
+        top.add_connection(Connection::new(
+            EndpointRef::own("i"),
+            EndpointRef::own("o2"),
+        ));
         p.add_implementation(top).unwrap();
         let errs = p.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(
-            e,
-            IrError::PortUsage { uses: 2, .. }
-        )));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, IrError::PortUsage { uses: 2, .. })));
     }
 
     #[test]
@@ -539,18 +628,25 @@ mod tests {
         let errs = p.validate().unwrap_err();
         assert!(errs.iter().any(|e| matches!(
             e,
-            IrError::Unresolved { kind: "streamlet", .. }
+            IrError::Unresolved {
+                kind: "streamlet",
+                ..
+            }
         )));
 
         let mut p2 = base_project();
         let mut top = Implementation::normal("top_i", "pass_s");
-        top.attributes.insert("NoPortUsageCheck".into(), String::new());
+        top.attributes
+            .insert("NoPortUsageCheck".into(), String::new());
         top.add_instance(Instance::new("g", "ghost_i"));
         p2.add_implementation(top).unwrap();
         let errs = p2.validate().unwrap_err();
         assert!(errs.iter().any(|e| matches!(
             e,
-            IrError::Unresolved { kind: "implementation", .. }
+            IrError::Unresolved {
+                kind: "implementation",
+                ..
+            }
         )));
     }
 }

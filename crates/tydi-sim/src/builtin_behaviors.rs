@@ -20,7 +20,10 @@ pub fn register_std_behaviors(registry: &mut BehaviorRegistry) {
     registry.register("std.add", binop_factory(|a, b| a.wrapping_add(b)));
     registry.register("std.sub", binop_factory(|a, b| a.wrapping_sub(b)));
     registry.register("std.mul", binop_factory(|a, b| a.wrapping_mul(b)));
-    registry.register("std.div", binop_factory(|a, b| if b == 0 { 0 } else { a / b }));
+    registry.register(
+        "std.div",
+        binop_factory(|a, b| if b == 0 { 0 } else { a / b }),
+    );
     registry.register("std.cmp_eq", binop_factory(|a, b| (a == b) as i64));
     registry.register("std.cmp_ne", binop_factory(|a, b| (a != b) as i64));
     registry.register("std.cmp_lt", binop_factory(|a, b| (a < b) as i64));
@@ -193,8 +196,7 @@ impl Behavior for GroupCombine2 {
         io.send(
             "o",
             Packet {
-                data: (a.data & mask_bits(self.wa))
-                    | ((b.data & mask_bits(self.wb)) << self.wa),
+                data: (a.data & mask_bits(self.wa)) | ((b.data & mask_bits(self.wb)) << self.wa),
                 last: a.last.max(b.last),
                 empty: a.empty && b.empty,
             },
@@ -288,7 +290,14 @@ impl Behavior for Binop {
     }
 
     fn state_label(&self) -> Option<String> {
-        Some(if self.pending.is_some() { "busy" } else { "idle" }.to_string())
+        Some(
+            if self.pending.is_some() {
+                "busy"
+            } else {
+                "idle"
+            }
+            .to_string(),
+        )
     }
 }
 
@@ -607,8 +616,8 @@ impl Behavior for ConstSource {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
     use crate::channel::Channel;
+    use std::collections::HashMap;
 
     /// A tiny harness around one behaviour: named input and output
     /// channels plus a tick driver.
@@ -734,7 +743,11 @@ mod tests {
         rig.feed("in0", &inputs);
         rig.feed("in1", &inputs);
         rig.run(16);
-        assert_eq!(rig.drain("o").len(), 2, "2 results in 16 cycles at latency 8");
+        assert_eq!(
+            rig.drain("o").len(),
+            2,
+            "2 results in 16 cycles at latency 8"
+        );
     }
 
     #[test]
@@ -753,7 +766,10 @@ mod tests {
         rig.feed("i", &[Packet::data(9), Packet::data(10), Packet::data(11)]);
         rig.run(5);
         let out = rig.drain("o");
-        assert_eq!(out.iter().map(|p| p.data).collect::<Vec<_>>(), vec![0, 1, 1]);
+        assert_eq!(
+            out.iter().map(|p| p.data).collect::<Vec<_>>(),
+            vec![0, 1, 1]
+        );
     }
 
     #[test]
@@ -780,10 +796,7 @@ mod tests {
     #[test]
     fn filter_drops_and_preserves_last() {
         let mut rig = build_std("std.filter", &["i", "keep"], &["o"], &[]);
-        rig.feed(
-            "i",
-            &[Packet::data(1), Packet::data(2), Packet::last(3, 1)],
-        );
+        rig.feed("i", &[Packet::data(1), Packet::data(2), Packet::last(3, 1)]);
         rig.feed("keep", &[Packet::data(1), Packet::data(0), Packet::data(0)]);
         rig.run(6);
         let out = rig.drain("o");
@@ -838,7 +851,12 @@ mod tests {
         let mut rig = build_std("std.demux", &["i"], &["o_0", "o_1"], &[]);
         rig.feed(
             "i",
-            &[Packet::data(0), Packet::data(1), Packet::data(2), Packet::data(3)],
+            &[
+                Packet::data(0),
+                Packet::data(1),
+                Packet::data(2),
+                Packet::data(3),
+            ],
         );
         rig.run(8);
         assert_eq!(

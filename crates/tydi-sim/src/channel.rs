@@ -130,7 +130,14 @@ mod tests {
 
     #[test]
     fn packet_constructors() {
-        assert_eq!(Packet::data(5), Packet { data: 5, last: 0, empty: false });
+        assert_eq!(
+            Packet::data(5),
+            Packet {
+                data: 5,
+                last: 0,
+                empty: false
+            }
+        );
         assert_eq!(Packet::last(5, 2).last, 2);
         assert!(Packet::close(1).empty);
     }

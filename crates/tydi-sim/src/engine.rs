@@ -437,7 +437,10 @@ mod tests {
 
     fn compile_app(user: &str) -> Project {
         let sources = with_stdlib(&[("app.td", user)]);
-        let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+        let refs: Vec<(&str, &str)> = sources
+            .iter()
+            .map(|(n, t)| (n.as_str(), t.as_str()))
+            .collect();
         compile(&refs, &CompileOptions::default())
             .unwrap_or_else(|e| panic!("compile failed:\n{e}"))
             .project
@@ -494,7 +497,12 @@ impl top_i of top_s {
         sim.feed("b", [Packet::data(1), Packet::data(2)]).unwrap();
         let result = sim.run(1000);
         assert!(result.finished);
-        let out: Vec<i64> = sim.outputs("s").unwrap().iter().map(|(_, p)| p.data).collect();
+        let out: Vec<i64> = sim
+            .outputs("s")
+            .unwrap()
+            .iter()
+            .map(|(_, p)| p.data)
+            .collect();
         assert_eq!(out, vec![11, 22]);
     }
 

@@ -91,9 +91,10 @@ pub fn flatten(
     let mut bindings: HashMap<String, usize> = HashMap::new();
     for port in &streamlet.ports {
         let idx = graph.channels.len();
-        graph
-            .channels
-            .push(Channel::new(format!("boundary.{}", port.name), channel_capacity));
+        graph.channels.push(Channel::new(
+            format!("boundary.{}", port.name),
+            channel_capacity,
+        ));
         bindings.insert(port.name.clone(), idx);
         match port.direction {
             PortDirection::In => graph.boundary_inputs.push((port.name.clone(), idx)),
@@ -322,7 +323,10 @@ mod tests {
         )
         .unwrap();
         let mut wire = Implementation::normal("wire_i", "pass_s");
-        wire.add_connection(Connection::new(EndpointRef::own("i"), EndpointRef::own("o")));
+        wire.add_connection(Connection::new(
+            EndpointRef::own("i"),
+            EndpointRef::own("o"),
+        ));
         p.add_implementation(wire).unwrap();
         let g = flatten(&p, "wire_i", 2).unwrap();
         assert_eq!(g.components.len(), 1);
@@ -341,9 +345,11 @@ mod tests {
     #[test]
     fn behaviourless_external_rejected() {
         let mut p = Project::new("t");
-        p.add_streamlet(
-            Streamlet::new("s").with_port(Port::new("i", PortDirection::In, stream8())),
-        )
+        p.add_streamlet(Streamlet::new("s").with_port(Port::new(
+            "i",
+            PortDirection::In,
+            stream8(),
+        )))
         .unwrap();
         p.add_implementation(Implementation::external("dead_i", "s"))
             .unwrap();

@@ -55,8 +55,12 @@ impl SimInterpreter {
 
     /// Parses simulation source and builds an interpreter.
     pub fn from_source(source: &str) -> Result<Self, String> {
-        let block = tydi_lang::parse_simulation(source)
-            .map_err(|d| format!("simulation parse error: {:?}", d.first().map(|x| &x.message)))?;
+        let block = tydi_lang::parse_simulation(source).map_err(|d| {
+            format!(
+                "simulation parse error: {:?}",
+                d.first().map(|x| &x.message)
+            )
+        })?;
         Ok(SimInterpreter::new(block))
     }
 
@@ -161,11 +165,7 @@ impl SimInterpreter {
                 SimAction::Last { port, levels } => {
                     // Attach the close to the most recent pending
                     // packet for this port, or emit an empty close.
-                    if let Some(entry) = self
-                        .out_pending
-                        .iter_mut()
-                        .rev()
-                        .find(|(p, _)| p == port)
+                    if let Some(entry) = self.out_pending.iter_mut().rev().find(|(p, _)| p == port)
                     {
                         entry.1.last += levels;
                     } else {
@@ -416,8 +416,12 @@ on (outp.ack && st == "busy") {
         rig.drain("outp");
         rig.run(4);
         let transitions = rig.interp.transitions();
-        assert!(transitions.iter().any(|(_, from, to)| from == "idle" && to == "busy"));
-        assert!(transitions.iter().any(|(_, from, to)| from == "busy" && to == "idle"));
+        assert!(transitions
+            .iter()
+            .any(|(_, from, to)| from == "idle" && to == "busy"));
+        assert!(transitions
+            .iter()
+            .any(|(_, from, to)| from == "busy" && to == "idle"));
         assert_eq!(rig.interp.state_label().as_deref(), Some("st=idle"));
     }
 

@@ -19,12 +19,12 @@ pub fn record_testbench(
     top_impl: &str,
     name: &str,
 ) -> Result<Testbench, SimError> {
-    let streamlet = project.streamlet_of(top_impl).ok_or_else(|| {
-        SimError::Behaviour {
+    let streamlet = project
+        .streamlet_of(top_impl)
+        .ok_or_else(|| SimError::Behaviour {
             component: top_impl.to_string(),
             message: "missing streamlet".to_string(),
-        }
-    })?;
+        })?;
     let width_of = |port: &str| -> u32 {
         streamlet
             .port(port)
@@ -99,7 +99,10 @@ impl top_i of top_s {
 }
 "#;
         let sources = with_stdlib(&[("app.td", user)]);
-        let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+        let refs: Vec<(&str, &str)> = sources
+            .iter()
+            .map(|(n, t)| (n.as_str(), t.as_str()))
+            .collect();
         let project = compile(&refs, &CompileOptions::default()).unwrap().project;
         let registry = BehaviorRegistry::with_std();
         let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();

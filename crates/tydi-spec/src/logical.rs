@@ -61,22 +61,12 @@ impl LogicalType {
 
     /// Convenience constructor for a group type.
     pub fn group(fields: Vec<(&str, LogicalType)>) -> LogicalType {
-        LogicalType::Group(
-            fields
-                .into_iter()
-                .map(|(n, t)| Field::new(n, t))
-                .collect(),
-        )
+        LogicalType::Group(fields.into_iter().map(|(n, t)| Field::new(n, t)).collect())
     }
 
     /// Convenience constructor for a union type.
     pub fn union(fields: Vec<(&str, LogicalType)>) -> LogicalType {
-        LogicalType::Union(
-            fields
-                .into_iter()
-                .map(|(n, t)| Field::new(n, t))
-                .collect(),
-        )
+        LogicalType::Union(fields.into_iter().map(|(n, t)| Field::new(n, t)).collect())
     }
 
     /// Validates the structural well-formedness rules:
@@ -196,8 +186,7 @@ impl LogicalType {
                 fields.iter().map(|f| f.ty.node_count()).sum()
             }
             LogicalType::Stream { element, params } => {
-                element.node_count()
-                    + params.user.as_ref().map(|u| u.node_count()).unwrap_or(0)
+                element.node_count() + params.user.as_ref().map(|u| u.node_count()).unwrap_or(0)
             }
             _ => 0,
         }
@@ -248,7 +237,10 @@ mod tests {
     #[test]
     fn group_width_is_sum() {
         // Paper Table I: Group(x, y) width = sum of child widths.
-        let g = LogicalType::group(vec![("data0", LogicalType::Bit(32)), ("data1", LogicalType::Bit(32))]);
+        let g = LogicalType::group(vec![
+            ("data0", LogicalType::Bit(32)),
+            ("data1", LogicalType::Bit(32)),
+        ]);
         assert_eq!(g.bit_width(), 64);
     }
 
@@ -303,19 +295,22 @@ mod tests {
 
     #[test]
     fn validation_rejects_empty_union() {
-        assert_eq!(LogicalType::Union(vec![]).validate(), Err(SpecError::EmptyUnion));
+        assert_eq!(
+            LogicalType::Union(vec![]).validate(),
+            Err(SpecError::EmptyUnion)
+        );
     }
 
     #[test]
     fn validation_rejects_stream_in_user_type() {
         let bad_user = LogicalType::stream(LogicalType::Bit(1), StreamParams::new());
-        let s = LogicalType::stream(
-            LogicalType::Bit(8),
-            StreamParams::new().with_user(bad_user),
-        );
+        let s = LogicalType::stream(LogicalType::Bit(8), StreamParams::new().with_user(bad_user));
         assert!(matches!(
             s.validate(),
-            Err(SpecError::InvalidParameter { parameter: "user", .. })
+            Err(SpecError::InvalidParameter {
+                parameter: "user",
+                ..
+            })
         ));
     }
 
@@ -350,10 +345,16 @@ mod tests {
     #[test]
     fn structural_equality_considers_throughput_and_complexity() {
         let base = StreamParams::new();
-        let a = LogicalType::stream(LogicalType::Bit(8), base.clone().with_throughput(Throughput::new(2, 1).unwrap()));
+        let a = LogicalType::stream(
+            LogicalType::Bit(8),
+            base.clone().with_throughput(Throughput::new(2, 1).unwrap()),
+        );
         let b = LogicalType::stream(LogicalType::Bit(8), base.clone());
         assert_ne!(a, b);
-        let c = LogicalType::stream(LogicalType::Bit(8), base.clone().with_complexity(Complexity::new(7).unwrap()));
+        let c = LogicalType::stream(
+            LogicalType::Bit(8),
+            base.clone().with_complexity(Complexity::new(7).unwrap()),
+        );
         assert_ne!(b, c);
     }
 
@@ -361,7 +362,10 @@ mod tests {
     fn node_count() {
         let g = LogicalType::group(vec![
             ("a", LogicalType::Bit(2)),
-            ("b", LogicalType::stream(LogicalType::Bit(3), StreamParams::new())),
+            (
+                "b",
+                LogicalType::stream(LogicalType::Bit(3), StreamParams::new()),
+            ),
         ]);
         // group + bit + stream + bit = 4
         assert_eq!(g.node_count(), 4);

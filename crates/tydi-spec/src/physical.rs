@@ -41,7 +41,11 @@ pub struct SignalBundle {
 impl SignalBundle {
     /// Total payload width excluding the `valid`/`ready` handshake.
     pub fn payload_bits(&self) -> u32 {
-        self.data_bits + self.last_bits + self.stai_bits + self.endi_bits + self.strb_bits
+        self.data_bits
+            + self.last_bits
+            + self.stai_bits
+            + self.endi_bits
+            + self.strb_bits
             + self.user_bits
     }
 
@@ -98,14 +102,23 @@ impl PhysicalStream {
         SignalBundle {
             data_bits: lanes * self.element_bits,
             last_bits: if c >= 8 { lanes * d } else { d },
-            stai_bits: if c >= 6 && lanes > 1 { lane_index_bits } else { 0 },
+            stai_bits: if c >= 6 && lanes > 1 {
+                lane_index_bits
+            } else {
+                0
+            },
             endi_bits: if (c >= 5 || d >= 1) && lanes > 1 {
                 lane_index_bits
             } else {
                 0
             },
             strb_bits: if c >= 7 || d >= 1 { lanes } else { 0 },
-            user_bits: self.params.user.as_ref().map(|u| u.bit_width()).unwrap_or(0),
+            user_bits: self
+                .params
+                .user
+                .as_ref()
+                .map(|u| u.bit_width())
+                .unwrap_or(0),
         }
     }
 
@@ -294,7 +307,10 @@ mod tests {
         // Stream: two physical streams.
         let record = LogicalType::group(vec![
             ("len", LogicalType::Bit(16)),
-            ("chars", bit_stream(8, StreamParams::new().with_dimension(1))),
+            (
+                "chars",
+                bit_stream(8, StreamParams::new().with_dimension(1)),
+            ),
         ]);
         let t = LogicalType::stream(record, StreamParams::new());
         let phys = lower(&t).unwrap();
@@ -337,10 +353,7 @@ mod tests {
 
     #[test]
     fn reverse_direction_propagates() {
-        let inner = bit_stream(
-            8,
-            StreamParams::new().with_direction(Direction::Reverse),
-        );
+        let inner = bit_stream(8, StreamParams::new().with_direction(Direction::Reverse));
         let t = LogicalType::stream(
             LogicalType::group(vec![("req", LogicalType::Bit(4)), ("resp", inner)]),
             StreamParams::new(),
@@ -349,10 +362,7 @@ mod tests {
         assert_eq!(phys[0].direction, Direction::Forward);
         assert_eq!(phys[1].direction, Direction::Reverse);
         // Double reversal cancels out.
-        let inner2 = bit_stream(
-            8,
-            StreamParams::new().with_direction(Direction::Reverse),
-        );
+        let inner2 = bit_stream(8, StreamParams::new().with_direction(Direction::Reverse));
         let mid = LogicalType::stream(
             LogicalType::group(vec![("x", inner2)]),
             StreamParams::new().with_direction(Direction::Reverse),
@@ -371,7 +381,10 @@ mod tests {
         let t = LogicalType::stream(
             LogicalType::group(vec![
                 ("d", LogicalType::Bit(8)),
-                ("n", LogicalType::stream(LogicalType::Null, StreamParams::new())),
+                (
+                    "n",
+                    LogicalType::stream(LogicalType::Null, StreamParams::new()),
+                ),
             ]),
             StreamParams::new(),
         );
@@ -415,7 +428,10 @@ mod tests {
             )]),
         )]);
         let t = LogicalType::stream(
-            LogicalType::group(vec![("len", LogicalType::Bit(4)), ("rec", record.fields()[0].ty.clone())]),
+            LogicalType::group(vec![
+                ("len", LogicalType::Bit(4)),
+                ("rec", record.fields()[0].ty.clone()),
+            ]),
             StreamParams::new(),
         );
         let phys = lower(&t).unwrap();

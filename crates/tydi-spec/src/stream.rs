@@ -351,8 +351,14 @@ mod tests {
 
     #[test]
     fn throughput_from_f64_round_trips_common_values() {
-        assert_eq!(Throughput::from_f64(2.0).unwrap(), Throughput::new(2, 1).unwrap());
-        assert_eq!(Throughput::from_f64(0.5).unwrap(), Throughput::new(1, 2).unwrap());
+        assert_eq!(
+            Throughput::from_f64(2.0).unwrap(),
+            Throughput::new(2, 1).unwrap()
+        );
+        assert_eq!(
+            Throughput::from_f64(0.5).unwrap(),
+            Throughput::new(1, 2).unwrap()
+        );
         assert_eq!(Throughput::from_f64(1.5).unwrap().lanes(), 2);
     }
 

@@ -218,9 +218,9 @@ impl<'a> Parser<'a> {
                         let frac_start = self.pos;
                         let frac = self.number()?;
                         let digits = (self.pos - frac_start) as u32;
-                        let den = 10u32.checked_pow(digits).ok_or_else(|| {
-                            self.err("throughput fraction too precise")
-                        })?;
+                        let den = 10u32
+                            .checked_pow(digits)
+                            .ok_or_else(|| self.err("throughput fraction too precise"))?;
                         params.throughput =
                             Throughput::new(num.saturating_mul(den).saturating_add(frac), den)?;
                     } else {
@@ -252,9 +252,8 @@ impl<'a> Parser<'a> {
                         "Desync" => Synchronicity::Desync,
                         "FlatDesync" => Synchronicity::FlatDesync,
                         _ => {
-                            return Err(self.err(
-                                "synchronicity must be Sync, Flatten, Desync or FlatDesync",
-                            ))
+                            return Err(self
+                                .err("synchronicity must be Sync, Flatten, Desync or FlatDesync"))
                         }
                     };
                 }
@@ -355,8 +354,8 @@ mod tests {
 
     #[test]
     fn parse_long_form_keys() {
-        let t = parse_logical_type("Stream(Bit(4), dimension=1, complexity=5, throughput=2)")
-            .unwrap();
+        let t =
+            parse_logical_type("Stream(Bit(4), dimension=1, complexity=5, throughput=2)").unwrap();
         match &t {
             LogicalType::Stream { params, .. } => {
                 assert_eq!(params.dimension, 1);

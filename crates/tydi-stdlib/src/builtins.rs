@@ -111,14 +111,8 @@ fn join2(
     let out = port(ctx, "o")?;
     let mut stmts = String::new();
     let _ = writeln!(stmts, "  o_valid <= in0_valid and in1_valid;");
-    let _ = writeln!(
-        stmts,
-        "  in0_ready <= in0_valid and in1_valid and o_ready;"
-    );
-    let _ = writeln!(
-        stmts,
-        "  in1_ready <= in0_valid and in1_valid and o_ready;"
-    );
+    let _ = writeln!(stmts, "  in0_ready <= in0_valid and in1_valid and o_ready;");
+    let _ = writeln!(stmts, "  in1_ready <= in0_valid and in1_valid and o_ready;");
     stmts.push_str(&op_line(in0, in1, out)?);
     // Forward `last` from the first operand when the output carries
     // dimensions (operands of a join must be dimension-aligned).
@@ -315,10 +309,7 @@ fn gen_reduce(kind: ReduceKind) -> impl Fn(&BuiltinCtx<'_>) -> Result<ArchBody, 
         let mut stmts = String::new();
         let _ = writeln!(stmts, "  o_valid <= result_valid;");
         let _ = writeln!(stmts, "  o_data <= result_data;");
-        let _ = writeln!(
-            stmts,
-            "  i_ready <= (not result_valid) or o_ready;"
-        );
+        let _ = writeln!(stmts, "  i_ready <= (not result_valid) or o_ready;");
         let _ = writeln!(stmts, "  reduce_proc : process(clk)");
         let _ = writeln!(stmts, "  begin");
         let _ = writeln!(stmts, "    if rising_edge(clk) then");
@@ -421,7 +412,11 @@ fn gen_mux(ctx: &BuiltinCtx<'_>) -> Result<ArchBody, String> {
         .enumerate()
         .map(|(k, p)| format!("{}_data when to_integer(sel) = {k}", p.name))
         .collect();
-    let _ = writeln!(stmts, "  o_valid <= {} else '0';", valid_cases.join(" else "));
+    let _ = writeln!(
+        stmts,
+        "  o_valid <= {} else '0';",
+        valid_cases.join(" else ")
+    );
     let _ = writeln!(
         stmts,
         "  o_data <= {} else {}_data;",
@@ -531,12 +526,15 @@ fn gen_group_combine2(ctx: &BuiltinCtx<'_>) -> Result<ArchBody, String> {
     if last_width(out)? > 0 && last_width(in_a)? == last_width(out)? {
         let _ = writeln!(stmts, "  o_last <= a_last;");
     }
-    Ok(ArchBody { decls: String::new(), stmts })
+    Ok(ArchBody {
+        decls: String::new(),
+        stmts,
+    })
 }
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::source::{with_stdlib, STDLIB_FILE_NAME};
     use tydi_lang::{compile, CompileOptions};
     use tydi_vhdl::{check::check_vhdl, generate_project, VhdlOptions};
@@ -544,7 +542,10 @@ mod tests {
     /// Compiles user source with the stdlib and generates VHDL.
     fn build(user: &str) -> String {
         let sources = with_stdlib(&[("app.td", user)]);
-        let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+        let refs: Vec<(&str, &str)> = sources
+            .iter()
+            .map(|(n, t)| (n.as_str(), t.as_str()))
+            .collect();
         let out = compile(&refs, &CompileOptions::default()).unwrap_or_else(|e| {
             panic!("compile failed:\n{e}");
         });
@@ -665,7 +666,10 @@ impl top_i of top_s {
 }
 "#,
         )]);
-        let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+        let refs: Vec<(&str, &str)> = sources
+            .iter()
+            .map(|(n, t)| (n.as_str(), t.as_str()))
+            .collect();
         let out = compile(&refs, &CompileOptions::default()).unwrap();
         let registry = crate::full_registry();
         let err = generate_project(&out.project, &registry, &VhdlOptions::default());

@@ -59,7 +59,10 @@ impl top_i of top_s {
 }
 "#;
         let sources = with_stdlib(&[("app.td", user)]);
-        let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+        let refs: Vec<(&str, &str)> = sources
+            .iter()
+            .map(|(n, t)| (n.as_str(), t.as_str()))
+            .collect();
         let out = compile(&refs, &CompileOptions::default()).unwrap();
         assert!(out
             .project

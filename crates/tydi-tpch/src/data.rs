@@ -96,15 +96,14 @@ impl TpchData {
         let rows = options.rows;
 
         let mut dicts: HashMap<&'static str, Dictionary> = HashMap::new();
-        let mut dict =
-            |name: &'static str, domain: &[String]| -> Dictionary {
-                let mut d = Dictionary::new();
-                for value in domain {
-                    d.encode(value);
-                }
-                dicts.insert(name, d.clone());
-                d
-            };
+        let mut dict = |name: &'static str, domain: &[String]| -> Dictionary {
+            let mut d = Dictionary::new();
+            for value in domain {
+                d.encode(value);
+            }
+            dicts.insert(name, d.clone());
+            d
+        };
         let owned = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
         let d_flag = dict("l_returnflag", &owned(RETURNFLAGS));
         let d_status = dict("l_linestatus", &owned(LINESTATUS));
@@ -119,11 +118,7 @@ impl TpchData {
         let date_hi = encode_date(1998, 12, 1);
 
         // Column generator.
-        fn gen_col(
-            rng: &mut StdRng,
-            rows: usize,
-            f: impl Fn(&mut StdRng) -> i64,
-        ) -> Vec<i64> {
+        fn gen_col(rng: &mut StdRng, rows: usize, f: impl Fn(&mut StdRng) -> i64) -> Vec<i64> {
             (0..rows).map(|_| f(rng)).collect()
         }
         let quantity = gen_col(&mut rng, rows, |r| r.random_range(1..=50));
@@ -133,7 +128,9 @@ impl TpchData {
         let returnflag = gen_col(&mut rng, rows, |r| r.random_range(0..d_flag.len() as i64));
         let linestatus = gen_col(&mut rng, rows, |r| r.random_range(0..d_status.len() as i64));
         let shipdate = gen_col(&mut rng, rows, |r| r.random_range(date_lo..=date_hi));
-        let shipinstruct = gen_col(&mut rng, rows, |r| r.random_range(0..d_instruct.len() as i64));
+        let shipinstruct = gen_col(&mut rng, rows, |r| {
+            r.random_range(0..d_instruct.len() as i64)
+        });
         let shipmode = gen_col(&mut rng, rows, |r| r.random_range(0..d_mode.len() as i64));
         let orderkey = gen_col(&mut rng, rows, |r| r.random_range(1..=1_500_000));
 
@@ -157,7 +154,9 @@ impl TpchData {
         // biased low so the in-range predicates match.
         let q19_quantity = gen_col(&mut rng, rows, |r| r.random_range(1..=30));
         let brand = gen_col(&mut rng, rows, |r| r.random_range(0..d_brand.len() as i64));
-        let container = gen_col(&mut rng, rows, |r| r.random_range(0..d_container.len() as i64));
+        let container = gen_col(&mut rng, rows, |r| {
+            r.random_range(0..d_container.len() as i64)
+        });
         let size = gen_col(&mut rng, rows, |r| r.random_range(1..=50));
         tables.insert(
             "lineitem_part".to_string(),
@@ -173,7 +172,9 @@ impl TpchData {
         );
 
         // Pre-joined customer x orders x lineitem view for Q3.
-        let segment = gen_col(&mut rng, rows, |r| r.random_range(0..d_segment.len() as i64));
+        let segment = gen_col(&mut rng, rows, |r| {
+            r.random_range(0..d_segment.len() as i64)
+        });
         let orderdate = gen_col(&mut rng, rows, |r| r.random_range(date_lo..=date_hi));
         let q3_shipdate = gen_col(&mut rng, rows, |r| r.random_range(date_lo..=date_hi));
         let q3_price = gen_col(&mut rng, rows, |r| r.random_range(90_000..=10_000_000));

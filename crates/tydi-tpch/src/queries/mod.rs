@@ -82,10 +82,7 @@ impl QueryCase {
 
     /// Lines of raw SQL.
     pub fn sql_loc(&self) -> usize {
-        self.sql
-            .lines()
-            .filter(|l| !l.trim().is_empty())
-            .count()
+        self.sql.lines().filter(|l| !l.trim().is_empty()).count()
     }
 }
 

@@ -303,7 +303,10 @@ pub fn build(data: &TpchData, desugared: bool) -> QueryCase {
     let aggregates = reference(data, date);
     let mut expected = Vec::new();
     for (series, extract) in [
-        ("sum_qty", (|a: &ComboAggregates| a.sum_qty) as fn(&ComboAggregates) -> i64),
+        (
+            "sum_qty",
+            (|a: &ComboAggregates| a.sum_qty) as fn(&ComboAggregates) -> i64,
+        ),
         ("sum_base", |a| a.sum_base),
         ("sum_disc", |a| a.sum_disc),
         ("sum_charge", |a| a.sum_charge),

@@ -81,7 +81,13 @@ impl q3_i of q3_s {{
 {tail}}}
 "#,
         types = super::money_types(),
-        tail = revenue_tail("q3view", "l_extendedprice", "l_discount", "keep_all.o", rows),
+        tail = revenue_tail(
+            "q3view",
+            "l_extendedprice",
+            "l_discount",
+            "keep_all.o",
+            rows
+        ),
     )
 }
 
@@ -119,7 +125,13 @@ impl q5_i of q5_s {{
 {tail}}}
 "#,
         types = super::money_types(),
-        tail = revenue_tail("q5view", "l_extendedprice", "l_discount", "keep_all.o", rows),
+        tail = revenue_tail(
+            "q5view",
+            "l_extendedprice",
+            "l_discount",
+            "keep_all.o",
+            rows
+        ),
     )
 }
 

@@ -165,7 +165,10 @@ mod tests {
     fn source_embeds_parameters() {
         let p = Params::default();
         let s = source(&p);
-        assert!(s.contains(&format!("ge_const_i<type lineitem_l_shipdate_t, {}>", p.date_lo)));
+        assert!(s.contains(&format!(
+            "ge_const_i<type lineitem_l_shipdate_t, {}>",
+            p.date_lo
+        )));
         assert!(s.contains("and_n_i<5>"));
     }
 }

@@ -13,15 +13,12 @@ use tydi_sim::{BehaviorRegistry, Simulator};
 
 /// Simulates the query and returns the observed non-empty packets per
 /// output port.
-pub fn run_query(
-    case: &QueryCase,
-    data: &TpchData,
-) -> Result<HashMap<String, Vec<i64>>, String> {
+pub fn run_query(case: &QueryCase, data: &TpchData) -> Result<HashMap<String, Vec<i64>>, String> {
     let compiled = case.compile()?;
     let mut registry = BehaviorRegistry::with_std();
     register_fletcher_behaviors(&mut registry, data.tables.clone());
-    let mut sim = Simulator::new(&compiled.project, &case.top_impl, &registry)
-        .map_err(|e| e.to_string())?;
+    let mut sim =
+        Simulator::new(&compiled.project, &case.top_impl, &registry).map_err(|e| e.to_string())?;
     // Generous budget: TPC-H pipelines move one row per cycle per
     // stage, so rows x constant is plenty.
     let budget = (data.rows as u64 + 64) * 64;
@@ -88,28 +85,40 @@ mod tests {
     #[test]
     fn q6_matches_reference() {
         let data = data();
-        let case = all_queries(&data).into_iter().find(|c| c.id == "q6").unwrap();
+        let case = all_queries(&data)
+            .into_iter()
+            .find(|c| c.id == "q6")
+            .unwrap();
         verify_query(&case, &data).unwrap();
     }
 
     #[test]
     fn q3_matches_reference() {
         let data = data();
-        let case = all_queries(&data).into_iter().find(|c| c.id == "q3").unwrap();
+        let case = all_queries(&data)
+            .into_iter()
+            .find(|c| c.id == "q3")
+            .unwrap();
         verify_query(&case, &data).unwrap();
     }
 
     #[test]
     fn q5_matches_reference() {
         let data = data();
-        let case = all_queries(&data).into_iter().find(|c| c.id == "q5").unwrap();
+        let case = all_queries(&data)
+            .into_iter()
+            .find(|c| c.id == "q5")
+            .unwrap();
         verify_query(&case, &data).unwrap();
     }
 
     #[test]
     fn q1_matches_reference() {
         let data = data();
-        let case = all_queries(&data).into_iter().find(|c| c.id == "q1").unwrap();
+        let case = all_queries(&data)
+            .into_iter()
+            .find(|c| c.id == "q1")
+            .unwrap();
         verify_query(&case, &data).unwrap();
     }
 
@@ -126,7 +135,10 @@ mod tests {
     #[test]
     fn q19_matches_reference() {
         let data = data();
-        let case = all_queries(&data).into_iter().find(|c| c.id == "q19").unwrap();
+        let case = all_queries(&data)
+            .into_iter()
+            .find(|c| c.id == "q19")
+            .unwrap();
         verify_query(&case, &data).unwrap();
     }
 }

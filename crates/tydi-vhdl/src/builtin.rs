@@ -10,10 +10,9 @@
 
 use crate::error::VhdlError;
 use crate::signals::{expand_port, PortMode, VhdlSignal};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use tydi_ir::{Implementation, Port, PortDirection, Project, Streamlet};
 
 /// Everything a generator may inspect.
@@ -78,7 +77,9 @@ pub struct BuiltinRegistry {
 impl std::fmt::Debug for BuiltinRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let keys: Vec<String> = self.keys();
-        f.debug_struct("BuiltinRegistry").field("keys", &keys).finish()
+        f.debug_struct("BuiltinRegistry")
+            .field("keys", &keys)
+            .finish()
     }
 }
 
@@ -105,24 +106,41 @@ impl BuiltinRegistry {
         key: impl Into<String>,
         generator: impl Fn(&BuiltinCtx<'_>) -> Result<ArchBody, String> + Send + Sync + 'static,
     ) {
-        self.map.write().insert(key.into(), Arc::new(generator));
+        self.map
+            .write()
+            .expect("builtin registry poisoned")
+            .insert(key.into(), Arc::new(generator));
     }
 
     /// True if `key` has a registered generator.
     pub fn contains(&self, key: &str) -> bool {
-        self.map.read().contains_key(key)
+        self.map
+            .read()
+            .expect("builtin registry poisoned")
+            .contains_key(key)
     }
 
     /// All registered keys, sorted.
     pub fn keys(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.map.read().keys().cloned().collect();
+        let mut v: Vec<String> = self
+            .map
+            .read()
+            .expect("builtin registry poisoned")
+            .keys()
+            .cloned()
+            .collect();
         v.sort();
         v
     }
 
     /// Runs the generator for `key`.
     pub fn generate(&self, key: &str, ctx: &BuiltinCtx<'_>) -> Result<ArchBody, VhdlError> {
-        let generator = self.map.read().get(key).cloned();
+        let generator = self
+            .map
+            .read()
+            .expect("builtin registry poisoned")
+            .get(key)
+            .cloned();
         match generator {
             None => Err(VhdlError::UnknownBuiltin {
                 implementation: ctx.implementation.name.clone(),
@@ -204,11 +222,7 @@ fn gen_duplicator(ctx: &BuiltinCtx<'_>) -> Result<ArchBody, String> {
         let out_sigs = expand_port(output).map_err(|e| e.to_string())?;
         for (si, so) in in_sigs.iter().zip(out_sigs.iter()) {
             if si.name.ends_with("_valid") {
-                let _ = writeln!(
-                    stmts,
-                    "  {} <= {} and all_ready;",
-                    so.name, si.name
-                );
+                let _ = writeln!(stmts, "  {} <= {} and all_ready;", so.name, si.name);
             } else if si.name.ends_with("_ready") {
                 // Handled via all_ready above.
             } else {
@@ -242,7 +256,10 @@ mod tests {
         LogicalType::stream(LogicalType::Bit(8), StreamParams::new())
     }
 
-    fn ctx_project(streamlet: Streamlet, implementation: Implementation) -> (Project, String, String) {
+    fn ctx_project(
+        streamlet: Streamlet,
+        implementation: Implementation,
+    ) -> (Project, String, String) {
         let mut p = Project::new("t");
         let s_name = streamlet.name.clone();
         let i_name = implementation.name.clone();
@@ -265,8 +282,7 @@ mod tests {
     #[test]
     fn unknown_builtin_errors() {
         let reg = BuiltinRegistry::new();
-        let s = Streamlet::new("s")
-            .with_port(Port::new("i", PortDirection::In, stream8()));
+        let s = Streamlet::new("s").with_port(Port::new("i", PortDirection::In, stream8()));
         let imp = Implementation::external("x_i", "s");
         let (p, s_name, i_name) = ctx_project(s, imp);
         let ctx = BuiltinCtx {
@@ -323,8 +339,7 @@ mod tests {
     #[test]
     fn voider_always_ready() {
         let reg = BuiltinRegistry::with_core();
-        let s = Streamlet::new("s")
-            .with_port(Port::new("i", PortDirection::In, stream8()));
+        let s = Streamlet::new("s").with_port(Port::new("i", PortDirection::In, stream8()));
         let imp = Implementation::external("void_i", "s");
         let (p, s_name, i_name) = ctx_project(s, imp);
         let ctx = BuiltinCtx {

@@ -38,13 +38,20 @@ impl fmt::Display for VhdlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VhdlError::InvalidProject(errors) => {
-                writeln!(f, "project failed validation with {} error(s):", errors.len())?;
+                writeln!(
+                    f,
+                    "project failed validation with {} error(s):",
+                    errors.len()
+                )?;
                 for e in errors {
                     writeln!(f, "  - {e}")?;
                 }
                 Ok(())
             }
-            VhdlError::UnknownBuiltin { implementation, key } => write!(
+            VhdlError::UnknownBuiltin {
+                implementation,
+                key,
+            } => write!(
                 f,
                 "implementation `{implementation}` references unregistered builtin `{key}`"
             ),

@@ -131,11 +131,7 @@ pub fn clock_signals(streamlet: &Streamlet) -> Vec<(ClockDomain, String, String)
         out.push((port.clock.clone(), clk, rst));
     }
     if out.is_empty() {
-        out.push((
-            ClockDomain::default(),
-            "clk".to_string(),
-            "rst".to_string(),
-        ));
+        out.push((ClockDomain::default(), "clk".to_string(), "rst".to_string()));
     }
     out
 }
@@ -184,10 +180,8 @@ mod tests {
 
     #[test]
     fn nested_stream_gets_path_prefix() {
-        let record = LogicalType::group(vec![
-            ("len", LogicalType::Bit(16)),
-            ("chars", stream(8, 1)),
-        ]);
+        let record =
+            LogicalType::group(vec![("len", LogicalType::Bit(16)), ("chars", stream(8, 1))]);
         let p = Port::new(
             "rec",
             PortDirection::In,
@@ -231,8 +225,7 @@ mod tests {
         let s = Streamlet::new("s")
             .with_port(Port::new("a", PortDirection::In, stream(8, 0)))
             .with_port(
-                Port::new("b", PortDirection::In, stream(8, 0))
-                    .with_clock(ClockDomain::new("mem")),
+                Port::new("b", PortDirection::In, stream(8, 0)).with_clock(ClockDomain::new("mem")),
             )
             .with_port(Port::new("c", PortDirection::Out, stream(8, 0)));
         let clocks = clock_signals(&s);

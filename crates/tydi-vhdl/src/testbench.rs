@@ -24,20 +24,20 @@ pub fn generate_testbench(
     testbench: &Testbench,
     options: &VhdlOptions,
 ) -> Result<String, VhdlError> {
-    let implementation = project
-        .implementation(&testbench.top_impl)
-        .ok_or_else(|| {
-            VhdlError::Inconsistent(format!(
-                "testbench references missing implementation `{}`",
-                testbench.top_impl
-            ))
-        })?;
-    let streamlet = project.streamlet(&implementation.streamlet).ok_or_else(|| {
+    let implementation = project.implementation(&testbench.top_impl).ok_or_else(|| {
         VhdlError::Inconsistent(format!(
-            "implementation `{}` references missing streamlet `{}`",
-            implementation.name, implementation.streamlet
+            "testbench references missing implementation `{}`",
+            testbench.top_impl
         ))
     })?;
+    let streamlet = project
+        .streamlet(&implementation.streamlet)
+        .ok_or_else(|| {
+            VhdlError::Inconsistent(format!(
+                "implementation `{}` references missing streamlet `{}`",
+                implementation.name, implementation.streamlet
+            ))
+        })?;
     let entity = sanitize(&testbench.name);
     let uut_entity = sanitize(&implementation.name);
 
@@ -103,7 +103,11 @@ pub fn generate_testbench(
         let _ = writeln!(out, "    wait until rst = '0';");
         for (i, transfer) in transfers.iter().enumerate() {
             if options.emit_comments {
-                let _ = writeln!(out, "    -- transfer {i} (simulated cycle {})", transfer.cycle);
+                let _ = writeln!(
+                    out,
+                    "    -- transfer {i} (simulated cycle {})",
+                    transfer.cycle
+                );
             }
             let _ = writeln!(out, "    wait until rising_edge(clk);");
             let _ = writeln!(
@@ -213,10 +217,8 @@ mod tests {
     use tydi_spec::{LogicalType, StreamParams};
 
     fn project() -> Project {
-        let stream = LogicalType::stream(
-            LogicalType::Bit(8),
-            StreamParams::new().with_dimension(1),
-        );
+        let stream =
+            LogicalType::stream(LogicalType::Bit(8), StreamParams::new().with_dimension(1));
         let mut p = Project::new("t");
         p.add_streamlet(
             Streamlet::new("pass_s")
@@ -238,8 +240,7 @@ mod tests {
                 .with_last(vec![false]),
         );
         tb.push(
-            tydi_ir::Transfer::stimulus(1, "i", BitsValue::from_u64(0xCD, 8))
-                .with_last(vec![true]),
+            tydi_ir::Transfer::stimulus(1, "i", BitsValue::from_u64(0xCD, 8)).with_last(vec![true]),
         );
         tb.push(
             tydi_ir::Transfer::expectation(2, "o", BitsValue::from_u64(0xAB, 8))

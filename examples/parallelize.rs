@@ -33,7 +33,8 @@ fn main() {
     let compiled = compile_parallelize(2, DELAY);
     let registry = BehaviorRegistry::with_std();
     let mut sim = Simulator::new(&compiled.project, "top_i", &registry).expect("simulator");
-    sim.feed("i", (0..PACKETS as i64).map(Packet::data)).unwrap();
+    sim.feed("i", (0..PACKETS as i64).map(Packet::data))
+        .unwrap();
     sim.run(PACKETS * DELAY * 4);
     println!("{}", sim.bottlenecks());
     println!("-> the demux output ports block on the busy processing units:\n   add more channels (paper section V-B).");

@@ -34,7 +34,10 @@ impl shout_i of shout_s {
 fn main() {
     // 1. Compile (parse -> evaluate -> expand -> sugar -> DRC).
     let sources = with_stdlib(&[("quickstart.td", SOURCE)]);
-    let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.as_str()))
+        .collect();
     let output = compile(&refs, &CompileOptions::default()).unwrap_or_else(|e| {
         eprintln!("compilation failed:\n{e}");
         std::process::exit(1);
@@ -56,7 +59,11 @@ fn main() {
         .expect("VHDL generation");
     println!("---- VHDL ({} file(s)) ----", files.len());
     for file in &files {
-        println!("==> {} ({} lines)", file.name, tydi::vhdl::count_loc(&file.contents));
+        println!(
+            "==> {} ({} lines)",
+            file.name,
+            tydi::vhdl::count_loc(&file.contents)
+        );
     }
     println!("\n{}", files.last().expect("files").contents);
 }

@@ -58,7 +58,10 @@ impl in_list_i of in_list_s {{
     );
 
     let sources = with_stdlib(&[("sql_filter.td", source.as_str())]);
-    let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.as_str()))
+        .collect();
     let output = compile(&refs, &CompileOptions::default()).unwrap_or_else(|e| {
         eprintln!("compilation failed:\n{e}");
         std::process::exit(1);

@@ -50,7 +50,10 @@ impl math_i of math_s {
 fn main() {
     // With sugaring (the default): compiles cleanly.
     let sources = with_stdlib(&[("fig4.td", SOURCE)]);
-    let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.as_str()))
+        .collect();
     let sugared = compile(&refs, &CompileOptions::default()).expect("sugared compile");
     println!(
         "with sugaring:    OK  ({} duplicator(s), {} voider(s) inserted)",
@@ -75,7 +78,12 @@ fn main() {
         Ok(_) => println!("without sugaring: unexpectedly compiled"),
         Err(failure) => {
             println!("\nwithout sugaring: REJECTED by the DRC, as expected:");
-            for d in failure.diagnostics.iter().filter(|d| d.stage == "drc").take(4) {
+            for d in failure
+                .diagnostics
+                .iter()
+                .filter(|d| d.stage == "drc")
+                .take(4)
+            {
                 println!("  - {}", d.message);
             }
         }

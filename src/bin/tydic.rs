@@ -3,11 +3,13 @@
 //! ```text
 //! tydic check   <file.td>...                 parse + elaborate + DRC
 //! tydic compile <file.td>... [options]       emit Tydi-IR or VHDL
+//! tydic --help | --version
 //!
 //! options:
 //!   --emit ir|vhdl      output format (default: ir)
 //!   --no-sugar          disable duplicator/voider insertion
 //!   --no-std            do not implicitly include the standard library
+//!   --timings           print per-stage wall-clock timings
 //!   -o <dir>            write output files instead of stdout
 //! ```
 
@@ -19,75 +21,144 @@ use tydi_lang::{compile, CompileOptions};
 use tydi_stdlib::{full_registry, stdlib_source, STDLIB_FILE_NAME};
 use tydi_vhdl::{generate_project, VhdlOptions};
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((command, rest)) = args.split_first() else {
-        eprintln!("usage: tydic <check|compile> <file.td>... [--emit ir|vhdl] [--no-sugar] [--no-std] [-o dir]");
-        return ExitCode::from(2);
-    };
+const USAGE: &str = "\
+usage: tydic <check|compile> <file.td>... [options]
 
-    let mut emit = "ir".to_string();
-    let mut out_dir: Option<PathBuf> = None;
-    let mut include_std = true;
-    let mut sugaring = true;
-    let mut files: Vec<String> = Vec::new();
+commands:
+  check      parse + elaborate + design-rule check only
+  compile    check, then emit Tydi-IR or VHDL
+
+options:
+  --emit ir|vhdl    output format (default: ir)
+  --no-sugar        disable duplicator/voider insertion
+  --no-std          do not implicitly include the standard library
+  --timings         print per-stage wall-clock timings
+  -o <dir>          write output files into <dir> instead of stdout
+  -h, --help        print this help
+  -V, --version     print the version";
+
+/// A usage or I/O error; rendered to stderr with the given exit code.
+struct CliError {
+    message: String,
+    code: u8,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    fn failure(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
+    }
+}
+
+/// Parsed command line.
+struct Options {
+    command: String,
+    emit: String,
+    out_dir: Option<PathBuf>,
+    include_std: bool,
+    sugaring: bool,
+    timings: bool,
+    files: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
+    // `--help`/`--version` win regardless of position. Ignore broken
+    // pipes (e.g. `tydic --help | head`).
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        let _ = writeln!(std::io::stdout(), "{USAGE}");
+        return Ok(None);
+    }
+    if args.iter().any(|a| a == "--version" || a == "-V") {
+        let _ = writeln!(std::io::stdout(), "tydic {}", env!("CARGO_PKG_VERSION"));
+        return Ok(None);
+    }
+    let Some((command, rest)) = args.split_first() else {
+        return Err(CliError::usage(USAGE));
+    };
+    if command != "check" && command != "compile" {
+        return Err(CliError::usage(format!(
+            "unknown command `{command}` (expected `check` or `compile`)\n{USAGE}"
+        )));
+    }
+
+    let mut options = Options {
+        command: command.clone(),
+        emit: "ir".to_string(),
+        out_dir: None,
+        include_std: true,
+        sugaring: true,
+        timings: false,
+        files: Vec::new(),
+    };
     let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--emit" => {
-                emit = iter.next().cloned().unwrap_or_else(|| {
-                    eprintln!("--emit needs a value (ir|vhdl)");
-                    std::process::exit(2);
-                })
+                options.emit = iter
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| CliError::usage("--emit needs a value (ir|vhdl)"))?;
             }
             "-o" => {
-                out_dir = Some(PathBuf::from(iter.next().cloned().unwrap_or_else(|| {
-                    eprintln!("-o needs a directory");
-                    std::process::exit(2);
-                })))
+                let dir = iter
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| CliError::usage("-o needs a directory"))?;
+                options.out_dir = Some(PathBuf::from(dir));
             }
-            "--no-std" => include_std = false,
-            "--no-sugar" => sugaring = false,
+            "--no-std" => options.include_std = false,
+            "--no-sugar" => options.sugaring = false,
+            "--timings" => options.timings = true,
             other if other.starts_with('-') => {
-                eprintln!("unknown option `{other}`");
-                return ExitCode::from(2);
+                return Err(CliError::usage(format!("unknown option `{other}`")));
             }
-            file => files.push(file.to_string()),
+            file => options.files.push(file.to_string()),
         }
     }
-    if files.is_empty() {
-        eprintln!("no input files");
-        return ExitCode::from(2);
+    if options.files.is_empty() {
+        return Err(CliError::usage("no input files"));
     }
+    if options.emit != "ir" && options.emit != "vhdl" {
+        return Err(CliError::usage(format!(
+            "unknown --emit format `{}` (expected ir|vhdl)",
+            options.emit
+        )));
+    }
+    Ok(Some(options))
+}
 
+fn run(options: &Options) -> Result<(), CliError> {
     // Load sources (the standard library is implicit unless --no-std).
     let mut sources: Vec<(String, String)> = Vec::new();
-    if include_std {
+    if options.include_std {
         sources.push((STDLIB_FILE_NAME.to_string(), stdlib_source().to_string()));
     }
-    for file in &files {
-        match fs::read_to_string(file) {
-            Ok(text) => sources.push((file.clone(), text)),
-            Err(e) => {
-                eprintln!("cannot read `{file}`: {e}");
-                return ExitCode::from(2);
-            }
-        }
+    for file in &options.files {
+        let text = fs::read_to_string(file)
+            .map_err(|e| CliError::usage(format!("cannot read `{file}`: {e}")))?;
+        sources.push((file.clone(), text));
     }
-    let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
-    let options = CompileOptions {
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.as_str()))
+        .collect();
+    let compile_options = CompileOptions {
         project_name: "tydic_out".to_string(),
-        enable_sugaring: sugaring,
+        enable_sugaring: options.sugaring,
         run_drc: true,
     };
 
-    let output = match compile(&refs, &options) {
-        Ok(output) => output,
-        Err(failure) => {
-            eprint!("{}", failure.render());
-            return ExitCode::FAILURE;
-        }
-    };
+    let output =
+        compile(&refs, &compile_options).map_err(|failure| CliError::failure(failure.render()))?;
     for d in &output.diagnostics {
         eprint!("{}", d.render(&output.files));
     }
@@ -99,23 +170,28 @@ fn main() -> ExitCode {
         stats.connections,
         output.timings.total()
     );
-
-    if command == "check" {
-        return ExitCode::SUCCESS;
+    if options.timings {
+        let t = output.timings;
+        eprintln!(
+            "stages: parse {:?}, elaborate {:?}, sugar {:?}, drc {:?}",
+            t.parse, t.elaborate, t.sugar, t.drc
+        );
     }
 
-    match emit.as_str() {
+    if options.command == "check" {
+        return Ok(());
+    }
+
+    match options.emit.as_str() {
         "ir" => {
             let text = tydi_ir::text::emit_project(&output.project);
-            match out_dir {
+            match &options.out_dir {
                 Some(dir) => {
-                    if let Err(e) = fs::create_dir_all(&dir)
-                        .and_then(|()| fs::write(dir.join("project.tir"), &text))
-                    {
-                        eprintln!("write failed: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                    eprintln!("wrote {}", dir.join("project.tir").display());
+                    let path = dir.join("project.tir");
+                    fs::create_dir_all(dir)
+                        .and_then(|()| fs::write(&path, &text))
+                        .map_err(|e| CliError::failure(format!("write failed: {e}")))?;
+                    eprintln!("wrote {}", path.display());
                 }
                 None => {
                     // Ignore broken pipes (e.g. piping into `head`).
@@ -127,24 +203,16 @@ fn main() -> ExitCode {
             let registry = full_registry();
             tydi_fletcher::register_fletcher_rtl(&registry);
             let generated =
-                match generate_project(&output.project, &registry, &VhdlOptions::default()) {
-                    Ok(files) => files,
-                    Err(e) => {
-                        eprintln!("VHDL generation failed: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                };
-            match out_dir {
+                generate_project(&output.project, &registry, &VhdlOptions::default())
+                    .map_err(|e| CliError::failure(format!("VHDL generation failed: {e}")))?;
+            match &options.out_dir {
                 Some(dir) => {
-                    if let Err(e) = fs::create_dir_all(&dir) {
-                        eprintln!("cannot create `{}`: {e}", dir.display());
-                        return ExitCode::FAILURE;
-                    }
+                    fs::create_dir_all(dir).map_err(|e| {
+                        CliError::failure(format!("cannot create `{}`: {e}", dir.display()))
+                    })?;
                     for file in &generated {
-                        if let Err(e) = fs::write(dir.join(&file.name), &file.contents) {
-                            eprintln!("write failed: {e}");
-                            return ExitCode::FAILURE;
-                        }
+                        fs::write(dir.join(&file.name), &file.contents)
+                            .map_err(|e| CliError::failure(format!("write failed: {e}")))?;
                     }
                     eprintln!("wrote {} file(s) to {}", generated.len(), dir.display());
                 }
@@ -156,10 +224,25 @@ fn main() -> ExitCode {
                 }
             }
         }
-        other => {
-            eprintln!("unknown --emit format `{other}` (expected ir|vhdl)");
-            return ExitCode::from(2);
-        }
+        other => unreachable!("emit format `{other}` rejected by parse_args"),
     }
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+fn report(e: &CliError) -> ExitCode {
+    // Rendered compile failures are already newline-terminated.
+    eprintln!("{}", e.message.trim_end_matches('\n'));
+    ExitCode::from(e.code)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(None) => ExitCode::SUCCESS,
+        Ok(Some(options)) => match run(&options) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => report(&e),
+        },
+        Err(e) => report(&e),
+    }
 }

@@ -21,7 +21,10 @@ fn compile_cookbook(file: &str) -> tydi::lang::CompileOutput {
         (STDLIB_FILE_NAME.to_string(), stdlib_source().to_string()),
         (file.to_string(), text),
     ];
-    let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.as_str()))
+        .collect();
     compile(&refs, &CompileOptions::default())
         .unwrap_or_else(|e| panic!("cookbook {file} failed to compile:\n{e}"))
 }
@@ -37,7 +40,10 @@ fn every_cookbook_file_compiles() {
             count += 1;
         }
     }
-    assert!(count >= 8, "expected at least 8 cookbook files, found {count}");
+    assert!(
+        count >= 8,
+        "expected at least 8 cookbook files, found {count}"
+    );
 }
 
 #[test]
@@ -71,7 +77,12 @@ fn cookbook_05_simulation_code_runs() {
     sim.feed("b", [Packet::data(7), Packet::data(8)]).unwrap();
     let result = sim.run(10_000);
     assert!(result.finished);
-    let out_data: Vec<i64> = sim.outputs("acc").unwrap().iter().map(|(_, p)| p.data).collect();
+    let out_data: Vec<i64> = sim
+        .outputs("acc")
+        .unwrap()
+        .iter()
+        .map(|(_, p)| p.data)
+        .collect();
     assert_eq!(out_data, vec![42, 56]);
 
     // Clamp behaviour with handler if/else.
@@ -79,7 +90,12 @@ fn cookbook_05_simulation_code_runs() {
     let mut sim = Simulator::new(&gate.project, "gate_i", &registry).expect("simulator");
     sim.feed("i", [Packet::data(5), Packet::data(500)]).unwrap();
     sim.run(10_000);
-    let out_data: Vec<i64> = sim.outputs("o").unwrap().iter().map(|(_, p)| p.data).collect();
+    let out_data: Vec<i64> = sim
+        .outputs("o")
+        .unwrap()
+        .iter()
+        .map(|(_, p)| p.data)
+        .collect();
     assert_eq!(out_data, vec![5, 100]);
 }
 
@@ -100,10 +116,7 @@ fn cookbook_08_group_transform_round_trips() {
     let packed = |x: i64, y: i64| (y << 16) | x;
     sim.feed(
         "pairs",
-        [
-            Packet::data(packed(3, 4)),
-            Packet::last(packed(10, 20), 1),
-        ],
+        [Packet::data(packed(3, 4)), Packet::last(packed(10, 20), 1)],
     )
     .unwrap();
     let result = sim.run(10_000);

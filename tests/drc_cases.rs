@@ -102,7 +102,10 @@ streamlet s { i : A in, o : A out, o2 : A out, }
 impl x of s { i => o, }
 "#;
     let err = compile(&[("case.td", unused)], &no_sugar).unwrap_err();
-    assert!(err.diagnostics.iter().any(|d| d.message.contains("used 0 times")));
+    assert!(err
+        .diagnostics
+        .iter()
+        .any(|d| d.message.contains("used 0 times")));
 
     let double = r#"
 package t;
@@ -111,7 +114,10 @@ streamlet s { i : A in, o : A out, o2 : A out, }
 impl x of s { i => o, i => o2, }
 "#;
     let err = compile(&[("case.td", double)], &no_sugar).unwrap_err();
-    assert!(err.diagnostics.iter().any(|d| d.message.contains("used 2 times")));
+    assert!(err
+        .diagnostics
+        .iter()
+        .any(|d| d.message.contains("used 2 times")));
 }
 
 #[test]

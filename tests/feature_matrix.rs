@@ -49,11 +49,20 @@ impl top_i of top_s {
 }
 "#;
     let sources = with_stdlib(&[("f.td", source)]);
-    let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.as_str()))
+        .collect();
     let out = compile(&refs, &CompileOptions::default()).unwrap();
     // One template, two distinct configurations.
-    assert!(out.project.implementation("voider_i<Stream(Bit(8))>").is_some());
-    assert!(out.project.implementation("voider_i<Stream(Bit(16))>").is_some());
+    assert!(out
+        .project
+        .implementation("voider_i<Stream(Bit(8))>")
+        .is_some());
+    assert!(out
+        .project
+        .implementation("voider_i<Stream(Bit(16))>")
+        .is_some());
 }
 
 #[test]
@@ -121,10 +130,19 @@ impl top_slow of farm_s {
 }
 "#;
     let sources = with_stdlib(&[("f.td", source)]);
-    let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.as_str()))
+        .collect();
     let out = compile(&refs, &CompileOptions::default()).unwrap();
-    assert!(out.project.implementation("farm_i<fast_worker,3>").is_some());
-    assert!(out.project.implementation("farm_i<slow_worker,2>").is_some());
+    assert!(out
+        .project
+        .implementation("farm_i<fast_worker,3>")
+        .is_some());
+    assert!(out
+        .project
+        .implementation("farm_i<slow_worker,2>")
+        .is_some());
     let farm = out.project.implementation("farm_i<fast_worker,3>").unwrap();
     assert_eq!(farm.instances().len(), 5); // demux + mux + 3 workers
 }

@@ -21,8 +21,13 @@ fn chain_project(stages: usize) -> tydi::ir::Project {
     let _ = writeln!(source, "    p_{}.o => o,", stages - 1);
     source.push_str("}\n");
     let sources = with_stdlib(&[("t.td", source.as_str())]);
-    let refs: Vec<(&str, &str)> = sources.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
-    compile(&refs, &CompileOptions::default()).expect("compile").project
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
+    compile(&refs, &CompileOptions::default())
+        .expect("compile")
+        .project
 }
 
 proptest! {
@@ -190,13 +195,11 @@ fn failure_injection_missing_builtin_parameter() {
         tydi::spec::StreamParams::new(),
     );
     project
-        .add_streamlet(
-            tydi::ir::Streamlet::new("s").with_port(tydi::ir::Port::new(
-                "o",
-                tydi::ir::PortDirection::Out,
-                ty,
-            )),
-        )
+        .add_streamlet(tydi::ir::Streamlet::new("s").with_port(tydi::ir::Port::new(
+            "o",
+            tydi::ir::PortDirection::Out,
+            ty,
+        )))
         .unwrap();
     project
         .add_implementation(

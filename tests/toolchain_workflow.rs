@@ -32,7 +32,10 @@ impl double_i of double_s {
 
 fn compiled() -> tydi::lang::CompileOutput {
     let sources = with_stdlib(&[("flow.td", DESIGN)]);
-    let refs: Vec<(&str, &str)> = sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.as_str()))
+        .collect();
     compile(&refs, &CompileOptions::default()).expect("compile")
 }
 
@@ -41,8 +44,14 @@ fn frontend_to_ir_text_round_trip() {
     let output = compiled();
     let text = emit_project(&output.project);
     let reparsed = parse_project(&text).expect("IR text parses back");
-    assert_eq!(reparsed.implementations().len(), output.project.implementations().len());
-    assert_eq!(reparsed.streamlets().len(), output.project.streamlets().len());
+    assert_eq!(
+        reparsed.implementations().len(),
+        output.project.implementations().len()
+    );
+    assert_eq!(
+        reparsed.streamlets().len(),
+        output.project.streamlets().len()
+    );
     // Round trip is a fixed point.
     assert_eq!(emit_project(&reparsed), text);
     // The reparsed project still satisfies every design rule.
@@ -67,15 +76,8 @@ fn simulator_records_testbench_and_lowers_to_vhdl() {
     let output = compiled();
     let registry = BehaviorRegistry::with_std();
     let mut sim = Simulator::new(&output.project, "double_i", &registry).expect("simulator");
-    sim.feed(
-        "i",
-        [
-            Packet::data(3),
-            Packet::data(5),
-            Packet::last(7, 1),
-        ],
-    )
-    .unwrap();
+    sim.feed("i", [Packet::data(3), Packet::data(5), Packet::last(7, 1)])
+        .unwrap();
     let result = sim.run(10_000);
     // The const source is sized to the stimulus; everything drains.
     let outputs: Vec<i64> = sim
@@ -88,12 +90,13 @@ fn simulator_records_testbench_and_lowers_to_vhdl() {
 
     // Record the boundary traffic as a Tydi-IR testbench, then lower
     // it to a VHDL testbench (paper section V-C).
-    let tb = tydi::sim::testbench_gen::record_testbench(&sim, &output.project, "double_i", "double_tb")
-        .expect("testbench recording");
+    let tb =
+        tydi::sim::testbench_gen::record_testbench(&sim, &output.project, "double_i", "double_tb")
+            .expect("testbench recording");
     assert_eq!(tb.stimuli().len(), 3);
     assert_eq!(tb.expectations().len(), 3);
-    let vhdl = generate_testbench(&output.project, &tb, &VhdlOptions::default())
-        .expect("testbench VHDL");
+    let vhdl =
+        generate_testbench(&output.project, &tb, &VhdlOptions::default()).expect("testbench VHDL");
     assert!(vhdl.contains("entity double_tb is"));
     assert!(check_vhdl(&vhdl).is_empty());
 }

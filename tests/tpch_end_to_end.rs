@@ -28,7 +28,9 @@ fn every_query_lowers_to_structurally_valid_vhdl() {
     let registry = full_registry();
     register_fletcher_rtl(&registry);
     for case in all_queries(&data) {
-        let compiled = case.compile().unwrap_or_else(|e| panic!("{}:\n{e}", case.id));
+        let compiled = case
+            .compile()
+            .unwrap_or_else(|e| panic!("{}:\n{e}", case.id));
         let files = generate_project(&compiled.project, &registry, &VhdlOptions::default())
             .unwrap_or_else(|e| panic!("{}: {e}", case.id));
         for file in &files {
@@ -75,11 +77,15 @@ fn q6_simulation_produces_a_vhdl_testbench() {
     let compiled = case.compile().unwrap();
     let mut registry = tydi::sim::BehaviorRegistry::with_std();
     tydi::fletcher::register_fletcher_behaviors(&mut registry, data.tables.clone());
-    let mut sim =
-        tydi::sim::Simulator::new(&compiled.project, &case.top_impl, &registry).unwrap();
+    let mut sim = tydi::sim::Simulator::new(&compiled.project, &case.top_impl, &registry).unwrap();
     sim.run((data.rows as u64 + 64) * 64);
-    let tb = tydi::sim::testbench_gen::record_testbench(&sim, &compiled.project, &case.top_impl, "q6_tb")
-        .expect("record");
+    let tb = tydi::sim::testbench_gen::record_testbench(
+        &sim,
+        &compiled.project,
+        &case.top_impl,
+        "q6_tb",
+    )
+    .expect("record");
     // Q6 has no boundary inputs (the reader is internal) and one
     // output expectation stream.
     assert!(!tb.expectations().is_empty());
