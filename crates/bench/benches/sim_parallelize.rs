@@ -3,11 +3,21 @@
 //! 8 channels with the `parallelize` template; the simulator's
 //! bottleneck report names the congested ports while the design is
 //! under-provisioned.
+//!
+//! On top of the paper's sweep, this bench compares the simulator's
+//! two cycle loops — the original poll-everything loop and the
+//! event-driven ready-set scheduler — on dense and sparse/bursty
+//! stimulus, and a 4-scenario `SimBatch` run sequentially vs sharded
+//! over 4 threads.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use tydi_bench::{compile_parallelize, simulate_parallelize};
-use tydi_sim::{BehaviorRegistry, Packet, Simulator};
+use std::time::Instant;
+use tydi_bench::{
+    compile_parallelize, parallelize_batch_scenarios, run_parallelize_batch, run_parallelize_sim,
+    simulate_parallelize,
+};
+use tydi_sim::{BehaviorRegistry, Packet, SchedulerKind, Simulator};
 
 const DELAY: u64 = 8;
 const PACKETS: u64 = 128;
@@ -50,13 +60,146 @@ fn print_sweep() {
     println!("===========================================================\n");
 }
 
+/// Wall-clock comparison of the two cycle loops. Dense stimulus (no
+/// stall, every unit busy) checks the worklist adds no overhead;
+/// sparse/bursty stimulus (a few packets trickling through a wide
+/// design whose probe accepts every 32nd cycle) is where skipping
+/// inert cycles and idle components must win clearly.
+fn print_scheduler_comparison() {
+    println!("===== polling vs event-driven scheduler =====");
+    println!(
+        "{:>16} {:>12} {:>12} {:>9}",
+        "stimulus", "polling", "event", "speedup"
+    );
+    for (label, channel, stall, packets) in [
+        ("dense/8ch", 8usize, 1u64, PACKETS),
+        ("sparse/16ch x32", 16, 32, 16),
+    ] {
+        let compiled = compile_parallelize(channel, DELAY);
+        let registry = BehaviorRegistry::with_std();
+        let time = |kind: SchedulerKind| {
+            // Warm-up + best-of-4 to steady the figure.
+            let mut best = f64::INFINITY;
+            let mut result = (0, 0);
+            for _ in 0..4 {
+                let t0 = Instant::now();
+                result =
+                    run_parallelize_sim(&compiled.project, &registry, kind, stall, DELAY, packets);
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            (best, result)
+        };
+        let (poll_s, poll_r) = time(SchedulerKind::Polling);
+        let (event_s, event_r) = time(SchedulerKind::EventDriven);
+        assert_eq!(
+            poll_r, event_r,
+            "schedulers disagree on {label}: {poll_r:?} vs {event_r:?}"
+        );
+        println!(
+            "{label:>16} {:>10.3}ms {:>10.3}ms {:>8.2}x",
+            poll_s * 1e3,
+            event_s * 1e3,
+            poll_s / event_s
+        );
+    }
+    println!("=============================================\n");
+}
+
+/// Wall-clock comparison of a 4-scenario batch run sequentially
+/// (`TYDI_THREADS=1`) vs sharded over 4 threads.
+fn print_batch_comparison() {
+    println!("===== SimBatch: sequential vs 4 threads =====");
+    let compiled = compile_parallelize(4, DELAY);
+    let registry = BehaviorRegistry::with_std();
+    let scenarios = parallelize_batch_scenarios(PACKETS, 4);
+    let time = |threads: &str| {
+        std::env::set_var("TYDI_THREADS", threads);
+        let mut best = f64::INFINITY;
+        let mut delivered = 0;
+        for _ in 0..4 {
+            let t0 = Instant::now();
+            delivered = run_parallelize_batch(&compiled.project, &registry, &scenarios);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        std::env::remove_var("TYDI_THREADS");
+        (best, delivered)
+    };
+    let (seq_s, seq_n) = time("1");
+    let (par_s, par_n) = time("4");
+    assert_eq!(seq_n, par_n, "thread count changed delivered packets");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "  sequential: {:>8.3}ms   4 threads: {:>8.3}ms   speedup {:>5.2}x  ({} packets)",
+        seq_s * 1e3,
+        par_s * 1e3,
+        seq_s / par_s,
+        seq_n
+    );
+    println!("  (machine reports {cores} hardware thread(s); sharding wins need > 1)");
+    println!("=============================================\n");
+}
+
 fn bench(c: &mut Criterion) {
     print_sweep();
+    print_scheduler_comparison();
+    print_batch_comparison();
+
     let mut group = c.benchmark_group("sim_parallelize");
     group.sample_size(10);
     for channel in [1usize, 4, 8] {
         group.bench_function(format!("simulate/{channel}ch"), |b| {
             b.iter(|| black_box(simulate_parallelize(channel, DELAY, 64)));
+        });
+    }
+    group.finish();
+
+    // Scheduler comparison over a prebuilt project, so the timings
+    // isolate the cycle loop from parsing/elaboration.
+    let dense = compile_parallelize(8, DELAY);
+    let sparse = compile_parallelize(16, DELAY);
+    let registry = BehaviorRegistry::with_std();
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(10);
+    for (label, compiled, stall, packets) in
+        [("dense", &dense, 1u64, 64u64), ("sparse", &sparse, 32, 16)]
+    {
+        for (kind_label, kind) in [
+            ("polling", SchedulerKind::Polling),
+            ("event", SchedulerKind::EventDriven),
+        ] {
+            group.bench_function(format!("{label}/{kind_label}"), |b| {
+                b.iter(|| {
+                    black_box(run_parallelize_sim(
+                        &compiled.project,
+                        &registry,
+                        kind,
+                        stall,
+                        DELAY,
+                        packets,
+                    ))
+                });
+            });
+        }
+    }
+    group.finish();
+
+    let batch_project = compile_parallelize(4, DELAY);
+    let scenarios = parallelize_batch_scenarios(64, 4);
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(10);
+    for threads in ["1", "4"] {
+        group.bench_function(format!("{threads}thread"), |b| {
+            std::env::set_var("TYDI_THREADS", threads);
+            b.iter(|| {
+                black_box(run_parallelize_batch(
+                    &batch_project.project,
+                    &registry,
+                    &scenarios,
+                ))
+            });
+            std::env::remove_var("TYDI_THREADS");
         });
     }
     group.finish();

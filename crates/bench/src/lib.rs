@@ -5,7 +5,7 @@
 //! shared between benches, examples and integration tests.
 
 use tydi_lang::{compile, CompileOptions, CompileOutput};
-use tydi_sim::{BehaviorRegistry, Packet, Simulator};
+use tydi_sim::{BehaviorRegistry, Packet, Scenario, SchedulerKind, SimBatch, Simulator};
 use tydi_stdlib::with_stdlib;
 
 /// The paper's §IV-B running example: a processing unit with an
@@ -99,6 +99,60 @@ pub fn simulate_parallelize(channel: usize, delay: u64, packets: u64) -> (u64, u
     (last_arrival.max(1), delivered)
 }
 
+/// Runs one stimulus schedule over a prebuilt parallelize project
+/// under the given scheduler; returns `(cycles to last delivery,
+/// packets delivered)`. `stall` throttles the output probe to accept
+/// only every `stall`-th cycle — large values make the stimulus
+/// sparse/bursty, which is where the event-driven scheduler's
+/// skip-ahead pays off.
+pub fn run_parallelize_sim(
+    project: &tydi_ir::Project,
+    registry: &BehaviorRegistry,
+    kind: SchedulerKind,
+    stall: u64,
+    delay: u64,
+    packets: u64,
+) -> (u64, u64) {
+    let mut sim = Simulator::new(project, "top_i", registry).expect("simulator");
+    sim.set_scheduler(kind);
+    sim.set_probe_backpressure("o", stall).unwrap();
+    sim.feed("i", (0..packets as i64).map(Packet::data))
+        .unwrap();
+    let budget = packets * (delay + 4) * 4 * stall.max(1) + 1000;
+    sim.run(budget);
+    let outputs = sim.outputs("o").expect("probe");
+    let last_arrival = outputs.last().map(|(c, _)| *c).unwrap_or(0);
+    (last_arrival.max(1), outputs.len() as u64)
+}
+
+/// Deterministic stimulus scenarios for a parallelize batch: scenario
+/// `k` feeds values offset by `1000 k` under a `1 + k % 4` stall.
+pub fn parallelize_batch_scenarios(packets: u64, count: usize) -> Vec<Scenario> {
+    (0..count)
+        .map(|k| {
+            Scenario::new(format!("s{k}"))
+                .with_feed(
+                    "i",
+                    (0..packets as i64).map(|v| Packet::data(v + 1000 * k as i64)),
+                )
+                .with_backpressure("o", 1 + k as u64 % 4)
+        })
+        .collect()
+}
+
+/// Runs a scenario batch over a prebuilt parallelize project; returns
+/// total packets delivered across scenarios.
+pub fn run_parallelize_batch(
+    project: &tydi_ir::Project,
+    registry: &BehaviorRegistry,
+    scenarios: &[Scenario],
+) -> u64 {
+    SimBatch::new(project, "top_i", registry)
+        .run(scenarios)
+        .expect("batch")
+        .total_delivered() as u64
+}
+
 /// A synthetic program with `n` *distinct* template instantiations
 /// (scaling the expansion stage) wired into sinks.
 pub fn template_scaling_source(n: usize) -> String {
@@ -159,6 +213,44 @@ mod tests {
             t8 > 3.0 * t1,
             "8 channels should be much faster: t1={t1:.3}, t8={t8:.3}"
         );
+    }
+
+    #[test]
+    fn schedulers_agree_on_parallelize() {
+        // Differential check backing the bench: the event-driven
+        // scheduler must deliver the same packets at the same cycles
+        // as the polling loop, dense and sparse alike.
+        for (channel, stall) in [(1usize, 1u64), (4, 1), (2, 16)] {
+            let compiled = compile_parallelize(channel, 8);
+            let registry = BehaviorRegistry::with_std();
+            let polling = run_parallelize_sim(
+                &compiled.project,
+                &registry,
+                SchedulerKind::Polling,
+                stall,
+                8,
+                32,
+            );
+            let event = run_parallelize_sim(
+                &compiled.project,
+                &registry,
+                SchedulerKind::EventDriven,
+                stall,
+                8,
+                32,
+            );
+            assert_eq!(polling, event, "channel {channel}, stall {stall}");
+            assert_eq!(event.1, 32);
+        }
+    }
+
+    #[test]
+    fn batch_delivers_all_scenarios() {
+        let compiled = compile_parallelize(4, 8);
+        let registry = BehaviorRegistry::with_std();
+        let scenarios = parallelize_batch_scenarios(16, 4);
+        let delivered = run_parallelize_batch(&compiled.project, &registry, &scenarios);
+        assert_eq!(delivered, 4 * 16);
     }
 
     #[test]

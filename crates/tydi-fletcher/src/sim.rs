@@ -10,7 +10,7 @@
 use crate::encode::EncodedValue;
 use std::collections::HashMap;
 use std::sync::Arc;
-use tydi_sim::behavior::{Behavior, BehaviorRegistry, IoCtx};
+use tydi_sim::behavior::{Behavior, BehaviorRegistry, IoCtx, Wake};
 use tydi_sim::channel::Packet;
 
 /// An in-memory, column-major table of encoded values.
@@ -91,6 +91,22 @@ impl Behavior for FletcherSource {
             .zip(&self.columns)
             .all(|(&c, (_, col))| c >= col.len());
         Some(if done { "drained" } else { "streaming" }.to_string())
+    }
+
+    fn wake(&self, _io: &IoCtx<'_>) -> Wake {
+        // A spontaneous source drives itself; once every column is
+        // drained nothing can revive it, letting the scheduler prove
+        // quiescence instead of polling out the idle threshold.
+        let done = self
+            .cursors
+            .iter()
+            .zip(&self.columns)
+            .all(|(&c, (_, col))| c >= col.len());
+        if done {
+            Wake::OnEvent
+        } else {
+            Wake::NextCycle
+        }
     }
 }
 

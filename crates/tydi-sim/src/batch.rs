@@ -1,0 +1,459 @@
+//! Sharded multi-scenario simulation.
+//!
+//! A [`SimBatch`] runs N independent stimulus *scenarios* — distinct
+//! feeds and backpressure schedules over the same flattened design —
+//! and aggregates the per-scenario [`BottleneckReport`]s into one
+//! [`BatchReport`]. Scenarios share nothing mutable (each gets its own
+//! [`Simulator`]), so they shard across threads with a recursive
+//! divide-and-conquer over the rayon shim's `join`; `TYDI_THREADS=1`
+//! forces the sequential fallback for debugging and benchmarking.
+
+use crate::behavior::BehaviorRegistry;
+use crate::channel::Packet;
+use crate::engine::{RunResult, SchedulerKind, SimError, Simulator, StopReason};
+use crate::report::{BottleneckReport, PortBlockage};
+use std::collections::HashMap;
+use std::fmt;
+use tydi_ir::Project;
+
+/// One stimulus scenario: what to feed, how hard to backpressure, and
+/// how long to run.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name, used in reports and errors.
+    pub name: String,
+    /// Packets to queue per boundary input port.
+    pub feeds: Vec<(String, Vec<Packet>)>,
+    /// `(output port, accept_every)` backpressure schedule.
+    pub backpressure: Vec<(String, u64)>,
+    /// Simulation budget in cycles.
+    pub max_cycles: u64,
+    /// Optional override of the quiescence threshold.
+    pub idle_threshold: Option<u64>,
+}
+
+impl Scenario {
+    /// A scenario with no feeds, no backpressure and a 100k-cycle
+    /// budget.
+    pub fn new(name: impl Into<String>) -> Scenario {
+        Scenario {
+            name: name.into(),
+            feeds: Vec::new(),
+            backpressure: Vec::new(),
+            max_cycles: 100_000,
+            idle_threshold: None,
+        }
+    }
+
+    /// Queues stimulus packets on a boundary input port.
+    pub fn with_feed(
+        mut self,
+        port: impl Into<String>,
+        packets: impl IntoIterator<Item = Packet>,
+    ) -> Scenario {
+        self.feeds
+            .push((port.into(), packets.into_iter().collect()));
+        self
+    }
+
+    /// Applies backpressure on an output port: accept only every
+    /// `n`-th cycle.
+    pub fn with_backpressure(mut self, port: impl Into<String>, every: u64) -> Scenario {
+        self.backpressure.push((port.into(), every));
+        self
+    }
+
+    /// Sets the cycle budget.
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Scenario {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Overrides the quiescence threshold.
+    pub fn with_idle_threshold(mut self, cycles: u64) -> Scenario {
+        self.idle_threshold = Some(cycles);
+        self
+    }
+}
+
+/// The outcome of one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// The scenario name.
+    pub scenario: String,
+    /// Run outcome (cycles, termination reason, deadlock report).
+    pub result: RunResult,
+    /// Packets observed per boundary output, with arrival cycles,
+    /// sorted by port name.
+    pub outputs: Vec<(String, Vec<(u64, Packet)>)>,
+    /// The scenario's bottleneck report.
+    pub bottlenecks: BottleneckReport,
+}
+
+impl ScenarioReport {
+    /// Total packets delivered across all output ports.
+    pub fn delivered(&self) -> usize {
+        self.outputs.iter().map(|(_, v)| v.len()).sum()
+    }
+}
+
+/// A simulation failure attributed to the scenario that hit it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError {
+    /// The scenario that failed.
+    pub scenario: String,
+    /// The underlying structured error.
+    pub error: SimError,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario `{}`: {}", self.scenario, self.error)
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Aggregated outcomes of a scenario batch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    /// Per-scenario reports, in submission order.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+impl BatchReport {
+    /// Scenarios that ran to proven or assumed completion.
+    pub fn completed(&self) -> usize {
+        self.scenarios.iter().filter(|s| s.result.finished).count()
+    }
+
+    /// Names of scenarios that deadlocked.
+    pub fn deadlocked(&self) -> Vec<&str> {
+        self.scenarios
+            .iter()
+            .filter(|s| matches!(s.result.reason, StopReason::Deadlocked { .. }))
+            .map(|s| s.scenario.as_str())
+            .collect()
+    }
+
+    /// Sum of simulated cycles over all scenarios.
+    pub fn total_cycles(&self) -> u64 {
+        self.scenarios.iter().map(|s| s.result.cycles).sum()
+    }
+
+    /// Total packets delivered over all scenarios.
+    pub fn total_delivered(&self) -> usize {
+        self.scenarios.iter().map(|s| s.delivered()).sum()
+    }
+
+    /// Blocked-port totals merged across scenarios: the same
+    /// `component.port` blocked in several scenarios accumulates, so
+    /// a systemic bottleneck outranks a scenario-local one.
+    pub fn worst_blockages(&self) -> Vec<PortBlockage> {
+        let mut merged: HashMap<(String, String), u64> = HashMap::new();
+        for scenario in &self.scenarios {
+            for b in &scenario.bottlenecks.blockages {
+                *merged
+                    .entry((b.component.clone(), b.port.clone()))
+                    .or_insert(0) += b.blocked_cycles;
+            }
+        }
+        let mut blockages: Vec<PortBlockage> = merged
+            .into_iter()
+            .map(|((component, port), blocked_cycles)| PortBlockage {
+                component,
+                port,
+                blocked_cycles,
+            })
+            .collect();
+        blockages.sort_by(|a, b| {
+            b.blocked_cycles
+                .cmp(&a.blocked_cycles)
+                .then_with(|| a.component.cmp(&b.component))
+                .then_with(|| a.port.cmp(&b.port))
+        });
+        blockages
+    }
+}
+
+impl fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Batch report over {} scenario(s):", self.scenarios.len())?;
+        for s in &self.scenarios {
+            let reason = match &s.result.reason {
+                StopReason::Completed => "completed".to_string(),
+                StopReason::IdleTimeout => "idle timeout".to_string(),
+                StopReason::CycleLimit => "cycle limit".to_string(),
+                StopReason::Deadlocked { blocked_ports } => {
+                    format!("DEADLOCKED ({})", blocked_ports.join(", "))
+                }
+            };
+            writeln!(
+                f,
+                "  {:<16} {:>8} cycles  {:>6} packet(s)  {reason}",
+                s.scenario,
+                s.result.cycles,
+                s.delivered()
+            )?;
+        }
+        writeln!(
+            f,
+            "  total: {} completed, {} deadlocked, {} packet(s) in {} cycles",
+            self.completed(),
+            self.deadlocked().len(),
+            self.total_delivered(),
+            self.total_cycles()
+        )?;
+        let worst = self.worst_blockages();
+        if !worst.is_empty() {
+            writeln!(f, "  worst blocked ports across scenarios:")?;
+            for b in worst.iter().take(5) {
+                writeln!(
+                    f,
+                    "    {:>8} blocked cycles  {}.{}",
+                    b.blocked_cycles, b.component, b.port
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Shards independent scenarios of one design across threads.
+pub struct SimBatch<'a> {
+    project: &'a Project,
+    top_impl: String,
+    registry: &'a BehaviorRegistry,
+    scheduler: SchedulerKind,
+}
+
+impl<'a> SimBatch<'a> {
+    /// A batch over `top_impl`, using the event-driven scheduler.
+    pub fn new(
+        project: &'a Project,
+        top_impl: impl Into<String>,
+        registry: &'a BehaviorRegistry,
+    ) -> SimBatch<'a> {
+        SimBatch {
+            project,
+            top_impl: top_impl.into(),
+            registry,
+            scheduler: SchedulerKind::default(),
+        }
+    }
+
+    /// Selects the cycle loop used for every scenario.
+    pub fn with_scheduler(mut self, kind: SchedulerKind) -> SimBatch<'a> {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Runs all scenarios, sharded across threads, and aggregates
+    /// their reports. The first failure aborts the batch with the
+    /// offending scenario named.
+    pub fn run(&self, scenarios: &[Scenario]) -> Result<BatchReport, BatchError> {
+        let workers = rayon::current_num_threads().max(1);
+        let results = self.run_slice(scenarios, workers);
+        let mut reports = Vec::with_capacity(results.len());
+        for result in results {
+            reports.push(result?);
+        }
+        Ok(BatchReport { scenarios: reports })
+    }
+
+    /// Divide-and-conquer fan-out: `rayon::join` parallelizes the two
+    /// halves whenever the machine has spare cores, regardless of how
+    /// few scenarios there are (unlike `par_iter`, which falls back to
+    /// sequential execution for short inputs). The `workers` budget is
+    /// halved at every split, so concurrency stays bounded by the
+    /// thread count instead of the scenario count.
+    fn run_slice(
+        &self,
+        scenarios: &[Scenario],
+        workers: usize,
+    ) -> Vec<Result<ScenarioReport, BatchError>> {
+        if scenarios.len() <= 1 || workers <= 1 {
+            return scenarios.iter().map(|s| self.run_scenario(s)).collect();
+        }
+        let mid = scenarios.len() / 2;
+        let half = workers / 2;
+        let (mut left, right) = rayon::join(
+            || self.run_slice(&scenarios[..mid], workers - half),
+            || self.run_slice(&scenarios[mid..], half),
+        );
+        left.extend(right);
+        left
+    }
+
+    fn run_scenario(&self, scenario: &Scenario) -> Result<ScenarioReport, BatchError> {
+        let attribute = |error: SimError| BatchError {
+            scenario: scenario.name.clone(),
+            error,
+        };
+        let mut sim =
+            Simulator::new(self.project, &self.top_impl, self.registry).map_err(attribute)?;
+        sim.set_scheduler(self.scheduler);
+        if let Some(threshold) = scenario.idle_threshold {
+            sim.set_idle_threshold(threshold);
+        }
+        for (port, every) in &scenario.backpressure {
+            sim.set_probe_backpressure(port, *every)
+                .map_err(attribute)?;
+        }
+        for (port, packets) in &scenario.feeds {
+            sim.feed(port, packets.iter().copied()).map_err(attribute)?;
+        }
+        let result = sim.run(scenario.max_cycles);
+        let mut outputs = Vec::new();
+        for port in sim.output_ports() {
+            let received = sim.outputs(&port).map_err(attribute)?.to_vec();
+            outputs.push((port, received));
+        }
+        Ok(ScenarioReport {
+            scenario: scenario.name.clone(),
+            result,
+            outputs,
+            bottlenecks: sim.bottlenecks(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tydi_lang::{compile, CompileOptions};
+    use tydi_stdlib::with_stdlib;
+
+    fn pipeline_project() -> Project {
+        let source = r#"
+package app;
+use std;
+type Byte = Stream(Bit(8));
+streamlet top_s { i : Byte in, o : Byte out, }
+impl top_i of top_s {
+    instance a(passthrough_i<type Byte>),
+    instance b(passthrough_i<type Byte>),
+    i => a.i,
+    a.o => b.i,
+    b.o => o,
+}
+"#;
+        let sources = with_stdlib(&[("app.td", source)]);
+        let refs: Vec<(&str, &str)> = sources
+            .iter()
+            .map(|(n, t)| (n.as_str(), t.as_str()))
+            .collect();
+        compile(&refs, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("compile failed:\n{e}"))
+            .project
+    }
+
+    fn scenarios(count: usize) -> Vec<Scenario> {
+        (0..count)
+            .map(|k| {
+                Scenario::new(format!("scenario-{k}"))
+                    .with_feed("i", (0..16).map(|v| Packet::data(v + 100 * k as i64)))
+                    .with_backpressure("o", 1 + k as u64 % 4)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_aggregates_scenarios() {
+        let project = pipeline_project();
+        let registry = BehaviorRegistry::with_std();
+        let batch = SimBatch::new(&project, "top_i", &registry);
+        let report = batch.run(&scenarios(4)).expect("batch");
+        assert_eq!(report.scenarios.len(), 4);
+        assert_eq!(report.completed(), 4);
+        assert!(report.deadlocked().is_empty());
+        assert_eq!(report.total_delivered(), 4 * 16);
+        // Scenario order matches submission order despite sharding.
+        for (k, s) in report.scenarios.iter().enumerate() {
+            assert_eq!(s.scenario, format!("scenario-{k}"));
+            let (_, out) = &s.outputs[0];
+            assert_eq!(out.len(), 16);
+            assert_eq!(out[0].1, Packet::data(100 * k as i64));
+        }
+        // Backpressured scenarios take longer than the free-running one.
+        assert!(report.scenarios[3].result.cycles > report.scenarios[0].result.cycles);
+        let text = report.to_string();
+        assert!(text.contains("4 completed"));
+    }
+
+    #[test]
+    fn batch_matches_sequential_runs() {
+        let project = pipeline_project();
+        let registry = BehaviorRegistry::with_std();
+        let batch_report = SimBatch::new(&project, "top_i", &registry)
+            .run(&scenarios(4))
+            .expect("batch");
+        for (scenario, batched) in scenarios(4).iter().zip(&batch_report.scenarios) {
+            let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();
+            for (port, every) in &scenario.backpressure {
+                sim.set_probe_backpressure(port, *every).unwrap();
+            }
+            for (port, packets) in &scenario.feeds {
+                sim.feed(port, packets.iter().copied()).unwrap();
+            }
+            let result = sim.run(scenario.max_cycles);
+            assert_eq!(result, batched.result, "{}", scenario.name);
+            assert_eq!(sim.outputs("o").unwrap(), &batched.outputs[0].1[..]);
+        }
+    }
+
+    #[test]
+    fn batch_reports_deadlocked_scenarios() {
+        let project = pipeline_project();
+        let registry = BehaviorRegistry::with_std();
+        let mix = vec![
+            Scenario::new("clean").with_feed("i", (0..4).map(Packet::data)),
+            Scenario::new("stuck")
+                .with_feed("i", (0..16).map(Packet::data))
+                .with_backpressure("o", u64::MAX)
+                .with_max_cycles(5_000),
+        ];
+        let report = SimBatch::new(&project, "top_i", &registry)
+            .run(&mix)
+            .expect("batch");
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.deadlocked(), vec!["stuck"]);
+        // The merged blockage table names the congested output.
+        let worst = report.worst_blockages();
+        assert!(worst.iter().any(|b| b.port == "o"));
+    }
+
+    #[test]
+    fn batch_errors_name_the_scenario() {
+        let project = pipeline_project();
+        let registry = BehaviorRegistry::with_std();
+        let bad = vec![Scenario::new("typo").with_feed("nope", [Packet::data(1)])];
+        let err = SimBatch::new(&project, "top_i", &registry)
+            .run(&bad)
+            .expect_err("unknown port must fail");
+        assert_eq!(err.scenario, "typo");
+        assert!(matches!(err.error, SimError::UnknownBoundaryPort { .. }));
+        assert!(err.to_string().contains("typo"));
+    }
+
+    #[test]
+    fn polling_batch_agrees_with_event_driven_batch() {
+        let project = pipeline_project();
+        let registry = BehaviorRegistry::with_std();
+        let event = SimBatch::new(&project, "top_i", &registry)
+            .run(&scenarios(3))
+            .expect("event batch");
+        let polling = SimBatch::new(&project, "top_i", &registry)
+            .with_scheduler(SchedulerKind::Polling)
+            .run(&scenarios(3))
+            .expect("polling batch");
+        for (e, p) in event.scenarios.iter().zip(&polling.scenarios) {
+            assert_eq!(e.outputs, p.outputs);
+            assert_eq!(e.result.finished, p.result.finished);
+        }
+    }
+}

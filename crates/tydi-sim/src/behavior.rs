@@ -100,6 +100,31 @@ impl IoCtx<'_> {
     }
 }
 
+/// Scheduling hint returned by [`Behavior::wake`] after every tick.
+///
+/// Regardless of the hint, a component is always re-stepped when one
+/// of its input channels gains a packet or one of its output channels
+/// gains credit (a downstream pop); the hint only adds wake-ups the
+/// channels cannot express.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// Channel events are sufficient: the component is a pure function
+    /// of its ports and holds no packet internally.
+    OnEvent,
+    /// Re-tick next cycle unconditionally. The safe default: correct
+    /// for any behaviour, including spontaneous sources, at the cost
+    /// of polling.
+    NextCycle,
+    /// An internal timer (e.g. `delay(n)`) fires at the given cycle;
+    /// sleep until then unless a channel event arrives earlier.
+    AtCycle(u64),
+    /// Engine heuristic: poll while any input channel still holds a
+    /// packet (the component may consume more), otherwise wait for
+    /// channel events. Right for input-driven components without
+    /// internal timers.
+    Auto,
+}
+
 /// A component behaviour model. `tick` is called once per cycle.
 pub trait Behavior: Send {
     /// Advances the component by one cycle.
@@ -109,6 +134,14 @@ pub trait Behavior: Send {
     /// `None` for stateless components.
     fn state_label(&self) -> Option<String> {
         None
+    }
+
+    /// When must the scheduler re-tick this component even without
+    /// channel activity? Defaults to the conservative
+    /// [`Wake::NextCycle`] (polling) so behaviours that produce
+    /// packets spontaneously stay correct without opting in.
+    fn wake(&self, _io: &IoCtx<'_>) -> Wake {
+        Wake::NextCycle
     }
 }
 

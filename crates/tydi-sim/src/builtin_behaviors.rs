@@ -4,7 +4,7 @@
 //! `tydi-stdlib`: same keys, same handshake semantics, cycle-level
 //! timing.
 
-use crate::behavior::{Behavior, BehaviorRegistry, IoCtx};
+use crate::behavior::{Behavior, BehaviorRegistry, IoCtx, Wake};
 use crate::channel::Packet;
 use tydi_ir::{Implementation, PortDirection, Streamlet};
 
@@ -174,6 +174,10 @@ impl Behavior for GroupSplit2 {
             }
         }
     }
+
+    fn wake(&self, _io: &IoCtx<'_>) -> Wake {
+        Wake::Auto
+    }
 }
 
 /// Packs two element streams into a Group element.
@@ -202,6 +206,10 @@ impl Behavior for GroupCombine2 {
             },
         );
     }
+
+    fn wake(&self, _io: &IoCtx<'_>) -> Wake {
+        Wake::Auto
+    }
 }
 
 // ---- plumbing -------------------------------------------------------------
@@ -218,6 +226,10 @@ impl Behavior for Passthrough {
                 io.note_blocked("o");
             }
         }
+    }
+
+    fn wake(&self, _io: &IoCtx<'_>) -> Wake {
+        Wake::Auto
     }
 }
 
@@ -243,6 +255,10 @@ impl Behavior for Duplicator {
             }
         }
     }
+
+    fn wake(&self, _io: &IoCtx<'_>) -> Wake {
+        Wake::Auto
+    }
 }
 
 struct Voider;
@@ -250,6 +266,10 @@ struct Voider;
 impl Behavior for Voider {
     fn tick(&mut self, io: &mut IoCtx<'_>) {
         io.recv("i");
+    }
+
+    fn wake(&self, _io: &IoCtx<'_>) -> Wake {
+        Wake::Auto
     }
 }
 
@@ -299,6 +319,15 @@ impl Behavior for Binop {
             .to_string(),
         )
     }
+
+    fn wake(&self, _io: &IoCtx<'_>) -> Wake {
+        // The internal latency timer must fire even when both input
+        // channels are empty.
+        match self.pending {
+            Some((ready_at, _)) => Wake::AtCycle(ready_at),
+            None => Wake::Auto,
+        }
+    }
 }
 
 fn binop_factory(
@@ -335,6 +364,10 @@ impl Behavior for CompareConst {
         } else {
             io.note_blocked("o");
         }
+    }
+
+    fn wake(&self, _io: &IoCtx<'_>) -> Wake {
+        Wake::Auto
     }
 }
 
@@ -383,6 +416,10 @@ impl Behavior for LogicN {
             },
         );
     }
+
+    fn wake(&self, _io: &IoCtx<'_>) -> Wake {
+        Wake::Auto
+    }
 }
 
 fn logic_factory(
@@ -414,6 +451,10 @@ impl Behavior for NotGate {
             io.note_blocked("o");
         }
     }
+
+    fn wake(&self, _io: &IoCtx<'_>) -> Wake {
+        Wake::Auto
+    }
 }
 
 // ---- stream manipulation -----------------------------------------------------
@@ -439,6 +480,10 @@ impl Behavior for Filter {
             io.send("o", Packet::close(data.last));
         }
         // Otherwise: silently dropped.
+    }
+
+    fn wake(&self, _io: &IoCtx<'_>) -> Wake {
+        Wake::Auto
     }
 }
 
@@ -534,6 +579,16 @@ impl Behavior for Reduce {
             .to_string(),
         )
     }
+
+    fn wake(&self, _io: &IoCtx<'_>) -> Wake {
+        // A held result is released by downstream credit (a channel
+        // event); otherwise the reducer is input-driven.
+        if self.pending.is_some() {
+            Wake::OnEvent
+        } else {
+            Wake::Auto
+        }
+    }
 }
 
 fn reduce_factory(
@@ -560,6 +615,10 @@ impl Behavior for Demux {
             io.note_blocked(&target);
         }
     }
+
+    fn wake(&self, _io: &IoCtx<'_>) -> Wake {
+        Wake::Auto
+    }
 }
 
 /// Round-robin collector.
@@ -580,6 +639,10 @@ impl Behavior for Mux {
                 io.note_blocked("o");
             }
         }
+    }
+
+    fn wake(&self, _io: &IoCtx<'_>) -> Wake {
+        Wake::Auto
     }
 }
 
@@ -609,6 +672,14 @@ impl Behavior for ConstSource {
                     io.send("o", Packet::data(self.value));
                 }
             }
+        }
+    }
+
+    fn wake(&self, _io: &IoCtx<'_>) -> Wake {
+        // A spontaneous source drives itself until drained.
+        match self.remaining {
+            Some(0) => Wake::OnEvent,
+            _ => Wake::NextCycle,
         }
     }
 }

@@ -63,6 +63,10 @@ pub struct Channel {
     capacity: usize,
     /// Total packets that ever passed through.
     pub transferred: u64,
+    /// Set by [`pop`](Channel::pop), cleared by
+    /// [`take_popped`](Channel::take_popped); the scheduler uses it to
+    /// wake producers when credit frees up.
+    popped: bool,
 }
 
 impl Channel {
@@ -74,6 +78,7 @@ impl Channel {
             staged: Vec::new(),
             capacity: capacity.max(1),
             transferred: 0,
+            popped: false,
         }
     }
 
@@ -102,13 +107,26 @@ impl Channel {
         let p = self.queue.pop_front();
         if p.is_some() {
             self.transferred += 1;
+            self.popped = true;
         }
         p
+    }
+
+    /// True when a pop happened since the last call (end-of-cycle
+    /// credit signal for the event-driven scheduler).
+    pub fn take_popped(&mut self) -> bool {
+        std::mem::take(&mut self.popped)
     }
 
     /// Number of packets currently visible.
     pub fn len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// True when a committed packet is visible to consumers (staged
+    /// pushes do not count, unlike [`is_empty`](Channel::is_empty)).
+    pub fn has_visible(&self) -> bool {
+        !self.queue.is_empty()
     }
 
     /// True when no packets are visible or staged.

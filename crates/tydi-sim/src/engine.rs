@@ -1,19 +1,42 @@
-//! The simulation engine: cycle loop, stimulus feeders, output
-//! probes, quiescence/deadlock detection and metric collection.
+//! The simulation engine: event-driven scheduler, stimulus feeders,
+//! output probes, quiescence/deadlock detection and metric collection.
+//!
+//! Components are stepped from a ready-set worklist rather than polled
+//! every cycle: a component runs when one of its input channels gained
+//! a packet, one of its output channels gained credit, or its own
+//! [`Wake`] hint (internal `delay(n)` timers, spontaneous sources)
+//! says so. Cycles in which nothing is scheduled are skipped outright,
+//! so sparse or heavily backpressured stimulus costs time proportional
+//! to the *events*, not to the simulated cycle count. The original
+//! poll-everything loop is kept behind [`SchedulerKind::Polling`] for
+//! differential testing and benchmarking.
 
-use crate::behavior::{Behavior, BehaviorRegistry, IoCtx};
+use crate::behavior::{Behavior, BehaviorRegistry, IoCtx, Wake};
 use crate::channel::{Channel, Packet};
 use crate::graph::{flatten, ComponentNode, GraphError};
 use crate::interp::SimInterpreter;
 use crate::report::{BottleneckReport, PortBlockage};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use tydi_ir::Project;
 
 /// Simulator construction/run errors.
-#[derive(Debug)]
+///
+/// Every variant carries the component path and/or port it concerns as
+/// structured fields, so batch reports can aggregate failures without
+/// parsing rendered strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// Graph construction failed.
     Graph(GraphError),
+    /// A component references IR the project does not contain — an
+    /// inconsistency that used to be papered over with a fabricated
+    /// `__wire` implementation.
+    MissingIr {
+        /// Hierarchical path of the component.
+        component: String,
+        /// The definition that could not be found.
+        missing: String,
+    },
     /// A behaviour could not be built.
     Behaviour {
         /// Hierarchical path of the component.
@@ -22,17 +45,45 @@ pub enum SimError {
         message: String,
     },
     /// A port name passed to `feed`/`outputs` is not a boundary port.
-    UnknownBoundaryPort(String),
+    UnknownBoundaryPort {
+        /// The requested port.
+        port: String,
+        /// The boundary ports that do exist, sorted.
+        available: Vec<String>,
+    },
+}
+
+impl SimError {
+    fn unknown_port(port: &str, known: &HashMap<String, impl Sized>) -> SimError {
+        let mut available: Vec<String> = known.keys().cloned().collect();
+        available.sort();
+        SimError::UnknownBoundaryPort {
+            port: port.to_string(),
+            available,
+        }
+    }
 }
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::Graph(e) => write!(f, "{e}"),
+            SimError::MissingIr { component, missing } => {
+                write!(
+                    f,
+                    "component `{component}` references missing IR: {missing}"
+                )
+            }
             SimError::Behaviour { component, message } => {
                 write!(f, "cannot build behaviour for `{component}`: {message}")
             }
-            SimError::UnknownBoundaryPort(p) => write!(f, "unknown boundary port `{p}`"),
+            SimError::UnknownBoundaryPort { port, available } => {
+                write!(
+                    f,
+                    "unknown boundary port `{port}` (available: {})",
+                    available.join(", ")
+                )
+            }
         }
     }
 }
@@ -65,17 +116,50 @@ struct Probe {
     accept_every: u64,
 }
 
+/// Which cycle loop drives the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Event-driven ready-set worklist (the default): components are
+    /// stepped only when scheduled, inert cycles are skipped.
+    #[default]
+    EventDriven,
+    /// The original poll-everything loop: every component ticks every
+    /// cycle. Kept for differential testing and benchmarks.
+    Polling,
+}
+
+/// Why a [`Simulator::run`] stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// Provably quiescent with every feeder drained, every channel
+    /// empty and nothing scheduled: the run is complete.
+    Completed,
+    /// Quiescent with packets still in flight or stimuli undelivered.
+    Deadlocked {
+        /// `component.port` names with blocked-send time, worst first.
+        blocked_ports: Vec<String>,
+    },
+    /// No packet moved for the idle threshold, but components were
+    /// still being polled, so quiescence is assumed rather than
+    /// proven (raise the threshold via
+    /// [`Simulator::set_idle_threshold`] for long internal delays).
+    IdleTimeout,
+    /// The `max_cycles` budget ran out while the design was active.
+    CycleLimit,
+}
+
 /// Outcome of a [`Simulator::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunResult {
     /// Cycles actually simulated.
     pub cycles: u64,
-    /// True when the design went quiescent (no activity for the idle
-    /// threshold) with nothing in flight.
+    /// True when the design went quiescent with nothing in flight.
     pub finished: bool,
     /// A deadlock/stall report when the design went quiescent with
     /// packets still in flight (paper §V-B deadlock identification).
     pub deadlock: Option<DeadlockReport>,
+    /// The typed termination reason.
+    pub reason: StopReason,
 }
 
 /// Where a stalled design is stuck.
@@ -105,6 +189,83 @@ pub struct Simulator {
     /// (paper §V-B: "the mapping from the clock-domain to physical
     /// frequency and phase").
     physical_clock: Option<tydi_spec::clock::PhysicalClock>,
+    scheduler: SchedulerKind,
+    /// Future component wake-ups: cycle -> component indices. Entries
+    /// are lazily invalidated through `next_wake`.
+    wakes: BTreeMap<u64, Vec<usize>>,
+    /// Earliest queued wake-up per component (`u64::MAX` = none).
+    next_wake: Vec<u64>,
+    /// Channel index -> components reading it (woken on new packets).
+    channel_sinks: Vec<Vec<usize>>,
+    /// Channel index -> components writing it (woken on new credit).
+    channel_sources: Vec<Vec<usize>>,
+}
+
+/// Builds the behaviour for one flattened component, resolving its IR
+/// from the project. Synthetic nodes (implicit wires fabricated by the
+/// flattener) use a reconstructed streamlet; for real nodes a failed
+/// lookup is an IR inconsistency and errors instead of being masked.
+fn build_behavior(
+    project: &Project,
+    registry: &BehaviorRegistry,
+    node: &ComponentNode,
+) -> Result<Box<dyn Behavior>, SimError> {
+    if let Some(key) = &node.builtin {
+        let (implementation, streamlet) = if node.synthetic {
+            (
+                tydi_ir::Implementation::external("__wire", "__wire"),
+                reconstruct_streamlet(node),
+            )
+        } else {
+            let implementation = project
+                .implementation(&node.impl_name)
+                .cloned()
+                .ok_or_else(|| SimError::MissingIr {
+                    component: node.path.clone(),
+                    missing: format!("implementation `{}`", node.impl_name),
+                })?;
+            let streamlet = project
+                .streamlet(&implementation.streamlet)
+                .cloned()
+                .ok_or_else(|| SimError::MissingIr {
+                    component: node.path.clone(),
+                    missing: format!("streamlet `{}`", implementation.streamlet),
+                })?;
+            (implementation, streamlet)
+        };
+        registry
+            .build(key, &implementation, &streamlet)
+            .map_err(|message| SimError::Behaviour {
+                component: node.path.clone(),
+                message,
+            })
+    } else if let Some(source) = &node.sim_source {
+        Ok(Box::new(SimInterpreter::from_source(source).map_err(
+            |message| SimError::Behaviour {
+                component: node.path.clone(),
+                message,
+            },
+        )?))
+    } else {
+        Err(SimError::Behaviour {
+            component: node.path.clone(),
+            message: "no behaviour available".to_string(),
+        })
+    }
+}
+
+/// Queues a wake-up for component `index` at `cycle` (no-op when an
+/// earlier wake-up is already queued).
+fn schedule(
+    wakes: &mut BTreeMap<u64, Vec<usize>>,
+    next_wake: &mut [u64],
+    index: usize,
+    cycle: u64,
+) {
+    if cycle < next_wake[index] {
+        next_wake[index] = cycle;
+        wakes.entry(cycle).or_default().push(index);
+    }
 }
 
 impl Simulator {
@@ -118,34 +279,7 @@ impl Simulator {
         let graph = flatten(project, top_impl, 2)?;
         let mut components = Vec::with_capacity(graph.components.len());
         for node in graph.components {
-            let behavior: Box<dyn Behavior> = if let Some(key) = &node.builtin {
-                let implementation = project
-                    .implementation(&node.impl_name)
-                    .cloned()
-                    .unwrap_or_else(|| tydi_ir::Implementation::external("__wire", "__wire"));
-                let streamlet = project
-                    .streamlet(&implementation.streamlet)
-                    .cloned()
-                    .unwrap_or_else(|| reconstruct_streamlet(&node));
-                registry
-                    .build(key, &implementation, &streamlet)
-                    .map_err(|message| SimError::Behaviour {
-                        component: node.path.clone(),
-                        message,
-                    })?
-            } else if let Some(source) = &node.sim_source {
-                Box::new(SimInterpreter::from_source(source).map_err(|message| {
-                    SimError::Behaviour {
-                        component: node.path.clone(),
-                        message,
-                    }
-                })?)
-            } else {
-                return Err(SimError::Behaviour {
-                    component: node.path.clone(),
-                    message: "no behaviour available".to_string(),
-                });
-            };
+            let behavior = build_behavior(project, registry, &node)?;
             components.push(RunningComponent {
                 node,
                 behavior,
@@ -181,6 +315,13 @@ impl Simulator {
                 )
             })
             .collect();
+        // Every component gets an initial tick at cycle 0; after that
+        // the wake lists and hints drive the schedule.
+        let component_count = components.len();
+        let mut wakes = BTreeMap::new();
+        if component_count > 0 {
+            wakes.insert(0u64, (0..component_count).collect::<Vec<_>>());
+        }
         Ok(Simulator {
             channels: graph.channels,
             components,
@@ -191,7 +332,37 @@ impl Simulator {
             transitions: Vec::new(),
             idle_threshold: 64,
             physical_clock: None,
+            scheduler: SchedulerKind::default(),
+            wakes,
+            next_wake: vec![0; component_count],
+            channel_sinks: graph.channel_sinks,
+            channel_sources: graph.channel_sources,
         })
+    }
+
+    /// Selects the cycle loop (event-driven by default).
+    pub fn set_scheduler(&mut self, kind: SchedulerKind) {
+        self.scheduler = kind;
+        if matches!(kind, SchedulerKind::EventDriven) {
+            // Re-arm everything: the polling loop does not maintain
+            // the wake queue.
+            for index in 0..self.components.len() {
+                let cycle = self.cycle;
+                schedule(&mut self.wakes, &mut self.next_wake, index, cycle);
+            }
+        }
+    }
+
+    /// The active cycle loop.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.scheduler
+    }
+
+    /// Sets the quiescence threshold: how many consecutive idle cycles
+    /// before a run is declared terminated. Designs with internal
+    /// delays longer than the default of 64 must raise it.
+    pub fn set_idle_threshold(&mut self, cycles: u64) {
+        self.idle_threshold = cycles.max(1);
     }
 
     /// Binds the simulation's clock domain to a physical frequency so
@@ -208,12 +379,22 @@ impl Simulator {
             .map(|c| c.cycles_to_seconds(self.cycle))
     }
 
+    /// Cycles up to the last packet movement: the active window,
+    /// excluding any trailing idle cycles spent detecting quiescence.
+    pub fn active_cycles(&self) -> u64 {
+        self.last_activity
+    }
+
     /// Observed throughput of an output port in elements per second,
-    /// when a physical clock has been bound.
+    /// when a physical clock has been bound. Computed over the active
+    /// window ([`active_cycles`](Simulator::active_cycles)), so the
+    /// trailing idle tail of a run does not dilute the figure.
     pub fn throughput_hz(&self, port: &str) -> Result<Option<f64>, SimError> {
         let delivered = self.outputs(port)?.len() as f64;
         Ok(self
-            .elapsed_seconds()
+            .physical_clock
+            .as_ref()
+            .map(|c| c.cycles_to_seconds(self.active_cycles()))
             .filter(|&s| s > 0.0)
             .map(|s| delivered / s))
     }
@@ -224,10 +405,10 @@ impl Simulator {
         port: &str,
         packets: impl IntoIterator<Item = Packet>,
     ) -> Result<(), SimError> {
-        let feeder = self
-            .feeders
-            .get_mut(port)
-            .ok_or_else(|| SimError::UnknownBoundaryPort(port.to_string()))?;
+        let feeder = match self.feeders.get_mut(port) {
+            Some(f) => f,
+            None => return Err(SimError::unknown_port(port, &self.feeders)),
+        };
         feeder.pending.extend(packets);
         Ok(())
     }
@@ -235,10 +416,10 @@ impl Simulator {
     /// Applies backpressure on an output: accept only every `n`-th
     /// cycle.
     pub fn set_probe_backpressure(&mut self, port: &str, n: u64) -> Result<(), SimError> {
-        let probe = self
-            .probes
-            .get_mut(port)
-            .ok_or_else(|| SimError::UnknownBoundaryPort(port.to_string()))?;
+        let probe = match self.probes.get_mut(port) {
+            Some(p) => p,
+            None => return Err(SimError::unknown_port(port, &self.probes)),
+        };
         probe.accept_every = n.max(1);
         Ok(())
     }
@@ -253,7 +434,7 @@ impl Simulator {
         self.probes
             .get(port)
             .map(|p| p.received.as_slice())
-            .ok_or_else(|| SimError::UnknownBoundaryPort(port.to_string()))
+            .ok_or_else(|| SimError::unknown_port(port, &self.probes))
     }
 
     /// Stimuli actually injected, with injection cycles.
@@ -261,12 +442,37 @@ impl Simulator {
         self.feeders
             .get(port)
             .map(|f| f.sent.as_slice())
-            .ok_or_else(|| SimError::UnknownBoundaryPort(port.to_string()))
+            .ok_or_else(|| SimError::unknown_port(port, &self.feeders))
+    }
+
+    /// The components due to tick this cycle: every queued wake-up at
+    /// or before the current cycle, deduplicated and in index order so
+    /// results match the polling loop's iteration order.
+    fn take_due(&mut self) -> Vec<usize> {
+        let mut due = Vec::new();
+        while let Some((&at, _)) = self.wakes.first_key_value() {
+            if at > self.cycle {
+                break;
+            }
+            let (_, indices) = self.wakes.pop_first().expect("checked non-empty");
+            for index in indices {
+                // Entries whose component was re-queued earlier are
+                // stale; the live entry is the one matching next_wake.
+                if self.next_wake[index] <= self.cycle {
+                    self.next_wake[index] = u64::MAX;
+                    due.push(index);
+                }
+            }
+        }
+        due.sort_unstable();
+        due.dedup();
+        due
     }
 
     /// Advances one cycle; returns true when anything moved.
     pub fn step(&mut self) -> bool {
         let mut activity = false;
+        let event_driven = matches!(self.scheduler, SchedulerKind::EventDriven);
         // 1. Feeders inject stimuli.
         for feeder in self.feeders.values_mut() {
             if let Some(&packet) = feeder.pending.front() {
@@ -277,8 +483,15 @@ impl Simulator {
                 }
             }
         }
-        // 2. Components tick.
-        for component in &mut self.components {
+        // 2. Scheduled components tick (all of them under polling).
+        let due = if event_driven {
+            self.take_due()
+        } else {
+            (0..self.components.len()).collect()
+        };
+        let mut hints: Vec<(usize, Wake)> = Vec::with_capacity(due.len());
+        for index in due {
+            let component = &mut self.components[index];
             let mut io = IoCtx {
                 cycle: self.cycle,
                 channels: &mut self.channels,
@@ -288,6 +501,9 @@ impl Simulator {
                 activity: &mut activity,
             };
             component.behavior.tick(&mut io);
+            if event_driven {
+                hints.push((index, component.behavior.wake(&io)));
+            }
             let state = component.behavior.state_label();
             if state != component.last_state {
                 if let (Some(old), Some(new)) = (&component.last_state, &state) {
@@ -310,10 +526,59 @@ impl Simulator {
                 }
             }
         }
-        // 4. Commit staged pushes.
-        for channel in &mut self.channels {
-            if channel.commit() {
+        // 4. Commit staged pushes; propagate channel events into the
+        // wake queue (new packets wake sinks, new credit wakes
+        // sources).
+        for index in 0..self.channels.len() {
+            let committed = self.channels[index].commit();
+            let popped = self.channels[index].take_popped();
+            if committed {
                 activity = true;
+            }
+            if event_driven {
+                let next = self.cycle + 1;
+                if committed {
+                    for &sink in &self.channel_sinks[index] {
+                        schedule(&mut self.wakes, &mut self.next_wake, sink, next);
+                    }
+                }
+                if popped {
+                    for &source in &self.channel_sources[index] {
+                        schedule(&mut self.wakes, &mut self.next_wake, source, next);
+                    }
+                }
+            }
+        }
+        // 5. Apply the components' own wake hints.
+        if event_driven {
+            for (index, hint) in hints {
+                let resolved = match hint {
+                    Wake::Auto => {
+                        let has_input = self.components[index]
+                            .node
+                            .inputs
+                            .values()
+                            .any(|&c| self.channels[c].has_visible());
+                        if has_input {
+                            Wake::NextCycle
+                        } else {
+                            Wake::OnEvent
+                        }
+                    }
+                    other => other,
+                };
+                match resolved {
+                    Wake::OnEvent => {}
+                    Wake::NextCycle => {
+                        let next = self.cycle + 1;
+                        schedule(&mut self.wakes, &mut self.next_wake, index, next);
+                    }
+                    Wake::AtCycle(at) => {
+                        let at = at.max(self.cycle + 1);
+                        schedule(&mut self.wakes, &mut self.next_wake, index, at);
+                    }
+                    Wake::Auto => unreachable!("resolved above"),
+                }
             }
         }
         self.cycle += 1;
@@ -323,15 +588,74 @@ impl Simulator {
         activity
     }
 
-    /// Runs until quiescence or `max_cycles`.
-    pub fn run(&mut self, max_cycles: u64) -> RunResult {
-        let end = self.cycle + max_cycles;
-        while self.cycle < end {
-            self.step();
-            if self.cycle - self.last_activity > self.idle_threshold {
-                break;
+    /// The next cycle at which anything is scheduled to happen: a
+    /// queued component wake-up, a feeder with both stimulus and
+    /// channel space, or a probe due to accept from a non-empty
+    /// channel. `None` means the design can provably never move again.
+    fn next_event_cycle(&self) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut consider = |cycle: u64| {
+            next = Some(next.map_or(cycle, |n: u64| n.min(cycle)));
+        };
+        if self
+            .feeders
+            .values()
+            .any(|f| !f.pending.is_empty() && self.channels[f.channel].can_push())
+        {
+            consider(self.cycle);
+        }
+        if let Some((&at, _)) = self.wakes.first_key_value() {
+            consider(at.max(self.cycle));
+        }
+        for probe in self.probes.values() {
+            if self.channels[probe.channel].has_visible() {
+                consider(next_accept(self.cycle, probe.accept_every));
             }
         }
+        next
+    }
+
+    /// Runs until quiescence, deadlock or `max_cycles`.
+    ///
+    /// Under the event-driven scheduler, stretches of cycles with
+    /// nothing scheduled are skipped in one jump, and a design with no
+    /// remaining events terminates immediately with a proven
+    /// [`StopReason::Completed`] / [`StopReason::Deadlocked`] instead
+    /// of waiting out the idle threshold.
+    pub fn run(&mut self, max_cycles: u64) -> RunResult {
+        let end = self.cycle.saturating_add(max_cycles);
+        // proven: quiescence was established from the event queue, not
+        // assumed after an idle window.
+        let (ran_out, proven) = loop {
+            if self.cycle >= end {
+                break (true, false);
+            }
+            if matches!(self.scheduler, SchedulerKind::EventDriven) {
+                match self.next_event_cycle() {
+                    None => break (false, true),
+                    Some(at) => {
+                        // The polling loop stops at whichever boundary
+                        // comes first: the idle window (quiescence
+                        // declared at idle_limit + 1) or the cycle
+                        // budget (`end`).
+                        let idle_limit = self.last_activity.saturating_add(self.idle_threshold);
+                        if at > idle_limit && idle_limit < end {
+                            self.cycle = idle_limit + 1;
+                            break (false, false);
+                        }
+                        if at >= end {
+                            self.cycle = end;
+                            break (true, false);
+                        }
+                        self.cycle = at;
+                    }
+                }
+            }
+            self.step();
+            if self.cycle.saturating_sub(self.last_activity) > self.idle_threshold {
+                break (false, false);
+            }
+        };
         let in_flight: Vec<(String, usize)> = self
             .channels
             .iter()
@@ -344,11 +668,21 @@ impl Simulator {
             .filter(|(_, f)| !f.pending.is_empty())
             .map(|(p, _)| p.clone())
             .collect();
-        let quiescent = self.cycle - self.last_activity > self.idle_threshold;
-        let stuck = quiescent && (!in_flight.is_empty() || !pending_inputs.is_empty());
+        let stuck = !ran_out && (!in_flight.is_empty() || !pending_inputs.is_empty());
+        let reason = if ran_out {
+            StopReason::CycleLimit
+        } else if stuck {
+            StopReason::Deadlocked {
+                blocked_ports: self.blocked_ports(),
+            }
+        } else if proven {
+            StopReason::Completed
+        } else {
+            StopReason::IdleTimeout
+        };
         RunResult {
             cycles: self.cycle,
-            finished: quiescent && !stuck,
+            finished: matches!(reason, StopReason::Completed | StopReason::IdleTimeout),
             deadlock: if stuck {
                 Some(DeadlockReport {
                     cycle: self.last_activity,
@@ -358,7 +692,18 @@ impl Simulator {
             } else {
                 None
             },
+            reason,
         }
+    }
+
+    /// `component.port` names with blocked-send time, worst first
+    /// (the bottleneck table, flattened to names).
+    fn blocked_ports(&self) -> Vec<String> {
+        self.bottlenecks()
+            .blockages
+            .iter()
+            .map(|b| format!("{}.{}", b.component, b.port))
+            .collect()
     }
 
     /// The bottleneck report: output-port blockage counts, worst
@@ -401,6 +746,17 @@ impl Simulator {
         let mut v: Vec<String> = self.probes.keys().cloned().collect();
         v.sort();
         v
+    }
+}
+
+/// The first cycle at or after `cycle` that is a multiple of `every`
+/// (saturating at `u64::MAX` instead of wrapping).
+fn next_accept(cycle: u64, every: u64) -> u64 {
+    let remainder = cycle % every;
+    if remainder == 0 {
+        cycle
+    } else {
+        (cycle - remainder).saturating_add(every)
     }
 }
 
@@ -595,6 +951,274 @@ impl top_i of top_s {
         for pair in out.windows(2) {
             assert!(pair[1].0 - pair[0].0 >= 4);
         }
+    }
+
+    /// The event-driven scheduler must agree with the polling loop on
+    /// every observable: delivered packets, arrival cycles, injection
+    /// cycles and termination classification.
+    #[test]
+    fn event_driven_matches_polling() {
+        let source = r#"
+package app;
+use std;
+type Byte = Stream(Bit(8));
+streamlet top_s { i : Byte in, o : Byte out, }
+impl top_i of top_s {
+    instance a(passthrough_i<type Byte>),
+    instance b(passthrough_i<type Byte>),
+    i => a.i,
+    a.o => b.i,
+    b.o => o,
+}
+"#;
+        for stall in [1u64, 3, 7] {
+            let project = compile_app(source);
+            let registry = BehaviorRegistry::with_std();
+            let run = |kind: SchedulerKind| {
+                let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();
+                sim.set_scheduler(kind);
+                sim.set_probe_backpressure("o", stall).unwrap();
+                sim.feed("i", (0..12).map(Packet::data)).unwrap();
+                let result = sim.run(10_000);
+                (result.finished, sim.outputs("o").unwrap().to_vec())
+            };
+            let (finished_poll, out_poll) = run(SchedulerKind::Polling);
+            let (finished_event, out_event) = run(SchedulerKind::EventDriven);
+            assert_eq!(finished_poll, finished_event, "stall {stall}");
+            assert_eq!(out_poll, out_event, "stall {stall}");
+        }
+    }
+
+    #[test]
+    fn completed_run_reports_typed_reason() {
+        let project = compile_app(
+            r#"
+package app;
+use std;
+type Byte = Stream(Bit(8));
+streamlet top_s { i : Byte in, o : Byte out, }
+impl top_i of top_s {
+    instance p(passthrough_i<type Byte>),
+    i => p.i,
+    p.o => o,
+}
+"#,
+        );
+        let registry = BehaviorRegistry::with_std();
+        let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();
+        sim.feed("i", (0..4).map(Packet::data)).unwrap();
+        let result = sim.run(1000);
+        // Quiescence is proven from the event queue: no idle tail.
+        assert_eq!(result.reason, StopReason::Completed);
+        assert!(result.finished);
+        assert!(
+            result.cycles < 64,
+            "completed run should not wait out the idle threshold, took {}",
+            result.cycles
+        );
+    }
+
+    #[test]
+    fn deadlock_reason_names_blocked_ports() {
+        let project = compile_app(
+            r#"
+package app;
+use std;
+type Byte = Stream(Bit(8));
+streamlet top_s { i : Byte in, o : Byte out, }
+impl top_i of top_s {
+    instance p(passthrough_i<type Byte>),
+    i => p.i,
+    p.o => o,
+}
+"#,
+        );
+        let registry = BehaviorRegistry::with_std();
+        let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();
+        sim.set_probe_backpressure("o", u64::MAX).unwrap();
+        sim.feed("i", (0..20).map(Packet::data)).unwrap();
+        let result = sim.run(5000);
+        let StopReason::Deadlocked { blocked_ports } = &result.reason else {
+            panic!("expected Deadlocked, got {:?}", result.reason);
+        };
+        assert!(blocked_ports.iter().any(|p| p.ends_with(".o")));
+        assert!(!result.finished);
+    }
+
+    #[test]
+    fn cycle_budget_exhaustion_reports_cycle_limit() {
+        let project = compile_app(
+            r#"
+package app;
+use std;
+type Byte = Stream(Bit(8));
+streamlet top_s { i : Byte in, o : Byte out, }
+impl top_i of top_s {
+    instance p(passthrough_i<type Byte>),
+    i => p.i,
+    p.o => o,
+}
+"#,
+        );
+        let registry = BehaviorRegistry::with_std();
+        let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();
+        sim.feed("i", (0..100).map(Packet::data)).unwrap();
+        let result = sim.run(3);
+        assert_eq!(result.reason, StopReason::CycleLimit);
+        assert!(!result.finished);
+    }
+
+    /// Regression: when the next event lies beyond both the idle
+    /// window and the cycle budget, the event-driven loop must report
+    /// CycleLimit at exactly `end` — not fabricate a deadlock, and not
+    /// let the clock overshoot the budget.
+    #[test]
+    fn budget_exhaustion_beyond_idle_window_matches_polling() {
+        let source = r#"
+package app;
+type Byte = Stream(Bit(8));
+streamlet top_s { i : Byte in, o : Byte out, }
+impl top_i of top_s external {
+    simulation {
+        on (i.recv) {
+            delay(100);
+            send(o, i.data);
+            ack(i);
+        }
+    }
+}
+"#;
+        let project = compile_app(source);
+        let registry = BehaviorRegistry::with_std();
+        let run = |kind: SchedulerKind, threshold: u64, budget: u64| {
+            let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();
+            sim.set_scheduler(kind);
+            sim.set_idle_threshold(threshold);
+            sim.feed("i", [Packet::data(7)]).unwrap();
+            sim.run(budget)
+        };
+        // Budget expires mid-delay (delay 100 > budget 50 > idle 64's
+        // worth of remaining events): both loops must agree.
+        let polling = run(SchedulerKind::Polling, 64, 50);
+        let event = run(SchedulerKind::EventDriven, 64, 50);
+        assert_eq!(polling.reason, StopReason::CycleLimit);
+        assert_eq!(event.reason, StopReason::CycleLimit);
+        assert_eq!(polling.finished, event.finished);
+        assert_eq!(polling.deadlock, event.deadlock);
+        assert_eq!(polling.cycles, 50);
+        assert_eq!(event.cycles, 50, "clock must not overshoot the budget");
+        // A large threshold with a tiny budget: same story.
+        let clamped = run(SchedulerKind::EventDriven, 500, 10);
+        assert_eq!(clamped.reason, StopReason::CycleLimit);
+        assert_eq!(clamped.cycles, 10);
+        // Idle window expiring *before* the budget: both loops must
+        // declare the stall at the same cycle, not run to the budget.
+        let polling_idle = run(SchedulerKind::Polling, 10, 50);
+        let event_idle = run(SchedulerKind::EventDriven, 10, 50);
+        assert_eq!(polling_idle, event_idle);
+        assert!(matches!(event_idle.reason, StopReason::Deadlocked { .. }));
+        assert!(event_idle.cycles < 50);
+    }
+
+    #[test]
+    fn idle_threshold_is_configurable() {
+        // A unit with a 40-cycle internal delay: a threshold of 8
+        // gives up mid-delay, the default of 64 sees it through.
+        let source = r#"
+package app;
+type Byte = Stream(Bit(8));
+streamlet top_s { i : Byte in, o : Byte out, }
+impl top_i of top_s external {
+    simulation {
+        on (i.recv) {
+            delay(40);
+            send(o, i.data);
+            ack(i);
+        }
+    }
+}
+"#;
+        let project = compile_app(source);
+        let registry = BehaviorRegistry::with_std();
+        let mut impatient = Simulator::new(&project, "top_i", &registry).unwrap();
+        impatient.set_idle_threshold(8);
+        impatient.feed("i", [Packet::data(1)]).unwrap();
+        let early = impatient.run(1000);
+        assert!(!early.finished, "{early:?}");
+        let mut patient = Simulator::new(&project, "top_i", &registry).unwrap();
+        patient.feed("i", [Packet::data(1)]).unwrap();
+        let full = patient.run(1000);
+        assert!(full.finished, "{full:?}");
+        assert_eq!(patient.outputs("o").unwrap().len(), 1);
+    }
+
+    /// Regression: a non-synthetic node whose IR lookup fails must
+    /// surface [`SimError::MissingIr`] instead of fabricating a
+    /// `__wire` implementation that masks the inconsistency.
+    #[test]
+    fn missing_ir_is_an_error_not_a_fabricated_wire() {
+        let project = Project::new("t");
+        let registry = BehaviorRegistry::with_std();
+        let node = ComponentNode {
+            path: "top.ghost".to_string(),
+            impl_name: "ghost_i".to_string(),
+            builtin: Some("std.passthrough".to_string()),
+            sim_source: None,
+            inputs: HashMap::new(),
+            outputs: HashMap::new(),
+            synthetic: false,
+        };
+        match build_behavior(&project, &registry, &node) {
+            Err(SimError::MissingIr { component, missing }) => {
+                assert_eq!(component, "top.ghost");
+                assert!(missing.contains("ghost_i"));
+            }
+            Err(other) => panic!("expected MissingIr, got {other:?}"),
+            Ok(_) => panic!("expected MissingIr, got a behaviour"),
+        }
+        // Synthetic wires (flattener-fabricated) still build fine.
+        let wire = ComponentNode {
+            synthetic: true,
+            ..node
+        };
+        assert!(build_behavior(&project, &registry, &wire).is_ok());
+    }
+
+    #[test]
+    fn unknown_port_error_lists_available_ports() {
+        let project = compile_app(
+            r#"
+package app;
+use std;
+type Byte = Stream(Bit(8));
+streamlet top_s { i : Byte in, o : Byte out, }
+impl top_i of top_s {
+    instance p(passthrough_i<type Byte>),
+    i => p.i,
+    p.o => o,
+}
+"#,
+        );
+        let registry = BehaviorRegistry::with_std();
+        let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();
+        let err = sim.feed("nope", [Packet::data(1)]).unwrap_err();
+        match err {
+            SimError::UnknownBoundaryPort { port, available } => {
+                assert_eq!(port, "nope");
+                assert_eq!(available, vec!["i".to_string()]);
+            }
+            other => panic!("expected UnknownBoundaryPort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn next_accept_rounds_up() {
+        assert_eq!(next_accept(0, 4), 0);
+        assert_eq!(next_accept(1, 4), 4);
+        assert_eq!(next_accept(4, 4), 4);
+        assert_eq!(next_accept(5, 4), 8);
+        assert_eq!(next_accept(3, 1), 3);
+        assert_eq!(next_accept(1, u64::MAX), u64::MAX);
     }
 
     #[test]

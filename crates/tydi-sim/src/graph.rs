@@ -25,6 +25,10 @@ pub struct ComponentNode {
     pub inputs: HashMap<String, usize>,
     /// Output port name to channel index.
     pub outputs: HashMap<String, usize>,
+    /// True for components fabricated by the flattener itself
+    /// (implicit feed-through wires): they have no project entry, so
+    /// the engine must not try to look their IR up.
+    pub synthetic: bool,
 }
 
 /// The flattened design.
@@ -38,10 +42,16 @@ pub struct SimGraph {
     pub boundary_inputs: Vec<(String, usize)>,
     /// Top-level output ports with the channels leaving the design.
     pub boundary_outputs: Vec<(String, usize)>,
+    /// Per-channel wake list: components that *read* the channel
+    /// (stepped when the channel gains a packet).
+    pub channel_sinks: Vec<Vec<usize>>,
+    /// Per-channel wake list: components that *write* the channel
+    /// (stepped when the channel gains credit).
+    pub channel_sources: Vec<Vec<usize>>,
 }
 
 /// Errors while building or running a simulation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GraphError {
     /// The requested top-level implementation does not exist.
     UnknownTop(String),
@@ -85,6 +95,8 @@ pub fn flatten(
         components: Vec::new(),
         boundary_inputs: Vec::new(),
         boundary_outputs: Vec::new(),
+        channel_sinks: Vec::new(),
+        channel_sources: Vec::new(),
     };
 
     // Boundary channels for the top-level ports.
@@ -111,6 +123,26 @@ pub fn flatten(
         &mut graph,
         0,
     )?;
+
+    // Wake lists, built once: the event-driven scheduler steps a
+    // component only when one of its input channels gained a packet or
+    // one of its output channels gained credit.
+    graph.channel_sinks = vec![Vec::new(); graph.channels.len()];
+    graph.channel_sources = vec![Vec::new(); graph.channels.len()];
+    for (index, component) in graph.components.iter().enumerate() {
+        for &channel in component.inputs.values() {
+            let sinks = &mut graph.channel_sinks[channel];
+            if !sinks.contains(&index) {
+                sinks.push(index);
+            }
+        }
+        for &channel in component.outputs.values() {
+            let sources = &mut graph.channel_sources[channel];
+            if !sources.contains(&index) {
+                sources.push(index);
+            }
+        }
+    }
     Ok(graph)
 }
 
@@ -166,6 +198,7 @@ fn inline(
                 sim_source: sim_source.clone(),
                 inputs,
                 outputs,
+                synthetic: false,
             });
         }
         ImplKind::Normal {
@@ -196,6 +229,7 @@ fn inline(
                             sim_source: None,
                             inputs,
                             outputs,
+                            synthetic: true,
                         });
                         continue;
                     }
@@ -314,6 +348,30 @@ mod tests {
     }
 
     #[test]
+    fn wake_lists_map_channels_to_components() {
+        let p = nested_project();
+        let g = flatten(&p, "top_i", 2).unwrap();
+        // Every component input channel lists the component as sink,
+        // every output channel as source.
+        for (index, component) in g.components.iter().enumerate() {
+            for &channel in component.inputs.values() {
+                assert!(g.channel_sinks[channel].contains(&index));
+            }
+            for &channel in component.outputs.values() {
+                assert!(g.channel_sources[channel].contains(&index));
+            }
+        }
+        // The middle channel of the two-leaf chain has exactly one
+        // source (a.inner) and one sink (b.inner).
+        let middle = g.components[0].outputs["o"];
+        assert_eq!(g.channel_sources[middle], vec![0]);
+        assert_eq!(g.channel_sinks[middle], vec![1]);
+        // The boundary input is read by the first leaf only.
+        assert_eq!(g.channel_sinks[g.boundary_inputs[0].1], vec![0]);
+        assert!(g.channel_sources[g.boundary_inputs[0].1].is_empty());
+    }
+
+    #[test]
     fn feedthrough_becomes_wire_component() {
         let mut p = Project::new("t");
         p.add_streamlet(
@@ -331,6 +389,7 @@ mod tests {
         let g = flatten(&p, "wire_i", 2).unwrap();
         assert_eq!(g.components.len(), 1);
         assert_eq!(g.components[0].builtin.as_deref(), Some("std.passthrough"));
+        assert!(g.components[0].synthetic);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   a nested `delay` just extends the busy window);
 //! * `send` respects backpressure through an internal pending queue.
 
-use crate::behavior::{Behavior, IoCtx};
+use crate::behavior::{Behavior, IoCtx, Wake};
 use crate::channel::Packet;
 use std::collections::{HashMap, VecDeque};
 use tydi_lang::sim_ast::{SimAction, SimBlock, SimEvent, SimExpr, SimOp};
@@ -271,6 +271,30 @@ impl Behavior for SimInterpreter {
             .collect();
         parts.sort();
         Some(parts.join(","))
+    }
+
+    fn wake(&self, io: &IoCtx<'_>) -> Wake {
+        // A paused handler resumes when the delay window closes.
+        if self.deferred.is_some() || io.cycle() < self.busy_until {
+            return Wake::AtCycle(self.busy_until);
+        }
+        // Backpressured sends are unblocked by downstream credit,
+        // which is a channel event.
+        if !self.out_pending.is_empty() {
+            return Wake::OnEvent;
+        }
+        // A handler that could fire right now (e.g. on a state set by
+        // this very tick, or on an unconsumed input) needs another
+        // tick; otherwise only a channel event can change anything.
+        if self
+            .block
+            .handlers
+            .iter()
+            .any(|h| self.event_true(&h.event, io))
+        {
+            return Wake::NextCycle;
+        }
+        Wake::OnEvent
     }
 }
 

@@ -15,14 +15,24 @@
 //! * **custom Rust behaviours** registered by the embedding crate
 //!   (the Fletcher substrate uses this to feed table columns).
 //!
+//! The engine is an event-driven scheduler: components sit on a
+//! ready-set worklist and are stepped only when an input channel gains
+//! a packet, an output channel gains credit, or their own [`Wake`]
+//! hint (internal delays, spontaneous sources) fires; inert cycles are
+//! skipped outright. [`SimBatch`] shards N independent stimulus
+//! scenarios over the same design across threads and merges their
+//! bottleneck reports.
+//!
 //! Analyses reproduce the paper's §V-B capabilities: per-port blocked
 //! time for *bottleneck* identification, quiescence-based *deadlock*
-//! detection, data-flow recording, and state-transition tables. The
-//! boundary recording lowers to a [`tydi_ir::Testbench`], which
-//! `tydi-vhdl` turns into a VHDL testbench (paper §V-C).
+//! detection with typed [`StopReason`]s, data-flow recording, and
+//! state-transition tables. The boundary recording lowers to a
+//! [`tydi_ir::Testbench`], which `tydi-vhdl` turns into a VHDL
+//! testbench (paper §V-C).
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod behavior;
 pub mod builtin_behaviors;
 pub mod channel;
@@ -32,7 +42,8 @@ pub mod interp;
 pub mod report;
 pub mod testbench_gen;
 
-pub use behavior::{Behavior, BehaviorRegistry, IoCtx};
+pub use batch::{BatchError, BatchReport, Scenario, ScenarioReport, SimBatch};
+pub use behavior::{Behavior, BehaviorRegistry, IoCtx, Wake};
 pub use channel::{Channel, Packet};
-pub use engine::{RunResult, SimError, Simulator};
+pub use engine::{RunResult, SchedulerKind, SimError, Simulator, StopReason};
 pub use report::{BottleneckReport, PortBlockage};

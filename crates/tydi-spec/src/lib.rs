@@ -48,6 +48,6 @@ pub mod text;
 pub use clock::ClockDomain;
 pub use error::SpecError;
 pub use logical::{Field, LogicalType};
-pub use physical::{lower, PhysicalStream, SignalBundle};
+pub use physical::{index_width, lower, PhysicalStream, SignalBundle};
 pub use stream::{Complexity, Direction, StreamParams, Synchronicity, Throughput};
 pub use text::parse_logical_type;

@@ -3,6 +3,7 @@
 //! ```text
 //! tydic check   <file.td>...                 parse + elaborate + DRC
 //! tydic compile <file.td>... [options]       emit Tydi-IR or VHDL
+//! tydic sim     <file.td>... --top <impl>    batch-simulate scenarios
 //! tydic --help | --version
 //!
 //! options:
@@ -11,6 +12,14 @@
 //!   --no-std            do not implicitly include the standard library
 //!   --timings           print per-stage wall-clock timings
 //!   -o <dir>            write output files instead of stdout
+//!
+//! sim options:
+//!   --top <impl>        top-level implementation to simulate (required)
+//!   --scenarios <n>     number of stimulus scenarios (default: 4)
+//!   --packets <n>       packets per boundary input (default: 64)
+//!   --max-cycles <n>    cycle budget per scenario (default: 100000)
+//!   --idle <n>          quiescence threshold in idle cycles
+//!   --polling           use the poll-everything cycle loop
 //! ```
 
 use std::fs;
@@ -22,11 +31,12 @@ use tydi_stdlib::{full_registry, stdlib_source, STDLIB_FILE_NAME};
 use tydi_vhdl::{generate_project, VhdlOptions};
 
 const USAGE: &str = "\
-usage: tydic <check|compile> <file.td>... [options]
+usage: tydic <check|compile|sim> <file.td>... [options]
 
 commands:
   check      parse + elaborate + design-rule check only
   compile    check, then emit Tydi-IR or VHDL
+  sim        check, then batch-simulate stimulus scenarios
 
 options:
   --emit ir|vhdl    output format (default: ir)
@@ -35,7 +45,16 @@ options:
   --timings         print per-stage wall-clock timings
   -o <dir>          write output files into <dir> instead of stdout
   -h, --help        print this help
-  -V, --version     print the version";
+  -V, --version     print the version
+
+sim options:
+  --top <impl>      top-level implementation to simulate (required)
+  --scenarios <n>   number of stimulus scenarios (default: 4)
+  --packets <n>     packets per boundary input (default: 64)
+  --max-cycles <n>  cycle budget per scenario (default: 100000)
+  --idle <n>        quiescence threshold in idle cycles (default: 64)
+  --polling         use the poll-everything cycle loop instead of the
+                    event-driven scheduler (for comparison)";
 
 /// A usage or I/O error; rendered to stderr with the given exit code.
 struct CliError {
@@ -68,6 +87,25 @@ struct Options {
     sugaring: bool,
     timings: bool,
     files: Vec<String>,
+    /// `sim`: top-level implementation name.
+    top: Option<String>,
+    /// `sim`: number of stimulus scenarios.
+    scenarios: usize,
+    /// `sim`: packets per boundary input.
+    packets: u64,
+    /// `sim`: per-scenario cycle budget.
+    max_cycles: u64,
+    /// `sim`: quiescence threshold override.
+    idle_threshold: Option<u64>,
+    /// `sim`: use the polling cycle loop.
+    polling: bool,
+}
+
+fn parse_count<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, CliError> {
+    value
+        .ok_or_else(|| CliError::usage(format!("{flag} needs a value")))?
+        .parse::<T>()
+        .map_err(|_| CliError::usage(format!("{flag} needs a number")))
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
@@ -84,9 +122,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
     let Some((command, rest)) = args.split_first() else {
         return Err(CliError::usage(USAGE));
     };
-    if command != "check" && command != "compile" {
+    if command != "check" && command != "compile" && command != "sim" {
         return Err(CliError::usage(format!(
-            "unknown command `{command}` (expected `check` or `compile`)\n{USAGE}"
+            "unknown command `{command}` (expected `check`, `compile` or `sim`)\n{USAGE}"
         )));
     }
 
@@ -98,6 +136,12 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
         sugaring: true,
         timings: false,
         files: Vec::new(),
+        top: None,
+        scenarios: 4,
+        packets: 64,
+        max_cycles: 100_000,
+        idle_threshold: None,
+        polling: false,
     };
     let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
@@ -118,6 +162,20 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
             "--no-std" => options.include_std = false,
             "--no-sugar" => options.sugaring = false,
             "--timings" => options.timings = true,
+            "--top" => {
+                options.top = Some(
+                    iter.next()
+                        .cloned()
+                        .ok_or_else(|| CliError::usage("--top needs an implementation name"))?,
+                );
+            }
+            "--scenarios" => options.scenarios = parse_count("--scenarios", iter.next().cloned())?,
+            "--packets" => options.packets = parse_count("--packets", iter.next().cloned())?,
+            "--max-cycles" => {
+                options.max_cycles = parse_count("--max-cycles", iter.next().cloned())?
+            }
+            "--idle" => options.idle_threshold = Some(parse_count("--idle", iter.next().cloned())?),
+            "--polling" => options.polling = true,
             other if other.starts_with('-') => {
                 return Err(CliError::usage(format!("unknown option `{other}`")));
             }
@@ -132,6 +190,11 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
             "unknown --emit format `{}` (expected ir|vhdl)",
             options.emit
         )));
+    }
+    if options.command == "sim" && options.top.is_none() {
+        return Err(CliError::usage(
+            "sim needs --top <impl> (the implementation to simulate)",
+        ));
     }
     Ok(Some(options))
 }
@@ -181,6 +244,9 @@ fn run(options: &Options) -> Result<(), CliError> {
     if options.command == "check" {
         return Ok(());
     }
+    if options.command == "sim" {
+        return run_sim(options, &output.project);
+    }
 
     match options.emit.as_str() {
         "ir" => {
@@ -226,6 +292,72 @@ fn run(options: &Options) -> Result<(), CliError> {
         }
         other => unreachable!("emit format `{other}` rejected by parse_args"),
     }
+    Ok(())
+}
+
+/// `tydic sim`: shard deterministic stimulus scenarios over the design
+/// and print the aggregated batch report.
+///
+/// Scenario `k` feeds every boundary input with `--packets` values
+/// offset by `k * 1000` and throttles every output to accept only
+/// every `1 + k % 4` cycles, so the batch covers free-running and
+/// increasingly backpressured schedules in one invocation.
+fn run_sim(options: &Options, project: &tydi_ir::Project) -> Result<(), CliError> {
+    use tydi_sim::{Packet, Scenario, SchedulerKind, SimBatch, Simulator};
+
+    let top = options.top.as_deref().expect("checked by parse_args");
+    let mut behaviors = tydi_sim::BehaviorRegistry::with_std();
+    tydi_fletcher::register_fletcher_behaviors(&mut behaviors, Default::default());
+    // One probe simulator just to discover the boundary ports.
+    let probe_sim = Simulator::new(project, top, &behaviors)
+        .map_err(|e| CliError::failure(format!("cannot build simulator: {e}")))?;
+    let input_ports = probe_sim.input_ports();
+    let output_ports = probe_sim.output_ports();
+    drop(probe_sim);
+
+    let scenarios: Vec<Scenario> = (0..options.scenarios.max(1))
+        .map(|k| {
+            let mut scenario =
+                Scenario::new(format!("scenario-{k}")).with_max_cycles(options.max_cycles);
+            if let Some(idle) = options.idle_threshold {
+                scenario = scenario.with_idle_threshold(idle);
+            }
+            for port in &input_ports {
+                let base = k as i64 * 1000;
+                scenario = scenario.with_feed(
+                    port,
+                    (0..options.packets as i64).map(|v| Packet::data(base + v)),
+                );
+            }
+            for port in &output_ports {
+                scenario = scenario.with_backpressure(port, 1 + k as u64 % 4);
+            }
+            scenario
+        })
+        .collect();
+
+    let kind = if options.polling {
+        SchedulerKind::Polling
+    } else {
+        SchedulerKind::EventDriven
+    };
+    let started = std::time::Instant::now();
+    let report = SimBatch::new(project, top, &behaviors)
+        .with_scheduler(kind)
+        .run(&scenarios)
+        .map_err(|e| CliError::failure(format!("simulation failed: {e}")))?;
+    let elapsed = started.elapsed();
+    let _ = write!(std::io::stdout(), "{report}");
+    eprintln!(
+        "simulated {} scenario(s) over `{top}` in {elapsed:?} ({} scheduler, {} thread(s))",
+        report.scenarios.len(),
+        if options.polling {
+            "polling"
+        } else {
+            "event-driven"
+        },
+        rayon::current_num_threads(),
+    );
     Ok(())
 }
 

@@ -173,6 +173,40 @@ fn cookbook_09_parallelize_reaches_one_per_cycle_shape() {
 }
 
 #[test]
+fn cookbook_11_batch_simulation_shards_scenarios() {
+    use tydi::sim::{Scenario, SimBatch, StopReason};
+    let out = compile_cookbook("11_batch_sim.td");
+    let registry = BehaviorRegistry::with_std();
+    let scenarios: Vec<Scenario> = (0..4)
+        .map(|k| {
+            // Stalls of 1/5/9/13 cycles: the slow unit needs ~5 cycles
+            // per packet, so the later scenarios back the pipeline up.
+            Scenario::new(format!("stall-{k}"))
+                .with_feed("i", (0..24).map(|v| Packet::data(v + 100 * k)))
+                .with_backpressure("o", 1 + 4 * k as u64)
+        })
+        .collect();
+    let report = SimBatch::new(&out.project, "pipeline_i", &registry)
+        .run(&scenarios)
+        .expect("batch");
+    assert_eq!(report.completed(), 4);
+    assert!(report.deadlocked().is_empty());
+    for (k, s) in report.scenarios.iter().enumerate() {
+        assert_eq!(s.result.reason, StopReason::Completed);
+        let (port, received) = &s.outputs[0];
+        assert_eq!(port, "o");
+        let data: Vec<i64> = received.iter().map(|(_, p)| p.data).collect();
+        let expected: Vec<i64> = (0..24).map(|v| (v + 100 * k as i64) * 2).collect();
+        assert_eq!(data, expected, "scenario stall-{k}");
+    }
+    // Under heavy backpressure the slow unit's output is the
+    // bottleneck the merged report names.
+    let worst = report.worst_blockages();
+    assert!(!worst.is_empty());
+    assert!(worst[0].component.contains("slow") || worst[0].component.contains("tail"));
+}
+
+#[test]
 fn cookbook_10_full_flow_sums_filtered_prices() {
     let out = compile_cookbook("10_full_flow.td");
     let mut registry = BehaviorRegistry::with_std();

@@ -144,4 +144,83 @@ proptest! {
         let t = Throughput::new(num, den).expect("positive ratio");
         prop_assert_eq!(t.lanes(), num.div_ceil(den));
     }
+
+    /// Signal-presence rules of the physical lowering, cross-checked
+    /// against the thresholds documented on `Complexity`:
+    ///
+    /// * `C >= 5`: `endi` present with more than one lane (also forced
+    ///   by any nonzero dimension);
+    /// * `C >= 6`: `stai` present with more than one lane;
+    /// * `C >= 7`: `strb` present (also forced by nonzero dimension);
+    /// * `C >= 8`: `last` is transferred per lane instead of per
+    ///   transfer.
+    #[test]
+    fn signal_presence_follows_complexity_thresholds(
+        element in 1u32..64,
+        lanes in 1u32..9,
+        c in 1u8..=8,
+        d in 0u32..4,
+    ) {
+        let ty = LogicalType::stream(
+            LogicalType::Bit(element),
+            StreamParams::new()
+                .with_throughput(Throughput::new(lanes, 1).expect("positive"))
+                .with_complexity(Complexity::new(c).expect("in range"))
+                .with_dimension(d),
+        );
+        let streams = lower(&ty).expect("synthesizable");
+        prop_assert_eq!(streams.len(), 1);
+        let sig = streams[0].signals();
+
+        // data: one element per lane.
+        prop_assert_eq!(sig.data_bits, lanes * element);
+        // last: per transfer below C8, per lane at C8.
+        let expected_last = if c >= 8 { lanes * d } else { d };
+        prop_assert_eq!(sig.last_bits, expected_last);
+        // stai: start index at C >= 6 with multiple lanes.
+        let index_bits = tydi::spec::index_width(lanes);
+        let expected_stai = if c >= 6 && lanes > 1 { index_bits } else { 0 };
+        prop_assert_eq!(sig.stai_bits, expected_stai);
+        // endi: end index at C >= 5 (or any dimension) with multiple
+        // lanes.
+        let expected_endi = if (c >= 5 || d >= 1) && lanes > 1 { index_bits } else { 0 };
+        prop_assert_eq!(sig.endi_bits, expected_endi);
+        // strb: per-lane strobe at C >= 7 or with any dimension.
+        let expected_strb = if c >= 7 || d >= 1 { lanes } else { 0 };
+        prop_assert_eq!(sig.strb_bits, expected_strb);
+
+        // Raising only the complexity never removes a signal: higher C
+        // gives the source strictly more freedom.
+        if c < 8 {
+            let wider = LogicalType::stream(
+                LogicalType::Bit(element),
+                StreamParams::new()
+                    .with_throughput(Throughput::new(lanes, 1).expect("positive"))
+                    .with_complexity(Complexity::new(c + 1).expect("in range"))
+                    .with_dimension(d),
+            );
+            let wider_sig = lower(&wider).expect("synthesizable")[0].signals();
+            prop_assert!(wider_sig.payload_bits() >= sig.payload_bits());
+        }
+
+        // Bookkeeping identities: payload is the sum of the named
+        // signals (absent signals contribute zero), total adds
+        // valid + ready.
+        let named_sum: u32 = sig.named_signals().map(|(_, w)| w).sum();
+        prop_assert_eq!(sig.payload_bits(), named_sum);
+        prop_assert_eq!(sig.total_bits(), sig.payload_bits() + 2);
+    }
+
+    /// `index_width(n)` is the smallest width that can address `n`
+    /// lanes.
+    #[test]
+    fn index_width_covers_lane_count(lanes in 1u32..512) {
+        let w = tydi::spec::index_width(lanes);
+        prop_assert!(2u64.pow(w) >= lanes as u64);
+        if lanes > 1 {
+            prop_assert!(2u64.pow(w) < 2 * lanes as u64);
+        } else {
+            prop_assert_eq!(w, 0);
+        }
+    }
 }

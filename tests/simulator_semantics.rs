@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use tydi::lang::{compile, CompileOptions};
-use tydi::sim::{BehaviorRegistry, Packet, Simulator};
+use tydi::sim::{BehaviorRegistry, Packet, SchedulerKind, Simulator, StopReason};
 use tydi::stdlib::with_stdlib;
 
 fn chain_project(stages: usize) -> tydi::ir::Project {
@@ -88,6 +88,39 @@ proptest! {
         prop_assert_eq!(produced, vec![expected]);
     }
 
+    /// The event-driven scheduler is an optimization, not a semantic
+    /// change: delivered packets, arrival cycles, injection cycles and
+    /// termination classification must match the polling loop exactly,
+    /// for arbitrary pipeline depth, stimulus and backpressure.
+    #[test]
+    fn event_driven_scheduler_matches_polling(
+        stages in 1usize..5,
+        values in proptest::collection::vec(-1000i64..1000, 1..40),
+        stall in 1u64..9,
+    ) {
+        let project = chain_project(stages);
+        let registry = BehaviorRegistry::with_std();
+        let run = |kind: SchedulerKind| {
+            let mut sim = Simulator::new(&project, "top_i", &registry).expect("simulator");
+            sim.set_scheduler(kind);
+            sim.set_probe_backpressure("o", stall).unwrap();
+            sim.feed("i", values.iter().map(|&v| Packet::data(v))).unwrap();
+            let result = sim.run(200_000);
+            (
+                result.finished,
+                result.deadlock,
+                sim.outputs("o").unwrap().to_vec(),
+                sim.injected("i").unwrap().to_vec(),
+            )
+        };
+        let polling = run(SchedulerKind::Polling);
+        let event = run(SchedulerKind::EventDriven);
+        prop_assert_eq!(polling.0, event.0);
+        prop_assert_eq!(polling.1, event.1);
+        prop_assert_eq!(polling.2, event.2);
+        prop_assert_eq!(polling.3, event.3);
+    }
+
     /// The duplicator delivers identical copies on every branch.
     #[test]
     fn duplicator_copies_agree(values in proptest::collection::vec(0i64..100, 1..20)) {
@@ -109,6 +142,69 @@ proptest! {
         prop_assert_eq!(get("b"), values.clone());
         prop_assert_eq!(get("c"), values);
     }
+}
+
+#[test]
+fn throughput_excludes_trailing_idle_window() {
+    use tydi::spec::clock::PhysicalClock;
+    use tydi::spec::ClockDomain;
+    // Under the polling loop, a run spends the full idle threshold
+    // winding down after the last packet; the throughput figure must
+    // be computed over the active window, not the padded total.
+    let project = chain_project(1);
+    let registry = BehaviorRegistry::with_std();
+    let mut sim = Simulator::new(&project, "top_i", &registry).expect("simulator");
+    sim.set_scheduler(SchedulerKind::Polling);
+    sim.set_physical_clock(PhysicalClock::new(ClockDomain::default(), 100e6));
+    sim.feed("i", (0..10).map(Packet::data)).unwrap();
+    let result = sim.run(10_000);
+    assert!(result.finished);
+    // The polling run padded the total with the idle threshold.
+    assert!(sim.cycle() > sim.active_cycles() + 32);
+    let hz = sim.throughput_hz("o").unwrap().expect("clock bound");
+    let active_seconds = sim.active_cycles() as f64 * 10e-9;
+    assert!(
+        (hz - 10.0 / active_seconds).abs() < 1e-6,
+        "throughput must use the active window: {hz}"
+    );
+    // Computed over the padded total it would be visibly lower.
+    let padded = 10.0 / (sim.cycle() as f64 * 10e-9);
+    assert!(hz > 2.0 * padded);
+}
+
+#[test]
+fn clean_idle_timeout_is_not_a_deadlock() {
+    // A registered custom behaviour with the default (polling) wake
+    // hint and no packets in flight: the run ends via the idle
+    // threshold, classified as IdleTimeout, finished = true.
+    struct Inert;
+    impl tydi::sim::Behavior for Inert {
+        fn tick(&mut self, _io: &mut tydi::sim::IoCtx<'_>) {}
+    }
+    let mut project = tydi::ir::Project::new("t");
+    let ty = tydi::spec::LogicalType::stream(
+        tydi::spec::LogicalType::Bit(8),
+        tydi::spec::StreamParams::new(),
+    );
+    project
+        .add_streamlet(tydi::ir::Streamlet::new("s").with_port(tydi::ir::Port::new(
+            "o",
+            tydi::ir::PortDirection::Out,
+            ty,
+        )))
+        .unwrap();
+    project
+        .add_implementation(
+            tydi::ir::Implementation::external("inert_i", "s").with_builtin("test.inert"),
+        )
+        .unwrap();
+    let mut registry = BehaviorRegistry::new();
+    registry.register("test.inert", |_, _| Ok(Box::new(Inert)));
+    let mut sim = Simulator::new(&project, "inert_i", &registry).unwrap();
+    let result = sim.run(10_000);
+    assert_eq!(result.reason, StopReason::IdleTimeout);
+    assert!(result.finished);
+    assert!(result.deadlock.is_none());
 }
 
 #[test]
