@@ -1,0 +1,128 @@
+//! Codegen throughput: Tydi-IR → netlist lowering and netlist →
+//! text emission, sequential vs parallel, VHDL vs SystemVerilog.
+//!
+//! The fixture is the template-scaling design (N distinct constant
+//! sources), which produces one behavioral module per instantiation
+//! plus the structural top — enough modules for the per-module
+//! fan-out to matter. Besides timing, the bench asserts cross-backend
+//! parity (same file count, structurally clean output from one shared
+//! lowering), so a backend regression fails the bench-smoke CI job
+//! rather than just printing slower numbers.
+//!
+//! The seq/par comparison is meaningful on multi-core hosts only: on
+//! a single-core machine the rayon shim falls back to sequential
+//! execution and `par` merely measures the fallback overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tydi_bench::compile_scaling;
+use tydi_rtl::check::check_verilog;
+use tydi_rtl::{emitter_for, Backend};
+use tydi_vhdl::check::check_vhdl;
+use tydi_vhdl::{lower_project, BuiltinRegistry, VhdlOptions};
+
+const MODULES: usize = 256;
+
+/// Runs `f` with the rayon shim forced sequential (`TYDI_THREADS=1`).
+fn sequential<R>(f: impl FnOnce() -> R) -> R {
+    std::env::set_var("TYDI_THREADS", "1");
+    let result = f();
+    std::env::remove_var("TYDI_THREADS");
+    result
+}
+
+fn registry() -> BuiltinRegistry {
+    tydi_stdlib::full_registry()
+}
+
+fn assert_parity(project: &tydi_ir::Project, registry: &BuiltinRegistry) {
+    let netlist = lower_project(project, registry, &VhdlOptions::default()).expect("lowering");
+    let vhdl = emitter_for(Backend::Vhdl)
+        .emit_netlist(&netlist)
+        .expect("vhdl emission");
+    let sv = emitter_for(Backend::SystemVerilog)
+        .emit_netlist(&netlist)
+        .expect("verilog emission");
+    assert_eq!(vhdl.len(), sv.len(), "backends diverged on file count");
+    assert_eq!(vhdl.len(), netlist.modules.len());
+    for f in &vhdl {
+        let issues = check_vhdl(&f.contents);
+        assert!(issues.is_empty(), "{}: {issues:?}", f.name);
+    }
+    for f in &sv {
+        let issues = check_verilog(&f.contents);
+        assert!(issues.is_empty(), "{}: {issues:?}", f.name);
+    }
+}
+
+fn print_throughput_summary(project: &tydi_ir::Project, registry: &BuiltinRegistry) {
+    let netlist = lower_project(project, registry, &VhdlOptions::default()).expect("lowering");
+    println!("\n====== codegen fixture ({MODULES} const sources) ======");
+    println!("modules: {}", netlist.modules.len());
+    for backend in Backend::ALL {
+        let files = emitter_for(backend).emit_netlist(&netlist).expect("emit");
+        let loc: usize = files
+            .iter()
+            .map(|f| tydi_vhdl::count_loc(&f.contents))
+            .sum();
+        println!("{backend}: {} file(s), {loc} LoC", files.len());
+    }
+    println!("=======================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let compiled = compile_scaling(MODULES);
+    let registry = registry();
+    assert_parity(&compiled.project, &registry);
+    print_throughput_summary(&compiled.project, &registry);
+    let netlist =
+        lower_project(&compiled.project, &registry, &VhdlOptions::default()).expect("lowering");
+
+    let mut group = c.benchmark_group("codegen");
+    group.sample_size(20);
+    group.bench_function("lower/seq", |b| {
+        b.iter(|| {
+            sequential(|| {
+                let n = lower_project(
+                    black_box(&compiled.project),
+                    &registry,
+                    &VhdlOptions::default(),
+                )
+                .expect("lowering");
+                black_box(n.modules.len())
+            })
+        });
+    });
+    group.bench_function("lower/par", |b| {
+        b.iter(|| {
+            let n = lower_project(
+                black_box(&compiled.project),
+                &registry,
+                &VhdlOptions::default(),
+            )
+            .expect("lowering");
+            black_box(n.modules.len())
+        });
+    });
+    for backend in Backend::ALL {
+        let emitter = emitter_for(backend);
+        group.bench_function(format!("emit/{backend}/seq"), |b| {
+            b.iter(|| {
+                sequential(|| {
+                    let files = emitter.emit_netlist(black_box(&netlist)).expect("emit");
+                    black_box(files.len())
+                })
+            });
+        });
+        group.bench_function(format!("emit/{backend}/par"), |b| {
+            b.iter(|| {
+                let files = emitter.emit_netlist(black_box(&netlist)).expect("emit");
+                black_box(files.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

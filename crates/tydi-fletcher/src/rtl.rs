@@ -1,27 +1,30 @@
-//! VHDL-side stub for Fletcher readers.
+//! RTL-side stubs for Fletcher readers.
 //!
 //! The real RTL of a Fletcher reader is produced by the Fletcher
 //! framework itself and linked in at synthesis time (paper Fig. 2);
 //! the Tydi toolchain only emits the typed interface. This module
-//! registers a `fletcher.source` generator that produces a black-box
-//! architecture so whole projects containing readers can still be
-//! lowered to VHDL (and their LoC counted for Table IV).
+//! registers `fletcher.source` generators — one per backend — that
+//! produce a stub body so whole projects containing readers can still
+//! be lowered to VHDL or SystemVerilog (and their LoC counted for
+//! Table IV).
 
 use std::fmt::Write as _;
+use tydi_rtl::Backend;
 use tydi_vhdl::builtin::{ArchBody, BuiltinCtx};
 use tydi_vhdl::BuiltinRegistry;
 
-/// Registers the `fletcher.source` VHDL stub generator.
+fn table_name(ctx: &BuiltinCtx<'_>) -> String {
+    ctx.implementation
+        .attributes
+        .get("table")
+        .cloned()
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Registers the `fletcher.source` stub generators for every backend.
 pub fn register_fletcher_rtl(registry: &BuiltinRegistry) {
     registry.register("fletcher.source", |ctx: &BuiltinCtx<'_>| {
-        let table = ctx.param("__nonexistent").unwrap_or("");
-        let _ = table;
-        let table_name = ctx
-            .implementation
-            .attributes
-            .get("table")
-            .cloned()
-            .unwrap_or_else(|| "unknown".to_string());
+        let table_name = table_name(ctx);
         let mut stmts = String::new();
         let _ = writeln!(
             stmts,
@@ -40,6 +43,30 @@ pub fn register_fletcher_rtl(registry: &BuiltinRegistry) {
             stmts,
         })
     });
+    registry.register_for(
+        Backend::SystemVerilog,
+        "fletcher.source",
+        |ctx: &BuiltinCtx<'_>| {
+            let table_name = table_name(ctx);
+            let mut stmts = String::new();
+            let _ = writeln!(
+                stmts,
+                "  // Fletcher-generated reader for Arrow table `{table_name}`."
+            );
+            let _ = writeln!(
+                stmts,
+                "  // The actual bus/DMA logic is produced by Fletcher and bound"
+            );
+            let _ = writeln!(stmts, "  // to this module at synthesis time.");
+            for port in ctx.outputs() {
+                let _ = writeln!(stmts, "  assign {}_valid = 1'b0;", port.name);
+            }
+            Ok(ArchBody {
+                decls: String::new(),
+                stmts,
+            })
+        },
+    );
 }
 
 #[cfg(test)]
@@ -48,10 +75,9 @@ mod tests {
     use crate::generate::generate_reader_package;
     use crate::schema::{ArrowField, ArrowSchema, ArrowType};
     use tydi_lang::{compile, CompileOptions};
-    use tydi_vhdl::{check::check_vhdl, generate_project, VhdlOptions};
+    use tydi_vhdl::{check::check_vhdl, generate_project, generate_project_for, VhdlOptions};
 
-    #[test]
-    fn reader_lowers_to_stub_vhdl() {
+    fn reader_project() -> tydi_ir::Project {
         let schema = ArrowSchema::new(
             "t",
             vec![
@@ -60,14 +86,40 @@ mod tests {
             ],
         );
         let source = generate_reader_package(&schema);
-        let out = compile(&[("f.td", &source)], &CompileOptions::default()).unwrap();
+        compile(&[("f.td", &source)], &CompileOptions::default())
+            .unwrap()
+            .project
+    }
+
+    #[test]
+    fn reader_lowers_to_stub_vhdl() {
+        let project = reader_project();
         let registry = BuiltinRegistry::with_core();
         register_fletcher_rtl(&registry);
-        let files = generate_project(&out.project, &registry, &VhdlOptions::default()).unwrap();
+        let files = generate_project(&project, &registry, &VhdlOptions::default()).unwrap();
         let vhdl: String = files.into_iter().map(|f| f.contents).collect();
         assert!(vhdl.contains("entity t_reader_i is"));
         assert!(vhdl.contains("Fletcher-generated reader for Arrow table `t`"));
         assert!(vhdl.contains("a_valid <= '0';"));
         assert!(check_vhdl(&vhdl).is_empty());
+    }
+
+    #[test]
+    fn reader_lowers_to_stub_verilog() {
+        let project = reader_project();
+        let registry = BuiltinRegistry::with_core();
+        register_fletcher_rtl(&registry);
+        let files = generate_project_for(
+            &project,
+            &registry,
+            &VhdlOptions::default(),
+            tydi_rtl::Backend::SystemVerilog,
+        )
+        .unwrap();
+        let sv: String = files.into_iter().map(|f| f.contents).collect();
+        assert!(sv.contains("module t_reader_i ("));
+        assert!(sv.contains("// Fletcher-generated reader for Arrow table `t`."));
+        assert!(sv.contains("assign a_valid = 1'b0;"));
+        assert!(tydi_rtl::check::check_verilog(&sv).is_empty());
     }
 }

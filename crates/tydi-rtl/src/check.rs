@@ -1,0 +1,142 @@
+//! Lightweight structural checks on generated SystemVerilog.
+//!
+//! Not a Verilog parser; a tripwire used by the test suite to catch
+//! codegen regressions: unbalanced `module`/`endmodule` and
+//! `begin`/`end` pairs, unbalanced parentheses outside comments,
+//! double semicolons, and empty port connections.
+
+/// A single issue found by [`check_verilog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckIssue {
+    /// 1-based line of the issue (0 when file-level).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+/// Scans SystemVerilog text for structural problems; returns all
+/// issues found.
+pub fn check_verilog(text: &str) -> Vec<CheckIssue> {
+    let mut issues = Vec::new();
+    let mut modules = 0usize;
+    let mut endmodules = 0usize;
+    let mut begins = 0usize;
+    let mut ends = 0usize;
+    let mut paren_depth: i64 = 0;
+
+    for (i, raw_line) in text.lines().enumerate() {
+        let line = strip_comment(raw_line);
+        let words: Vec<&str> = line
+            .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .filter(|w| !w.is_empty())
+            .collect();
+        for w in &words {
+            match *w {
+                "module" => modules += 1,
+                "endmodule" => endmodules += 1,
+                "begin" => begins += 1,
+                "end" => ends += 1,
+                _ => {}
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '(' => paren_depth += 1,
+                ')' => {
+                    paren_depth -= 1;
+                    if paren_depth < 0 {
+                        issues.push(CheckIssue {
+                            line: i + 1,
+                            message: "unbalanced closing parenthesis".into(),
+                        });
+                        paren_depth = 0;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if line.contains(";;") {
+            issues.push(CheckIssue {
+                line: i + 1,
+                message: "double semicolon".into(),
+            });
+        }
+        if line.contains("()") {
+            issues.push(CheckIssue {
+                line: i + 1,
+                message: "empty port connection".into(),
+            });
+        }
+    }
+    if modules != endmodules {
+        issues.push(CheckIssue {
+            line: 0,
+            message: format!("{modules} `module`(s) but {endmodules} `endmodule`(s)"),
+        });
+    }
+    if begins != ends {
+        issues.push(CheckIssue {
+            line: 0,
+            message: format!("{begins} `begin`(s) but {ends} `end`(s)"),
+        });
+    }
+    if paren_depth != 0 {
+        issues.push(CheckIssue {
+            line: 0,
+            message: format!("unbalanced parentheses (depth {paren_depth} at end of file)"),
+        });
+    }
+    issues
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(idx) => &line[..idx],
+        None => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_module_passes() {
+        let sv = "module x (\n  input logic a\n);\n  assign b = a;\nendmodule\n";
+        assert!(check_verilog(sv).is_empty());
+    }
+
+    #[test]
+    fn detects_missing_endmodule() {
+        let sv = "module x (\n  input logic a\n);\n";
+        let issues = check_verilog(sv);
+        assert!(issues.iter().any(|i| i.message.contains("endmodule")));
+    }
+
+    #[test]
+    fn detects_unbalanced_begin_end() {
+        let sv = "module x (\n);\n  always_ff @(posedge clk) begin\n    a <= b;\nendmodule\n";
+        let issues = check_verilog(sv);
+        assert!(issues.iter().any(|i| i.message.contains("begin")));
+    }
+
+    #[test]
+    fn comments_do_not_confuse_paren_count() {
+        let sv = "module x (\n  input logic a // note ) stray\n);\nendmodule\n";
+        assert!(check_verilog(sv).is_empty());
+    }
+
+    #[test]
+    fn detects_double_semicolon_and_empty_connection() {
+        let issues = check_verilog("assign x = y;;\n  .clk ()\n");
+        assert!(issues.iter().any(|i| i.message.contains("semicolon")));
+        assert!(issues.iter().any(|i| i.message.contains("empty port")));
+    }
+
+    #[test]
+    fn word_matching_ignores_identifiers_containing_keywords() {
+        // `endmodule_x` and `beginner` are identifiers, not keywords.
+        let sv = "module x (\n);\n  logic endmodule_x;\n  logic beginner;\nendmodule\n";
+        assert!(check_verilog(sv).is_empty());
+    }
+}

@@ -1,0 +1,252 @@
+//! The backend-neutral structural netlist.
+//!
+//! A [`Netlist`] is the contract between the Tydi-IR lowering (which
+//! runs once, expanding typed stream ports into scalar/vector signals
+//! and planning structural wiring) and the per-backend emitters
+//! (which only render). Three module body shapes cover everything the
+//! toolchain generates:
+//!
+//! * **structural** — net declarations, continuous wire-to-wire
+//!   assignments, and instances with explicit port maps;
+//! * **behavioral** — opaque per-backend text blocks produced by the
+//!   builtin registry ("too elementary to be described as instances
+//!   and connections", paper §IV-C);
+//! * **black-box** — interface only, body supplied by an external
+//!   tool.
+//!
+//! Comments are first-class items (not embedded `-- ` text) so each
+//! emitter can render them with its own comment leader; the lowering
+//! simply omits them when comments are disabled.
+
+use crate::names::Backend;
+use std::collections::BTreeMap;
+
+/// Direction of a module port, from the module's own perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortDir {
+    /// Driven from outside.
+    In,
+    /// Driven by this module.
+    Out,
+}
+
+/// One scalar (`width == 1`) or vector port of a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModulePort {
+    /// Legalized signal name.
+    pub name: String,
+    /// Port direction.
+    pub dir: PortDir,
+    /// Width in bits; 1 renders as a scalar type.
+    pub width: u32,
+}
+
+/// An entry of a module's port list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortItem {
+    /// A comment line (without comment leader).
+    Comment(String),
+    /// A port declaration.
+    Port(ModulePort),
+}
+
+/// One internal net (signal/wire) declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetDecl {
+    /// Legalized net name.
+    pub name: String,
+    /// Width in bits; 1 renders as a scalar type.
+    pub width: u32,
+}
+
+/// An entry of a structural body's declaration section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetItem {
+    /// A comment line (without comment leader).
+    Comment(String),
+    /// A net declaration.
+    Net(NetDecl),
+}
+
+/// An entry of a structural body's concurrent-assignment section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssignItem {
+    /// A comment line (without comment leader).
+    Comment(String),
+    /// A continuous assignment `target <= source` / `assign target =
+    /// source`. Both sides are plain signal names; expression-level
+    /// logic belongs in behavioral bodies.
+    Assign {
+        /// Driven signal.
+        target: String,
+        /// Driving signal.
+        source: String,
+    },
+}
+
+/// One instantiation of another module of the same netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// Legalized instance label.
+    pub label: String,
+    /// Emitted name of the instantiated module.
+    pub module: String,
+    /// `(formal, actual)` pairs, in declaration order of the child's
+    /// ports (clocks first).
+    pub port_map: Vec<(String, String)>,
+}
+
+/// An opaque behavioral body for one backend: text produced by a
+/// builtin generator, already indented, newline-terminated, and using
+/// that backend's syntax.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BehavioralBody {
+    /// Declarations (signals, constants) preceding the statement part.
+    pub decls: String,
+    /// Concurrent statements and processes.
+    pub stmts: String,
+}
+
+/// The body of a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModuleBody {
+    /// Nets, continuous assignments, and child instances.
+    Structural {
+        /// Net declarations, interleaved with comments.
+        nets: Vec<NetItem>,
+        /// Wire-to-wire assignments, interleaved with comments.
+        assigns: Vec<AssignItem>,
+        /// Child instantiations, in order.
+        instances: Vec<Instance>,
+    },
+    /// Per-backend opaque text blocks. An emitter whose backend has no
+    /// entry reports [`crate::emit::EmitError::MissingBody`].
+    Behavioral {
+        /// One body per backend that has a registered generator.
+        bodies: BTreeMap<Backend, BehavioralBody>,
+    },
+    /// Interface only; the body is supplied by an external tool.
+    BlackBox {
+        /// Explanatory comment lines (without comment leader).
+        comments: Vec<String>,
+    },
+}
+
+/// One RTL module: the unit of emission (one file per module).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Legalized, netlist-unique module name.
+    pub name: String,
+    /// Header comment lines (without comment leader), e.g. the source
+    /// implementation name and its doc comment.
+    pub header: Vec<String>,
+    /// The port list, comments interleaved.
+    pub ports: Vec<PortItem>,
+    /// The body.
+    pub body: ModuleBody,
+}
+
+impl Module {
+    /// The declared (non-comment) ports.
+    pub fn port_decls(&self) -> impl Iterator<Item = &ModulePort> {
+        self.ports.iter().filter_map(|item| match item {
+            PortItem::Port(p) => Some(p),
+            PortItem::Comment(_) => None,
+        })
+    }
+}
+
+/// A whole design: modules in definition order (children before the
+/// parents that instantiate them, matching Tydi-IR project order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    /// Project name, for generated-file headers.
+    pub name: String,
+    /// Whether explanatory comments were collected during lowering
+    /// (emitters use this to gate their own header lines).
+    pub emit_comments: bool,
+    /// The modules.
+    pub modules: Vec<Module>,
+}
+
+impl Netlist {
+    /// An empty netlist.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            emit_comments: true,
+            modules: Vec::new(),
+        }
+    }
+
+    /// Looks up a module by emitted name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+
+    /// Total number of net declarations across all structural bodies
+    /// (a size proxy used by benchmarks).
+    pub fn net_count(&self) -> usize {
+        self.modules
+            .iter()
+            .map(|m| match &m.body {
+                ModuleBody::Structural { nets, .. } => {
+                    nets.iter().filter(|n| matches!(n, NetItem::Net(_))).count()
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Netlist {
+        let mut n = Netlist::new("p");
+        n.modules.push(Module {
+            name: "leaf".into(),
+            header: vec![],
+            ports: vec![
+                PortItem::Comment("port i".into()),
+                PortItem::Port(ModulePort {
+                    name: "i_data".into(),
+                    dir: PortDir::In,
+                    width: 8,
+                }),
+            ],
+            body: ModuleBody::BlackBox { comments: vec![] },
+        });
+        n.modules.push(Module {
+            name: "top".into(),
+            header: vec![],
+            ports: vec![],
+            body: ModuleBody::Structural {
+                nets: vec![
+                    NetItem::Comment("c".into()),
+                    NetItem::Net(NetDecl {
+                        name: "n0".into(),
+                        width: 1,
+                    }),
+                ],
+                assigns: vec![],
+                instances: vec![],
+            },
+        });
+        n
+    }
+
+    #[test]
+    fn module_lookup_and_port_decls() {
+        let n = sample();
+        let leaf = n.module("leaf").unwrap();
+        assert_eq!(leaf.port_decls().count(), 1);
+        assert!(n.module("ghost").is_none());
+    }
+
+    #[test]
+    fn net_count_skips_comments() {
+        assert_eq!(sample().net_count(), 1);
+    }
+}

@@ -48,18 +48,18 @@ pub fn register_builtins(registry: &BuiltinRegistry) {
 // ---- shared helpers -----------------------------------------------------
 
 /// The data width of a port's root physical stream.
-fn data_width(port: &Port) -> Result<u32, String> {
+pub(crate) fn data_width(port: &Port) -> Result<u32, String> {
     let phys = lower(&port.ty).map_err(|e| e.to_string())?;
     Ok(phys[0].signals().data_bits)
 }
 
 /// The `last` width (dimension) of a port's root physical stream.
-fn last_width(port: &Port) -> Result<u32, String> {
+pub(crate) fn last_width(port: &Port) -> Result<u32, String> {
     let phys = lower(&port.ty).map_err(|e| e.to_string())?;
     Ok(phys[0].signals().last_bits)
 }
 
-fn port<'a>(ctx: &'a BuiltinCtx<'_>, name: &str) -> Result<&'a Port, String> {
+pub(crate) fn port<'a>(ctx: &'a BuiltinCtx<'_>, name: &str) -> Result<&'a Port, String> {
     ctx.streamlet
         .port(name)
         .ok_or_else(|| format!("missing port `{name}`"))
@@ -93,7 +93,7 @@ fn const_literal(value: i64, width: u32) -> String {
     }
 }
 
-fn int_param(ctx: &BuiltinCtx<'_>, name: &str) -> Result<i64, String> {
+pub(crate) fn int_param(ctx: &BuiltinCtx<'_>, name: &str) -> Result<i64, String> {
     ctx.param(name)
         .ok_or_else(|| format!("missing template parameter `{name}`"))?
         .parse::<i64>()
@@ -463,7 +463,7 @@ fn gen_const(ctx: &BuiltinCtx<'_>) -> Result<ArchBody, String> {
 
 /// The widths of the first two Group fields of a port's stream
 /// element.
-fn group2_field_widths(p: &Port) -> Result<(u32, u32), String> {
+pub(crate) fn group2_field_widths(p: &Port) -> Result<(u32, u32), String> {
     let tydi_spec::LogicalType::Stream { element, .. } = &*p.ty else {
         return Err(format!("port `{}` is not a stream", p.name));
     };

@@ -27,16 +27,20 @@
 #![warn(missing_docs)]
 
 pub mod builtins;
+pub mod builtins_sv;
 pub mod source;
 
 pub use builtins::register_builtins;
+pub use builtins_sv::register_builtins_sv;
 pub use source::{stdlib_loc, stdlib_source, with_stdlib, STDLIB_FILE_NAME};
 
 /// Builds a [`tydi_vhdl::BuiltinRegistry`] preloaded with the core
-/// handshake builtins *and* every standard-library generator.
+/// handshake builtins *and* every standard-library generator, for
+/// every backend (VHDL and SystemVerilog bodies alike).
 pub fn full_registry() -> tydi_vhdl::BuiltinRegistry {
     let registry = tydi_vhdl::BuiltinRegistry::with_core();
     register_builtins(&registry);
+    register_builtins_sv(&registry);
     registry
 }
 

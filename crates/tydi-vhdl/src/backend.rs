@@ -1,20 +1,20 @@
-//! Project-level VHDL generation.
+//! Project-level RTL generation.
 //!
-//! Each Tydi-IR implementation becomes one VHDL design unit: an entity
-//! whose ports are the expanded physical-stream signals of its
-//! streamlet, plus an architecture. Normal implementations get a
-//! structural architecture (direct entity instantiation, one signal
-//! bundle per connection); external implementations get either a
-//! behavioral architecture from the builtin registry or a black-box
-//! stub.
+//! Tydi-IR is lowered **once** to the backend-neutral netlist
+//! ([`crate::lower::lower_project`]) and then rendered by a
+//! [`tydi_rtl::Emitter`]; [`generate_project`] is the historic VHDL
+//! entry point, [`generate_project_for`] selects any backend. Each
+//! Tydi-IR implementation becomes one design unit: normal
+//! implementations get structural bodies (direct instantiation, one
+//! signal bundle per connection); external implementations get either
+//! a behavioral body from the builtin registry or a black-box stub.
 
-use crate::builtin::{BuiltinCtx, BuiltinRegistry};
+use crate::builtin::BuiltinRegistry;
 use crate::error::VhdlError;
-use crate::names::{sanitize, NameAllocator};
-use crate::signals::{clock_signals, expand_port, expand_port_as, PortMode, VhdlSignal};
-use std::collections::HashMap;
+use crate::lower::lower_project;
 use std::fmt::Write as _;
-use tydi_ir::{Connection, EndpointRef, ImplKind, Implementation, Project, Streamlet};
+use tydi_ir::Project;
+use tydi_rtl::{emitter_for, Backend};
 
 /// Code generation options.
 #[derive(Debug, Clone)]
@@ -35,14 +35,8 @@ impl Default for VhdlOptions {
     }
 }
 
-/// One generated VHDL file.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct VhdlFile {
-    /// Suggested file name, e.g. `top_i.vhd`.
-    pub name: String,
-    /// File contents.
-    pub contents: String,
-}
+/// One generated source file (any backend).
+pub type VhdlFile = tydi_rtl::EmittedFile;
 
 /// Generates one VHDL file per implementation, in definition order.
 pub fn generate_project(
@@ -50,366 +44,61 @@ pub fn generate_project(
     registry: &BuiltinRegistry,
     options: &VhdlOptions,
 ) -> Result<Vec<VhdlFile>, VhdlError> {
-    if options.validate {
-        project.validate().map_err(VhdlError::InvalidProject)?;
-    }
-    // Allocate stable, unique entity names for every implementation.
-    let mut allocator = NameAllocator::new();
-    let mut entity_names: HashMap<&str, String> = HashMap::new();
-    for implementation in project.implementations() {
-        entity_names.insert(
-            implementation.name.as_str(),
-            allocator.allocate(&implementation.name),
-        );
-    }
-
-    let mut files = Vec::with_capacity(project.implementations().len());
-    for implementation in project.implementations() {
-        let streamlet = project
-            .streamlet(&implementation.streamlet)
-            .ok_or_else(|| {
-                VhdlError::Inconsistent(format!(
-                    "implementation `{}` references missing streamlet `{}`",
-                    implementation.name, implementation.streamlet
-                ))
-            })?;
-        let entity = &entity_names[implementation.name.as_str()];
-        let mut out = String::new();
-        emit_file_header(&mut out, project, implementation, options);
-        emit_entity(&mut out, entity, streamlet, options)?;
-        emit_architecture(
-            &mut out,
-            project,
-            registry,
-            &entity_names,
-            implementation,
-            streamlet,
-            entity,
-            options,
-        )?;
-        files.push(VhdlFile {
-            name: format!("{entity}.vhd"),
-            contents: out,
-        });
-    }
-    Ok(files)
+    generate_project_for(project, registry, options, Backend::Vhdl)
 }
 
-/// Generates the whole project as a single concatenated string.
+/// Generates one file per implementation for any backend: lower once,
+/// then render with that backend's emitter (modules in parallel).
+pub fn generate_project_for(
+    project: &Project,
+    registry: &BuiltinRegistry,
+    options: &VhdlOptions,
+    backend: Backend,
+) -> Result<Vec<VhdlFile>, VhdlError> {
+    let netlist = lower_project(project, registry, options)?;
+    Ok(emitter_for(backend).emit_netlist(&netlist)?)
+}
+
+/// Concatenates generated files into one string, each prefixed with a
+/// `<comment> file: <name>` banner so piped output stays splittable.
+pub fn files_to_string(files: &[VhdlFile], backend: Backend) -> String {
+    let mut out = String::new();
+    for f in files {
+        let _ = writeln!(out, "{} file: {}", backend.comment_prefix(), f.name);
+        out.push_str(&f.contents);
+        out.push('\n');
+    }
+    out
+}
+
+/// Generates the whole project as a single concatenated VHDL string,
+/// one `-- file: <name>` banner per generated file.
 pub fn generate_to_string(
     project: &Project,
     registry: &BuiltinRegistry,
     options: &VhdlOptions,
 ) -> Result<String, VhdlError> {
-    let files = generate_project(project, registry, options)?;
-    let mut out = String::new();
-    for f in files {
-        out.push_str(&f.contents);
-        out.push('\n');
-    }
-    Ok(out)
+    generate_to_string_for(project, registry, options, Backend::Vhdl)
 }
 
-fn emit_file_header(
-    out: &mut String,
-    project: &Project,
-    implementation: &Implementation,
-    options: &VhdlOptions,
-) {
-    if options.emit_comments {
-        let _ = writeln!(
-            out,
-            "-- Generated by tydi-vhdl from project `{}`.",
-            project.name
-        );
-        let _ = writeln!(out, "-- Implementation: {}", implementation.name);
-        if !implementation.doc.is_empty() {
-            for line in implementation.doc.lines() {
-                let _ = writeln!(out, "-- {line}");
-            }
-        }
-    }
-    let _ = writeln!(out, "library ieee;");
-    let _ = writeln!(out, "use ieee.std_logic_1164.all;");
-    let _ = writeln!(out, "use ieee.numeric_std.all;");
-    let _ = writeln!(out);
-}
-
-fn emit_entity(
-    out: &mut String,
-    entity: &str,
-    streamlet: &Streamlet,
-    options: &VhdlOptions,
-) -> Result<(), VhdlError> {
-    let _ = writeln!(out, "entity {entity} is");
-    let _ = writeln!(out, "  port (");
-    let mut lines: Vec<String> = Vec::new();
-    for (_, clk, rst) in clock_signals(streamlet) {
-        lines.push(format!("    {clk} : in std_logic"));
-        lines.push(format!("    {rst} : in std_logic"));
-    }
-    for port in &streamlet.ports {
-        if options.emit_comments {
-            lines.push(format!("    -- port {} : {}", port.name, port.ty));
-        }
-        for sig in expand_port(port)? {
-            lines.push(format!(
-                "    {} : {} {}",
-                sig.name,
-                sig.mode.keyword(),
-                sig.vhdl_type()
-            ));
-        }
-    }
-    // Join with `;` on declaration lines only (comments pass through).
-    let decl_count = lines
-        .iter()
-        .filter(|l| !l.trim_start().starts_with("--"))
-        .count();
-    let mut seen_decls = 0;
-    for line in &lines {
-        if line.trim_start().starts_with("--") {
-            let _ = writeln!(out, "{line}");
-        } else {
-            seen_decls += 1;
-            let sep = if seen_decls < decl_count { ";" } else { "" };
-            let _ = writeln!(out, "{line}{sep}");
-        }
-    }
-    let _ = writeln!(out, "  );");
-    let _ = writeln!(out, "end entity {entity};");
-    let _ = writeln!(out);
-    Ok(())
-}
-
-#[allow(clippy::too_many_arguments)]
-fn emit_architecture(
-    out: &mut String,
+/// Generates the whole project as a single concatenated string for
+/// any backend, with per-file banners.
+pub fn generate_to_string_for(
     project: &Project,
     registry: &BuiltinRegistry,
-    entity_names: &HashMap<&str, String>,
-    implementation: &Implementation,
-    streamlet: &Streamlet,
-    entity: &str,
     options: &VhdlOptions,
-) -> Result<(), VhdlError> {
-    match &implementation.kind {
-        ImplKind::External {
-            builtin,
-            sim_source,
-        } => match builtin {
-            Some(key) => {
-                let ctx = BuiltinCtx {
-                    project,
-                    streamlet,
-                    implementation,
-                };
-                let body = registry.generate(key, &ctx)?;
-                let _ = writeln!(out, "architecture rtl of {entity} is");
-                out.push_str(&body.decls);
-                let _ = writeln!(out, "begin");
-                out.push_str(&body.stmts);
-                let _ = writeln!(out, "end architecture rtl;");
-            }
-            None => {
-                let _ = writeln!(out, "architecture black_box of {entity} is");
-                let _ = writeln!(out, "begin");
-                if options.emit_comments {
-                    let _ = writeln!(
-                        out,
-                        "  -- External implementation: body supplied by an external tool."
-                    );
-                    if sim_source.is_some() {
-                        let _ = writeln!(
-                            out,
-                            "  -- Behaviour is specified by Tydi-lang simulation code."
-                        );
-                    }
-                }
-                let _ = writeln!(out, "end architecture black_box;");
-            }
-        },
-        ImplKind::Normal {
-            instances,
-            connections,
-        } => {
-            // Net prefix for every endpoint, per the exactly-once DRC.
-            let mut nets: HashMap<&EndpointRef, String> = HashMap::new();
-            let mut decls = String::new();
-            let mut assigns = String::new();
-            for (index, connection) in connections.iter().enumerate() {
-                plan_connection(
-                    project,
-                    implementation,
-                    streamlet,
-                    index,
-                    connection,
-                    &mut nets,
-                    &mut decls,
-                    &mut assigns,
-                    options,
-                )?;
-            }
-
-            let _ = writeln!(out, "architecture structural of {entity} is");
-            out.push_str(&decls);
-            let _ = writeln!(out, "begin");
-            out.push_str(&assigns);
-            for instance in instances {
-                let child_impl = project.implementation(&instance.impl_name).ok_or_else(|| {
-                    VhdlError::Inconsistent(format!(
-                        "instance `{}` references missing implementation `{}`",
-                        instance.name, instance.impl_name
-                    ))
-                })?;
-                let child_streamlet =
-                    project.streamlet(&child_impl.streamlet).ok_or_else(|| {
-                        VhdlError::Inconsistent(format!(
-                            "implementation `{}` references missing streamlet `{}`",
-                            child_impl.name, child_impl.streamlet
-                        ))
-                    })?;
-                let child_entity = entity_names
-                    .get(instance.impl_name.as_str())
-                    .cloned()
-                    .unwrap_or_else(|| sanitize(&instance.impl_name));
-                let label = sanitize(&format!("u_{}", instance.name));
-                let _ = writeln!(out, "  {label} : entity work.{child_entity}");
-                let _ = writeln!(out, "    port map (");
-                let mut maps: Vec<String> = Vec::new();
-                let parent_clocks = clock_signals(streamlet);
-                for (domain, clk, rst) in clock_signals(child_streamlet) {
-                    let (pclk, prst) = parent_clocks
-                        .iter()
-                        .find(|(d, _, _)| *d == domain)
-                        .map(|(_, c, r)| (c.clone(), r.clone()))
-                        .unwrap_or_else(|| ("clk".to_string(), "rst".to_string()));
-                    maps.push(format!("      {clk} => {pclk}"));
-                    maps.push(format!("      {rst} => {prst}"));
-                }
-                for port in &child_streamlet.ports {
-                    let endpoint = EndpointRef::instance(instance.name.clone(), port.name.clone());
-                    let net = nets.get(&endpoint).cloned().ok_or_else(|| {
-                        VhdlError::Inconsistent(format!(
-                            "no net planned for endpoint `{endpoint}` (port usage DRC should have caught this)"
-                        ))
-                    })?;
-                    let child_sigs = expand_port(port)?;
-                    let net_sigs = expand_port_as(port, &net)?;
-                    for (child, netsig) in child_sigs.iter().zip(net_sigs.iter()) {
-                        maps.push(format!("      {} => {}", child.name, netsig.name));
-                    }
-                }
-                let _ = writeln!(out, "{}", maps.join(",\n"));
-                let _ = writeln!(out, "    );");
-            }
-            let _ = writeln!(out, "end architecture structural;");
-        }
-    }
-    let _ = writeln!(out);
-    Ok(())
-}
-
-/// Decides the net name for one connection, emitting intermediate
-/// signal declarations and own-to-own assignments as needed.
-#[allow(clippy::too_many_arguments)]
-fn plan_connection<'c>(
-    project: &Project,
-    implementation: &Implementation,
-    streamlet: &Streamlet,
-    index: usize,
-    connection: &'c Connection,
-    nets: &mut HashMap<&'c EndpointRef, String>,
-    decls: &mut String,
-    assigns: &mut String,
-    options: &VhdlOptions,
-) -> Result<(), VhdlError> {
-    let src_own = connection.source.instance.is_none();
-    let sink_own = connection.sink.instance.is_none();
-    match (src_own, sink_own) {
-        (true, true) => {
-            // Feed-through: direct concurrent assignments.
-            let src_port = streamlet.port(&connection.source.port).ok_or_else(|| {
-                VhdlError::Inconsistent(format!("missing port `{}`", connection.source.port))
-            })?;
-            let sink_port = streamlet.port(&connection.sink.port).ok_or_else(|| {
-                VhdlError::Inconsistent(format!("missing port `{}`", connection.sink.port))
-            })?;
-            if options.emit_comments {
-                let _ = writeln!(assigns, "  -- {}", connection.describe());
-            }
-            let src_sigs = expand_port(src_port)?;
-            let sink_sigs = expand_port(sink_port)?;
-            for (si, so) in src_sigs.iter().zip(sink_sigs.iter()) {
-                match si.mode {
-                    PortMode::In => {
-                        let _ = writeln!(assigns, "  {} <= {};", so.name, si.name);
-                    }
-                    PortMode::Out => {
-                        let _ = writeln!(assigns, "  {} <= {};", si.name, so.name);
-                    }
-                }
-            }
-        }
-        (true, false) => {
-            nets.insert(&connection.sink, connection.source.port.clone());
-        }
-        (false, true) => {
-            nets.insert(&connection.source, connection.sink.port.clone());
-        }
-        (false, false) => {
-            let src_port = instance_port(project, implementation, &connection.source)?;
-            let net = sanitize(&format!(
-                "n{index}_{}_{}",
-                connection.source.instance.as_deref().unwrap_or(""),
-                connection.source.port
-            ));
-            if options.emit_comments {
-                let _ = writeln!(decls, "  -- {}", connection.describe());
-            }
-            for sig in net_signals(src_port, &net)? {
-                let _ = writeln!(decls, "  signal {} : {};", sig.name, sig.vhdl_type());
-            }
-            nets.insert(&connection.source, net.clone());
-            nets.insert(&connection.sink, net);
-        }
-    }
-    Ok(())
-}
-
-fn instance_port<'p>(
-    project: &'p Project,
-    implementation: &Implementation,
-    endpoint: &EndpointRef,
-) -> Result<&'p tydi_ir::Port, VhdlError> {
-    let instance_name = endpoint
-        .instance
-        .as_deref()
-        .ok_or_else(|| VhdlError::Inconsistent("expected an instance endpoint".to_string()))?;
-    let instance = implementation
-        .instances()
-        .iter()
-        .find(|i| i.name == instance_name)
-        .ok_or_else(|| VhdlError::Inconsistent(format!("missing instance `{instance_name}`")))?;
-    let streamlet = project.streamlet_of(&instance.impl_name).ok_or_else(|| {
-        VhdlError::Inconsistent(format!(
-            "missing streamlet for implementation `{}`",
-            instance.impl_name
-        ))
-    })?;
-    streamlet
-        .port(&endpoint.port)
-        .ok_or_else(|| VhdlError::Inconsistent(format!("missing port `{}`", endpoint.port)))
-}
-
-fn net_signals(port: &tydi_ir::Port, net: &str) -> Result<Vec<VhdlSignal>, VhdlError> {
-    expand_port_as(port, net)
+    backend: Backend,
+) -> Result<String, VhdlError> {
+    let files = generate_project_for(project, registry, options, backend)?;
+    Ok(files_to_string(&files, backend))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tydi_ir::{Instance, Port, PortDirection};
+    use tydi_ir::{
+        Connection, EndpointRef, Implementation, Instance, Port, PortDirection, Streamlet,
+    };
     use tydi_spec::{LogicalType, StreamParams};
 
     fn stream8() -> LogicalType {
@@ -502,6 +191,31 @@ mod tests {
     }
 
     #[test]
+    fn verilog_backend_emits_modules_from_the_same_lowering() {
+        let p = chain_project();
+        let files = generate_project_for(
+            &p,
+            &BuiltinRegistry::with_core(),
+            &VhdlOptions::default(),
+            Backend::SystemVerilog,
+        )
+        .unwrap();
+        assert_eq!(files.len(), 2);
+        assert_eq!(files[0].name, "leaf_i.sv");
+        assert_eq!(files[1].name, "top_i.sv");
+        let leaf = &files[0].contents;
+        assert!(leaf.contains("module leaf_i ("));
+        assert!(leaf.contains("assign o_data = i_data;"));
+        let top = &files[1].contents;
+        assert!(top.contains("logic n1_a_o_valid;"));
+        assert!(top.contains("logic [7:0] n1_a_o_data;"));
+        assert!(top.contains("leaf_i u_a ("));
+        assert!(top.contains(".o_valid (n1_a_o_valid)"));
+        assert!(top.contains(".i_valid (n1_a_o_valid)"));
+        assert!(tydi_rtl::check::check_verilog(top).is_empty());
+    }
+
+    #[test]
     fn feed_through_connection_assigns_directly() {
         let mut p = Project::new("wire");
         p.add_streamlet(
@@ -555,6 +269,24 @@ mod tests {
     }
 
     #[test]
+    fn to_string_banners_every_file() {
+        let p = chain_project();
+        let text =
+            generate_to_string(&p, &BuiltinRegistry::with_core(), &VhdlOptions::default()).unwrap();
+        assert!(text.contains("-- file: leaf_i.vhd\n"));
+        assert!(text.contains("-- file: top_i.vhd\n"));
+        let sv = generate_to_string_for(
+            &p,
+            &BuiltinRegistry::with_core(),
+            &VhdlOptions::default(),
+            Backend::SystemVerilog,
+        )
+        .unwrap();
+        assert!(sv.contains("// file: leaf_i.sv\n"));
+        assert!(sv.contains("// file: top_i.sv\n"));
+    }
+
+    #[test]
     fn comments_can_be_disabled() {
         let p = chain_project();
         let opts = VhdlOptions {
@@ -562,6 +294,13 @@ mod tests {
             validate: true,
         };
         let text = generate_to_string(&p, &BuiltinRegistry::with_core(), &opts).unwrap();
-        assert!(!text.contains("--"));
+        // Only the `-- file:` banners remain; the generated code
+        // itself carries no comments.
+        for line in text.lines() {
+            if line.trim_start().starts_with("--") {
+                assert!(line.starts_with("-- file: "), "unexpected comment: {line}");
+            }
+        }
+        assert!(text.contains("-- file: leaf_i.vhd"));
     }
 }

@@ -4,9 +4,18 @@
 //! instances and connections", so their RTL is produced by a hard-coded
 //! generation process (paper §IV-C). This module provides the registry
 //! that maps a builtin key (such as `std.duplicator`) to a generator
-//! function, plus the handshake-layer generators the compiler itself
-//! depends on. `tydi-stdlib` registers the data-processing generators
-//! (arithmetic, comparison, filtering, ...) on top.
+//! function *per backend*, plus the handshake-layer generators the
+//! compiler itself depends on. `tydi-stdlib` registers the
+//! data-processing generators (arithmetic, comparison, filtering, ...)
+//! on top.
+//!
+//! A generator produces the opaque behavioral body the netlist carries
+//! for its backend ([`ArchBody`]: declarations + statements, in that
+//! backend's syntax). [`BuiltinRegistry::register`] keeps its historic
+//! meaning — register for VHDL — while
+//! [`BuiltinRegistry::register_for`] targets any backend; the lowering
+//! collects one body per registered backend so a single netlist can be
+//! rendered by every emitter.
 
 use crate::error::VhdlError;
 use crate::signals::{expand_port, PortMode, VhdlSignal};
@@ -14,6 +23,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::{Arc, RwLock};
 use tydi_ir::{Implementation, Port, PortDirection, Project, Streamlet};
+use tydi_rtl::Backend;
 
 /// Everything a generator may inspect.
 pub struct BuiltinCtx<'a> {
@@ -54,9 +64,11 @@ impl BuiltinCtx<'_> {
     }
 }
 
-/// The architecture body a generator produces: declarations go between
-/// `architecture ... is` and `begin`; statements between `begin` and
-/// `end architecture`.
+/// The behavioral body a generator produces, in its backend's syntax.
+/// For VHDL, declarations go between `architecture ... is` and
+/// `begin`, statements between `begin` and `end architecture`; for
+/// SystemVerilog both sections land inside the `module` body,
+/// declarations first.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ArchBody {
     /// Signal/constant declarations.
@@ -65,13 +77,23 @@ pub struct ArchBody {
     pub stmts: String,
 }
 
+impl From<ArchBody> for tydi_rtl::netlist::BehavioralBody {
+    fn from(body: ArchBody) -> Self {
+        tydi_rtl::netlist::BehavioralBody {
+            decls: body.decls,
+            stmts: body.stmts,
+        }
+    }
+}
+
 /// A builtin generator function.
 pub type BuiltinFn = Arc<dyn Fn(&BuiltinCtx<'_>) -> Result<ArchBody, String> + Send + Sync>;
 
-/// Thread-safe registry of builtin generators.
+/// Thread-safe registry of builtin generators, keyed by `(backend,
+/// key)`.
 #[derive(Clone, Default)]
 pub struct BuiltinRegistry {
-    map: Arc<RwLock<HashMap<String, BuiltinFn>>>,
+    map: Arc<RwLock<HashMap<(Backend, String), BuiltinFn>>>,
 }
 
 impl std::fmt::Debug for BuiltinRegistry {
@@ -90,56 +112,103 @@ impl BuiltinRegistry {
     }
 
     /// A registry preloaded with the handshake-layer builtins the
-    /// compiler's sugaring passes depend on: `std.passthrough`,
-    /// `std.duplicator` and `std.voider`.
+    /// compiler's sugaring passes depend on — `std.passthrough`,
+    /// `std.duplicator` and `std.voider` — for every backend.
     pub fn with_core() -> Self {
         let reg = BuiltinRegistry::new();
         reg.register("std.passthrough", gen_passthrough);
         reg.register("std.duplicator", gen_duplicator);
         reg.register("std.voider", gen_voider);
+        reg.register_for(
+            Backend::SystemVerilog,
+            "std.passthrough",
+            gen_passthrough_sv,
+        );
+        reg.register_for(Backend::SystemVerilog, "std.duplicator", gen_duplicator_sv);
+        reg.register_for(Backend::SystemVerilog, "std.voider", gen_voider_sv);
         reg
     }
 
-    /// Registers (or replaces) a generator under `key`.
+    /// Registers (or replaces) a VHDL generator under `key`.
     pub fn register(
         &self,
+        key: impl Into<String>,
+        generator: impl Fn(&BuiltinCtx<'_>) -> Result<ArchBody, String> + Send + Sync + 'static,
+    ) {
+        self.register_for(Backend::Vhdl, key, generator);
+    }
+
+    /// Registers (or replaces) a generator under `key` for one
+    /// backend.
+    pub fn register_for(
+        &self,
+        backend: Backend,
         key: impl Into<String>,
         generator: impl Fn(&BuiltinCtx<'_>) -> Result<ArchBody, String> + Send + Sync + 'static,
     ) {
         self.map
             .write()
             .expect("builtin registry poisoned")
-            .insert(key.into(), Arc::new(generator));
+            .insert((backend, key.into()), Arc::new(generator));
     }
 
-    /// True if `key` has a registered generator.
+    /// True if `key` has a registered generator for any backend.
     pub fn contains(&self, key: &str) -> bool {
         self.map
             .read()
             .expect("builtin registry poisoned")
-            .contains_key(key)
+            .keys()
+            .any(|(_, k)| k == key)
     }
 
-    /// All registered keys, sorted.
+    /// True if `key` has a generator for `backend`.
+    pub fn contains_for(&self, backend: Backend, key: &str) -> bool {
+        self.map
+            .read()
+            .expect("builtin registry poisoned")
+            .contains_key(&(backend, key.to_string()))
+    }
+
+    /// The backends `key` is registered for, in
+    /// [`Backend::ALL`] order.
+    pub fn backends_for(&self, key: &str) -> Vec<Backend> {
+        Backend::ALL
+            .into_iter()
+            .filter(|b| self.contains_for(*b, key))
+            .collect()
+    }
+
+    /// All registered keys (across backends), sorted and deduplicated.
     pub fn keys(&self) -> Vec<String> {
         let mut v: Vec<String> = self
             .map
             .read()
             .expect("builtin registry poisoned")
             .keys()
-            .cloned()
+            .map(|(_, k)| k.clone())
             .collect();
         v.sort();
+        v.dedup();
         v
     }
 
-    /// Runs the generator for `key`.
+    /// Runs the VHDL generator for `key`.
     pub fn generate(&self, key: &str, ctx: &BuiltinCtx<'_>) -> Result<ArchBody, VhdlError> {
+        self.generate_for(Backend::Vhdl, key, ctx)
+    }
+
+    /// Runs the generator for `key` on one backend.
+    pub fn generate_for(
+        &self,
+        backend: Backend,
+        key: &str,
+        ctx: &BuiltinCtx<'_>,
+    ) -> Result<ArchBody, VhdlError> {
         let generator = self
             .map
             .read()
             .expect("builtin registry poisoned")
-            .get(key)
+            .get(&(backend, key.to_string()))
             .cloned();
         match generator {
             None => Err(VhdlError::UnknownBuiltin {
@@ -169,14 +238,19 @@ fn paired_signals(a: &Port, b: &Port) -> Result<Vec<(VhdlSignal, VhdlSignal)>, S
     Ok(sa.into_iter().zip(sb).collect())
 }
 
-/// `std.passthrough`: forward every signal from the input port to the
-/// output port; `ready` flows backward.
-fn gen_passthrough(ctx: &BuiltinCtx<'_>) -> Result<ArchBody, String> {
+fn one_in_one_out<'a>(ctx: &'a BuiltinCtx<'_>) -> Result<(&'a Port, &'a Port), String> {
     let inputs = ctx.inputs();
     let outputs = ctx.outputs();
-    let (Some(input), Some(output)) = (inputs.first(), outputs.first()) else {
-        return Err("passthrough needs one input and one output port".into());
-    };
+    match (inputs.first(), outputs.first()) {
+        (Some(i), Some(o)) => Ok((i, o)),
+        _ => Err("passthrough needs one input and one output port".into()),
+    }
+}
+
+/// `std.passthrough` (VHDL): forward every signal from the input port
+/// to the output port; `ready` flows backward.
+fn gen_passthrough(ctx: &BuiltinCtx<'_>) -> Result<ArchBody, String> {
+    let (input, output) = one_in_one_out(ctx)?;
     let mut stmts = String::new();
     for (si, so) in paired_signals(input, output)? {
         match si.mode {
@@ -194,9 +268,27 @@ fn gen_passthrough(ctx: &BuiltinCtx<'_>) -> Result<ArchBody, String> {
     })
 }
 
-/// `std.duplicator`: copy the input packet to every output and only
-/// acknowledge the input when *all* outputs acknowledged (paper §IV-C).
-fn gen_duplicator(ctx: &BuiltinCtx<'_>) -> Result<ArchBody, String> {
+/// `std.passthrough` (SystemVerilog).
+fn gen_passthrough_sv(ctx: &BuiltinCtx<'_>) -> Result<ArchBody, String> {
+    let (input, output) = one_in_one_out(ctx)?;
+    let mut stmts = String::new();
+    for (si, so) in paired_signals(input, output)? {
+        match si.mode {
+            PortMode::In => {
+                let _ = writeln!(stmts, "  assign {} = {};", so.name, si.name);
+            }
+            PortMode::Out => {
+                let _ = writeln!(stmts, "  assign {} = {};", si.name, so.name);
+            }
+        }
+    }
+    Ok(ArchBody {
+        decls: String::new(),
+        stmts,
+    })
+}
+
+fn duplicator_io<'a>(ctx: &'a BuiltinCtx<'_>) -> Result<(&'a Port, Vec<&'a Port>), String> {
     let inputs = ctx.inputs();
     let outputs = ctx.outputs();
     let Some(input) = inputs.first() else {
@@ -205,6 +297,14 @@ fn gen_duplicator(ctx: &BuiltinCtx<'_>) -> Result<ArchBody, String> {
     if outputs.is_empty() {
         return Err("duplicator needs at least one output port".into());
     }
+    Ok((input, outputs))
+}
+
+/// `std.duplicator` (VHDL): copy the input packet to every output and
+/// only acknowledge the input when *all* outputs acknowledged (paper
+/// §IV-C).
+fn gen_duplicator(ctx: &BuiltinCtx<'_>) -> Result<ArchBody, String> {
+    let (input, outputs) = duplicator_io(ctx)?;
     let in_sigs = expand_port(input).map_err(|e| e.to_string())?;
     let mut decls = String::new();
     let mut stmts = String::new();
@@ -233,14 +333,60 @@ fn gen_duplicator(ctx: &BuiltinCtx<'_>) -> Result<ArchBody, String> {
     Ok(ArchBody { decls, stmts })
 }
 
-/// `std.voider`: always acknowledge and drop the data (paper §IV-C).
+/// `std.duplicator` (SystemVerilog).
+fn gen_duplicator_sv(ctx: &BuiltinCtx<'_>) -> Result<ArchBody, String> {
+    let (input, outputs) = duplicator_io(ctx)?;
+    let in_sigs = expand_port(input).map_err(|e| e.to_string())?;
+    let mut decls = String::new();
+    let mut stmts = String::new();
+
+    let ready_terms: Vec<String> = outputs
+        .iter()
+        .map(|o| format!("{}_ready", o.name))
+        .collect();
+    let _ = writeln!(decls, "  logic all_ready;");
+    let _ = writeln!(stmts, "  assign all_ready = {};", ready_terms.join(" & "));
+    let _ = writeln!(stmts, "  assign {}_ready = all_ready;", input.name);
+
+    for output in &outputs {
+        let out_sigs = expand_port(output).map_err(|e| e.to_string())?;
+        for (si, so) in in_sigs.iter().zip(out_sigs.iter()) {
+            if si.name.ends_with("_valid") {
+                let _ = writeln!(stmts, "  assign {} = {} & all_ready;", so.name, si.name);
+            } else if si.name.ends_with("_ready") {
+                // Handled via all_ready above.
+            } else {
+                let _ = writeln!(stmts, "  assign {} = {};", so.name, si.name);
+            }
+        }
+    }
+    Ok(ArchBody { decls, stmts })
+}
+
+fn voider_input<'a>(ctx: &'a BuiltinCtx<'_>) -> Result<&'a Port, String> {
+    ctx.inputs()
+        .first()
+        .copied()
+        .ok_or_else(|| "voider needs an input port".into())
+}
+
+/// `std.voider` (VHDL): always acknowledge and drop the data (paper
+/// §IV-C).
 fn gen_voider(ctx: &BuiltinCtx<'_>) -> Result<ArchBody, String> {
-    let inputs = ctx.inputs();
-    let Some(input) = inputs.first() else {
-        return Err("voider needs an input port".into());
-    };
+    let input = voider_input(ctx)?;
     let mut stmts = String::new();
     let _ = writeln!(stmts, "  {}_ready <= '1';", input.name);
+    Ok(ArchBody {
+        decls: String::new(),
+        stmts,
+    })
+}
+
+/// `std.voider` (SystemVerilog).
+fn gen_voider_sv(ctx: &BuiltinCtx<'_>) -> Result<ArchBody, String> {
+    let input = voider_input(ctx)?;
+    let mut stmts = String::new();
+    let _ = writeln!(stmts, "  assign {}_ready = 1'b1;", input.name);
     Ok(ArchBody {
         decls: String::new(),
         stmts,
@@ -280,6 +426,26 @@ mod tests {
     }
 
     #[test]
+    fn core_builtins_cover_every_backend() {
+        let reg = BuiltinRegistry::with_core();
+        for key in ["std.duplicator", "std.passthrough", "std.voider"] {
+            assert_eq!(reg.backends_for(key), Backend::ALL.to_vec(), "{key}");
+        }
+    }
+
+    #[test]
+    fn per_backend_registration_is_independent() {
+        let reg = BuiltinRegistry::new();
+        reg.register_for(Backend::SystemVerilog, "x.only_sv", |_| {
+            Ok(ArchBody::default())
+        });
+        assert!(reg.contains("x.only_sv"));
+        assert!(!reg.contains_for(Backend::Vhdl, "x.only_sv"));
+        assert!(reg.contains_for(Backend::SystemVerilog, "x.only_sv"));
+        assert_eq!(reg.backends_for("x.only_sv"), vec![Backend::SystemVerilog]);
+    }
+
+    #[test]
     fn unknown_builtin_errors() {
         let reg = BuiltinRegistry::new();
         let s = Streamlet::new("s").with_port(Port::new("i", PortDirection::In, stream8()));
@@ -313,6 +479,12 @@ mod tests {
         assert!(body.stmts.contains("o_valid <= i_valid;"));
         assert!(body.stmts.contains("o_data <= i_data;"));
         assert!(body.stmts.contains("i_ready <= o_ready;"));
+        let sv = reg
+            .generate_for(Backend::SystemVerilog, "std.passthrough", &ctx)
+            .unwrap();
+        assert!(sv.stmts.contains("assign o_valid = i_valid;"));
+        assert!(sv.stmts.contains("assign o_data = i_data;"));
+        assert!(sv.stmts.contains("assign i_ready = o_ready;"));
     }
 
     #[test]
@@ -334,6 +506,13 @@ mod tests {
         assert!(body.stmts.contains("i_ready <= all_ready;"));
         assert!(body.stmts.contains("o0_valid <= i_valid and all_ready;"));
         assert!(body.stmts.contains("o1_data <= i_data;"));
+        let sv = reg
+            .generate_for(Backend::SystemVerilog, "std.duplicator", &ctx)
+            .unwrap();
+        assert!(sv.decls.contains("logic all_ready;"));
+        assert!(sv.stmts.contains("assign all_ready = o0_ready & o1_ready;"));
+        assert!(sv.stmts.contains("assign o0_valid = i_valid & all_ready;"));
+        assert!(sv.stmts.contains("assign o1_data = i_data;"));
     }
 
     #[test]
@@ -349,6 +528,10 @@ mod tests {
         };
         let body = reg.generate("std.voider", &ctx).unwrap();
         assert_eq!(body.stmts.trim(), "i_ready <= '1';");
+        let sv = reg
+            .generate_for(Backend::SystemVerilog, "std.voider", &ctx)
+            .unwrap();
+        assert_eq!(sv.stmts.trim(), "assign i_ready = 1'b1;");
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub enum VhdlError {
     /// An IR inconsistency discovered mid-generation (should have been
     /// caught by validation; indicates a pass ordering bug).
     Inconsistent(String),
+    /// The netlist emitter failed (e.g. a builtin registered for one
+    /// backend was rendered by another).
+    Emit(tydi_rtl::EmitError),
 }
 
 impl fmt::Display for VhdlError {
@@ -65,6 +68,7 @@ impl fmt::Display for VhdlError {
             ),
             VhdlError::Spec(e) => write!(f, "{e}"),
             VhdlError::Inconsistent(msg) => write!(f, "internal IR inconsistency: {msg}"),
+            VhdlError::Emit(e) => write!(f, "{e}"),
         }
     }
 }
@@ -74,6 +78,12 @@ impl std::error::Error for VhdlError {}
 impl From<SpecError> for VhdlError {
     fn from(e: SpecError) -> Self {
         VhdlError::Spec(e)
+    }
+}
+
+impl From<tydi_rtl::EmitError> for VhdlError {
+    fn from(e: tydi_rtl::EmitError) -> Self {
+        VhdlError::Emit(e)
     }
 }
 

@@ -1,216 +1,41 @@
-//! VHDL identifier sanitization.
+//! Identifier sanitization (re-exported from [`tydi_rtl::names`]).
 //!
 //! Tydi-lang names (which may contain template mangling such as
-//! `duplicator_i<Stream(Bit(8)),2>`) must map to legal, unique VHDL
-//! basic identifiers: letters, digits and single underscores, starting
-//! with a letter, case-insensitively unique, and not a reserved word.
+//! `duplicator_i<Stream(Bit(8)),2>`) must map to legal, unique HDL
+//! identifiers. Legalization lives in `tydi-rtl` with per-backend
+//! keyword tables; the functions re-exported here are the
+//! backend-*neutral* variants (avoid every backend's keywords,
+//! uniquify case-insensitively) so one legalized name serves the VHDL
+//! and SystemVerilog emitters alike. Backend-specific rules are
+//! available as [`tydi_rtl::names::sanitize_for`] and
+//! [`tydi_rtl::names::NameAllocator::for_backend`].
 
-use std::collections::HashSet;
-
-/// VHDL-93 reserved words (lowercase).
-const RESERVED: &[&str] = &[
-    "abs",
-    "access",
-    "after",
-    "alias",
-    "all",
-    "and",
-    "architecture",
-    "array",
-    "assert",
-    "attribute",
-    "begin",
-    "block",
-    "body",
-    "buffer",
-    "bus",
-    "case",
-    "component",
-    "configuration",
-    "constant",
-    "disconnect",
-    "downto",
-    "else",
-    "elsif",
-    "end",
-    "entity",
-    "exit",
-    "file",
-    "for",
-    "function",
-    "generate",
-    "generic",
-    "group",
-    "guarded",
-    "if",
-    "impure",
-    "in",
-    "inertial",
-    "inout",
-    "is",
-    "label",
-    "library",
-    "linkage",
-    "literal",
-    "loop",
-    "map",
-    "mod",
-    "nand",
-    "new",
-    "next",
-    "nor",
-    "not",
-    "null",
-    "of",
-    "on",
-    "open",
-    "or",
-    "others",
-    "out",
-    "package",
-    "port",
-    "postponed",
-    "procedure",
-    "process",
-    "pure",
-    "range",
-    "record",
-    "register",
-    "reject",
-    "rem",
-    "report",
-    "return",
-    "rol",
-    "ror",
-    "select",
-    "severity",
-    "signal",
-    "shared",
-    "sla",
-    "sll",
-    "sra",
-    "srl",
-    "subtype",
-    "then",
-    "to",
-    "transport",
-    "type",
-    "unaffected",
-    "units",
-    "until",
-    "use",
-    "variable",
-    "wait",
-    "when",
-    "while",
-    "with",
-    "xnor",
-    "xor",
-];
-
-/// Sanitizes an arbitrary string into a legal VHDL basic identifier.
-///
-/// Illegal characters become underscores, runs of underscores collapse,
-/// a leading digit gains a `v` prefix, and reserved words gain a `_v`
-/// suffix. The empty string becomes `"anon"`.
-pub fn sanitize(name: &str) -> String {
-    let mut out = String::with_capacity(name.len());
-    let mut last_underscore = true; // suppress leading underscores
-    for c in name.chars() {
-        if c.is_ascii_alphanumeric() {
-            out.push(c);
-            last_underscore = false;
-        } else if !last_underscore {
-            out.push('_');
-            last_underscore = true;
-        }
-    }
-    while out.ends_with('_') {
-        out.pop();
-    }
-    if out.is_empty() {
-        return "anon".to_string();
-    }
-    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
-        out.insert(0, 'v');
-    }
-    if RESERVED.contains(&out.to_ascii_lowercase().as_str()) {
-        out.push_str("_v");
-    }
-    out
-}
-
-/// Allocates unique sanitized identifiers, case-insensitively.
-#[derive(Debug, Default)]
-pub struct NameAllocator {
-    taken: HashSet<String>,
-}
-
-impl NameAllocator {
-    /// Creates an empty allocator.
-    pub fn new() -> Self {
-        NameAllocator::default()
-    }
-
-    /// Returns a sanitized identifier for `name`, appending `_2`, `_3`
-    /// ... on collision.
-    pub fn allocate(&mut self, name: &str) -> String {
-        let base = sanitize(name);
-        let mut candidate = base.clone();
-        let mut counter = 1u32;
-        while !self.taken.insert(candidate.to_ascii_lowercase()) {
-            counter += 1;
-            candidate = format!("{base}_{counter}");
-        }
-        candidate
-    }
-}
+pub use tydi_rtl::names::{sanitize, NameAllocator};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    // The historic VHDL-facing behaviour, pinned: the neutral rules
+    // are a superset of VHDL's, so existing callers see no change for
+    // VHDL-reserved or structurally illegal names.
     #[test]
-    fn passes_legal_names_through() {
-        assert_eq!(sanitize("adder_32"), "adder_32");
-        assert_eq!(sanitize("TopLevel"), "TopLevel");
-    }
-
-    #[test]
-    fn replaces_illegal_characters() {
-        assert_eq!(
-            sanitize("duplicator_i<Stream(Bit(8)),2>"),
-            "duplicator_i_Stream_Bit_8_2"
-        );
-        assert_eq!(sanitize("a..b"), "a_b");
-    }
-
-    #[test]
-    fn collapses_underscores_and_trims() {
-        assert_eq!(sanitize("__a__b__"), "a_b");
-        assert_eq!(sanitize("a---b"), "a_b");
-    }
-
-    #[test]
-    fn fixes_leading_digit() {
-        assert_eq!(sanitize("8bit"), "v8bit");
-    }
-
-    #[test]
-    fn avoids_reserved_words() {
+    fn vhdl_reserved_words_still_suffixed() {
         assert_eq!(sanitize("signal"), "signal_v");
         assert_eq!(sanitize("Entity"), "Entity_v");
         assert_eq!(sanitize("out"), "out_v");
     }
 
     #[test]
-    fn empty_becomes_anon() {
-        assert_eq!(sanitize(""), "anon");
-        assert_eq!(sanitize("<>"), "anon");
+    fn template_mangling_still_flattened() {
+        assert_eq!(
+            sanitize("duplicator_i<Stream(Bit(8)),2>"),
+            "duplicator_i_Stream_Bit_8_2"
+        );
     }
 
     #[test]
-    fn allocator_uniquifies_case_insensitively() {
+    fn allocator_still_uniquifies_case_insensitively() {
         let mut a = NameAllocator::new();
         assert_eq!(a.allocate("x"), "x");
         assert_eq!(a.allocate("X"), "X_2");

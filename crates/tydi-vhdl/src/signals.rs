@@ -52,14 +52,7 @@ impl VhdlSignal {
     }
 }
 
-/// Renders a bit width as a VHDL type.
-pub fn vhdl_type(width: u32) -> String {
-    if width == 1 {
-        "std_logic".to_string()
-    } else {
-        format!("std_logic_vector({} downto 0)", width - 1)
-    }
-}
+pub use tydi_rtl::vhdl::vhdl_type;
 
 /// Joins non-empty name fragments with underscores.
 pub fn join_name(parts: &[&str]) -> String {

@@ -2,16 +2,16 @@
 //!
 //! ```text
 //! tydic check   <file.td>...                 parse + elaborate + DRC
-//! tydic compile <file.td>... [options]       emit Tydi-IR or VHDL
+//! tydic compile <file.td>... [options]       emit Tydi-IR, VHDL or Verilog
 //! tydic sim     <file.td>... --top <impl>    batch-simulate scenarios
 //! tydic --help | --version
 //!
 //! options:
-//!   --emit ir|vhdl      output format (default: ir)
+//!   --emit ir|vhdl|verilog  output format (default: ir)
 //!   --no-sugar          disable duplicator/voider insertion
 //!   --no-std            do not implicitly include the standard library
 //!   --timings           print per-stage wall-clock timings
-//!   -o <dir>            write output files instead of stdout
+//!   -o, --out-dir <dir> write output files instead of stdout
 //!
 //! sim options:
 //!   --top <impl>        top-level implementation to simulate (required)
@@ -28,22 +28,61 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use tydi_lang::{compile, CompileOptions};
 use tydi_stdlib::{full_registry, stdlib_source, STDLIB_FILE_NAME};
-use tydi_vhdl::{generate_project, VhdlOptions};
+use tydi_vhdl::{generate_project_for, Backend, VhdlOptions};
+
+/// The output format of `tydic compile` (`--emit`). The accepted
+/// spellings, the usage string, and the dispatch all live here so
+/// they cannot drift apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EmitFormat {
+    /// Tydi-IR text (one `project.tir` file).
+    Ir,
+    /// VHDL via the netlist backend.
+    Vhdl,
+    /// SystemVerilog via the netlist backend.
+    Verilog,
+}
+
+impl EmitFormat {
+    /// The list shown in usage and error messages.
+    const ACCEPTED: &'static str = "ir|vhdl|verilog";
+
+    fn parse(text: &str) -> Option<EmitFormat> {
+        match text {
+            "ir" => Some(EmitFormat::Ir),
+            "vhdl" => Some(EmitFormat::Vhdl),
+            "verilog" | "sv" | "systemverilog" => Some(EmitFormat::Verilog),
+            _ => None,
+        }
+    }
+
+    /// The RTL backend, for the two netlist-based formats.
+    fn backend(&self) -> Option<Backend> {
+        match self {
+            EmitFormat::Ir => None,
+            EmitFormat::Vhdl => Some(Backend::Vhdl),
+            EmitFormat::Verilog => Some(Backend::SystemVerilog),
+        }
+    }
+}
 
 const USAGE: &str = "\
 usage: tydic <check|compile|sim> <file.td>... [options]
 
 commands:
   check      parse + elaborate + design-rule check only
-  compile    check, then emit Tydi-IR or VHDL
+  compile    check, then emit Tydi-IR, VHDL or SystemVerilog
   sim        check, then batch-simulate stimulus scenarios
 
 options:
-  --emit ir|vhdl    output format (default: ir)
+  --emit ir|vhdl|verilog
+                    output format (default: ir)
   --no-sugar        disable duplicator/voider insertion
   --no-std          do not implicitly include the standard library
   --timings         print per-stage wall-clock timings
-  -o <dir>          write output files into <dir> instead of stdout
+  -o, --out-dir <dir>
+                    write output files into <dir> instead of stdout
+                    (stdout prefixes each file with a `file:` banner)
   -h, --help        print this help
   -V, --version     print the version
 
@@ -81,7 +120,7 @@ impl CliError {
 /// Parsed command line.
 struct Options {
     command: String,
-    emit: String,
+    emit: EmitFormat,
     out_dir: Option<PathBuf>,
     include_std: bool,
     sugaring: bool,
@@ -130,7 +169,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
 
     let mut options = Options {
         command: command.clone(),
-        emit: "ir".to_string(),
+        emit: EmitFormat::Ir,
         out_dir: None,
         include_std: true,
         sugaring: true,
@@ -147,16 +186,21 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--emit" => {
-                options.emit = iter
-                    .next()
-                    .cloned()
-                    .ok_or_else(|| CliError::usage("--emit needs a value (ir|vhdl)"))?;
+                let value = iter.next().ok_or_else(|| {
+                    CliError::usage(format!("--emit needs a value ({})", EmitFormat::ACCEPTED))
+                })?;
+                options.emit = EmitFormat::parse(value).ok_or_else(|| {
+                    CliError::usage(format!(
+                        "unknown --emit format `{value}` (expected {})",
+                        EmitFormat::ACCEPTED
+                    ))
+                })?;
             }
-            "-o" => {
+            flag @ ("-o" | "--out-dir") => {
                 let dir = iter
                     .next()
                     .cloned()
-                    .ok_or_else(|| CliError::usage("-o needs a directory"))?;
+                    .ok_or_else(|| CliError::usage(format!("{flag} needs a directory")))?;
                 options.out_dir = Some(PathBuf::from(dir));
             }
             "--no-std" => options.include_std = false,
@@ -184,12 +228,6 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
     }
     if options.files.is_empty() {
         return Err(CliError::usage("no input files"));
-    }
-    if options.emit != "ir" && options.emit != "vhdl" {
-        return Err(CliError::usage(format!(
-            "unknown --emit format `{}` (expected ir|vhdl)",
-            options.emit
-        )));
     }
     if options.command == "sim" && options.top.is_none() {
         return Err(CliError::usage(
@@ -248,8 +286,8 @@ fn run(options: &Options) -> Result<(), CliError> {
         return run_sim(options, &output.project);
     }
 
-    match options.emit.as_str() {
-        "ir" => {
+    match options.emit.backend() {
+        None => {
             let text = tydi_ir::text::emit_project(&output.project);
             match &options.out_dir {
                 Some(dir) => {
@@ -265,12 +303,12 @@ fn run(options: &Options) -> Result<(), CliError> {
                 }
             }
         }
-        "vhdl" => {
+        Some(backend) => {
             let registry = full_registry();
             tydi_fletcher::register_fletcher_rtl(&registry);
             let generated =
-                generate_project(&output.project, &registry, &VhdlOptions::default())
-                    .map_err(|e| CliError::failure(format!("VHDL generation failed: {e}")))?;
+                generate_project_for(&output.project, &registry, &VhdlOptions::default(), backend)
+                    .map_err(|e| CliError::failure(format!("{backend} generation failed: {e}")))?;
             match &options.out_dir {
                 Some(dir) => {
                     fs::create_dir_all(dir).map_err(|e| {
@@ -283,14 +321,13 @@ fn run(options: &Options) -> Result<(), CliError> {
                     eprintln!("wrote {} file(s) to {}", generated.len(), dir.display());
                 }
                 None => {
-                    let mut stdout = std::io::stdout();
-                    for file in &generated {
-                        let _ = write!(stdout, "{}", file.contents);
-                    }
+                    // Banner each file so concatenated stdout stays
+                    // splittable (e.g. `tydic compile ... | csplit`).
+                    let text = tydi_vhdl::files_to_string(&generated, backend);
+                    let _ = write!(std::io::stdout(), "{text}");
                 }
             }
         }
-        other => unreachable!("emit format `{other}` rejected by parse_args"),
     }
     Ok(())
 }

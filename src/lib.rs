@@ -2,6 +2,7 @@
 pub use tydi_fletcher as fletcher;
 pub use tydi_ir as ir;
 pub use tydi_lang as lang;
+pub use tydi_rtl as rtl;
 pub use tydi_sim as sim;
 pub use tydi_spec as spec;
 pub use tydi_stdlib as stdlib;
