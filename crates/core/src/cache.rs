@@ -1,0 +1,562 @@
+//! The artifact cache behind the incremental compilation pipeline.
+//!
+//! An [`ArtifactCache`] memoizes per-unit stage outputs keyed by
+//! content fingerprints ([`crate::fingerprint`]):
+//!
+//! * **parse artifacts** — one per registered source file, keyed by
+//!   the file's slot in the session file table plus the fingerprint of
+//!   its name and raw text. The artifact carries the parsed package,
+//!   its AST fingerprint, and the diagnostics the parse emitted.
+//! * **elaboration artifacts** — one per *project state*, keyed by
+//!   the options fingerprint plus the ordered AST fingerprints of
+//!   every input file. The artifact carries the fully elaborated,
+//!   sugared, DRC-clean project, so a hit skips the elaborate, sugar
+//!   and DRC stages wholesale.
+//!
+//! The cache persists to a directory (conventionally `.tydic-cache/`)
+//! as a line-based manifest plus one `.tir` file (the stable Tydi-IR
+//! text format) per elaboration artifact. The manifest header records
+//! a schema fingerprint derived from the compiler version; a cache
+//! written by a different build fails the header check and loads as
+//! empty, so stale caches self-invalidate instead of being misread.
+//! Parse artifacts persist only their fingerprints and diagnostics
+//! (ASTs are cheap to rebuild and expensive to serialize); a restored
+//! entry still lets a warm start prove "this file is unchanged" and
+//! skip re-parsing it when the elaboration artifact hits.
+//!
+//! Parse artifacts memoize the parser's *exact* output for a file —
+//! including any diagnostics it emitted, which replay verbatim on a
+//! hit — so error-bearing parses are cached too (only a total parse
+//! failure, where no tree exists, is never stored). Elaboration
+//! artifacts, by contrast, are stored only for compiles that passed
+//! the DRC: a failed elaborate/DRC run caches nothing and re-reports
+//! faithfully on every attempt.
+//!
+//! The cache is bounded: at most [`PARSE_CAPACITY`] parse artifacts
+//! and [`ELAB_CAPACITY`] elaboration artifacts, both FIFO-evicted.
+//! On save, `.tir` files already on disk are not rewritten (their
+//! names are content hashes), and `.tir` files no longer referenced
+//! by the manifest are removed — so a long `--watch` session does
+//! bounded work per persist instead of rewriting its whole history.
+
+use crate::ast::Package;
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::fingerprint::{schema_fingerprint, Fingerprint};
+use crate::instantiate::ElabInfo;
+use crate::span::Span;
+use crate::sugar::SugarReport;
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use tydi_ir::Project;
+
+/// Default name of the on-disk cache directory.
+pub const CACHE_DIR_NAME: &str = ".tydic-cache";
+
+/// Maximum number of memoized elaboration artifacts (FIFO eviction).
+/// Each artifact is a full elaborated project; a watch session only
+/// ever ping-pongs between a handful of recent states.
+pub const ELAB_CAPACITY: usize = 16;
+
+/// Maximum number of memoized parse artifacts (FIFO eviction). Parse
+/// artifacts are per file *and* per text, so a long watch session
+/// accumulates one per edit; the cap bounds that history while
+/// leaving plenty of room for many files (or many designs sharing
+/// one cache directory).
+pub const PARSE_CAPACITY: usize = 256;
+
+const MANIFEST_NAME: &str = "manifest.txt";
+
+/// Cache key of one parsed source file: its slot in the session file
+/// table (spans index into that table, so an artifact is only valid
+/// at the slot it was parsed at) plus the source fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParseKey {
+    /// Index in the session file table.
+    pub slot: usize,
+    /// Fingerprint of the file name and raw text.
+    pub source: Fingerprint,
+}
+
+/// Memoized output of parsing one source file.
+#[derive(Debug, Clone)]
+pub struct ParseArtifact {
+    /// The parsed package. `None` for entries restored from disk —
+    /// the AST fingerprint is known but the tree must be rebuilt if
+    /// elaboration actually needs it.
+    pub package: Option<Package>,
+    /// Fingerprint of the canonical printed AST.
+    pub ast: Fingerprint,
+    /// Diagnostics the parse emitted.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Memoized output of the elaborate + sugar + DRC stages.
+#[derive(Debug, Clone)]
+pub struct ElabArtifact {
+    /// The elaborated, sugared, validated project.
+    pub project: Project,
+    /// Elaboration statistics (connection spans are not persisted;
+    /// they are only consulted when the DRC fails, and cached
+    /// artifacts passed the DRC).
+    pub info: ElabInfo,
+    /// What sugaring did.
+    pub sugar_report: SugarReport,
+    /// Diagnostics emitted by the three cached stages.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// The in-memory artifact cache with disk persistence.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    parse: HashMap<ParseKey, ParseArtifact>,
+    /// Insertion order of `parse` keys, for FIFO eviction.
+    parse_order: Vec<ParseKey>,
+    elab: HashMap<Fingerprint, ElabArtifact>,
+    /// Insertion order of `elab` keys, for FIFO eviction.
+    elab_order: Vec<Fingerprint>,
+    dirty: bool,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ArtifactCache::default()
+    }
+
+    /// Number of memoized parse artifacts.
+    pub fn parse_entries(&self) -> usize {
+        self.parse.len()
+    }
+
+    /// Number of memoized elaboration artifacts.
+    pub fn elab_entries(&self) -> usize {
+        self.elab.len()
+    }
+
+    /// True when the cache changed since it was created or loaded.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Looks up the parse artifact for a source file.
+    pub fn lookup_parse(&self, key: ParseKey) -> Option<&ParseArtifact> {
+        self.parse.get(&key)
+    }
+
+    /// Stores the parse artifact for a source file, evicting the
+    /// oldest entries beyond [`PARSE_CAPACITY`] (re-parsing an
+    /// evicted text is cheap).
+    pub fn store_parse(&mut self, key: ParseKey, artifact: ParseArtifact) {
+        self.dirty = true;
+        if self.parse.insert(key, artifact).is_none() {
+            self.parse_order.push(key);
+        }
+        while self.parse_order.len() > PARSE_CAPACITY {
+            let evicted = self.parse_order.remove(0);
+            self.parse.remove(&evicted);
+        }
+    }
+
+    /// Re-attaches a materialized AST to a disk-restored parse entry.
+    pub fn attach_package(&mut self, key: ParseKey, package: Package) {
+        if let Some(entry) = self.parse.get_mut(&key) {
+            entry.package = Some(package);
+        }
+    }
+
+    /// Looks up an elaboration artifact.
+    pub fn lookup_elab(&self, key: Fingerprint) -> Option<&ElabArtifact> {
+        self.elab.get(&key)
+    }
+
+    /// Stores an elaboration artifact, evicting the oldest entries
+    /// beyond [`ELAB_CAPACITY`].
+    pub fn store_elab(&mut self, key: Fingerprint, artifact: ElabArtifact) {
+        self.dirty = true;
+        if self.elab.insert(key, artifact).is_none() {
+            self.elab_order.push(key);
+        }
+        while self.elab_order.len() > ELAB_CAPACITY {
+            let evicted = self.elab_order.remove(0);
+            self.elab.remove(&evicted);
+        }
+    }
+
+    // ---- persistence ----------------------------------------------------
+
+    /// Loads the cache persisted under `dir`. A missing directory, an
+    /// unreadable manifest, or a schema mismatch all yield an empty
+    /// cache — a stale or foreign cache self-invalidates rather than
+    /// being misread.
+    pub fn load(dir: &Path) -> ArtifactCache {
+        let Ok(manifest) = std::fs::read_to_string(dir.join(MANIFEST_NAME)) else {
+            return ArtifactCache::new();
+        };
+        parse_manifest(&manifest, dir).unwrap_or_default()
+    }
+
+    /// Persists the cache under `dir` (creating it), overwriting any
+    /// previous contents.
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        use std::fmt::Write as _;
+        std::fs::create_dir_all(dir)?;
+        let mut manifest = String::new();
+        let _ = writeln!(manifest, "tydic-cache {}", schema_fingerprint());
+        // Deterministic order keeps the manifest diffable.
+        let mut parse_keys: Vec<&ParseKey> = self.parse.keys().collect();
+        parse_keys.sort_by_key(|k| (k.slot, k.source));
+        for key in parse_keys {
+            let artifact = &self.parse[key];
+            let _ = writeln!(
+                manifest,
+                "parse {} {} {} {}",
+                key.slot,
+                key.source,
+                artifact.ast,
+                artifact.diagnostics.len()
+            );
+            for diag in &artifact.diagnostics {
+                let _ = writeln!(manifest, "{}", diag_line(diag));
+            }
+        }
+        // Elaboration artifacts persist in insertion order so FIFO
+        // eviction survives a round trip.
+        for key in &self.elab_order {
+            let artifact = &self.elab[key];
+            let _ = writeln!(
+                manifest,
+                "elab {} {} {} {} {} {}",
+                key,
+                artifact.sugar_report.duplicators,
+                artifact.sugar_report.voiders,
+                artifact.info.template_instantiations,
+                artifact.info.template_cache_hits,
+                artifact.diagnostics.len()
+            );
+            for diag in &artifact.diagnostics {
+                let _ = writeln!(manifest, "{}", diag_line(diag));
+            }
+            // `.tir` names are content hashes: an existing file is
+            // already correct, so a persist only writes new artifacts.
+            let tir = dir.join(format!("{key}.tir"));
+            if !tir.exists() {
+                std::fs::write(tir, tydi_ir::text::emit_project(&artifact.project))?;
+            }
+        }
+        // Garbage-collect `.tir` files evicted from (or never in) the
+        // manifest, so the directory stays bounded.
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().to_string();
+                let Some(stem) = name.strip_suffix(".tir") else {
+                    continue;
+                };
+                let referenced = Fingerprint::parse(stem)
+                    .map(|key| self.elab.contains_key(&key))
+                    .unwrap_or(false);
+                if !referenced {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        std::fs::write(dir.join(MANIFEST_NAME), manifest)
+    }
+}
+
+fn diag_line(diag: &Diagnostic) -> String {
+    let severity = match diag.severity {
+        Severity::Note => "note",
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    };
+    let span = match diag.span {
+        Some(s) => format!("{}:{}:{}", s.file, s.start, s.end),
+        None => "-".to_string(),
+    };
+    format!(
+        "diag {severity} {} {span} {}",
+        diag.stage,
+        diag.message.replace('\\', "\\\\").replace('\n', "\\n")
+    )
+}
+
+fn parse_diag_line(line: &str) -> Option<Diagnostic> {
+    let rest = line.strip_prefix("diag ")?;
+    let mut parts = rest.splitn(4, ' ');
+    let severity = match parts.next()? {
+        "note" => Severity::Note,
+        "warning" => Severity::Warning,
+        "error" => Severity::Error,
+        _ => return None,
+    };
+    let stage = static_stage(parts.next()?);
+    let span = match parts.next()? {
+        "-" => None,
+        text => {
+            let mut nums = text.splitn(3, ':');
+            Some(Span::new(
+                nums.next()?.parse().ok()?,
+                nums.next()?.parse().ok()?,
+                nums.next()?.parse().ok()?,
+            ))
+        }
+    };
+    let message = parts
+        .next()
+        .unwrap_or("")
+        .replace("\\n", "\n")
+        .replace("\\\\", "\\");
+    Some(Diagnostic {
+        severity,
+        message,
+        span,
+        stage,
+    })
+}
+
+/// Maps a persisted stage label back to the static names diagnostics
+/// carry (unknown labels — from a future schema — fold to "cache").
+fn static_stage(label: &str) -> &'static str {
+    match label {
+        "parse" => "parse",
+        "elaborate" => "elaborate",
+        "sugar" => "sugar",
+        "drc" => "drc",
+        _ => "cache",
+    }
+}
+
+fn parse_manifest(manifest: &str, dir: &Path) -> Option<ArtifactCache> {
+    let mut lines = manifest.lines().peekable();
+    let header = lines.next()?;
+    let schema = header.strip_prefix("tydic-cache ")?;
+    if Fingerprint::parse(schema)? != schema_fingerprint() {
+        return None;
+    }
+    let mut cache = ArtifactCache::new();
+    while let Some(line) = lines.next() {
+        if let Some(rest) = line.strip_prefix("parse ") {
+            let mut parts = rest.split(' ');
+            let key = ParseKey {
+                slot: parts.next()?.parse().ok()?,
+                source: Fingerprint::parse(parts.next()?)?,
+            };
+            let ast = Fingerprint::parse(parts.next()?)?;
+            let ndiags: usize = parts.next()?.parse().ok()?;
+            let mut diagnostics = Vec::with_capacity(ndiags);
+            for _ in 0..ndiags {
+                diagnostics.push(parse_diag_line(lines.next()?)?);
+            }
+            if cache
+                .parse
+                .insert(
+                    key,
+                    ParseArtifact {
+                        package: None,
+                        ast,
+                        diagnostics,
+                    },
+                )
+                .is_none()
+            {
+                cache.parse_order.push(key);
+            }
+        } else if let Some(rest) = line.strip_prefix("elab ") {
+            let mut parts = rest.split(' ');
+            let key = Fingerprint::parse(parts.next()?)?;
+            let sugar_report = SugarReport {
+                duplicators: parts.next()?.parse().ok()?,
+                voiders: parts.next()?.parse().ok()?,
+            };
+            let info = ElabInfo::with_template_counts(
+                parts.next()?.parse().ok()?,
+                parts.next()?.parse().ok()?,
+            );
+            let ndiags: usize = parts.next()?.parse().ok()?;
+            let mut diagnostics = Vec::with_capacity(ndiags);
+            for _ in 0..ndiags {
+                diagnostics.push(parse_diag_line(lines.next()?)?);
+            }
+            let ir_text = std::fs::read_to_string(dir.join(format!("{key}.tir"))).ok()?;
+            let project = tydi_ir::text::parse_project(&ir_text).ok()?;
+            if cache
+                .elab
+                .insert(
+                    key,
+                    ElabArtifact {
+                        project,
+                        info,
+                        sugar_report,
+                        diagnostics,
+                    },
+                )
+                .is_none()
+            {
+                cache.elab_order.push(key);
+            }
+        } else if !line.trim().is_empty() {
+            // Unknown record kind: treat the whole cache as foreign.
+            return None;
+        }
+    }
+    Some(cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{compile, CompileOptions};
+
+    const WIRE: &str = "package demo;\ntype B = Stream(Bit(8));\n\
+                        streamlet s { i : B in, o : B out, }\nimpl x of s { i => o, }\n";
+
+    fn sample_elab() -> ElabArtifact {
+        let out = compile(&[("wire.td", WIRE)], &CompileOptions::default()).unwrap();
+        ElabArtifact {
+            project: out.project,
+            info: out.elab_info,
+            sugar_report: out.sugar_report,
+            diagnostics: vec![Diagnostic::note("sugar", "inserted 0 things", None)],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("tydic-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = ArtifactCache::new();
+        let parse_key = ParseKey {
+            slot: 1,
+            source: Fingerprint::of_str("wire.td"),
+        };
+        cache.store_parse(
+            parse_key,
+            ParseArtifact {
+                package: None,
+                ast: Fingerprint::of_str("ast"),
+                diagnostics: vec![Diagnostic::warning(
+                    "parse",
+                    "multi\nline \\ message",
+                    Some(Span::new(1, 3, 9)),
+                )],
+            },
+        );
+        let elab_key = Fingerprint::of_str("elab-key");
+        cache.store_elab(elab_key, sample_elab());
+        assert!(cache.is_dirty());
+        cache.save(&dir).unwrap();
+
+        let restored = ArtifactCache::load(&dir);
+        assert_eq!(restored.parse_entries(), 1);
+        assert_eq!(restored.elab_entries(), 1);
+        let parse = restored.lookup_parse(parse_key).unwrap();
+        assert_eq!(parse.ast, Fingerprint::of_str("ast"));
+        assert_eq!(parse.diagnostics.len(), 1);
+        assert_eq!(parse.diagnostics[0].message, "multi\nline \\ message");
+        assert_eq!(parse.diagnostics[0].span, Some(Span::new(1, 3, 9)));
+        let elab = restored.lookup_elab(elab_key).unwrap();
+        assert!(elab.project.implementation("x").is_some());
+        assert_eq!(elab.project.validate(), Ok(()));
+        assert_eq!(elab.diagnostics.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn elab_entries_evict_fifo_beyond_capacity() {
+        let mut cache = ArtifactCache::new();
+        let artifact = sample_elab();
+        for k in 0..(ELAB_CAPACITY + 3) {
+            cache.store_elab(Fingerprint(k as u64 + 1), artifact.clone());
+        }
+        assert_eq!(cache.elab_entries(), ELAB_CAPACITY);
+        // The three oldest are gone, the newest survive.
+        for k in 0..3 {
+            assert!(cache.lookup_elab(Fingerprint(k as u64 + 1)).is_none());
+        }
+        assert!(cache
+            .lookup_elab(Fingerprint((ELAB_CAPACITY + 3) as u64))
+            .is_some());
+    }
+
+    #[test]
+    fn save_garbage_collects_evicted_tir_files() {
+        let dir = std::env::temp_dir().join(format!("tydic-gc-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let artifact = sample_elab();
+        let mut cache = ArtifactCache::new();
+        let first = Fingerprint(0xf157);
+        cache.store_elab(first, artifact.clone());
+        cache.save(&dir).unwrap();
+        assert!(dir.join(format!("{first}.tir")).exists());
+        // Evict `first` by filling the cache past capacity, then save.
+        for k in 0..ELAB_CAPACITY {
+            cache.store_elab(Fingerprint(0x1000 + k as u64), artifact.clone());
+        }
+        cache.save(&dir).unwrap();
+        assert!(
+            !dir.join(format!("{first}.tir")).exists(),
+            "evicted artifact's .tir must be garbage-collected"
+        );
+        // Every retained artifact still has its file, and a reload
+        // preserves insertion order semantics.
+        let restored = ArtifactCache::load(&dir);
+        assert_eq!(restored.elab_entries(), ELAB_CAPACITY);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_entries_evict_fifo_beyond_capacity() {
+        let mut cache = ArtifactCache::new();
+        let artifact = ParseArtifact {
+            package: None,
+            ast: Fingerprint(1),
+            diagnostics: Vec::new(),
+        };
+        let key = |k: usize| ParseKey {
+            slot: 1,
+            source: Fingerprint(k as u64 + 1),
+        };
+        for k in 0..(PARSE_CAPACITY + 5) {
+            cache.store_parse(key(k), artifact.clone());
+        }
+        assert_eq!(cache.parse_entries(), PARSE_CAPACITY);
+        assert!(cache.lookup_parse(key(0)).is_none(), "oldest evicted");
+        assert!(cache.lookup_parse(key(PARSE_CAPACITY + 4)).is_some());
+    }
+
+    #[test]
+    fn schema_mismatch_loads_empty() {
+        let dir = std::env::temp_dir().join(format!("tydic-schema-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join(MANIFEST_NAME),
+            "tydic-cache 0000000000000000\nparse 0 0 0 0\n",
+        )
+        .unwrap();
+        let cache = ArtifactCache::load(&dir);
+        assert_eq!(cache.parse_entries(), 0);
+        assert_eq!(cache.elab_entries(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_loads_empty() {
+        let cache = ArtifactCache::load(Path::new("/nonexistent/definitely/not/here"));
+        assert_eq!(cache.parse_entries(), 0);
+        assert!(!cache.is_dirty());
+    }
+
+    #[test]
+    fn corrupt_manifest_loads_empty() {
+        let dir = std::env::temp_dir().join(format!("tydic-corrupt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = format!("tydic-cache {}\ngarbage record\n", schema_fingerprint());
+        std::fs::write(dir.join(MANIFEST_NAME), manifest).unwrap();
+        let cache = ArtifactCache::load(&dir);
+        assert_eq!(cache.parse_entries(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

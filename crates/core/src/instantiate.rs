@@ -22,7 +22,7 @@ use tydi_spec::{
 };
 
 /// Side information the later pipeline stages need.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ElabInfo {
     /// Interner backing the span table keys: implementation names and
     /// connection descriptions are stored once as [`Symbol`]s instead
@@ -41,6 +41,18 @@ pub struct ElabInfo {
 }
 
 impl ElabInfo {
+    /// An info carrying only template statistics — the shape restored
+    /// from the on-disk artifact cache, where connection spans are not
+    /// persisted (they are only consulted when the DRC fails, and
+    /// cached artifacts passed the DRC).
+    pub fn with_template_counts(instantiations: usize, cache_hits: usize) -> Self {
+        ElabInfo {
+            template_instantiations: instantiations,
+            template_cache_hits: cache_hits,
+            ..ElabInfo::default()
+        }
+    }
+
     /// Records the source span of a connection.
     pub fn record_connection_span(&mut self, impl_name: &str, connection: &str, span: Span) {
         let key = (

@@ -40,12 +40,15 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod cache;
 pub mod diagnostics;
 pub mod eval;
+pub mod fingerprint;
 pub mod instantiate;
 pub mod lexer;
 pub mod parser;
 pub mod pipeline;
+pub mod pretty;
 pub mod scope;
 pub mod session;
 pub mod sim_ast;
@@ -54,9 +57,11 @@ pub mod sugar;
 pub mod token;
 pub mod value;
 
+pub use cache::{ArtifactCache, CACHE_DIR_NAME};
 pub use diagnostics::{Diagnostic, Severity};
-pub use pipeline::{compile, CompileOptions, CompileOutput, StageTimings};
-pub use session::{Session, Stage, StageRecord};
+pub use fingerprint::Fingerprint;
+pub use pipeline::{compile, compile_with_cache, CompileOptions, CompileOutput, StageTimings};
+pub use session::{ParsedUnit, Session, Stage, StageRecord};
 pub use span::{SourceFile, Span};
 pub use value::Value;
 

@@ -1,0 +1,500 @@
+//! A canonical pretty-printer for the Tydi-lang AST.
+//!
+//! [`print_package`] renders a parsed [`Package`] back to surface
+//! syntax in one deterministic layout. Two uses:
+//!
+//! * **AST fingerprints** for the incremental pipeline
+//!   ([`crate::fingerprint`]): the printed form is independent of
+//!   spans, whitespace and (non-doc) comments, so a comment-only edit
+//!   produces the same fingerprint and reuses every downstream
+//!   artifact;
+//! * **round-trip testing**: parse → print → re-parse must reach a
+//!   fixed point (`print(parse(print(ast))) == print(ast)`), which
+//!   pins parser and printer against each other.
+//!
+//! Compound expressions are printed fully parenthesized so the output
+//! re-parses to the same tree regardless of precedence; parentheses
+//! are not represented in the AST, so this is still a fixed point.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a package to canonical surface syntax.
+pub fn print_package(package: &Package) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "package {};", package.name);
+    for used in &package.uses {
+        let _ = writeln!(out, "use {used};");
+    }
+    for decl in &package.decls {
+        print_decl(&mut out, decl);
+    }
+    out
+}
+
+fn print_decl(out: &mut String, decl: &Decl) {
+    match decl {
+        Decl::Const(c) => {
+            let _ = writeln!(out, "const {};", const_body(c));
+        }
+        Decl::TypeAlias { name, ty, .. } => {
+            let _ = writeln!(out, "type {name} = {};", type_expr(ty));
+        }
+        Decl::Group { name, fields, .. } => print_composite(out, "Group", name, fields),
+        Decl::Union { name, fields, .. } => print_composite(out, "Union", name, fields),
+        Decl::Streamlet(s) => {
+            print_attributes(out, &s.attributes);
+            let _ = writeln!(out, "streamlet {}{} {{", s.name, template_params(&s.params));
+            for port in &s.ports {
+                let _ = writeln!(out, "    {},", port_decl(port));
+            }
+            let _ = writeln!(out, "}}");
+        }
+        Decl::Impl(i) => print_impl(out, i),
+        Decl::Assert { expr, message, .. } => {
+            let _ = writeln!(out, "assert({});", assert_args(expr, message));
+        }
+    }
+}
+
+fn print_composite(out: &mut String, keyword: &str, name: &str, fields: &[(String, TypeExpr)]) {
+    let _ = writeln!(out, "{keyword} {name} {{");
+    for (field, ty) in fields {
+        let _ = writeln!(out, "    {field} : {},", type_expr(ty));
+    }
+    let _ = writeln!(out, "}}");
+}
+
+fn print_attributes(out: &mut String, attributes: &[Attribute]) {
+    for attr in attributes {
+        match &attr.arg {
+            Some(arg) => {
+                let _ = writeln!(out, "@{}({})", attr.name, expr(arg));
+            }
+            None => {
+                let _ = writeln!(out, "@{}", attr.name);
+            }
+        }
+    }
+}
+
+fn print_impl(out: &mut String, i: &ImplDecl) {
+    print_attributes(out, &i.attributes);
+    let head = format!(
+        "impl {}{} of {}",
+        i.name,
+        template_params(&i.params),
+        named_ref(&i.streamlet)
+    );
+    match &i.body {
+        ImplBody::External { simulation: None } => {
+            let _ = writeln!(out, "{head} external;");
+        }
+        ImplBody::External {
+            simulation: Some(sim),
+        } => {
+            // The simulation body is preserved verbatim: the parser
+            // captures (and trims) the raw text between the braces.
+            let _ = writeln!(out, "{head} external {{");
+            let _ = writeln!(out, "simulation {{");
+            let _ = writeln!(out, "{}", sim.source);
+            let _ = writeln!(out, "}}");
+            let _ = writeln!(out, "}}");
+        }
+        ImplBody::Normal(stmts) => {
+            let _ = writeln!(out, "{head} {{");
+            for stmt in stmts {
+                print_stmt(out, stmt, 1);
+            }
+            let _ = writeln!(out, "}}");
+        }
+    }
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
+    let pad = "    ".repeat(depth);
+    match stmt {
+        Stmt::Instance {
+            name,
+            impl_ref,
+            array,
+            ..
+        } => {
+            let _ = write!(out, "{pad}instance {name}({})", named_ref(impl_ref));
+            if let Some(n) = array {
+                let _ = write!(out, " [{}]", expr(n));
+            }
+            let _ = writeln!(out, ",");
+        }
+        Stmt::Connect { src, dst, .. } => {
+            let _ = writeln!(out, "{pad}{} => {},", endpoint(src), endpoint(dst));
+        }
+        Stmt::For {
+            var,
+            iterable,
+            body,
+            ..
+        } => {
+            let _ = writeln!(out, "{pad}for {var} in {} {{", expr(iterable));
+            for s in body {
+                print_stmt(out, s, depth + 1);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::If { .. } => print_if(out, stmt, depth),
+        Stmt::Assert {
+            expr: e, message, ..
+        } => {
+            let _ = writeln!(out, "{pad}assert({}),", assert_args(e, message));
+        }
+        Stmt::Const(c) => {
+            let _ = writeln!(out, "{pad}const {},", const_body(c));
+        }
+    }
+}
+
+/// Prints an `if` chain, folding a single nested `if` in the else
+/// branch back into `else if` (the shape the parser builds).
+fn print_if(out: &mut String, stmt: &Stmt, depth: usize) {
+    let pad = "    ".repeat(depth);
+    let mut current = stmt;
+    let _ = write!(out, "{pad}");
+    loop {
+        let Stmt::If {
+            cond,
+            body,
+            else_body,
+            ..
+        } = current
+        else {
+            unreachable!("print_if called on a non-if statement");
+        };
+        let _ = writeln!(out, "if ({}) {{", expr(cond));
+        for s in body {
+            print_stmt(out, s, depth + 1);
+        }
+        match else_body.as_slice() {
+            [] => {
+                let _ = writeln!(out, "{pad}}}");
+                return;
+            }
+            [nested @ Stmt::If { .. }] => {
+                let _ = write!(out, "{pad}}} else ");
+                current = nested;
+            }
+            stmts => {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for s in stmts {
+                    print_stmt(out, s, depth + 1);
+                }
+                let _ = writeln!(out, "{pad}}}");
+                return;
+            }
+        }
+    }
+}
+
+fn const_body(c: &ConstDecl) -> String {
+    let mut s = c.name.clone();
+    if let Some(kind) = &c.kind {
+        let _ = write!(s, " : {}", var_kind(kind));
+    }
+    let _ = write!(s, " = {}", expr(&c.value));
+    s
+}
+
+fn var_kind(kind: &VarKind) -> String {
+    match kind {
+        VarKind::Int => "int".to_string(),
+        VarKind::Float => "float".to_string(),
+        VarKind::Str => "string".to_string(),
+        VarKind::Bool => "bool".to_string(),
+        VarKind::Clock => "clockdomain".to_string(),
+        VarKind::Array(inner) => format!("[{}]", var_kind(inner)),
+    }
+}
+
+fn assert_args(e: &Expr, message: &Option<Expr>) -> String {
+    match message {
+        Some(m) => format!("{}, {}", expr(e), expr(m)),
+        None => expr(e),
+    }
+}
+
+fn template_params(params: &[TemplateParam]) -> String {
+    if params.is_empty() {
+        return String::new();
+    }
+    let rendered: Vec<String> = params
+        .iter()
+        .map(|p| {
+            let kind = match &p.kind {
+                TemplateParamKind::Int => "int".to_string(),
+                TemplateParamKind::Float => "float".to_string(),
+                TemplateParamKind::Str => "string".to_string(),
+                TemplateParamKind::Bool => "bool".to_string(),
+                TemplateParamKind::Clock => "clockdomain".to_string(),
+                TemplateParamKind::Type => "type".to_string(),
+                TemplateParamKind::ImplOf(s) => format!("impl of {s}"),
+            };
+            format!("{}: {kind}", p.name)
+        })
+        .collect();
+    format!("<{}>", rendered.join(", "))
+}
+
+fn named_ref(r: &NamedRef) -> String {
+    if r.args.is_empty() {
+        return r.name.clone();
+    }
+    let args: Vec<String> = r
+        .args
+        .iter()
+        .map(|arg| match arg {
+            TemplateArgExpr::Value(e) => expr(e),
+            TemplateArgExpr::Type(t) => format!("type {}", type_expr(t)),
+            TemplateArgExpr::Impl(i) => format!("impl {}", named_ref(i)),
+        })
+        .collect();
+    format!("{}<{}>", r.name, args.join(", "))
+}
+
+fn port_decl(port: &PortDecl) -> String {
+    let mut s = format!(
+        "{} : {} {}",
+        port.name,
+        type_expr(&port.ty),
+        match port.direction {
+            PortDir::In => "in",
+            PortDir::Out => "out",
+        }
+    );
+    if let Some(n) = &port.array {
+        let _ = write!(s, " [{}]", expr(n));
+    }
+    match &port.clock {
+        Some(ClockSpec::Named(name, _)) => {
+            let _ = write!(s, " !{name}");
+        }
+        Some(ClockSpec::Expr(e)) => {
+            let _ = write!(s, " !({})", expr(e));
+        }
+        None => {}
+    }
+    s
+}
+
+fn endpoint(e: &EndpointExpr) -> String {
+    let mut s = String::new();
+    if let Some((instance, index)) = &e.instance {
+        let _ = write!(s, "{instance}");
+        if let Some(i) = index {
+            let _ = write!(s, "[{}]", expr(i));
+        }
+        s.push('.');
+    }
+    let _ = write!(s, "{}", e.port);
+    if let Some(i) = &e.port_index {
+        let _ = write!(s, "[{}]", expr(i));
+    }
+    s
+}
+
+/// Renders a type expression.
+pub fn type_expr(ty: &TypeExpr) -> String {
+    match ty {
+        TypeExpr::Null(_) => "Null".to_string(),
+        TypeExpr::Bit(width, _) => format!("Bit({})", expr(width)),
+        TypeExpr::Ref(name, _) => name.clone(),
+        TypeExpr::Stream { element, args, .. } => {
+            let mut s = format!("Stream({}", type_expr(element));
+            for arg in args {
+                let rendered = match arg {
+                    StreamArg::Dimension(e) => format!("d={}", expr(e)),
+                    StreamArg::Throughput(e) => format!("t={}", expr(e)),
+                    StreamArg::Complexity(e) => format!("c={}", expr(e)),
+                    StreamArg::Direction(name, _) => format!("r={name}"),
+                    StreamArg::Synchronicity(name, _) => format!("x={name}"),
+                    StreamArg::User(t) => format!("u={}", type_expr(t)),
+                    StreamArg::Keep(e) => format!("keep={}", expr(e)),
+                };
+                let _ = write!(s, ", {rendered}");
+            }
+            s.push(')');
+            s
+        }
+    }
+}
+
+/// Renders an expression, fully parenthesizing compound forms.
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v, _) => {
+            if *v < 0 {
+                // `-N` lexes as unary minus; parenthesize so the
+                // printed form stays one expression in any context.
+                format!("({v})")
+            } else {
+                v.to_string()
+            }
+        }
+        // `{:?}` always keeps a `.0` or exponent, so the token
+        // re-lexes as a float.
+        Expr::Float(v, _) => format!("{v:?}"),
+        Expr::Str(s, _) => quote(s),
+        Expr::Bool(v, _) => v.to_string(),
+        Expr::Clock(name, _) => format!("clockdomain({})", quote(name)),
+        Expr::Ident(name, _) => name.clone(),
+        Expr::Array(items, _) => {
+            let items: Vec<String> = items.iter().map(expr).collect();
+            format!("[{}]", items.join(", "))
+        }
+        Expr::Range {
+            start, end, step, ..
+        } => match step {
+            Some(s) => format!("({}..{} step {})", expr(start), expr(end), expr(s)),
+            None => format!("({}..{})", expr(start), expr(end)),
+        },
+        Expr::Index { base, index, .. } => format!("{}[{}]", expr(base), expr(index)),
+        Expr::Unary { op, operand, .. } => {
+            let op = match op {
+                UnaryOp::Neg => "-",
+                UnaryOp::Not => "!",
+            };
+            format!("({op}{})", expr(operand))
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let op = match op {
+                BinOp::Or => "||",
+                BinOp::And => "&&",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::Pow => "^",
+            };
+            format!("({} {op} {})", expr(lhs), expr(rhs))
+        }
+        Expr::Call { name, args, .. } => {
+            let args: Vec<String> = args.iter().map(expr).collect();
+            format!("{name}({})", args.join(", "))
+        }
+    }
+}
+
+/// Quotes a string literal using only the escapes the lexer accepts.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_package;
+
+    fn roundtrip(source: &str) -> (String, String) {
+        let (package, diags) = parse_package(0, source);
+        let package = package.unwrap_or_else(|| panic!("parse failed: {diags:?}"));
+        assert!(
+            !crate::diagnostics::has_errors(&diags),
+            "parse errors: {diags:?}"
+        );
+        let first = print_package(&package);
+        let (reparsed, diags2) = parse_package(0, &first);
+        let reparsed = reparsed.unwrap_or_else(|| panic!("re-parse failed:\n{first}\n{diags2:?}"));
+        assert!(
+            !crate::diagnostics::has_errors(&diags2),
+            "re-parse errors for:\n{first}\n{diags2:?}"
+        );
+        let second = print_package(&reparsed);
+        (first, second)
+    }
+
+    #[test]
+    fn simple_design_reaches_fixed_point() {
+        let (first, second) = roundtrip(
+            r#"
+package demo;
+use std;
+const width : int = 8 * 2;
+type Byte = Stream(Bit(width), d=1, c=7);
+streamlet wire_s { i : Byte in, o : Byte out !mem, }
+@NoStrictType
+impl wire_i of wire_s { i => o, }
+"#,
+        );
+        assert_eq!(first, second);
+        assert!(first.contains("package demo;"));
+        assert!(first.contains("(8 * 2)"));
+    }
+
+    #[test]
+    fn templates_and_generative_syntax_reach_fixed_point() {
+        let (first, second) = roundtrip(
+            r#"
+package t;
+streamlet p_s<n: int, t: type> { i : Stream(Bit(n)) in [n], }
+impl p_i<n: int, pu: impl of p_s> of p_s<n, type Bit(8)> {
+    instance u(pu) [n],
+    for k in (0..n step 2) {
+        if (k > 2) { i[k] => u[k].i, } else if (k == 1) { assert(true, "msg"), }
+        else { const z = [1, 2], }
+    }
+}
+"#,
+        );
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn external_simulation_body_is_preserved_verbatim() {
+        let (first, second) = roundtrip(
+            r#"
+package s;
+type W = Stream(Bit(8));
+streamlet e_s { i : W in, o : W out, }
+impl e_i of e_s external {
+    simulation {
+        state st = "idle";
+        on (i.recv && st == "idle") { send(o, i.data); ack(i); }
+    }
+}
+"#,
+        );
+        assert_eq!(first, second);
+        assert!(first.contains("state st = \"idle\";"));
+    }
+
+    #[test]
+    fn comment_only_edits_print_identically() {
+        let base = r#"
+package c;
+type W = Stream(Bit(8));
+streamlet s { i : W in, o : W out, }
+impl x of s { i => o, }
+"#;
+        let commented = format!("// a comment\n{base}\n// trailing note\n");
+        let (p1, _) = parse_package(0, base);
+        let (p2, _) = parse_package(0, &commented);
+        assert_eq!(print_package(&p1.unwrap()), print_package(&p2.unwrap()));
+    }
+}

@@ -26,7 +26,9 @@
 //! results are spliced back in input order.
 
 use crate::ast::Package;
+use crate::cache::{ArtifactCache, ParseArtifact, ParseKey};
 use crate::diagnostics::{has_errors, Diagnostic};
+use crate::fingerprint::{ast_fingerprint, source_fingerprint, Fingerprint};
 use crate::instantiate::{elaborate, ElabInfo};
 use crate::parser::parse_package;
 use crate::pipeline::{CompileFailure, CompileOptions, CompileOutput, StageTimings};
@@ -66,10 +68,27 @@ impl Stage {
 pub struct StageRecord {
     /// Which stage ran.
     pub stage: Stage,
-    /// Wall-clock duration.
+    /// Wall-clock *self* time of this stage execution (zero when the
+    /// whole stage was served from the artifact cache).
     pub duration: Duration,
     /// Diagnostics emitted during the stage.
     pub diagnostics: usize,
+    /// Work units served from the artifact cache (files for parse,
+    /// whole-project artifacts for the later stages).
+    pub reused: usize,
+    /// Work units actually recomputed.
+    pub recomputed: usize,
+}
+
+/// One parsed input file in the incremental pipeline: its cache key
+/// plus the fingerprint of its canonical printed AST. The ordered AST
+/// fingerprints of all units form the elaboration key.
+#[derive(Debug, Clone, Copy)]
+pub struct ParsedUnit {
+    /// Parse-cache key (file slot + source fingerprint).
+    pub key: ParseKey,
+    /// AST fingerprint (comment/whitespace-insensitive).
+    pub ast: Fingerprint,
 }
 
 /// A compilation session: drives the staged pipeline and accumulates
@@ -80,6 +99,14 @@ pub struct Session {
     files: Vec<SourceFile>,
     diagnostics: Vec<Diagnostic>,
     records: Vec<StageRecord>,
+    /// Cache work counts reported by the currently running stage
+    /// closure, folded into its [`StageRecord`].
+    pending_counts: Option<(usize, usize)>,
+    /// Start of the first stage and end of the latest stage: the
+    /// pipeline's wall-clock window, reported separately from the
+    /// per-stage self times (see [`StageTimings::wall`]).
+    first_stage_start: Option<Instant>,
+    last_stage_end: Option<Instant>,
 }
 
 impl Session {
@@ -90,6 +117,9 @@ impl Session {
             files: Vec::new(),
             diagnostics: Vec::new(),
             records: Vec::new(),
+            pending_counts: None,
+            first_stage_start: None,
+            last_stage_end: None,
         }
     }
 
@@ -113,7 +143,12 @@ impl Session {
         &self.records
     }
 
-    /// Aggregated per-stage timings (summed when a stage ran twice).
+    /// Aggregated per-stage self times (summed when a stage ran
+    /// twice), plus the pipeline's wall-clock window. The per-stage
+    /// fields are *self* times: their sum can exceed the wall time
+    /// when stage work overlaps on the thread pool, so reports must
+    /// never present the sum as elapsed time (that was the historic
+    /// `--timings` double-counting bug).
     pub fn timings(&self) -> StageTimings {
         let mut t = StageTimings::default();
         for record in &self.records {
@@ -124,7 +159,18 @@ impl Session {
                 Stage::Drc => t.drc += record.duration,
             }
         }
+        t.wall = match (self.first_stage_start, self.last_stage_end) {
+            (Some(start), Some(end)) => end.saturating_duration_since(start),
+            _ => Duration::ZERO,
+        };
         t
+    }
+
+    /// Reports how much of the current stage's work was served from
+    /// the artifact cache; called by stage closures, folded into the
+    /// stage's [`StageRecord`].
+    fn set_stage_counts(&mut self, reused: usize, recomputed: usize) {
+        self.pending_counts = Some((reused, recomputed));
     }
 
     /// Runs `f` as a named stage, recording duration and emitted
@@ -132,13 +178,34 @@ impl Session {
     fn run_stage<T>(&mut self, stage: Stage, f: impl FnOnce(&mut Self) -> T) -> T {
         let diags_before = self.diagnostics.len();
         let t0 = Instant::now();
+        self.first_stage_start.get_or_insert(t0);
         let out = f(self);
+        let (reused, recomputed) = self.pending_counts.take().unwrap_or((0, 1));
+        self.last_stage_end = Some(Instant::now());
         self.records.push(StageRecord {
             stage,
             duration: t0.elapsed(),
             diagnostics: self.diagnostics.len() - diags_before,
+            reused,
+            recomputed,
         });
         out
+    }
+
+    /// Records a stage as fully served from the artifact cache,
+    /// replaying the diagnostics it originally emitted.
+    pub(crate) fn replay_stage(&mut self, stage: Stage, diagnostics: Vec<Diagnostic>) {
+        let now = Instant::now();
+        self.first_stage_start.get_or_insert(now);
+        self.last_stage_end = Some(now);
+        self.records.push(StageRecord {
+            stage,
+            duration: Duration::ZERO,
+            diagnostics: diagnostics.len(),
+            reused: 1,
+            recomputed: 0,
+        });
+        self.diagnostics.extend(diagnostics);
     }
 
     /// The failure value for the current diagnostics.
@@ -188,9 +255,172 @@ impl Session {
                     packages.push(p);
                 }
             }
+            session.set_stage_counts(0, sources.len());
             packages
         });
         self.bail_on_errors()?;
+        Ok(packages)
+    }
+
+    /// Stage 1, incremental: parses `(file name, text)` pairs through
+    /// the artifact cache. Unchanged files (same name, same bytes,
+    /// same slot in the file table) replay their memoized diagnostics
+    /// without re-parsing; changed files parse in parallel and refresh
+    /// their cache entries. Returns one [`ParsedUnit`] per file — the
+    /// AST fingerprints feed the elaboration key, and the packages
+    /// themselves stay in the cache until
+    /// [`Session::materialize_packages`] proves they are needed.
+    pub fn parse_incremental(
+        &mut self,
+        sources: &[(&str, &str)],
+        cache: &mut ArtifactCache,
+    ) -> Result<Vec<ParsedUnit>, Box<CompileFailure>> {
+        let units = self.run_stage(Stage::Parse, |session| {
+            let base = session.files.len();
+            session.files.extend(
+                sources
+                    .iter()
+                    .map(|(name, text)| SourceFile::new(*name, *text)),
+            );
+            let mut units: Vec<Option<ParsedUnit>> = vec![None; sources.len()];
+            // Diagnostics are staged per file and appended in input
+            // order below, so warm and cold compiles report in the
+            // same order regardless of which files hit the cache.
+            let mut diags_by_file: Vec<Vec<Diagnostic>> = vec![Vec::new(); sources.len()];
+            let mut missing: Vec<(usize, &str)> = Vec::new();
+            let mut reused = 0usize;
+            for (index, (name, text)) in sources.iter().enumerate() {
+                let key = ParseKey {
+                    slot: base + index,
+                    source: source_fingerprint(name, text),
+                };
+                match cache.lookup_parse(key) {
+                    Some(artifact) => {
+                        reused += 1;
+                        diags_by_file[index] = artifact.diagnostics.clone();
+                        units[index] = Some(ParsedUnit {
+                            key,
+                            ast: artifact.ast,
+                        });
+                    }
+                    None => missing.push((index, *text)),
+                }
+            }
+            // Changed files are independent: parse in parallel.
+            let parsed: Vec<(usize, Option<Package>, Vec<Diagnostic>)> = missing
+                .par_iter()
+                .map(|&(index, text)| {
+                    let (package, diags) = parse_package(base + index, text);
+                    (index, package, diags)
+                })
+                .collect();
+            let recomputed = parsed.len();
+            for (index, package, diags) in parsed {
+                let (name, text) = sources[index];
+                let key = ParseKey {
+                    slot: base + index,
+                    source: source_fingerprint(name, text),
+                };
+                diags_by_file[index] = diags.clone();
+                match package {
+                    Some(package) => {
+                        let ast = ast_fingerprint(&package);
+                        units[index] = Some(ParsedUnit { key, ast });
+                        cache.store_parse(
+                            key,
+                            ParseArtifact {
+                                package: Some(package),
+                                ast,
+                                diagnostics: diags,
+                            },
+                        );
+                    }
+                    None => {
+                        // Total parse failure (no tree at all): the
+                        // compile bails below and nothing is cached,
+                        // so the error re-reports on every attempt.
+                        units[index] = Some(ParsedUnit {
+                            key,
+                            ast: Fingerprint(0),
+                        });
+                    }
+                }
+            }
+            for diags in diags_by_file {
+                session.diagnostics.extend(diags);
+            }
+            session.set_stage_counts(reused, recomputed);
+            units.into_iter().flatten().collect::<Vec<_>>()
+        });
+        self.bail_on_errors()?;
+        Ok(units)
+    }
+
+    /// Materializes the package ASTs behind [`ParsedUnit`]s, cloning
+    /// memoized trees and re-parsing entries whose AST was dropped by
+    /// disk persistence (recorded as additional parse work). Called
+    /// only when the elaboration artifact missed.
+    pub fn materialize_packages(
+        &mut self,
+        units: &[ParsedUnit],
+        cache: &mut ArtifactCache,
+    ) -> Result<Vec<Package>, Box<CompileFailure>> {
+        let rebuilt: Vec<usize> = units
+            .iter()
+            .enumerate()
+            .filter(|(_, unit)| {
+                cache
+                    .lookup_parse(unit.key)
+                    .is_none_or(|artifact| artifact.package.is_none())
+            })
+            .map(|(index, _)| index)
+            .collect();
+        if !rebuilt.is_empty() {
+            self.run_stage(Stage::Parse, |session| {
+                let reparsed: Vec<(usize, Option<Package>)> = rebuilt
+                    .par_iter()
+                    .map(|&index| {
+                        let slot = units[index].key.slot;
+                        let text = session.files[slot].text.clone();
+                        let (package, _diags) = parse_package(slot, &text);
+                        (index, package)
+                    })
+                    .collect();
+                for (index, package) in reparsed {
+                    if let Some(package) = package {
+                        cache.attach_package(units[index].key, package);
+                    }
+                }
+                session.set_stage_counts(0, rebuilt.len());
+            });
+        }
+        let mut packages = Vec::with_capacity(units.len());
+        for unit in units {
+            let package = cache
+                .lookup_parse(unit.key)
+                .and_then(|artifact| artifact.package.clone());
+            match package {
+                Some(package) => packages.push(package),
+                None => {
+                    // The persisted fingerprint no longer matches what
+                    // the text parses to — a corrupt cache. Fail soft:
+                    // report and let the caller wipe the cache.
+                    self.diagnostics.push(Diagnostic::error(
+                        "parse",
+                        format!(
+                            "artifact cache entry for `{}` could not be rebuilt; \
+                             delete the cache directory and re-run",
+                            self.files
+                                .get(unit.key.slot)
+                                .map(|f| f.name.to_string())
+                                .unwrap_or_else(|| format!("file #{}", unit.key.slot))
+                        ),
+                        None,
+                    ));
+                    return Err(self.fail());
+                }
+            }
+        }
         Ok(packages)
     }
 
@@ -268,6 +498,7 @@ impl Session {
             files: self.files,
             sugar_report,
             elab_info,
+            stage_records: self.records,
         }
     }
 }
@@ -332,6 +563,55 @@ impl wire_i of wire_s { i => o, }
         assert!(session.timings().total() > Duration::ZERO);
         let output = session.finish(project, report, info);
         assert!(output.project.implementation("wire_i").is_some());
+    }
+
+    #[test]
+    fn wall_time_is_reported_separately_from_stage_self_times() {
+        let mut session = Session::new(CompileOptions::default());
+        let packages = session.parse(&[("wire.td", WIRE)]).unwrap();
+        // An artificial gap between stages: the wall window must cover
+        // it while the per-stage self times must not.
+        std::thread::sleep(Duration::from_millis(15));
+        let (mut project, info) = session.elaborate(packages).unwrap();
+        session.sugar(&mut project);
+        session.drc(&project, &info).unwrap();
+        let t = session.timings();
+        assert!(
+            t.wall >= Duration::from_millis(15),
+            "wall covers gaps: {t:?}"
+        );
+        assert!(
+            t.total() < Duration::from_millis(15) + t.parse + t.elaborate + t.sugar + t.drc,
+            "self-time sum must exclude the inter-stage gap: {t:?}"
+        );
+        for stage in [t.parse, t.elaborate, t.sugar, t.drc] {
+            assert!(
+                stage <= t.wall,
+                "a stage cannot exceed the wall window: {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_parse_reuses_unchanged_files() {
+        use crate::cache::ArtifactCache;
+        let mut cache = ArtifactCache::new();
+        let mut first = Session::new(CompileOptions::default());
+        first
+            .parse_incremental(&[("wire.td", WIRE)], &mut cache)
+            .unwrap();
+        assert_eq!(first.stage_records()[0].recomputed, 1);
+        assert_eq!(first.stage_records()[0].reused, 0);
+
+        let mut second = Session::new(CompileOptions::default());
+        let units = second
+            .parse_incremental(&[("wire.td", WIRE)], &mut cache)
+            .unwrap();
+        assert_eq!(second.stage_records()[0].reused, 1);
+        assert_eq!(second.stage_records()[0].recomputed, 0);
+        let packages = second.materialize_packages(&units, &mut cache).unwrap();
+        assert_eq!(packages.len(), 1);
+        assert_eq!(packages[0].name, "demo");
     }
 
     #[test]

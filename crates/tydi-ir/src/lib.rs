@@ -30,6 +30,7 @@
 pub mod bits;
 pub mod component;
 pub mod error;
+pub mod fingerprint;
 pub mod intern;
 pub mod project;
 pub mod testbench;
@@ -41,6 +42,7 @@ pub use component::{
     Connection, EndpointRef, ImplKind, Implementation, Instance, Port, PortDirection, Streamlet,
 };
 pub use error::IrError;
+pub use fingerprint::{Fingerprint, Fingerprinter};
 pub use intern::{ImplId, Interner, StreamletId, Symbol};
 pub use project::Project;
 pub use testbench::{Testbench, Transfer, TransferDirection};

@@ -77,6 +77,9 @@ pub fn emit_project(project: &Project) -> String {
                 if let Some(sim) = sim_source {
                     let _ = write!(out, " sim \"{}\"", escape(sim));
                 }
+                for (attr, value) in &implementation.attributes {
+                    let _ = write!(out, " attr {attr} \"{}\"", escape(value));
+                }
                 let _ = writeln!(out, ";");
             }
             ImplKind::Normal {
@@ -84,8 +87,8 @@ pub fn emit_project(project: &Project) -> String {
                 connections,
             } => {
                 let _ = writeln!(out, " {{");
-                for attr in implementation.attributes.keys() {
-                    let _ = writeln!(out, "    attr {attr};");
+                for (attr, value) in &implementation.attributes {
+                    let _ = writeln!(out, "    attr {attr} \"{}\";", escape(value));
                 }
                 for instance in instances {
                     let _ = writeln!(
@@ -160,6 +163,26 @@ impl<'a> TextParser<'a> {
         None
     }
 
+    /// Like [`TextParser::next_line`], but collects `//` comment lines
+    /// into `doc` instead of discarding them — the emitter writes
+    /// streamlet/implementation documentation as comments immediately
+    /// before the declaration, so the top-level loop reattaches them.
+    fn next_line_with_doc(&mut self, doc: &mut Vec<&'a str>) -> Option<&'a str> {
+        while self.index < self.lines.len() {
+            let line = self.lines[self.index].trim();
+            self.index += 1;
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix("//") {
+                doc.push(comment.strip_prefix(' ').unwrap_or(comment));
+                continue;
+            }
+            return Some(line);
+        }
+        None
+    }
+
     fn parse(&mut self) -> Result<Project, IrError> {
         let header = self.next_line().ok_or_else(|| self.err("empty input"))?;
         let name = header
@@ -168,9 +191,10 @@ impl<'a> TextParser<'a> {
             .map(str::trim)
             .ok_or_else(|| self.err("expected `project <name> {`"))?;
         let mut project = Project::new(name);
+        let mut doc: Vec<&str> = Vec::new();
         loop {
             let line = self
-                .next_line()
+                .next_line_with_doc(&mut doc)
                 .ok_or_else(|| self.err("unexpected end of input, expected `}`"))?;
             if line == "}" {
                 return Ok(project);
@@ -180,10 +204,14 @@ impl<'a> TextParser<'a> {
                     .strip_suffix('{')
                     .map(str::trim)
                     .ok_or_else(|| self.err("expected `streamlet <name> {`"))?;
-                let streamlet = self.parse_streamlet_body(name)?;
+                let mut streamlet = self.parse_streamlet_body(name)?;
+                streamlet.doc = doc.join("\n");
+                doc.clear();
                 project.add_streamlet(streamlet)?;
             } else if let Some(rest) = line.strip_prefix("impl ") {
-                let implementation = self.parse_impl(rest)?;
+                let mut implementation = self.parse_impl(rest)?;
+                implementation.doc = doc.join("\n");
+                doc.clear();
                 project.add_implementation(implementation)?;
             } else {
                 return Err(self.err(format!("unexpected line `{line}`")));
@@ -282,9 +310,9 @@ impl<'a> TextParser<'a> {
                     }
                     implementation.add_connection(connection);
                 } else if let Some(rest) = line.strip_prefix("attr ") {
-                    implementation
-                        .attributes
-                        .insert(rest.trim().to_string(), String::new());
+                    let (key, value) = parse_attr(rest.trim())
+                        .ok_or_else(|| self.err("expected `attr <key> \"<value>\"`"))?;
+                    implementation.attributes.insert(key, value);
                 } else {
                     return Err(self.err(format!("unexpected impl body line `{line}`")));
                 }
@@ -312,12 +340,33 @@ impl<'a> TextParser<'a> {
                         .ok_or_else(|| self.err("expected quoted value after `sim`"))?;
                     implementation = implementation.with_sim_source(value);
                     remaining = after.trim_start();
+                } else if let Some(rest) = remaining.strip_prefix("attr ") {
+                    let (key, after_key) = rest
+                        .trim_start()
+                        .split_once(' ')
+                        .ok_or_else(|| self.err("expected `attr <key> \"<value>\"`"))?;
+                    let (value, after) = read_quoted(after_key)
+                        .ok_or_else(|| self.err("expected quoted value after attr key"))?;
+                    implementation.attributes.insert(key.to_string(), value);
+                    remaining = after.trim_start();
                 } else {
                     return Err(self.err(format!("unexpected external clause `{remaining}`")));
                 }
             }
             Ok(implementation)
         }
+    }
+}
+
+/// Parses `key "value"` (also tolerating the legacy value-less `key`
+/// form written by older emitters).
+fn parse_attr(s: &str) -> Option<(String, String)> {
+    match s.split_once(' ') {
+        Some((key, rest)) => {
+            let (value, _after) = read_quoted(rest)?;
+            Some((key.to_string(), value))
+        }
+        None => Some((s.to_string(), String::new())),
     }
 }
 
@@ -417,6 +466,75 @@ mod tests {
         assert_eq!(port.type_origin.as_deref(), Some("pack.T"));
         // Second round trip is a fixed point.
         assert_eq!(emit_project(&q), text);
+    }
+
+    #[test]
+    fn attributes_and_docs_round_trip() {
+        let stream8 = LogicalType::stream(LogicalType::Bit(8), StreamParams::new());
+        let mut p = Project::new("attrs");
+        let mut s = Streamlet::new("s")
+            .with_port(Port::new("i", PortDirection::In, stream8.clone()))
+            .with_port(Port::new("o", PortDirection::Out, stream8));
+        s.doc = "a documented streamlet\nwith two lines".to_string();
+        p.add_streamlet(s).unwrap();
+        // External impl with template-binding attributes (the shape
+        // builtin RTL generators read back at codegen time).
+        let mut ext = Implementation::external("lt_i", "s").with_builtin("std.lt_const");
+        ext.attributes.insert("v".to_string(), "100".to_string());
+        ext.attributes
+            .insert("T".to_string(), "Stream(Bit(32), d=1)".to_string());
+        ext.doc = "compares against a constant".to_string();
+        p.add_implementation(ext).unwrap();
+        // Normal impl with a valued and a valueless attribute.
+        let mut top = Implementation::normal("top_i", "s");
+        top.attributes
+            .insert("NoStrictType".to_string(), String::new());
+        top.attributes.insert(
+            "note".to_string(),
+            "with \"quotes\"\nand newline".to_string(),
+        );
+        top.add_connection(Connection::new(
+            EndpointRef::own("i"),
+            EndpointRef::own("o"),
+        ));
+        p.add_implementation(top).unwrap();
+
+        let text = emit_project(&p);
+        let q = parse_project(&text).expect(&text);
+        let ext = q.implementation("lt_i").unwrap();
+        assert_eq!(ext.attributes.get("v").map(String::as_str), Some("100"));
+        assert_eq!(
+            ext.attributes.get("T").map(String::as_str),
+            Some("Stream(Bit(32), d=1)")
+        );
+        assert_eq!(ext.doc, "compares against a constant");
+        let top = q.implementation("top_i").unwrap();
+        assert_eq!(
+            top.attributes.get("NoStrictType").map(String::as_str),
+            Some("")
+        );
+        assert_eq!(
+            top.attributes.get("note").map(String::as_str),
+            Some("with \"quotes\"\nand newline")
+        );
+        assert_eq!(
+            q.streamlet("s").unwrap().doc,
+            "a documented streamlet\nwith two lines"
+        );
+        // Second round trip is a fixed point.
+        assert_eq!(emit_project(&q), text);
+    }
+
+    #[test]
+    fn legacy_valueless_attr_lines_still_parse() {
+        let text =
+            "project x {\n  streamlet s {\n  }\n  impl i of s {\n    attr NoStrictType;\n  }\n}\n";
+        let p = parse_project(text).unwrap();
+        assert!(p
+            .implementation("i")
+            .unwrap()
+            .attributes
+            .contains_key("NoStrictType"));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::builtin::BuiltinRegistry;
 use crate::error::VhdlError;
-use crate::lower::lower_project;
+use crate::lower::{emit_netlist_cached, lower_project, lower_project_cached, CodegenCache};
 use std::fmt::Write as _;
 use tydi_ir::Project;
 use tydi_rtl::{emitter_for, Backend};
@@ -57,6 +57,23 @@ pub fn generate_project_for(
 ) -> Result<Vec<VhdlFile>, VhdlError> {
     let netlist = lower_project(project, registry, options)?;
     Ok(emitter_for(backend).emit_netlist(&netlist)?)
+}
+
+/// Like [`generate_project_for`], but reusing per-module lowerings
+/// and emitted files from a [`CodegenCache`]: on a recompile, only
+/// implementations whose content fingerprint changed are re-lowered
+/// and re-rendered. The output is byte-identical to
+/// [`generate_project_for`] for the same project (pinned by the
+/// differential test-suite).
+pub fn generate_project_cached(
+    project: &Project,
+    registry: &BuiltinRegistry,
+    options: &VhdlOptions,
+    backend: Backend,
+    cache: &mut CodegenCache,
+) -> Result<Vec<VhdlFile>, VhdlError> {
+    let (netlist, keys) = lower_project_cached(project, registry, options, cache)?;
+    emit_netlist_cached(&netlist, &keys, backend, cache)
 }
 
 /// Concatenates generated files into one string, each prefixed with a

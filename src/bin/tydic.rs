@@ -1,7 +1,7 @@
 //! `tydic` — the Tydi-lang command-line compiler.
 //!
 //! ```text
-//! tydic check   <file.td>...                 parse + elaborate + DRC
+//! tydic check   <file.td>... [--watch]       parse + elaborate + DRC
 //! tydic compile <file.td>... [options]       emit Tydi-IR, VHDL or Verilog
 //! tydic sim     <file.td>... --top <impl>    batch-simulate scenarios
 //! tydic --help | --version
@@ -10,8 +10,17 @@
 //!   --emit ir|vhdl|verilog  output format (default: ir)
 //!   --no-sugar          disable duplicator/voider insertion
 //!   --no-std            do not implicitly include the standard library
-//!   --timings           print per-stage wall-clock timings
+//!   --timings           print per-stage self times, the wall total,
+//!                       and per-stage cache reuse counts
+//!   --no-cache          disable the on-disk artifact cache
+//!   --cache-dir <dir>   artifact cache location (default: .tydic-cache)
 //!   -o, --out-dir <dir> write output files instead of stdout
+//!
+//! check options:
+//!   --watch             stay resident: poll the input files' mtimes
+//!                       and recompile the dirty cone on change
+//!   --poll-ms <n>       watch poll interval (default: 200)
+//!   --watch-runs <n>    exit after n compiles (testing hook)
 //!
 //! sim options:
 //!   --top <impl>        top-level implementation to simulate (required)
@@ -26,7 +35,7 @@ use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use tydi_lang::{compile, CompileOptions};
+use tydi_lang::{compile_with_cache, ArtifactCache, CompileOptions, CompileOutput, Stage};
 use tydi_stdlib::{full_registry, stdlib_source, STDLIB_FILE_NAME};
 use tydi_vhdl::{generate_project_for, Backend, VhdlOptions};
 
@@ -79,12 +88,22 @@ options:
                     output format (default: ir)
   --no-sugar        disable duplicator/voider insertion
   --no-std          do not implicitly include the standard library
-  --timings         print per-stage wall-clock timings
+  --timings         print per-stage self times, the wall-clock total,
+                    and per-stage cache reuse counts
+  --no-cache        disable the on-disk artifact cache
+  --cache-dir <dir> artifact cache location (default: .tydic-cache);
+                    wipe it by deleting the directory
   -o, --out-dir <dir>
                     write output files into <dir> instead of stdout
                     (stdout prefixes each file with a `file:` banner)
   -h, --help        print this help
   -V, --version     print the version
+
+check options:
+  --watch           stay resident: poll the input files' mtimes and
+                    recompile only the dirty cone on change
+  --poll-ms <n>     watch poll interval in milliseconds (default: 200)
+  --watch-runs <n>  exit after n compiles (testing hook)
 
 sim options:
   --top <impl>      top-level implementation to simulate (required)
@@ -138,6 +157,16 @@ struct Options {
     idle_threshold: Option<u64>,
     /// `sim`: use the polling cycle loop.
     polling: bool,
+    /// Disable the on-disk artifact cache.
+    no_cache: bool,
+    /// Artifact cache directory override.
+    cache_dir: Option<PathBuf>,
+    /// `check`: stay resident and recompile on file changes.
+    watch: bool,
+    /// `check --watch`: poll interval in milliseconds.
+    poll_ms: u64,
+    /// `check --watch`: exit after this many compiles (testing hook).
+    watch_runs: Option<usize>,
 }
 
 fn parse_count<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, CliError> {
@@ -181,6 +210,11 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
         max_cycles: 100_000,
         idle_threshold: None,
         polling: false,
+        no_cache: false,
+        cache_dir: None,
+        watch: false,
+        poll_ms: 200,
+        watch_runs: None,
     };
     let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
@@ -206,6 +240,19 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
             "--no-std" => options.include_std = false,
             "--no-sugar" => options.sugaring = false,
             "--timings" => options.timings = true,
+            "--no-cache" => options.no_cache = true,
+            "--cache-dir" => {
+                let dir = iter
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| CliError::usage("--cache-dir needs a directory"))?;
+                options.cache_dir = Some(PathBuf::from(dir));
+            }
+            "--watch" => options.watch = true,
+            "--poll-ms" => options.poll_ms = parse_count("--poll-ms", iter.next().cloned())?,
+            "--watch-runs" => {
+                options.watch_runs = Some(parse_count("--watch-runs", iter.next().cloned())?)
+            }
             "--top" => {
                 options.top = Some(
                     iter.next()
@@ -234,11 +281,15 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
             "sim needs --top <impl> (the implementation to simulate)",
         ));
     }
+    if options.watch && options.command != "check" {
+        return Err(CliError::usage("--watch is only supported with `check`"));
+    }
     Ok(Some(options))
 }
 
-fn run(options: &Options) -> Result<(), CliError> {
-    // Load sources (the standard library is implicit unless --no-std).
+/// Reads the input files (the standard library is implicit unless
+/// `--no-std`).
+fn load_sources(options: &Options) -> Result<Vec<(String, String)>, CliError> {
     let mut sources: Vec<(String, String)> = Vec::new();
     if options.include_std {
         sources.push((STDLIB_FILE_NAME.to_string(), stdlib_source().to_string()));
@@ -248,6 +299,20 @@ fn run(options: &Options) -> Result<(), CliError> {
             .map_err(|e| CliError::usage(format!("cannot read `{file}`: {e}")))?;
         sources.push((file.clone(), text));
     }
+    Ok(sources)
+}
+
+fn cache_dir(options: &Options) -> PathBuf {
+    options
+        .cache_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(tydi_lang::CACHE_DIR_NAME))
+}
+
+/// Compiles through the artifact cache, printing diagnostics and the
+/// summary/timings lines.
+fn compile_once(options: &Options, cache: &mut ArtifactCache) -> Result<CompileOutput, CliError> {
+    let sources = load_sources(options)?;
     let refs: Vec<(&str, &str)> = sources
         .iter()
         .map(|(n, t)| (n.as_str(), t.as_str()))
@@ -257,27 +322,135 @@ fn run(options: &Options) -> Result<(), CliError> {
         enable_sugaring: options.sugaring,
         run_drc: true,
     };
-
-    let output =
-        compile(&refs, &compile_options).map_err(|failure| CliError::failure(failure.render()))?;
+    let output = compile_with_cache(&refs, &compile_options, cache)
+        .map_err(|failure| CliError::failure(failure.render()))?;
     for d in &output.diagnostics {
         eprint!("{}", d.render(&output.files));
     }
     let stats = output.project.stats();
     eprintln!(
         "ok: {} streamlet(s), {} implementation(s), {} connection(s) in {:?}",
-        stats.streamlets,
-        stats.implementations,
-        stats.connections,
-        output.timings.total()
+        stats.streamlets, stats.implementations, stats.connections, output.timings.wall
     );
     if options.timings {
-        let t = output.timings;
-        eprintln!(
-            "stages: parse {:?}, elaborate {:?}, sugar {:?}, drc {:?}",
-            t.parse, t.elaborate, t.sugar, t.drc
-        );
+        print_timings(&output);
     }
+    Ok(output)
+}
+
+/// The `--timings` report: per-stage *self* times, then the self-time
+/// sum and the wall-clock window as separate totals (summing stage
+/// times double-counts when stage work overlaps on the thread pool),
+/// then per-stage cache reuse counts.
+fn print_timings(output: &CompileOutput) {
+    let t = output.timings;
+    eprintln!(
+        "stages: parse {:?}, elaborate {:?}, sugar {:?}, drc {:?} (self times)",
+        t.parse, t.elaborate, t.sugar, t.drc
+    );
+    eprintln!("totals: self {:?}, wall {:?}", t.total(), t.wall);
+    let mut reused = [0usize; 4];
+    let mut recomputed = [0usize; 4];
+    for record in &output.stage_records {
+        let slot = match record.stage {
+            Stage::Parse => 0,
+            Stage::Elaborate => 1,
+            Stage::Sugar => 2,
+            Stage::Drc => 3,
+        };
+        reused[slot] += record.reused;
+        recomputed[slot] += record.recomputed;
+    }
+    eprintln!(
+        "cache: parse {} reused / {} recomputed, elaborate {}/{}, sugar {}/{}, drc {}/{}",
+        reused[0],
+        recomputed[0],
+        reused[1],
+        recomputed[1],
+        reused[2],
+        recomputed[2],
+        reused[3],
+        recomputed[3],
+    );
+}
+
+/// Loads the persistent cache (an empty, never-saved one under
+/// `--no-cache`).
+fn load_cache(options: &Options) -> ArtifactCache {
+    if options.no_cache {
+        ArtifactCache::new()
+    } else {
+        ArtifactCache::load(&cache_dir(options))
+    }
+}
+
+/// Persists the cache when enabled and changed; persistence failures
+/// are warnings (compilation already succeeded or failed on its own
+/// terms).
+fn persist_cache(options: &Options, cache: &ArtifactCache) {
+    if options.no_cache || !cache.is_dirty() {
+        return;
+    }
+    let dir = cache_dir(options);
+    if let Err(e) = cache.save(&dir) {
+        eprintln!("warning: cannot persist cache to `{}`: {e}", dir.display());
+    }
+}
+
+/// `tydic check --watch`: compile, then poll the input files' size +
+/// mtime and recompile through the persistent artifact cache whenever
+/// something changes. Compile failures are reported and watching
+/// continues.
+fn run_watch(options: &Options) -> Result<(), CliError> {
+    let mut cache = load_cache(options);
+    eprintln!(
+        "watching {} file(s); recompiling on change (ctrl-c to stop)",
+        options.files.len()
+    );
+    let mut stamps = file_stamps(&options.files);
+    let mut runs = 0usize;
+    loop {
+        runs += 1;
+        match compile_once(options, &mut cache) {
+            Ok(_) => {}
+            Err(e) => eprintln!("{}", e.message.trim_end_matches('\n')),
+        }
+        persist_cache(options, &cache);
+        if options.watch_runs.is_some_and(|limit| runs >= limit) {
+            return Ok(());
+        }
+        loop {
+            std::thread::sleep(std::time::Duration::from_millis(options.poll_ms.max(10)));
+            let current = file_stamps(&options.files);
+            if current != stamps {
+                stamps = current;
+                eprintln!("change detected, recompiling...");
+                break;
+            }
+        }
+    }
+}
+
+/// Size + mtime per watched file (`None` for unreadable files, so a
+/// deleted file also registers as a change).
+fn file_stamps(files: &[String]) -> Vec<Option<(u64, std::time::SystemTime)>> {
+    files
+        .iter()
+        .map(|file| {
+            fs::metadata(file)
+                .ok()
+                .and_then(|m| m.modified().ok().map(|t| (m.len(), t)))
+        })
+        .collect()
+}
+
+fn run(options: &Options) -> Result<(), CliError> {
+    if options.watch {
+        return run_watch(options);
+    }
+    let mut cache = load_cache(options);
+    let output = compile_once(options, &mut cache)?;
+    persist_cache(options, &cache);
 
     if options.command == "check" {
         return Ok(());

@@ -1,0 +1,141 @@
+//! Golden-file snapshot tests for SystemVerilog emission over the
+//! cookbook designs — the SV twin of `golden_vhdl.rs`.
+//!
+//! Each cookbook program compiles (with the standard library) and
+//! lowers to SystemVerilog; the concatenated output — every generated
+//! file prefixed with a `// file: <name>` banner — must match the
+//! snapshot under `tests/golden/verilog/` byte for byte, so the SV
+//! backend is byte-pinned rather than only structurally checked.
+//!
+//! To regenerate after an intentional output change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_verilog
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use tydi::lang::{compile, CompileOptions};
+use tydi::stdlib::{full_registry, stdlib_source, STDLIB_FILE_NAME};
+use tydi::vhdl::{generate_project_for, Backend, VhdlOptions};
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// Compiles one cookbook file and renders every generated SV file
+/// behind a `// file:` banner, in definition order.
+fn render_cookbook_verilog(file: &str) -> String {
+    let path = repo_path("cookbook").join(file);
+    let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+    let sources = [
+        (STDLIB_FILE_NAME.to_string(), stdlib_source().to_string()),
+        (file.to_string(), text),
+    ];
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.as_str()))
+        .collect();
+    let out = compile(&refs, &CompileOptions::default())
+        .unwrap_or_else(|e| panic!("cookbook {file} failed to compile:\n{e}"));
+    let registry = full_registry();
+    tydi::fletcher::register_fletcher_rtl(&registry);
+    let files = generate_project_for(
+        &out.project,
+        &registry,
+        &VhdlOptions::default(),
+        Backend::SystemVerilog,
+    )
+    .unwrap_or_else(|e| panic!("cookbook {file} failed SV generation:\n{e}"));
+    let mut rendered = String::new();
+    for f in &files {
+        rendered.push_str(&format!("// file: {}\n", f.name));
+        rendered.push_str(&f.contents);
+    }
+    rendered
+}
+
+/// Compares (or, with `UPDATE_GOLDEN=1`, rewrites) one snapshot.
+fn check_golden(cookbook_file: &str) {
+    let stem = cookbook_file.trim_end_matches(".td");
+    let golden_path = repo_path("tests/golden/verilog").join(format!("{stem}.sv"));
+    let actual = render_cookbook_verilog(cookbook_file);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(golden_path.parent().unwrap()).expect("golden dir");
+        fs::write(&golden_path, &actual).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {golden_path:?} ({e}); \
+             run `UPDATE_GOLDEN=1 cargo test --test golden_verilog` to create it"
+        )
+    });
+    if actual != expected {
+        // Point at the first diverging line for a reviewable failure.
+        let mismatch = actual
+            .lines()
+            .zip(expected.lines())
+            .position(|(a, e)| a != e)
+            .map(|i| {
+                format!(
+                    "first mismatch at line {}:\n  actual:   {}\n  expected: {}",
+                    i + 1,
+                    actual.lines().nth(i).unwrap_or(""),
+                    expected.lines().nth(i).unwrap_or("")
+                )
+            })
+            .unwrap_or_else(|| {
+                format!(
+                    "outputs differ after the last common line (actual {} line(s), \
+                     expected {} line(s); check trailing content)",
+                    actual.lines().count(),
+                    expected.lines().count()
+                )
+            });
+        panic!(
+            "SystemVerilog output for {cookbook_file} drifted from {golden_path:?}.\n{mismatch}\n\
+             If the change is intentional, regenerate with \
+             `UPDATE_GOLDEN=1 cargo test --test golden_verilog` and review the diff."
+        );
+    }
+}
+
+/// Every cookbook design matches its pinned snapshot, and every
+/// snapshot belongs to a cookbook design (no stale goldens). Driven
+/// off the cookbook directory so newly added designs are covered (and
+/// creatable via `UPDATE_GOLDEN=1`) without editing this file.
+#[test]
+fn cookbook_verilog_matches_golden_snapshots() {
+    let mut cookbook: Vec<String> = fs::read_dir(repo_path("cookbook"))
+        .expect("cookbook dir")
+        .filter_map(|e| {
+            let name = e.expect("entry").file_name().to_string_lossy().to_string();
+            name.ends_with(".td").then_some(name)
+        })
+        .collect();
+    cookbook.sort();
+    assert!(
+        cookbook.len() >= 11,
+        "expected at least 11 cookbook designs, found {}",
+        cookbook.len()
+    );
+    for file in &cookbook {
+        check_golden(file);
+    }
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return;
+    }
+    let mut goldens: Vec<String> = fs::read_dir(repo_path("tests/golden/verilog"))
+        .expect("golden dir (run UPDATE_GOLDEN=1 once)")
+        .filter_map(|e| {
+            let name = e.expect("entry").file_name().to_string_lossy().to_string();
+            name.strip_suffix(".sv").map(|stem| format!("{stem}.td"))
+        })
+        .collect();
+    goldens.sort();
+    assert_eq!(
+        cookbook, goldens,
+        "stale golden snapshot(s): every tests/golden/verilog/*.sv must match a cookbook design"
+    );
+}

@@ -1,0 +1,165 @@
+//! Regression tests on the shape of `tydic --timings` output.
+//!
+//! The historic bug: the headline duration summed per-stage times and
+//! presented the sum as elapsed time, which double-counts when stage
+//! work overlaps on the thread pool. The fixed report separates the
+//! two: per-stage **self times** on one line, then `totals: self
+//! <sum>, wall <elapsed>` as distinct numbers, then per-stage cache
+//! reuse counts. These tests pin that shape (and the reuse counters)
+//! by running the real binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tydic-timing-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create workdir");
+    dir
+}
+
+fn tydic() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tydic"))
+}
+
+const DESIGN: &str = "package timing;\ntype B = Stream(Bit(8));\n\
+                      streamlet s { i : B in, o : B out, }\nimpl x of s { i => o, }\n";
+
+/// Runs `tydic check --timings` and returns stderr.
+fn check_with_timings(dir: &std::path::Path, extra: &[&str]) -> String {
+    let design = dir.join("t.td");
+    std::fs::write(&design, DESIGN).expect("write design");
+    let mut cmd = tydic();
+    cmd.arg("check")
+        .arg(&design)
+        .arg("--timings")
+        .arg("--cache-dir")
+        .arg(dir.join("cache"));
+    cmd.args(extra);
+    let out = cmd.output().expect("run tydic");
+    assert!(
+        out.status.success(),
+        "tydic failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stderr).to_string()
+}
+
+/// Extracts `name <duration>` pairs from `stages:` lines; durations
+/// print via `Duration`'s Debug form (`1.2ms`, `340µs`, `0ns`, ...).
+fn stage_line<'a>(stderr: &'a str, prefix: &str) -> &'a str {
+    stderr
+        .lines()
+        .find(|l| l.starts_with(prefix))
+        .unwrap_or_else(|| panic!("missing `{prefix}` line in:\n{stderr}"))
+}
+
+#[test]
+fn report_separates_self_times_from_the_wall_total() {
+    let dir = workdir();
+    let stderr = check_with_timings(&dir, &["--no-cache"]);
+
+    // Per-stage line names every stage and labels them as self times.
+    let stages = stage_line(&stderr, "stages: ");
+    for stage in ["parse", "elaborate", "sugar", "drc"] {
+        assert!(stages.contains(stage), "`{stage}` missing in: {stages}");
+    }
+    assert!(
+        stages.ends_with("(self times)"),
+        "self-time label missing: {stages}"
+    );
+
+    // Totals line reports self and wall separately — two numbers, not
+    // one sum presented as elapsed time.
+    let totals = stage_line(&stderr, "totals: ");
+    assert!(
+        totals.contains("self ") && totals.contains(", wall "),
+        "totals must carry self and wall separately: {totals}"
+    );
+
+    // The headline `ok:` line reports the wall figure, not the sum.
+    let ok = stage_line(&stderr, "ok: ");
+    let wall = totals.split(", wall ").nth(1).unwrap().trim();
+    assert!(
+        ok.ends_with(&format!("in {wall}")),
+        "headline should report the wall time `{wall}`: {ok}"
+    );
+
+    // Cache accounting is part of the report shape.
+    let cache = stage_line(&stderr, "cache: ");
+    assert!(
+        cache.contains("parse") && cache.contains("reused") && cache.contains("recomputed"),
+        "cache line shape: {cache}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_cache_run_reports_stage_reuse() {
+    let dir = workdir();
+    let cold = check_with_timings(&dir, &[]);
+    assert!(
+        stage_line(&cold, "cache: ").contains("elaborate 0/1"),
+        "cold run should recompute elaboration: {cold}"
+    );
+    let warm = check_with_timings(&dir, &[]);
+    let cache = stage_line(&warm, "cache: ");
+    assert!(
+        cache.contains("elaborate 1/0") && cache.contains("sugar 1/0") && cache.contains("drc 1/0"),
+        "warm run should reuse the later stages: {cache}"
+    );
+    assert!(
+        cache.contains("parse 2 reused / 0 recomputed"),
+        "warm run should reuse both parses (stdlib + design): {cache}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn watch_mode_recompiles_on_edit_and_reports_reuse() {
+    let dir = workdir();
+    let design = dir.join("w.td");
+    std::fs::write(&design, DESIGN).expect("write design");
+    // Spawn the watcher limited to two compiles, append a comment
+    // after it starts, and collect its output.
+    let child = tydic()
+        .arg("check")
+        .arg(&design)
+        .arg("--watch")
+        .arg("--watch-runs")
+        .arg("2")
+        .arg("--poll-ms")
+        .arg("25")
+        .arg("--timings")
+        .arg("--cache-dir")
+        .arg(dir.join("cache"))
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn tydic --watch");
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let mut text = std::fs::read_to_string(&design).unwrap();
+    text.push_str("\n// watch edit\n");
+    std::fs::write(&design, text).expect("touch design");
+    let out = child.wait_with_output().expect("watcher exits");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(
+        stderr.contains("change detected, recompiling..."),
+        "watcher must react to the edit:\n{stderr}"
+    );
+    // The recompile after a comment-only edit reuses elaboration.
+    let last_cache = stderr
+        .lines()
+        .rfind(|l| l.starts_with("cache: "))
+        .expect("cache lines");
+    assert!(
+        last_cache.contains("elaborate 1/0"),
+        "comment edit must reuse elaboration: {last_cache}"
+    );
+    assert_eq!(
+        stderr.matches("ok: ").count(),
+        2,
+        "exactly two compiles:\n{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
