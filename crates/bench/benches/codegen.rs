@@ -78,6 +78,43 @@ fn bench(c: &mut Criterion) {
     let netlist =
         lower_project(&compiled.project, &registry, &VhdlOptions::default()).expect("lowering");
 
+    // Machine-readable snapshot: lowering + per-backend emission wall
+    // times (best-of-3) for the PR-over-PR perf trajectory.
+    let best_of = |n: usize, f: &mut dyn FnMut()| {
+        let mut best = f64::INFINITY;
+        for _ in 0..n {
+            let t0 = std::time::Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best * 1e3
+    };
+    let mut report = tydi_bench::BenchReport::new("codegen")
+        .text("units", "ms (best-of-3)")
+        .metric("modules", netlist.modules.len() as f64);
+    report.add_metric(
+        "lower_ms",
+        best_of(3, &mut || {
+            black_box(
+                lower_project(&compiled.project, &registry, &VhdlOptions::default())
+                    .expect("lowering")
+                    .modules
+                    .len(),
+            );
+        }),
+    );
+    for backend in Backend::ALL {
+        let emitter = emitter_for(backend);
+        let key = format!("emit_ms_{backend}").to_lowercase();
+        report.add_metric(
+            key,
+            best_of(3, &mut || {
+                black_box(emitter.emit_netlist(&netlist).expect("emit").len());
+            }),
+        );
+    }
+    report.write().expect("write BENCH_codegen.json");
+
     let mut group = c.benchmark_group("codegen");
     group.sample_size(20);
     group.bench_function("lower/seq", |b| {

@@ -1,0 +1,220 @@
+//! Elaboration scaling: the hash-consed type store versus the frozen
+//! seed path.
+//!
+//! The fixture is the worst case the `TypeStore` was built for: a
+//! **deep** nested `Group`/`Union` tree (~2^(depth+1) nodes behind one
+//! alias) flowing through a **wide** template sweep — `refs` template
+//! references spread over `distinct` distinct argument lists. The seed
+//! path pays O(tree) per *reference* (memo keys stringify the whole
+//! type tree, declarations deep-clone, port types deep-clone); the
+//! hash-consed path pays O(tree) once per *distinct type* and O(1)
+//! per reference.
+//!
+//! The bench **asserts** (so bench-smoke CI fails on regression, not
+//! just prints slower numbers):
+//!
+//! * both elaborators emit byte-identical IR for every size
+//!   (differential correctness of the refactor);
+//! * template memoisation counts match the closed form
+//!   (`hits = refs - distinct`);
+//! * at the largest size the hash-consed path is >= 2x faster than
+//!   the seed path;
+//! * the per-reference cost of *repeated* instantiation stays flat as
+//!   the reference count grows 8x.
+//!
+//! Results are written to `BENCH_elab_scaling.json` at the repo root;
+//! the committed copy is the baseline for the CI perf-regression
+//! guard (`bench_guard`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use tydi_bench::BenchReport;
+use tydi_lang::ast::Package;
+use tydi_lang::baseline::elaborate_baseline;
+use tydi_lang::diagnostics::has_errors;
+use tydi_lang::instantiate::{elaborate, ElabInfo};
+
+/// Nesting depth of the type tree: the alias `T` wraps a
+/// `Group`/`Union` chain of `2^(DEPTH+1) - 1` nodes in a stream.
+const DEPTH: usize = 8;
+
+/// `(refs, distinct)` sweep sizes; the last entry carries the
+/// headline assertion.
+const SIZES: &[(usize, usize)] = &[(64, 4), (256, 16), (1024, 64)];
+
+/// A program with `refs` template references over `distinct` distinct
+/// instantiations, each argument list carrying the deep type.
+fn elab_scaling_source(depth: usize, refs: usize, distinct: usize) -> String {
+    let mut s = String::from("package scale;\n\ntype L0 = Bit(8);\n");
+    for level in 1..=depth {
+        // Alternate product and sum nodes; each level doubles the tree.
+        let prev = level - 1;
+        if level % 2 == 0 {
+            let _ = writeln!(s, "Union L{level} {{ u: L{prev}, v: L{prev}, }}");
+        } else {
+            let _ = writeln!(s, "Group L{level} {{ a: L{prev}, b: L{prev}, }}");
+        }
+    }
+    let _ = writeln!(s, "type T = Stream(L{depth});\n");
+    s.push_str("streamlet pass_s<T: type, k: int> { i : T in, o : T out, }\n");
+    s.push_str("impl pass_i<T: type, k: int> of pass_s<type T, k> external;\n\n");
+    let _ = writeln!(
+        s,
+        "streamlet top_s {{ i : T in [{refs}], o : T out [{refs}], }}"
+    );
+    s.push_str("impl top_i of top_s {\n");
+    let _ = writeln!(s, "    for r in (0..{refs}) {{");
+    let _ = writeln!(s, "        instance u(pass_i<type T, r % {distinct}>),");
+    s.push_str("        i[r] => u.i,\n        u.o => o[r],\n    }\n}\n");
+    s
+}
+
+fn parse_scaling(refs: usize, distinct: usize) -> Vec<Package> {
+    let source = elab_scaling_source(DEPTH, refs, distinct);
+    let (package, diags) = tydi_lang::parser::parse_package(0, &source);
+    assert!(!has_errors(&diags), "parse errors: {diags:?}");
+    vec![package.expect("package")]
+}
+
+/// Best-of-N wall time of one elaboration path; package clones are
+/// prepared outside the timed region so both paths pay identical
+/// setup.
+fn time_elab<R>(
+    packages: &[Package],
+    iters: usize,
+    mut run: impl FnMut(Vec<Package>) -> R,
+) -> Duration {
+    let mut pool: Vec<Vec<Package>> = (0..iters).map(|_| packages.to_vec()).collect();
+    let mut best = Duration::MAX;
+    for _ in 0..iters {
+        let input = pool.pop().expect("pool sized to iters");
+        let t0 = Instant::now();
+        black_box(run(input));
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+fn run_new(packages: Vec<Package>) -> (tydi_ir::Project, ElabInfo) {
+    let (project, info, diags) = elaborate(packages, "bench");
+    assert!(!has_errors(&diags), "elaboration errors: {diags:?}");
+    (project, info)
+}
+
+fn run_seed(packages: Vec<Package>) -> (tydi_ir::Project, ElabInfo) {
+    let (project, info, diags) = elaborate_baseline(packages, "bench");
+    assert!(
+        !has_errors(&diags),
+        "baseline elaboration errors: {diags:?}"
+    );
+    (project, info)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut report = BenchReport::new("elab_scaling")
+        .text("units", "ms (best-of-N wall time, elaborate stage only)")
+        .metric("depth", DEPTH as f64);
+
+    println!("\n===== elaboration scaling: hash-consed vs seed path =====");
+    println!(
+        "{:>6} {:>9} {:>14} {:>14} {:>9}",
+        "refs", "distinct", "seed(ms)", "hashcons(ms)", "speedup"
+    );
+    let mut headline_speedup = 0.0;
+    for &(refs, distinct) in SIZES {
+        let packages = parse_scaling(refs, distinct);
+
+        // Differential gate: both elaborators must emit identical IR
+        // and identical template statistics.
+        let (new_project, new_info) = run_new(packages.clone());
+        let (seed_project, seed_info) = run_seed(packages.clone());
+        assert_eq!(
+            tydi_ir::text::emit_project(&new_project),
+            tydi_ir::text::emit_project(&seed_project),
+            "hash-consed elaboration drifted from the seed path at refs={refs}"
+        );
+        assert_eq!(
+            new_info.template_instantiations,
+            seed_info.template_instantiations
+        );
+        assert_eq!(new_info.template_cache_hits, seed_info.template_cache_hits);
+        // Closed form: one miss per distinct list (impl + streamlet),
+        // one hit for every repeated reference, plus `top_i` hitting
+        // the already-elaborated concrete `top_s`.
+        assert_eq!(new_info.template_instantiations, 2 * distinct);
+        assert_eq!(new_info.template_cache_hits, refs - distinct + 1);
+        assert_eq!(new_project.validate(), Ok(()));
+
+        let iters = if refs >= 1024 { 3 } else { 5 };
+        let seed = time_elab(&packages, iters, run_seed);
+        let new = time_elab(&packages, iters, run_new);
+        let speedup = seed.as_secs_f64() / new.as_secs_f64().max(1e-9);
+        println!(
+            "{refs:>6} {distinct:>9} {:>14.2} {:>14.2} {speedup:>8.1}x",
+            seed.as_secs_f64() * 1e3,
+            new.as_secs_f64() * 1e3
+        );
+        report = report
+            .metric(format!("seed_ms_{refs}"), seed.as_secs_f64() * 1e3)
+            .metric(format!("hashcons_ms_{refs}"), new.as_secs_f64() * 1e3)
+            .metric(format!("speedup_{refs}"), speedup);
+        headline_speedup = speedup;
+    }
+    let (refs_max, _) = *SIZES.last().expect("sizes");
+    println!("headline (refs={refs_max}): {headline_speedup:.1}x");
+
+    // Flat per-reference cost: all references hit ONE memoised
+    // instantiation; growing the reference count 8x must not grow the
+    // per-reference cost (generous 3x bound for wall-clock noise —
+    // amortised instantiation cost makes the small size *more*
+    // expensive per reference, not less).
+    let small_refs = 128;
+    let large_refs = 1024;
+    let small = time_elab(&parse_scaling(small_refs, 1), 5, run_new);
+    let large = time_elab(&parse_scaling(large_refs, 1), 3, run_new);
+    let per_ref_small = small.as_secs_f64() / small_refs as f64;
+    let per_ref_large = large.as_secs_f64() / large_refs as f64;
+    println!(
+        "repeated instantiation: {:.2}us/ref at {small_refs} refs, {:.2}us/ref at {large_refs} refs",
+        per_ref_small * 1e6,
+        per_ref_large * 1e6
+    );
+    report = report
+        .metric("repeat_per_ref_us_small", per_ref_small * 1e6)
+        .metric("repeat_per_ref_us_large", per_ref_large * 1e6)
+        .metric("headline_speedup", headline_speedup);
+    println!("=========================================================\n");
+
+    assert!(
+        headline_speedup >= 2.0,
+        "hash-consed elaboration must be >= 2x faster than the seed path \
+         at refs={refs_max} (measured {headline_speedup:.2}x)"
+    );
+    assert!(
+        per_ref_large <= per_ref_small * 3.0,
+        "per-reference cost must stay flat for repeated instantiations \
+         ({:.2}us -> {:.2}us per ref)",
+        per_ref_small * 1e6,
+        per_ref_large * 1e6
+    );
+
+    report.write().expect("write BENCH_elab_scaling.json");
+
+    let mut group = c.benchmark_group("elab_scaling");
+    group.sample_size(10);
+    for &(refs, distinct) in &[(64usize, 4usize), (1024, 64)] {
+        let packages = parse_scaling(refs, distinct);
+        group.bench_function(format!("hashcons/{refs}"), |b| {
+            b.iter(|| run_new(black_box(packages.clone())))
+        });
+        group.bench_function(format!("seed/{refs}"), |b| {
+            b.iter(|| run_seed(black_box(packages.clone())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

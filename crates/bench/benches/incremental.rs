@@ -181,6 +181,21 @@ fn bench(c: &mut Criterion) {
         cold.as_secs_f64() / dirty.as_secs_f64().max(1e-9)
     );
     println!("==================================================================\n");
+    tydi_bench::BenchReport::new("incremental")
+        .text("units", "ms (best-of-3, whole cookbook)")
+        .metric("cold_ms", cold.as_secs_f64() * 1e3)
+        .metric("warm_touch_ms", touch.as_secs_f64() * 1e3)
+        .metric("warm_dirty_ms", dirty.as_secs_f64() * 1e3)
+        .metric(
+            "touch_speedup",
+            cold.as_secs_f64() / touch.as_secs_f64().max(1e-9),
+        )
+        .metric(
+            "dirty_speedup",
+            cold.as_secs_f64() / dirty.as_secs_f64().max(1e-9),
+        )
+        .write()
+        .expect("write BENCH_incremental.json");
     assert!(
         cold >= dirty * 3,
         "single-file-dirty warm recompile must be >= 3x faster than cold \

@@ -65,7 +65,7 @@ fn print_sweep() {
 /// sparse/bursty stimulus (a few packets trickling through a wide
 /// design whose probe accepts every 32nd cycle) is where skipping
 /// inert cycles and idle components must win clearly.
-fn print_scheduler_comparison() {
+fn print_scheduler_comparison(report: &mut tydi_bench::BenchReport) {
     println!("===== polling vs event-driven scheduler =====");
     println!(
         "{:>16} {:>12} {:>12} {:>9}",
@@ -101,13 +101,17 @@ fn print_scheduler_comparison() {
             event_s * 1e3,
             poll_s / event_s
         );
+        let key = label.split('/').next().unwrap_or(label);
+        report.add_metric(format!("polling_ms_{key}"), poll_s * 1e3);
+        report.add_metric(format!("event_ms_{key}"), event_s * 1e3);
+        report.add_metric(format!("event_speedup_{key}"), poll_s / event_s);
     }
     println!("=============================================\n");
 }
 
 /// Wall-clock comparison of a 4-scenario batch run sequentially
 /// (`TYDI_THREADS=1`) vs sharded over 4 threads.
-fn print_batch_comparison() {
+fn print_batch_comparison(report: &mut tydi_bench::BenchReport) {
     println!("===== SimBatch: sequential vs 4 threads =====");
     let compiled = compile_parallelize(4, DELAY);
     let registry = BehaviorRegistry::with_std();
@@ -139,12 +143,17 @@ fn print_batch_comparison() {
     );
     println!("  (machine reports {cores} hardware thread(s); sharding wins need > 1)");
     println!("=============================================\n");
+    report.add_metric("batch_sequential_ms", seq_s * 1e3);
+    report.add_metric("batch_4threads_ms", par_s * 1e3);
+    report.add_metric("batch_speedup", seq_s / par_s);
 }
 
 fn bench(c: &mut Criterion) {
     print_sweep();
-    print_scheduler_comparison();
-    print_batch_comparison();
+    let mut report = tydi_bench::BenchReport::new("sim_parallelize").text("units", "ms");
+    print_scheduler_comparison(&mut report);
+    print_batch_comparison(&mut report);
+    report.write().expect("write BENCH_sim_parallelize.json");
 
     let mut group = c.benchmark_group("sim_parallelize");
     group.sample_size(10);

@@ -36,6 +36,7 @@ fn print_scaling() {
         "{:>6} {:>12} {:>12} {:>12}",
         "N", "distinct(ms)", "repeat(ms)", "cache hits"
     );
+    let mut report = tydi_bench::BenchReport::new("template_scaling").text("units", "ms");
     for n in [8usize, 32, 128] {
         let t0 = std::time::Instant::now();
         let distinct = compile_scaling(n);
@@ -53,8 +54,11 @@ fn print_scaling() {
             "{n:>6} {distinct_ms:>12.2} {repeat_ms:>12.2} {:>12}",
             repeated.elab_info.template_cache_hits
         );
+        report.add_metric(format!("distinct_ms_{n}"), distinct_ms);
+        report.add_metric(format!("repeat_ms_{n}"), repeat_ms);
         black_box((distinct, repeated));
     }
+    report.write().expect("write BENCH_template_scaling.json");
     println!(
         "Memoisation keeps the repeated case flat: one elaboration per\n\
          distinct template-argument list (paper section IV-B).\n\

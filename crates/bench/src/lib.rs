@@ -8,6 +8,9 @@ use tydi_lang::{compile, CompileOptions, CompileOutput};
 use tydi_sim::{BehaviorRegistry, Packet, Scenario, SchedulerKind, SimBatch, Simulator};
 use tydi_stdlib::with_stdlib;
 
+pub mod report;
+pub use report::{read_metric, repo_root, BenchReport};
+
 /// The paper's §IV-B running example: a processing unit with an
 /// 8-cycle delay, parallelized over `channel` units with a demux/mux
 /// pair to reach one packet per cycle. Returns the Tydi-lang source.

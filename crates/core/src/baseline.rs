@@ -1,197 +1,615 @@
-//! Elaboration: evaluation, template instantiation and generative
-//! expansion (paper Fig. 3, code structures #1 through #3).
+//! The **seed-path elaborator**, frozen for benchmarking and
+//! differential testing.
 //!
-//! The elaborator walks every concrete (non-template) implementation,
-//! lazily evaluating constants and types, instantiating streamlet and
-//! implementation templates on demand, expanding `for`/`if` generative
-//! statements and port/instance arrays, and emitting a
-//! [`tydi_ir::Project`] directly.
+//! This module preserves the pre-hash-consing elaboration pipeline
+//! exactly as it shipped before the [`TypeStore`](tydi_spec::TypeStore)
+//! refactor, including its cost profile:
 //!
-//! ## Hash-consed types and O(1) template identity
+//! * template memo keys are built by **stringifying whole type trees**
+//!   (`ty.to_string()` per reference);
+//! * declarations are **deep-cloned** out of the package table on
+//!   every resolution;
+//! * scope frames are `HashMap<String, value>` with owned strings;
+//! * every type expression **deep-clones and re-validates** its
+//!   subtrees.
 //!
-//! Every logical type is built through the session's
-//! [`TypeStore`]: structurally equal types share one [`TypeId`] (and
-//! one `Arc<LogicalType>` allocation), so
-//!
-//! * the template-instantiation memo keys on `(declaration,
-//!   argument ids/values)` — **no mangled type strings are built on
-//!   the hot path**; the human-readable mangled instance name is
-//!   produced once per cache miss from the store's cached text;
-//! * repeated references to the same instantiation cost a handful of
-//!   integer hashes regardless of how deep the argument types are;
-//! * IR ports of equal types share their `Arc`, which the DRC and the
-//!   fingerprinting layer exploit with pointer-equality fast paths.
-//!
-//! Declarations are stored as [`Arc<Decl>`] and resolved by cloning
-//! the handle — the seed-path behaviour of deep-cloning whole
-//! declaration trees per reference is preserved only in
-//! [`crate::baseline`] for benchmarking.
+//! `benches/elab_scaling.rs` compares [`elaborate_baseline`] against
+//! the production [`elaborate`](crate::instantiate::elaborate) to
+//! prove the hash-consed path's speedup, and the differential tests
+//! assert both produce identical IR projects. Do **not** "improve"
+//! this module — its value is staying identical to the seed.
+
+#![allow(missing_docs)]
 
 use crate::ast::*;
 use crate::diagnostics::Diagnostic;
-use crate::eval::{eval_expr, EvalError, Resolver};
-use crate::scope::ScopeFrames;
+use crate::eval::EvalError;
+use crate::instantiate::ElabInfo;
 use crate::span::Span;
-use crate::value::{ImplValue, TypeValue, Value};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use tydi_ir::{
     Connection, EndpointRef, Implementation, Instance, Port, PortDirection, Project, Streamlet,
 };
 use tydi_spec::{
-    ClockDomain, Complexity, Direction, LogicalType, StreamParams, Synchronicity, Throughput,
-    TypeId, TypeStore, TypeStoreStats,
+    ClockDomain, Complexity, Direction, Field, LogicalType, StreamParams, Synchronicity, Throughput,
 };
 
-/// Side information the later pipeline stages need.
-#[derive(Debug, Clone, Default)]
-pub struct ElabInfo {
-    /// Interner backing the span table keys: implementation names and
-    /// connection descriptions are stored once as [`Symbol`]s instead
-    /// of owned string pairs per connection.
-    ///
-    /// [`Symbol`]: tydi_ir::Symbol
-    span_keys: tydi_ir::Interner,
-    /// Span of each connection, keyed by interned
-    /// `(impl name, "src => sink")` symbols, used to attach source
-    /// locations to DRC findings.
-    connection_spans: HashMap<(tydi_ir::Symbol, tydi_ir::Symbol), Span>,
-    /// Number of template instantiations performed (cache misses).
-    pub template_instantiations: usize,
-    /// Number of template cache hits.
-    pub template_cache_hits: usize,
-    /// Hash-consing statistics of the session type store: distinct
-    /// nodes interned, dedup hits, cached-expansion reuse.
-    pub type_store: TypeStoreStats,
+// ---- the seed's value model (owned strings, deep trees) ------------------
+
+/// Seed-path clone of the pre-refactor `TypeValue`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BTypeValue {
+    pub ty: Arc<LogicalType>,
+    pub origin: Option<String>,
 }
 
-impl ElabInfo {
-    /// An info carrying only template statistics — the shape restored
-    /// from the on-disk artifact cache, where connection spans are not
-    /// persisted (they are only consulted when the DRC fails, and
-    /// cached artifacts passed the DRC).
-    pub fn with_template_counts(instantiations: usize, cache_hits: usize) -> Self {
-        ElabInfo {
-            template_instantiations: instantiations,
-            template_cache_hits: cache_hits,
-            ..ElabInfo::default()
+impl BTypeValue {
+    fn anonymous(ty: LogicalType) -> Self {
+        BTypeValue {
+            ty: Arc::new(ty),
+            origin: None,
         }
     }
 
-    /// Records the source span of a connection.
-    pub fn record_connection_span(&mut self, impl_name: &str, connection: &str, span: Span) {
-        let key = (
-            self.span_keys.intern(impl_name),
-            self.span_keys.intern(connection),
-        );
-        self.connection_spans.insert(key, span);
-    }
-
-    /// The source span of a connection, when known. Read-only: unknown
-    /// names are not interned.
-    pub fn connection_span(&self, impl_name: &str, connection: &str) -> Option<Span> {
-        let key = (
-            self.span_keys.get(impl_name)?,
-            self.span_keys.get(connection)?,
-        );
-        self.connection_spans.get(&key).copied()
-    }
-
-    /// Number of recorded connection spans.
-    pub fn connection_span_count(&self) -> usize {
-        self.connection_spans.len()
+    fn named(ty: LogicalType, origin: impl Into<String>) -> Self {
+        BTypeValue {
+            ty: Arc::new(ty),
+            origin: Some(origin.into()),
+        }
     }
 }
 
-/// Elaborates merged packages into an IR project.
-pub fn elaborate(
+/// Seed-path clone of the pre-refactor `ImplValue`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BImplValue {
+    pub name: String,
+    pub streamlet: String,
+    pub streamlet_base: String,
+}
+
+/// Seed-path clone of the pre-refactor `Value`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BValue {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Clock(ClockDomain),
+    Array(Vec<BValue>),
+    Type(BTypeValue),
+    Impl(BImplValue),
+}
+
+impl BValue {
+    fn kind_name(&self) -> &'static str {
+        match self {
+            BValue::Int(_) => "int",
+            BValue::Float(_) => "float",
+            BValue::Str(_) => "string",
+            BValue::Bool(_) => "bool",
+            BValue::Clock(_) => "clockdomain",
+            BValue::Array(_) => "array",
+            BValue::Type(_) => "type",
+            BValue::Impl(_) => "impl",
+        }
+    }
+
+    fn as_int(&self) -> Option<i64> {
+        match self {
+            BValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            BValue::Int(v) => Some(*v as f64),
+            BValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            BValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn is_numeric(&self) -> bool {
+        matches!(self, BValue::Int(_) | BValue::Float(_))
+    }
+
+    /// The seed's mangling: type arguments stringify the whole tree.
+    fn mangle(&self) -> String {
+        match self {
+            BValue::Int(v) => v.to_string(),
+            BValue::Float(v) => format!("{v:?}"),
+            BValue::Str(s) => format!("{s:?}"),
+            BValue::Bool(b) => b.to_string(),
+            BValue::Clock(c) => format!("!{}", c.name()),
+            BValue::Array(items) => {
+                let inner: Vec<String> = items.iter().map(BValue::mangle).collect();
+                format!("[{}]", inner.join(","))
+            }
+            BValue::Type(t) => t.ty.to_string().replace(' ', ""),
+            BValue::Impl(i) => i.name.clone(),
+        }
+    }
+}
+
+impl std::fmt::Display for BValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BValue::Str(s) => write!(f, "{s}"),
+            other => write!(f, "{}", other.mangle()),
+        }
+    }
+}
+
+// ---- the seed's scope frames (string-keyed hash maps) --------------------
+
+#[derive(Debug, Default)]
+struct BScopeFrames {
+    frames: Vec<HashMap<String, BValue>>,
+}
+
+impl BScopeFrames {
+    fn push(&mut self) {
+        self.frames.push(HashMap::new());
+    }
+
+    fn pop(&mut self) {
+        self.frames.pop().expect("scope frame underflow");
+    }
+
+    fn define(&mut self, name: impl Into<String>, value: BValue) {
+        self.frames
+            .last_mut()
+            .expect("no active scope frame")
+            .insert(name.into(), value);
+    }
+
+    fn get(&self, name: &str) -> Option<&BValue> {
+        self.frames.iter().rev().find_map(|f| f.get(name))
+    }
+}
+
+// ---- the seed's expression evaluator -------------------------------------
+
+trait BResolver {
+    fn lookup(&mut self, name: &str, span: Span) -> Result<BValue, EvalError>;
+}
+
+fn beval_expr(expr: &Expr, resolver: &mut dyn BResolver) -> Result<BValue, EvalError> {
+    match expr {
+        Expr::Int(v, _) => Ok(BValue::Int(*v)),
+        Expr::Float(v, _) => Ok(BValue::Float(*v)),
+        Expr::Str(s, _) => Ok(BValue::Str(s.clone())),
+        Expr::Bool(b, _) => Ok(BValue::Bool(*b)),
+        Expr::Clock(name, _) => Ok(BValue::Clock(ClockDomain::new(name))),
+        Expr::Ident(name, span) => resolver.lookup(name, *span),
+        Expr::Array(items, _) => {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                out.push(beval_expr(item, resolver)?);
+            }
+            Ok(BValue::Array(out))
+        }
+        Expr::Range {
+            start,
+            end,
+            step,
+            span,
+        } => {
+            let start_v = bexpect_int(beval_expr(start, resolver)?, start.span())?;
+            let end_v = bexpect_int(beval_expr(end, resolver)?, end.span())?;
+            let step_v = match step {
+                Some(s) => bexpect_int(beval_expr(s, resolver)?, s.span())?,
+                None => 1,
+            };
+            if step_v == 0 {
+                return Err(EvalError::new("range step must be non-zero", *span));
+            }
+            let mut out = Vec::new();
+            let mut v = start_v;
+            if step_v > 0 {
+                while v < end_v {
+                    out.push(BValue::Int(v));
+                    v += step_v;
+                }
+            } else {
+                while v > end_v {
+                    out.push(BValue::Int(v));
+                    v += step_v;
+                }
+            }
+            if out.len() > 1_000_000 {
+                return Err(EvalError::new(
+                    "range produces more than 1e6 elements",
+                    *span,
+                ));
+            }
+            Ok(BValue::Array(out))
+        }
+        Expr::Index { base, index, span } => {
+            let base_v = beval_expr(base, resolver)?;
+            let index_v = bexpect_int(beval_expr(index, resolver)?, index.span())?;
+            match base_v {
+                BValue::Array(items) => {
+                    if index_v < 0 || index_v as usize >= items.len() {
+                        Err(EvalError::new(
+                            format!(
+                                "index {index_v} out of bounds for array of length {}",
+                                items.len()
+                            ),
+                            *span,
+                        ))
+                    } else {
+                        Ok(items[index_v as usize].clone())
+                    }
+                }
+                other => Err(EvalError::new(
+                    format!("cannot index into a {}", other.kind_name()),
+                    *span,
+                )),
+            }
+        }
+        Expr::Unary { op, operand, span } => {
+            let v = beval_expr(operand, resolver)?;
+            match (op, v) {
+                (UnaryOp::Neg, BValue::Int(v)) => Ok(BValue::Int(-v)),
+                (UnaryOp::Neg, BValue::Float(v)) => Ok(BValue::Float(-v)),
+                (UnaryOp::Not, BValue::Bool(b)) => Ok(BValue::Bool(!b)),
+                (op, v) => Err(EvalError::new(
+                    format!(
+                        "unary `{}` is not defined for {}",
+                        match op {
+                            UnaryOp::Neg => "-",
+                            UnaryOp::Not => "!",
+                        },
+                        v.kind_name()
+                    ),
+                    *span,
+                )),
+            }
+        }
+        Expr::Binary { op, lhs, rhs, span } => {
+            if matches!(op, BinOp::And | BinOp::Or) {
+                let l = bexpect_bool(beval_expr(lhs, resolver)?, lhs.span())?;
+                return match (op, l) {
+                    (BinOp::And, false) => Ok(BValue::Bool(false)),
+                    (BinOp::Or, true) => Ok(BValue::Bool(true)),
+                    _ => {
+                        let r = bexpect_bool(beval_expr(rhs, resolver)?, rhs.span())?;
+                        Ok(BValue::Bool(r))
+                    }
+                };
+            }
+            let l = beval_expr(lhs, resolver)?;
+            let r = beval_expr(rhs, resolver)?;
+            bbinary(*op, l, r, *span)
+        }
+        Expr::Call { name, args, span } => {
+            let mut values = Vec::with_capacity(args.len());
+            for a in args {
+                values.push(beval_expr(a, resolver)?);
+            }
+            bcall_builtin(name, &values, *span)
+        }
+    }
+}
+
+fn bexpect_int(v: BValue, span: Span) -> Result<i64, EvalError> {
+    v.as_int()
+        .ok_or_else(|| EvalError::new(format!("expected int, found {}", v.kind_name()), span))
+}
+
+fn bexpect_bool(v: BValue, span: Span) -> Result<bool, EvalError> {
+    v.as_bool()
+        .ok_or_else(|| EvalError::new(format!("expected bool, found {}", v.kind_name()), span))
+}
+
+fn bbinary(op: BinOp, l: BValue, r: BValue, span: Span) -> Result<BValue, EvalError> {
+    use BinOp::*;
+    if op == Add {
+        if let BValue::Str(a) = &l {
+            return Ok(BValue::Str(format!("{a}{r}")));
+        }
+        if let BValue::Str(b) = &r {
+            return Ok(BValue::Str(format!("{l}{b}")));
+        }
+    }
+    if matches!(op, Eq | Ne) {
+        let equal = match (&l, &r) {
+            (a, b) if a.is_numeric() && b.is_numeric() => {
+                a.as_f64().unwrap() == b.as_f64().unwrap()
+            }
+            (a, b) => a == b,
+        };
+        return Ok(BValue::Bool(if op == Eq { equal } else { !equal }));
+    }
+    if matches!(op, Lt | Le | Gt | Ge) {
+        let ordering = match (&l, &r) {
+            (a, b) if a.is_numeric() && b.is_numeric() => {
+                a.as_f64().unwrap().partial_cmp(&b.as_f64().unwrap())
+            }
+            (BValue::Str(a), BValue::Str(b)) => Some(a.cmp(b)),
+            _ => None,
+        };
+        let Some(ordering) = ordering else {
+            return Err(EvalError::new(
+                format!("cannot order {} and {}", l.kind_name(), r.kind_name()),
+                span,
+            ));
+        };
+        use std::cmp::Ordering as O;
+        let result = match op {
+            Lt => ordering == O::Less,
+            Le => ordering != O::Greater,
+            Gt => ordering == O::Greater,
+            Ge => ordering != O::Less,
+            _ => unreachable!(),
+        };
+        return Ok(BValue::Bool(result));
+    }
+    match (&l, &r) {
+        (BValue::Int(a), BValue::Int(b)) => {
+            let a = *a;
+            let b = *b;
+            match op {
+                Add => bchecked(a.checked_add(b), span),
+                Sub => bchecked(a.checked_sub(b), span),
+                Mul => bchecked(a.checked_mul(b), span),
+                Div => {
+                    if b == 0 {
+                        Err(EvalError::new("division by zero", span))
+                    } else {
+                        Ok(BValue::Int(a / b))
+                    }
+                }
+                Rem => {
+                    if b == 0 {
+                        Err(EvalError::new("remainder by zero", span))
+                    } else {
+                        Ok(BValue::Int(a % b))
+                    }
+                }
+                Pow => {
+                    if b >= 0 {
+                        match u32::try_from(b).ok().and_then(|e| a.checked_pow(e)) {
+                            Some(v) => Ok(BValue::Int(v)),
+                            None => Err(EvalError::new("integer power overflow", span)),
+                        }
+                    } else {
+                        Ok(BValue::Float((a as f64).powi(b as i32)))
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        (a, b) if a.is_numeric() && b.is_numeric() => {
+            let a = a.as_f64().unwrap();
+            let b = b.as_f64().unwrap();
+            let v = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => {
+                    if b == 0.0 {
+                        return Err(EvalError::new("division by zero", span));
+                    }
+                    a / b
+                }
+                Rem => {
+                    if b == 0.0 {
+                        return Err(EvalError::new("remainder by zero", span));
+                    }
+                    a % b
+                }
+                Pow => a.powf(b),
+                _ => unreachable!(),
+            };
+            Ok(BValue::Float(v))
+        }
+        _ => Err(EvalError::new(
+            format!(
+                "operator is not defined for {} and {}",
+                l.kind_name(),
+                r.kind_name()
+            ),
+            span,
+        )),
+    }
+}
+
+fn bchecked(v: Option<i64>, span: Span) -> Result<BValue, EvalError> {
+    v.map(BValue::Int)
+        .ok_or_else(|| EvalError::new("integer overflow", span))
+}
+
+fn bcall_builtin(name: &str, args: &[BValue], span: Span) -> Result<BValue, EvalError> {
+    let arity = |n: usize| -> Result<(), EvalError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(EvalError::new(
+                format!("`{name}` expects {n} argument(s), got {}", args.len()),
+                span,
+            ))
+        }
+    };
+    let num = |i: usize| -> Result<f64, EvalError> {
+        args[i].as_f64().ok_or_else(|| {
+            EvalError::new(
+                format!(
+                    "`{name}` expects a numeric argument, got {}",
+                    args[i].kind_name()
+                ),
+                span,
+            )
+        })
+    };
+    match name {
+        "ceil" => {
+            arity(1)?;
+            Ok(BValue::Int(num(0)?.ceil() as i64))
+        }
+        "floor" => {
+            arity(1)?;
+            Ok(BValue::Int(num(0)?.floor() as i64))
+        }
+        "round" => {
+            arity(1)?;
+            Ok(BValue::Int(num(0)?.round() as i64))
+        }
+        "abs" => {
+            arity(1)?;
+            match &args[0] {
+                BValue::Int(v) => Ok(BValue::Int(v.abs())),
+                BValue::Float(v) => Ok(BValue::Float(v.abs())),
+                other => Err(EvalError::new(
+                    format!("`abs` expects a number, got {}", other.kind_name()),
+                    span,
+                )),
+            }
+        }
+        "log2" => {
+            arity(1)?;
+            let v = num(0)?;
+            if v <= 0.0 {
+                return Err(EvalError::new("log2 of a non-positive number", span));
+            }
+            Ok(BValue::Float(v.log2()))
+        }
+        "log10" => {
+            arity(1)?;
+            let v = num(0)?;
+            if v <= 0.0 {
+                return Err(EvalError::new("log10 of a non-positive number", span));
+            }
+            Ok(BValue::Float(v.log10()))
+        }
+        "ln" => {
+            arity(1)?;
+            let v = num(0)?;
+            if v <= 0.0 {
+                return Err(EvalError::new("ln of a non-positive number", span));
+            }
+            Ok(BValue::Float(v.ln()))
+        }
+        "sqrt" => {
+            arity(1)?;
+            let v = num(0)?;
+            if v < 0.0 {
+                return Err(EvalError::new("sqrt of a negative number", span));
+            }
+            Ok(BValue::Float(v.sqrt()))
+        }
+        "pow" => {
+            arity(2)?;
+            Ok(BValue::Float(num(0)?.powf(num(1)?)))
+        }
+        "min" | "max" => {
+            if args.is_empty() {
+                return Err(EvalError::new(format!("`{name}` needs arguments"), span));
+            }
+            let mut best = num(0)?;
+            let mut all_int = matches!(args[0], BValue::Int(_));
+            for (i, a) in args.iter().enumerate().skip(1) {
+                let v = num(i)?;
+                all_int &= matches!(a, BValue::Int(_));
+                best = if name == "min" {
+                    best.min(v)
+                } else {
+                    best.max(v)
+                };
+            }
+            if all_int {
+                Ok(BValue::Int(best as i64))
+            } else {
+                Ok(BValue::Float(best))
+            }
+        }
+        "len" => {
+            arity(1)?;
+            match &args[0] {
+                BValue::Array(items) => Ok(BValue::Int(items.len() as i64)),
+                BValue::Str(s) => Ok(BValue::Int(s.chars().count() as i64)),
+                other => Err(EvalError::new(
+                    format!(
+                        "`len` expects an array or string, got {}",
+                        other.kind_name()
+                    ),
+                    span,
+                )),
+            }
+        }
+        "int" => {
+            arity(1)?;
+            Ok(BValue::Int(num(0)? as i64))
+        }
+        "float" => {
+            arity(1)?;
+            Ok(BValue::Float(num(0)?))
+        }
+        "str" => {
+            arity(1)?;
+            Ok(BValue::Str(args[0].to_string()))
+        }
+        other => Err(EvalError::new(
+            format!("unknown builtin function `{other}`"),
+            span,
+        )),
+    }
+}
+
+// ---- the seed's elaborator -----------------------------------------------
+
+/// Elaborates merged packages into an IR project via the frozen
+/// seed path (see the module docs).
+pub fn elaborate_baseline(
     packages: Vec<Package>,
     project_name: &str,
 ) -> (Project, ElabInfo, Vec<Diagnostic>) {
-    let mut elab = Elaborator::new(packages, project_name);
+    let mut elab = BElaborator::new(packages, project_name);
     elab.run();
-    elab.info.type_store = elab.types.stats();
     (elab.project, elab.info, elab.diagnostics)
 }
 
-/// A declaration's identity: owning package plus index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct DeclId {
     package: usize,
     decl: usize,
 }
 
-/// A template memo key: the declaration plus its evaluated argument
-/// list in compact form. Type arguments key on their [`TypeId`] —
-/// hashing one is an integer op, however deep the tree behind it.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum ArgKey {
-    Int(i64),
-    /// Float bit pattern (mangling distinguishes `1` from `1.0` too).
-    Float(u64),
-    Str(String),
-    Bool(bool),
-    Clock(String),
-    Array(Vec<ArgKey>),
-    Type(TypeId),
-    Impl(Arc<str>),
-}
-
-impl ArgKey {
-    fn of(value: &Value) -> ArgKey {
-        match value {
-            Value::Int(v) => ArgKey::Int(*v),
-            Value::Float(v) => ArgKey::Float(v.to_bits()),
-            Value::Str(s) => ArgKey::Str(s.clone()),
-            Value::Bool(b) => ArgKey::Bool(*b),
-            Value::Clock(c) => ArgKey::Clock(c.name().to_string()),
-            Value::Array(items) => ArgKey::Array(items.iter().map(ArgKey::of).collect()),
-            Value::Type(t) => ArgKey::Type(t.id),
-            Value::Impl(i) => ArgKey::Impl(Arc::clone(&i.name)),
-        }
-    }
-
-    fn of_bindings(bindings: &[(String, Value)]) -> Vec<ArgKey> {
-        bindings.iter().map(|(_, v)| ArgKey::of(v)).collect()
-    }
-}
-
 struct MergedPackage {
     name: String,
     uses: Vec<String>,
-    /// Declarations behind shared handles: resolving a reference
-    /// clones the `Arc`, never the tree.
-    decls: Vec<Arc<Decl>>,
+    decls: Vec<Decl>,
     index: HashMap<String, usize>,
 }
 
-struct Elaborator {
+struct BElaborator {
     packages: Vec<MergedPackage>,
     package_index: HashMap<String, usize>,
     project: Project,
     info: ElabInfo,
     diagnostics: Vec<Diagnostic>,
-    /// The session's hash-consed type store.
-    types: TypeStore,
-    /// Evaluated global consts / types, keyed by declaration.
-    value_cache: HashMap<DeclId, Value>,
-    /// Cycle detection for lazy global evaluation.
+    value_cache: HashMap<DeclId, BValue>,
     evaluating: HashSet<DeclId>,
-    /// Elaborated streamlet templates: (decl, args) -> IR name.
-    streamlet_cache: HashMap<(DeclId, Vec<ArgKey>), Arc<str>>,
-    /// Elaborated implementations: (decl, args) -> value.
-    impl_cache: HashMap<(DeclId, Vec<ArgKey>), ImplValue>,
-    /// Local scope frames (template args, for-vars, local consts).
-    locals: ScopeFrames,
-    /// The package whose scope we are currently elaborating in.
+    /// Elaborated streamlet templates: **mangled string** key -> IR name.
+    streamlet_cache: HashMap<String, String>,
+    /// Elaborated implementations: **mangled string** key -> value.
+    impl_cache: HashMap<String, BImplValue>,
+    locals: BScopeFrames,
     current_package: usize,
 }
 
-/// Maximum template/instantiation recursion before assuming runaway
-/// recursion (e.g. a template instantiating itself).
 const MAX_DEPTH: usize = 64;
 
-impl Elaborator {
+impl BElaborator {
     fn new(packages: Vec<Package>, project_name: &str) -> Self {
         let mut merged: Vec<MergedPackage> = Vec::new();
         let mut package_index = HashMap::new();
@@ -225,61 +643,53 @@ impl Elaborator {
                                 "duplicate declaration `{name}` in package `{}`",
                                 target.name
                             ),
-                            decl_span(&decl),
+                            bdecl_span(&decl),
                         ));
                         continue;
                     }
                     target.index.insert(name.to_string(), target.decls.len());
                 }
-                target.decls.push(Arc::new(decl));
+                target.decls.push(decl);
             }
         }
-        Elaborator {
+        BElaborator {
             packages: merged,
             package_index,
             project: Project::new(project_name),
             info: ElabInfo::default(),
             diagnostics,
-            types: TypeStore::new(),
             value_cache: HashMap::new(),
             evaluating: HashSet::new(),
             streamlet_cache: HashMap::new(),
             impl_cache: HashMap::new(),
-            locals: ScopeFrames::new(),
+            locals: BScopeFrames::default(),
             current_package: 0,
         }
     }
 
     fn run(&mut self) {
-        // Elaborate every concrete (non-template) impl and streamlet,
-        // and check top-level asserts, in declaration order.
         for pkg_idx in 0..self.packages.len() {
             self.current_package = pkg_idx;
             for decl_idx in 0..self.packages[pkg_idx].decls.len() {
-                let decl = Arc::clone(&self.packages[pkg_idx].decls[decl_idx]);
-                let id = DeclId {
-                    package: pkg_idx,
-                    decl: decl_idx,
-                };
-                match &*decl {
+                // Seed path: deep-clone the declaration per visit.
+                let decl = self.packages[pkg_idx].decls[decl_idx].clone();
+                match decl {
                     Decl::Assert {
                         expr,
                         message,
                         span,
-                    } => self.check_assert(expr, message.as_ref(), *span),
+                    } => self.check_assert(&expr, message.as_ref(), span),
                     Decl::Streamlet(s) if s.params.is_empty() => {
-                        self.elaborate_streamlet(id, s, &[], 0);
+                        self.elaborate_streamlet(pkg_idx, &s, &[], 0);
                     }
                     Decl::Impl(i) if i.params.is_empty() => {
-                        self.elaborate_impl(id, i, &[], 0);
+                        self.elaborate_impl(pkg_idx, &i, &[], 0);
                     }
                     _ => {}
                 }
             }
         }
     }
-
-    // ---- diagnostics helpers ---------------------------------------------
 
     fn error(&mut self, message: impl Into<String>, span: Span) {
         self.diagnostics
@@ -291,33 +701,26 @@ impl Elaborator {
             .push(Diagnostic::error("evaluate", e.message, Some(e.span)));
     }
 
-    // ---- name resolution ----------------------------------------------------
-
-    /// Finds a declaration visible from `pkg`: its own declarations
-    /// first, then everything imported with `use`. No allocation on
-    /// the success path — the import list is walked in place.
     fn find_decl(&mut self, pkg: usize, name: &str, span: Span) -> Option<DeclId> {
         if let Some(&decl) = self.packages[pkg].index.get(name) {
             return Some(DeclId { package: pkg, decl });
         }
         let mut found: Option<DeclId> = None;
-        let mut pending: Vec<String> = Vec::new();
-        let mut ambiguous = false;
-        for ui in 0..self.packages[pkg].uses.len() {
-            let used = self.packages[pkg].uses[ui].as_str();
-            let Some(&used_idx) = self.package_index.get(used) else {
-                pending.push(format!("use of unknown package `{used}`"));
+        // Seed path: clones the import list on every lookup.
+        for used in self.packages[pkg].uses.clone() {
+            let Some(&used_idx) = self.package_index.get(&used) else {
+                self.error(format!("use of unknown package `{used}`"), span);
                 continue;
             };
             if let Some(&decl) = self.packages[used_idx].index.get(name) {
                 if let Some(previous) = found {
-                    let a = &self.packages[previous.package].name;
-                    let b = &self.packages[used_idx].name;
-                    pending.push(format!(
-                        "`{name}` is ambiguous: defined in both `{a}` and `{b}`"
-                    ));
-                    ambiguous = true;
-                    break;
+                    let a = self.packages[previous.package].name.clone();
+                    let b = self.packages[used_idx].name.clone();
+                    self.error(
+                        format!("`{name}` is ambiguous: defined in both `{a}` and `{b}`"),
+                        span,
+                    );
+                    return None;
                 }
                 found = Some(DeclId {
                     package: used_idx,
@@ -325,17 +728,10 @@ impl Elaborator {
                 });
             }
         }
-        for message in pending {
-            self.error(message, span);
-        }
-        if ambiguous {
-            return None;
-        }
         found
     }
 
-    /// Lazily evaluates a global declaration to a value.
-    fn global_value(&mut self, id: DeclId, span: Span) -> Result<Value, EvalError> {
+    fn global_value(&mut self, id: DeclId, span: Span) -> Result<BValue, EvalError> {
         if let Some(v) = self.value_cache.get(&id) {
             return Ok(v.clone());
         }
@@ -351,10 +747,11 @@ impl Elaborator {
         }
         let saved_package = self.current_package;
         self.current_package = id.package;
-        let decl = Arc::clone(&self.packages[id.package].decls[id.decl]);
-        let result = match &*decl {
+        // Seed path: deep-clone the declaration per resolution.
+        let decl = self.packages[id.package].decls[id.decl].clone();
+        let result = match &decl {
             Decl::Const(c) => {
-                let value = eval_expr(&c.value, self);
+                let value = beval_expr(&c.value, self);
                 match value {
                     Ok(v) => self.check_var_kind(&c.name, c.kind.as_ref(), v, c.span),
                     Err(e) => Err(e),
@@ -363,17 +760,22 @@ impl Elaborator {
             Decl::TypeAlias { name, ty, span } => {
                 let qualified = format!("{}.{}", self.packages[id.package].name, name);
                 self.elaborate_type(ty, 0)
-                    .map(|tv| Value::Type(tv.with_origin(qualified)))
+                    .map(|tv| {
+                        BValue::Type(BTypeValue {
+                            ty: tv.ty,
+                            origin: Some(qualified),
+                        })
+                    })
                     .map_err(|e| EvalError::new(e.message, *span))
             }
             Decl::Group { name, fields, span } | Decl::Union { name, fields, span } => {
                 let qualified = format!("{}.{}", self.packages[id.package].name, name);
-                let is_group = matches!(&*decl, Decl::Group { .. });
+                let is_group = matches!(&decl, Decl::Group { .. });
                 let mut out_fields = Vec::with_capacity(fields.len());
                 let mut failed = None;
                 for (field_name, field_ty) in fields {
                     match self.elaborate_type(field_ty, 0) {
-                        Ok(tv) => out_fields.push((field_name.clone(), tv.id)),
+                        Ok(tv) => out_fields.push(Field::new(field_name, (*tv.ty).clone())),
                         Err(e) => {
                             failed = Some(EvalError::new(e.message, *span));
                             break;
@@ -383,27 +785,29 @@ impl Elaborator {
                 match failed {
                     Some(e) => Err(e),
                     None => {
-                        let composed = if is_group {
-                            self.types.group(out_fields)
+                        let ty = if is_group {
+                            LogicalType::Group(out_fields)
                         } else {
-                            self.types.union(out_fields)
+                            LogicalType::Union(out_fields)
                         };
-                        match composed {
-                            Ok(ty_id) => {
-                                Ok(Value::Type(self.type_value(ty_id).with_origin(qualified)))
-                            }
+                        match ty.validate() {
+                            Ok(()) => Ok(BValue::Type(BTypeValue::named(ty, qualified))),
                             Err(e) => Err(EvalError::new(e.to_string(), *span)),
                         }
                     }
                 }
             }
-            Decl::Impl(i) if i.params.is_empty() => match self.elaborate_impl(id, i, &[], 0) {
-                Some(v) => Ok(Value::Impl(v)),
-                None => Err(EvalError::new(
-                    format!("implementation `{}` failed to elaborate", i.name),
-                    span,
-                )),
-            },
+            Decl::Impl(i) if i.params.is_empty() => {
+                let pkg = id.package;
+                let i = i.clone();
+                match self.elaborate_impl(pkg, &i, &[], 0) {
+                    Some(v) => Ok(BValue::Impl(v)),
+                    None => Err(EvalError::new(
+                        format!("implementation `{}` failed to elaborate", i.name),
+                        span,
+                    )),
+                }
+            }
             Decl::Impl(i) => Err(EvalError::new(
                 format!("`{}` is a template and needs arguments", i.name),
                 span,
@@ -426,19 +830,19 @@ impl Elaborator {
         &mut self,
         name: &str,
         kind: Option<&VarKind>,
-        value: Value,
+        value: BValue,
         span: Span,
-    ) -> Result<Value, EvalError> {
+    ) -> Result<BValue, EvalError> {
         let Some(kind) = kind else {
             return Ok(value);
         };
-        if var_kind_matches(kind, &value) {
+        if bvar_kind_matches(kind, &value) {
             Ok(value)
         } else {
             Err(EvalError::new(
                 format!(
                     "const `{name}` declared as {} but initializer is {}",
-                    var_kind_name(kind),
+                    bvar_kind_name(kind),
                     value.kind_name()
                 ),
                 span,
@@ -447,11 +851,11 @@ impl Elaborator {
     }
 
     fn check_assert(&mut self, expr: &Expr, message: Option<&Expr>, span: Span) {
-        match eval_expr(expr, self) {
-            Ok(Value::Bool(true)) => {}
-            Ok(Value::Bool(false)) => {
+        match beval_expr(expr, self) {
+            Ok(BValue::Bool(true)) => {}
+            Ok(BValue::Bool(false)) => {
                 let text = message
-                    .and_then(|m| eval_expr(m, self).ok())
+                    .and_then(|m| beval_expr(m, self).ok())
                     .map(|v| v.to_string())
                     .unwrap_or_else(|| "assertion failed".to_string());
                 self.error(format!("assert failed: {text}"), span);
@@ -466,24 +870,14 @@ impl Elaborator {
         }
     }
 
-    // ---- types --------------------------------------------------------------
-
-    /// Wraps an interned id as an anonymous [`TypeValue`].
-    fn type_value(&self, id: TypeId) -> TypeValue {
-        TypeValue::from_id(&self.types, id)
-    }
-
-    fn elaborate_type(&mut self, ty: &TypeExpr, depth: usize) -> Result<TypeValue, EvalError> {
+    fn elaborate_type(&mut self, ty: &TypeExpr, depth: usize) -> Result<BTypeValue, EvalError> {
         if depth > MAX_DEPTH {
             return Err(EvalError::new("type nesting too deep", ty.span()));
         }
         match ty {
-            TypeExpr::Null(_) => {
-                let id = self.types.null();
-                Ok(self.type_value(id))
-            }
+            TypeExpr::Null(_) => Ok(BTypeValue::anonymous(LogicalType::Null)),
             TypeExpr::Bit(width, span) => {
-                let w = eval_expr(width, self)?;
+                let w = beval_expr(width, self)?;
                 let w = w.as_int().ok_or_else(|| {
                     EvalError::new(
                         format!("Bit width must be an int, got {}", w.kind_name()),
@@ -496,16 +890,12 @@ impl Elaborator {
                         *span,
                     ));
                 }
-                let id = self
-                    .types
-                    .bit(w as u32)
-                    .expect("positive width is always valid");
-                Ok(self.type_value(id))
+                Ok(BTypeValue::anonymous(LogicalType::Bit(w as u32)))
             }
             TypeExpr::Ref(name, span) => {
                 let v = self.lookup(name, *span)?;
                 match v {
-                    Value::Type(tv) => Ok(tv),
+                    BValue::Type(tv) => Ok(tv),
                     other => Err(EvalError::new(
                         format!("`{name}` is a {}, not a type", other.kind_name()),
                         *span,
@@ -519,11 +909,10 @@ impl Elaborator {
             } => {
                 let element_tv = self.elaborate_type(element, depth + 1)?;
                 let mut params = StreamParams::new();
-                let mut user: Option<TypeId> = None;
                 for arg in args {
                     match arg {
                         StreamArg::Dimension(e) => {
-                            let v = eval_expr(e, self)?;
+                            let v = beval_expr(e, self)?;
                             let d = v.as_int().ok_or_else(|| {
                                 EvalError::new("dimension must be an int", e.span())
                             })?;
@@ -536,7 +925,7 @@ impl Elaborator {
                             params.dimension = d as u32;
                         }
                         StreamArg::Throughput(e) => {
-                            let v = eval_expr(e, self)?;
+                            let v = beval_expr(e, self)?;
                             let t = v.as_f64().ok_or_else(|| {
                                 EvalError::new("throughput must be numeric", e.span())
                             })?;
@@ -544,7 +933,7 @@ impl Elaborator {
                                 .map_err(|err| EvalError::new(err.to_string(), e.span()))?;
                         }
                         StreamArg::Complexity(e) => {
-                            let v = eval_expr(e, self)?;
+                            let v = beval_expr(e, self)?;
                             let c = v.as_int().ok_or_else(|| {
                                 EvalError::new("complexity must be an int", e.span())
                             })?;
@@ -581,29 +970,26 @@ impl Elaborator {
                         }
                         StreamArg::User(t) => {
                             let tv = self.elaborate_type(t, depth + 1)?;
-                            user = Some(tv.id);
+                            params.user = Some(Box::new((*tv.ty).clone()));
                         }
                         StreamArg::Keep(e) => {
-                            let v = eval_expr(e, self)?;
+                            let v = beval_expr(e, self)?;
                             params.keep = v
                                 .as_bool()
                                 .ok_or_else(|| EvalError::new("keep must be a bool", e.span()))?;
                         }
                     }
                 }
-                let id = self
-                    .types
-                    .stream(element_tv.id, params, user)
+                // Seed path: deep-clone the element tree and re-validate
+                // the whole composed type.
+                let ty = LogicalType::stream((*element_tv.ty).clone(), params);
+                ty.validate()
                     .map_err(|e| EvalError::new(e.to_string(), *span))?;
-                Ok(self.type_value(id))
+                Ok(BTypeValue::anonymous(ty))
             }
         }
     }
 
-    // ---- templates ----------------------------------------------------------
-
-    /// Evaluates instantiation-site template arguments against the
-    /// declared parameters, returning name/value bindings.
     fn bind_template_args(
         &mut self,
         owner: &str,
@@ -611,7 +997,7 @@ impl Elaborator {
         args: &[TemplateArgExpr],
         span: Span,
         depth: usize,
-    ) -> Result<Vec<(String, Value)>, EvalError> {
+    ) -> Result<Vec<(String, BValue)>, EvalError> {
         if params.len() != args.len() {
             return Err(EvalError::new(
                 format!(
@@ -626,11 +1012,11 @@ impl Elaborator {
         for (param, arg) in params.iter().zip(args) {
             let value = match (&param.kind, arg) {
                 (TemplateParamKind::Type, TemplateArgExpr::Type(t)) => {
-                    Value::Type(self.elaborate_type(t, depth)?)
+                    BValue::Type(self.elaborate_type(t, depth)?)
                 }
                 (TemplateParamKind::ImplOf(bound), TemplateArgExpr::Impl(r)) => {
                     let impl_value = self.evaluate_impl_ref(r, depth + 1)?;
-                    if impl_value.streamlet_base.as_ref() != bound {
+                    if &impl_value.streamlet_base != bound {
                         return Err(EvalError::new(
                             format!(
                                 "template argument `{}` must be an impl of `{bound}`, but `{}` implements `{}`",
@@ -639,16 +1025,16 @@ impl Elaborator {
                             r.span,
                         ));
                     }
-                    Value::Impl(impl_value)
+                    BValue::Impl(impl_value)
                 }
                 (kind, TemplateArgExpr::Value(e)) => {
-                    let v = eval_expr(e, self)?;
+                    let v = beval_expr(e, self)?;
                     let ok = match kind {
-                        TemplateParamKind::Int => matches!(v, Value::Int(_)),
+                        TemplateParamKind::Int => matches!(v, BValue::Int(_)),
                         TemplateParamKind::Float => v.is_numeric(),
-                        TemplateParamKind::Str => matches!(v, Value::Str(_)),
-                        TemplateParamKind::Bool => matches!(v, Value::Bool(_)),
-                        TemplateParamKind::Clock => matches!(v, Value::Clock(_)),
+                        TemplateParamKind::Str => matches!(v, BValue::Str(_)),
+                        TemplateParamKind::Bool => matches!(v, BValue::Bool(_)),
+                        TemplateParamKind::Clock => matches!(v, BValue::Clock(_)),
                         _ => false,
                     };
                     if !ok {
@@ -656,15 +1042,14 @@ impl Elaborator {
                             format!(
                                 "template argument `{}` expects {}, got {}",
                                 param.name,
-                                template_kind_name(kind),
+                                btemplate_kind_name(kind),
                                 v.kind_name()
                             ),
                             e.span(),
                         ));
                     }
-                    // Widen int literals for float parameters.
                     if matches!(kind, TemplateParamKind::Float) {
-                        Value::Float(v.as_f64().unwrap())
+                        BValue::Float(v.as_f64().unwrap())
                     } else {
                         v
                     }
@@ -674,7 +1059,7 @@ impl Elaborator {
                         format!(
                             "template argument `{}` expects {} (prefix `type`/`impl` arguments accordingly)",
                             param.name,
-                            template_kind_name(kind)
+                            btemplate_kind_name(kind)
                         ),
                         span,
                     ))
@@ -685,10 +1070,9 @@ impl Elaborator {
         Ok(bindings)
     }
 
-    /// Builds the human-readable mangled instance name. Called once
-    /// per cache **miss** — cache hits never reach this. Type
-    /// arguments splice in the store's cached text.
-    fn mangle(&self, base: &str, bindings: &[(String, Value)]) -> String {
+    /// Seed path: the memo key is a mangled string, rebuilt — type
+    /// trees stringified — on **every** reference.
+    fn mangle(&self, base: &str, bindings: &[(String, BValue)]) -> String {
         if bindings.is_empty() {
             base.to_string()
         } else {
@@ -697,27 +1081,27 @@ impl Elaborator {
         }
     }
 
-    /// Resolves a streamlet reference to (IR name, base name).
     fn evaluate_streamlet_ref(
         &mut self,
         r: &NamedRef,
         depth: usize,
-    ) -> Result<(Arc<str>, String), EvalError> {
+    ) -> Result<(String, String), EvalError> {
         if depth > MAX_DEPTH {
             return Err(EvalError::new("instantiation recursion too deep", r.span));
         }
         let id = self
             .find_decl(self.current_package, &r.name, r.span)
             .ok_or_else(|| EvalError::new(format!("unknown streamlet `{}`", r.name), r.span))?;
-        let decl = Arc::clone(&self.packages[id.package].decls[id.decl]);
-        let Decl::Streamlet(s) = &*decl else {
+        // Seed path: deep-clone the whole declaration per reference.
+        let decl = self.packages[id.package].decls[id.decl].clone();
+        let Decl::Streamlet(s) = decl else {
             return Err(EvalError::new(
                 format!("`{}` is not a streamlet", r.name),
                 r.span,
             ));
         };
         let bindings = self.bind_template_args(&r.name, &s.params, &r.args, r.span, depth)?;
-        match self.elaborate_streamlet(id, s, &bindings, depth) {
+        match self.elaborate_streamlet(id.package, &s, &bindings, depth) {
             Some(ir_name) => Ok((ir_name, s.name.clone())),
             None => Err(EvalError::new(
                 format!("streamlet `{}` failed to elaborate", r.name),
@@ -726,17 +1110,14 @@ impl Elaborator {
         }
     }
 
-    /// Resolves an implementation reference to an [`ImplValue`].
-    fn evaluate_impl_ref(&mut self, r: &NamedRef, depth: usize) -> Result<ImplValue, EvalError> {
+    fn evaluate_impl_ref(&mut self, r: &NamedRef, depth: usize) -> Result<BImplValue, EvalError> {
         if depth > MAX_DEPTH {
             return Err(EvalError::new("instantiation recursion too deep", r.span));
         }
-        // A bare name may be a local binding (template parameter of
-        // kind `impl of ...`) or a global concrete impl.
         if r.args.is_empty() {
             if let Some(v) = self.locals.get(&r.name).cloned() {
                 return match v {
-                    Value::Impl(iv) => Ok(iv),
+                    BValue::Impl(iv) => Ok(iv),
                     other => Err(EvalError::new(
                         format!("`{}` is a {}, not an impl", r.name, other.kind_name()),
                         r.span,
@@ -749,49 +1130,53 @@ impl Elaborator {
             .ok_or_else(|| {
                 EvalError::new(format!("unknown implementation `{}`", r.name), r.span)
             })?;
-        let decl = Arc::clone(&self.packages[id.package].decls[id.decl]);
-        let Decl::Impl(i) = &*decl else {
+        // Seed path: deep-clone the whole declaration per reference.
+        let decl = self.packages[id.package].decls[id.decl].clone();
+        let Decl::Impl(i) = decl else {
             return Err(EvalError::new(
                 format!("`{}` is not an implementation", r.name),
                 r.span,
             ));
         };
         let bindings = self.bind_template_args(&r.name, &i.params, &r.args, r.span, depth)?;
-        self.elaborate_impl(id, i, &bindings, depth).ok_or_else(|| {
-            EvalError::new(
-                format!("implementation `{}` failed to elaborate", r.name),
-                r.span,
-            )
-        })
+        self.elaborate_impl(id.package, &i, &bindings, depth)
+            .ok_or_else(|| {
+                EvalError::new(
+                    format!("implementation `{}` failed to elaborate", r.name),
+                    r.span,
+                )
+            })
     }
 
-    /// Elaborates a streamlet with bound template arguments; returns
-    /// the IR streamlet name.
     fn elaborate_streamlet(
         &mut self,
-        id: DeclId,
+        pkg: usize,
         s: &StreamletDecl,
-        bindings: &[(String, Value)],
+        bindings: &[(String, BValue)],
         depth: usize,
-    ) -> Option<Arc<str>> {
-        let key = (id, ArgKey::of_bindings(bindings));
+    ) -> Option<String> {
+        let key = format!(
+            "{}::{}",
+            self.packages[pkg].name,
+            self.mangle(&s.name, bindings)
+        );
         if let Some(existing) = self.streamlet_cache.get(&key) {
             self.info.template_cache_hits += 1;
-            return Some(Arc::clone(existing));
+            return Some(existing.clone());
         }
         if !bindings.is_empty() {
             self.info.template_instantiations += 1;
         }
-        let ir_name: Arc<str> = Arc::from(self.mangle(&s.name, bindings).as_str());
+        let ir_name = self.mangle(&s.name, bindings);
 
         let saved_package = self.current_package;
-        self.current_package = id.package;
+        self.current_package = pkg;
         self.locals.push();
         for (name, value) in bindings {
-            self.locals.define(name, value.clone());
+            self.locals.define(name.clone(), value.clone());
         }
 
-        let mut streamlet = Streamlet::new(ir_name.as_ref());
+        let mut streamlet = Streamlet::new(ir_name.clone());
         streamlet.doc = s.doc.clone();
         let mut ok = true;
         for port in &s.ports {
@@ -817,8 +1202,8 @@ impl Elaborator {
             let clock = match &port.clock {
                 None => ClockDomain::default(),
                 Some(ClockSpec::Named(name, _)) => ClockDomain::new(name),
-                Some(ClockSpec::Expr(e)) => match eval_expr(e, self) {
-                    Ok(Value::Clock(c)) => c,
+                Some(ClockSpec::Expr(e)) => match beval_expr(e, self) {
+                    Ok(BValue::Clock(c)) => c,
                     Ok(other) => {
                         self.error(
                             format!(
@@ -843,9 +1228,9 @@ impl Elaborator {
             };
             let count = match &port.array {
                 None => None,
-                Some(e) => match eval_expr(e, self) {
-                    Ok(Value::Int(n)) if (1..=4096).contains(&n) => Some(n as usize),
-                    Ok(Value::Int(n)) => {
+                Some(e) => match beval_expr(e, self) {
+                    Ok(BValue::Int(n)) if (1..=4096).contains(&n) => Some(n as usize),
+                    Ok(BValue::Int(n)) => {
                         self.error(
                             format!("port array size must be in 1..=4096, got {n}"),
                             e.span(),
@@ -868,13 +1253,10 @@ impl Elaborator {
                     }
                 },
             };
-            // Equal port types share one `Arc` via the store: no deep
-            // clone per port, and downstream pointer-equality fast
-            // paths (DRC, fingerprints) hit.
+            // Seed path: deep-clone the type tree per expanded port.
             let make_port = |name: String| {
-                let mut p =
-                    Port::from_arc(name, direction, Arc::clone(&tv.ty)).with_clock(clock.clone());
-                p.type_origin = tv.origin.as_ref().map(|o| o.as_ref().to_string());
+                let mut p = Port::new(name, direction, (*tv.ty).clone()).with_clock(clock.clone());
+                p.type_origin = tv.origin.clone();
                 p
             };
             match count {
@@ -901,19 +1283,22 @@ impl Elaborator {
                 return None;
             }
         }
-        self.streamlet_cache.insert(key, Arc::clone(&ir_name));
+        self.streamlet_cache.insert(key, ir_name.clone());
         Some(ir_name)
     }
 
-    /// Elaborates an implementation with bound template arguments.
     fn elaborate_impl(
         &mut self,
-        id: DeclId,
+        pkg: usize,
         i: &ImplDecl,
-        bindings: &[(String, Value)],
+        bindings: &[(String, BValue)],
         depth: usize,
-    ) -> Option<ImplValue> {
-        let key = (id, ArgKey::of_bindings(bindings));
+    ) -> Option<BImplValue> {
+        let key = format!(
+            "{}::{}",
+            self.packages[pkg].name,
+            self.mangle(&i.name, bindings)
+        );
         if let Some(existing) = self.impl_cache.get(&key) {
             self.info.template_cache_hits += 1;
             return Some(existing.clone());
@@ -921,21 +1306,19 @@ impl Elaborator {
         if !bindings.is_empty() {
             self.info.template_instantiations += 1;
         }
-        let ir_name: Arc<str> = Arc::from(self.mangle(&i.name, bindings).as_str());
+        let ir_name = self.mangle(&i.name, bindings);
         if depth > MAX_DEPTH {
             self.error("instantiation recursion too deep", i.span);
             return None;
         }
 
         let saved_package = self.current_package;
-        self.current_package = id.package;
+        self.current_package = pkg;
         self.locals.push();
         for (name, value) in bindings {
-            self.locals.define(name, value.clone());
+            self.locals.define(name.clone(), value.clone());
         }
 
-        // Resolve the streamlet this impl realizes (its template args
-        // may reference our bindings).
         let streamlet = match self.evaluate_streamlet_ref(&i.streamlet, depth + 1) {
             Ok(v) => v,
             Err(e) => {
@@ -947,28 +1330,25 @@ impl Elaborator {
         };
         let (streamlet_ir, streamlet_base) = streamlet;
 
-        // Pre-register in the cache so self-references inside the body
-        // fail fast rather than recursing forever.
-        let value = ImplValue {
-            name: Arc::clone(&ir_name),
-            streamlet: Arc::clone(&streamlet_ir),
-            streamlet_base: Arc::from(streamlet_base.as_str()),
+        let value = BImplValue {
+            name: ir_name.clone(),
+            streamlet: streamlet_ir.clone(),
+            streamlet_base: streamlet_base.clone(),
         };
-        self.impl_cache.insert(key, value.clone());
+        self.impl_cache.insert(key.clone(), value.clone());
 
         let mut implementation = match &i.body {
             ImplBody::External { simulation } => {
-                let mut imp = Implementation::external(ir_name.as_ref(), streamlet_ir.as_ref());
+                let mut imp = Implementation::external(ir_name.clone(), streamlet_ir.clone());
                 if let Some(sim) = simulation {
                     imp = imp.with_sim_source(sim.source.clone());
                 }
                 imp
             }
-            ImplBody::Normal(_) => Implementation::normal(ir_name.as_ref(), streamlet_ir.as_ref()),
+            ImplBody::Normal(_) => Implementation::normal(ir_name.clone(), streamlet_ir.clone()),
         };
         implementation.doc = i.doc.clone();
 
-        // Attributes: @builtin("key"), @NoStrictType, etc.
         for attr in &i.attributes {
             match attr.name.as_str() {
                 "builtin" => {
@@ -976,8 +1356,8 @@ impl Elaborator {
                         self.error("@builtin requires a string argument", attr.span);
                         continue;
                     };
-                    match eval_expr(arg, self) {
-                        Ok(Value::Str(keyname)) => {
+                    match beval_expr(arg, self) {
+                        Ok(BValue::Str(keyname)) => {
                             implementation = implementation.with_builtin(keyname);
                         }
                         Ok(other) => self.error(
@@ -989,7 +1369,7 @@ impl Elaborator {
                 }
                 other => {
                     let value = match &attr.arg {
-                        Some(arg) => match eval_expr(arg, self) {
+                        Some(arg) => match beval_expr(arg, self) {
                             Ok(v) => v.to_string(),
                             Err(e) => {
                                 self.eval_error(e);
@@ -1002,7 +1382,6 @@ impl Elaborator {
                 }
             }
         }
-        // Record template bindings as builtin parameters.
         for (name, v) in bindings {
             implementation
                 .attributes
@@ -1010,13 +1389,15 @@ impl Elaborator {
         }
 
         if let ImplBody::Normal(stmts) = &i.body {
-            let mut body = BodyBuilder {
+            let mut body = BBodyBuilder {
                 implementation: &mut implementation,
                 instance_impls: HashMap::new(),
                 aliases: Vec::new(),
                 fresh: 0,
             };
-            self.run_stmts(stmts, &mut body, depth);
+            // Seed path: deep-clone the statement list before walking.
+            let stmts = stmts.clone();
+            self.run_stmts(&stmts, &mut body, depth);
         }
 
         self.locals.pop();
@@ -1028,19 +1409,17 @@ impl Elaborator {
         Some(value)
     }
 
-    // ---- implementation bodies --------------------------------------------
-
-    fn run_stmts(&mut self, stmts: &[Stmt], body: &mut BodyBuilder<'_>, depth: usize) {
+    fn run_stmts(&mut self, stmts: &[Stmt], body: &mut BBodyBuilder<'_>, depth: usize) {
         for stmt in stmts {
             self.run_stmt(stmt, body, depth);
         }
     }
 
-    fn run_stmt(&mut self, stmt: &Stmt, body: &mut BodyBuilder<'_>, depth: usize) {
+    fn run_stmt(&mut self, stmt: &Stmt, body: &mut BBodyBuilder<'_>, depth: usize) {
         match stmt {
-            Stmt::Const(c) => match eval_expr(&c.value, self) {
+            Stmt::Const(c) => match beval_expr(&c.value, self) {
                 Ok(v) => match self.check_var_kind(&c.name, c.kind.as_ref(), v, c.span) {
-                    Ok(v) => self.locals.define(&c.name, v),
+                    Ok(v) => self.locals.define(c.name.clone(), v),
                     Err(e) => self.eval_error(e),
                 },
                 Err(e) => self.eval_error(e),
@@ -1055,15 +1434,15 @@ impl Elaborator {
                 body: then_body,
                 else_body,
                 ..
-            } => match eval_expr(cond, self) {
-                Ok(Value::Bool(true)) => {
+            } => match beval_expr(cond, self) {
+                Ok(BValue::Bool(true)) => {
                     self.locals.push();
                     body.aliases.push(HashMap::new());
                     self.run_stmts(then_body, body, depth);
                     body.aliases.pop();
                     self.locals.pop();
                 }
-                Ok(Value::Bool(false)) => {
+                Ok(BValue::Bool(false)) => {
                     self.locals.push();
                     body.aliases.push(HashMap::new());
                     self.run_stmts(else_body, body, depth);
@@ -1081,11 +1460,11 @@ impl Elaborator {
                 iterable,
                 body: loop_body,
                 ..
-            } => match eval_expr(iterable, self) {
-                Ok(Value::Array(items)) => {
+            } => match beval_expr(iterable, self) {
+                Ok(BValue::Array(items)) => {
                     for item in items {
                         self.locals.push();
-                        self.locals.define(var, item);
+                        self.locals.define(var.clone(), item);
                         body.aliases.push(HashMap::new());
                         self.run_stmts(loop_body, body, depth);
                         body.aliases.pop();
@@ -1117,8 +1496,8 @@ impl Elaborator {
                 let count = match array {
                     None => None,
                     Some(e) => {
-                        match eval_expr(e, self) {
-                            Ok(Value::Int(n)) if (1..=4096).contains(&n) => Some(n as usize),
+                        match beval_expr(e, self) {
+                            Ok(BValue::Int(n)) if (1..=4096).contains(&n) => Some(n as usize),
                             Ok(other) => {
                                 self.error(
                                 format!("instance array size must be a small positive int, got {other}"),
@@ -1133,8 +1512,6 @@ impl Elaborator {
                         }
                     }
                 };
-                // Inside a generative scope the declared name maps to
-                // a unique concrete name, scoped to this iteration.
                 let base = if body.aliases.is_empty() {
                     name.clone()
                 } else {
@@ -1146,7 +1523,7 @@ impl Elaborator {
                         .insert(name.clone(), unique.clone());
                     unique
                 };
-                let add = |elab: &mut Self, body: &mut BodyBuilder<'_>, inst_name: String| {
+                let add = |elab: &mut Self, body: &mut BBodyBuilder<'_>, inst_name: String| {
                     if body.instance_impls.contains_key(&inst_name) {
                         elab.error(format!("duplicate instance `{inst_name}`"), *span);
                         return;
@@ -1154,7 +1531,7 @@ impl Elaborator {
                     body.instance_impls
                         .insert(inst_name.clone(), impl_value.clone());
                     body.implementation
-                        .add_instance(Instance::new(inst_name, impl_value.name.as_ref()));
+                        .add_instance(Instance::new(inst_name, impl_value.name.clone()));
                 };
                 match count {
                     None => add(self, body, base),
@@ -1183,17 +1560,15 @@ impl Elaborator {
         }
     }
 
-    /// Resolves an endpoint expression to a concrete [`EndpointRef`],
-    /// folding array indices into the expanded port/instance names.
     fn resolve_endpoint(
         &mut self,
         e: &EndpointExpr,
-        body: &BodyBuilder<'_>,
+        body: &BBodyBuilder<'_>,
     ) -> Option<EndpointRef> {
         let port_index = match &e.port_index {
             None => None,
-            Some(expr) => match eval_expr(expr, self) {
-                Ok(Value::Int(i)) if i >= 0 => Some(i as usize),
+            Some(expr) => match beval_expr(expr, self) {
+                Ok(BValue::Int(i)) if i >= 0 => Some(i as usize),
                 Ok(other) => {
                     self.error(
                         format!("port index must be a non-negative int, got {other}"),
@@ -1216,8 +1591,8 @@ impl Elaborator {
             Some((inst_name, inst_index)) => {
                 let inst_index = match inst_index {
                     None => None,
-                    Some(expr) => match eval_expr(expr, self) {
-                        Ok(Value::Int(i)) if i >= 0 => Some(i as usize),
+                    Some(expr) => match beval_expr(expr, self) {
+                        Ok(BValue::Int(i)) if i >= 0 => Some(i as usize),
                         Ok(other) => {
                             self.error(
                                 format!("instance index must be a non-negative int, got {other}"),
@@ -1249,24 +1624,14 @@ impl Elaborator {
     }
 }
 
-/// Mutable view of the implementation being built plus its local
-/// instance table.
-struct BodyBuilder<'a> {
+struct BBodyBuilder<'a> {
     implementation: &'a mut Implementation,
-    instance_impls: HashMap<String, ImplValue>,
-    /// Alias frames for generative scopes: an `instance` declared
-    /// inside a `for` iteration gets a unique concrete name, and the
-    /// declared name resolves to it only within that iteration
-    /// (paper §IV-A: "use the for statement to declare four instances
-    /// of a comparator template").
+    instance_impls: HashMap<String, BImplValue>,
     aliases: Vec<HashMap<String, String>>,
-    /// Counter for generating unique concrete instance names.
     fresh: usize,
 }
 
-impl BodyBuilder<'_> {
-    /// Resolves a declared instance base name through the active
-    /// generative scopes.
+impl BBodyBuilder<'_> {
     fn resolve_alias(&self, name: &str) -> String {
         for frame in self.aliases.iter().rev() {
             if let Some(actual) = frame.get(name) {
@@ -1277,8 +1642,8 @@ impl BodyBuilder<'_> {
     }
 }
 
-impl Resolver for Elaborator {
-    fn lookup(&mut self, name: &str, span: Span) -> Result<Value, EvalError> {
+impl BResolver for BElaborator {
+    fn lookup(&mut self, name: &str, span: Span) -> Result<BValue, EvalError> {
         if let Some(v) = self.locals.get(name) {
             return Ok(v.clone());
         }
@@ -1289,7 +1654,7 @@ impl Resolver for Elaborator {
     }
 }
 
-fn decl_span(decl: &Decl) -> Option<Span> {
+fn bdecl_span(decl: &Decl) -> Option<Span> {
     match decl {
         Decl::Const(c) => Some(c.span),
         Decl::TypeAlias { span, .. }
@@ -1301,32 +1666,32 @@ fn decl_span(decl: &Decl) -> Option<Span> {
     }
 }
 
-fn var_kind_matches(kind: &VarKind, value: &Value) -> bool {
+fn bvar_kind_matches(kind: &VarKind, value: &BValue) -> bool {
     match (kind, value) {
-        (VarKind::Int, Value::Int(_)) => true,
-        (VarKind::Float, Value::Float(_) | Value::Int(_)) => true,
-        (VarKind::Str, Value::Str(_)) => true,
-        (VarKind::Bool, Value::Bool(_)) => true,
-        (VarKind::Clock, Value::Clock(_)) => true,
-        (VarKind::Array(inner), Value::Array(items)) => {
-            items.iter().all(|v| var_kind_matches(inner, v))
+        (VarKind::Int, BValue::Int(_)) => true,
+        (VarKind::Float, BValue::Float(_) | BValue::Int(_)) => true,
+        (VarKind::Str, BValue::Str(_)) => true,
+        (VarKind::Bool, BValue::Bool(_)) => true,
+        (VarKind::Clock, BValue::Clock(_)) => true,
+        (VarKind::Array(inner), BValue::Array(items)) => {
+            items.iter().all(|v| bvar_kind_matches(inner, v))
         }
         _ => false,
     }
 }
 
-fn var_kind_name(kind: &VarKind) -> String {
+fn bvar_kind_name(kind: &VarKind) -> String {
     match kind {
         VarKind::Int => "int".into(),
         VarKind::Float => "float".into(),
         VarKind::Str => "string".into(),
         VarKind::Bool => "bool".into(),
         VarKind::Clock => "clockdomain".into(),
-        VarKind::Array(inner) => format!("[{}]", var_kind_name(inner)),
+        VarKind::Array(inner) => format!("[{}]", bvar_kind_name(inner)),
     }
 }
 
-fn template_kind_name(kind: &TemplateParamKind) -> String {
+fn btemplate_kind_name(kind: &TemplateParamKind) -> String {
     match kind {
         TemplateParamKind::Int => "int".into(),
         TemplateParamKind::Float => "float".into(),
@@ -1344,383 +1709,19 @@ mod tests {
     use crate::diagnostics::has_errors;
     use crate::parser::parse_package;
 
-    fn elaborate_sources(sources: &[&str]) -> (Project, ElabInfo, Vec<Diagnostic>) {
-        let mut packages = Vec::new();
-        let mut diags = Vec::new();
-        for (i, src) in sources.iter().enumerate() {
-            let (pkg, mut d) = parse_package(i, src);
-            diags.append(&mut d);
-            if let Some(p) = pkg {
-                packages.push(p);
-            }
-        }
-        assert!(!has_errors(&diags), "parse errors: {diags:?}");
-        elaborate(packages, "test")
-    }
-
-    fn elaborate_ok(sources: &[&str]) -> Project {
-        let (project, _, diags) = elaborate_sources(sources);
-        assert!(
-            !has_errors(&diags),
-            "elaboration errors: {:?}",
-            diags.iter().map(|d| &d.message).collect::<Vec<_>>()
-        );
-        project
-    }
-
     #[test]
-    fn simple_wire() {
-        let project = elaborate_ok(&[r#"
+    fn baseline_elaborates_the_wire_design() {
+        let src = r#"
 package demo;
 type Byte = Stream(Bit(8));
 streamlet wire_s { i : Byte in, o : Byte out, }
 impl wire_i of wire_s { i => o, }
-"#]);
-        let s = project.streamlet("wire_s").unwrap();
-        assert_eq!(s.ports.len(), 2);
-        assert_eq!(s.ports[0].type_origin.as_deref(), Some("demo.Byte"));
-        let i = project.implementation("wire_i").unwrap();
-        assert_eq!(i.connections().len(), 1);
-        assert_eq!(project.validate(), Ok(()));
-    }
-
-    #[test]
-    fn equal_port_types_share_one_allocation() {
-        // The hash-consing contract: both ports of the wire carry the
-        // *same* Arc, not two equal trees.
-        let project = elaborate_ok(&[r#"
-package demo;
-type Byte = Stream(Bit(8));
-streamlet wire_s { i : Byte in, o : Byte out, }
-impl wire_i of wire_s { i => o, }
-"#]);
-        let s = project.streamlet("wire_s").unwrap();
-        assert!(Arc::ptr_eq(&s.ports[0].ty, &s.ports[1].ty));
-    }
-
-    #[test]
-    fn const_evaluation_and_shadowing() {
-        let project = elaborate_ok(&[r#"
-package demo;
-const width : int = 8 * 4;
-type T = Stream(Bit(width));
-streamlet s { i : T in, o : T out, }
-impl i_i of s {
-    const width = 99,
-    i => o,
-}
-"#]);
-        let s = project.streamlet("s").unwrap();
-        match &*s.ports[0].ty {
-            LogicalType::Stream { element, .. } => {
-                assert_eq!(**element, LogicalType::Bit(32));
-            }
-            _ => panic!(),
-        }
-    }
-
-    #[test]
-    fn group_union_elaboration() {
-        let project = elaborate_ok(&[r#"
-package demo;
-Group AdderInput { data0: Bit(32), data1: Bit(32), }
-type In = Stream(AdderInput);
-streamlet s { a : In in, r : In out, }
-impl x of s { a => r, }
-"#]);
-        let port = &project.streamlet("s").unwrap().ports[0];
-        match &*port.ty {
-            LogicalType::Stream { element, .. } => assert_eq!(element.bit_width(), 64),
-            _ => panic!(),
-        }
-        assert_eq!(port.type_origin.as_deref(), Some("demo.In"));
-    }
-
-    #[test]
-    fn template_instantiation_memoised() {
-        let (project, info, diags) = elaborate_sources(&[r#"
-package demo;
-streamlet pass_s<T: type> { i : T in, o : T out, }
-@builtin("std.passthrough")
-impl pass_i<T: type> of pass_s<type T> external;
-type Byte = Stream(Bit(8));
-streamlet top_s { i : Byte in, o : Byte out, }
-impl top_i of top_s {
-    instance a(pass_i<type Byte>),
-    instance b(pass_i<type Byte>),
-    i => a.i,
-    a.o => b.i,
-    b.o => o,
-}
-"#]);
+"#;
+        let (pkg, diags) = parse_package(0, src);
+        assert!(!has_errors(&diags));
+        let (project, _, diags) = elaborate_baseline(vec![pkg.unwrap()], "test");
         assert!(!has_errors(&diags), "{diags:?}");
-        // pass_i<...> elaborated once, hit once.
-        assert!(info.template_cache_hits >= 1);
-        let mangled = "pass_i<Stream(Bit(8))>";
-        assert!(
-            project.implementation(mangled).is_some(),
-            "missing {mangled}"
-        );
-        assert_eq!(project.validate(), Ok(()));
-    }
-
-    #[test]
-    fn type_store_stats_are_reported() {
-        let (_, info, diags) = elaborate_sources(&[r#"
-package demo;
-type A = Stream(Bit(8));
-type B = Stream(Bit(8));
-streamlet s { i : A in, o : B out, }
-@NoStrictType
-impl x of s { i => o, }
-"#]);
-        assert!(!has_errors(&diags), "{diags:?}");
-        // A and B build the same two nodes: the second alias is served
-        // entirely from the dedup table.
-        assert_eq!(info.type_store.distinct_types, 2);
-        assert!(info.type_store.intern_hits >= 2);
-    }
-
-    #[test]
-    fn for_expansion_with_arrays() {
-        let project = elaborate_ok(&[r#"
-package demo;
-type Byte = Stream(Bit(8));
-streamlet sink_s { i : Byte in, }
-@builtin("std.voider")
-impl sink_i of sink_s external;
-streamlet fan_s { i : Byte in [4], }
-impl fan_i of fan_s {
-    instance sinks(sink_i) [4],
-    for k in (0..4) {
-        i[k] => sinks[k].i,
-    }
-}
-"#]);
-        let imp = project.implementation("fan_i").unwrap();
-        assert_eq!(imp.instances().len(), 4);
-        assert_eq!(imp.connections().len(), 4);
-        assert_eq!(project.validate(), Ok(()));
-    }
-
-    #[test]
-    fn if_and_assert_in_bodies() {
-        let (_, _, diags) = elaborate_sources(&[r#"
-package demo;
-type Byte = Stream(Bit(8));
-streamlet s { i : Byte in, o : Byte out, }
-impl x of s {
-    if (1 + 1 == 2) {
-        i => o,
-    } else {
-        assert(false, "unreachable"),
-    }
-    assert(len([1,2,3]) == 3),
-}
-"#]);
-        assert!(!has_errors(&diags), "{diags:?}");
-    }
-
-    #[test]
-    fn failed_assert_reports() {
-        let (_, _, diags) = elaborate_sources(&[r#"
-package demo;
-assert(1 == 2, "math broke");
-"#]);
-        assert!(has_errors(&diags));
-        assert!(diags.iter().any(|d| d.message.contains("math broke")));
-    }
-
-    #[test]
-    fn impl_template_argument() {
-        // The paper's parallelize pattern: an impl passed as a
-        // template argument, bounded by its streamlet.
-        let project = elaborate_ok(&[r#"
-package demo;
-type Byte = Stream(Bit(8));
-streamlet pu_s { i : Byte in, o : Byte out, }
-@builtin("std.passthrough")
-impl pu_impl of pu_s external;
-streamlet wrap_s { i : Byte in, o : Byte out, }
-impl wrap_i<pu: impl of pu_s> of wrap_s {
-    instance unit(pu),
-    i => unit.i,
-    unit.o => o,
-}
-impl top of wrap_s {
-    instance w(wrap_i<impl pu_impl>),
-    i => w.i,
-    w.o => o,
-}
-"#]);
-        assert!(project.implementation("wrap_i<pu_impl>").is_some());
-        assert_eq!(project.validate(), Ok(()));
-    }
-
-    #[test]
-    fn impl_of_bound_enforced() {
-        let (_, _, diags) = elaborate_sources(&[r#"
-package demo;
-type Byte = Stream(Bit(8));
-streamlet a_s { i : Byte in, o : Byte out, }
-streamlet b_s { i : Byte in, o : Byte out, }
-@builtin("std.passthrough")
-impl a_i of a_s external;
-streamlet wrap_s { i : Byte in, o : Byte out, }
-impl wrap_i<pu: impl of b_s> of wrap_s {
-    instance unit(pu),
-    i => unit.i,
-    unit.o => o,
-}
-impl top of wrap_s {
-    instance w(wrap_i<impl a_i>),
-    i => w.i,
-    w.o => o,
-}
-"#]);
-        assert!(has_errors(&diags));
-        assert!(diags
-            .iter()
-            .any(|d| d.message.contains("must be an impl of")));
-    }
-
-    #[test]
-    fn cross_package_use() {
-        let project = elaborate_ok(&[
-            r#"
-package lib;
-type Byte = Stream(Bit(8));
-streamlet pass_s { i : Byte in, o : Byte out, }
-@builtin("std.passthrough")
-impl pass_i of pass_s external;
-"#,
-            r#"
-package app;
-use lib;
-impl top of pass_s {
-    instance p(pass_i),
-    i => p.i,
-    p.o => o,
-}
-"#,
-        ]);
-        assert!(project.implementation("top").is_some());
-        assert_eq!(project.validate(), Ok(()));
-    }
-
-    #[test]
-    fn cyclic_const_detected() {
-        let (_, _, diags) = elaborate_sources(&[r#"
-package demo;
-const a : int = b + 1;
-const b : int = a + 1;
-type T = Stream(Bit(a));
-streamlet s { i : T in, o : T out, }
-impl x of s { i => o, }
-"#]);
-        assert!(has_errors(&diags));
-        assert!(diags.iter().any(|d| d.message.contains("cyclic")));
-    }
-
-    #[test]
-    fn unknown_names_reported() {
-        let (_, _, diags) = elaborate_sources(&[r#"
-package demo;
-type T = Stream(Bit(nope));
-streamlet s { i : T in, o : T out, }
-impl x of s { i => o, }
-"#]);
-        assert!(has_errors(&diags));
-        assert!(diags
-            .iter()
-            .any(|d| d.message.contains("undefined name `nope`")));
-    }
-
-    #[test]
-    fn non_stream_port_rejected_at_elaboration() {
-        let (_, _, diags) = elaborate_sources(&[r#"
-package demo;
-streamlet s { i : Bit(8) in, }
-impl x of s { }
-"#]);
-        assert!(has_errors(&diags));
-        assert!(diags
-            .iter()
-            .any(|d| d.message.contains("must bind a Stream")));
-    }
-
-    #[test]
-    fn duplicate_decl_reported() {
-        let (_, _, diags) = elaborate_sources(&[r#"
-package demo;
-const x : int = 1;
-const x : int = 2;
-"#]);
-        assert!(has_errors(&diags));
-    }
-
-    #[test]
-    fn template_value_kind_checked() {
-        let (_, _, diags) = elaborate_sources(&[r#"
-package demo;
-streamlet s<n: int> { i : Stream(Bit(n)) in, o : Stream(Bit(n)) out, }
-impl x of s<"eight"> { i => o, }
-"#]);
-        assert!(has_errors(&diags));
-        assert!(diags.iter().any(|d| d.message.contains("expects int")));
-    }
-
-    #[test]
-    fn instance_declared_inside_for_loop() {
-        // Paper §IV-A: one `instance` statement inside a `for` loop
-        // declares one comparator per array element, each wired to a
-        // port of the or-gate.
-        let project = elaborate_ok(&[r#"
-package demo;
-type Byte = Stream(Bit(8));
-streamlet cmp_s<v: int> { i : Byte in, o : Byte out, }
-@builtin("std.eq_const")
-impl cmp_i<v: int> of cmp_s<v> external;
-streamlet or_s<n: int> { i : Byte in [n], o : Byte out, }
-@builtin("std.or_n")
-impl or_i<n: int> of or_s<4> external;
-streamlet top_s { data : Byte in [4], o : Byte out, }
-impl top_i of top_s {
-    const codes = [10, 20, 30, 40],
-    instance or_gate(or_i<4>),
-    for k in (0..4) {
-        instance cmp(cmp_i<codes[k]>),
-        data[k] => cmp.i,
-        cmp.o => or_gate.i[k],
-    }
-    or_gate.o => o,
-}
-"#]);
-        let imp = project.implementation("top_i").unwrap();
-        assert_eq!(imp.instances().len(), 5);
-        assert_eq!(imp.connections().len(), 9);
-        assert_eq!(project.validate(), Ok(()));
-        // Four distinct comparator template instances were created.
-        for code in [10, 20, 30, 40] {
-            assert!(project.implementation(&format!("cmp_i<{code}>")).is_some());
-        }
-    }
-
-    #[test]
-    fn clock_domains_on_ports() {
-        let project = elaborate_ok(&[r#"
-package demo;
-const mem_clk : clockdomain = clockdomain("mem");
-type Byte = Stream(Bit(8));
-streamlet s {
-    a : Byte in !mem,
-    b : Byte out !(mem_clk),
-}
-impl x of s { a => b, }
-"#]);
-        let s = project.streamlet("s").unwrap();
-        assert_eq!(s.ports[0].clock.name(), "mem");
-        assert_eq!(s.ports[1].clock.name(), "mem");
+        assert!(project.implementation("wire_i").is_some());
         assert_eq!(project.validate(), Ok(()));
     }
 }

@@ -226,12 +226,14 @@ impl ArtifactCache {
             let artifact = &self.elab[key];
             let _ = writeln!(
                 manifest,
-                "elab {} {} {} {} {} {}",
+                "elab {} {} {} {} {} {} {} {}",
                 key,
                 artifact.sugar_report.duplicators,
                 artifact.sugar_report.voiders,
                 artifact.info.template_instantiations,
                 artifact.info.template_cache_hits,
+                artifact.info.type_store.distinct_types,
+                artifact.info.type_store.intern_hits,
                 artifact.diagnostics.len()
             );
             for diag in &artifact.diagnostics {
@@ -369,10 +371,12 @@ fn parse_manifest(manifest: &str, dir: &Path) -> Option<ArtifactCache> {
                 duplicators: parts.next()?.parse().ok()?,
                 voiders: parts.next()?.parse().ok()?,
             };
-            let info = ElabInfo::with_template_counts(
+            let mut info = ElabInfo::with_template_counts(
                 parts.next()?.parse().ok()?,
                 parts.next()?.parse().ok()?,
             );
+            info.type_store.distinct_types = parts.next()?.parse().ok()?;
+            info.type_store.intern_hits = parts.next()?.parse().ok()?;
             let ndiags: usize = parts.next()?.parse().ok()?;
             let mut diagnostics = Vec::with_capacity(ndiags);
             for _ in 0..ndiags {

@@ -3,14 +3,26 @@
 //! Template bodies, `for` loops and implementation bodies each push a
 //! frame; variable shadowing is explicitly allowed (paper §IV-A:
 //! "variable shadowing is possible and useful").
+//!
+//! Frames are **symbol-keyed** (the `tydi_ir::intern` approach): each
+//! distinct variable name is interned once into a [`Symbol`], so a
+//! lookup hashes the name once and then compares integers, and
+//! defining a variable never allocates an owned key string after the
+//! first time its name is seen. Frames themselves are small ordered
+//! vectors — template argument lists and loop bodies bind a handful
+//! of names, where a linear integer scan beats a per-frame hash map.
 
 use crate::value::Value;
-use std::collections::HashMap;
+use tydi_ir::{Interner, Symbol};
 
 /// A stack of name-to-value frames.
 #[derive(Debug, Default)]
 pub struct ScopeFrames {
-    frames: Vec<HashMap<String, Value>>,
+    /// Session-wide name interner shared by all frames.
+    names: Interner,
+    /// Innermost frame last; within a frame, later bindings shadow
+    /// earlier ones (lookups scan back to front).
+    frames: Vec<Vec<(Symbol, Value)>>,
 }
 
 impl ScopeFrames {
@@ -21,7 +33,7 @@ impl ScopeFrames {
 
     /// Pushes a fresh frame.
     pub fn push(&mut self) {
-        self.frames.push(HashMap::new());
+        self.frames.push(Vec::new());
     }
 
     /// Pops the innermost frame.
@@ -36,21 +48,34 @@ impl ScopeFrames {
     ///
     /// # Panics
     /// Panics when no frame is active (a compiler bug).
-    pub fn define(&mut self, name: impl Into<String>, value: Value) {
+    pub fn define(&mut self, name: impl AsRef<str>, value: Value) {
+        let sym = self.names.intern(name.as_ref());
         self.frames
             .last_mut()
             .expect("no active scope frame")
-            .insert(name.into(), value);
+            .push((sym, value));
     }
 
     /// Looks a name up, innermost frame first.
     pub fn get(&self, name: &str) -> Option<&Value> {
-        self.frames.iter().rev().find_map(|f| f.get(name))
+        // A name never interned was never defined.
+        let sym = self.names.get(name)?;
+        self.frames.iter().rev().find_map(|frame| {
+            frame
+                .iter()
+                .rev()
+                .find_map(|(s, v)| (*s == sym).then_some(v))
+        })
     }
 
     /// Current nesting depth.
     pub fn depth(&self) -> usize {
         self.frames.len()
+    }
+
+    /// Number of distinct names ever defined (interner size).
+    pub fn distinct_names(&self) -> usize {
+        self.names.len()
     }
 
     /// Runs `f` inside a fresh frame, popping it afterwards.
@@ -85,6 +110,18 @@ mod tests {
         assert_eq!(s.get("x"), Some(&Value::Int(2)));
         s.pop();
         assert_eq!(s.get("x"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn shadowing_within_one_frame() {
+        // The innermost frame can redefine a name; the latest binding
+        // wins (matching the historic hash-map insert semantics).
+        let mut s = ScopeFrames::new();
+        s.push();
+        s.define("x", Value::Int(1));
+        s.define("x", Value::Int(7));
+        assert_eq!(s.get("x"), Some(&Value::Int(7)));
+        assert_eq!(s.distinct_names(), 1);
     }
 
     #[test]

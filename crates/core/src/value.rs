@@ -4,51 +4,86 @@
 //! boolean, clock domain), arrays of these, plus the two entity-level
 //! values that template arguments can carry: logical types and
 //! implementations.
+//!
+//! Type values are backed by the session's hash-consed
+//! [`TypeStore`]: a [`TypeValue`] carries the compact [`TypeId`] (so
+//! equality is an integer compare and template memo keys never walk
+//! trees), the shared canonical `Arc<LogicalType>`, and the store's
+//! cached mangled text (so [`Value::mangle`] is O(1) instead of
+//! stringifying the whole tree per reference).
 
 use std::fmt;
 use std::sync::Arc;
-use tydi_spec::{ClockDomain, LogicalType};
+use tydi_spec::{ClockDomain, LogicalType, TypeId, TypeStore};
 
 /// An evaluated logical type together with the declaration it came
 /// from, which drives the strict type equality DRC (paper §IV-B).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TypeValue {
-    /// The structural type.
+    /// Hash-consed id in the session's [`TypeStore`]; equal ids ⇔
+    /// structurally equal types (within one store).
+    pub id: TypeId,
+    /// The canonical structural type, shared with every other value of
+    /// the same structure.
     pub ty: Arc<LogicalType>,
+    /// Cached mangled display text (canonical form, spaces removed).
+    pub mangled: Arc<str>,
     /// Fully-qualified origin (`package.Name` or a template mangling)
     /// for named declarations; `None` for anonymous type expressions.
-    pub origin: Option<String>,
+    pub origin: Option<Arc<str>>,
 }
 
 impl TypeValue {
-    /// An anonymous type value.
-    pub fn anonymous(ty: LogicalType) -> Self {
+    /// The value of an already-interned type (anonymous).
+    pub fn from_id(store: &TypeStore, id: TypeId) -> Self {
         TypeValue {
-            ty: Arc::new(ty),
+            id,
+            ty: Arc::clone(store.ty(id)),
+            mangled: Arc::clone(store.mangled(id)),
             origin: None,
         }
     }
 
-    /// A named type value.
-    pub fn named(ty: LogicalType, origin: impl Into<String>) -> Self {
-        TypeValue {
-            ty: Arc::new(ty),
-            origin: Some(origin.into()),
-        }
+    /// Interns `ty` into `store` and wraps it (anonymous).
+    ///
+    /// # Panics
+    /// Panics when the type is invalid; callers validate first (the
+    /// elaborator constructs types through the store, which rejects
+    /// invalid nodes with a proper diagnostic).
+    pub fn intern(store: &mut TypeStore, ty: &LogicalType) -> Self {
+        let id = store.intern(ty).expect("interning an invalid type");
+        TypeValue::from_id(store, id)
+    }
+
+    /// Attaches the declaration origin used for strict type equality.
+    pub fn with_origin(mut self, origin: impl Into<Arc<str>>) -> Self {
+        self.origin = Some(origin.into());
+        self
+    }
+}
+
+/// Two type values are equal when they denote the same interned type
+/// *and* carry the same origin. Ids are only comparable within one
+/// session store — exactly the scope a compilation uses.
+impl PartialEq for TypeValue {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && self.origin == other.origin
     }
 }
 
 /// A reference to an elaborated implementation (used as a template
-/// argument: `impl adder_32`).
+/// argument: `impl adder_32`). All fields are shared strings: an
+/// `ImplValue` is cloned once per instantiating reference, which must
+/// not copy name bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ImplValue {
     /// The elaborated (mangled) implementation name in the output IR.
-    pub name: String,
+    pub name: Arc<str>,
     /// The elaborated streamlet this implementation realizes.
-    pub streamlet: String,
+    pub streamlet: Arc<str>,
     /// The base (template) name of that streamlet, used to check
     /// `impl of <streamlet>` template-parameter bounds.
-    pub streamlet_base: String,
+    pub streamlet_base: Arc<str>,
 }
 
 /// A Tydi-lang value.
@@ -135,7 +170,8 @@ impl Value {
 
     /// Canonical text used for template-instance mangling. Two equal
     /// values always produce identical text; the text contains no
-    /// whitespace.
+    /// whitespace. Type values return the store's cached mangled text,
+    /// so this never walks a type tree.
     pub fn mangle(&self) -> String {
         match self {
             Value::Int(v) => v.to_string(),
@@ -147,8 +183,8 @@ impl Value {
                 let inner: Vec<String> = items.iter().map(Value::mangle).collect();
                 format!("[{}]", inner.join(","))
             }
-            Value::Type(t) => t.ty.to_string().replace(' ', ""),
-            Value::Impl(i) => i.name.clone(),
+            Value::Type(t) => t.mangled.as_ref().to_string(),
+            Value::Impl(i) => i.name.as_ref().to_string(),
         }
     }
 }
@@ -190,10 +226,11 @@ mod tests {
 
     #[test]
     fn mangling_is_whitespace_free_and_distinct() {
-        let t = TypeValue::anonymous(LogicalType::group(vec![
-            ("a", LogicalType::Bit(2)),
-            ("b", LogicalType::Bit(3)),
-        ]));
+        let mut store = TypeStore::new();
+        let t = TypeValue::intern(
+            &mut store,
+            &LogicalType::group(vec![("a", LogicalType::Bit(2)), ("b", LogicalType::Bit(3))]),
+        );
         let m = Value::Type(t).mangle();
         assert!(!m.contains(' '));
         assert!(m.contains("Group"));
@@ -203,6 +240,30 @@ mod tests {
             Value::Array(vec![Value::Int(1), Value::Int(2)]).mangle(),
             "[1,2]"
         );
+    }
+
+    #[test]
+    fn type_mangling_matches_display_without_spaces() {
+        let mut store = TypeStore::new();
+        let ty = LogicalType::stream(
+            LogicalType::group(vec![("x", LogicalType::Bit(4)), ("y", LogicalType::Bit(4))]),
+            tydi_spec::StreamParams::new().with_dimension(1),
+        );
+        let t = TypeValue::intern(&mut store, &ty);
+        assert_eq!(Value::Type(t).mangle(), ty.to_string().replace(' ', ""));
+    }
+
+    #[test]
+    fn type_equality_is_id_plus_origin() {
+        let mut store = TypeStore::new();
+        let a = TypeValue::intern(&mut store, &LogicalType::Bit(8));
+        let b = TypeValue::intern(&mut store, &LogicalType::Bit(8));
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(&a.ty, &b.ty));
+        let named = b.clone().with_origin("demo.Byte");
+        assert_ne!(a, named);
+        let c = TypeValue::intern(&mut store, &LogicalType::Bit(9));
+        assert_ne!(a, c);
     }
 
     #[test]

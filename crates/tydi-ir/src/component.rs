@@ -54,10 +54,24 @@ pub struct Port {
 impl Port {
     /// Creates a port on the default clock domain with no origin.
     pub fn new(name: impl Into<String>, direction: PortDirection, ty: LogicalType) -> Self {
+        Port::from_arc(name, direction, Arc::new(ty))
+    }
+
+    /// Creates a port sharing an already-allocated type.
+    ///
+    /// The elaborator hands every port the canonical `Arc` from its
+    /// hash-consed type store, so structurally equal ports share one
+    /// allocation — which is what lets the DRC and the fingerprint
+    /// layer use `Arc::ptr_eq` fast paths instead of deep compares.
+    pub fn from_arc(
+        name: impl Into<String>,
+        direction: PortDirection,
+        ty: Arc<LogicalType>,
+    ) -> Self {
         Port {
             name: name.into(),
             direction,
-            ty: Arc::new(ty),
+            ty,
             clock: ClockDomain::default(),
             type_origin: None,
         }

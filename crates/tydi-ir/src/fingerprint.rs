@@ -11,13 +11,24 @@
 //! cannot alias (`("ab", "c")` and `("a", "bc")` hash differently).
 //! The IR-level entry points — [`streamlet_fingerprint`],
 //! [`implementation_fingerprint`] and [`project_fingerprint`] — hash
-//! definitions by *content* (names resolved, types via their stable
-//! display form), so two projects with identical definitions produce
-//! identical fingerprints regardless of interner state.
+//! definitions by *content* (names resolved, types via
+//! [`tydi_spec::structural_fingerprint`]), so two projects with
+//! identical definitions produce identical fingerprints regardless of
+//! interner state.
+//!
+//! Port types are hashed through [`shared_type_fingerprint`], a
+//! process-wide memo keyed by the type's `Arc` identity: the
+//! elaborator's hash-consed store hands every structurally equal port
+//! the *same* allocation, so fingerprinting a streamlet does not
+//! re-walk (or stringify) its type trees — it reuses the per-type
+//! hash computed the first time that allocation was seen.
 
 use crate::component::{ImplKind, Implementation, Streamlet};
 use crate::project::Project;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use tydi_spec::LogicalType;
 
 /// A stable 64-bit content hash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -117,9 +128,41 @@ impl Fingerprinter {
     }
 }
 
+/// The stable structural fingerprint of a shared type, memoized
+/// process-wide by `Arc` identity.
+///
+/// The memo entry stores a [`Weak`] next to the hash; a lookup only
+/// counts when upgrading the weak yields the *same* `Arc`, which
+/// makes address reuse after deallocation (the classic pointer-memo
+/// ABA hazard) impossible to observe. Stale entries are purged when
+/// the table grows.
+pub fn shared_type_fingerprint(ty: &Arc<LogicalType>) -> u64 {
+    type Memo = Mutex<HashMap<usize, (Weak<LogicalType>, u64)>>;
+    static MEMO: OnceLock<Memo> = OnceLock::new();
+    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = Arc::as_ptr(ty) as usize;
+    {
+        let map = memo.lock().expect("type fingerprint memo poisoned");
+        if let Some((weak, hash)) = map.get(&key) {
+            if let Some(live) = weak.upgrade() {
+                if Arc::ptr_eq(&live, ty) {
+                    return *hash;
+                }
+            }
+        }
+    }
+    let hash = tydi_spec::structural_fingerprint(ty);
+    let mut map = memo.lock().expect("type fingerprint memo poisoned");
+    if map.len() >= 65_536 {
+        map.retain(|_, (weak, _)| weak.strong_count() > 0);
+    }
+    map.insert(key, (Arc::downgrade(ty), hash));
+    hash
+}
+
 /// The content fingerprint of a streamlet: name, documentation and
-/// every port (name, direction, clock domain, logical type in its
-/// stable display form, declaration origin).
+/// every port (name, direction, clock domain, the logical type's
+/// structural fingerprint, declaration origin).
 pub fn streamlet_fingerprint(streamlet: &Streamlet) -> Fingerprint {
     let mut fp = Fingerprinter::new();
     fp.write_str("streamlet");
@@ -133,7 +176,7 @@ pub fn streamlet_fingerprint(streamlet: &Streamlet) -> Fingerprint {
             crate::component::PortDirection::Out => "out",
         });
         fp.write_str(port.clock.name());
-        fp.write_str(&port.ty.to_string());
+        fp.write_u64(shared_type_fingerprint(&port.ty));
         fp.write_opt_str(port.type_origin.as_deref());
     }
     fp.finish()

@@ -21,6 +21,7 @@ use crate::intern::StreamletId;
 use crate::project::Project;
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::Arc;
 use tydi_spec::{Complexity, LogicalType};
 
 /// Runs every check and collects all violations.
@@ -312,8 +313,12 @@ fn validate_connection(
         return;
     }
 
-    // Rule 1: identical logical types.
-    if source.port.ty != sink.port.ty {
+    // Rule 1: identical logical types. Ports built by the elaborator
+    // share the canonical `Arc` of their hash-consed type, so the
+    // common (equal) case is a pointer compare; the deep structural
+    // compare only runs for ports from other producers (e.g. projects
+    // re-parsed from the IR text format) or on the failure path.
+    if !Arc::ptr_eq(&source.port.ty, &sink.port.ty) && source.port.ty != sink.port.ty {
         errors.push(IrError::TypeMismatch {
             implementation: implementation.name.clone(),
             connection: connection.describe(),

@@ -42,6 +42,7 @@ pub mod clock;
 pub mod error;
 pub mod logical;
 pub mod physical;
+pub mod store;
 pub mod stream;
 pub mod text;
 
@@ -49,5 +50,9 @@ pub use clock::ClockDomain;
 pub use error::SpecError;
 pub use logical::{Field, LogicalType};
 pub use physical::{index_width, lower, PhysicalStream, SignalBundle};
+pub use store::{
+    expansion_cache_stats, lower_cached, lower_cached_arc, structural_fingerprint,
+    ExpansionCacheStats, TypeId, TypeStore, TypeStoreStats,
+};
 pub use stream::{Complexity, Direction, StreamParams, Synchronicity, Throughput};
 pub use text::parse_logical_type;

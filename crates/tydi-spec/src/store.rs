@@ -1,0 +1,865 @@
+//! Hash-consed storage for logical types.
+//!
+//! A [`TypeStore`] interns every [`LogicalType`] node exactly once and
+//! hands out a compact [`TypeId`] (a `u32`). Structurally identical
+//! types always receive the same id, so *type equality becomes an
+//! integer compare*, and the derived properties that the compiler
+//! pipeline keeps recomputing on type trees — bit width, mangled
+//! display text, a stable structural fingerprint, the physical-stream
+//! expansion — are computed **once per distinct node** and cached in
+//! per-node side tables.
+//!
+//! Interning is bottom-up with true structural sharing: a `Group`
+//! node's dedup key holds the [`TypeId`]s of its children, not their
+//! trees, so composing a new type from already-interned pieces is
+//! O(number of direct children) — independent of how deep those
+//! children are. This is what makes template-heavy elaboration flat:
+//! the first reference to `pass_i<type Deep>` pays for `Deep` once and
+//! every later reference is a handful of integer hashes.
+//!
+//! Every id also exposes a canonical [`Arc<LogicalType>`] so the rest
+//! of the toolchain (IR ports, lowering, text formats) keeps working
+//! on plain trees; structurally equal types share one allocation,
+//! which downstream consumers exploit with `Arc::ptr_eq` fast paths.
+//!
+//! Invariants maintained by construction (checked once per distinct
+//! node, never re-walked):
+//!
+//! * every interned type is valid per [`LogicalType::validate`]
+//!   (positive bit widths, unique field names, non-empty unions, no
+//!   streams inside `user` types);
+//! * [`TypeStore::mangled`] equals the type's canonical display form
+//!   with all spaces removed — byte-identical to what template
+//!   instance mangling historically produced;
+//! * [`TypeStore::fingerprint`] is a stable (cross-process) structural
+//!   FNV-1a hash: equal ids ⇔ equal fingerprints for ids of one store.
+//!
+//! The module also hosts a process-wide memo for
+//! [`lower`](crate::physical::lower) — [`lower_cached`] — used by the
+//! RTL backends, where ports arrive as plain `Arc<LogicalType>`
+//! without a store in scope.
+
+use crate::logical::{union_tag_width, Field, LogicalType};
+use crate::physical::PhysicalStream;
+use crate::stream::{Complexity, Direction, StreamParams, Synchronicity, Throughput};
+use crate::SpecError;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// A compact handle to an interned logical type.
+///
+/// Two ids from the *same* [`TypeStore`] are equal exactly when the
+/// types they denote are structurally equal; comparing ids from
+/// different stores is meaningless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(u32);
+
+impl TypeId {
+    /// The position of this id in its store.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The structural dedup key of one node: children by id, so hashing
+/// and equality are O(direct children).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum NodeKey {
+    Null,
+    Bit(u32),
+    Group(Vec<(String, TypeId)>),
+    Union(Vec<(String, TypeId)>),
+    Stream {
+        element: TypeId,
+        dimension: u32,
+        throughput: Throughput,
+        complexity: Complexity,
+        direction: Direction,
+        synchronicity: Synchronicity,
+        user: Option<TypeId>,
+        keep: bool,
+    },
+}
+
+/// Cached per-node data.
+#[derive(Debug)]
+struct NodeData {
+    /// Canonical deep tree; structurally equal ids share this `Arc`.
+    canonical: Arc<LogicalType>,
+    /// Element bit width (nested streams contribute zero).
+    bit_width: u32,
+    /// Canonical display text with spaces removed (template mangling).
+    mangled: Arc<str>,
+    /// Stable structural FNV-1a fingerprint.
+    fingerprint: u64,
+    /// Whether the node or any descendant is a `Stream`.
+    contains_stream: bool,
+    /// Whether the type carries no information ([`LogicalType::is_null`]).
+    is_null: bool,
+    /// Total node count (compiler statistics).
+    node_count: usize,
+    /// Memoized physical expansion (root-level streams only).
+    expansion: Option<Arc<Vec<PhysicalStream>>>,
+}
+
+/// Counters describing how much work a [`TypeStore`] saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TypeStoreStats {
+    /// Number of distinct type nodes interned.
+    pub distinct_types: usize,
+    /// Constructor/intern calls answered from the dedup table.
+    pub intern_hits: usize,
+    /// Physical expansions served from the per-node cache.
+    pub expansion_hits: usize,
+    /// Physical expansions actually computed.
+    pub expansions_computed: usize,
+}
+
+impl TypeStoreStats {
+    /// Dedup hit rate in percent (0 when nothing was interned).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.distinct_types + self.intern_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.intern_hits as f64 * 100.0 / total as f64
+        }
+    }
+}
+
+/// A hash-consing store for [`LogicalType`]s (see the module docs).
+#[derive(Debug, Default)]
+pub struct TypeStore {
+    nodes: Vec<NodeData>,
+    dedup: HashMap<NodeKey, TypeId>,
+    intern_hits: usize,
+    expansion_hits: usize,
+    expansions_computed: usize,
+}
+
+impl TypeStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        TypeStore::default()
+    }
+
+    /// Number of distinct interned nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Usage counters.
+    pub fn stats(&self) -> TypeStoreStats {
+        TypeStoreStats {
+            distinct_types: self.nodes.len(),
+            intern_hits: self.intern_hits,
+            expansion_hits: self.expansion_hits,
+            expansions_computed: self.expansions_computed,
+        }
+    }
+
+    // ---- constructors (O(direct children) each) --------------------------
+
+    /// Interns `Null`.
+    pub fn null(&mut self) -> TypeId {
+        self.insert(NodeKey::Null, |_| NodeBuild {
+            canonical: LogicalType::Null,
+            bit_width: 0,
+            mangled: "Null".to_string(),
+            contains_stream: false,
+            is_null: true,
+            node_count: 1,
+        })
+        .expect("Null is always valid")
+    }
+
+    /// Interns `Bit(width)`; rejects zero widths.
+    pub fn bit(&mut self, width: u32) -> Result<TypeId, SpecError> {
+        if width == 0 {
+            return Err(SpecError::ZeroWidthBit);
+        }
+        self.insert(NodeKey::Bit(width), |_| NodeBuild {
+            canonical: LogicalType::Bit(width),
+            bit_width: width,
+            mangled: format!("Bit({width})"),
+            contains_stream: false,
+            is_null: false,
+            node_count: 1,
+        })
+    }
+
+    /// Interns a `Group` of already-interned fields; rejects duplicate
+    /// field names.
+    pub fn group(&mut self, fields: Vec<(String, TypeId)>) -> Result<TypeId, SpecError> {
+        self.composite(fields, /* is_group */ true)
+    }
+
+    /// Interns a `Union` of already-interned variants; rejects empty
+    /// unions and duplicate variant names.
+    pub fn union(&mut self, fields: Vec<(String, TypeId)>) -> Result<TypeId, SpecError> {
+        self.composite(fields, /* is_group */ false)
+    }
+
+    /// Interns a `Stream` node over an already-interned element.
+    ///
+    /// `params.user` must be `None` — pass the user type as the
+    /// interned `user` id instead (rejected when it contains a
+    /// stream, per the specification).
+    pub fn stream(
+        &mut self,
+        element: TypeId,
+        params: StreamParams,
+        user: Option<TypeId>,
+    ) -> Result<TypeId, SpecError> {
+        debug_assert!(
+            params.user.is_none(),
+            "pass the user type as an interned id"
+        );
+        if let Some(user_id) = user {
+            if self.nodes[user_id.index()].contains_stream {
+                return Err(SpecError::InvalidParameter {
+                    parameter: "user",
+                    message: "user types may not contain streams".into(),
+                });
+            }
+        }
+        let key = NodeKey::Stream {
+            element,
+            dimension: params.dimension,
+            throughput: params.throughput,
+            complexity: params.complexity,
+            direction: params.direction,
+            synchronicity: params.synchronicity,
+            user,
+            keep: params.keep,
+        };
+        self.insert(key, |store| {
+            let elem = &store.nodes[element.index()];
+            let mut full_params = params.clone();
+            full_params.user = user.map(|u| Box::new((*store.nodes[u.index()].canonical).clone()));
+            let canonical = LogicalType::Stream {
+                element: Box::new((*elem.canonical).clone()),
+                params: full_params,
+            };
+            // Mangled text mirrors `write_logical_type` minus spaces.
+            let mut mangled = format!("Stream({}", elem.mangled);
+            if params.dimension != 0 {
+                let _ = write!(mangled, ",d={}", params.dimension);
+            }
+            if params.throughput != Throughput::one() {
+                let _ = write!(mangled, ",t={}", params.throughput);
+            }
+            if params.complexity != Complexity::default() {
+                let _ = write!(mangled, ",c={}", params.complexity);
+            }
+            if params.direction != Direction::Forward {
+                let _ = write!(mangled, ",r={}", params.direction);
+            }
+            if params.synchronicity != Synchronicity::Sync {
+                let _ = write!(mangled, ",x={}", params.synchronicity);
+            }
+            if let Some(u) = user {
+                let _ = write!(mangled, ",u={}", store.nodes[u.index()].mangled);
+            }
+            if params.keep {
+                mangled.push_str(",keep");
+            }
+            mangled.push(')');
+            NodeBuild {
+                canonical,
+                bit_width: 0,
+                mangled,
+                contains_stream: true,
+                is_null: elem.is_null && !params.keep,
+                node_count: 1
+                    + elem.node_count
+                    + user.map(|u| store.nodes[u.index()].node_count).unwrap_or(0),
+            }
+        })
+    }
+
+    /// Interns an arbitrary type tree, reusing every already-interned
+    /// subtree. O(tree size) on first sight, O(1)-amortized per node
+    /// thereafter; prefer the typed constructors on hot paths.
+    pub fn intern(&mut self, ty: &LogicalType) -> Result<TypeId, SpecError> {
+        match ty {
+            LogicalType::Null => Ok(self.null()),
+            LogicalType::Bit(width) => self.bit(*width),
+            LogicalType::Group(fields) => {
+                let interned = self.intern_fields(fields)?;
+                self.group(interned)
+            }
+            LogicalType::Union(fields) => {
+                let interned = self.intern_fields(fields)?;
+                self.union(interned)
+            }
+            LogicalType::Stream { element, params } => {
+                let element_id = self.intern(element)?;
+                let user_id = match &params.user {
+                    Some(user) => Some(self.intern(user)?),
+                    None => None,
+                };
+                let mut bare = params.clone();
+                bare.user = None;
+                self.stream(element_id, bare, user_id)
+            }
+        }
+    }
+
+    fn intern_fields(&mut self, fields: &[Field]) -> Result<Vec<(String, TypeId)>, SpecError> {
+        fields
+            .iter()
+            .map(|f| Ok((f.name.clone(), self.intern(&f.ty)?)))
+            .collect()
+    }
+
+    // ---- accessors (O(1)) -------------------------------------------------
+
+    /// The canonical tree behind an id; structurally equal ids share
+    /// the same `Arc`.
+    pub fn ty(&self, id: TypeId) -> &Arc<LogicalType> {
+        &self.nodes[id.index()].canonical
+    }
+
+    /// Cached element bit width.
+    pub fn bit_width(&self, id: TypeId) -> u32 {
+        self.nodes[id.index()].bit_width
+    }
+
+    /// Cached canonical mangled text (display form, spaces removed).
+    pub fn mangled(&self, id: TypeId) -> &Arc<str> {
+        &self.nodes[id.index()].mangled
+    }
+
+    /// Cached stable structural fingerprint.
+    pub fn fingerprint(&self, id: TypeId) -> u64 {
+        self.nodes[id.index()].fingerprint
+    }
+
+    /// Whether the type is (or contains) a `Stream`.
+    pub fn contains_stream(&self, id: TypeId) -> bool {
+        self.nodes[id.index()].contains_stream
+    }
+
+    /// Whether the node itself is a `Stream`.
+    pub fn is_stream(&self, id: TypeId) -> bool {
+        matches!(
+            &*self.nodes[id.index()].canonical,
+            LogicalType::Stream { .. }
+        )
+    }
+
+    /// Whether the type carries no information.
+    pub fn is_null(&self, id: TypeId) -> bool {
+        self.nodes[id.index()].is_null
+    }
+
+    /// Cached total node count.
+    pub fn node_count(&self, id: TypeId) -> usize {
+        self.nodes[id.index()].node_count
+    }
+
+    /// The physical-stream expansion of the type, computed once per
+    /// distinct node and shared thereafter.
+    pub fn expansion(&mut self, id: TypeId) -> Result<Arc<Vec<PhysicalStream>>, SpecError> {
+        if let Some(expansion) = &self.nodes[id.index()].expansion {
+            self.expansion_hits += 1;
+            return Ok(Arc::clone(expansion));
+        }
+        let expansion = Arc::new(crate::physical::lower(&self.nodes[id.index()].canonical)?);
+        self.expansions_computed += 1;
+        self.nodes[id.index()].expansion = Some(Arc::clone(&expansion));
+        Ok(expansion)
+    }
+
+    // ---- internals --------------------------------------------------------
+
+    fn composite(
+        &mut self,
+        fields: Vec<(String, TypeId)>,
+        is_group: bool,
+    ) -> Result<TypeId, SpecError> {
+        if !is_group && fields.is_empty() {
+            return Err(SpecError::EmptyUnion);
+        }
+        for (i, (name, _)) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|(other, _)| other == name) {
+                return Err(SpecError::DuplicateField(name.clone()));
+            }
+        }
+        let key = if is_group {
+            NodeKey::Group(fields.clone())
+        } else {
+            NodeKey::Union(fields.clone())
+        };
+        self.insert(key, |store| {
+            let kind = if is_group { "Group" } else { "Union" };
+            let mut mangled = format!("{kind}(");
+            let mut bit_width = 0u32;
+            let mut max_width = 0u32;
+            let mut contains_stream = false;
+            let mut all_null = true;
+            let mut node_count = 1usize;
+            let mut canonical_fields = Vec::with_capacity(fields.len());
+            for (i, (name, child_id)) in fields.iter().enumerate() {
+                let child = &store.nodes[child_id.index()];
+                if i > 0 {
+                    mangled.push(',');
+                }
+                let _ = write!(mangled, "{name}:{}", child.mangled);
+                bit_width += child.bit_width;
+                max_width = max_width.max(child.bit_width);
+                contains_stream |= child.contains_stream;
+                all_null &= child.is_null;
+                node_count += child.node_count;
+                canonical_fields.push(Field::new(name.clone(), (*child.canonical).clone()));
+            }
+            mangled.push(')');
+            let (canonical, width, is_null) = if is_group {
+                (LogicalType::Group(canonical_fields), bit_width, all_null)
+            } else {
+                (
+                    LogicalType::Union(canonical_fields),
+                    max_width + union_tag_width(fields.len()),
+                    fields.len() <= 1 && all_null,
+                )
+            };
+            NodeBuild {
+                canonical,
+                bit_width: width,
+                mangled,
+                contains_stream,
+                is_null,
+                node_count,
+            }
+        })
+    }
+
+    /// Dedup-or-insert: returns the existing id for `key` or builds
+    /// the node via `build` (which may read already-interned nodes).
+    fn insert(
+        &mut self,
+        key: NodeKey,
+        build: impl FnOnce(&Self) -> NodeBuild,
+    ) -> Result<TypeId, SpecError> {
+        if let Some(&id) = self.dedup.get(&key) {
+            self.intern_hits += 1;
+            return Ok(id);
+        }
+        let built = build(self);
+        let id = TypeId(u32::try_from(self.nodes.len()).expect("type store overflow"));
+        let fingerprint = structural_fingerprint(&built.canonical);
+        self.nodes.push(NodeData {
+            canonical: Arc::new(built.canonical),
+            bit_width: built.bit_width,
+            mangled: Arc::from(built.mangled.as_str()),
+            fingerprint,
+            contains_stream: built.contains_stream,
+            is_null: built.is_null,
+            node_count: built.node_count,
+            expansion: None,
+        });
+        self.dedup.insert(key, id);
+        Ok(id)
+    }
+}
+
+/// The data `insert` needs to materialize one new node.
+struct NodeBuild {
+    canonical: LogicalType,
+    bit_width: u32,
+    mangled: String,
+    contains_stream: bool,
+    is_null: bool,
+    node_count: usize,
+}
+
+// ---- stable structural fingerprints --------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1_0000_0193;
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+    fn u64(&mut self, value: u64) {
+        self.bytes(&value.to_le_bytes());
+    }
+    fn str(&mut self, text: &str) {
+        self.u64(text.len() as u64);
+        self.bytes(text.as_bytes());
+    }
+}
+
+/// A stable (cross-process, cross-run) structural FNV-1a hash of a
+/// logical type. Structurally equal types always hash equal; the walk
+/// tags every constructor and length-prefixes strings so adjacent
+/// fields cannot alias.
+pub fn structural_fingerprint(ty: &LogicalType) -> u64 {
+    let mut fnv = Fnv::new();
+    write_type(&mut fnv, ty);
+    fnv.0
+}
+
+fn write_type(fnv: &mut Fnv, ty: &LogicalType) {
+    match ty {
+        LogicalType::Null => fnv.u64(0),
+        LogicalType::Bit(width) => {
+            fnv.u64(1);
+            fnv.u64(u64::from(*width));
+        }
+        LogicalType::Group(fields) | LogicalType::Union(fields) => {
+            fnv.u64(if matches!(ty, LogicalType::Group(_)) {
+                2
+            } else {
+                3
+            });
+            fnv.u64(fields.len() as u64);
+            for field in fields {
+                fnv.str(&field.name);
+                write_type(fnv, &field.ty);
+            }
+        }
+        LogicalType::Stream { element, params } => {
+            fnv.u64(4);
+            write_type(fnv, element);
+            fnv.u64(u64::from(params.dimension));
+            let (num, den) = params.throughput.ratio();
+            fnv.u64(u64::from(num));
+            fnv.u64(u64::from(den));
+            fnv.u64(u64::from(params.complexity.level()));
+            fnv.u64(matches!(params.direction, Direction::Reverse) as u64);
+            fnv.u64(match params.synchronicity {
+                Synchronicity::Sync => 0,
+                Synchronicity::Flatten => 1,
+                Synchronicity::Desync => 2,
+                Synchronicity::FlatDesync => 3,
+            });
+            match &params.user {
+                Some(user) => {
+                    fnv.u64(1);
+                    write_type(fnv, user);
+                }
+                None => fnv.u64(0),
+            }
+            fnv.u64(params.keep as u64);
+        }
+    }
+}
+
+// ---- process-wide expansion cache ----------------------------------------
+
+/// Hit/miss counters of the process-wide [`lower_cached`] memo.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExpansionCacheStats {
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lowerings actually computed (and memoized).
+    pub misses: u64,
+}
+
+/// One memoized lowering: the type (for collision verification by
+/// value) and its shared expansion.
+type ExpansionEntry = (LogicalType, Arc<Vec<PhysicalStream>>);
+
+struct ExpansionCache {
+    /// Fingerprint → (type, expansion) pairs; the inner `Vec` resolves
+    /// the (astronomically unlikely) fingerprint collisions by value.
+    map: HashMap<u64, Vec<ExpansionEntry>>,
+    stats: ExpansionCacheStats,
+}
+
+fn expansion_cache() -> &'static Mutex<ExpansionCache> {
+    static CACHE: OnceLock<Mutex<ExpansionCache>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        Mutex::new(ExpansionCache {
+            map: HashMap::new(),
+            stats: ExpansionCacheStats::default(),
+        })
+    })
+}
+
+/// Like [`lower`](crate::physical::lower) but memoized process-wide:
+/// each distinct type is lowered once and the shared expansion is
+/// handed out thereafter. Used by the RTL backends, which expand the
+/// same port types for every module that instantiates them. Errors
+/// are not memoized (failing types re-report on every attempt).
+pub fn lower_cached(ty: &LogicalType) -> Result<Arc<Vec<PhysicalStream>>, SpecError> {
+    let fingerprint = structural_fingerprint(ty);
+    let mut cache = expansion_cache().lock().expect("expansion cache poisoned");
+    if let Some(candidates) = cache.map.get(&fingerprint) {
+        if let Some((_, expansion)) = candidates.iter().find(|(t, _)| t == ty) {
+            let expansion = Arc::clone(expansion);
+            cache.stats.hits += 1;
+            return Ok(expansion);
+        }
+    }
+    drop(cache);
+    let expansion = Arc::new(crate::physical::lower(ty)?);
+    let mut cache = expansion_cache().lock().expect("expansion cache poisoned");
+    cache.stats.misses += 1;
+    cache
+        .map
+        .entry(fingerprint)
+        .or_default()
+        .push((ty.clone(), Arc::clone(&expansion)));
+    Ok(expansion)
+}
+
+/// Arc-identity fast path over [`lower_cached`].
+///
+/// Ports built by the elaborator share the store's canonical `Arc`
+/// per distinct type, so the common case — the RTL backends expanding
+/// the same port types for every instantiating module — resolves by
+/// pointer without walking or comparing the tree. The memo entry
+/// stores a [`Weak`] next to the expansion and only counts when
+/// upgrading yields the *same* `Arc` (the pointer-memo ABA hazard is
+/// unobservable); types from other producers (e.g. projects re-parsed
+/// from the IR text format) fall back to the value-keyed
+/// [`lower_cached`].
+pub fn lower_cached_arc(ty: &Arc<LogicalType>) -> Result<Arc<Vec<PhysicalStream>>, SpecError> {
+    type PtrMemo = Mutex<HashMap<usize, (Weak<LogicalType>, Arc<Vec<PhysicalStream>>)>>;
+    static MEMO: OnceLock<PtrMemo> = OnceLock::new();
+    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = Arc::as_ptr(ty) as usize;
+    {
+        let map = memo.lock().expect("expansion ptr memo poisoned");
+        if let Some((weak, expansion)) = map.get(&key) {
+            if let Some(live) = weak.upgrade() {
+                if Arc::ptr_eq(&live, ty) {
+                    EXPANSION_PTR_HITS.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(expansion));
+                }
+            }
+        }
+    }
+    let expansion = lower_cached(ty)?;
+    let mut map = memo.lock().expect("expansion ptr memo poisoned");
+    if map.len() >= 65_536 {
+        map.retain(|_, (weak, _)| weak.strong_count() > 0);
+    }
+    map.insert(key, (Arc::downgrade(ty), Arc::clone(&expansion)));
+    Ok(expansion)
+}
+
+/// Hits served purely by `Arc` identity in [`lower_cached_arc`].
+static EXPANSION_PTR_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Counters of the process-wide expansion memo (both levels: the
+/// `Arc`-identity fast path and the value-keyed fallback).
+pub fn expansion_cache_stats() -> ExpansionCacheStats {
+    let mut stats = expansion_cache()
+        .lock()
+        .expect("expansion cache poisoned")
+        .stats;
+    stats.hits += EXPANSION_PTR_HITS.load(Ordering::Relaxed);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::lower;
+
+    fn deep(depth: u32) -> LogicalType {
+        let mut ty = LogicalType::Bit(8);
+        for level in 0..depth {
+            ty = LogicalType::group(vec![
+                ("left", ty.clone()),
+                ("right", LogicalType::Bit(level + 1)),
+            ]);
+        }
+        ty
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_shares() {
+        let mut store = TypeStore::new();
+        let a = store.intern(&deep(4)).unwrap();
+        let b = store.intern(&deep(4)).unwrap();
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(store.ty(a), store.ty(b)));
+        assert!(store.stats().intern_hits > 0);
+    }
+
+    #[test]
+    fn distinct_types_get_distinct_ids() {
+        let mut store = TypeStore::new();
+        let a = store.intern(&deep(3)).unwrap();
+        let b = store.intern(&deep(4)).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(store.fingerprint(a), store.fingerprint(b));
+        assert_ne!(store.mangled(a), store.mangled(b));
+    }
+
+    #[test]
+    fn subtrees_are_shared() {
+        let mut store = TypeStore::new();
+        store.intern(&deep(4)).unwrap();
+        let before = store.len();
+        // deep(5) only adds two nodes: the new group and its new Bit.
+        store.intern(&deep(5)).unwrap();
+        assert_eq!(store.len(), before + 2);
+    }
+
+    #[test]
+    fn cached_properties_match_deep_representation() {
+        let mut store = TypeStore::new();
+        let samples = [
+            LogicalType::Null,
+            LogicalType::Bit(7),
+            deep(3),
+            LogicalType::union(vec![("a", LogicalType::Bit(3)), ("b", deep(2))]),
+            LogicalType::stream(
+                deep(2),
+                StreamParams::new()
+                    .with_dimension(2)
+                    .with_complexity(Complexity::new(7).unwrap())
+                    .with_throughput(Throughput::new(3, 2).unwrap())
+                    .with_user(LogicalType::Bit(3))
+                    .with_keep(true),
+            ),
+        ];
+        for ty in samples {
+            let id = store.intern(&ty).unwrap();
+            assert_eq!(store.bit_width(id), ty.bit_width(), "{ty}");
+            assert_eq!(store.node_count(id), ty.node_count(), "{ty}");
+            assert_eq!(store.contains_stream(id), ty.contains_stream(), "{ty}");
+            assert_eq!(store.is_null(id), ty.is_null(), "{ty}");
+            assert_eq!(
+                store.mangled(id).as_ref(),
+                ty.to_string().replace(' ', ""),
+                "{ty}"
+            );
+            assert_eq!(&**store.ty(id), &ty);
+        }
+    }
+
+    #[test]
+    fn expansion_is_cached_and_correct() {
+        let mut store = TypeStore::new();
+        let ty = LogicalType::stream(deep(2), StreamParams::new().with_dimension(1));
+        let id = store.intern(&ty).unwrap();
+        let first = store.expansion(id).unwrap();
+        let second = store.expansion(id).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(*first, lower(&ty).unwrap());
+        let stats = store.stats();
+        assert_eq!(stats.expansions_computed, 1);
+        assert_eq!(stats.expansion_hits, 1);
+    }
+
+    #[test]
+    fn constructors_validate_shallowly() {
+        let mut store = TypeStore::new();
+        assert_eq!(store.bit(0), Err(SpecError::ZeroWidthBit));
+        let b = store.bit(1).unwrap();
+        assert_eq!(
+            store.group(vec![("x".into(), b), ("x".into(), b)]),
+            Err(SpecError::DuplicateField("x".into()))
+        );
+        assert_eq!(store.union(vec![]), Err(SpecError::EmptyUnion));
+        let s = store.stream(b, StreamParams::new(), None).unwrap();
+        assert!(matches!(
+            store.stream(b, StreamParams::new(), Some(s)),
+            Err(SpecError::InvalidParameter {
+                parameter: "user",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn structural_fingerprint_is_stable_and_discriminating() {
+        // Pinned value: the fingerprint must not drift across runs or
+        // refactors (incremental caches depend on stability).
+        assert_eq!(structural_fingerprint(&LogicalType::Null), {
+            let mut f = Fnv::new();
+            f.u64(0);
+            f.0
+        });
+        let a = LogicalType::group(vec![("ab", LogicalType::Bit(1))]);
+        let b = LogicalType::group(vec![("a", LogicalType::Bit(1))]);
+        assert_ne!(structural_fingerprint(&a), structural_fingerprint(&b));
+        let g = LogicalType::Group(vec![Field::new("x", LogicalType::Bit(2))]);
+        let u = LogicalType::Union(vec![Field::new("x", LogicalType::Bit(2))]);
+        assert_ne!(structural_fingerprint(&g), structural_fingerprint(&u));
+        assert_eq!(
+            structural_fingerprint(&deep(4)),
+            structural_fingerprint(&deep(4))
+        );
+    }
+
+    #[test]
+    fn lower_cached_matches_lower() {
+        let ty = LogicalType::stream(
+            LogicalType::group(vec![
+                ("len", LogicalType::Bit(16)),
+                (
+                    "chars",
+                    LogicalType::stream(LogicalType::Bit(8), StreamParams::new().with_dimension(1)),
+                ),
+            ]),
+            StreamParams::new(),
+        );
+        let cached = lower_cached(&ty).unwrap();
+        assert_eq!(*cached, lower(&ty).unwrap());
+        let again = lower_cached(&ty).unwrap();
+        assert!(Arc::ptr_eq(&cached, &again));
+        assert!(lower_cached(&LogicalType::Bit(3)).is_err());
+    }
+
+    #[test]
+    fn lower_cached_arc_shares_by_identity_and_by_value() {
+        let mut store = TypeStore::new();
+        let ty = LogicalType::stream(deep(3), StreamParams::new().with_dimension(1));
+        let id = store.intern(&ty).unwrap();
+        let arc_a = Arc::clone(store.ty(id));
+        let arc_b = Arc::clone(store.ty(id));
+        let first = lower_cached_arc(&arc_a).unwrap();
+        // Same Arc again: identity hit, same shared expansion.
+        let second = lower_cached_arc(&arc_b).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        // A structurally equal but separately allocated tree falls
+        // back to the value memo and still shares the expansion.
+        let fresh = Arc::new(ty.clone());
+        let third = lower_cached_arc(&fresh).unwrap();
+        assert!(Arc::ptr_eq(&first, &third));
+        assert_eq!(*first, lower(&ty).unwrap());
+        // Errors are not memoized and still surface.
+        assert!(lower_cached_arc(&Arc::new(LogicalType::Bit(2))).is_err());
+    }
+
+    #[test]
+    fn stream_mangling_matches_display() {
+        let mut store = TypeStore::new();
+        let ty = LogicalType::stream(
+            LogicalType::group(vec![("a", LogicalType::Bit(3)), ("b", LogicalType::Bit(5))]),
+            StreamParams::new()
+                .with_dimension(2)
+                .with_complexity(Complexity::new(7).unwrap())
+                .with_direction(Direction::Reverse)
+                .with_synchronicity(Synchronicity::Flatten)
+                .with_user(LogicalType::Bit(2))
+                .with_keep(true),
+        );
+        let id = store.intern(&ty).unwrap();
+        assert_eq!(store.mangled(id).as_ref(), ty.to_string().replace(' ', ""));
+    }
+}

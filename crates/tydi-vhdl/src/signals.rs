@@ -6,7 +6,7 @@
 
 use crate::error::VhdlError;
 use tydi_ir::{Port, PortDirection, Streamlet};
-use tydi_spec::{lower, ClockDomain, Direction};
+use tydi_spec::{lower_cached_arc, ClockDomain, Direction};
 
 /// Mode of a VHDL entity port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,10 +66,17 @@ pub fn join_name(parts: &[&str]) -> String {
 
 /// Expands a port into its VHDL signals, using `prefix` as the base
 /// name (usually the port name; connection bundles pass a net name).
+///
+/// Physical expansion goes through the process-wide
+/// [`lower_cached_arc`] memo: a port type is lowered once per process
+/// and every later module that binds the same type (the common case —
+/// every instantiation site re-expands its child's ports) reuses the
+/// shared result. Ports carry the elaborator's canonical `Arc`, so a
+/// hit is a pointer lookup — no tree walk, no structural compare.
 pub fn expand_port_as(port: &Port, prefix: &str) -> Result<Vec<VhdlSignal>, VhdlError> {
-    let physical = lower(&port.ty)?;
+    let physical = lower_cached_arc(&port.ty)?;
     let mut signals = Vec::new();
-    for stream in &physical {
+    for stream in physical.iter() {
         let suffix = stream.name_suffix();
         // The data direction of this physical stream from the entity's
         // perspective: the port direction, flipped for reverse streams.

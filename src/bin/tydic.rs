@@ -372,6 +372,21 @@ fn print_timings(output: &CompileOutput) {
         reused[3],
         recomputed[3],
     );
+    // Type-store statistics: how much work hash-consing saved during
+    // elaboration, plus the process-wide physical-expansion memo the
+    // RTL backends consult. A fully cache-served compile reports the
+    // counts restored with the artifact.
+    let ts = output.elab_info.type_store;
+    let expansions = tydi_spec::expansion_cache_stats();
+    eprintln!(
+        "types: {} distinct node(s) interned, {} dedup hit(s) ({:.0}% hit rate); \
+         expansions: {} reused / {} computed",
+        ts.distinct_types,
+        ts.intern_hits,
+        ts.hit_rate(),
+        expansions.hits,
+        expansions.misses,
+    );
 }
 
 /// Loads the persistent cache (an empty, never-saved one under

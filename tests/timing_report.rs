@@ -91,6 +91,21 @@ fn report_separates_self_times_from_the_wall_total() {
         cache.contains("parse") && cache.contains("reused") && cache.contains("recomputed"),
         "cache line shape: {cache}"
     );
+
+    // Type-store statistics follow: distinct interned nodes, dedup
+    // hit rate, cached-expansion reuse.
+    let types = stage_line(&stderr, "types: ");
+    assert!(
+        types.contains("distinct node(s) interned")
+            && types.contains("hit rate")
+            && types.contains("expansions:"),
+        "type-store line shape: {types}"
+    );
+    // The design (plus stdlib) interns a nonzero number of types.
+    assert!(
+        !types.starts_with("types: 0 distinct"),
+        "a cold compile must intern types: {types}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -111,6 +126,13 @@ fn warm_cache_run_reports_stage_reuse() {
     assert!(
         cache.contains("parse 2 reused / 0 recomputed"),
         "warm run should reuse both parses (stdlib + design): {cache}"
+    );
+    // The warm run replays the type-store counts persisted with the
+    // elaboration artifact instead of reporting zeros.
+    let types = stage_line(&warm, "types: ");
+    assert!(
+        !types.starts_with("types: 0 distinct"),
+        "cache-served compile must restore type-store stats: {types}"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
