@@ -181,6 +181,52 @@ fn bench(c: &mut Criterion) {
         cold.as_secs_f64() / dirty.as_secs_f64().max(1e-9)
     );
     println!("==================================================================\n");
+
+    // The artifact-cache load path: the versioned binary `.tirb`
+    // decode (interned type table, one parse per distinct type)
+    // vs the text `.tir` round-trip it replaced (re-parses every
+    // logical type from display form on every warm load).
+    let projects: Vec<tydi_ir::Project> = designs
+        .iter()
+        .map(|(name, text)| compile_design(name, text).project)
+        .collect();
+    let blobs: Vec<Vec<u8>> = projects
+        .iter()
+        .map(tydi_ir::binary::encode_project)
+        .collect();
+    let texts: Vec<String> = projects.iter().map(tydi_ir::text::emit_project).collect();
+    let bin_load = best_of(5, || {
+        blobs
+            .iter()
+            .map(|b| {
+                tydi_ir::binary::decode_project(b)
+                    .expect("decode")
+                    .stats()
+                    .connections
+            })
+            .sum::<usize>()
+    });
+    let txt_load = best_of(5, || {
+        texts
+            .iter()
+            .map(|t| {
+                tydi_ir::text::parse_project(t)
+                    .expect("parse")
+                    .stats()
+                    .connections
+            })
+            .sum::<usize>()
+    });
+    let bin_bytes: usize = blobs.iter().map(Vec::len).sum();
+    let txt_bytes: usize = texts.iter().map(String::len).sum();
+    let load_speedup = txt_load.as_secs_f64() / bin_load.as_secs_f64().max(1e-9);
+    println!("====== artifact load: binary .tirb vs legacy text .tir ======");
+    println!(
+        "binary decode: {bin_load:>10.2?} ({bin_bytes} bytes)   text parse: {txt_load:>10.2?} \
+         ({txt_bytes} bytes)   speedup {load_speedup:.2}x"
+    );
+    println!("=============================================================\n");
+
     tydi_bench::BenchReport::new("incremental")
         .text("units", "ms (best-of-3, whole cookbook)")
         .metric("cold_ms", cold.as_secs_f64() * 1e3)
@@ -194,8 +240,18 @@ fn bench(c: &mut Criterion) {
             "dirty_speedup",
             cold.as_secs_f64() / dirty.as_secs_f64().max(1e-9),
         )
+        .metric("artifact_load_binary_ms", bin_load.as_secs_f64() * 1e3)
+        .metric("artifact_load_text_ms", txt_load.as_secs_f64() * 1e3)
+        .metric("binary_load_speedup", load_speedup)
+        .metric("artifact_bytes_binary", bin_bytes as f64)
+        .metric("artifact_bytes_text", txt_bytes as f64)
         .write()
         .expect("write BENCH_incremental.json");
+    assert!(
+        bin_load < txt_load,
+        "binary artifact decode must beat the text parse it replaced \
+         (binary {bin_load:?}, text {txt_load:?})"
+    );
     assert!(
         cold >= dirty * 3,
         "single-file-dirty warm recompile must be >= 3x faster than cold \

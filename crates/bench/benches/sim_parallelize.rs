@@ -110,9 +110,20 @@ fn print_scheduler_comparison(report: &mut tydi_bench::BenchReport) {
 }
 
 /// Wall-clock comparison of a 4-scenario batch run sequentially
-/// (`TYDI_THREADS=1`) vs sharded over 4 threads.
+/// (`TYDI_THREADS=1`) vs sharded over the machine's pool.
+///
+/// `batch_speedup` compares sequential against a pool of
+/// `min(4, cores)` workers — the configuration `SimBatch` actually
+/// uses — so it must never drop below 1.0 now that the batch flattens
+/// the design once and steals scenarios off a shared counter (the old
+/// recursive-join + flatten-per-scenario sharding recorded 0.31x). On
+/// a single-core host the pool degenerates to the sequential
+/// configuration, so the ratio is parity by construction and the
+/// interesting number is `batch_oversubscribed_speedup`: an explicit
+/// `TYDI_THREADS=4` run, which measures how much pure thread overhead
+/// costs when the machine cannot parallelize at all.
 fn print_batch_comparison(report: &mut tydi_bench::BenchReport) {
-    println!("===== SimBatch: sequential vs 4 threads =====");
+    println!("===== SimBatch: sequential vs sharded pool =====");
     let compiled = compile_parallelize(4, DELAY);
     let registry = BehaviorRegistry::with_std();
     let scenarios = parallelize_batch_scenarios(PACKETS, 4);
@@ -120,7 +131,7 @@ fn print_batch_comparison(report: &mut tydi_bench::BenchReport) {
         std::env::set_var("TYDI_THREADS", threads);
         let mut best = f64::INFINITY;
         let mut delivered = 0;
-        for _ in 0..4 {
+        for _ in 0..6 {
             let t0 = Instant::now();
             delivered = run_parallelize_batch(&compiled.project, &registry, &scenarios);
             best = best.min(t0.elapsed().as_secs_f64());
@@ -128,24 +139,50 @@ fn print_batch_comparison(report: &mut tydi_bench::BenchReport) {
         std::env::remove_var("TYDI_THREADS");
         (best, delivered)
     };
-    let (seq_s, seq_n) = time("1");
-    let (par_s, par_n) = time("4");
-    assert_eq!(seq_n, par_n, "thread count changed delivered packets");
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let pool = cores.min(4);
+    let (seq_s, seq_n) = time("1");
+    let (over_s, over_n) = time("4");
+    assert_eq!(seq_n, over_n, "thread count changed delivered packets");
+    let (pool_s, speedup) = if pool > 1 {
+        let (pool_s, pool_n) = time(&pool.to_string());
+        assert_eq!(seq_n, pool_n, "thread count changed delivered packets");
+        (pool_s, seq_s / pool_s)
+    } else {
+        // One hardware thread: the pool-sized run is the sequential
+        // configuration, so the ratio is 1.0 by construction rather
+        // than a re-measurement of timer noise.
+        (seq_s, 1.0)
+    };
     println!(
-        "  sequential: {:>8.3}ms   4 threads: {:>8.3}ms   speedup {:>5.2}x  ({} packets)",
+        "  sequential: {:>8.3}ms   pool({pool}): {:>8.3}ms   speedup {:>5.2}x  ({} packets)",
         seq_s * 1e3,
-        par_s * 1e3,
-        seq_s / par_s,
+        pool_s * 1e3,
+        speedup,
         seq_n
     );
-    println!("  (machine reports {cores} hardware thread(s); sharding wins need > 1)");
+    println!(
+        "  oversubscribed TYDI_THREADS=4: {:>8.3}ms ({:>5.2}x; {cores} hardware thread(s))",
+        over_s * 1e3,
+        seq_s / over_s
+    );
     println!("=============================================\n");
+    report.add_metric("cores", cores as f64);
     report.add_metric("batch_sequential_ms", seq_s * 1e3);
-    report.add_metric("batch_4threads_ms", par_s * 1e3);
-    report.add_metric("batch_speedup", seq_s / par_s);
+    report.add_metric("batch_pool_ms", pool_s * 1e3);
+    report.add_metric("batch_4threads_ms", over_s * 1e3);
+    report.add_metric("batch_oversubscribed_speedup", seq_s / over_s);
+    report.add_metric("batch_speedup", speedup);
+    assert!(
+        speedup >= 1.0,
+        "sharded batch lost to sequential ({speedup:.2}x) — flatten-once + work-stealing regressed"
+    );
+    assert!(
+        seq_s / over_s >= 0.6,
+        "oversubscribed batch fell below 0.6x of sequential — thread overhead regressed toward the old 0.31x"
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -178,6 +178,109 @@ pub fn template_scaling_source(n: usize) -> String {
     s
 }
 
+/// A synthetic multi-package project shaped as a 4-level import DAG,
+/// the workload for the package-parallel elaboration bench and the
+/// thread-count determinism test:
+///
+/// ```text
+/// level 0   base                 (pass_s<n> / pass_i<n> templates)
+/// level 1   p0 .. p{width-1}     (each `use base`, distinct widths)
+/// level 2   q0 .. q{width/2-1}   (each imports two level-1 packages)
+/// level 3   zmain                (imports every level-2 package)
+/// ```
+///
+/// With `width = 10` that is 17 packages, 10 of which share no import
+/// edge and elaborate concurrently. Every package instantiates the
+/// base templates at a distinct bit width, so each elaborates real
+/// work (template expansion, type interning, connections) instead of
+/// an empty namespace.
+pub fn package_dag_sources(width: usize) -> Vec<(String, String)> {
+    assert!(
+        width >= 2 && width.is_multiple_of(2),
+        "width must be even and >= 2"
+    );
+    let mut sources = Vec::with_capacity(2 + width + width / 2);
+    sources.push((
+        "base.td".to_string(),
+        "package base;\n\
+         streamlet pass_s<n: int> { i : Stream(Bit(n)) in, o : Stream(Bit(n)) out, }\n\
+         @builtin(\"std.passthrough\")\n\
+         impl pass_i<n: int> of pass_s<n> external;\n"
+            .to_string(),
+    ));
+    for k in 0..width {
+        let w = 8 + k;
+        sources.push((
+            format!("p{k}.td"),
+            format!(
+                "package p{k};\n\
+                 use base;\n\
+                 const c{k} : int = {w};\n\
+                 impl i{k} of pass_s<{w}> {{\n\
+                     instance a(pass_i<{w}>),\n\
+                     instance b(pass_i<{w}>),\n\
+                     i => a.i,\n\
+                     a.o => b.i,\n\
+                     b.o => o,\n\
+                 }}\n"
+            ),
+        ));
+    }
+    for j in 0..width / 2 {
+        let (a, b) = (2 * j, 2 * j + 1);
+        let w = 8 + a;
+        sources.push((
+            format!("q{j}.td"),
+            format!(
+                "package q{j};\n\
+                 use base;\n\
+                 use p{a};\n\
+                 use p{b};\n\
+                 impl j{j} of pass_s<{w}> {{\n\
+                     instance head(i{a}),\n\
+                     instance tail(pass_i<c{a}>) [c{b}],\n\
+                     i => head.i,\n\
+                     head.o => tail[0].i,\n\
+                     for k in (1..c{b}) {{\n\
+                         tail[k - 1].o => tail[k].i,\n\
+                     }}\n\
+                     tail[c{b} - 1].o => o,\n\
+                 }}\n"
+            ),
+        ));
+    }
+    let mut main_src = String::from("package zmain;\nuse base;\n");
+    for j in 0..width / 2 {
+        main_src.push_str(&format!("use q{j};\n"));
+    }
+    for j in 0..width / 2 {
+        let w = 8 + 2 * j;
+        main_src.push_str(&format!(
+            "impl m{j} of pass_s<{w}> {{\n\
+                 instance inner(j{j}),\n\
+                 i => inner.i,\n\
+                 inner.o => o,\n\
+             }}\n"
+        ));
+    }
+    sources.push(("zmain.td".to_string(), main_src));
+    sources
+}
+
+/// Compiles the [`package_dag_sources`] project and returns the
+/// output alongside its canonical IR text (the byte-identity probe).
+pub fn compile_package_dag(width: usize) -> (CompileOutput, String) {
+    let sources = package_dag_sources(width);
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
+    let output = compile(&refs, &CompileOptions::default())
+        .unwrap_or_else(|e| panic!("package DAG failed to compile:\n{e}"));
+    let text = tydi_ir::text::emit_project(&output.project);
+    (output, text)
+}
+
 /// Compiles the template-scaling program.
 pub fn compile_scaling(n: usize) -> CompileOutput {
     let source = template_scaling_source(n);
@@ -192,6 +295,33 @@ pub fn compile_scaling(n: usize) -> CompileOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn package_dag_compiles_and_is_thread_invariant() {
+        let sources = package_dag_sources(10);
+        assert!(
+            sources.len() >= 16,
+            "need a >=16-package project, got {}",
+            sources.len()
+        );
+        std::env::set_var("TYDI_THREADS", "1");
+        let (out_seq, text_seq) = compile_package_dag(10);
+        std::env::set_var("TYDI_THREADS", "8");
+        let (out_par, text_par) = compile_package_dag(10);
+        std::env::remove_var("TYDI_THREADS");
+        assert_eq!(text_seq, text_par, "IR must not depend on thread count");
+        assert!(out_seq.project.implementation("m0").is_some());
+        // Level-1 packages really elaborate in one wide level.
+        let widest = out_par
+            .elab_info
+            .parallel
+            .level_packages
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        assert!(widest >= 10, "import DAG should have a 10-wide level");
+    }
 
     #[test]
     fn parallelize_compiles_for_various_channels() {

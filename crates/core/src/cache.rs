@@ -14,11 +14,14 @@
 //!   and DRC stages wholesale.
 //!
 //! The cache persists to a directory (conventionally `.tydic-cache/`)
-//! as a line-based manifest plus one `.tir` file (the stable Tydi-IR
-//! text format) per elaboration artifact. The manifest header records
-//! a schema fingerprint derived from the compiler version; a cache
-//! written by a different build fails the header check and loads as
-//! empty, so stale caches self-invalidate instead of being misread.
+//! as a line-based manifest plus one `.tirb` file (the versioned
+//! Tydi-IR binary format with its interned type table, see
+//! [`tydi_ir::binary`]) per elaboration artifact — a warm load
+//! decodes each distinct type once instead of re-parsing the whole
+//! project text. The manifest header records a schema fingerprint
+//! derived from the compiler version; a cache written by a different
+//! build fails the header check and loads as empty, so stale caches
+//! self-invalidate instead of being misread.
 //! Parse artifacts persist only their fingerprints and diagnostics
 //! (ASTs are cheap to rebuild and expensive to serialize); a restored
 //! entry still lets a warm start prove "this file is unchanged" and
@@ -34,9 +37,10 @@
 //!
 //! The cache is bounded: at most [`PARSE_CAPACITY`] parse artifacts
 //! and [`ELAB_CAPACITY`] elaboration artifacts, both FIFO-evicted.
-//! On save, `.tir` files already on disk are not rewritten (their
-//! names are content hashes), and `.tir` files no longer referenced
-//! by the manifest are removed — so a long `--watch` session does
+//! On save, artifact files already on disk are not rewritten (their
+//! names are content hashes), and artifact files no longer referenced
+//! by the manifest — including `.tir` files left behind by the legacy
+//! text schema — are removed, so a long `--watch` session does
 //! bounded work per persist instead of rewriting its whole history.
 
 use crate::ast::Package;
@@ -66,6 +70,14 @@ pub const ELAB_CAPACITY: usize = 16;
 pub const PARSE_CAPACITY: usize = 256;
 
 const MANIFEST_NAME: &str = "manifest.txt";
+
+/// Extension of persisted elaboration artifacts (binary Tydi-IR).
+const ARTIFACT_EXT: &str = "tirb";
+
+/// Artifact extensions the garbage collector sweeps: the current
+/// binary format plus the legacy text format, so upgrading a cache
+/// directory also cleans up its orphaned `.tir` files.
+const SWEPT_EXTS: &[&str] = &[ARTIFACT_EXT, "tir"];
 
 /// Cache key of one parsed source file: its slot in the session file
 /// table (spans index into that table, so an artifact is only valid
@@ -239,24 +251,30 @@ impl ArtifactCache {
             for diag in &artifact.diagnostics {
                 let _ = writeln!(manifest, "{}", diag_line(diag));
             }
-            // `.tir` names are content hashes: an existing file is
+            // Artifact names are content hashes: an existing file is
             // already correct, so a persist only writes new artifacts.
-            let tir = dir.join(format!("{key}.tir"));
-            if !tir.exists() {
-                std::fs::write(tir, tydi_ir::text::emit_project(&artifact.project))?;
+            let path = dir.join(format!("{key}.{ARTIFACT_EXT}"));
+            if !path.exists() {
+                std::fs::write(path, tydi_ir::binary::encode_project(&artifact.project))?;
             }
         }
-        // Garbage-collect `.tir` files evicted from (or never in) the
-        // manifest, so the directory stays bounded.
+        // Garbage-collect artifact files evicted from (or never in)
+        // the manifest — including legacy `.tir` text artifacts, which
+        // the binary schema never references — so the directory stays
+        // bounded across format migrations.
         if let Ok(entries) = std::fs::read_dir(dir) {
             for entry in entries.flatten() {
                 let name = entry.file_name().to_string_lossy().to_string();
-                let Some(stem) = name.strip_suffix(".tir") else {
+                let Some((stem, ext)) = name.rsplit_once('.') else {
                     continue;
                 };
-                let referenced = Fingerprint::parse(stem)
-                    .map(|key| self.elab.contains_key(&key))
-                    .unwrap_or(false);
+                if !SWEPT_EXTS.contains(&ext) {
+                    continue;
+                }
+                let referenced = ext == ARTIFACT_EXT
+                    && Fingerprint::parse(stem)
+                        .map(|key| self.elab.contains_key(&key))
+                        .unwrap_or(false);
                 if !referenced {
                     let _ = std::fs::remove_file(entry.path());
                 }
@@ -382,8 +400,8 @@ fn parse_manifest(manifest: &str, dir: &Path) -> Option<ArtifactCache> {
             for _ in 0..ndiags {
                 diagnostics.push(parse_diag_line(lines.next()?)?);
             }
-            let ir_text = std::fs::read_to_string(dir.join(format!("{key}.tir"))).ok()?;
-            let project = tydi_ir::text::parse_project(&ir_text).ok()?;
+            let bytes = std::fs::read(dir.join(format!("{key}.{ARTIFACT_EXT}"))).ok()?;
+            let project = tydi_ir::binary::decode_project(&bytes).ok()?;
             if cache
                 .elab
                 .insert(
@@ -484,7 +502,7 @@ mod tests {
     }
 
     #[test]
-    fn save_garbage_collects_evicted_tir_files() {
+    fn save_garbage_collects_evicted_artifact_files() {
         let dir = std::env::temp_dir().join(format!("tydic-gc-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let artifact = sample_elab();
@@ -492,20 +510,98 @@ mod tests {
         let first = Fingerprint(0xf157);
         cache.store_elab(first, artifact.clone());
         cache.save(&dir).unwrap();
-        assert!(dir.join(format!("{first}.tir")).exists());
+        assert!(dir.join(format!("{first}.{ARTIFACT_EXT}")).exists());
         // Evict `first` by filling the cache past capacity, then save.
         for k in 0..ELAB_CAPACITY {
             cache.store_elab(Fingerprint(0x1000 + k as u64), artifact.clone());
         }
         cache.save(&dir).unwrap();
         assert!(
-            !dir.join(format!("{first}.tir")).exists(),
-            "evicted artifact's .tir must be garbage-collected"
+            !dir.join(format!("{first}.{ARTIFACT_EXT}")).exists(),
+            "evicted artifact's file must be garbage-collected"
         );
         // Every retained artifact still has its file, and a reload
         // preserves insertion order semantics.
         let restored = ArtifactCache::load(&dir);
         assert_eq!(restored.elab_entries(), ELAB_CAPACITY);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_text_schema_cache_migrates_cleanly() {
+        // A cache directory written by the old text-schema build:
+        // foreign manifest header plus a `.tir` text artifact. The
+        // load must come up cold (no panic, no misread), and the next
+        // save must garbage-collect the orphaned legacy file.
+        let dir = std::env::temp_dir().join(format!("tydic-migrate-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let legacy_key = Fingerprint(0x0_1d);
+        std::fs::write(
+            dir.join(MANIFEST_NAME),
+            format!("tydic-cache 1111111111111111\nelab {legacy_key} 0 0 0 0 0 0 0\n"),
+        )
+        .unwrap();
+        let legacy = sample_elab();
+        std::fs::write(
+            dir.join(format!("{legacy_key}.tir")),
+            tydi_ir::text::emit_project(&legacy.project),
+        )
+        .unwrap();
+
+        let mut cache = ArtifactCache::load(&dir);
+        assert_eq!(cache.elab_entries(), 0, "legacy schema must load empty");
+        // A fresh compile repopulates and persists in the new format.
+        let key = Fingerprint::of_str("fresh");
+        cache.store_elab(key, sample_elab());
+        cache.save(&dir).unwrap();
+        assert!(dir.join(format!("{key}.{ARTIFACT_EXT}")).exists());
+        assert!(
+            !dir.join(format!("{legacy_key}.tir")).exists(),
+            "orphaned legacy .tir must be swept"
+        );
+        let restored = ArtifactCache::load(&dir);
+        assert!(restored.lookup_elab(key).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_artifact_file_loads_empty() {
+        let dir = std::env::temp_dir().join(format!(
+            "tydic-corrupt-artifact-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = ArtifactCache::new();
+        let key = Fingerprint::of_str("to-corrupt");
+        cache.store_elab(key, sample_elab());
+        cache.save(&dir).unwrap();
+        // Truncate the artifact file behind the manifest's back.
+        let path = dir.join(format!("{key}.{ARTIFACT_EXT}"));
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let restored = ArtifactCache::load(&dir);
+        assert_eq!(
+            restored.elab_entries(),
+            0,
+            "a corrupt artifact must invalidate the cache, not panic"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn binary_artifacts_round_trip_projects_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("tydic-binary-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let artifact = sample_elab();
+        let canonical = tydi_ir::text::emit_project(&artifact.project);
+        let mut cache = ArtifactCache::new();
+        let key = Fingerprint::of_str("binary");
+        cache.store_elab(key, artifact);
+        cache.save(&dir).unwrap();
+        let restored = ArtifactCache::load(&dir);
+        let loaded = restored.lookup_elab(key).unwrap();
+        assert_eq!(tydi_ir::text::emit_project(&loaded.project), canonical);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

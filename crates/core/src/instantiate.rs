@@ -33,6 +33,7 @@ use crate::eval::{eval_expr, EvalError, Resolver};
 use crate::scope::ScopeFrames;
 use crate::span::Span;
 use crate::value::{ImplValue, TypeValue, Value};
+use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use tydi_ir::{
@@ -63,6 +64,20 @@ pub struct ElabInfo {
     /// Hash-consing statistics of the session type store: distinct
     /// nodes interned, dedup hits, cached-expansion reuse.
     pub type_store: TypeStoreStats,
+    /// How elaboration fanned out across packages.
+    pub parallel: ParallelStats,
+}
+
+/// How the elaboration stage fanned out across the import DAG.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Worker threads used for the widest import level (1 = the
+    /// sequential fallback).
+    pub threads: usize,
+    /// Number of packages elaborated at each import-DAG level, root
+    /// level first. Packages within one level share no `use` edge and
+    /// elaborate concurrently.
+    pub level_packages: Vec<usize>,
 }
 
 impl ElabInfo {
@@ -101,17 +116,226 @@ impl ElabInfo {
     pub fn connection_span_count(&self) -> usize {
         self.connection_spans.len()
     }
+
+    /// Folds a worker's info into this one: spans are re-interned
+    /// against this info's key table, counters are summed.
+    fn merge_from(&mut self, other: &ElabInfo) {
+        for ((impl_sym, conn_sym), span) in &other.connection_spans {
+            let key = (
+                self.span_keys.intern(other.span_keys.resolve(*impl_sym)),
+                self.span_keys.intern(other.span_keys.resolve(*conn_sym)),
+            );
+            self.connection_spans.insert(key, *span);
+        }
+        self.template_instantiations += other.template_instantiations;
+        self.template_cache_hits += other.template_cache_hits;
+    }
 }
 
 /// Elaborates merged packages into an IR project.
+///
+/// Packages are partitioned by import-DAG level: a package's level is
+/// one past the deepest package it (transitively) `use`s, so packages
+/// within one level share no import edge and elaborate concurrently,
+/// one worker per package, over the shared sharded [`TypeStore`].
+/// The partitioning depends only on the program — never on the thread
+/// count — and workers are merged in (level, package) order, so output
+/// and diagnostics are byte-identical between `TYDI_THREADS=1` and
+/// any parallel run.
 pub fn elaborate(
     packages: Vec<Package>,
     project_name: &str,
 ) -> (Project, ElabInfo, Vec<Diagnostic>) {
-    let mut elab = Elaborator::new(packages, project_name);
-    elab.run();
-    elab.info.type_store = elab.types.stats();
-    (elab.project, elab.info, elab.diagnostics)
+    let (merged, package_index, mut diagnostics) = merge_packages(packages);
+    let levels = import_levels(&merged, &package_index);
+    let merged = Arc::new(merged);
+    let package_index = Arc::new(package_index);
+    let types = Arc::new(TypeStore::new());
+
+    let mut project = Project::new(project_name);
+    let mut info = ElabInfo::default();
+    let mut value_cache: HashMap<DeclId, Value> = HashMap::new();
+    let mut streamlet_cache: HashMap<(DeclId, Vec<ArgKey>), Arc<str>> = HashMap::new();
+    let mut impl_cache: HashMap<(DeclId, Vec<ArgKey>), ImplValue> = HashMap::new();
+    let mut merged_impl_prov: HashMap<String, (DeclId, Vec<ArgKey>)> = HashMap::new();
+    let mut level_packages = Vec::with_capacity(levels.len());
+    let mut threads = 1;
+
+    for level in levels {
+        level_packages.push(level.len());
+        threads = threads.max(rayon::planned_threads(level.len()));
+        // Every worker sees the caches as frozen at the level boundary;
+        // same-level workers may redo a template the serial pass would
+        // have shared, producing equal entities the merge dedups.
+        let workers: Vec<Elaborator> = level
+            .into_par_iter()
+            .map(|pkg_idx| {
+                let mut worker = Elaborator::worker(
+                    Arc::clone(&merged),
+                    Arc::clone(&package_index),
+                    Arc::clone(&types),
+                    value_cache.clone(),
+                    streamlet_cache.clone(),
+                    impl_cache.clone(),
+                );
+                worker.run_package(pkg_idx);
+                worker
+            })
+            .collect();
+        for worker in workers {
+            merge_worker(
+                &mut project,
+                &mut info,
+                &mut diagnostics,
+                &mut merged_impl_prov,
+                worker,
+                &mut value_cache,
+                &mut streamlet_cache,
+                &mut impl_cache,
+            );
+        }
+    }
+
+    info.type_store = types.stats();
+    info.parallel = ParallelStats {
+        threads,
+        level_packages,
+    };
+    (project, info, diagnostics)
+}
+
+/// Merges parsed packages by name (later files extend earlier ones),
+/// reporting duplicate declarations within a package.
+fn merge_packages(
+    packages: Vec<Package>,
+) -> (Vec<MergedPackage>, HashMap<String, usize>, Vec<Diagnostic>) {
+    let mut merged: Vec<MergedPackage> = Vec::new();
+    let mut package_index = HashMap::new();
+    let mut diagnostics = Vec::new();
+    for package in packages {
+        let idx = match package_index.get(&package.name) {
+            Some(&i) => i,
+            None => {
+                package_index.insert(package.name.clone(), merged.len());
+                merged.push(MergedPackage {
+                    name: package.name.clone(),
+                    uses: Vec::new(),
+                    decls: Vec::new(),
+                    index: HashMap::new(),
+                });
+                merged.len() - 1
+            }
+        };
+        let target = &mut merged[idx];
+        for used in package.uses {
+            if !target.uses.contains(&used) {
+                target.uses.push(used);
+            }
+        }
+        for decl in package.decls {
+            if let Some(name) = decl.name() {
+                if target.index.contains_key(name) {
+                    diagnostics.push(Diagnostic::error(
+                        "evaluate",
+                        format!(
+                            "duplicate declaration `{name}` in package `{}`",
+                            target.name
+                        ),
+                        decl_span(&decl),
+                    ));
+                    continue;
+                }
+                target.index.insert(name.to_string(), target.decls.len());
+            }
+            target.decls.push(Arc::new(decl));
+        }
+    }
+    (merged, package_index, diagnostics)
+}
+
+/// Assigns each package its import-DAG level: `1 + max(level of used
+/// packages)`, roots at 0. Computed by bounded relaxation; unknown
+/// imports are ignored (they diagnose during name resolution) and
+/// `use` cycles stop relaxing at the pass cap — correctness does not
+/// depend on level assignment, only cache reuse does.
+fn import_levels(packages: &[MergedPackage], index: &HashMap<String, usize>) -> Vec<Vec<usize>> {
+    let n = packages.len();
+    let mut level = vec![0usize; n];
+    for _ in 0..n {
+        let mut changed = false;
+        for (i, pkg) in packages.iter().enumerate() {
+            for used in &pkg.uses {
+                if let Some(&dep) = index.get(used) {
+                    if dep != i && level[i] <= level[dep] {
+                        level[i] = level[dep] + 1;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let depth = level.iter().copied().max().map_or(0, |m| m + 1);
+    let mut levels = vec![Vec::new(); depth];
+    for (i, &l) in level.iter().enumerate() {
+        levels[l].push(i);
+    }
+    levels.retain(|group| !group.is_empty());
+    levels
+}
+
+/// Folds one finished worker into the final project, in deterministic
+/// (level, package) order. Entities two workers both elaborated merge
+/// by provenance: same declaration and template arguments → one copy,
+/// silently; same name from different declarations → the same
+/// duplicate-definition diagnostic the serial pass produced.
+#[allow(clippy::too_many_arguments)]
+fn merge_worker(
+    project: &mut Project,
+    info: &mut ElabInfo,
+    diagnostics: &mut Vec<Diagnostic>,
+    merged_impl_prov: &mut HashMap<String, (DeclId, Vec<ArgKey>)>,
+    worker: Elaborator,
+    value_cache: &mut HashMap<DeclId, Value>,
+    streamlet_cache: &mut HashMap<(DeclId, Vec<ArgKey>), Arc<str>>,
+    impl_cache: &mut HashMap<(DeclId, Vec<ArgKey>), ImplValue>,
+) {
+    for streamlet in worker.project.streamlets() {
+        // Mirrors the serial `streamlet().is_none()` guard: equal
+        // names always denote the same elaborated streamlet (the name
+        // is the template mangling), so the first copy wins silently.
+        if project.streamlet(&streamlet.name).is_none() {
+            project
+                .add_streamlet(streamlet.clone())
+                .expect("absence just checked");
+        }
+    }
+    for imp in worker.project.implementations() {
+        let prov = worker.impl_prov.get(imp.name.as_str());
+        if let Some(existing) = merged_impl_prov.get(imp.name.as_str()) {
+            if prov.is_some_and(|(key, _)| key == existing) {
+                continue; // same decl + args elaborated twice in parallel
+            }
+        }
+        match project.add_implementation(imp.clone()) {
+            Ok(_) => {
+                if let Some((key, _)) = prov {
+                    merged_impl_prov.insert(imp.name.clone(), key.clone());
+                }
+            }
+            Err(e) => {
+                let span = prov.map(|(_, span)| *span);
+                diagnostics.push(Diagnostic::error("evaluate", e.to_string(), span));
+            }
+        }
+    }
+    diagnostics.extend(worker.diagnostics);
+    info.merge_from(&worker.info);
+    value_cache.extend(worker.value_cache);
+    streamlet_cache.extend(worker.streamlet_cache);
+    impl_cache.extend(worker.impl_cache);
 }
 
 /// A declaration's identity: owning package plus index.
@@ -165,14 +389,17 @@ struct MergedPackage {
     index: HashMap<String, usize>,
 }
 
+/// One elaboration worker: owns a package's outputs (project slice,
+/// diagnostics, cache additions) while sharing the merged ASTs and the
+/// type store with every other worker of the run.
 struct Elaborator {
-    packages: Vec<MergedPackage>,
-    package_index: HashMap<String, usize>,
+    packages: Arc<Vec<MergedPackage>>,
+    package_index: Arc<HashMap<String, usize>>,
     project: Project,
     info: ElabInfo,
     diagnostics: Vec<Diagnostic>,
-    /// The session's hash-consed type store.
-    types: TypeStore,
+    /// The session's hash-consed type store, shared across workers.
+    types: Arc<TypeStore>,
     /// Evaluated global consts / types, keyed by declaration.
     value_cache: HashMap<DeclId, Value>,
     /// Cycle detection for lazy global evaluation.
@@ -181,6 +408,9 @@ struct Elaborator {
     streamlet_cache: HashMap<(DeclId, Vec<ArgKey>), Arc<str>>,
     /// Elaborated implementations: (decl, args) -> value.
     impl_cache: HashMap<(DeclId, Vec<ArgKey>), ImplValue>,
+    /// Provenance of every implementation added to this worker's
+    /// project, for cross-worker dedup during the merge.
+    impl_prov: HashMap<String, ((DeclId, Vec<ArgKey>), Span)>,
     /// Local scope frames (template args, for-vars, local consts).
     locals: ScopeFrames,
     /// The package whose scope we are currently elaborating in.
@@ -192,89 +422,58 @@ struct Elaborator {
 const MAX_DEPTH: usize = 64;
 
 impl Elaborator {
-    fn new(packages: Vec<Package>, project_name: &str) -> Self {
-        let mut merged: Vec<MergedPackage> = Vec::new();
-        let mut package_index = HashMap::new();
-        let mut diagnostics = Vec::new();
-        for package in packages {
-            let idx = match package_index.get(&package.name) {
-                Some(&i) => i,
-                None => {
-                    package_index.insert(package.name.clone(), merged.len());
-                    merged.push(MergedPackage {
-                        name: package.name.clone(),
-                        uses: Vec::new(),
-                        decls: Vec::new(),
-                        index: HashMap::new(),
-                    });
-                    merged.len() - 1
-                }
-            };
-            let target = &mut merged[idx];
-            for used in package.uses {
-                if !target.uses.contains(&used) {
-                    target.uses.push(used);
-                }
-            }
-            for decl in package.decls {
-                if let Some(name) = decl.name() {
-                    if target.index.contains_key(name) {
-                        diagnostics.push(Diagnostic::error(
-                            "evaluate",
-                            format!(
-                                "duplicate declaration `{name}` in package `{}`",
-                                target.name
-                            ),
-                            decl_span(&decl),
-                        ));
-                        continue;
-                    }
-                    target.index.insert(name.to_string(), target.decls.len());
-                }
-                target.decls.push(Arc::new(decl));
-            }
-        }
+    /// A worker over the shared merged packages, seeded with the
+    /// caches as frozen at its import level's boundary.
+    fn worker(
+        packages: Arc<Vec<MergedPackage>>,
+        package_index: Arc<HashMap<String, usize>>,
+        types: Arc<TypeStore>,
+        value_cache: HashMap<DeclId, Value>,
+        streamlet_cache: HashMap<(DeclId, Vec<ArgKey>), Arc<str>>,
+        impl_cache: HashMap<(DeclId, Vec<ArgKey>), ImplValue>,
+    ) -> Self {
         Elaborator {
-            packages: merged,
+            packages,
             package_index,
-            project: Project::new(project_name),
+            project: Project::new("worker"),
             info: ElabInfo::default(),
-            diagnostics,
-            types: TypeStore::new(),
-            value_cache: HashMap::new(),
+            diagnostics: Vec::new(),
+            types,
+            value_cache,
             evaluating: HashSet::new(),
-            streamlet_cache: HashMap::new(),
-            impl_cache: HashMap::new(),
+            streamlet_cache,
+            impl_cache,
+            impl_prov: HashMap::new(),
             locals: ScopeFrames::new(),
             current_package: 0,
         }
     }
 
-    fn run(&mut self) {
-        // Elaborate every concrete (non-template) impl and streamlet,
-        // and check top-level asserts, in declaration order.
-        for pkg_idx in 0..self.packages.len() {
-            self.current_package = pkg_idx;
-            for decl_idx in 0..self.packages[pkg_idx].decls.len() {
-                let decl = Arc::clone(&self.packages[pkg_idx].decls[decl_idx]);
-                let id = DeclId {
-                    package: pkg_idx,
-                    decl: decl_idx,
-                };
-                match &*decl {
-                    Decl::Assert {
-                        expr,
-                        message,
-                        span,
-                    } => self.check_assert(expr, message.as_ref(), *span),
-                    Decl::Streamlet(s) if s.params.is_empty() => {
-                        self.elaborate_streamlet(id, s, &[], 0);
-                    }
-                    Decl::Impl(i) if i.params.is_empty() => {
-                        self.elaborate_impl(id, i, &[], 0);
-                    }
-                    _ => {}
+    /// Elaborates every concrete (non-template) impl and streamlet of
+    /// one package, and checks its top-level asserts, in declaration
+    /// order. Cross-package references resolve through the shared ASTs
+    /// and land in this worker's project unless already cached.
+    fn run_package(&mut self, pkg_idx: usize) {
+        self.current_package = pkg_idx;
+        for decl_idx in 0..self.packages[pkg_idx].decls.len() {
+            let decl = Arc::clone(&self.packages[pkg_idx].decls[decl_idx]);
+            let id = DeclId {
+                package: pkg_idx,
+                decl: decl_idx,
+            };
+            match &*decl {
+                Decl::Assert {
+                    expr,
+                    message,
+                    span,
+                } => self.check_assert(expr, message.as_ref(), *span),
+                Decl::Streamlet(s) if s.params.is_empty() => {
+                    self.elaborate_streamlet(id, s, &[], 0);
                 }
+                Decl::Impl(i) if i.params.is_empty() => {
+                    self.elaborate_impl(id, i, &[], 0);
+                }
+                _ => {}
             }
         }
     }
@@ -954,7 +1153,7 @@ impl Elaborator {
             streamlet: Arc::clone(&streamlet_ir),
             streamlet_base: Arc::from(streamlet_base.as_str()),
         };
-        self.impl_cache.insert(key, value.clone());
+        self.impl_cache.insert(key.clone(), value.clone());
 
         let mut implementation = match &i.body {
             ImplBody::External { simulation } => {
@@ -1022,8 +1221,12 @@ impl Elaborator {
         self.locals.pop();
         self.current_package = saved_package;
 
-        if let Err(e) = self.project.add_implementation(implementation) {
-            self.error(e.to_string(), i.span);
+        match self.project.add_implementation(implementation) {
+            Ok(_) => {
+                self.impl_prov
+                    .insert(ir_name.as_ref().to_string(), (key, i.span));
+            }
+            Err(e) => self.error(e.to_string(), i.span),
         }
         Some(value)
     }

@@ -17,8 +17,9 @@ use crate::session::{Session, Stage};
 use crate::span::SourceFile;
 use crate::sugar::SugarReport;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
-use tydi_ir::Project;
+use tydi_ir::{Project, ProjectIndex};
 
 /// Compilation options.
 #[derive(Debug, Clone)]
@@ -81,6 +82,11 @@ impl StageTimings {
 pub struct CompileOutput {
     /// The validated IR project.
     pub project: Project,
+    /// The shared name-resolution index over [`CompileOutput::project`],
+    /// built once after elaboration and kept current through
+    /// sugaring; backends reuse it instead of rebuilding their own
+    /// lookup maps (see [`tydi_ir::index`]).
+    pub index: Arc<ProjectIndex>,
     /// Non-error diagnostics (warnings, notes).
     pub diagnostics: Vec<Diagnostic>,
     /// Per-stage timings.

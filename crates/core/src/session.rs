@@ -33,10 +33,11 @@ use crate::instantiate::{elaborate, ElabInfo};
 use crate::parser::parse_package;
 use crate::pipeline::{CompileFailure, CompileOptions, CompileOutput, StageTimings};
 use crate::span::{SourceFile, Span};
-use crate::sugar::{apply_sugaring, SugarReport};
+use crate::sugar::{apply_sugaring_with, SugarReport};
 use rayon::prelude::*;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tydi_ir::{IrError, Project};
+use tydi_ir::{IrError, Project, ProjectIndex};
 
 /// The pipeline stages of paper Fig. 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -107,6 +108,10 @@ pub struct Session {
     /// per-stage self times (see [`StageTimings::wall`]).
     first_stage_start: Option<Instant>,
     last_stage_end: Option<Instant>,
+    /// The shared name-resolution index, built right after
+    /// elaboration and kept current by the sugaring pass, so the
+    /// sugar, DRC and lowering stages never rebuild their own maps.
+    index: Option<ProjectIndex>,
 }
 
 impl Session {
@@ -120,6 +125,7 @@ impl Session {
             pending_counts: None,
             first_stage_start: None,
             last_stage_end: None,
+            index: None,
         }
     }
 
@@ -432,10 +438,20 @@ impl Session {
         let (project, info) = self.run_stage(Stage::Elaborate, |session| {
             let (project, info, mut diags) = elaborate(packages, &session.options.project_name);
             session.diagnostics.append(&mut diags);
+            // Build the shared name-resolution index once, right
+            // here; sugar, DRC and lowering all reuse it.
+            session.index = Some(ProjectIndex::build(&project));
             (project, info)
         });
         self.bail_on_errors()?;
         Ok((project, info))
+    }
+
+    /// The shared [`ProjectIndex`] built by the latest
+    /// [`Session::elaborate`] call (kept current by
+    /// [`Session::sugar`]), when one exists.
+    pub fn project_index(&self) -> Option<&ProjectIndex> {
+        self.index.as_ref()
     }
 
     /// Stage 3: duplicator/voider insertion. Skipped (recording an
@@ -443,7 +459,17 @@ impl Session {
     pub fn sugar(&mut self, project: &mut Project) -> SugarReport {
         self.run_stage(Stage::Sugar, |session| {
             let report = if session.options.enable_sugaring {
-                apply_sugaring(project)
+                // Reuse the index built after elaboration; fall back
+                // to a fresh build for callers driving stages with a
+                // project this session did not elaborate.
+                let mut index = session
+                    .index
+                    .take()
+                    .filter(|index| index.covers(project))
+                    .unwrap_or_else(|| ProjectIndex::build(project));
+                let report = apply_sugaring_with(project, &mut index);
+                session.index = Some(index);
+                report
             } else {
                 SugarReport::default()
             };
@@ -469,7 +495,11 @@ impl Session {
             if !session.options.run_drc {
                 return;
             }
-            if let Err(errors) = project.validate() {
+            let result = match session.index.as_ref() {
+                Some(index) if index.covers(project) => project.validate_with(index),
+                _ => project.validate(),
+            };
+            if let Err(errors) = result {
                 for error in errors {
                     let span = connection_span_of(&error, info);
                     session.diagnostics.push(Diagnostic::error(
@@ -484,15 +514,25 @@ impl Session {
     }
 
     /// Consumes the session into a successful [`CompileOutput`].
+    ///
+    /// The output carries the shared [`ProjectIndex`] for the final
+    /// project (rebuilt here only when no current one exists — e.g.
+    /// when the whole middle of the pipeline replayed from the
+    /// artifact cache).
     pub fn finish(
-        self,
+        mut self,
         project: Project,
         sugar_report: SugarReport,
         elab_info: ElabInfo,
     ) -> CompileOutput {
         let timings = self.timings();
+        let index = match self.index.take() {
+            Some(index) if index.covers(&project) => index,
+            _ => ProjectIndex::build(&project),
+        };
         CompileOutput {
             project,
+            index: Arc::new(index),
             diagnostics: self.diagnostics,
             timings,
             files: self.files,

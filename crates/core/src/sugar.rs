@@ -20,7 +20,7 @@
 use std::collections::{HashMap, HashSet};
 use tydi_ir::{
     Connection, EndpointRef, ImplId, Implementation, Instance, Port, PortDirection, Project,
-    Streamlet,
+    ProjectIndex, Streamlet,
 };
 
 /// What the sugaring pass did.
@@ -53,12 +53,31 @@ struct ImplPlan {
     duplicators: Vec<DuplicatorPlan>,
 }
 
-/// Applies sugaring to every normal implementation in the project.
+/// Applies sugaring to every normal implementation in the project,
+/// building a fresh [`ProjectIndex`] for this run.
 pub fn apply_sugaring(project: &mut Project) -> SugarReport {
+    let mut index = ProjectIndex::build(project);
+    apply_sugaring_with(project, &mut index)
+}
+
+/// Applies sugaring over the pipeline's shared [`ProjectIndex`]. The
+/// index is kept current: helper streamlets/implementations the pass
+/// appends are registered and mutated implementations have their
+/// instance tables refreshed, so the DRC and lowering can keep using
+/// the same index afterwards.
+///
+/// # Panics
+/// Panics when the index does not cover every definition already in
+/// the project.
+pub fn apply_sugaring_with(project: &mut Project, index: &mut ProjectIndex) -> SugarReport {
+    assert!(
+        index.covers(project),
+        "stale ProjectIndex: register definitions appended after build"
+    );
     // Phase 1: read-only planning, keyed by implementation id.
     let mut plans: Vec<(ImplId, ImplPlan)> = Vec::new();
     for (id, implementation) in project.implementations_with_ids() {
-        let plan = plan_implementation(project, implementation);
+        let plan = plan_implementation(project, index, id, implementation);
         if !plan.voiders.is_empty() || !plan.duplicators.is_empty() {
             plans.push((id, plan));
         }
@@ -76,7 +95,8 @@ pub fn apply_sugaring(project: &mut Project) -> SugarReport {
         // names then come from a bump counter checked against the set.
         let mut namer = InstanceNamer::new(project.implementation_by_id(impl_id));
         for voider in plan.voiders {
-            let helper_impl = ensure_voider(project, &voider.port, &mut helper_cache, &mut unique);
+            let helper_impl =
+                ensure_voider(project, index, &voider.port, &mut helper_cache, &mut unique);
             let inst_name = namer.fresh("voider");
             let implementation = project.implementation_by_id_mut(impl_id);
             implementation.add_instance(Instance::new(inst_name.clone(), helper_impl));
@@ -90,6 +110,7 @@ pub fn apply_sugaring(project: &mut Project) -> SugarReport {
             let fan_out = duplicator.connections.len();
             let helper_impl = ensure_duplicator(
                 project,
+                index,
                 &duplicator.port,
                 fan_out,
                 &mut helper_cache,
@@ -113,17 +134,29 @@ pub fn apply_sugaring(project: &mut Project) -> SugarReport {
             implementation.add_connection(feed);
             report.duplicators += 1;
         }
+        // The implementation gained helper instances: bring its
+        // instance table up to date for the passes downstream.
+        index.refresh_implementation(project, impl_id);
     }
     report
 }
 
-/// Plans voider/duplicator insertion for one implementation.
-fn plan_implementation(project: &Project, implementation: &Implementation) -> ImplPlan {
+/// Plans voider/duplicator insertion for one implementation, with
+/// all streamlet/port resolution served by the shared index.
+fn plan_implementation(
+    project: &Project,
+    index: &ProjectIndex,
+    id: ImplId,
+    implementation: &Implementation,
+) -> ImplPlan {
     let mut plan = ImplPlan::default();
     if implementation.is_external() {
         return plan;
     }
-    let Some(own_streamlet) = project.streamlet(&implementation.streamlet) else {
+    let Some(own_streamlet) = index
+        .streamlet_of_impl(id)
+        .map(|sid| project.streamlet_by_id(sid))
+    else {
         return plan;
     };
 
@@ -144,7 +177,10 @@ fn plan_implementation(project: &Project, implementation: &Implementation) -> Im
         }
     }
     for instance in implementation.instances() {
-        if let Some(streamlet) = project.streamlet_of(&instance.impl_name) {
+        if let Some(streamlet) = index
+            .streamlet_of_impl_name(project, &instance.impl_name)
+            .map(|sid| project.streamlet_by_id(sid))
+        {
             for port in &streamlet.ports {
                 if port.direction == PortDirection::Out {
                     sources.push((
@@ -190,6 +226,7 @@ fn clone_port(port: &Port, name: &str, direction: PortDirection) -> Port {
 
 fn ensure_voider(
     project: &mut Project,
+    index: &mut ProjectIndex,
     port: &Port,
     cache: &mut HashMap<String, String>,
     unique: &mut usize,
@@ -206,20 +243,23 @@ fn ensure_voider(
     streamlet
         .ports
         .push(clone_port(port, "i", PortDirection::In));
-    project
+    let sid = project
         .add_streamlet(streamlet)
         .expect("voider streamlet name is fresh");
+    index.register_streamlet(project, sid);
     let implementation =
         Implementation::external(impl_name.clone(), streamlet_name).with_builtin("std.voider");
-    project
+    let iid = project
         .add_implementation(implementation)
         .expect("voider impl name is fresh");
+    index.register_implementation(project, iid);
     cache.insert(key, impl_name.clone());
     impl_name
 }
 
 fn ensure_duplicator(
     project: &mut Project,
+    index: &mut ProjectIndex,
     port: &Port,
     fan_out: usize,
     cache: &mut HashMap<String, String>,
@@ -242,17 +282,19 @@ fn ensure_duplicator(
             .ports
             .push(clone_port(port, &format!("o_{k}"), PortDirection::Out));
     }
-    project
+    let sid = project
         .add_streamlet(streamlet)
         .expect("duplicator streamlet name is fresh");
+    index.register_streamlet(project, sid);
     let mut implementation =
         Implementation::external(impl_name.clone(), streamlet_name).with_builtin("std.duplicator");
     implementation
         .attributes
         .insert("param_outputs".into(), fan_out.to_string());
-    project
+    let iid = project
         .add_implementation(implementation)
         .expect("duplicator impl name is fresh");
+    index.register_implementation(project, iid);
     cache.insert(key, impl_name.clone());
     impl_name
 }
@@ -361,6 +403,28 @@ mod tests {
                 .count()
                 >= 3
         );
+    }
+
+    #[test]
+    fn shared_index_stays_fresh_through_sugaring() {
+        let mut p = fig4_project();
+        let mut index = ProjectIndex::build(&p);
+        let report = apply_sugaring_with(&mut p, &mut index);
+        assert_eq!(report.duplicators, 1);
+        assert_eq!(report.voiders, 1);
+        // Helper components and spliced instances are all registered:
+        // the same index drives a clean DRC with no rebuild.
+        assert!(index.covers(&p));
+        assert_eq!(p.validate_with(&index), Ok(()));
+        let top = p.implementation_id("top_i").unwrap();
+        let spliced = p
+            .implementation_by_id(top)
+            .instances()
+            .last()
+            .unwrap()
+            .name
+            .clone();
+        assert!(index.instance(&p, top, &spliced).is_some());
     }
 
     #[test]

@@ -38,8 +38,8 @@ impl TypeValue {
     pub fn from_id(store: &TypeStore, id: TypeId) -> Self {
         TypeValue {
             id,
-            ty: Arc::clone(store.ty(id)),
-            mangled: Arc::clone(store.mangled(id)),
+            ty: store.ty(id),
+            mangled: store.mangled(id),
             origin: None,
         }
     }
@@ -50,7 +50,7 @@ impl TypeValue {
     /// Panics when the type is invalid; callers validate first (the
     /// elaborator constructs types through the store, which rejects
     /// invalid nodes with a proper diagnostic).
-    pub fn intern(store: &mut TypeStore, ty: &LogicalType) -> Self {
+    pub fn intern(store: &TypeStore, ty: &LogicalType) -> Self {
         let id = store.intern(ty).expect("interning an invalid type");
         TypeValue::from_id(store, id)
     }
@@ -226,9 +226,9 @@ mod tests {
 
     #[test]
     fn mangling_is_whitespace_free_and_distinct() {
-        let mut store = TypeStore::new();
+        let store = TypeStore::new();
         let t = TypeValue::intern(
-            &mut store,
+            &store,
             &LogicalType::group(vec![("a", LogicalType::Bit(2)), ("b", LogicalType::Bit(3))]),
         );
         let m = Value::Type(t).mangle();
@@ -244,25 +244,25 @@ mod tests {
 
     #[test]
     fn type_mangling_matches_display_without_spaces() {
-        let mut store = TypeStore::new();
+        let store = TypeStore::new();
         let ty = LogicalType::stream(
             LogicalType::group(vec![("x", LogicalType::Bit(4)), ("y", LogicalType::Bit(4))]),
             tydi_spec::StreamParams::new().with_dimension(1),
         );
-        let t = TypeValue::intern(&mut store, &ty);
+        let t = TypeValue::intern(&store, &ty);
         assert_eq!(Value::Type(t).mangle(), ty.to_string().replace(' ', ""));
     }
 
     #[test]
     fn type_equality_is_id_plus_origin() {
-        let mut store = TypeStore::new();
-        let a = TypeValue::intern(&mut store, &LogicalType::Bit(8));
-        let b = TypeValue::intern(&mut store, &LogicalType::Bit(8));
+        let store = TypeStore::new();
+        let a = TypeValue::intern(&store, &LogicalType::Bit(8));
+        let b = TypeValue::intern(&store, &LogicalType::Bit(8));
         assert_eq!(a, b);
         assert!(Arc::ptr_eq(&a.ty, &b.ty));
         let named = b.clone().with_origin("demo.Byte");
         assert_ne!(a, named);
-        let c = TypeValue::intern(&mut store, &LogicalType::Bit(9));
+        let c = TypeValue::intern(&store, &LogicalType::Bit(9));
         assert_ne!(a, c);
     }
 

@@ -203,6 +203,52 @@ fn run_ordered<T: Send, R: Send>(items: Vec<T>, f: &(dyn Fn(T) -> R + Sync)) -> 
         .collect()
 }
 
+/// The number of worker threads the shim would choose for `len`
+/// items (1 = sequential). Exposed so orchestration layers (e.g. the
+/// package-parallel elaborator) can report their fan-out.
+pub fn planned_threads(len: usize) -> usize {
+    thread_count(len)
+}
+
+/// Work-stealing map over `0..len`: `workers` scoped threads pull the
+/// next unclaimed index from a shared atomic counter, so an uneven
+/// workload (one slow item) never idles the other workers the way
+/// fixed chunking does. Results come back in index order. Runs
+/// sequentially when `workers <= 1` or there is nothing to steal.
+pub fn map_stealing<R, F>(len: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = workers.min(len).max(1);
+    if workers <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<std::sync::Mutex<Option<R>>> = Vec::with_capacity(len);
+    slots.resize_with(len, || std::sync::Mutex::new(None));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("steal slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("steal slot poisoned")
+                .expect("every index computed")
+        })
+        .collect()
+}
+
 /// Runs both closures, in parallel when the machine has spare cores,
 /// and returns both results; rayon's `join`.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
@@ -283,6 +329,15 @@ mod tests {
         // Just exercises the fallback path.
         let v: Vec<i32> = vec![1, 2, 3].par_iter().map(|&x| x + 1).collect();
         assert_eq!(v, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn map_stealing_preserves_order() {
+        let out = super::map_stealing(37, 4, |i| i * i);
+        assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        // Sequential fallback produces the same thing.
+        assert_eq!(super::map_stealing(5, 1, |i| i * i), out[..5].to_vec());
+        assert!(super::map_stealing(0, 4, |i| i).is_empty());
     }
 
     #[test]

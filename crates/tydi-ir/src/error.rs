@@ -104,6 +104,11 @@ pub enum IrError {
         /// What went wrong.
         message: String,
     },
+    /// Binary-format (`.tirb`) decode error.
+    Binary {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for IrError {
@@ -170,6 +175,7 @@ impl fmt::Display for IrError {
                 "port usage violation in `{implementation}`: `{endpoint}` is used {uses} times but every port must be used exactly once"
             ),
             IrError::Parse { line, message } => write!(f, "IR parse error at line {line}: {message}"),
+            IrError::Binary { message } => write!(f, "binary IR decode error: {message}"),
         }
     }
 }

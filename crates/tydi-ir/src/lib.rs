@@ -22,15 +22,20 @@
 //! port must be used exactly once.
 //!
 //! The IR also has a stable text format ([`text::emit_project`] /
-//! [`text::parse_project`]) and a [`testbench`] representation that the
-//! simulator fills in and the VHDL backend lowers to a VHDL testbench.
+//! [`text::parse_project`]), a versioned binary format with an
+//! interned type table ([`binary::encode_project`] /
+//! [`binary::decode_project`]) used by the artifact cache, and a
+//! [`testbench`] representation that the simulator fills in and the
+//! VHDL backend lowers to a VHDL testbench.
 
 #![warn(missing_docs)]
 
+pub mod binary;
 pub mod bits;
 pub mod component;
 pub mod error;
 pub mod fingerprint;
+pub mod index;
 pub mod intern;
 pub mod project;
 pub mod testbench;
@@ -43,6 +48,7 @@ pub use component::{
 };
 pub use error::IrError;
 pub use fingerprint::{shared_type_fingerprint, Fingerprint, Fingerprinter};
+pub use index::ProjectIndex;
 pub use intern::{ImplId, Interner, StreamletId, Symbol};
 pub use project::Project;
 pub use testbench::{Testbench, Transfer, TransferDirection};

@@ -159,6 +159,17 @@ impl Project {
         }
     }
 
+    /// Like [`Project::validate`], but over the pipeline's shared
+    /// [`crate::index::ProjectIndex`] instead of building a fresh one.
+    pub fn validate_with(&self, index: &crate::index::ProjectIndex) -> Result<(), Vec<IrError>> {
+        let errors = validate::validate_project_with(self, index);
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
     /// Project statistics for reports and compiler output.
     pub fn stats(&self) -> ProjectStats {
         let mut stats = ProjectStats {

@@ -6,39 +6,57 @@
 //! protocol complexities are compatible, directions are legal, clock
 //! domains match, and every port is used exactly once.
 //!
-//! The checks run over a [`ProjectIndex`] built once per validation:
-//! streamlet/implementation references are resolved to
+//! The checks run over the shared [`ProjectIndex`]: streamlet and
+//! implementation references are resolved to
 //! [`StreamletId`]/[`ImplId`] array indices and every port map gets a
 //! name→port hash index, so no check walks a definition list
-//! linearly. Implementations are independent of each other, which
-//! lets the per-implementation checks fan out across threads (rayon;
+//! linearly. The pipeline builds that index once right after
+//! elaboration and passes it in via [`validate_project_with`];
+//! [`validate_project`] builds a fresh one for standalone callers.
+//! Implementations are independent of each other, which lets the
+//! per-implementation checks fan out across threads (rayon;
 //! sequential fallback on single-core machines) while keeping the
 //! error order deterministic.
 
-use crate::component::{Connection, EndpointRef, ImplKind, Implementation, Port, PortDirection};
+use crate::component::{Connection, EndpointRef, ImplKind, Implementation, PortDirection};
 use crate::error::IrError;
-use crate::intern::StreamletId;
+use crate::index::ProjectIndex;
+use crate::intern::{ImplId, StreamletId};
 use crate::project::Project;
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
 use tydi_spec::{Complexity, LogicalType};
 
-/// Runs every check and collects all violations.
+/// Runs every check and collects all violations, building a fresh
+/// [`ProjectIndex`] for this run.
 pub fn validate_project(project: &Project) -> Vec<IrError> {
-    let index = ProjectIndex::build(project);
+    validate_project_with(project, &ProjectIndex::build(project))
+}
+
+/// Runs every check over an already-built [`ProjectIndex`] (the
+/// pipeline's shared one) and collects all violations.
+///
+/// # Panics
+/// Panics when the index does not cover every definition of the
+/// project (a stale index would silently mis-resolve references).
+pub fn validate_project_with(project: &Project, index: &ProjectIndex) -> Vec<IrError> {
+    assert!(
+        index.covers(project),
+        "stale ProjectIndex: register definitions appended after build"
+    );
     let mut errors = Vec::new();
     for streamlet in project.streamlets() {
         validate_streamlet(streamlet, &mut errors);
     }
     // Implementations are checked independently; fan out and splice
     // the per-implementation errors back in definition order.
-    let per_impl: Vec<Vec<IrError>> = project
-        .implementations()
+    let impls: Vec<(ImplId, &Implementation)> = project.implementations_with_ids().collect();
+    let per_impl: Vec<Vec<IrError>> = impls
         .par_iter()
-        .map(|implementation| {
+        .map(|&(impl_id, implementation)| {
             let mut errs = Vec::new();
-            validate_implementation(&index, implementation, &mut errs);
+            validate_implementation(project, index, impl_id, implementation, &mut errs);
             errs
         })
         .collect();
@@ -46,36 +64,6 @@ pub fn validate_project(project: &Project) -> Vec<IrError> {
         errors.extend(errs);
     }
     errors
-}
-
-/// Resolved ids and per-streamlet port indices, built once per
-/// validation pass and shared (read-only) by all worker threads.
-struct ProjectIndex<'a> {
-    project: &'a Project,
-    /// Port name → port, indexed by [`StreamletId`].
-    port_maps: Vec<HashMap<&'a str, &'a Port>>,
-}
-
-impl<'a> ProjectIndex<'a> {
-    fn build(project: &'a Project) -> Self {
-        let port_maps = project
-            .streamlets()
-            .iter()
-            .map(|s| s.ports.iter().map(|p| (p.name.as_str(), p)).collect())
-            .collect();
-        ProjectIndex { project, port_maps }
-    }
-
-    /// The streamlet realized by the named implementation, as an id.
-    fn streamlet_of_impl_name(&self, impl_name: &str) -> Option<StreamletId> {
-        let id = self.project.implementation_id(impl_name)?;
-        self.project
-            .streamlet_id(&self.project.implementation_by_id(id).streamlet)
-    }
-
-    fn port(&self, streamlet: StreamletId, name: &str) -> Option<&'a Port> {
-        self.port_maps[streamlet.index()].get(name).copied()
-    }
 }
 
 fn validate_streamlet(streamlet: &crate::component::Streamlet, errors: &mut Vec<IrError>) {
@@ -99,20 +87,21 @@ fn validate_streamlet(streamlet: &crate::component::Streamlet, errors: &mut Vec<
     }
 }
 
-/// Per-implementation context: the enclosing streamlet and an indexed
-/// instance table, so endpoint resolution never scans.
+/// Per-implementation context: the shared index plus this
+/// implementation's resolved ids, so endpoint resolution never scans.
 struct ImplCtx<'a> {
-    index: &'a ProjectIndex<'a>,
+    project: &'a Project,
+    index: &'a ProjectIndex,
     implementation: &'a Implementation,
+    /// Id of this implementation (keys the index's instance table).
+    impl_id: ImplId,
     /// Id of the streamlet this implementation realizes.
     own: StreamletId,
-    /// Instance name → (instance, its streamlet id when resolvable).
-    instances: HashMap<&'a str, (&'a crate::component::Instance, Option<StreamletId>)>,
 }
 
 /// The resolved view of one connection endpoint.
 struct ResolvedEndpoint<'a> {
-    port: &'a Port,
+    port: &'a crate::component::Port,
     /// True when this endpoint produces data *inside* the
     /// implementation body (own `in` ports and instance `out` ports).
     acts_as_source: bool,
@@ -124,7 +113,7 @@ fn resolve_endpoint<'a>(
     errors: &mut Vec<IrError>,
 ) -> Option<ResolvedEndpoint<'a>> {
     match &endpoint.instance {
-        None => match ctx.index.port(ctx.own, &endpoint.port) {
+        None => match ctx.index.port(ctx.project, ctx.own, &endpoint.port) {
             Some(port) => Some(ResolvedEndpoint {
                 port,
                 // An `in` port of the enclosing streamlet supplies
@@ -141,7 +130,7 @@ fn resolve_endpoint<'a>(
             }
         },
         Some(instance_name) => {
-            let Some(&(_, streamlet)) = ctx.instances.get(instance_name.as_str()) else {
+            let Some(instance) = ctx.index.instance(ctx.project, ctx.impl_id, instance_name) else {
                 errors.push(IrError::Unresolved {
                     kind: "instance",
                     name: instance_name.clone(),
@@ -150,8 +139,10 @@ fn resolve_endpoint<'a>(
                 return None;
             };
             // Missing impl reported separately by instance checks.
-            let streamlet = streamlet?;
-            match ctx.index.port(streamlet, &endpoint.port) {
+            let streamlet = ctx
+                .index
+                .streamlet_of_impl_name(ctx.project, &instance.impl_name)?;
+            match ctx.index.port(ctx.project, streamlet, &endpoint.port) {
                 Some(port) => Some(ResolvedEndpoint {
                     port,
                     // An instance's `out` port supplies data to the body.
@@ -178,11 +169,13 @@ fn top_complexity(ty: &LogicalType) -> Option<Complexity> {
 }
 
 fn validate_implementation(
-    index: &ProjectIndex<'_>,
+    project: &Project,
+    index: &ProjectIndex,
+    impl_id: ImplId,
     implementation: &Implementation,
     errors: &mut Vec<IrError>,
 ) {
-    let Some(own) = index.project.streamlet_id(&implementation.streamlet) else {
+    let Some(own) = index.streamlet_of_impl(impl_id) else {
         errors.push(IrError::Unresolved {
             kind: "streamlet",
             name: implementation.streamlet.clone(),
@@ -199,32 +192,23 @@ fn validate_implementation(
     };
 
     // Instance names unique, implementation references resolvable;
-    // the indexed table then backs every endpoint resolution.
-    let mut ctx = ImplCtx {
+    // the shared index then backs every endpoint resolution (first
+    // declaration wins on duplicate names).
+    let ctx = ImplCtx {
+        project,
         index,
         implementation,
+        impl_id,
         own,
-        instances: HashMap::with_capacity(instances.len()),
     };
-    for instance in instances {
-        let streamlet = index.streamlet_of_impl_name(&instance.impl_name);
-        match ctx.instances.entry(instance.name.as_str()) {
-            std::collections::hash_map::Entry::Occupied(_) => {
-                // First declaration wins for endpoint resolution.
-                errors.push(IrError::DuplicateDefinition {
-                    kind: "instance",
-                    name: format!("{}.{}", implementation.name, instance.name),
-                });
-            }
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert((instance, streamlet));
-            }
+    for (position, instance) in instances.iter().enumerate() {
+        if index.instance_position(impl_id, &instance.name) != Some(position) {
+            errors.push(IrError::DuplicateDefinition {
+                kind: "instance",
+                name: format!("{}.{}", implementation.name, instance.name),
+            });
         }
-        if index
-            .project
-            .implementation_id(&instance.impl_name)
-            .is_none()
-        {
+        if project.implementation_id(&instance.impl_name).is_none() {
             errors.push(IrError::Unresolved {
                 kind: "implementation",
                 name: instance.impl_name.clone(),
@@ -259,14 +243,20 @@ fn validate_implementation(
                 });
             }
         };
-        for port in &index.project.streamlet_by_id(own).ports {
+        for port in &project.streamlet_by_id(own).ports {
             check(EndpointRef::own(port.name.clone()), errors);
         }
         for instance in instances {
-            let Some(&(_, Some(streamlet))) = ctx.instances.get(instance.name.as_str()) else {
+            // Resolve through the first-declared instance of this
+            // name, mirroring endpoint resolution on duplicates.
+            let Some(canonical) = index.instance(project, impl_id, &instance.name) else {
                 continue;
             };
-            for port in &index.project.streamlet_by_id(streamlet).ports {
+            let Some(streamlet) = index.streamlet_of_impl_name(project, &canonical.impl_name)
+            else {
+                continue;
+            };
+            for port in &project.streamlet_by_id(streamlet).ports {
                 check(
                     EndpointRef::instance(instance.name.clone(), port.name.clone()),
                     errors,

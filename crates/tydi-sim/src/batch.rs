@@ -3,14 +3,18 @@
 //! A [`SimBatch`] runs N independent stimulus *scenarios* — distinct
 //! feeds and backpressure schedules over the same flattened design —
 //! and aggregates the per-scenario [`BottleneckReport`]s into one
-//! [`BatchReport`]. Scenarios share nothing mutable (each gets its own
-//! [`Simulator`]), so they shard across threads with a recursive
-//! divide-and-conquer over the rayon shim's `join`; `TYDI_THREADS=1`
-//! forces the sequential fallback for debugging and benchmarking.
+//! [`BatchReport`]. The design is flattened once and shared immutably;
+//! each scenario clones the empty-channel graph into its own
+//! [`Simulator`], so scenarios share nothing mutable and shard across
+//! threads via the rayon shim's work-stealing `map_stealing` (workers
+//! pull the next unclaimed scenario, so one slow scenario never idles
+//! the rest); `TYDI_THREADS=1` forces the sequential fallback for
+//! debugging and benchmarking.
 
 use crate::behavior::BehaviorRegistry;
 use crate::channel::Packet;
 use crate::engine::{RunResult, SchedulerKind, SimError, Simulator, StopReason};
+use crate::graph::{flatten, SimGraph};
 use crate::report::{BottleneckReport, PortBlockage};
 use std::collections::HashMap;
 use std::fmt;
@@ -255,9 +259,23 @@ impl<'a> SimBatch<'a> {
     /// Runs all scenarios, sharded across threads, and aggregates
     /// their reports. The first failure aborts the batch with the
     /// offending scenario named.
+    ///
+    /// The design is flattened exactly once; every scenario clones the
+    /// resulting (empty-channel) [`SimGraph`] instead of re-walking the
+    /// implementation hierarchy, so a batch of N scenarios pays for one
+    /// flatten, not N.
     pub fn run(&self, scenarios: &[Scenario]) -> Result<BatchReport, BatchError> {
+        let graph = flatten(self.project, &self.top_impl, 2).map_err(|e| BatchError {
+            scenario: scenarios
+                .first()
+                .map(|s| s.name.clone())
+                .unwrap_or_else(|| "<empty batch>".to_string()),
+            error: SimError::Graph(e),
+        })?;
         let workers = rayon::current_num_threads().max(1);
-        let results = self.run_slice(scenarios, workers);
+        let results = rayon::map_stealing(scenarios.len(), workers, |i| {
+            self.run_scenario(&graph, &scenarios[i])
+        });
         let mut reports = Vec::with_capacity(results.len());
         for result in results {
             reports.push(result?);
@@ -265,37 +283,17 @@ impl<'a> SimBatch<'a> {
         Ok(BatchReport { scenarios: reports })
     }
 
-    /// Divide-and-conquer fan-out: `rayon::join` parallelizes the two
-    /// halves whenever the machine has spare cores, regardless of how
-    /// few scenarios there are (unlike `par_iter`, which falls back to
-    /// sequential execution for short inputs). The `workers` budget is
-    /// halved at every split, so concurrency stays bounded by the
-    /// thread count instead of the scenario count.
-    fn run_slice(
+    fn run_scenario(
         &self,
-        scenarios: &[Scenario],
-        workers: usize,
-    ) -> Vec<Result<ScenarioReport, BatchError>> {
-        if scenarios.len() <= 1 || workers <= 1 {
-            return scenarios.iter().map(|s| self.run_scenario(s)).collect();
-        }
-        let mid = scenarios.len() / 2;
-        let half = workers / 2;
-        let (mut left, right) = rayon::join(
-            || self.run_slice(&scenarios[..mid], workers - half),
-            || self.run_slice(&scenarios[mid..], half),
-        );
-        left.extend(right);
-        left
-    }
-
-    fn run_scenario(&self, scenario: &Scenario) -> Result<ScenarioReport, BatchError> {
+        graph: &SimGraph,
+        scenario: &Scenario,
+    ) -> Result<ScenarioReport, BatchError> {
         let attribute = |error: SimError| BatchError {
             scenario: scenario.name.clone(),
             error,
         };
         let mut sim =
-            Simulator::new(self.project, &self.top_impl, self.registry).map_err(attribute)?;
+            Simulator::from_graph(self.project, graph.clone(), self.registry).map_err(attribute)?;
         sim.set_scheduler(self.scheduler);
         if let Some(threshold) = scenario.idle_threshold {
             sim.set_idle_threshold(threshold);

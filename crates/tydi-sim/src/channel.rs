@@ -54,7 +54,7 @@ impl Packet {
 /// Pushes performed during a cycle become visible to consumers at the
 /// start of the next cycle (a registered hop), which makes simulation
 /// results independent of component iteration order.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Channel {
     /// Human-readable name: `source -> sink`.
     pub name: String,

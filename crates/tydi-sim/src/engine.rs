@@ -13,7 +13,7 @@
 
 use crate::behavior::{Behavior, BehaviorRegistry, IoCtx, Wake};
 use crate::channel::{Channel, Packet};
-use crate::graph::{flatten, ComponentNode, GraphError};
+use crate::graph::{flatten, ComponentNode, GraphError, SimGraph};
 use crate::interp::SimInterpreter;
 use crate::report::{BottleneckReport, PortBlockage};
 use std::collections::{BTreeMap, HashMap};
@@ -277,6 +277,17 @@ impl Simulator {
         registry: &BehaviorRegistry,
     ) -> Result<Simulator, SimError> {
         let graph = flatten(project, top_impl, 2)?;
+        Simulator::from_graph(project, graph, registry)
+    }
+
+    /// Builds a simulator from an already-flattened graph. Batch runs
+    /// flatten the design once and clone the (empty-channel) graph per
+    /// scenario instead of re-walking the hierarchy every time.
+    pub fn from_graph(
+        project: &Project,
+        graph: SimGraph,
+        registry: &BehaviorRegistry,
+    ) -> Result<Simulator, SimError> {
         let mut components = Vec::with_capacity(graph.components.len());
         for node in graph.components {
             let behavior = build_behavior(project, registry, &node)?;

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use tydi_ir::{ImplKind, PortDirection, Project};
 
 /// One leaf component of the flattened design.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ComponentNode {
     /// Hierarchical path, e.g. `top.pu_0.add`.
     pub path: String,
@@ -32,7 +32,7 @@ pub struct ComponentNode {
 }
 
 /// The flattened design.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SimGraph {
     /// All channels; components and boundaries hold indices into this.
     pub channels: Vec<Channel>,

@@ -52,7 +52,7 @@ pub use logical::{Field, LogicalType};
 pub use physical::{index_width, lower, PhysicalStream, SignalBundle};
 pub use store::{
     expansion_cache_stats, lower_cached, lower_cached_arc, structural_fingerprint,
-    ExpansionCacheStats, TypeId, TypeStore, TypeStoreStats,
+    ExpansionCacheStats, TypeId, TypeStore, TypeStoreStats, SHARD_COUNT,
 };
 pub use stream::{Complexity, Direction, StreamParams, Synchronicity, Throughput};
 pub use text::parse_logical_type;

@@ -22,6 +22,21 @@
 //! on plain trees; structurally equal types share one allocation,
 //! which downstream consumers exploit with `Arc::ptr_eq` fast paths.
 //!
+//! # Concurrency
+//!
+//! The store is safe to share across elaboration workers: the intern
+//! map is split into [`SHARD_COUNT`] shards selected by the hash of
+//! the structural dedup key, each behind its own `RwLock`, and every
+//! method takes `&self`. A [`TypeId`] encodes `(slot << 4) | shard`;
+//! ids are assigned per shard in first-intern order, so their *raw
+//! values* may vary with thread interleaving, but everything the
+//! compiler emits is derived from the structural side tables (mangled
+//! text, canonical trees, fingerprints), which depend only on the
+//! type's structure — output stays byte-identical regardless of
+//! thread count. Lock contention is counted (see
+//! [`TypeStoreStats::shard_contention`]) so the `--timings` report can
+//! surface it.
+//!
 //! Invariants maintained by construction (checked once per distinct
 //! node, never re-walked):
 //!
@@ -37,29 +52,58 @@
 //! The module also hosts a process-wide memo for
 //! [`lower`](crate::physical::lower) — [`lower_cached`] — used by the
 //! RTL backends, where ports arrive as plain `Arc<LogicalType>`
-//! without a store in scope.
+//! without a store in scope. That memo is sharded the same way (by
+//! fingerprint, and by pointer for the `Arc`-identity fast path) so
+//! parallel lowering does not serialize on one mutex.
 
 use crate::logical::{union_tag_width, Field, LogicalType};
 use crate::physical::PhysicalStream;
 use crate::stream::{Complexity, Direction, StreamParams, Synchronicity, Throughput};
 use crate::SpecError;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{
+    Arc, Mutex, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError, Weak,
+};
+
+/// Number of independently locked intern-map shards.
+pub const SHARD_COUNT: usize = 16;
+const SHARD_BITS: u32 = 4;
+const SHARD_MASK: u32 = (SHARD_COUNT as u32) - 1;
 
 /// A compact handle to an interned logical type.
 ///
 /// Two ids from the *same* [`TypeStore`] are equal exactly when the
 /// types they denote are structurally equal; comparing ids from
-/// different stores is meaningless.
+/// different stores is meaningless. Raw id values are only stable
+/// within one run (shard slots fill in first-intern order); all
+/// persisted artifacts use structural fingerprints instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TypeId(u32);
 
 impl TypeId {
-    /// The position of this id in its store.
+    /// The raw `(slot << 4) | shard` encoding of this id.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    fn shard(self) -> usize {
+        (self.0 & SHARD_MASK) as usize
+    }
+
+    fn slot(self) -> usize {
+        (self.0 >> SHARD_BITS) as usize
+    }
+
+    fn encode(shard: usize, slot: usize) -> TypeId {
+        let raw = u32::try_from(slot)
+            .ok()
+            .and_then(|s| s.checked_shl(SHARD_BITS))
+            .expect("type store shard overflow");
+        TypeId(raw | shard as u32)
     }
 }
 
@@ -83,7 +127,19 @@ enum NodeKey {
     },
 }
 
-/// Cached per-node data.
+impl NodeKey {
+    /// Which shard this key's node lives in.
+    fn shard(&self) -> usize {
+        let mut hasher = DefaultHasher::new();
+        self.hash(&mut hasher);
+        (hasher.finish() as usize) & (SHARD_COUNT - 1)
+    }
+}
+
+/// Cached per-node data. Immutable after interning (the lazily
+/// memoized expansion uses a lock-free [`OnceLock`]), so accessors
+/// can hand out clones of the containing `Arc` without holding any
+/// shard lock.
 #[derive(Debug)]
 struct NodeData {
     /// Canonical deep tree; structurally equal ids share this `Arc`.
@@ -101,7 +157,7 @@ struct NodeData {
     /// Total node count (compiler statistics).
     node_count: usize,
     /// Memoized physical expansion (root-level streams only).
-    expansion: Option<Arc<Vec<PhysicalStream>>>,
+    expansion: OnceLock<Arc<Vec<PhysicalStream>>>,
 }
 
 /// Counters describing how much work a [`TypeStore`] saved.
@@ -115,6 +171,9 @@ pub struct TypeStoreStats {
     pub expansion_hits: usize,
     /// Physical expansions actually computed.
     pub expansions_computed: usize,
+    /// Shard-lock acquisitions that found the lock held (contention
+    /// under concurrent interning; always 0 single-threaded).
+    pub shard_contention: usize,
 }
 
 impl TypeStoreStats {
@@ -129,14 +188,25 @@ impl TypeStoreStats {
     }
 }
 
+/// One intern-map shard: slot-indexed nodes plus the dedup table
+/// mapping structural keys to slots.
+#[derive(Debug, Default)]
+struct Shard {
+    nodes: Vec<Arc<NodeData>>,
+    dedup: HashMap<NodeKey, u32>,
+}
+
 /// A hash-consing store for [`LogicalType`]s (see the module docs).
+///
+/// All methods take `&self`; the store can be shared across threads
+/// (e.g. behind an `Arc`) and interned into concurrently.
 #[derive(Debug, Default)]
 pub struct TypeStore {
-    nodes: Vec<NodeData>,
-    dedup: HashMap<NodeKey, TypeId>,
-    intern_hits: usize,
-    expansion_hits: usize,
-    expansions_computed: usize,
+    shards: [RwLock<Shard>; SHARD_COUNT],
+    intern_hits: AtomicUsize,
+    expansion_hits: AtomicUsize,
+    expansions_computed: AtomicUsize,
+    contention: AtomicUsize,
 }
 
 impl TypeStore {
@@ -147,28 +217,32 @@ impl TypeStore {
 
     /// Number of distinct interned nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("type store shard poisoned").nodes.len())
+            .sum()
     }
 
     /// True when nothing has been interned.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len() == 0
     }
 
     /// Usage counters.
     pub fn stats(&self) -> TypeStoreStats {
         TypeStoreStats {
-            distinct_types: self.nodes.len(),
-            intern_hits: self.intern_hits,
-            expansion_hits: self.expansion_hits,
-            expansions_computed: self.expansions_computed,
+            distinct_types: self.len(),
+            intern_hits: self.intern_hits.load(Ordering::Relaxed),
+            expansion_hits: self.expansion_hits.load(Ordering::Relaxed),
+            expansions_computed: self.expansions_computed.load(Ordering::Relaxed),
+            shard_contention: self.contention.load(Ordering::Relaxed),
         }
     }
 
     // ---- constructors (O(direct children) each) --------------------------
 
     /// Interns `Null`.
-    pub fn null(&mut self) -> TypeId {
+    pub fn null(&self) -> TypeId {
         self.insert(NodeKey::Null, |_| NodeBuild {
             canonical: LogicalType::Null,
             bit_width: 0,
@@ -181,7 +255,7 @@ impl TypeStore {
     }
 
     /// Interns `Bit(width)`; rejects zero widths.
-    pub fn bit(&mut self, width: u32) -> Result<TypeId, SpecError> {
+    pub fn bit(&self, width: u32) -> Result<TypeId, SpecError> {
         if width == 0 {
             return Err(SpecError::ZeroWidthBit);
         }
@@ -197,13 +271,13 @@ impl TypeStore {
 
     /// Interns a `Group` of already-interned fields; rejects duplicate
     /// field names.
-    pub fn group(&mut self, fields: Vec<(String, TypeId)>) -> Result<TypeId, SpecError> {
+    pub fn group(&self, fields: Vec<(String, TypeId)>) -> Result<TypeId, SpecError> {
         self.composite(fields, /* is_group */ true)
     }
 
     /// Interns a `Union` of already-interned variants; rejects empty
     /// unions and duplicate variant names.
-    pub fn union(&mut self, fields: Vec<(String, TypeId)>) -> Result<TypeId, SpecError> {
+    pub fn union(&self, fields: Vec<(String, TypeId)>) -> Result<TypeId, SpecError> {
         self.composite(fields, /* is_group */ false)
     }
 
@@ -213,7 +287,7 @@ impl TypeStore {
     /// interned `user` id instead (rejected when it contains a
     /// stream, per the specification).
     pub fn stream(
-        &mut self,
+        &self,
         element: TypeId,
         params: StreamParams,
         user: Option<TypeId>,
@@ -223,7 +297,7 @@ impl TypeStore {
             "pass the user type as an interned id"
         );
         if let Some(user_id) = user {
-            if self.nodes[user_id.index()].contains_stream {
+            if self.node(user_id).contains_stream {
                 return Err(SpecError::InvalidParameter {
                     parameter: "user",
                     message: "user types may not contain streams".into(),
@@ -241,9 +315,10 @@ impl TypeStore {
             keep: params.keep,
         };
         self.insert(key, |store| {
-            let elem = &store.nodes[element.index()];
+            let elem = store.node(element);
+            let user_node = user.map(|u| store.node(u));
             let mut full_params = params.clone();
-            full_params.user = user.map(|u| Box::new((*store.nodes[u.index()].canonical).clone()));
+            full_params.user = user_node.as_ref().map(|u| Box::new((*u.canonical).clone()));
             let canonical = LogicalType::Stream {
                 element: Box::new((*elem.canonical).clone()),
                 params: full_params,
@@ -265,8 +340,8 @@ impl TypeStore {
             if params.synchronicity != Synchronicity::Sync {
                 let _ = write!(mangled, ",x={}", params.synchronicity);
             }
-            if let Some(u) = user {
-                let _ = write!(mangled, ",u={}", store.nodes[u.index()].mangled);
+            if let Some(u) = &user_node {
+                let _ = write!(mangled, ",u={}", u.mangled);
             }
             if params.keep {
                 mangled.push_str(",keep");
@@ -280,7 +355,7 @@ impl TypeStore {
                 is_null: elem.is_null && !params.keep,
                 node_count: 1
                     + elem.node_count
-                    + user.map(|u| store.nodes[u.index()].node_count).unwrap_or(0),
+                    + user_node.as_ref().map(|u| u.node_count).unwrap_or(0),
             }
         })
     }
@@ -288,7 +363,7 @@ impl TypeStore {
     /// Interns an arbitrary type tree, reusing every already-interned
     /// subtree. O(tree size) on first sight, O(1)-amortized per node
     /// thereafter; prefer the typed constructors on hot paths.
-    pub fn intern(&mut self, ty: &LogicalType) -> Result<TypeId, SpecError> {
+    pub fn intern(&self, ty: &LogicalType) -> Result<TypeId, SpecError> {
         match ty {
             LogicalType::Null => Ok(self.null()),
             LogicalType::Bit(width) => self.bit(*width),
@@ -313,7 +388,7 @@ impl TypeStore {
         }
     }
 
-    fn intern_fields(&mut self, fields: &[Field]) -> Result<Vec<(String, TypeId)>, SpecError> {
+    fn intern_fields(&self, fields: &[Field]) -> Result<Vec<(String, TypeId)>, SpecError> {
         fields
             .iter()
             .map(|f| Ok((f.name.clone(), self.intern(&f.ty)?)))
@@ -324,65 +399,63 @@ impl TypeStore {
 
     /// The canonical tree behind an id; structurally equal ids share
     /// the same `Arc`.
-    pub fn ty(&self, id: TypeId) -> &Arc<LogicalType> {
-        &self.nodes[id.index()].canonical
+    pub fn ty(&self, id: TypeId) -> Arc<LogicalType> {
+        Arc::clone(&self.node(id).canonical)
     }
 
     /// Cached element bit width.
     pub fn bit_width(&self, id: TypeId) -> u32 {
-        self.nodes[id.index()].bit_width
+        self.node(id).bit_width
     }
 
     /// Cached canonical mangled text (display form, spaces removed).
-    pub fn mangled(&self, id: TypeId) -> &Arc<str> {
-        &self.nodes[id.index()].mangled
+    pub fn mangled(&self, id: TypeId) -> Arc<str> {
+        Arc::clone(&self.node(id).mangled)
     }
 
     /// Cached stable structural fingerprint.
     pub fn fingerprint(&self, id: TypeId) -> u64 {
-        self.nodes[id.index()].fingerprint
+        self.node(id).fingerprint
     }
 
     /// Whether the type is (or contains) a `Stream`.
     pub fn contains_stream(&self, id: TypeId) -> bool {
-        self.nodes[id.index()].contains_stream
+        self.node(id).contains_stream
     }
 
     /// Whether the node itself is a `Stream`.
     pub fn is_stream(&self, id: TypeId) -> bool {
-        matches!(
-            &*self.nodes[id.index()].canonical,
-            LogicalType::Stream { .. }
-        )
+        matches!(&*self.node(id).canonical, LogicalType::Stream { .. })
     }
 
     /// Whether the type carries no information.
     pub fn is_null(&self, id: TypeId) -> bool {
-        self.nodes[id.index()].is_null
+        self.node(id).is_null
     }
 
     /// Cached total node count.
     pub fn node_count(&self, id: TypeId) -> usize {
-        self.nodes[id.index()].node_count
+        self.node(id).node_count
     }
 
     /// The physical-stream expansion of the type, computed once per
-    /// distinct node and shared thereafter.
-    pub fn expansion(&mut self, id: TypeId) -> Result<Arc<Vec<PhysicalStream>>, SpecError> {
-        if let Some(expansion) = &self.nodes[id.index()].expansion {
-            self.expansion_hits += 1;
+    /// distinct node and shared thereafter. Concurrent first calls may
+    /// race to compute; exactly one result wins and is shared.
+    pub fn expansion(&self, id: TypeId) -> Result<Arc<Vec<PhysicalStream>>, SpecError> {
+        let node = self.node(id);
+        if let Some(expansion) = node.expansion.get() {
+            self.expansion_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(expansion));
         }
-        let expansion = Arc::new(crate::physical::lower(&self.nodes[id.index()].canonical)?);
-        self.expansions_computed += 1;
-        self.nodes[id.index()].expansion = Some(Arc::clone(&expansion));
-        Ok(expansion)
+        let computed = Arc::new(crate::physical::lower(&node.canonical)?);
+        self.expansions_computed.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::clone(node.expansion.get_or_init(|| computed)))
     }
 
     // ---- internals --------------------------------------------------------
 
     fn composite(
-        &mut self,
+        &self,
         fields: Vec<(String, TypeId)>,
         is_group: bool,
     ) -> Result<TypeId, SpecError> {
@@ -409,7 +482,7 @@ impl TypeStore {
             let mut node_count = 1usize;
             let mut canonical_fields = Vec::with_capacity(fields.len());
             for (i, (name, child_id)) in fields.iter().enumerate() {
-                let child = &store.nodes[child_id.index()];
+                let child = store.node(*child_id);
                 if i > 0 {
                     mangled.push(',');
                 }
@@ -442,21 +515,54 @@ impl TypeStore {
         })
     }
 
+    /// The shared node behind an id (clones the `Arc` so no shard lock
+    /// outlives the call).
+    fn node(&self, id: TypeId) -> Arc<NodeData> {
+        Arc::clone(&self.read_shard(id.shard()).nodes[id.slot()])
+    }
+
+    fn read_shard(&self, idx: usize) -> RwLockReadGuard<'_, Shard> {
+        match self.shards[idx].try_read() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                self.shards[idx].read().expect("type store shard poisoned")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("type store shard poisoned"),
+        }
+    }
+
+    fn write_shard(&self, idx: usize) -> RwLockWriteGuard<'_, Shard> {
+        match self.shards[idx].try_write() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                self.shards[idx].write().expect("type store shard poisoned")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("type store shard poisoned"),
+        }
+    }
+
     /// Dedup-or-insert: returns the existing id for `key` or builds
-    /// the node via `build` (which may read already-interned nodes).
+    /// the node via `build` (which may read already-interned nodes —
+    /// it runs with **no** shard lock held, because child lookups can
+    /// land in this very shard).
     fn insert(
-        &mut self,
+        &self,
         key: NodeKey,
         build: impl FnOnce(&Self) -> NodeBuild,
     ) -> Result<TypeId, SpecError> {
-        if let Some(&id) = self.dedup.get(&key) {
-            self.intern_hits += 1;
-            return Ok(id);
+        let shard_idx = key.shard();
+        {
+            let shard = self.read_shard(shard_idx);
+            if let Some(&slot) = shard.dedup.get(&key) {
+                self.intern_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(TypeId::encode(shard_idx, slot as usize));
+            }
         }
         let built = build(self);
-        let id = TypeId(u32::try_from(self.nodes.len()).expect("type store overflow"));
         let fingerprint = structural_fingerprint(&built.canonical);
-        self.nodes.push(NodeData {
+        let data = Arc::new(NodeData {
             canonical: Arc::new(built.canonical),
             bit_width: built.bit_width,
             mangled: Arc::from(built.mangled.as_str()),
@@ -464,9 +570,20 @@ impl TypeStore {
             contains_stream: built.contains_stream,
             is_null: built.is_null,
             node_count: built.node_count,
-            expansion: None,
+            expansion: OnceLock::new(),
         });
-        self.dedup.insert(key, id);
+        let mut shard = self.write_shard(shard_idx);
+        // Double-checked: another worker may have interned the same
+        // node while we were building; its id wins so structurally
+        // equal types keep sharing one allocation.
+        if let Some(&slot) = shard.dedup.get(&key) {
+            self.intern_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(TypeId::encode(shard_idx, slot as usize));
+        }
+        let slot = shard.nodes.len();
+        let id = TypeId::encode(shard_idx, slot);
+        shard.nodes.push(data);
+        shard.dedup.insert(key, slot as u32);
         Ok(id)
     }
 }
@@ -578,6 +695,7 @@ pub struct ExpansionCacheStats {
 /// value) and its shared expansion.
 type ExpansionEntry = (LogicalType, Arc<Vec<PhysicalStream>>);
 
+#[derive(Default)]
 struct ExpansionCache {
     /// Fingerprint → (type, expansion) pairs; the inner `Vec` resolves
     /// the (astronomically unlikely) fingerprint collisions by value.
@@ -585,14 +703,15 @@ struct ExpansionCache {
     stats: ExpansionCacheStats,
 }
 
-fn expansion_cache() -> &'static Mutex<ExpansionCache> {
-    static CACHE: OnceLock<Mutex<ExpansionCache>> = OnceLock::new();
-    CACHE.get_or_init(|| {
-        Mutex::new(ExpansionCache {
-            map: HashMap::new(),
-            stats: ExpansionCacheStats::default(),
-        })
-    })
+/// The value-keyed memo, sharded by fingerprint so concurrent
+/// backends do not serialize on one mutex.
+fn expansion_cache() -> &'static [Mutex<ExpansionCache>; SHARD_COUNT] {
+    static CACHE: OnceLock<[Mutex<ExpansionCache>; SHARD_COUNT]> = OnceLock::new();
+    CACHE.get_or_init(Default::default)
+}
+
+fn expansion_shard(fingerprint: u64) -> &'static Mutex<ExpansionCache> {
+    &expansion_cache()[(fingerprint as usize) & (SHARD_COUNT - 1)]
 }
 
 /// Like [`lower`](crate::physical::lower) but memoized process-wide:
@@ -602,7 +721,8 @@ fn expansion_cache() -> &'static Mutex<ExpansionCache> {
 /// are not memoized (failing types re-report on every attempt).
 pub fn lower_cached(ty: &LogicalType) -> Result<Arc<Vec<PhysicalStream>>, SpecError> {
     let fingerprint = structural_fingerprint(ty);
-    let mut cache = expansion_cache().lock().expect("expansion cache poisoned");
+    let shard = expansion_shard(fingerprint);
+    let mut cache = shard.lock().expect("expansion cache poisoned");
     if let Some(candidates) = cache.map.get(&fingerprint) {
         if let Some((_, expansion)) = candidates.iter().find(|(t, _)| t == ty) {
             let expansion = Arc::clone(expansion);
@@ -612,7 +732,7 @@ pub fn lower_cached(ty: &LogicalType) -> Result<Arc<Vec<PhysicalStream>>, SpecEr
     }
     drop(cache);
     let expansion = Arc::new(crate::physical::lower(ty)?);
-    let mut cache = expansion_cache().lock().expect("expansion cache poisoned");
+    let mut cache = shard.lock().expect("expansion cache poisoned");
     cache.stats.misses += 1;
     cache
         .map
@@ -620,6 +740,17 @@ pub fn lower_cached(ty: &LogicalType) -> Result<Arc<Vec<PhysicalStream>>, SpecEr
         .or_default()
         .push((ty.clone(), Arc::clone(&expansion)));
     Ok(expansion)
+}
+
+/// One shard of the pointer-identity memo behind [`lower_cached_arc`].
+type PtrMemoShard = Mutex<HashMap<usize, (Weak<LogicalType>, Arc<Vec<PhysicalStream>>)>>;
+
+fn ptr_memo(key: usize) -> &'static PtrMemoShard {
+    static MEMO: OnceLock<[PtrMemoShard; SHARD_COUNT]> = OnceLock::new();
+    let shards = MEMO.get_or_init(Default::default);
+    // Arc allocations are word-aligned; shift the always-zero low bits
+    // out before picking a shard.
+    &shards[(key >> 4) & (SHARD_COUNT - 1)]
 }
 
 /// Arc-identity fast path over [`lower_cached`].
@@ -634,10 +765,8 @@ pub fn lower_cached(ty: &LogicalType) -> Result<Arc<Vec<PhysicalStream>>, SpecEr
 /// from the IR text format) fall back to the value-keyed
 /// [`lower_cached`].
 pub fn lower_cached_arc(ty: &Arc<LogicalType>) -> Result<Arc<Vec<PhysicalStream>>, SpecError> {
-    type PtrMemo = Mutex<HashMap<usize, (Weak<LogicalType>, Arc<Vec<PhysicalStream>>)>>;
-    static MEMO: OnceLock<PtrMemo> = OnceLock::new();
-    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
     let key = Arc::as_ptr(ty) as usize;
+    let memo = ptr_memo(key);
     {
         let map = memo.lock().expect("expansion ptr memo poisoned");
         if let Some((weak, expansion)) = map.get(&key) {
@@ -651,7 +780,7 @@ pub fn lower_cached_arc(ty: &Arc<LogicalType>) -> Result<Arc<Vec<PhysicalStream>
     }
     let expansion = lower_cached(ty)?;
     let mut map = memo.lock().expect("expansion ptr memo poisoned");
-    if map.len() >= 65_536 {
+    if map.len() >= 65_536 / SHARD_COUNT {
         map.retain(|_, (weak, _)| weak.strong_count() > 0);
     }
     map.insert(key, (Arc::downgrade(ty), Arc::clone(&expansion)));
@@ -664,10 +793,12 @@ static EXPANSION_PTR_HITS: AtomicU64 = AtomicU64::new(0);
 /// Counters of the process-wide expansion memo (both levels: the
 /// `Arc`-identity fast path and the value-keyed fallback).
 pub fn expansion_cache_stats() -> ExpansionCacheStats {
-    let mut stats = expansion_cache()
-        .lock()
-        .expect("expansion cache poisoned")
-        .stats;
+    let mut stats = ExpansionCacheStats::default();
+    for shard in expansion_cache() {
+        let s = shard.lock().expect("expansion cache poisoned").stats;
+        stats.hits += s.hits;
+        stats.misses += s.misses;
+    }
     stats.hits += EXPANSION_PTR_HITS.load(Ordering::Relaxed);
     stats
 }
@@ -690,17 +821,17 @@ mod tests {
 
     #[test]
     fn interning_is_idempotent_and_shares() {
-        let mut store = TypeStore::new();
+        let store = TypeStore::new();
         let a = store.intern(&deep(4)).unwrap();
         let b = store.intern(&deep(4)).unwrap();
         assert_eq!(a, b);
-        assert!(Arc::ptr_eq(store.ty(a), store.ty(b)));
+        assert!(Arc::ptr_eq(&store.ty(a), &store.ty(b)));
         assert!(store.stats().intern_hits > 0);
     }
 
     #[test]
     fn distinct_types_get_distinct_ids() {
-        let mut store = TypeStore::new();
+        let store = TypeStore::new();
         let a = store.intern(&deep(3)).unwrap();
         let b = store.intern(&deep(4)).unwrap();
         assert_ne!(a, b);
@@ -710,7 +841,7 @@ mod tests {
 
     #[test]
     fn subtrees_are_shared() {
-        let mut store = TypeStore::new();
+        let store = TypeStore::new();
         store.intern(&deep(4)).unwrap();
         let before = store.len();
         // deep(5) only adds two nodes: the new group and its new Bit.
@@ -720,7 +851,7 @@ mod tests {
 
     #[test]
     fn cached_properties_match_deep_representation() {
-        let mut store = TypeStore::new();
+        let store = TypeStore::new();
         let samples = [
             LogicalType::Null,
             LogicalType::Bit(7),
@@ -747,13 +878,13 @@ mod tests {
                 ty.to_string().replace(' ', ""),
                 "{ty}"
             );
-            assert_eq!(&**store.ty(id), &ty);
+            assert_eq!(&*store.ty(id), &ty);
         }
     }
 
     #[test]
     fn expansion_is_cached_and_correct() {
-        let mut store = TypeStore::new();
+        let store = TypeStore::new();
         let ty = LogicalType::stream(deep(2), StreamParams::new().with_dimension(1));
         let id = store.intern(&ty).unwrap();
         let first = store.expansion(id).unwrap();
@@ -767,7 +898,7 @@ mod tests {
 
     #[test]
     fn constructors_validate_shallowly() {
-        let mut store = TypeStore::new();
+        let store = TypeStore::new();
         assert_eq!(store.bit(0), Err(SpecError::ZeroWidthBit));
         let b = store.bit(1).unwrap();
         assert_eq!(
@@ -783,6 +914,44 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn concurrent_interning_dedups_across_threads() {
+        // Hammer one store from several threads with overlapping type
+        // trees; every thread must see the same id per structure and
+        // the store must end up with exactly the sequential node set.
+        let store = TypeStore::new();
+        let expected = {
+            let reference = TypeStore::new();
+            for d in 0..6 {
+                reference.intern(&deep(d)).unwrap();
+            }
+            reference.len()
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for d in 0..6 {
+                        let a = store.intern(&deep(d)).unwrap();
+                        let b = store.intern(&deep(d)).unwrap();
+                        assert_eq!(a, b);
+                        assert_eq!(
+                            store.mangled(a).as_ref(),
+                            deep(d).to_string().replace(' ', "")
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), expected);
+        // Fingerprints stay structural regardless of interleaving.
+        let reference = TypeStore::new();
+        for d in 0..6 {
+            let id = store.intern(&deep(d)).unwrap();
+            let ref_id = reference.intern(&deep(d)).unwrap();
+            assert_eq!(store.fingerprint(id), reference.fingerprint(ref_id));
+        }
     }
 
     #[test]
@@ -827,11 +996,11 @@ mod tests {
 
     #[test]
     fn lower_cached_arc_shares_by_identity_and_by_value() {
-        let mut store = TypeStore::new();
+        let store = TypeStore::new();
         let ty = LogicalType::stream(deep(3), StreamParams::new().with_dimension(1));
         let id = store.intern(&ty).unwrap();
-        let arc_a = Arc::clone(store.ty(id));
-        let arc_b = Arc::clone(store.ty(id));
+        let arc_a = store.ty(id);
+        let arc_b = store.ty(id);
         let first = lower_cached_arc(&arc_a).unwrap();
         // Same Arc again: identity hit, same shared expansion.
         let second = lower_cached_arc(&arc_b).unwrap();
@@ -848,7 +1017,7 @@ mod tests {
 
     #[test]
     fn stream_mangling_matches_display() {
-        let mut store = TypeStore::new();
+        let store = TypeStore::new();
         let ty = LogicalType::stream(
             LogicalType::group(vec![("a", LogicalType::Bit(3)), ("b", LogicalType::Bit(5))]),
             StreamParams::new()

@@ -11,9 +11,12 @@
 
 use crate::builtin::BuiltinRegistry;
 use crate::error::VhdlError;
-use crate::lower::{emit_netlist_cached, lower_project, lower_project_cached, CodegenCache};
+use crate::lower::{
+    emit_netlist_cached, lower_project, lower_project_cached, lower_project_cached_with,
+    lower_project_with, CodegenCache,
+};
 use std::fmt::Write as _;
-use tydi_ir::Project;
+use tydi_ir::{Project, ProjectIndex};
 use tydi_rtl::{emitter_for, Backend};
 
 /// Code generation options.
@@ -59,6 +62,19 @@ pub fn generate_project_for(
     Ok(emitter_for(backend).emit_netlist(&netlist)?)
 }
 
+/// Like [`generate_project_for`], but resolving references through
+/// the pipeline's shared [`ProjectIndex`] instead of rebuilding one.
+pub fn generate_project_for_with(
+    project: &Project,
+    index: &ProjectIndex,
+    registry: &BuiltinRegistry,
+    options: &VhdlOptions,
+    backend: Backend,
+) -> Result<Vec<VhdlFile>, VhdlError> {
+    let netlist = lower_project_with(project, index, registry, options)?;
+    Ok(emitter_for(backend).emit_netlist(&netlist)?)
+}
+
 /// Like [`generate_project_for`], but reusing per-module lowerings
 /// and emitted files from a [`CodegenCache`]: on a recompile, only
 /// implementations whose content fingerprint changed are re-lowered
@@ -73,6 +89,20 @@ pub fn generate_project_cached(
     cache: &mut CodegenCache,
 ) -> Result<Vec<VhdlFile>, VhdlError> {
     let (netlist, keys) = lower_project_cached(project, registry, options, cache)?;
+    emit_netlist_cached(&netlist, &keys, backend, cache)
+}
+
+/// Like [`generate_project_cached`], but resolving references through
+/// the pipeline's shared [`ProjectIndex`].
+pub fn generate_project_cached_with(
+    project: &Project,
+    index: &ProjectIndex,
+    registry: &BuiltinRegistry,
+    options: &VhdlOptions,
+    backend: Backend,
+    cache: &mut CodegenCache,
+) -> Result<Vec<VhdlFile>, VhdlError> {
+    let (netlist, keys) = lower_project_cached_with(project, index, registry, options, cache)?;
     emit_netlist_cached(&netlist, &keys, backend, cache)
 }
 

@@ -20,8 +20,8 @@ use crate::VhdlOptions;
 use rayon::prelude::*;
 use std::collections::HashMap;
 use tydi_ir::{
-    Connection, EndpointRef, Fingerprint, Fingerprinter, ImplKind, Implementation, Project,
-    Streamlet,
+    Connection, EndpointRef, Fingerprint, Fingerprinter, ImplId, ImplKind, Implementation, Project,
+    ProjectIndex, Streamlet,
 };
 use tydi_rtl::names::{sanitize, NameAllocator};
 use tydi_rtl::netlist::{
@@ -39,24 +39,47 @@ impl From<PortMode> for PortDir {
     }
 }
 
-/// Lowers a validated project to the netlist, once, for all backends.
+/// Lowers a validated project to the netlist, once, for all backends,
+/// building a fresh [`ProjectIndex`] for this run.
 pub fn lower_project(
     project: &Project,
     registry: &BuiltinRegistry,
     options: &VhdlOptions,
 ) -> Result<Netlist, VhdlError> {
+    lower_project_with(project, &ProjectIndex::build(project), registry, options)
+}
+
+/// Like [`lower_project`], but resolving every streamlet, instance
+/// and port reference through the pipeline's shared [`ProjectIndex`]
+/// instead of rebuilding per-pass lookup maps.
+pub fn lower_project_with(
+    project: &Project,
+    index: &ProjectIndex,
+    registry: &BuiltinRegistry,
+    options: &VhdlOptions,
+) -> Result<Netlist, VhdlError> {
     if options.validate {
-        project.validate().map_err(VhdlError::InvalidProject)?;
+        project
+            .validate_with(index)
+            .map_err(VhdlError::InvalidProject)?;
     }
     let module_names = allocate_module_names(project);
 
     // Implementations are independent once names are fixed; build
     // their modules in parallel, preserving definition order.
-    let results: Vec<Result<Module, VhdlError>> = project
-        .implementations()
+    let impls: Vec<(ImplId, &Implementation)> = project.implementations_with_ids().collect();
+    let results: Vec<Result<Module, VhdlError>> = impls
         .par_iter()
-        .map(|implementation| {
-            lower_implementation(project, registry, &module_names, implementation, options)
+        .map(|&(impl_id, implementation)| {
+            lower_implementation(
+                project,
+                index,
+                registry,
+                &module_names,
+                impl_id,
+                implementation,
+                options,
+            )
         })
         .collect();
     let modules = results.into_iter().collect::<Result<Vec<_>, _>>()?;
@@ -170,35 +193,65 @@ pub fn lower_project_cached(
     options: &VhdlOptions,
     cache: &mut CodegenCache,
 ) -> Result<(Netlist, Vec<Fingerprint>), VhdlError> {
+    lower_project_cached_with(
+        project,
+        &ProjectIndex::build(project),
+        registry,
+        options,
+        cache,
+    )
+}
+
+/// Like [`lower_project_cached`], but resolving references through
+/// the pipeline's shared [`ProjectIndex`].
+pub fn lower_project_cached_with(
+    project: &Project,
+    index: &ProjectIndex,
+    registry: &BuiltinRegistry,
+    options: &VhdlOptions,
+    cache: &mut CodegenCache,
+) -> Result<(Netlist, Vec<Fingerprint>), VhdlError> {
     if options.validate {
-        project.validate().map_err(VhdlError::InvalidProject)?;
+        project
+            .validate_with(index)
+            .map_err(VhdlError::InvalidProject)?;
     }
     let module_names = allocate_module_names(project);
-    let keys: Vec<Fingerprint> = project
-        .implementations()
+    let impls: Vec<(ImplId, &Implementation)> = project.implementations_with_ids().collect();
+    let keys: Vec<Fingerprint> = impls
         .iter()
-        .map(|implementation| codegen_fingerprint(project, implementation, &module_names, options))
+        .map(|(_, implementation)| {
+            codegen_fingerprint(project, implementation, &module_names, options)
+        })
         .collect();
     let missing: Vec<usize> = keys
         .iter()
         .enumerate()
         .filter(|(_, key)| !cache.modules.contains_key(key))
-        .map(|(index, _)| index)
+        .map(|(position, _)| position)
         .collect();
     let lowered: Vec<(usize, Result<Module, VhdlError>)> = missing
         .par_iter()
-        .map(|&index| {
-            let implementation = &project.implementations()[index];
+        .map(|&position| {
+            let (impl_id, implementation) = impls[position];
             (
-                index,
-                lower_implementation(project, registry, &module_names, implementation, options),
+                position,
+                lower_implementation(
+                    project,
+                    index,
+                    registry,
+                    &module_names,
+                    impl_id,
+                    implementation,
+                    options,
+                ),
             )
         })
         .collect();
     cache.stats.modules_reused += keys.len() - missing.len();
     cache.stats.modules_recomputed += missing.len();
-    for (index, result) in lowered {
-        cache.modules.insert(keys[index], result?);
+    for (position, result) in lowered {
+        cache.modules.insert(keys[position], result?);
     }
     let modules: Vec<Module> = keys.iter().map(|key| cache.modules[key].clone()).collect();
     Ok((
@@ -258,13 +311,16 @@ pub fn emit_netlist_cached(
 
 fn lower_implementation(
     project: &Project,
+    index: &ProjectIndex,
     registry: &BuiltinRegistry,
     module_names: &HashMap<&str, String>,
+    impl_id: ImplId,
     implementation: &Implementation,
     options: &VhdlOptions,
 ) -> Result<Module, VhdlError> {
-    let streamlet = project
-        .streamlet(&implementation.streamlet)
+    let streamlet = index
+        .streamlet_of_impl(impl_id)
+        .map(|sid| project.streamlet_by_id(sid))
         .ok_or_else(|| {
             VhdlError::Inconsistent(format!(
                 "implementation `{}` references missing streamlet `{}`",
@@ -284,8 +340,10 @@ fn lower_implementation(
     let ports = lower_ports(streamlet, options)?;
     let body = lower_body(
         project,
+        index,
         registry,
         module_names,
+        impl_id,
         implementation,
         streamlet,
         options,
@@ -333,10 +391,13 @@ fn lower_ports(streamlet: &Streamlet, options: &VhdlOptions) -> Result<Vec<PortI
     Ok(items)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn lower_body(
     project: &Project,
+    index: &ProjectIndex,
     registry: &BuiltinRegistry,
     module_names: &HashMap<&str, String>,
+    impl_id: ImplId,
     implementation: &Implementation,
     streamlet: &Streamlet,
     options: &VhdlOptions,
@@ -386,12 +447,13 @@ fn lower_body(
             let mut nets: HashMap<&EndpointRef, String> = HashMap::new();
             let mut net_items: Vec<NetItem> = Vec::new();
             let mut assign_items: Vec<AssignItem> = Vec::new();
-            for (index, connection) in connections.iter().enumerate() {
+            for (position, connection) in connections.iter().enumerate() {
                 plan_connection(
                     project,
-                    implementation,
-                    streamlet,
                     index,
+                    impl_id,
+                    streamlet,
+                    position,
                     connection,
                     &mut nets,
                     &mut net_items,
@@ -403,14 +465,19 @@ fn lower_body(
             let mut lowered = Vec::with_capacity(instances.len());
             let parent_clocks = clock_signals(streamlet);
             for instance in instances {
-                let child_impl = project.implementation(&instance.impl_name).ok_or_else(|| {
-                    VhdlError::Inconsistent(format!(
-                        "instance `{}` references missing implementation `{}`",
-                        instance.name, instance.impl_name
-                    ))
-                })?;
-                let child_streamlet =
-                    project.streamlet(&child_impl.streamlet).ok_or_else(|| {
+                let child_id = project
+                    .implementation_id(&instance.impl_name)
+                    .ok_or_else(|| {
+                        VhdlError::Inconsistent(format!(
+                            "instance `{}` references missing implementation `{}`",
+                            instance.name, instance.impl_name
+                        ))
+                    })?;
+                let child_impl = project.implementation_by_id(child_id);
+                let child_streamlet = index
+                    .streamlet_of_impl(child_id)
+                    .map(|sid| project.streamlet_by_id(sid))
+                    .ok_or_else(|| {
                         VhdlError::Inconsistent(format!(
                             "implementation `{}` references missing streamlet `{}`",
                             child_impl.name, child_impl.streamlet
@@ -464,9 +531,10 @@ fn lower_body(
 #[allow(clippy::too_many_arguments)]
 fn plan_connection<'c>(
     project: &Project,
-    implementation: &Implementation,
+    index: &ProjectIndex,
+    impl_id: ImplId,
     streamlet: &Streamlet,
-    index: usize,
+    position: usize,
     connection: &'c Connection,
     nets: &mut HashMap<&'c EndpointRef, String>,
     net_items: &mut Vec<NetItem>,
@@ -504,9 +572,9 @@ fn plan_connection<'c>(
             nets.insert(&connection.source, connection.sink.port.clone());
         }
         (false, false) => {
-            let src_port = instance_port(project, implementation, &connection.source)?;
+            let src_port = instance_port(project, index, impl_id, &connection.source)?;
             let net = sanitize(&format!(
-                "n{index}_{}_{}",
+                "n{position}_{}_{}",
                 connection.source.instance.as_deref().unwrap_or(""),
                 connection.source.port
             ));
@@ -528,26 +596,27 @@ fn plan_connection<'c>(
 
 fn instance_port<'p>(
     project: &'p Project,
-    implementation: &Implementation,
+    index: &ProjectIndex,
+    impl_id: ImplId,
     endpoint: &EndpointRef,
 ) -> Result<&'p tydi_ir::Port, VhdlError> {
     let instance_name = endpoint
         .instance
         .as_deref()
         .ok_or_else(|| VhdlError::Inconsistent("expected an instance endpoint".to_string()))?;
-    let instance = implementation
-        .instances()
-        .iter()
-        .find(|i| i.name == instance_name)
+    let instance = index
+        .instance(project, impl_id, instance_name)
         .ok_or_else(|| VhdlError::Inconsistent(format!("missing instance `{instance_name}`")))?;
-    let streamlet = project.streamlet_of(&instance.impl_name).ok_or_else(|| {
-        VhdlError::Inconsistent(format!(
-            "missing streamlet for implementation `{}`",
-            instance.impl_name
-        ))
-    })?;
-    streamlet
-        .port(&endpoint.port)
+    let sid = index
+        .streamlet_of_impl_name(project, &instance.impl_name)
+        .ok_or_else(|| {
+            VhdlError::Inconsistent(format!(
+                "missing streamlet for implementation `{}`",
+                instance.impl_name
+            ))
+        })?;
+    index
+        .port(project, sid, &endpoint.port)
         .ok_or_else(|| VhdlError::Inconsistent(format!("missing port `{}`", endpoint.port)))
 }
 

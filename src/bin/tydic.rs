@@ -37,7 +37,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use tydi_lang::{compile_with_cache, ArtifactCache, CompileOptions, CompileOutput, Stage};
 use tydi_stdlib::{full_registry, stdlib_source, STDLIB_FILE_NAME};
-use tydi_vhdl::{generate_project_for, Backend, VhdlOptions};
+use tydi_vhdl::{generate_project_for_with, Backend, VhdlOptions};
 
 /// The output format of `tydic compile` (`--emit`). The accepted
 /// spellings, the usage string, and the dispatch all live here so
@@ -387,6 +387,26 @@ fn print_timings(output: &CompileOutput) {
         expansions.hits,
         expansions.misses,
     );
+    // Parallel-elaboration statistics: worker-pool width, how many
+    // packages each import-DAG level fanned out, and how often a
+    // type-store shard lock was contended.
+    let par = &output.elab_info.parallel;
+    let levels = par
+        .level_packages
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join("+");
+    eprintln!(
+        "par: {} thread(s), packages per level [{}], {} shard contention event(s)",
+        par.threads,
+        if levels.is_empty() {
+            "-"
+        } else {
+            levels.as_str()
+        },
+        ts.shard_contention,
+    );
 }
 
 /// Loads the persistent cache (an empty, never-saved one under
@@ -494,9 +514,14 @@ fn run(options: &Options) -> Result<(), CliError> {
         Some(backend) => {
             let registry = full_registry();
             tydi_fletcher::register_fletcher_rtl(&registry);
-            let generated =
-                generate_project_for(&output.project, &registry, &VhdlOptions::default(), backend)
-                    .map_err(|e| CliError::failure(format!("{backend} generation failed: {e}")))?;
+            let generated = generate_project_for_with(
+                &output.project,
+                &output.index,
+                &registry,
+                &VhdlOptions::default(),
+                backend,
+            )
+            .map_err(|e| CliError::failure(format!("{backend} generation failed: {e}")))?;
             match &options.out_dir {
                 Some(dir) => {
                     fs::create_dir_all(dir).map_err(|e| {

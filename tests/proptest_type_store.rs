@@ -84,20 +84,20 @@ fn arb_params() -> impl Strategy<Value = StreamParams> {
 proptest! {
     #[test]
     fn id_equality_is_structural_equality(a in arb_type(), b in arb_type()) {
-        let mut store = TypeStore::new();
+        let store = TypeStore::new();
         let ia = store.intern(&a).expect("valid by construction");
         let ib = store.intern(&b).expect("valid by construction");
         prop_assert_eq!(ia == ib, a == b);
         // Re-interning is idempotent and shares the canonical Arc.
         let ia2 = store.intern(&a).expect("valid");
         prop_assert_eq!(ia, ia2);
-        prop_assert!(Arc::ptr_eq(store.ty(ia), store.ty(ia2)));
-        prop_assert_eq!(&**store.ty(ia), &a);
+        prop_assert!(Arc::ptr_eq(&store.ty(ia), &store.ty(ia2)));
+        prop_assert_eq!(&*store.ty(ia), &a);
     }
 
     #[test]
     fn cached_properties_match_deep_representation(ty in arb_type()) {
-        let mut store = TypeStore::new();
+        let store = TypeStore::new();
         let id = store.intern(&ty).expect("valid by construction");
         prop_assert_eq!(store.bit_width(id), ty.bit_width());
         prop_assert_eq!(store.node_count(id), ty.node_count());
@@ -107,7 +107,7 @@ proptest! {
 
     #[test]
     fn expansion_matches_physical_lowering(ty in arb_type()) {
-        let mut store = TypeStore::new();
+        let store = TypeStore::new();
         let id = store.intern(&ty).expect("valid by construction");
         match (store.expansion(id), lower(&ty)) {
             (Ok(cached), Ok(deep)) => prop_assert_eq!(&*cached, &deep),
@@ -124,7 +124,7 @@ proptest! {
 
     #[test]
     fn fingerprints_mirror_equality(a in arb_type(), b in arb_type()) {
-        let mut store = TypeStore::new();
+        let store = TypeStore::new();
         let ia = store.intern(&a).expect("valid");
         let ib = store.intern(&b).expect("valid");
         prop_assert_eq!(store.fingerprint(ia), structural_fingerprint(&a));
@@ -133,15 +133,13 @@ proptest! {
 
     #[test]
     fn mangled_names_are_stable_and_collision_free(a in arb_type(), b in arb_type()) {
-        let mut store = TypeStore::new();
+        let store = TypeStore::new();
         let ia = store.intern(&a).expect("valid");
         let ib = store.intern(&b).expect("valid");
         // Byte-identical to the historic display-minus-spaces mangling
         // (template instance names in generated VHDL depend on this).
-        prop_assert_eq!(
-            store.mangled(ia).as_ref(),
-            a.to_string().replace(' ', "")
-        );
+        let mangled = store.mangled(ia);
+        prop_assert_eq!(mangled.as_ref(), a.to_string().replace(' ', ""));
         // Distinct types never share a mangled name: that would merge
         // distinct template instances.
         if a != b {

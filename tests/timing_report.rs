@@ -110,6 +110,48 @@ fn report_separates_self_times_from_the_wall_total() {
 }
 
 #[test]
+fn report_includes_parallel_elaboration_line() {
+    let dir = workdir();
+    let stderr = check_with_timings(&dir, &["--no-cache"]);
+    // The `par:` line reports how elaboration fanned out: worker
+    // threads, package counts per import-DAG level, and type-store
+    // shard contention.
+    let par = stage_line(&stderr, "par: ");
+    assert!(
+        par.contains("thread(s)")
+            && par.contains("packages per level [")
+            && par.contains("shard contention event(s)"),
+        "parallelism line shape: {par}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn parallel_line_pins_the_thread_override() {
+    let dir = workdir();
+    let design = dir.join("t.td");
+    std::fs::write(&design, DESIGN).expect("write design");
+    let out = tydic()
+        .arg("check")
+        .arg(&design)
+        .arg("--timings")
+        .arg("--no-cache")
+        .arg("--cache-dir")
+        .arg(dir.join("cache"))
+        .env("TYDI_THREADS", "1")
+        .output()
+        .expect("run tydic");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    let par = stage_line(&stderr, "par: ");
+    assert!(
+        par.starts_with("par: 1 thread(s)"),
+        "TYDI_THREADS=1 must pin the reported worker count: {par}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn warm_cache_run_reports_stage_reuse() {
     let dir = workdir();
     let cold = check_with_timings(&dir, &[]);
