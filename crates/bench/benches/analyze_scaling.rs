@@ -1,0 +1,134 @@
+//! Static analysis versus simulation: what a throughput question
+//! costs when asked of `tydi-analyze` instead of `tydi-sim`.
+//!
+//! The fixture is the paper's parallelize design (section IV-B) swept
+//! over channel counts: the flattened graph grows linearly with the
+//! channel count while a simulation campaign additionally pays per
+//! packet per cycle. The analyzer answers the same question — the
+//! sustained elements-per-cycle of the output — from one fixpoint
+//! over the flattened graph.
+//!
+//! The bench **asserts** (so bench-smoke CI fails on regression):
+//!
+//! * the static bound dominates the simulator's measured throughput
+//!   at every size (soundness of the differential contract);
+//! * at every size the analysis is >= 10x faster than the simulation
+//!   campaign `tydic sim` runs by default (a 4-scenario batch with
+//!   backpressure schedules over 128 packets) — the analyzer's reason
+//!   to exist: the answer must come qualitatively cheaper than the
+//!   experiment.
+//!
+//! Results are written to `BENCH_analyze.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use tydi_analyze::{analyze, AnalyzeOptions};
+use tydi_bench::{
+    compile_parallelize, parallelize_batch_scenarios, run_parallelize_batch, simulate_parallelize,
+    BenchReport,
+};
+use tydi_sim::BehaviorRegistry;
+
+const DELAY: u64 = 8;
+const PACKETS: u64 = 128;
+const CHANNELS: &[usize] = &[1, 4, 8, 16];
+/// Required advantage of the fixpoint over one simulation run.
+const MIN_SPEEDUP: f64 = 10.0;
+
+fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut value = f();
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        value = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, value)
+}
+
+fn print_comparison(report: &mut BenchReport) {
+    println!("\n===== analyze vs simulate (parallelize, delay = {DELAY}) =====");
+    println!(
+        "{:>8} {:>12} {:>12} {:>9} {:>11} {:>11}",
+        "channel", "analyze", "simulate", "speedup", "predicted", "measured"
+    );
+    for &channel in CHANNELS {
+        let compiled = compile_parallelize(channel, DELAY);
+        let (analyze_s, bounds) = best_of(10, || {
+            analyze(
+                &compiled.project,
+                &compiled.index,
+                "top_i",
+                &AnalyzeOptions::default(),
+            )
+            .expect("analyze parallelize")
+        });
+        let predicted = bounds.output("o").expect("bound for o").elements_per_cycle;
+        // The simulation leg is what `tydic sim` actually runs: the
+        // default 4-scenario batch (distinct feeds + backpressure
+        // schedules) over the same flattened design.
+        let registry = BehaviorRegistry::with_std();
+        let scenarios = parallelize_batch_scenarios(PACKETS, 4);
+        let (sim_s, _) = best_of(3, || {
+            run_parallelize_batch(&compiled.project, &registry, &scenarios)
+        });
+        // Measured throughput comes from the free-running scenario
+        // (no backpressure), the one the bound is a promise about.
+        let (cycles, delivered) = simulate_parallelize(channel, DELAY, PACKETS);
+        let measured = delivered as f64 / cycles.max(1) as f64;
+        let speedup = sim_s / analyze_s;
+        println!(
+            "{channel:>8} {:>10.3}ms {:>10.3}ms {speedup:>8.1}x {predicted:>11.4} {measured:>11.4}",
+            analyze_s * 1e3,
+            sim_s * 1e3,
+        );
+        assert!(
+            measured <= predicted + 0.02,
+            "channel {channel}: measured {measured:.4} elements/cycle exceeds \
+             the static bound {predicted:.4} — the analyzer went unsound"
+        );
+        assert!(
+            speedup >= MIN_SPEEDUP,
+            "channel {channel}: analyze is only {speedup:.1}x faster than one \
+             simulation run (required {MIN_SPEEDUP}x)"
+        );
+        report.add_metric(format!("analyze_ms_{channel}ch"), analyze_s * 1e3);
+        report.add_metric(format!("sim_ms_{channel}ch"), sim_s * 1e3);
+        report.add_metric(format!("analyze_speedup_{channel}ch"), speedup);
+        report.add_metric(format!("predicted_epc_{channel}ch"), predicted);
+        report.add_metric(format!("measured_epc_{channel}ch"), measured);
+    }
+    println!("==============================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut report = BenchReport::new("analyze").text("units", "ms");
+    print_comparison(&mut report);
+    report.write().expect("write BENCH_analyze.json");
+
+    // Criterion timings over prebuilt projects, isolating the
+    // fixpoint from parsing/elaboration.
+    let mut group = c.benchmark_group("analyze");
+    group.sample_size(10);
+    for &channel in &[4usize, 16] {
+        let compiled = compile_parallelize(channel, DELAY);
+        group.bench_function(format!("analyze/{channel}ch"), |b| {
+            b.iter(|| {
+                black_box(
+                    analyze(
+                        &compiled.project,
+                        &compiled.index,
+                        "top_i",
+                        &AnalyzeOptions::default(),
+                    )
+                    .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

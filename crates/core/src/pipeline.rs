@@ -64,6 +64,10 @@ pub struct StageTimings {
     pub sugar: Duration,
     /// Design-rule check.
     pub drc: Duration,
+    /// Static throughput/backpressure analysis (zero unless a tool ran
+    /// the `tydi-analyze` pass and recorded it via
+    /// [`CompileOutput::record_stage`]).
+    pub analyze: Duration,
     /// Wall-clock window from the start of the first stage to the end
     /// of the last one (zero when no stage ran).
     pub wall: Duration,
@@ -73,7 +77,7 @@ impl StageTimings {
     /// Sum of the per-stage self times. This is *not* elapsed time;
     /// use [`StageTimings::wall`] for that.
     pub fn total(&self) -> Duration {
-        self.parse + self.elaborate + self.sugar + self.drc
+        self.parse + self.elaborate + self.sugar + self.drc + self.analyze
     }
 }
 
@@ -100,6 +104,33 @@ pub struct CompileOutput {
     /// Per-stage execution records, in order, including how much work
     /// each stage reused from the artifact cache.
     pub stage_records: Vec<crate::session::StageRecord>,
+}
+
+impl CompileOutput {
+    /// Records a stage a tool ran on top of this finished compile
+    /// (e.g. the `tydi-analyze` pass behind `tydic analyze`), folding
+    /// its self time into [`CompileOutput::timings`] and appending a
+    /// [`StageRecord`](crate::session::StageRecord) so `--timings`
+    /// reports it uniformly with the compiler's own stages. The
+    /// wall-clock window is extended by the stage's duration: the
+    /// stage ran strictly after the compile window closed.
+    pub fn record_stage(&mut self, stage: Stage, duration: Duration, diagnostics: usize) {
+        match stage {
+            Stage::Parse => self.timings.parse += duration,
+            Stage::Elaborate => self.timings.elaborate += duration,
+            Stage::Sugar => self.timings.sugar += duration,
+            Stage::Drc => self.timings.drc += duration,
+            Stage::Analyze => self.timings.analyze += duration,
+        }
+        self.timings.wall += duration;
+        self.stage_records.push(crate::session::StageRecord {
+            stage,
+            duration,
+            diagnostics,
+            reused: 0,
+            recomputed: 1,
+        });
+    }
 }
 
 /// A failed compilation, carrying everything needed to render the
@@ -306,6 +337,21 @@ impl x of s { i => o, }
 "#;
         let out = compile(&[("t.td", relaxed)], &CompileOptions::default()).unwrap();
         assert!(out.project.implementation("x").is_some());
+    }
+
+    #[test]
+    fn record_stage_folds_analyze_into_timings() {
+        let mut out = compile(&[("wire.td", WIRE)], &CompileOptions::default()).unwrap();
+        let wall_before = out.timings.wall;
+        let total_before = out.timings.total();
+        out.record_stage(Stage::Analyze, Duration::from_millis(3), 2);
+        assert_eq!(out.timings.analyze, Duration::from_millis(3));
+        assert_eq!(out.timings.wall, wall_before + Duration::from_millis(3));
+        assert_eq!(out.timings.total(), total_before + Duration::from_millis(3));
+        let record = out.stage_records.last().unwrap();
+        assert_eq!(record.stage, Stage::Analyze);
+        assert_eq!(record.diagnostics, 2);
+        assert_eq!(Stage::Analyze.name(), "analyze");
     }
 
     #[test]

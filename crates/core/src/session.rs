@@ -50,6 +50,10 @@ pub enum Stage {
     Sugar,
     /// Design-rule checks (per implementation, parallel).
     Drc,
+    /// Static throughput/backpressure analysis (`tydic analyze`),
+    /// recorded by tools running the `tydi-analyze` pass on top of a
+    /// finished compile.
+    Analyze,
 }
 
 impl Stage {
@@ -60,6 +64,7 @@ impl Stage {
             Stage::Elaborate => "elaborate",
             Stage::Sugar => "sugar",
             Stage::Drc => "drc",
+            Stage::Analyze => "analyze",
         }
     }
 }
@@ -163,6 +168,7 @@ impl Session {
                 Stage::Elaborate => t.elaborate += record.duration,
                 Stage::Sugar => t.sugar += record.duration,
                 Stage::Drc => t.drc += record.duration,
+                Stage::Analyze => t.analyze += record.duration,
             }
         }
         t.wall = match (self.first_stage_start, self.last_stage_end) {

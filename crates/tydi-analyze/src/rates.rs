@@ -1,0 +1,344 @@
+//! Fixpoint propagation of throughput upper bounds and
+//! earliest-arrival latency lower bounds over a [`FlowGraph`].
+//!
+//! **Rates.** Every channel starts at the physical ceiling of 1.0
+//! transfers per cycle (a bounded FIFO moves at most one packet from
+//! staged to visible per commit, and a probe pops at most one packet
+//! per cycle). Each component then imposes its service constraints on
+//! its output channels, and iteration runs the constraints to a
+//! fixpoint. All constraint functions are monotone non-decreasing in
+//! the input rates and every update is a `min` against the current
+//! value, so the iteration descends from the top of the lattice: every
+//! intermediate state — including the state at the iteration cap —
+//! over-approximates the true sustained rate. The final bound on a
+//! boundary output channel is therefore a sound *upper* bound on what
+//! the simulator can measure, and the minimum taken along each path is
+//! the min-cut of the design seen as a flow network with unit channel
+//! capacities scaled by component service rates.
+//!
+//! **Latencies.** A Bellman-Ford-style relaxation computes, per
+//! channel, a lower bound on the cycle at which the first packet can
+//! appear: boundary inputs at cycle 0, each component adding its
+//! minimum internal latency, joins waiting for their *latest* input
+//! and merges for their *earliest*. The skew between a join's inputs
+//! feeds the credit-starvation hazard, and the boundary-output
+//! latencies are reported as pipeline-depth lower bounds.
+
+use crate::flow::{FlowGraph, RateClass};
+
+/// The converged (or capped) solution of the propagation.
+#[derive(Debug, Clone)]
+pub struct RateSolution {
+    /// Per-channel sustained-throughput upper bound in transfers per
+    /// cycle, indexed like `FlowGraph::channels`.
+    pub channel_rate: Vec<f64>,
+    /// Per-channel earliest-arrival lower bound in cycles; `None` for
+    /// channels no packet can ever reach.
+    pub channel_latency: Vec<Option<u64>>,
+    /// Whether the rate iteration reached a fixpoint before the
+    /// iteration cap (the result is sound either way).
+    pub converged: bool,
+}
+
+/// Floating-point slack for rate comparisons.
+pub const EPSILON: f64 = 1e-9;
+
+/// Runs both propagations.
+pub fn solve(graph: &FlowGraph) -> RateSolution {
+    let (channel_rate, converged) = propagate_rates(graph);
+    let channel_latency = relax_latencies(graph);
+    RateSolution {
+        channel_rate,
+        channel_latency,
+        converged,
+    }
+}
+
+/// The rate bound a component imposes on each of its output channels,
+/// given the current input-channel rates.
+pub fn output_bound(graph: &FlowGraph, component: usize, rates: &[f64]) -> f64 {
+    let comp = &graph.components[component];
+    let in_rates: Vec<f64> = comp.inputs.iter().map(|&(_, ch)| rates[ch]).collect();
+    let service = comp.model.service;
+    if !comp.model.input_driven || in_rates.is_empty() {
+        return service.min(1.0);
+    }
+    let bound = match comp.model.class {
+        // Every output transfer is carried by one transfer on every
+        // input: the slowest input gates the output.
+        RateClass::Elementwise
+        | RateClass::Join
+        | RateClass::Fanout
+        | RateClass::Filter
+        | RateClass::Reduce => in_rates.iter().cloned().fold(f64::INFINITY, f64::min),
+        // A merge forwards one input per firing, so its output can at
+        // most carry the combined arrivals.
+        RateClass::Merge => in_rates.iter().sum(),
+        // Interpreted blocks whose sending handlers all wait on an
+        // input fire at most once per arriving packet (across all
+        // inputs); unknown builtins get the same conservative model.
+        RateClass::Interpreted | RateClass::Opaque => in_rates.iter().sum(),
+        RateClass::Source | RateClass::Sink => f64::INFINITY,
+    };
+    bound.min(service).min(1.0)
+}
+
+fn propagate_rates(graph: &FlowGraph) -> (Vec<f64>, bool) {
+    let mut rates = vec![1.0f64; graph.channels.len()];
+    // Monotone descent: a generous cap bounds pathological cyclic
+    // cases; any intermediate state is already a sound upper bound.
+    let cap = 4 * (graph.components.len() + graph.channels.len()) + 16;
+    let mut converged = false;
+    for _ in 0..cap {
+        let mut changed = false;
+        // Channels driven by no component at all (unconnected
+        // boundary outputs) can never carry a packet.
+        for (index, channel) in graph.channels.iter().enumerate() {
+            if channel.sources.is_empty() && !is_boundary_input(graph, index) && rates[index] > 0.0
+            {
+                rates[index] = 0.0;
+                changed = true;
+            }
+        }
+        for component in 0..graph.components.len() {
+            let bound = output_bound(graph, component, &rates);
+            for &(_, out_ch) in &graph.components[component].outputs {
+                // A channel with several writers moves at most the sum
+                // of their bounds; with one writer (the common case)
+                // this is just the writer's bound.
+                let writers = &graph.channels[out_ch].sources;
+                let total: f64 = if writers.len() <= 1 {
+                    bound
+                } else {
+                    writers
+                        .iter()
+                        .map(|&w| output_bound(graph, w, &rates))
+                        .sum()
+                };
+                let next = rates[out_ch].min(total.min(1.0));
+                if next < rates[out_ch] - EPSILON {
+                    rates[out_ch] = next;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+    (rates, converged)
+}
+
+fn is_boundary_input(graph: &FlowGraph, channel: usize) -> bool {
+    graph.boundary_inputs.iter().any(|&(_, ch)| ch == channel)
+}
+
+fn relax_latencies(graph: &FlowGraph) -> Vec<Option<u64>> {
+    let mut latency: Vec<Option<u64>> = vec![None; graph.channels.len()];
+    for &(_, ch) in &graph.boundary_inputs {
+        latency[ch] = Some(0);
+    }
+    // Values only decrease and are bounded below by zero, so the
+    // relaxation terminates; the cap guards cyclic corner cases.
+    let cap = 4 * (graph.components.len() + 2);
+    for _ in 0..cap {
+        let mut changed = false;
+        for comp in &graph.components {
+            let in_lats: Vec<Option<u64>> =
+                comp.inputs.iter().map(|&(_, ch)| latency[ch]).collect();
+            let arrival = component_arrival(comp.model.class, &in_lats, comp.model.input_driven);
+            let Some(arrival) = arrival else { continue };
+            let out_lat = arrival + comp.model.min_latency;
+            for &(_, out_ch) in &comp.outputs {
+                if latency[out_ch].is_none_or(|cur| out_lat < cur) {
+                    latency[out_ch] = Some(out_lat);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    latency
+}
+
+/// The earliest cycle a component can *start* producing, given the
+/// earliest arrivals on its input channels.
+fn component_arrival(class: RateClass, in_lats: &[Option<u64>], input_driven: bool) -> Option<u64> {
+    if !input_driven || in_lats.is_empty() {
+        // Sources (and input-independent interpreted blocks) can fire
+        // immediately.
+        return Some(0);
+    }
+    match class {
+        // A join fires only once every input has arrived.
+        RateClass::Elementwise
+        | RateClass::Join
+        | RateClass::Fanout
+        | RateClass::Filter
+        | RateClass::Reduce => in_lats
+            .iter()
+            .copied()
+            .collect::<Option<Vec<u64>>>()?
+            .into_iter()
+            .max(),
+        // A merge (or an unknown) fires as soon as *any* input
+        // arrives — the sound lower bound.
+        RateClass::Merge | RateClass::Interpreted | RateClass::Opaque => {
+            in_lats.iter().flatten().copied().min()
+        }
+        RateClass::Source | RateClass::Sink => Some(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TestGraph;
+
+    #[test]
+    fn chain_takes_slowest_stage() {
+        // in -> fast(1.0) -> slow(0.25) -> out : output bounded by the
+        // slow stage, the min-cut.
+        let g = TestGraph::new(
+            &[("boundary.i", 2), ("top.m", 2), ("boundary.o", 2)],
+            &[("i", 0)],
+            &[("o", 2)],
+        )
+        .comp(
+            "top.fast",
+            RateClass::Elementwise,
+            1.0,
+            1,
+            &[("i", 0)],
+            &[("o", 1)],
+        )
+        .comp(
+            "top.slow",
+            RateClass::Elementwise,
+            0.25,
+            4,
+            &[("i", 1)],
+            &[("o", 2)],
+        )
+        .build();
+        let s = solve(&g);
+        assert!(s.converged);
+        assert!((s.channel_rate[2] - 0.25).abs() < EPSILON);
+        assert!((s.channel_rate[1] - 1.0).abs() < EPSILON);
+        assert_eq!(s.channel_latency[2], Some(5));
+    }
+
+    #[test]
+    fn join_is_gated_by_slowest_input_and_latest_arrival() {
+        // Two inputs, one behind a delay-3 stage, meeting in a join.
+        let g = TestGraph::new(
+            &[
+                ("boundary.a", 2),
+                ("boundary.b", 2),
+                ("top.d", 2),
+                ("boundary.o", 2),
+            ],
+            &[("a", 0), ("b", 1)],
+            &[("o", 3)],
+        )
+        .comp(
+            "top.slow",
+            RateClass::Elementwise,
+            0.5,
+            3,
+            &[("i", 1)],
+            &[("o", 2)],
+        )
+        .comp(
+            "top.join",
+            RateClass::Join,
+            1.0,
+            1,
+            &[("a", 0), ("b", 2)],
+            &[("o", 3)],
+        )
+        .build();
+        let s = solve(&g);
+        assert!((s.channel_rate[3] - 0.5).abs() < EPSILON);
+        // Join waits for the delayed arm: 0+3 then +1.
+        assert_eq!(s.channel_latency[3], Some(4));
+        assert_eq!(s.channel_latency[2], Some(3));
+    }
+
+    #[test]
+    fn merge_sums_inputs_capped_at_service() {
+        let g = TestGraph::new(
+            &[("boundary.a", 2), ("boundary.b", 2), ("boundary.o", 2)],
+            &[("a", 0), ("b", 1)],
+            &[("o", 2)],
+        )
+        .comp(
+            "top.mux",
+            RateClass::Merge,
+            1.0,
+            1,
+            &[("a", 0), ("b", 1)],
+            &[("o", 2)],
+        )
+        .build();
+        let s = solve(&g);
+        // 1.0 + 1.0 capped at the physical 1.0.
+        assert!((s.channel_rate[2] - 1.0).abs() < EPSILON);
+        // First packet through the earliest arm.
+        assert_eq!(s.channel_latency[2], Some(1));
+    }
+
+    #[test]
+    fn source_rate_ignores_missing_inputs() {
+        let g = TestGraph::new(&[("boundary.o", 2)], &[], &[("o", 0)])
+            .comp("top.konst", RateClass::Source, 1.0, 1, &[], &[("o", 0)])
+            .build();
+        let s = solve(&g);
+        assert!((s.channel_rate[0] - 1.0).abs() < EPSILON);
+        assert_eq!(s.channel_latency[0], Some(1));
+    }
+
+    #[test]
+    fn undriven_channel_rate_is_zero() {
+        let g = TestGraph::new(&[("boundary.o", 2)], &[], &[("o", 0)]).build();
+        let s = solve(&g);
+        assert_eq!(s.channel_rate[0], 0.0);
+        assert_eq!(s.channel_latency[0], None);
+    }
+
+    #[test]
+    fn cyclic_graph_terminates() {
+        // a feedback loop: join's output feeds one of its own inputs
+        // through a passthrough.
+        let g = TestGraph::new(
+            &[("boundary.i", 2), ("top.fb", 2), ("boundary.o", 2)],
+            &[("i", 0)],
+            &[("o", 2)],
+        )
+        .comp(
+            "top.join",
+            RateClass::Join,
+            1.0,
+            1,
+            &[("a", 0), ("b", 1)],
+            &[("o", 2)],
+        )
+        .comp(
+            "top.loop",
+            RateClass::Elementwise,
+            1.0,
+            1,
+            &[("i", 2)],
+            &[("o", 1)],
+        )
+        .build();
+        let s = solve(&g);
+        // The feedback arm never sees a first packet, so the join can
+        // never fire: the cycle is statically starved.
+        assert_eq!(s.channel_latency[2], None);
+        assert!(s.channel_rate[2] <= 1.0);
+    }
+}

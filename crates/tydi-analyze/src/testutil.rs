@@ -1,0 +1,80 @@
+//! Shared test helper: hand-building pathological flow graphs.
+
+use crate::flow::{FlowChannel, FlowComponent, FlowGraph, RateClass, ServiceModel};
+
+/// Fluent builder for a [`FlowGraph`] out of explicit channels and
+/// components, for hazard tests on shapes the frontend would never
+/// produce.
+pub(crate) struct TestGraph {
+    graph: FlowGraph,
+}
+
+impl TestGraph {
+    pub(crate) fn new(
+        channels: &[(&str, usize)],
+        boundary_inputs: &[(&str, usize)],
+        boundary_outputs: &[(&str, usize)],
+    ) -> Self {
+        TestGraph {
+            graph: FlowGraph {
+                top: "top_i".into(),
+                components: Vec::new(),
+                channels: channels
+                    .iter()
+                    .map(|&(name, capacity)| FlowChannel {
+                        name: name.into(),
+                        capacity,
+                        sources: Vec::new(),
+                        sinks: Vec::new(),
+                    })
+                    .collect(),
+                boundary_inputs: boundary_inputs
+                    .iter()
+                    .map(|&(p, c)| (p.to_string(), c))
+                    .collect(),
+                boundary_outputs: boundary_outputs
+                    .iter()
+                    .map(|&(p, c)| (p.to_string(), c))
+                    .collect(),
+            },
+        }
+    }
+
+    /// Adds a component with the given service model.
+    pub(crate) fn comp(
+        mut self,
+        path: &str,
+        class: RateClass,
+        service: f64,
+        min_latency: u64,
+        inputs: &[(&str, usize)],
+        outputs: &[(&str, usize)],
+    ) -> Self {
+        let index = self.graph.components.len();
+        for &(_, ch) in inputs {
+            self.graph.channels[ch].sinks.push(index);
+        }
+        for &(_, ch) in outputs {
+            self.graph.channels[ch].sources.push(index);
+        }
+        self.graph.components.push(FlowComponent {
+            path: path.into(),
+            impl_name: format!("{path}_i"),
+            inputs: inputs.iter().map(|&(p, c)| (p.to_string(), c)).collect(),
+            outputs: outputs.iter().map(|&(p, c)| (p.to_string(), c)).collect(),
+            synthetic: false,
+            model: ServiceModel {
+                class,
+                service,
+                min_latency,
+                exact: true,
+                input_driven: class != RateClass::Source,
+            },
+        });
+        self
+    }
+
+    pub(crate) fn build(self) -> FlowGraph {
+        self.graph
+    }
+}

@@ -170,6 +170,38 @@ impl Project {
         }
     }
 
+    /// Names of the implementations no other implementation
+    /// instantiates — the design's top-level candidates, sorted by
+    /// name. Tools like `tydic analyze` default to these when the user
+    /// gives no `--top`. Normal (structural) implementations are
+    /// preferred; external leaves are listed only when nothing
+    /// instantiates them *and* no structural top exists at all (a
+    /// leaf-only project).
+    pub fn top_level_candidates(&self) -> Vec<&str> {
+        let mut instantiated: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for implementation in &self.impls {
+            for instance in implementation.instances() {
+                instantiated.insert(instance.impl_name.as_str());
+            }
+        }
+        let uninstantiated = |external: bool| -> Vec<&str> {
+            let mut tops: Vec<&str> = self
+                .impls
+                .iter()
+                .filter(|i| i.is_external() == external && !instantiated.contains(i.name.as_str()))
+                .map(|i| i.name.as_str())
+                .collect();
+            tops.sort_unstable();
+            tops
+        };
+        let structural = uninstantiated(false);
+        if structural.is_empty() {
+            uninstantiated(true)
+        } else {
+            structural
+        }
+    }
+
     /// Project statistics for reports and compiler output.
     pub fn stats(&self) -> ProjectStats {
         let mut stats = ProjectStats {
@@ -335,5 +367,35 @@ mod tests {
         assert_eq!(s.ports, 2);
         assert_eq!(s.instances, 1);
         assert_eq!(s.connections, 2);
+    }
+
+    #[test]
+    fn top_level_candidates_prefer_uninstantiated_structural_impls() {
+        let mut p = Project::new("demo");
+        p.add_streamlet(Streamlet::new("s")).unwrap();
+        p.add_implementation(Implementation::external("leaf_i", "s"))
+            .unwrap();
+        // An uninstantiated external leaf does not outrank a
+        // structural top.
+        p.add_implementation(Implementation::external("orphan_leaf_i", "s"))
+            .unwrap();
+        let mut mid = Implementation::normal("mid_i", "s");
+        mid.add_instance(Instance::new("l", "leaf_i"));
+        p.add_implementation(mid).unwrap();
+        let mut top = Implementation::normal("top_i", "s");
+        top.add_instance(Instance::new("m", "mid_i"));
+        p.add_implementation(top).unwrap();
+        assert_eq!(p.top_level_candidates(), vec!["top_i"]);
+
+        // Leaf-only projects fall back to uninstantiated externals.
+        let mut leaves = Project::new("leaves");
+        leaves.add_streamlet(Streamlet::new("s")).unwrap();
+        leaves
+            .add_implementation(Implementation::external("b_i", "s"))
+            .unwrap();
+        leaves
+            .add_implementation(Implementation::external("a_i", "s"))
+            .unwrap();
+        assert_eq!(leaves.top_level_candidates(), vec!["a_i", "b_i"]);
     }
 }

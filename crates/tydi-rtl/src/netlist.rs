@@ -184,6 +184,42 @@ impl Netlist {
         self.modules.iter().find(|m| m.name == name)
     }
 
+    /// The child instances of a module's structural body (empty for
+    /// behavioral/black-box modules and unknown names).
+    pub fn instances_of(&self, name: &str) -> &[Instance] {
+        match self.module(name).map(|m| &m.body) {
+            Some(ModuleBody::Structural { instances, .. }) => instances,
+            _ => &[],
+        }
+    }
+
+    /// Every module reachable from `root` through instantiations,
+    /// `root` first, in deterministic DFS preorder with duplicates
+    /// removed. Analysis passes use this to scope a report to the
+    /// modules one top level actually emits, and to map hierarchical
+    /// component paths onto emitted module names.
+    pub fn reachable_from(&self, root: &str) -> Vec<&str> {
+        let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        let mut order: Vec<&str> = Vec::new();
+        let mut stack: Vec<&str> = Vec::new();
+        if let Some(module) = self.module(root) {
+            seen.insert(module.name.as_str());
+            stack.push(module.name.as_str());
+        }
+        while let Some(name) = stack.pop() {
+            order.push(name);
+            // Children push in reverse so preorder follows declaration
+            // order of the instances.
+            for instance in self.instances_of(name).iter().rev() {
+                if self.module(&instance.module).is_some() && seen.insert(instance.module.as_str())
+                {
+                    stack.push(instance.module.as_str());
+                }
+            }
+        }
+        order
+    }
+
     /// Total number of net declarations across all structural bodies
     /// (a size proxy used by benchmarks).
     pub fn net_count(&self) -> usize {
@@ -248,5 +284,42 @@ mod tests {
     #[test]
     fn net_count_skips_comments() {
         assert_eq!(sample().net_count(), 1);
+    }
+
+    fn structural(name: &str, children: &[&str]) -> Module {
+        Module {
+            name: name.into(),
+            header: vec![],
+            ports: vec![],
+            body: ModuleBody::Structural {
+                nets: vec![],
+                assigns: vec![],
+                instances: children
+                    .iter()
+                    .enumerate()
+                    .map(|(k, child)| Instance {
+                        label: format!("u{k}"),
+                        module: (*child).into(),
+                        port_map: vec![],
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    #[test]
+    fn reachable_from_walks_instances_in_preorder() {
+        let mut n = Netlist::new("p");
+        // top -> {mid, leaf}, mid -> {leaf, leaf} (shared child), plus
+        // an unrelated module that must not appear.
+        n.modules.push(structural("leaf", &[]));
+        n.modules.push(structural("mid", &["leaf", "leaf"]));
+        n.modules.push(structural("top", &["mid", "leaf"]));
+        n.modules.push(structural("unrelated", &["leaf"]));
+        assert_eq!(n.reachable_from("top"), vec!["top", "mid", "leaf"]);
+        assert_eq!(n.reachable_from("leaf"), vec!["leaf"]);
+        assert!(n.reachable_from("ghost").is_empty());
+        assert_eq!(n.instances_of("mid").len(), 2);
+        assert!(n.instances_of("leaf").is_empty());
     }
 }

@@ -15,7 +15,7 @@ use crate::behavior::BehaviorRegistry;
 use crate::channel::Packet;
 use crate::engine::{RunResult, SchedulerKind, SimError, Simulator, StopReason};
 use crate::graph::{flatten, SimGraph};
-use crate::report::{BottleneckReport, PortBlockage};
+use crate::report::{BottleneckReport, ChannelStats, PortBlockage};
 use std::collections::HashMap;
 use std::fmt;
 use tydi_ir::Project;
@@ -92,6 +92,8 @@ pub struct ScenarioReport {
     pub outputs: Vec<(String, Vec<(u64, Packet)>)>,
     /// The scenario's bottleneck report.
     pub bottlenecks: BottleneckReport,
+    /// Per-channel occupancy/credit statistics, sorted by name.
+    pub channels: Vec<ChannelStats>,
 }
 
 impl ScenarioReport {
@@ -192,8 +194,16 @@ impl fmt::Display for BatchReport {
                 StopReason::Completed => "completed".to_string(),
                 StopReason::IdleTimeout => "idle timeout".to_string(),
                 StopReason::CycleLimit => "cycle limit".to_string(),
-                StopReason::Deadlocked { blocked_ports } => {
-                    format!("DEADLOCKED ({})", blocked_ports.join(", "))
+                StopReason::Deadlocked {
+                    blocked_ports,
+                    blocked_channels,
+                } => {
+                    let at = if blocked_ports.is_empty() {
+                        blocked_channels.join(", ")
+                    } else {
+                        blocked_ports.join(", ")
+                    };
+                    format!("DEADLOCKED ({at})")
                 }
             };
             writeln!(
@@ -316,6 +326,7 @@ impl<'a> SimBatch<'a> {
             result,
             outputs,
             bottlenecks: sim.bottlenecks(),
+            channels: sim.channel_stats(),
         })
     }
 }
@@ -423,6 +434,16 @@ impl top_i of top_s {
         // The merged blockage table names the congested output.
         let worst = report.worst_blockages();
         assert!(worst.iter().any(|b| b.port == "o"));
+        // Channel ground truth per scenario: the stuck run saturated a
+        // channel and recorded producer-side credit stalls, the clean
+        // run did not.
+        let stuck = &report.scenarios[1];
+        assert!(stuck
+            .channels
+            .iter()
+            .any(|c| c.saturated() && c.refused_pushes > 0));
+        let clean = &report.scenarios[0];
+        assert!(clean.channels.iter().all(|c| c.occupancy == 0));
     }
 
     #[test]

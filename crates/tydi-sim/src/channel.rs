@@ -67,6 +67,11 @@ pub struct Channel {
     /// [`take_popped`](Channel::take_popped); the scheduler uses it to
     /// wake producers when credit frees up.
     popped: bool,
+    /// High-water mark of committed + staged occupancy.
+    max_occupancy: usize,
+    /// Pushes rejected because the FIFO was full: credit stalls seen
+    /// by the producer.
+    refused: u64,
 }
 
 impl Channel {
@@ -79,7 +84,25 @@ impl Channel {
             capacity: capacity.max(1),
             transferred: 0,
             popped: false,
+            max_occupancy: 0,
+            refused: 0,
         }
+    }
+
+    /// The FIFO capacity (credit depth) of this channel.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// High-water mark of packets held (committed + staged).
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+
+    /// Number of pushes refused because the FIFO was full — the
+    /// producer-observed credit-stall count.
+    pub fn refused_pushes(&self) -> u64 {
+        self.refused
     }
 
     /// True when a push would be accepted this cycle.
@@ -91,8 +114,11 @@ impl Channel {
     pub fn push(&mut self, packet: Packet) -> bool {
         if self.can_push() {
             self.staged.push(packet);
+            let held = self.queue.len() + self.staged.len();
+            self.max_occupancy = self.max_occupancy.max(held);
             true
         } else {
+            self.refused += 1;
             false
         }
     }
@@ -197,5 +223,25 @@ mod tests {
     fn minimum_capacity_is_one() {
         let c = Channel::new("x", 0);
         assert!(c.can_push());
+        assert_eq!(c.capacity(), 1);
+    }
+
+    #[test]
+    fn occupancy_and_refusal_counters() {
+        let mut c = Channel::new("x", 2);
+        assert_eq!(c.max_occupancy(), 0);
+        assert!(c.push(Packet::data(1)));
+        assert_eq!(c.max_occupancy(), 1);
+        assert!(c.push(Packet::data(2)));
+        assert_eq!(c.max_occupancy(), 2);
+        assert!(!c.push(Packet::data(3)));
+        assert!(!c.push(Packet::data(4)));
+        assert_eq!(c.refused_pushes(), 2);
+        c.commit();
+        c.pop();
+        assert!(c.push(Packet::data(5)));
+        // The high-water mark does not decay after drains.
+        assert_eq!(c.max_occupancy(), 2);
+        assert_eq!(c.refused_pushes(), 2);
     }
 }

@@ -15,7 +15,7 @@ use crate::behavior::{Behavior, BehaviorRegistry, IoCtx, Wake};
 use crate::channel::{Channel, Packet};
 use crate::graph::{flatten, ComponentNode, GraphError, SimGraph};
 use crate::interp::SimInterpreter;
-use crate::report::{BottleneckReport, PortBlockage};
+use crate::report::{BottleneckReport, ChannelStats, PortBlockage, SimReport};
 use std::collections::{BTreeMap, HashMap};
 use tydi_ir::Project;
 
@@ -138,6 +138,11 @@ pub enum StopReason {
     Deadlocked {
         /// `component.port` names with blocked-send time, worst first.
         blocked_ports: Vec<String>,
+        /// The full blocked cycle as channel names: every channel still
+        /// holding packets or refusing pushes when the design stalled,
+        /// worst first. Channel names match the flattened graph's
+        /// scheme, so static stall cones are directly comparable.
+        blocked_channels: Vec<String>,
     },
     /// No packet moved for the idle threshold, but components were
     /// still being polled, so quiescence is assumed rather than
@@ -685,6 +690,7 @@ impl Simulator {
         } else if stuck {
             StopReason::Deadlocked {
                 blocked_ports: self.blocked_ports(),
+                blocked_channels: self.blocked_channels(),
             }
         } else if proven {
             StopReason::Completed
@@ -715,6 +721,52 @@ impl Simulator {
             .iter()
             .map(|b| format!("{}.{}", b.component, b.port))
             .collect()
+    }
+
+    /// Channel names participating in the blocked cycle: every channel
+    /// still holding packets or with refused pushes, worst first by
+    /// (occupancy, refusals). Names match the flattened graph, so the
+    /// list lines up with the static analyzer's stall cones.
+    fn blocked_channels(&self) -> Vec<String> {
+        let mut stuck: Vec<&Channel> = self
+            .channels
+            .iter()
+            .filter(|c| !c.is_empty() || c.refused_pushes() > 0)
+            .collect();
+        stuck.sort_by(|a, b| {
+            (b.len(), b.refused_pushes(), &a.name).cmp(&(a.len(), a.refused_pushes(), &b.name))
+        });
+        stuck.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Per-channel occupancy/credit statistics, sorted by name — the
+    /// dynamic ground truth differential tests compare the static
+    /// analyzer against.
+    pub fn channel_stats(&self) -> Vec<ChannelStats> {
+        let mut stats: Vec<ChannelStats> = self
+            .channels
+            .iter()
+            .map(|c| ChannelStats {
+                name: c.name.clone(),
+                capacity: c.capacity(),
+                occupancy: c.len(),
+                max_occupancy: c.max_occupancy(),
+                transferred: c.transferred,
+                refused_pushes: c.refused_pushes(),
+            })
+            .collect();
+        stats.sort_by(|a, b| a.name.cmp(&b.name));
+        stats
+    }
+
+    /// Bundles a finished run's [`RunResult`] with channel statistics
+    /// and the bottleneck table.
+    pub fn report(&self, result: RunResult) -> SimReport {
+        SimReport {
+            result,
+            channels: self.channel_stats(),
+            bottlenecks: self.bottlenecks(),
+        }
     }
 
     /// The bottleneck report: output-port blockage counts, worst
@@ -1049,11 +1101,26 @@ impl top_i of top_s {
         sim.set_probe_backpressure("o", u64::MAX).unwrap();
         sim.feed("i", (0..20).map(Packet::data)).unwrap();
         let result = sim.run(5000);
-        let StopReason::Deadlocked { blocked_ports } = &result.reason else {
+        let StopReason::Deadlocked {
+            blocked_ports,
+            blocked_channels,
+        } = &result.reason
+        else {
             panic!("expected Deadlocked, got {:?}", result.reason);
         };
         assert!(blocked_ports.iter().any(|p| p.ends_with(".o")));
+        // The blocked cycle is reported as channel names too: the
+        // boundary output channel the probe never drained, and the
+        // upstream hops that filled behind it.
+        assert!(blocked_channels.contains(&"boundary.o".to_string()));
+        assert!(blocked_channels.contains(&"boundary.i".to_string()));
         assert!(!result.finished);
+        // Channel ground truth: the congested hop saturated and
+        // recorded refused pushes.
+        let report = sim.report(result.clone());
+        let hot = report.saturated_channels();
+        assert!(!hot.is_empty());
+        assert!(hot.iter().any(|c| c.refused_pushes > 0));
     }
 
     #[test]

@@ -46,4 +46,4 @@ pub use batch::{BatchError, BatchReport, Scenario, ScenarioReport, SimBatch};
 pub use behavior::{Behavior, BehaviorRegistry, IoCtx, Wake};
 pub use channel::{Channel, Packet};
 pub use engine::{RunResult, SchedulerKind, SimError, Simulator, StopReason};
-pub use report::{BottleneckReport, PortBlockage};
+pub use report::{BottleneckReport, ChannelStats, PortBlockage, SimReport};

@@ -1,5 +1,7 @@
-//! Bottleneck reporting (paper §V-B).
+//! Bottleneck reporting (paper §V-B) and the per-run [`SimReport`]
+//! with channel-level occupancy/credit ground truth.
 
+use crate::engine::RunResult;
 use std::fmt;
 
 /// Blocked-cycles count for one output port.
@@ -54,9 +56,92 @@ impl fmt::Display for BottleneckReport {
     }
 }
 
+/// Occupancy and credit statistics for one simulated channel,
+/// collected over a whole run.
+///
+/// This is the dynamic ground truth the static analyzer's differential
+/// tests diff against: `max_occupancy == capacity` marks a channel
+/// that filled up at least once, and `refused_pushes` counts the
+/// cycles a producer held data the channel had no credit for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Channel name, matching the flattened graph's naming scheme.
+    pub name: String,
+    /// FIFO capacity (credit depth).
+    pub capacity: usize,
+    /// Packets still held when the run stopped.
+    pub occupancy: usize,
+    /// High-water mark of held packets over the run.
+    pub max_occupancy: usize,
+    /// Total packets that passed through.
+    pub transferred: u64,
+    /// Pushes refused for lack of credit (producer-side stalls).
+    pub refused_pushes: u64,
+}
+
+impl ChannelStats {
+    /// True when the channel was completely full at least once.
+    pub fn saturated(&self) -> bool {
+        self.max_occupancy >= self.capacity
+    }
+}
+
+/// The full outcome of one simulation run: the typed [`RunResult`],
+/// per-channel occupancy/credit counters, and the bottleneck table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Cycles, termination reason, deadlock details.
+    pub result: RunResult,
+    /// Per-channel statistics, sorted by channel name.
+    pub channels: Vec<ChannelStats>,
+    /// Output-port blockage counts, worst first.
+    pub bottlenecks: BottleneckReport,
+}
+
+impl SimReport {
+    /// Channels that filled to capacity at least once, worst stall
+    /// count first — the dynamic view of backpressure hot spots.
+    pub fn saturated_channels(&self) -> Vec<&ChannelStats> {
+        let mut hot: Vec<&ChannelStats> = self.channels.iter().filter(|c| c.saturated()).collect();
+        hot.sort_by_key(|c| std::cmp::Reverse(c.refused_pushes));
+        hot
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Channel report over {} cycles ({} channel(s)):",
+            self.result.cycles,
+            self.channels.len()
+        )?;
+        writeln!(
+            f,
+            "  {:>11}  {:>9}  {:>7}  {:>7}  channel",
+            "transferred", "max/cap", "held", "refused"
+        )?;
+        for c in &self.channels {
+            writeln!(
+                f,
+                "  {:>11}  {:>5}/{:<3}  {:>7}  {:>7}  {}{}",
+                c.transferred,
+                c.max_occupancy,
+                c.capacity,
+                c.occupancy,
+                c.refused_pushes,
+                c.name,
+                if c.saturated() { "  [saturated]" } else { "" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::StopReason;
 
     fn report() -> BottleneckReport {
         BottleneckReport {
@@ -95,5 +180,54 @@ mod tests {
         let text = report().to_string();
         assert!(text.contains("top.a.o"));
         assert!(text.contains("80"));
+    }
+
+    fn sim_report() -> SimReport {
+        SimReport {
+            result: RunResult {
+                cycles: 100,
+                finished: true,
+                deadlock: None,
+                reason: StopReason::Completed,
+            },
+            channels: vec![
+                ChannelStats {
+                    name: "top.a.o => b.i".into(),
+                    capacity: 2,
+                    occupancy: 0,
+                    max_occupancy: 2,
+                    transferred: 40,
+                    refused_pushes: 13,
+                },
+                ChannelStats {
+                    name: "boundary.i".into(),
+                    capacity: 2,
+                    occupancy: 0,
+                    max_occupancy: 1,
+                    transferred: 40,
+                    refused_pushes: 0,
+                },
+            ],
+            bottlenecks: BottleneckReport::default(),
+        }
+    }
+
+    #[test]
+    fn saturated_channels_filter_and_sort() {
+        let r = sim_report();
+        let hot = r.saturated_channels();
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].name, "top.a.o => b.i");
+        assert!(hot[0].saturated());
+        assert!(!r.channels[1].saturated());
+    }
+
+    #[test]
+    fn sim_report_display_tabulates_channels() {
+        let text = sim_report().to_string();
+        assert!(text.contains("top.a.o => b.i"));
+        assert!(text.contains("[saturated]"));
+        assert!(text.contains("boundary.i"));
+        assert!(text.contains("13"));
     }
 }

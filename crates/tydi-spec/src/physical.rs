@@ -127,6 +127,29 @@ impl PhysicalStream {
     pub fn name_suffix(&self) -> String {
         self.path.join("_")
     }
+
+    /// Peak element rate in elements per cycle: one transfer per cycle
+    /// with every lane carrying an element. This is the capacity the
+    /// static throughput analysis propagates along a connection — the
+    /// declared [`StreamParams::throughput`] is the *minimum* a
+    /// conforming source must sustain, while `lanes()` bounds what any
+    /// transfer can carry.
+    pub fn peak_elements_per_cycle(&self) -> f64 {
+        self.lanes() as f64
+    }
+
+    /// Guaranteed (minimum) element rate in elements per cycle, from
+    /// the declared throughput ratio.
+    pub fn min_elements_per_cycle(&self) -> f64 {
+        self.params.throughput.as_f64()
+    }
+
+    /// Peak payload bandwidth in bits per cycle: the full signal
+    /// bundle moving every cycle. Multiplied by a clock frequency this
+    /// gives the wire-level bit rate a backpressure-free stream needs.
+    pub fn peak_bandwidth_bits_per_cycle(&self) -> u64 {
+        self.signals().payload_bits() as u64
+    }
 }
 
 impl fmt::Display for PhysicalStream {
@@ -240,6 +263,23 @@ mod tests {
         assert_eq!(index_width(4), 2);
         assert_eq!(index_width(5), 3);
         assert_eq!(index_width(8), 3);
+    }
+
+    #[test]
+    fn rate_metadata_follows_lanes_and_throughput() {
+        let t = bit_stream(
+            8,
+            StreamParams::new().with_throughput(Throughput::new(5, 2).unwrap()),
+        );
+        let s = &lower(&t).unwrap()[0];
+        // ceil(5/2) = 3 lanes -> peak 3 elements/cycle; the guaranteed
+        // minimum is the exact declared ratio.
+        assert_eq!(s.peak_elements_per_cycle(), 3.0);
+        assert!((s.min_elements_per_cycle() - 2.5).abs() < 1e-12);
+        assert_eq!(
+            s.peak_bandwidth_bits_per_cycle(),
+            s.signals().payload_bits() as u64
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! tydic check   <file.td>... [--watch]       parse + elaborate + DRC
 //! tydic compile <file.td>... [options]       emit Tydi-IR, VHDL or Verilog
 //! tydic sim     <file.td>... --top <impl>    batch-simulate scenarios
+//! tydic analyze <file.td>... [--top <impl>]  static throughput/hazard analysis
 //! tydic --help | --version
 //!
 //! options:
@@ -29,6 +30,14 @@
 //!   --max-cycles <n>    cycle budget per scenario (default: 100000)
 //!   --idle <n>          quiescence threshold in idle cycles
 //!   --polling           use the poll-everything cycle loop
+//!
+//! analyze options:
+//!   --top <impl>        implementation to analyze (default: the
+//!                       uninstantiated top-level candidate)
+//!   --format text|json  report format (default: text)
+//!   --deny <severity>   exit nonzero if a hazard at or above
+//!                       info|warning|error is found
+//!   --clock-mhz <f>     scale throughput bounds to Hz
 //! ```
 
 use std::fs;
@@ -76,12 +85,14 @@ impl EmitFormat {
 }
 
 const USAGE: &str = "\
-usage: tydic <check|compile|sim> <file.td>... [options]
+usage: tydic <check|compile|sim|analyze> <file.td>... [options]
 
 commands:
   check      parse + elaborate + design-rule check only
   compile    check, then emit Tydi-IR, VHDL or SystemVerilog
   sim        check, then batch-simulate stimulus scenarios
+  analyze    check, then statically bound per-stream throughput and
+             latency and flag structural hazards (no simulation)
 
 options:
   --emit ir|vhdl|verilog
@@ -112,7 +123,16 @@ sim options:
   --max-cycles <n>  cycle budget per scenario (default: 100000)
   --idle <n>        quiescence threshold in idle cycles (default: 64)
   --polling         use the poll-everything cycle loop instead of the
-                    event-driven scheduler (for comparison)";
+                    event-driven scheduler (for comparison)
+
+analyze options:
+  --top <impl>      implementation to analyze (default: the design's
+                    uninstantiated top-level candidate)
+  --format text|json
+                    report format (default: text)
+  --deny <severity> exit nonzero when a hazard at or above the given
+                    severity (info|warning|error) is present
+  --clock-mhz <f>   clock frequency; also reports bounds in Hz";
 
 /// A usage or I/O error; rendered to stderr with the given exit code.
 struct CliError {
@@ -167,6 +187,12 @@ struct Options {
     poll_ms: u64,
     /// `check --watch`: exit after this many compiles (testing hook).
     watch_runs: Option<usize>,
+    /// `analyze`: emit the machine-readable JSON report.
+    json: bool,
+    /// `analyze`: fail when a hazard at/above this severity exists.
+    deny: Option<tydi_analyze::Severity>,
+    /// `analyze`: clock frequency in MHz for Hz-scaled bounds.
+    clock_mhz: Option<f64>,
 }
 
 fn parse_count<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, CliError> {
@@ -190,9 +216,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
     let Some((command, rest)) = args.split_first() else {
         return Err(CliError::usage(USAGE));
     };
-    if command != "check" && command != "compile" && command != "sim" {
+    if command != "check" && command != "compile" && command != "sim" && command != "analyze" {
         return Err(CliError::usage(format!(
-            "unknown command `{command}` (expected `check`, `compile` or `sim`)\n{USAGE}"
+            "unknown command `{command}` (expected `check`, `compile`, `sim` or `analyze`)\n{USAGE}"
         )));
     }
 
@@ -215,6 +241,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
         watch: false,
         poll_ms: 200,
         watch_runs: None,
+        json: false,
+        deny: None,
+        clock_mhz: None,
     };
     let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
@@ -267,6 +296,33 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
             }
             "--idle" => options.idle_threshold = Some(parse_count("--idle", iter.next().cloned())?),
             "--polling" => options.polling = true,
+            "--format" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::usage("--format needs a value (text|json)"))?;
+                options.json = match value.as_str() {
+                    "json" => true,
+                    "text" => false,
+                    other => {
+                        return Err(CliError::usage(format!(
+                            "unknown --format `{other}` (expected text|json)"
+                        )))
+                    }
+                };
+            }
+            "--deny" => {
+                let value = iter.next().ok_or_else(|| {
+                    CliError::usage("--deny needs a severity (info|warning|error)")
+                })?;
+                options.deny = Some(tydi_analyze::Severity::parse(value).ok_or_else(|| {
+                    CliError::usage(format!(
+                        "unknown --deny severity `{value}` (expected info|warning|error)"
+                    ))
+                })?);
+            }
+            "--clock-mhz" => {
+                options.clock_mhz = Some(parse_count("--clock-mhz", iter.next().cloned())?)
+            }
             other if other.starts_with('-') => {
                 return Err(CliError::usage(format!("unknown option `{other}`")));
             }
@@ -332,7 +388,9 @@ fn compile_once(options: &Options, cache: &mut ArtifactCache) -> Result<CompileO
         "ok: {} streamlet(s), {} implementation(s), {} connection(s) in {:?}",
         stats.streamlets, stats.implementations, stats.connections, output.timings.wall
     );
-    if options.timings {
+    // `analyze` records its own stage first, then prints the timings
+    // itself so the analyze column is populated.
+    if options.timings && options.command != "analyze" {
         print_timings(&output);
     }
     Ok(output)
@@ -345,8 +403,8 @@ fn compile_once(options: &Options, cache: &mut ArtifactCache) -> Result<CompileO
 fn print_timings(output: &CompileOutput) {
     let t = output.timings;
     eprintln!(
-        "stages: parse {:?}, elaborate {:?}, sugar {:?}, drc {:?} (self times)",
-        t.parse, t.elaborate, t.sugar, t.drc
+        "stages: parse {:?}, elaborate {:?}, sugar {:?}, drc {:?}, analyze {:?} (self times)",
+        t.parse, t.elaborate, t.sugar, t.drc, t.analyze
     );
     eprintln!("totals: self {:?}, wall {:?}", t.total(), t.wall);
     let mut reused = [0usize; 4];
@@ -357,6 +415,9 @@ fn print_timings(output: &CompileOutput) {
             Stage::Elaborate => 1,
             Stage::Sugar => 2,
             Stage::Drc => 3,
+            // Analysis runs after the compile and is never served from
+            // the artifact cache; it has no reuse column.
+            Stage::Analyze => continue,
         };
         reused[slot] += record.reused;
         recomputed[slot] += record.recomputed;
@@ -484,7 +545,7 @@ fn run(options: &Options) -> Result<(), CliError> {
         return run_watch(options);
     }
     let mut cache = load_cache(options);
-    let output = compile_once(options, &mut cache)?;
+    let mut output = compile_once(options, &mut cache)?;
     persist_cache(options, &cache);
 
     if options.command == "check" {
@@ -492,6 +553,9 @@ fn run(options: &Options) -> Result<(), CliError> {
     }
     if options.command == "sim" {
         return run_sim(options, &output.project);
+    }
+    if options.command == "analyze" {
+        return run_analyze(options, &mut output);
     }
 
     match options.emit.backend() {
@@ -540,6 +604,50 @@ fn run(options: &Options) -> Result<(), CliError> {
                     let _ = write!(std::io::stdout(), "{text}");
                 }
             }
+        }
+    }
+    Ok(())
+}
+
+/// `tydic analyze`: static throughput/latency bounds and structural
+/// hazards over the elaborated design, without running the simulator.
+fn run_analyze(options: &Options, output: &mut CompileOutput) -> Result<(), CliError> {
+    let candidates = output.project.top_level_candidates();
+    let top = match options.top.as_deref() {
+        Some(top) => top.to_string(),
+        None => candidates
+            .first()
+            .map(|s| s.to_string())
+            .ok_or_else(|| CliError::failure("no top-level implementation candidate found"))?,
+    };
+    let analyze_options = tydi_analyze::AnalyzeOptions {
+        clock: options.clock_mhz.map(|mhz| {
+            tydi_spec::clock::PhysicalClock::new(
+                tydi_spec::ClockDomain::default_domain(),
+                mhz * 1e6,
+            )
+        }),
+        ..tydi_analyze::AnalyzeOptions::default()
+    };
+    let started = std::time::Instant::now();
+    let report = tydi_analyze::analyze(&output.project, &output.index, &top, &analyze_options)
+        .map_err(|e| CliError::failure(e.to_string()))?;
+    output.record_stage(Stage::Analyze, started.elapsed(), report.hazards.len());
+    if options.timings {
+        print_timings(output);
+    }
+    if options.json {
+        let _ = write!(std::io::stdout(), "{}", report.to_json());
+    } else {
+        let _ = write!(std::io::stdout(), "{report}");
+    }
+    if let Some(deny) = options.deny {
+        let denied = report.hazards_at_least(deny).count();
+        if denied > 0 {
+            return Err(CliError::failure(format!(
+                "analyze: {denied} hazard(s) at or above `{}` in `{top}`",
+                deny.name()
+            )));
         }
     }
     Ok(())
@@ -598,6 +706,9 @@ fn run_sim(options: &Options, project: &tydi_ir::Project) -> Result<(), CliError
         .map_err(|e| CliError::failure(format!("simulation failed: {e}")))?;
     let elapsed = started.elapsed();
     let _ = write!(std::io::stdout(), "{report}");
+    if options.timings {
+        print_channel_stats(&report);
+    }
     eprintln!(
         "simulated {} scenario(s) over `{top}` in {elapsed:?} ({} scheduler, {} thread(s))",
         report.scenarios.len(),
@@ -609,6 +720,49 @@ fn run_sim(options: &Options, project: &tydi_ir::Project) -> Result<(), CliError
         rayon::current_num_threads(),
     );
     Ok(())
+}
+
+/// `tydic sim --timings`: per-scenario channel occupancy and
+/// credit-stall counters, most refused pushes first, so saturated
+/// FIFOs (the backpressure front) are visible without re-running under
+/// a profiler.
+fn print_channel_stats(report: &tydi_sim::BatchReport) {
+    for scenario in &report.scenarios {
+        let mut stats: Vec<_> = scenario
+            .channels
+            .iter()
+            .filter(|c| c.transferred > 0 || c.refused_pushes > 0)
+            .collect();
+        stats.sort_by(|a, b| {
+            (b.refused_pushes, b.max_occupancy, &a.name).cmp(&(
+                a.refused_pushes,
+                a.max_occupancy,
+                &b.name,
+            ))
+        });
+        eprintln!(
+            "channels [{}]: {} active of {} ({} saturated)",
+            scenario.scenario,
+            stats.len(),
+            scenario.channels.len(),
+            scenario.channels.iter().filter(|c| c.saturated()).count(),
+        );
+        eprintln!("  xfer   max/cap  refused  name");
+        for c in stats.iter().take(12) {
+            eprintln!(
+                "  {:<6} {:>3}/{:<4} {:>7}  {}{}",
+                c.transferred,
+                c.max_occupancy,
+                c.capacity,
+                c.refused_pushes,
+                c.name,
+                if c.saturated() { "  [saturated]" } else { "" },
+            );
+        }
+        if stats.len() > 12 {
+            eprintln!("  ... {} more", stats.len() - 12);
+        }
+    }
 }
 
 fn report(e: &CliError) -> ExitCode {

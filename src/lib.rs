@@ -1,4 +1,5 @@
 //! Umbrella crate re-exporting the full Tydi-lang toolchain.
+pub use tydi_analyze as analyze;
 pub use tydi_fletcher as fletcher;
 pub use tydi_ir as ir;
 pub use tydi_lang as lang;
