@@ -1,0 +1,136 @@
+//! Observability overhead: the same package-DAG compile measured with
+//! tracing disabled, coarse, and fine, plus the disabled-path
+//! zero-allocation guarantee checked by counter rather than by clock.
+//!
+//! The headline metric is `overhead_ratio` = disabled time / coarse
+//! time (higher is better, ~1.0 when coarse tracing is near-free);
+//! the CI guard fails when a fresh run regresses it by more than 5%
+//! against the committed `BENCH_obs_overhead.json`. Wall-clock noise
+//! cancels in the ratio because both legs run interleaved in one
+//! process on the same inputs.
+//!
+//! The hard assertions are exact, not timed:
+//!
+//! * with tracing **off**, a full compile records zero trace events —
+//!   the disabled path takes one relaxed atomic load and allocates
+//!   nothing;
+//! * with tracing **coarse**, the same compile records spans and the
+//!   drained buffer renders as a Chrome trace document;
+//! * **fine** records strictly more events than coarse.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use tydi_bench::compile_package_dag;
+use tydi_obs::trace::{self, Level};
+
+const WIDTH: usize = 40;
+const RUNS: usize = 15;
+
+/// One timed compile at the given trace level; returns wall time and
+/// the number of trace events the run recorded.
+fn one_compile(level: Level) -> (f64, u64) {
+    trace::set_level(level);
+    let before = trace::events_recorded();
+    let t0 = Instant::now();
+    black_box(compile_package_dag(WIDTH));
+    let elapsed = t0.elapsed().as_secs_f64();
+    let events = trace::events_recorded() - before;
+    trace::set_level(Level::Off);
+    // Drain between runs so traced legs do not accumulate unbounded
+    // buffers (and the off leg proves it has nothing).
+    let drained = trace::take_events();
+    assert_eq!(drained.len() as u64, events, "drain mismatch");
+    (elapsed, events)
+}
+
+/// Best-of-N wall time per level, with the levels interleaved
+/// round-robin so slow machine-load drift hits every leg equally
+/// instead of biasing whichever leg ran last.
+fn time_levels(levels: &[Level]) -> Vec<(f64, u64)> {
+    let mut results = vec![(f64::INFINITY, 0u64); levels.len()];
+    for _ in 0..RUNS {
+        for (slot, &level) in levels.iter().enumerate() {
+            let (elapsed, events) = one_compile(level);
+            results[slot].0 = results[slot].0.min(elapsed);
+            results[slot].1 = events;
+        }
+    }
+    results
+}
+
+fn bench(c: &mut Criterion) {
+    let mut report = tydi_bench::BenchReport::new("obs_overhead")
+        .text("units", "ms (best-of-15, full compile of the package DAG)");
+
+    // Warm allocator, type store, and expansion caches before timing —
+    // whichever leg runs first would otherwise absorb the cold-start
+    // cost and skew the ratio.
+    compile_package_dag(WIDTH);
+
+    let timed = time_levels(&[Level::Off, Level::Coarse, Level::Fine]);
+    let (off, off_events) = timed[0];
+    let (coarse, coarse_events) = timed[1];
+    let (fine, fine_events) = timed[2];
+
+    assert_eq!(
+        off_events, 0,
+        "disabled tracing must record nothing (counter-checked, not timed)"
+    );
+    assert!(
+        coarse_events > 0,
+        "coarse tracing over a full compile must record spans"
+    );
+    assert!(
+        fine_events >= coarse_events,
+        "fine must be a superset of coarse ({fine_events} < {coarse_events})"
+    );
+    // Smoke the exporter on a real trace: one traced compile drains to
+    // a syntactically balanced Chrome document.
+    trace::set_level(Level::Coarse);
+    compile_package_dag(WIDTH);
+    trace::set_level(Level::Off);
+    let doc = trace::export_chrome_trace();
+    assert!(
+        doc.starts_with("{\"traceEvents\":[") && doc.trim_end().ends_with("]}"),
+        "exporter must frame a trace-event document"
+    );
+
+    let overhead_ratio = off / coarse;
+    println!("===== observability overhead (package-DAG compile) =====");
+    println!("{:>8} {:>12} {:>10}", "level", "compile", "events");
+    println!("{:>8} {:>10.3}ms {:>10}", "off", off * 1e3, off_events);
+    println!(
+        "{:>8} {:>10.3}ms {:>10}",
+        "coarse",
+        coarse * 1e3,
+        coarse_events
+    );
+    println!("{:>8} {:>10.3}ms {:>10}", "fine", fine * 1e3, fine_events);
+    println!("  off/coarse ratio {overhead_ratio:.3} (1.0 = coarse tracing is free)");
+    println!("===========================================================\n");
+
+    report.add_metric("off_ms", off * 1e3);
+    report.add_metric("coarse_ms", coarse * 1e3);
+    report.add_metric("fine_ms", fine * 1e3);
+    report.add_metric("coarse_events", coarse_events as f64);
+    report.add_metric("fine_events", fine_events as f64);
+    report.add_metric("overhead_ratio", overhead_ratio);
+    report.write().expect("write BENCH_obs_overhead.json");
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.bench_function("compile_traced_coarse", |b| {
+        trace::set_level(Level::Coarse);
+        b.iter(|| {
+            black_box(compile_package_dag(WIDTH));
+            trace::take_events()
+        });
+        trace::set_level(Level::Off);
+        let _ = trace::take_events();
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

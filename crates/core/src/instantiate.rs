@@ -57,6 +57,10 @@ pub struct ElabInfo {
     /// `(impl name, "src => sink")` symbols, used to attach source
     /// locations to DRC findings.
     connection_spans: HashMap<(tydi_ir::Symbol, tydi_ir::Symbol), Span>,
+    /// Declaration span of each elaborated implementation, keyed by
+    /// its interned IR name, used to point analyzer hazards at the
+    /// impl that declared the hazardous structure.
+    impl_spans: HashMap<tydi_ir::Symbol, Span>,
     /// Number of template instantiations performed (cache misses).
     pub template_instantiations: usize,
     /// Number of template cache hits.
@@ -117,6 +121,21 @@ impl ElabInfo {
         self.connection_spans.len()
     }
 
+    /// Records the declaration span of an elaborated implementation.
+    pub fn record_impl_span(&mut self, impl_name: &str, span: Span) {
+        let key = self.span_keys.intern(impl_name);
+        self.impl_spans.insert(key, span);
+    }
+
+    /// The declaration span of an elaborated implementation, when
+    /// known. Cache-restored infos carry no spans (see
+    /// [`ElabInfo::with_template_counts`]); callers fall back to
+    /// span-less reporting.
+    pub fn impl_span(&self, impl_name: &str) -> Option<Span> {
+        let key = self.span_keys.get(impl_name)?;
+        self.impl_spans.get(&key).copied()
+    }
+
     /// Folds a worker's info into this one: spans are re-interned
     /// against this info's key table, counters are summed.
     fn merge_from(&mut self, other: &ElabInfo) {
@@ -126,6 +145,10 @@ impl ElabInfo {
                 self.span_keys.intern(other.span_keys.resolve(*conn_sym)),
             );
             self.connection_spans.insert(key, *span);
+        }
+        for (impl_sym, span) in &other.impl_spans {
+            let key = self.span_keys.intern(other.span_keys.resolve(*impl_sym));
+            self.impl_spans.insert(key, *span);
         }
         self.template_instantiations += other.template_instantiations;
         self.template_cache_hits += other.template_cache_hits;
@@ -170,6 +193,9 @@ pub fn elaborate(
         let workers: Vec<Elaborator> = level
             .into_par_iter()
             .map(|pkg_idx| {
+                let _span = tydi_obs::trace::span_named("core", || {
+                    format!("elab:{}", merged[pkg_idx].name)
+                });
                 let mut worker = Elaborator::worker(
                     Arc::clone(&merged),
                     Arc::clone(&package_index),
@@ -1121,6 +1147,7 @@ impl Elaborator {
             self.info.template_instantiations += 1;
         }
         let ir_name: Arc<str> = Arc::from(self.mangle(&i.name, bindings).as_str());
+        self.info.record_impl_span(ir_name.as_ref(), i.span);
         if depth > MAX_DEPTH {
             self.error("instantiation recursion too deep", i.span);
             return None;

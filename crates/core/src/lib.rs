@@ -49,6 +49,7 @@ pub mod eval;
 pub mod fingerprint;
 pub mod instantiate;
 pub mod lexer;
+pub mod obs;
 pub mod parser;
 pub mod pipeline;
 pub mod pretty;
@@ -63,6 +64,7 @@ pub mod value;
 pub use cache::{ArtifactCache, CACHE_DIR_NAME};
 pub use diagnostics::{Diagnostic, Severity};
 pub use fingerprint::Fingerprint;
+pub use obs::publish_compile_metrics;
 pub use pipeline::{compile, compile_with_cache, CompileOptions, CompileOutput, StageTimings};
 pub use session::{ParsedUnit, Session, Stage, StageRecord};
 pub use span::{SourceFile, Span};

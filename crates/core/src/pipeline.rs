@@ -213,6 +213,8 @@ pub fn compile_with_cache(
     let asts: Vec<Fingerprint> = units.iter().map(|u| u.ast).collect();
     let key = elaboration_key(options, &asts);
     if let Some(artifact) = cache.lookup_elab(key) {
+        tydi_obs::trace::instant("core", "elab-cache-hit");
+        tydi_obs::metrics::counter_add("cache.elab.lookup_hits", 1);
         let artifact = artifact.clone();
         // The artifact's diagnostics replay under the elaborate
         // record; each diagnostic still carries its own stage label.
@@ -221,6 +223,8 @@ pub fn compile_with_cache(
         session.replay_stage(Stage::Drc, Vec::new());
         return Ok(session.finish(artifact.project, artifact.sugar_report, artifact.info));
     }
+    tydi_obs::trace::instant("core", "elab-cache-miss");
+    tydi_obs::metrics::counter_add("cache.elab.lookup_misses", 1);
     let packages = session.materialize_packages(&units, cache)?;
     let diags_before = session.diagnostics().len();
     let (mut project, elab_info) = session.elaborate(packages)?;

@@ -188,6 +188,7 @@ impl Session {
     /// Runs `f` as a named stage, recording duration and emitted
     /// diagnostics.
     fn run_stage<T>(&mut self, stage: Stage, f: impl FnOnce(&mut Self) -> T) -> T {
+        let _span = tydi_obs::trace::span_named("core", || format!("stage:{}", stage.name()));
         let diags_before = self.diagnostics.len();
         let t0 = Instant::now();
         self.first_stage_start.get_or_insert(t0);
@@ -207,6 +208,7 @@ impl Session {
     /// Records a stage as fully served from the artifact cache,
     /// replaying the diagnostics it originally emitted.
     pub(crate) fn replay_stage(&mut self, stage: Stage, diagnostics: Vec<Diagnostic>) {
+        tydi_obs::trace::instant_named("core", || format!("replay:{}", stage.name()));
         let now = Instant::now();
         self.first_stage_start.get_or_insert(now);
         self.last_stage_end = Some(now);
@@ -251,14 +253,17 @@ impl Session {
             );
             // Files are independent: parse in parallel, then splice
             // results back in input order so diagnostics stay stable.
-            let indexed: Vec<(usize, &str)> = sources
+            let indexed: Vec<(usize, &str, &str)> = sources
                 .iter()
                 .enumerate()
-                .map(|(index, (_, text))| (base + index, *text))
+                .map(|(index, (name, text))| (base + index, *name, *text))
                 .collect();
             let parsed: Vec<(Option<Package>, Vec<Diagnostic>)> = indexed
                 .into_par_iter()
-                .map(|(index, text)| parse_package(index, text))
+                .map(|(index, name, text)| {
+                    let _span = tydi_obs::trace::span_named("core", || format!("parse:{name}"));
+                    parse_package(index, text)
+                })
                 .collect();
             let mut packages = Vec::new();
             for (package, mut file_diags) in parsed {
@@ -308,6 +313,9 @@ impl Session {
                 };
                 match cache.lookup_parse(key) {
                     Some(artifact) => {
+                        tydi_obs::trace::instant_named("core", || {
+                            format!("parse-cache-hit:{name}")
+                        });
                         reused += 1;
                         diags_by_file[index] = artifact.diagnostics.clone();
                         units[index] = Some(ParsedUnit {
@@ -322,6 +330,9 @@ impl Session {
             let parsed: Vec<(usize, Option<Package>, Vec<Diagnostic>)> = missing
                 .par_iter()
                 .map(|&(index, text)| {
+                    let _span = tydi_obs::trace::span_named("core", || {
+                        format!("parse:{}", sources[index].0)
+                    });
                     let (package, diags) = parse_package(base + index, text);
                     (index, package, diags)
                 })
@@ -393,6 +404,9 @@ impl Session {
                     .par_iter()
                     .map(|&index| {
                         let slot = units[index].key.slot;
+                        let _span = tydi_obs::trace::span_named("core", || {
+                            format!("parse:{}", session.files[slot].name)
+                        });
                         let text = session.files[slot].text.clone();
                         let (package, _diags) = parse_package(slot, &text);
                         (index, package)

@@ -25,7 +25,7 @@
 //! inside the cone of some blocked output — the differential suite
 //! asserts exactly that.
 
-use crate::flow::{FlowGraph, RateClass};
+use crate::flow::{FlowComponent, FlowGraph, RateClass};
 use crate::rates::{RateSolution, EPSILON};
 use crate::report::{Hazard, HazardKind, Severity, StallCone};
 use tydi_ir::{Project, ProjectIndex};
@@ -45,6 +45,13 @@ pub fn detect(
     // Errors first, then warnings, then infos; stable within a class.
     hazards.sort_by_key(|h| std::cmp::Reverse(h.severity));
     hazards
+}
+
+/// The declaring implementation of a hazard-site component, when the
+/// site is real user code (synthetic duplicators/voiders have no
+/// declaration to point at).
+fn declaring_impl(comp: &FlowComponent) -> Option<String> {
+    (!comp.synthetic && !comp.impl_name.is_empty()).then(|| comp.impl_name.clone())
 }
 
 /// Strongly connected components of the component graph (edges follow
@@ -128,19 +135,23 @@ fn deadlockable_cycles(graph: &FlowGraph) -> Vec<Hazard> {
             .map(|ch| ch.name.clone())
             .collect();
         channels.sort();
-        let mut members: Vec<&str> = scc
+        let mut members: Vec<(&str, usize)> = scc
             .iter()
-            .map(|&c| graph.components[c].path.as_str())
+            .map(|&c| (graph.components[c].path.as_str(), c))
             .collect();
         members.sort_unstable();
+        let member_names: Vec<&str> = members.iter().map(|&(path, _)| path).collect();
         hazards.push(Hazard {
             kind: HazardKind::DeadlockableCycle,
             severity: Severity::Error,
-            component: Some(members[0].to_string()),
+            component: Some(members[0].0.to_string()),
+            impl_name: members
+                .iter()
+                .find_map(|&(_, c)| declaring_impl(&graph.components[c])),
             channels,
             message: format!(
                 "dependency cycle through {}: with bounded FIFOs any cycle can fill and deadlock",
-                members.join(", ")
+                member_names.join(", ")
             ),
         });
     }
@@ -165,6 +176,7 @@ fn fan_in_contention(graph: &FlowGraph, solution: &RateSolution) -> Vec<Hazard> 
                 kind: HazardKind::FanInContention,
                 severity: Severity::Warning,
                 component: Some(comp.path.clone()),
+                impl_name: declaring_impl(comp),
                 channels: comp
                     .inputs
                     .iter()
@@ -210,6 +222,7 @@ fn rate_mismatches(
                 &format!("{}.{}", comp.path, port_name),
                 &graph.channels[ch].name,
                 solution.channel_rate[ch],
+                declaring_impl(comp),
             ) {
                 hazards.push(h);
             }
@@ -226,6 +239,7 @@ fn rate_mismatches(
                 &format!("top.{port_name}"),
                 &graph.channels[ch].name,
                 solution.channel_rate[ch],
+                Some(graph.top.clone()),
             ) {
                 hazards.push(h);
             }
@@ -253,6 +267,7 @@ fn check_port_contract(
     site: &str,
     channel_name: &str,
     predicted_transfers: f64,
+    impl_name: Option<String>,
 ) -> Option<Hazard> {
     let (declared, lanes) = declared_min_rate(project, index, sid, port_name)?;
     if declared <= 1.0 + EPSILON {
@@ -267,14 +282,22 @@ fn check_port_contract(
         channel_name,
         declared,
         predicted_elements,
+        impl_name,
     ))
 }
 
-fn rate_mismatch_hazard(port: &str, channel: &str, declared: f64, predicted: f64) -> Hazard {
+fn rate_mismatch_hazard(
+    port: &str,
+    channel: &str,
+    declared: f64,
+    predicted: f64,
+    impl_name: Option<String>,
+) -> Hazard {
     Hazard {
         kind: HazardKind::RateMismatch,
         severity: Severity::Warning,
         component: Some(port.to_string()),
+        impl_name,
         channels: vec![channel.to_string()],
         message: format!(
             "port `{port}` declares a minimum throughput of {declared:.3} elements/cycle but the \
@@ -324,6 +347,7 @@ fn credit_starvation(graph: &FlowGraph, solution: &RateSolution) -> Vec<Hazard> 
                 kind: HazardKind::CreditStarvation,
                 severity: Severity::Warning,
                 component: Some(comp.path.clone()),
+                impl_name: declaring_impl(comp),
                 channels: vec![
                     graph.channels[early_ch].name.clone(),
                     graph.channels[late_ch].name.clone(),

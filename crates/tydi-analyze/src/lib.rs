@@ -96,6 +96,7 @@ pub fn analyze(
     top_impl: &str,
     options: &AnalyzeOptions,
 ) -> Result<AnalysisReport, AnalyzeError> {
+    let _span = tydi_obs::trace::span_named("tydi-analyze", || format!("analyze:{top_impl}"));
     let sim_graph = tydi_sim::graph::flatten(project, top_impl, options.channel_capacity)?;
     let graph = FlowGraph::from_sim_graph(project, top_impl, &sim_graph);
     let solution = rates::solve(&graph);

@@ -89,7 +89,12 @@ fn propagate_rates(graph: &FlowGraph) -> (Vec<f64>, bool) {
     // cases; any intermediate state is already a sound upper bound.
     let cap = 4 * (graph.components.len() + graph.channels.len()) + 16;
     let mut converged = false;
-    for _ in 0..cap {
+    let mut iterations = 0u64;
+    for iteration in 0..cap {
+        let _span = tydi_obs::trace::fine_span_named("tydi-analyze", || {
+            format!("fixpoint-iter:{iteration}")
+        });
+        iterations += 1;
         let mut changed = false;
         // Channels driven by no component at all (unconnected
         // boundary outputs) can never carry a packet.
@@ -127,6 +132,7 @@ fn propagate_rates(graph: &FlowGraph) -> (Vec<f64>, bool) {
             break;
         }
     }
+    tydi_obs::metrics::counter_set("analyze.fixpoint_iterations", iterations);
     (rates, converged)
 }
 

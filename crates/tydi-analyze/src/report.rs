@@ -76,6 +76,10 @@ pub struct Hazard {
     pub severity: Severity,
     /// The component path (or `path.port`) at the hazard site.
     pub component: Option<String>,
+    /// The implementation declaring the hazard-site component, when
+    /// the site maps to real (non-synthetic) user code. Lets callers
+    /// point a source-span diagnostic at the declaration.
+    pub impl_name: Option<String>,
     /// The channels involved, in simulator naming.
     pub channels: Vec<String>,
     /// Human-readable explanation.
@@ -250,6 +254,9 @@ impl AnalysisReport {
             if let Some(site) = &h.component {
                 let _ = write!(out, ", \"at\": {site:?}");
             }
+            if let Some(impl_name) = &h.impl_name {
+                let _ = write!(out, ", \"impl\": {impl_name:?}");
+            }
             let _ = write!(out, ", \"channels\": [");
             for (j, ch) in h.channels.iter().enumerate() {
                 let inner = if j + 1 == h.channels.len() { "" } else { ", " };
@@ -362,6 +369,7 @@ mod tests {
                 kind: HazardKind::FanInContention,
                 severity: Severity::Warning,
                 component: Some("top.mux".into()),
+                impl_name: Some("mux_i".into()),
                 channels: vec!["boundary.a".into(), "boundary.b".into()],
                 message: "offered 2.000 but serves 1.000".into(),
             }],

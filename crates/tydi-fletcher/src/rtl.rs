@@ -23,6 +23,7 @@ fn table_name(ctx: &BuiltinCtx<'_>) -> String {
 
 /// Registers the `fletcher.source` stub generators for every backend.
 pub fn register_fletcher_rtl(registry: &BuiltinRegistry) {
+    let _span = tydi_obs::trace::span("tydi-fletcher", "register_fletcher_rtl");
     registry.register("fletcher.source", |ctx: &BuiltinCtx<'_>| {
         let table_name = table_name(ctx);
         let mut stmts = String::new();

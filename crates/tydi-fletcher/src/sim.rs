@@ -117,6 +117,7 @@ pub fn register_fletcher_behaviors(
     registry: &mut BehaviorRegistry,
     tables: HashMap<String, Table>,
 ) {
+    let _span = tydi_obs::trace::span("tydi-fletcher", "register_fletcher_behaviors");
     let tables = Arc::new(tables);
     registry.register("fletcher.source", move |implementation, streamlet| {
         let table_name = implementation

@@ -55,6 +55,8 @@ pub fn validate_project_with(project: &Project, index: &ProjectIndex) -> Vec<IrE
     let per_impl: Vec<Vec<IrError>> = impls
         .par_iter()
         .map(|&(impl_id, implementation)| {
+            let _span =
+                tydi_obs::trace::span_named("tydi-ir", || format!("drc:{}", implementation.name));
             let mut errs = Vec::new();
             validate_implementation(project, index, impl_id, implementation, &mut errs);
             errs

@@ -1,0 +1,336 @@
+//! A minimal JSON reader, just enough to load back what this crate
+//! writes (trace files, metric snapshots) in tests and tools, with no
+//! dependency outside `std`.
+//!
+//! Supports the full JSON value grammar: objects, arrays, strings
+//! (with escapes, including `\uXXXX` and surrogate pairs), numbers,
+//! booleans and `null`. Numbers are read as `f64`, which is lossless
+//! for every value this workspace serializes.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number, as `f64`.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, preserving source key order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup (first match) when this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members
+                .iter()
+                .find(|(name, _)| name == key)
+                .map(|(_, value)| value),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(text) => Some(text.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(value) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, when this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document; trailing whitespace is allowed, trailing
+/// content is an error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected `{}` at byte {}, found {:?}",
+            byte as char,
+            *pos,
+            bytes.get(*pos).map(|&b| b as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        other => Err(format!(
+            "unexpected {:?} at byte {}",
+            other.map(|&b| b as char),
+            *pos
+        )),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    keyword: &str,
+    value: Json,
+) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(keyword.as_bytes()) {
+        *pos += keyword.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid keyword at byte {}", *pos))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(members));
+            }
+            other => {
+                return Err(format!(
+                    "expected `,` or `}}` at byte {}, found {:?}",
+                    *pos,
+                    other.map(|&b| b as char)
+                ))
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            other => {
+                return Err(format!(
+                    "expected `,` or `]` at byte {}, found {:?}",
+                    *pos,
+                    other.map(|&b| b as char)
+                ))
+            }
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        *pos += 1;
+                        let unit = parse_hex4(bytes, pos)?;
+                        let c = if (0xD800..0xDC00).contains(&unit) {
+                            // High surrogate: a `\uXXXX` low surrogate
+                            // must follow.
+                            if bytes.get(*pos) != Some(&b'\\') || bytes.get(*pos + 1) != Some(&b'u')
+                            {
+                                return Err("lone high surrogate".to_string());
+                            }
+                            *pos += 2;
+                            let low = parse_hex4(bytes, pos)?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err("invalid low surrogate".to_string());
+                            }
+                            let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(code).ok_or("invalid surrogate pair")?
+                        } else {
+                            char::from_u32(unit).ok_or("invalid \\u escape")?
+                        };
+                        out.push(c);
+                        continue;
+                    }
+                    other => {
+                        return Err(format!(
+                            "invalid escape {:?} at byte {}",
+                            other.map(|&b| b as char),
+                            *pos
+                        ))
+                    }
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (input is a &str, so bytes are
+                // valid UTF-8; find the scalar's byte length).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && (bytes[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?);
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    if *pos + 4 > bytes.len() {
+        return Err("truncated \\u escape".to_string());
+    }
+    let hex = std::str::from_utf8(&bytes[*pos..*pos + 4]).map_err(|e| e.to_string())?;
+    let value = u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape".to_string())?;
+    *pos += 4;
+    Ok(value)
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Number)
+        .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = r#"{"a": [1, 2.5, -3e2], "b": {"c": true, "d": null}, "e": "x\n\"y\" é"}"#;
+        let value = parse(doc).unwrap();
+        let a = value.get("a").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].as_f64(), Some(1.0));
+        assert_eq!(a[2].as_f64(), Some(-300.0));
+        assert_eq!(
+            value.get("b").and_then(|v| v.get("c")),
+            Some(&Json::Bool(true))
+        );
+        assert_eq!(value.get("b").and_then(|v| v.get("d")), Some(&Json::Null));
+        assert_eq!(value.get("e").and_then(|v| v.as_str()), Some("x\n\"y\" é"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let value = parse(r#""😀""#).unwrap();
+        assert_eq!(value.as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse(r#""\ud83d""#).is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("01a").is_err());
+    }
+
+    #[test]
+    fn object_key_order_is_preserved() {
+        let value = parse(r#"{"z": 1, "a": 2}"#).unwrap();
+        let members = value.as_object().unwrap();
+        assert_eq!(members[0].0, "z");
+        assert_eq!(members[1].0, "a");
+        assert_eq!(value.get("a").and_then(|v| v.as_f64()), Some(2.0));
+    }
+}

@@ -1,0 +1,97 @@
+//! Observability substrate for the Tydi-lang toolchain: hierarchical
+//! tracing spans with Chrome-trace export, and a process-wide metrics
+//! registry, with no dependencies outside `std` (consistent with the
+//! workspace's offline-shim policy).
+//!
+//! The crate has two halves:
+//!
+//! * [`trace`] — begin/end spans and instant markers, buffered
+//!   per-thread without locks and drained into a Chrome trace-event
+//!   JSON file (loadable in Perfetto or `about:tracing`). Recording is
+//!   gated by one process-wide atomic: when tracing is disabled (the
+//!   default), a span is a relaxed atomic load and nothing else — no
+//!   allocation, no clock read, no buffer push. The `tydic --trace`
+//!   flag flips the atomic for the whole process.
+//! * [`metrics`] — named monotonic counters, gauges, histograms and
+//!   text annotations in one global registry, so the pipeline's
+//!   scattered statistics (stage timings, type-store hit rates, cache
+//!   reuse, simulation channel counters) land in a single typed
+//!   snapshot with a single JSON serializer.
+//!
+//! [`json`] is a minimal JSON reader used by the trace schema tests
+//! (and available to any consumer that needs to load the files this
+//! crate writes back in).
+//!
+//! # Span taxonomy
+//!
+//! Spans carry a `cat` (category) naming the crate that emitted them
+//! (`core`, `tydi-spec`, `tydi-ir`, `tydi-vhdl`, `tydi-rtl`,
+//! `tydi-sim`, `tydi-analyze`, `tydi-stdlib`, `tydi-fletcher`) and a
+//! name identifying the unit of work: `stage:<stage>` for whole
+//! pipeline stages, `parse:<file>`, `elab:<package>`, `drc:<impl>`,
+//! `lower:<impl>`, `emit:<module>`, `sim:<scenario>`,
+//! `analyze:<top>`, `fixpoint-iter:<n>`. Fine-grained spans
+//! (per-component simulator firings, per-type physical expansions)
+//! only record at [`trace::Level::Fine`], enabled by
+//! `tydic --trace-fine`.
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use trace::{
+    fine_span_named, instant, instant_named, span, span_named, Event, Phase, SpanGuard,
+};
+
+/// Builds a span with a `format!`-style name, evaluated only when
+/// tracing is enabled: `span!("core", "elab:{name}")`.
+#[macro_export]
+macro_rules! span {
+    ($cat:expr, $($fmt:tt)+) => {
+        $crate::trace::span_named($cat, || format!($($fmt)+))
+    };
+}
+
+/// Escapes a string for embedding in a JSON string literal (used by
+/// both the trace exporter and the metrics serializer).
+pub(crate) fn escape_json(text: &str, out: &mut String) {
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn escape_json_handles_specials() {
+        let mut out = String::new();
+        super::escape_json("a\"b\\c\nd\te\u{1}", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn span_macro_formats_lazily() {
+        // Disabled: the format must not run (a panicking closure would
+        // fire if it did — span_named guarantees laziness; here we just
+        // check the macro compiles against both literal and formatted
+        // names and records nothing while disabled).
+        let _serial = crate::trace::test_serial();
+        crate::trace::set_level(crate::trace::Level::Off);
+        let before = crate::trace::events_recorded();
+        {
+            let _a = span!("core", "literal");
+            let _b = span!("core", "formatted:{}", 42);
+        }
+        assert_eq!(crate::trace::events_recorded(), before);
+    }
+}

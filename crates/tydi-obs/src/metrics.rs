@@ -1,0 +1,325 @@
+//! The process-wide metrics registry: named counters, gauges,
+//! histograms and text annotations behind one mutex, snapshotted into
+//! one sorted, typed view with a single JSON serializer.
+//!
+//! The registry absorbs the pipeline's previously scattered statistics
+//! (stage timings, artifact-cache reuse counts, type-store hit rates,
+//! parallel-elaboration fanout, simulation channel counters) so every
+//! consumer — `tydic --timings`, `--timings-json`, the bench harness —
+//! reads the same names from the same place.
+//!
+//! Publication sites use *set* semantics (`counter_set`, `gauge_set`)
+//! when they report the final value of a finished unit of work (one
+//! compile, one simulation batch), so long-lived processes like
+//! `tydic check --watch` report per-run values rather than process
+//! accumulations; incremental sites use `counter_add`.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// One histogram's aggregate state.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Histogram {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    fn record(&mut self, sample: f64) {
+        if self.count == 0 {
+            self.min = sample;
+            self.max = sample;
+        } else {
+            self.min = self.min.min(sample);
+            self.max = self.max.max(sample);
+        }
+        self.count += 1;
+        self.sum += sample;
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A typed metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonic (or per-run) unsigned count.
+    Counter(u64),
+    /// Point-in-time measurement.
+    Gauge(f64),
+    /// Sample distribution aggregate.
+    Histogram(Histogram),
+    /// Free-form annotation (e.g. a fanout shape like `"2+14+1"`).
+    Text(String),
+}
+
+static REGISTRY: Mutex<BTreeMap<String, Metric>> = Mutex::new(BTreeMap::new());
+
+fn with_registry<T>(f: impl FnOnce(&mut BTreeMap<String, Metric>) -> T) -> T {
+    let mut registry = match REGISTRY.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    f(&mut registry)
+}
+
+/// Adds `delta` to a counter, creating it at zero first.
+pub fn counter_add(name: &str, delta: u64) {
+    with_registry(|registry| {
+        let entry = registry
+            .entry(name.to_string())
+            .or_insert(Metric::Counter(0));
+        match entry {
+            Metric::Counter(value) => *value += delta,
+            other => *other = Metric::Counter(delta),
+        }
+    });
+}
+
+/// Sets a counter to an absolute value (per-run publication sites).
+pub fn counter_set(name: &str, value: u64) {
+    with_registry(|registry| {
+        registry.insert(name.to_string(), Metric::Counter(value));
+    });
+}
+
+/// Sets a gauge.
+pub fn gauge_set(name: &str, value: f64) {
+    with_registry(|registry| {
+        registry.insert(name.to_string(), Metric::Gauge(value));
+    });
+}
+
+/// Sets a text annotation.
+pub fn text_set(name: &str, value: impl Into<String>) {
+    let value = value.into();
+    with_registry(|registry| {
+        registry.insert(name.to_string(), Metric::Text(value));
+    });
+}
+
+/// Records one histogram sample.
+pub fn histogram_record(name: &str, sample: f64) {
+    with_registry(|registry| {
+        let entry = registry
+            .entry(name.to_string())
+            .or_insert(Metric::Histogram(Histogram::default()));
+        match entry {
+            Metric::Histogram(h) => h.record(sample),
+            other => {
+                let mut h = Histogram::default();
+                h.record(sample);
+                *other = Metric::Histogram(h);
+            }
+        }
+    });
+}
+
+/// Removes every metric whose name starts with `prefix` (per-run
+/// publication sites clear their namespace before re-publishing, so a
+/// second run never inherits stale entries from a first).
+pub fn clear_prefix(prefix: &str) {
+    with_registry(|registry| {
+        registry.retain(|name, _| !name.starts_with(prefix));
+    });
+}
+
+/// Removes every metric (test isolation).
+pub fn reset() {
+    with_registry(|registry| registry.clear());
+}
+
+/// A point-in-time copy of the whole registry, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Name → value, in sorted name order.
+    pub entries: BTreeMap<String, Metric>,
+}
+
+/// Copies the registry.
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        entries: with_registry(|registry| registry.clone()),
+    }
+}
+
+impl Snapshot {
+    /// The counter's value, when `name` is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.entries.get(name) {
+            Some(Metric::Counter(value)) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The gauge's value, when `name` is a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.entries.get(name) {
+            Some(Metric::Gauge(value)) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The text annotation, when `name` is text.
+    pub fn text(&self, name: &str) -> Option<&str> {
+        match self.entries.get(name) {
+            Some(Metric::Text(value)) => Some(value.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The histogram aggregate, when `name` is a histogram.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        match self.entries.get(name) {
+            Some(Metric::Histogram(h)) => Some(*h),
+            _ => None,
+        }
+    }
+
+    /// Entries under a dotted prefix, e.g. `prefixed("sim.channel.")`.
+    pub fn prefixed<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a str, &'a Metric)> {
+        self.entries
+            .iter()
+            .filter(move |(name, _)| name.starts_with(prefix))
+            .map(|(name, metric)| (name.as_str(), metric))
+    }
+
+    /// Serializes the snapshot as one flat JSON object, names sorted.
+    /// Counters and gauges serialize as numbers, text as strings,
+    /// histograms as `{"count":..,"sum":..,"min":..,"max":..}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(32 + self.entries.len() * 48);
+        out.push_str("{\n");
+        for (index, (name, metric)) in self.entries.iter().enumerate() {
+            if index > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("  \"");
+            crate::escape_json(name, &mut out);
+            out.push_str("\": ");
+            match metric {
+                Metric::Counter(value) => out.push_str(&value.to_string()),
+                Metric::Gauge(value) => out.push_str(&format_f64(*value)),
+                Metric::Text(value) => {
+                    out.push('"');
+                    crate::escape_json(value, &mut out);
+                    out.push('"');
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+                        h.count,
+                        format_f64(h.sum),
+                        format_f64(h.min),
+                        format_f64(h.max)
+                    ));
+                }
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// `f64` as JSON: finite values verbatim (with a `.0` suffix for
+/// integral ones so they read back as floats), non-finite as `null`.
+fn format_f64(value: f64) -> String {
+    if !value.is_finite() {
+        return "null".to_string();
+    }
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{value:.1}")
+    } else {
+        format!("{value}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        crate::trace::test_serial()
+    }
+
+    #[test]
+    fn counters_gauges_text_and_histograms_round_trip() {
+        let _serial = serial();
+        reset();
+        counter_add("cache.parse.reused", 3);
+        counter_add("cache.parse.reused", 2);
+        counter_set("par.threads", 8);
+        gauge_set("timings.wall_ms", 12.5);
+        text_set("par.level_packages", "2+14+1");
+        histogram_record("parse.file_ms", 1.0);
+        histogram_record("parse.file_ms", 3.0);
+        let snap = snapshot();
+        assert_eq!(snap.counter("cache.parse.reused"), Some(5));
+        assert_eq!(snap.counter("par.threads"), Some(8));
+        assert_eq!(snap.gauge("timings.wall_ms"), Some(12.5));
+        assert_eq!(snap.text("par.level_packages"), Some("2+14+1"));
+        let h = snap.histogram("parse.file_ms").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 4.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+        assert_eq!(h.mean(), 2.0);
+        reset();
+        assert!(snapshot().entries.is_empty());
+    }
+
+    #[test]
+    fn clear_prefix_scopes_per_run_namespaces() {
+        let _serial = serial();
+        reset();
+        counter_set("sim.channel.a", 1);
+        counter_set("sim.channel.b", 2);
+        counter_set("types.distinct", 7);
+        clear_prefix("sim.");
+        let snap = snapshot();
+        assert_eq!(snap.counter("sim.channel.a"), None);
+        assert_eq!(snap.counter("types.distinct"), Some(7));
+        reset();
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_and_parses_back() {
+        let _serial = serial();
+        reset();
+        gauge_set("b.gauge", 2.0);
+        counter_set("a.counter", 1);
+        text_set("c.text", "x\"y");
+        histogram_record("d.hist", 1.5);
+        let snap = snapshot();
+        let text = snap.to_json();
+        reset();
+        let a = text.find("a.counter").unwrap();
+        let b = text.find("b.gauge").unwrap();
+        let c = text.find("c.text").unwrap();
+        assert!(a < b && b < c, "sorted: {text}");
+        let parsed = crate::json::parse(&text).expect("valid JSON");
+        assert_eq!(parsed.get("a.counter").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(parsed.get("b.gauge").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(parsed.get("c.text").and_then(|v| v.as_str()), Some("x\"y"));
+        assert_eq!(
+            parsed
+                .get("d.hist")
+                .and_then(|v| v.get("count"))
+                .and_then(|v| v.as_f64()),
+            Some(1.0)
+        );
+    }
+}

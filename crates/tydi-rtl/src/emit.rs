@@ -68,6 +68,8 @@ pub trait Emitter: Sync {
             .modules
             .par_iter()
             .map(|module| {
+                let _span =
+                    tydi_obs::trace::span_named("tydi-rtl", || format!("emit:{}", module.name));
                 Ok(EmittedFile {
                     name: self.file_name(module),
                     contents: self.emit_module(netlist, module)?,

@@ -298,6 +298,7 @@ impl<'a> SimBatch<'a> {
         graph: &SimGraph,
         scenario: &Scenario,
     ) -> Result<ScenarioReport, BatchError> {
+        let _span = tydi_obs::trace::span_named("tydi-sim", || format!("sim:{}", scenario.name));
         let attribute = |error: SimError| BatchError {
             scenario: scenario.name.clone(),
             error,

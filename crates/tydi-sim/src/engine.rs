@@ -516,7 +516,12 @@ impl Simulator {
                 blocked: &mut component.blocked,
                 activity: &mut activity,
             };
-            component.behavior.tick(&mut io);
+            {
+                let _span = tydi_obs::trace::fine_span_named("tydi-sim", || {
+                    format!("fire:{}", component.node.path)
+                });
+                component.behavior.tick(&mut io);
+            }
             if event_driven {
                 hints.push((index, component.behavior.wake(&io)));
             }

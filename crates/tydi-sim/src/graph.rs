@@ -83,6 +83,7 @@ pub fn flatten(
     top_impl: &str,
     channel_capacity: usize,
 ) -> Result<SimGraph, GraphError> {
+    let _span = tydi_obs::trace::span_named("tydi-sim", || format!("flatten:{top_impl}"));
     let implementation = project
         .implementation(top_impl)
         .ok_or_else(|| GraphError::UnknownTop(top_impl.to_string()))?;

@@ -731,6 +731,8 @@ pub fn lower_cached(ty: &LogicalType) -> Result<Arc<Vec<PhysicalStream>>, SpecEr
         }
     }
     drop(cache);
+    let _span =
+        tydi_obs::trace::fine_span_named("tydi-spec", || format!("expand:{fingerprint:016x}"));
     let expansion = Arc::new(crate::physical::lower(ty)?);
     let mut cache = shard.lock().expect("expansion cache poisoned");
     cache.stats.misses += 1;

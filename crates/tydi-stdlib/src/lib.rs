@@ -38,6 +38,7 @@ pub use source::{stdlib_loc, stdlib_source, with_stdlib, STDLIB_FILE_NAME};
 /// handshake builtins *and* every standard-library generator, for
 /// every backend (VHDL and SystemVerilog bodies alike).
 pub fn full_registry() -> tydi_vhdl::BuiltinRegistry {
+    let _span = tydi_obs::trace::span("tydi-stdlib", "full_registry");
     let registry = tydi_vhdl::BuiltinRegistry::with_core();
     register_builtins(&registry);
     register_builtins_sv(&registry);

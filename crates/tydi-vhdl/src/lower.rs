@@ -71,6 +71,9 @@ pub fn lower_project_with(
     let results: Vec<Result<Module, VhdlError>> = impls
         .par_iter()
         .map(|&(impl_id, implementation)| {
+            let _span = tydi_obs::trace::span_named("tydi-vhdl", || {
+                format!("lower:{}", implementation.name)
+            });
             lower_implementation(
                 project,
                 index,
@@ -234,6 +237,9 @@ pub fn lower_project_cached_with(
         .par_iter()
         .map(|&position| {
             let (impl_id, implementation) = impls[position];
+            let _span = tydi_obs::trace::span_named("tydi-vhdl", || {
+                format!("lower:{}", implementation.name)
+            });
             (
                 position,
                 lower_implementation(
@@ -289,6 +295,8 @@ pub fn emit_netlist_cached(
         .par_iter()
         .map(|&index| {
             let module = &netlist.modules[index];
+            let _span =
+                tydi_obs::trace::span_named("tydi-vhdl", || format!("emit:{}", module.name));
             let result = emitter
                 .emit_module(netlist, module)
                 .map(|contents| crate::VhdlFile {

@@ -3,16 +3,20 @@
 //! ```text
 //! tydic check   <file.td>... [--watch]       parse + elaborate + DRC
 //! tydic compile <file.td>... [options]       emit Tydi-IR, VHDL or Verilog
+//! tydic build   <file.td>... [options]       compile with --emit vhdl default
 //! tydic sim     <file.td>... --top <impl>    batch-simulate scenarios
 //! tydic analyze <file.td>... [--top <impl>]  static throughput/hazard analysis
 //! tydic --help | --version
 //!
 //! options:
-//!   --emit ir|vhdl|verilog  output format (default: ir)
+//!   --emit ir|vhdl|verilog  output format (default: ir; build: vhdl)
 //!   --no-sugar          disable duplicator/voider insertion
 //!   --no-std            do not implicitly include the standard library
 //!   --timings           print per-stage self times, the wall total,
 //!                       and per-stage cache reuse counts
+//!   --timings-json <f>  write the full metrics snapshot as JSON
+//!   --trace <file>      write a Chrome trace-event file of the run
+//!   --trace-fine        add fine-grained spans to --trace
 //!   --no-cache          disable the on-disk artifact cache
 //!   --cache-dir <dir>   artifact cache location (default: .tydic-cache)
 //!   -o, --out-dir <dir> write output files instead of stdout
@@ -85,22 +89,31 @@ impl EmitFormat {
 }
 
 const USAGE: &str = "\
-usage: tydic <check|compile|sim|analyze> <file.td>... [options]
+usage: tydic <check|compile|build|sim|analyze> <file.td>... [options]
 
 commands:
   check      parse + elaborate + design-rule check only
   compile    check, then emit Tydi-IR, VHDL or SystemVerilog
+  build      compile, defaulting to --emit vhdl
   sim        check, then batch-simulate stimulus scenarios
   analyze    check, then statically bound per-stream throughput and
              latency and flag structural hazards (no simulation)
 
 options:
   --emit ir|vhdl|verilog
-                    output format (default: ir)
+                    output format (default: ir; `build` defaults vhdl)
   --no-sugar        disable duplicator/voider insertion
   --no-std          do not implicitly include the standard library
   --timings         print per-stage self times, the wall-clock total,
                     and per-stage cache reuse counts
+  --timings-json <file>
+                    write the run's full metrics snapshot (timings,
+                    cache, type-store, parallelism, sim, analyze) as
+                    one flat JSON object
+  --trace <file>    record a Chrome trace-event file (load it in
+                    chrome://tracing or https://ui.perfetto.dev)
+  --trace-fine      include fine-grained spans (per-expansion,
+                    per-component firing) in the trace
   --no-cache        disable the on-disk artifact cache
   --cache-dir <dir> artifact cache location (default: .tydic-cache);
                     wipe it by deleting the directory
@@ -193,6 +206,12 @@ struct Options {
     deny: Option<tydi_analyze::Severity>,
     /// `analyze`: clock frequency in MHz for Hz-scaled bounds.
     clock_mhz: Option<f64>,
+    /// Chrome trace-event output file.
+    trace: Option<PathBuf>,
+    /// Include fine-grained spans in the trace.
+    trace_fine: bool,
+    /// Metrics-snapshot JSON output file.
+    timings_json: Option<PathBuf>,
 }
 
 fn parse_count<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, CliError> {
@@ -216,15 +235,22 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
     let Some((command, rest)) = args.split_first() else {
         return Err(CliError::usage(USAGE));
     };
-    if command != "check" && command != "compile" && command != "sim" && command != "analyze" {
+    let known = ["check", "compile", "build", "sim", "analyze"];
+    if !known.contains(&command.as_str()) {
         return Err(CliError::usage(format!(
-            "unknown command `{command}` (expected `check`, `compile`, `sim` or `analyze`)\n{USAGE}"
+            "unknown command `{command}` (expected `check`, `compile`, `build`, `sim` or \
+             `analyze`)\n{USAGE}"
         )));
     }
 
     let mut options = Options {
         command: command.clone(),
-        emit: EmitFormat::Ir,
+        // `build` is `compile` for users who want RTL out of the box.
+        emit: if command == "build" {
+            EmitFormat::Vhdl
+        } else {
+            EmitFormat::Ir
+        },
         out_dir: None,
         include_std: true,
         sugaring: true,
@@ -244,6 +270,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
         json: false,
         deny: None,
         clock_mhz: None,
+        trace: None,
+        trace_fine: false,
+        timings_json: None,
     };
     let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
@@ -269,6 +298,21 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
             "--no-std" => options.include_std = false,
             "--no-sugar" => options.sugaring = false,
             "--timings" => options.timings = true,
+            "--timings-json" => {
+                let file = iter
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| CliError::usage("--timings-json needs a file"))?;
+                options.timings_json = Some(PathBuf::from(file));
+            }
+            "--trace" => {
+                let file = iter
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| CliError::usage("--trace needs a file"))?;
+                options.trace = Some(PathBuf::from(file));
+            }
+            "--trace-fine" => options.trace_fine = true,
             "--no-cache" => options.no_cache = true,
             "--cache-dir" => {
                 let dir = iter
@@ -340,6 +384,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
     if options.watch && options.command != "check" {
         return Err(CliError::usage("--watch is only supported with `check`"));
     }
+    if options.trace_fine && options.trace.is_none() {
+        return Err(CliError::usage("--trace-fine needs --trace <file>"));
+    }
     Ok(Some(options))
 }
 
@@ -380,6 +427,7 @@ fn compile_once(options: &Options, cache: &mut ArtifactCache) -> Result<CompileO
     };
     let output = compile_with_cache(&refs, &compile_options, cache)
         .map_err(|failure| CliError::failure(failure.render()))?;
+    tydi_lang::publish_compile_metrics(&output);
     for d in &output.diagnostics {
         eprint!("{}", d.render(&output.files));
     }
@@ -433,40 +481,26 @@ fn print_timings(output: &CompileOutput) {
         reused[3],
         recomputed[3],
     );
-    // Type-store statistics: how much work hash-consing saved during
-    // elaboration, plus the process-wide physical-expansion memo the
-    // RTL backends consult. A fully cache-served compile reports the
-    // counts restored with the artifact.
-    let ts = output.elab_info.type_store;
-    let expansions = tydi_spec::expansion_cache_stats();
+    // Type-store and parallel-elaboration statistics, read back from
+    // the metrics registry ([`tydi_lang::publish_compile_metrics`]
+    // runs right after every compile) so the printed report and
+    // `--timings-json` can never disagree.
+    let snap = tydi_obs::metrics::snapshot();
     eprintln!(
         "types: {} distinct node(s) interned, {} dedup hit(s) ({:.0}% hit rate); \
          expansions: {} reused / {} computed",
-        ts.distinct_types,
-        ts.intern_hits,
-        ts.hit_rate(),
-        expansions.hits,
-        expansions.misses,
+        snap.counter("types.distinct").unwrap_or(0),
+        snap.counter("types.intern_hits").unwrap_or(0),
+        snap.gauge("types.intern_hit_rate_pct").unwrap_or(0.0),
+        snap.counter("types.expansions_reused").unwrap_or(0),
+        snap.counter("types.expansions_computed").unwrap_or(0),
     );
-    // Parallel-elaboration statistics: worker-pool width, how many
-    // packages each import-DAG level fanned out, and how often a
-    // type-store shard lock was contended.
-    let par = &output.elab_info.parallel;
-    let levels = par
-        .level_packages
-        .iter()
-        .map(|n| n.to_string())
-        .collect::<Vec<_>>()
-        .join("+");
+    let levels = snap.text("par.level_packages").unwrap_or("");
     eprintln!(
         "par: {} thread(s), packages per level [{}], {} shard contention event(s)",
-        par.threads,
-        if levels.is_empty() {
-            "-"
-        } else {
-            levels.as_str()
-        },
-        ts.shard_contention,
+        snap.counter("par.threads").unwrap_or(0),
+        if levels.is_empty() { "-" } else { levels },
+        snap.counter("types.shard_contention").unwrap_or(0),
     );
 }
 
@@ -633,6 +667,10 @@ fn run_analyze(options: &Options, output: &mut CompileOutput) -> Result<(), CliE
     let report = tydi_analyze::analyze(&output.project, &output.index, &top, &analyze_options)
         .map_err(|e| CliError::failure(e.to_string()))?;
     output.record_stage(Stage::Analyze, started.elapsed(), report.hazards.len());
+    // Republish so the analyze stage's time and hazard count reach the
+    // registry (and thus `--timings` and `--timings-json`).
+    tydi_lang::publish_compile_metrics(output);
+    tydi_obs::metrics::counter_set("analyze.hazards", report.hazards.len() as u64);
     if options.timings {
         print_timings(output);
     }
@@ -642,10 +680,28 @@ fn run_analyze(options: &Options, output: &mut CompileOutput) -> Result<(), CliE
         let _ = write!(std::io::stdout(), "{report}");
     }
     if let Some(deny) = options.deny {
-        let denied = report.hazards_at_least(deny).count();
-        if denied > 0 {
+        let denied: Vec<&tydi_analyze::Hazard> = report.hazards_at_least(deny).collect();
+        if !denied.is_empty() {
+            // Each denied hazard renders through the compiler's
+            // diagnostic renderer, pointing at the declaration of the
+            // implementation at the hazard site when the elaborator
+            // recorded its span (cache-restored compiles carry no
+            // spans and fall back to the span-less form).
+            for hazard in &denied {
+                let span = hazard
+                    .impl_name
+                    .as_deref()
+                    .and_then(|name| output.elab_info.impl_span(name));
+                let diagnostic = tydi_lang::Diagnostic::error(
+                    "analyze",
+                    format!("{}: {}", hazard.kind.name(), hazard.message),
+                    span,
+                );
+                eprint!("{}", diagnostic.render(&output.files));
+            }
             return Err(CliError::failure(format!(
-                "analyze: {denied} hazard(s) at or above `{}` in `{top}`",
+                "analyze: {} hazard(s) at or above `{}` in `{top}`",
+                denied.len(),
                 deny.name()
             )));
         }
@@ -705,6 +761,8 @@ fn run_sim(options: &Options, project: &tydi_ir::Project) -> Result<(), CliError
         .run(&scenarios)
         .map_err(|e| CliError::failure(format!("simulation failed: {e}")))?;
     let elapsed = started.elapsed();
+    publish_sim_metrics(&report);
+    tydi_obs::metrics::gauge_set("sim.elapsed_ms", elapsed.as_secs_f64() * 1e3);
     let _ = write!(std::io::stdout(), "{report}");
     if options.timings {
         print_channel_stats(&report);
@@ -722,30 +780,77 @@ fn run_sim(options: &Options, project: &tydi_ir::Project) -> Result<(), CliError
     Ok(())
 }
 
+/// Publishes every scenario's per-channel counters under the `sim.`
+/// prefix, replacing any previous batch. The `--timings` channel
+/// report and `--timings-json` both read these entries back.
+fn publish_sim_metrics(report: &tydi_sim::BatchReport) {
+    use tydi_obs::metrics::counter_set;
+    tydi_obs::metrics::clear_prefix("sim.");
+    counter_set("sim.scenarios", report.scenarios.len() as u64);
+    for scenario in &report.scenarios {
+        for c in &scenario.channels {
+            let key = format!("sim.channel.{}.{}", scenario.scenario, c.name);
+            counter_set(&format!("{key}.transferred"), c.transferred);
+            counter_set(&format!("{key}.max_occupancy"), c.max_occupancy as u64);
+            counter_set(&format!("{key}.capacity"), c.capacity as u64);
+            counter_set(&format!("{key}.refused"), c.refused_pushes);
+        }
+    }
+}
+
+/// One channel row of the `--timings` report, read back from the
+/// metrics registry.
+struct ChannelRow<'a> {
+    name: &'a str,
+    transferred: u64,
+    max_occupancy: u64,
+    capacity: u64,
+    refused: u64,
+}
+
+impl ChannelRow<'_> {
+    fn saturated(&self) -> bool {
+        self.max_occupancy >= self.capacity
+    }
+}
+
 /// `tydic sim --timings`: per-scenario channel occupancy and
 /// credit-stall counters, most refused pushes first, so saturated
 /// FIFOs (the backpressure front) are visible without re-running under
-/// a profiler.
+/// a profiler. Every number comes from the metrics registry (the
+/// report only drives scenario/channel iteration order), so this
+/// output and `--timings-json` can never disagree.
 fn print_channel_stats(report: &tydi_sim::BatchReport) {
+    let snap = tydi_obs::metrics::snapshot();
     for scenario in &report.scenarios {
-        let mut stats: Vec<_> = scenario
+        let rows: Vec<ChannelRow<'_>> = scenario
             .channels
             .iter()
-            .filter(|c| c.transferred > 0 || c.refused_pushes > 0)
+            .map(|c| {
+                let key = format!("sim.channel.{}.{}", scenario.scenario, c.name);
+                let counter = |field: &str| snap.counter(&format!("{key}.{field}")).unwrap_or(0);
+                ChannelRow {
+                    name: &c.name,
+                    transferred: counter("transferred"),
+                    max_occupancy: counter("max_occupancy"),
+                    capacity: counter("capacity"),
+                    refused: counter("refused"),
+                }
+            })
+            .collect();
+        let mut stats: Vec<&ChannelRow<'_>> = rows
+            .iter()
+            .filter(|c| c.transferred > 0 || c.refused > 0)
             .collect();
         stats.sort_by(|a, b| {
-            (b.refused_pushes, b.max_occupancy, &a.name).cmp(&(
-                a.refused_pushes,
-                a.max_occupancy,
-                &b.name,
-            ))
+            (b.refused, b.max_occupancy, a.name).cmp(&(a.refused, a.max_occupancy, b.name))
         });
         eprintln!(
             "channels [{}]: {} active of {} ({} saturated)",
             scenario.scenario,
             stats.len(),
-            scenario.channels.len(),
-            scenario.channels.iter().filter(|c| c.saturated()).count(),
+            rows.len(),
+            rows.iter().filter(|c| c.saturated()).count(),
         );
         eprintln!("  xfer   max/cap  refused  name");
         for c in stats.iter().take(12) {
@@ -754,7 +859,7 @@ fn print_channel_stats(report: &tydi_sim::BatchReport) {
                 c.transferred,
                 c.max_occupancy,
                 c.capacity,
-                c.refused_pushes,
+                c.refused,
                 c.name,
                 if c.saturated() { "  [saturated]" } else { "" },
             );
@@ -771,14 +876,48 @@ fn report(e: &CliError) -> ExitCode {
     ExitCode::from(e.code)
 }
 
+/// Writes the `--trace` and `--timings-json` files. Runs after
+/// [`run`] regardless of its outcome, so a failing compile still
+/// leaves a trace of how far it got. Write failures are warnings: the
+/// run's own exit status has already been decided.
+fn write_observability_outputs(options: &Options) {
+    if let Some(path) = &options.trace {
+        tydi_obs::trace::set_level(tydi_obs::trace::Level::Off);
+        let json = tydi_obs::trace::export_chrome_trace();
+        if let Err(e) = fs::write(path, json) {
+            eprintln!("warning: cannot write trace to `{}`: {e}", path.display());
+        }
+    }
+    if let Some(path) = &options.timings_json {
+        let json = tydi_obs::metrics::snapshot().to_json();
+        if let Err(e) = fs::write(path, json) {
+            eprintln!(
+                "warning: cannot write timings JSON to `{}`: {e}",
+                path.display()
+            );
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse_args(&args) {
         Ok(None) => ExitCode::SUCCESS,
-        Ok(Some(options)) => match run(&options) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => report(&e),
-        },
+        Ok(Some(options)) => {
+            if options.trace.is_some() {
+                tydi_obs::trace::set_level(if options.trace_fine {
+                    tydi_obs::trace::Level::Fine
+                } else {
+                    tydi_obs::trace::Level::Coarse
+                });
+            }
+            let result = run(&options);
+            write_observability_outputs(&options);
+            match result {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => report(&e),
+            }
+        }
         Err(e) => report(&e),
     }
 }

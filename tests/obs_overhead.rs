@@ -1,0 +1,48 @@
+//! The disabled-path guarantee of the tracing layer, checked by
+//! counter rather than by clock: with tracing off, a full compile
+//! must record **zero** trace events — every `span`/`instant` call
+//! site reduces to one relaxed atomic load and allocates nothing.
+//!
+//! This is the deterministic half of the overhead guard; the timed
+//! half (`overhead_ratio` vs the committed `BENCH_obs_overhead.json`)
+//! lives in `crates/bench/benches/obs_overhead.rs`.
+//!
+//! One test function on purpose: the trace level and event counter
+//! are process-wide, so sharing this binary with other tests would
+//! race on them.
+
+use tydi_obs::trace::{self, Level};
+
+#[test]
+fn disabled_tracing_records_nothing_across_a_full_compile() {
+    trace::set_level(Level::Off);
+    let drained = trace::take_events();
+    assert!(drained.is_empty(), "stale events before the probe");
+
+    let before = trace::events_recorded();
+    // A real multi-package compile crosses every instrumented crate:
+    // parse, per-package elaboration, sugar, DRC, IR emission.
+    let (_output, ir) = tydi_bench::compile_package_dag(10);
+    assert!(!ir.is_empty());
+
+    assert_eq!(
+        trace::events_recorded() - before,
+        0,
+        "a disabled-trace compile must not record events"
+    );
+    assert!(
+        trace::take_events().is_empty(),
+        "a disabled-trace compile must not buffer events"
+    );
+
+    // The same compile with tracing on does record — proving the
+    // counter probe actually covers the instrumented call sites.
+    trace::set_level(Level::Coarse);
+    tydi_bench::compile_package_dag(10);
+    trace::set_level(Level::Off);
+    let events = trace::take_events();
+    assert!(
+        !events.is_empty(),
+        "the probe workload must cross instrumented call sites"
+    );
+}
