@@ -1,0 +1,217 @@
+//! `tydic serve` round-trip latency: warm daemon checks vs cold
+//! process starts, against the real `tydic` binary.
+//!
+//! Three schedules are measured over the same generated design:
+//!
+//! * **cold process** — a full `tydic check --no-cache` run per
+//!   iteration: process spawn, cache-less compile, exit;
+//! * **warm daemon** — one NDJSON `check` job round-trip over the
+//!   daemon's unix socket, served from the resident [`ArtifactCache`]
+//!   and warm interners;
+//! * **delegated CLI** — `tydic check --daemon`: a fresh client
+//!   process per iteration that forwards the job to the daemon, so
+//!   the measured win is what an editor shelling out actually sees.
+//!
+//! Besides timing, the bench **asserts** the daemon contract: the
+//! second request onward must report `warm` (elaboration served from
+//! the resident cache) and the warm round-trip must be measurably
+//! (>= 2x) faster than the cold process start — so a daemon or cache
+//! regression fails the bench-smoke CI job rather than just printing
+//! slower numbers. Writes `BENCH_serve.json` at the repository root.
+//!
+//! Unix-only: the daemon's transport is a unix domain socket.
+
+#[cfg(unix)]
+mod imp {
+    use criterion::{black_box, Criterion};
+    use std::path::Path;
+    use std::process::{Child, Command, Stdio};
+    use std::time::{Duration, Instant};
+    use tydi_serve::client::Client;
+    use tydi_serve::protocol::{JobKind, JobRequest, JobResponse};
+
+    /// Streamlet count of the generated design — large enough that
+    /// the compile dominates trivial fixed costs, small enough that a
+    /// cold run stays interactive.
+    const STREAMLETS: usize = 24;
+
+    fn tydic() -> Command {
+        Command::new(env!("CARGO_BIN_EXE_tydic"))
+    }
+
+    /// A multi-streamlet design exercising distinct logical types per
+    /// streamlet (so elaboration does real per-entry work).
+    fn design() -> String {
+        let mut text = String::from("package bench_serve;\n");
+        for index in 0..STREAMLETS {
+            let width = 8 + (index % 24);
+            text.push_str(&format!(
+                "Group G{index} {{ data: Bit({width}), tag: Bit(4), }}\n\
+                 type T{index} = Stream(G{index});\n\
+                 streamlet s{index} {{ i : T{index} in, o : T{index} out, }}\n\
+                 impl x{index} of s{index} {{ i => o, }}\n"
+            ));
+        }
+        text
+    }
+
+    /// One full cold `tydic check --no-cache` process run.
+    fn cold_process(design: &Path) -> Duration {
+        let t0 = Instant::now();
+        let status = tydic()
+            .arg("check")
+            .arg(design)
+            .arg("--no-cache")
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .status()
+            .expect("run tydic check");
+        let elapsed = t0.elapsed();
+        assert!(status.success(), "cold check failed");
+        elapsed
+    }
+
+    /// One `tydic check --daemon` process run (spawn, forward to the
+    /// daemon, replay output, exit).
+    fn delegated_process(design: &Path, cache: &Path) -> Duration {
+        let t0 = Instant::now();
+        let status = tydic()
+            .arg("check")
+            .arg(design)
+            .arg("--daemon")
+            .arg("--cache-dir")
+            .arg(cache)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .status()
+            .expect("run tydic check --daemon");
+        let elapsed = t0.elapsed();
+        assert!(status.success(), "delegated check failed");
+        elapsed
+    }
+
+    fn check_request(design: &Path) -> JobRequest {
+        let mut request = JobRequest::new(JobKind::Check);
+        request.files = vec![design.display().to_string()];
+        request
+    }
+
+    /// One warm job round-trip over the already-connected client.
+    fn warm_roundtrip(client: &mut Client, design: &Path) -> (Duration, JobResponse) {
+        let t0 = Instant::now();
+        let response = client.request(&check_request(design)).expect("warm check");
+        let elapsed = t0.elapsed();
+        assert!(response.ok, "warm check failed: {}", response.stderr);
+        (elapsed, response)
+    }
+
+    fn spawn_daemon(cache: &Path) -> Child {
+        let child = tydic()
+            .arg("serve")
+            .arg("--cache-dir")
+            .arg(cache)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn daemon");
+        let socket = cache.join("serve.sock");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Client::connect(&socket).is_err() {
+            assert!(Instant::now() < deadline, "daemon never bound {socket:?}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        child
+    }
+
+    /// Best-of-N wall time of `f`.
+    fn best_of(n: usize, mut f: impl FnMut() -> Duration) -> Duration {
+        (0..n).map(|_| black_box(f())).min().expect("samples")
+    }
+
+    pub fn bench(c: &mut Criterion) {
+        let dir = std::env::temp_dir().join(format!("tydic-bench-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create workdir");
+        let design_path = dir.join("bench.td");
+        std::fs::write(&design_path, design()).expect("write design");
+        let cache = dir.join("cache");
+
+        let mut daemon = spawn_daemon(&cache);
+        let socket = cache.join("serve.sock");
+        let mut client = Client::connect(&socket).expect("connect");
+
+        // Prime: the first request compiles cold inside the daemon;
+        // from the second on, every stage must be served resident.
+        warm_roundtrip(&mut client, &design_path);
+        let (_, primed) = warm_roundtrip(&mut client, &design_path);
+        assert!(
+            primed.warm,
+            "second daemon check must reuse the resident cache: {}",
+            primed.stderr
+        );
+
+        let cold = best_of(5, || cold_process(&design_path));
+        let warm = best_of(15, || warm_roundtrip(&mut client, &design_path).0);
+        let delegated = best_of(5, || delegated_process(&design_path, &cache));
+
+        let warm_speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+        let delegated_speedup = cold.as_secs_f64() / delegated.as_secs_f64().max(1e-9);
+        println!(
+            "\n====== tydic serve: warm daemon vs cold process ({STREAMLETS} streamlets) ======"
+        );
+        println!("cold process start:      {cold:>12.2?}");
+        println!("warm daemon round-trip:  {warm:>12.2?}  ({warm_speedup:.1}x)");
+        println!("delegated `--daemon`:    {delegated:>12.2?}  ({delegated_speedup:.1}x)");
+        println!(
+            "================================================================================\n"
+        );
+
+        tydi_bench::BenchReport::new("serve")
+            .text("units", "ms (best-of-N, one generated design)")
+            .metric("streamlets", STREAMLETS as f64)
+            .metric("cold_process_ms", cold.as_secs_f64() * 1e3)
+            .metric("warm_daemon_ms", warm.as_secs_f64() * 1e3)
+            .metric("delegated_cli_ms", delegated.as_secs_f64() * 1e3)
+            .metric("warm_speedup", warm_speedup)
+            .metric("delegated_speedup", delegated_speedup)
+            .write()
+            .expect("write BENCH_serve.json");
+
+        // The headline daemon claim: a warm in-socket check beats a
+        // cold process start by a wide margin. 2x is deliberately
+        // conservative (locally it is orders of magnitude) so shared
+        // CI runners never flake on it.
+        assert!(
+            warm_speedup >= 2.0,
+            "warm daemon check must be measurably faster than a cold process start \
+             (cold {cold:?}, warm {warm:?})"
+        );
+
+        let mut group = c.benchmark_group("serve");
+        group.sample_size(10);
+        group.bench_function("cold/process", |b| b.iter(|| cold_process(&design_path)));
+        group.bench_function("warm/daemon-roundtrip", |b| {
+            b.iter(|| warm_roundtrip(&mut client, &design_path).0)
+        });
+        group.finish();
+
+        // Graceful shutdown: the daemon persists its cache, removes
+        // the socket, and exits cleanly.
+        let response = client
+            .request(&JobRequest::new(JobKind::Shutdown))
+            .expect("shutdown");
+        assert!(response.ok);
+        let status = daemon.wait().expect("daemon exit");
+        assert!(status.success(), "daemon exit status: {status:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[cfg(unix)]
+criterion::criterion_group!(benches, imp::bench);
+#[cfg(unix)]
+criterion::criterion_main!(benches);
+
+#[cfg(not(unix))]
+fn main() {}

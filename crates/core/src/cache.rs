@@ -42,6 +42,28 @@
 //! by the manifest — including `.tir` files left behind by the legacy
 //! text schema — are removed, so a long `--watch` session does
 //! bounded work per persist instead of rewriting its whole history.
+//!
+//! # Process safety
+//!
+//! A cache directory may be shared by many processes at once — the
+//! `tydic serve` daemon, CLI one-shots, and watch sessions all point
+//! at the same `.tydic-cache/` by default. Three mechanisms keep that
+//! safe:
+//!
+//! * every load and save holds an exclusive [`CacheLock`] (an
+//!   `O_CREAT|O_EXCL` lock file carrying the holder's PID, with
+//!   stale-lock takeover when the holder died), so a reader never
+//!   observes a half-swept directory;
+//! * [`ArtifactCache::save`] *merges* before it writes: still under
+//!   the lock it re-loads the on-disk state and adopts every entry it
+//!   does not already have (as the oldest, so this process's own
+//!   entries win FIFO eviction), so two processes persisting
+//!   different artifacts union their work instead of the garbage
+//!   collector deleting each other's files;
+//! * the manifest is written to a temporary file in the same
+//!   directory and atomically renamed into place, so a crash mid-write
+//!   (or a reader that raced past a stale lock) sees either the old
+//!   manifest or the new one, never a truncated hybrid.
 
 use crate::ast::Package;
 use crate::diagnostics::{Diagnostic, Severity};
@@ -49,9 +71,11 @@ use crate::fingerprint::{schema_fingerprint, Fingerprint};
 use crate::instantiate::ElabInfo;
 use crate::span::Span;
 use crate::sugar::SugarReport;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 use tydi_ir::Project;
 
 /// Default name of the on-disk cache directory.
@@ -70,6 +94,19 @@ pub const ELAB_CAPACITY: usize = 16;
 pub const PARSE_CAPACITY: usize = 256;
 
 const MANIFEST_NAME: &str = "manifest.txt";
+
+/// Name of the exclusive lock file serializing cache loads and saves
+/// across processes.
+const LOCK_NAME: &str = "lock";
+
+/// How long [`CacheLock::acquire`] waits for a live holder before
+/// giving up. Critical sections are one load-merge-save, so seconds of
+/// patience cover even a cold multi-design persist.
+const LOCK_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A lock file older than this whose holder cannot be probed (no
+/// `/proc` on this platform) is presumed abandoned and taken over.
+const LOCK_STALE_AGE: Duration = Duration::from_secs(30);
 
 /// Extension of persisted elaboration artifacts (binary Tydi-IR).
 const ARTIFACT_EXT: &str = "tirb";
@@ -201,18 +238,98 @@ impl ArtifactCache {
     /// unreadable manifest, or a schema mismatch all yield an empty
     /// cache — a stale or foreign cache self-invalidates rather than
     /// being misread.
+    ///
+    /// The read happens under the directory's [`CacheLock`] so it can
+    /// never observe another process mid-persist; if the lock cannot
+    /// be acquired (timeout, unwritable directory) the load degrades
+    /// to a best-effort unlocked read, which the atomic manifest
+    /// rename keeps safe against torn manifests (a mid-sweep artifact
+    /// deletion then at worst reads as a cold cache).
     pub fn load(dir: &Path) -> ArtifactCache {
+        if !dir.join(MANIFEST_NAME).exists() {
+            return ArtifactCache::new();
+        }
+        let _lock = CacheLock::acquire(dir).ok();
+        Self::load_unlocked(dir)
+    }
+
+    /// The raw manifest read, for callers already holding the lock.
+    fn load_unlocked(dir: &Path) -> ArtifactCache {
         let Ok(manifest) = std::fs::read_to_string(dir.join(MANIFEST_NAME)) else {
             return ArtifactCache::new();
         };
         parse_manifest(&manifest, dir).unwrap_or_default()
     }
 
-    /// Persists the cache under `dir` (creating it), overwriting any
-    /// previous contents.
-    pub fn save(&self, dir: &Path) -> io::Result<()> {
-        use std::fmt::Write as _;
+    /// Persists the cache under `dir` (creating it).
+    ///
+    /// The whole operation runs under the directory's exclusive
+    /// [`CacheLock`]: the on-disk state is re-loaded and merged into
+    /// this cache first (entries another process persisted since our
+    /// load are adopted as the oldest, so they survive unless FIFO
+    /// capacity genuinely evicts them), then artifacts and the
+    /// manifest are written (the manifest atomically, via a temp file
+    /// rename) and unreferenced artifact files are swept. On success
+    /// the dirty flag clears, so an unchanged cache skips the next
+    /// persist entirely.
+    pub fn save(&mut self, dir: &Path) -> io::Result<()> {
         std::fs::create_dir_all(dir)?;
+        let lock = CacheLock::acquire(dir)?;
+        self.absorb(Self::load_unlocked(dir));
+        self.write_locked(dir)?;
+        drop(lock);
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Adopts every entry of `disk` this cache does not already have,
+    /// as the *oldest* entries (they predate this save), then trims
+    /// back to capacity. Our own entries win ties: a merged-in entry
+    /// is evicted before anything this process computed.
+    fn absorb(&mut self, disk: ArtifactCache) {
+        let ArtifactCache {
+            mut parse,
+            parse_order,
+            mut elab,
+            elab_order,
+            ..
+        } = disk;
+        let mut merged: Vec<ParseKey> = Vec::new();
+        for key in parse_order {
+            if let Some(artifact) = parse.remove(&key) {
+                if let Entry::Vacant(slot) = self.parse.entry(key) {
+                    slot.insert(artifact);
+                    merged.push(key);
+                }
+            }
+        }
+        merged.append(&mut self.parse_order);
+        self.parse_order = merged;
+        while self.parse_order.len() > PARSE_CAPACITY {
+            let evicted = self.parse_order.remove(0);
+            self.parse.remove(&evicted);
+        }
+        let mut merged: Vec<Fingerprint> = Vec::new();
+        for key in elab_order {
+            if let Some(artifact) = elab.remove(&key) {
+                if let Entry::Vacant(slot) = self.elab.entry(key) {
+                    slot.insert(artifact);
+                    merged.push(key);
+                }
+            }
+        }
+        merged.append(&mut self.elab_order);
+        self.elab_order = merged;
+        while self.elab_order.len() > ELAB_CAPACITY {
+            let evicted = self.elab_order.remove(0);
+            self.elab.remove(&evicted);
+        }
+    }
+
+    /// Writes artifacts, the manifest, and runs the sweep. The caller
+    /// holds the [`CacheLock`].
+    fn write_locked(&self, dir: &Path) -> io::Result<()> {
+        use std::fmt::Write as _;
         let mut manifest = String::new();
         let _ = writeln!(manifest, "tydic-cache {}", schema_fingerprint());
         // Deterministic order keeps the manifest diffable.
@@ -258,10 +375,19 @@ impl ArtifactCache {
                 std::fs::write(path, tydi_ir::binary::encode_project(&artifact.project))?;
             }
         }
+        // The manifest lands atomically: write a temp file in the
+        // same directory, then rename over the old manifest. A crash
+        // (or a lock-bypassing reader) sees the old manifest or the
+        // new one, never a truncation.
+        let tmp = dir.join(format!("{MANIFEST_NAME}.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, manifest)?;
+        std::fs::rename(&tmp, dir.join(MANIFEST_NAME))?;
         // Garbage-collect artifact files evicted from (or never in)
         // the manifest — including legacy `.tir` text artifacts, which
         // the binary schema never references — so the directory stays
-        // bounded across format migrations.
+        // bounded across format migrations. The sweep runs *after* the
+        // rename: a crash between the two leaves orphan files (cleaned
+        // by the next save), never a manifest referencing missing ones.
         if let Ok(entries) = std::fs::read_dir(dir) {
             for entry in entries.flatten() {
                 let name = entry.file_name().to_string_lossy().to_string();
@@ -280,7 +406,92 @@ impl ArtifactCache {
                 }
             }
         }
-        std::fs::write(dir.join(MANIFEST_NAME), manifest)
+        Ok(())
+    }
+}
+
+/// An exclusive, cross-process lock on a cache directory.
+///
+/// The lock is a file created with `O_CREAT|O_EXCL` (so creation is
+/// the atomic acquire) holding the owner's PID. [`CacheLock::acquire`]
+/// spins with a short sleep until the file can be created, taking over
+/// locks whose holder provably died (the PID no longer exists under
+/// `/proc`; where `/proc` is unavailable, a lock older than
+/// [`LOCK_STALE_AGE`] is presumed abandoned), and gives up with
+/// [`io::ErrorKind::TimedOut`] after [`LOCK_TIMEOUT`]. Dropping the
+/// guard removes the file.
+#[derive(Debug)]
+pub struct CacheLock {
+    path: PathBuf,
+}
+
+impl CacheLock {
+    /// Acquires the lock for `dir`, creating the directory if needed.
+    pub fn acquire(dir: &Path) -> io::Result<CacheLock> {
+        use std::io::Write as _;
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(LOCK_NAME);
+        let deadline = Instant::now() + LOCK_TIMEOUT;
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    let _ = write!(file, "{}", std::process::id());
+                    return Ok(CacheLock { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if lock_is_stale(&path) {
+                        // Best-effort takeover; racing removers are
+                        // fine, the create_new above re-arbitrates.
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("cache lock `{}` held too long", path.display()),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for CacheLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// True when the lock file's holder provably no longer exists, or the
+/// holder cannot be probed and the file is old enough to presume
+/// abandoned. A just-created lock whose PID has not been written yet
+/// reads as empty and is *not* stale (its mtime is fresh).
+fn lock_is_stale(path: &Path) -> bool {
+    if let Ok(text) = std::fs::read_to_string(path) {
+        if let Ok(pid) = text.trim().parse::<u32>() {
+            let proc_root = Path::new("/proc");
+            if proc_root.is_dir() {
+                return !proc_root.join(pid.to_string()).exists();
+            }
+        }
+    }
+    // No PID to probe (unwritten or foreign lock, or no procfs):
+    // fall back to age.
+    match std::fs::metadata(path).and_then(|m| m.modified()) {
+        Ok(modified) => modified
+            .elapsed()
+            .map(|age| age > LOCK_STALE_AGE)
+            .unwrap_or(false),
+        // The file vanished between the failed create and this probe:
+        // the holder released it; retry immediately.
+        Err(_) => true,
     }
 }
 
@@ -481,6 +692,90 @@ mod tests {
         assert!(elab.project.implementation("x").is_some());
         assert_eq!(elab.project.validate(), Ok(()));
         assert_eq!(elab.diagnostics.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_clears_the_dirty_flag() {
+        let dir = std::env::temp_dir().join(format!("tydic-dirty-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = ArtifactCache::new();
+        cache.store_elab(Fingerprint::of_str("k"), sample_elab());
+        assert!(cache.is_dirty());
+        cache.save(&dir).unwrap();
+        assert!(
+            !cache.is_dirty(),
+            "a successful save must clear the dirty flag so unchanged \
+             caches skip the next persist"
+        );
+        cache.store_elab(Fingerprint::of_str("k2"), sample_elab());
+        assert!(cache.is_dirty(), "new stores re-dirty the cache");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_saves_merge_instead_of_clobbering() {
+        // Two processes sharing a cache dir each persist their own
+        // artifact; the second save must union with the first, not
+        // garbage-collect its files.
+        let dir = std::env::temp_dir().join(format!("tydic-merge-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key_a = Fingerprint::of_str("process-a");
+        let key_b = Fingerprint::of_str("process-b");
+        let mut a = ArtifactCache::new();
+        a.store_elab(key_a, sample_elab());
+        a.save(&dir).unwrap();
+        let mut b = ArtifactCache::new(); // never saw a's entry
+        b.store_elab(key_b, sample_elab());
+        b.save(&dir).unwrap();
+        assert!(
+            dir.join(format!("{key_a}.{ARTIFACT_EXT}")).exists(),
+            "b's save must not delete a's artifact"
+        );
+        assert!(dir.join(format!("{key_b}.{ARTIFACT_EXT}")).exists());
+        let restored = ArtifactCache::load(&dir);
+        assert!(restored.lookup_elab(key_a).is_some());
+        assert!(restored.lookup_elab(key_b).is_some());
+        // The merge also flows back into the saving cache.
+        assert!(b.lookup_elab(key_a).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_leaves_no_temp_manifest_behind() {
+        let dir = std::env::temp_dir().join(format!("tydic-tmp-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = ArtifactCache::new();
+        cache.store_elab(Fingerprint::of_str("k"), sample_elab());
+        cache.save(&dir).unwrap();
+        for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+            let name = entry.file_name().to_string_lossy().to_string();
+            assert!(
+                !name.contains(".tmp."),
+                "temp manifest `{name}` must be renamed away"
+            );
+            assert_ne!(name, LOCK_NAME, "the lock must be released");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lock_round_trips_and_takes_over_stale_holders() {
+        let dir = std::env::temp_dir().join(format!("tydic-lock-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let _lock = CacheLock::acquire(&dir).unwrap();
+            let on_disk = std::fs::read_to_string(dir.join(LOCK_NAME)).unwrap();
+            assert_eq!(on_disk.trim(), std::process::id().to_string());
+        }
+        assert!(
+            !dir.join(LOCK_NAME).exists(),
+            "dropping the guard releases the lock"
+        );
+        // A lock left by a dead process (a PID far beyond pid_max) is
+        // taken over instead of timing out.
+        std::fs::write(dir.join(LOCK_NAME), "999999999").unwrap();
+        let _lock = CacheLock::acquire(&dir).expect("stale lock takeover");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

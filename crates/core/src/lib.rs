@@ -61,7 +61,7 @@ pub mod sugar;
 pub mod token;
 pub mod value;
 
-pub use cache::{ArtifactCache, CACHE_DIR_NAME};
+pub use cache::{ArtifactCache, CacheLock, CACHE_DIR_NAME};
 pub use diagnostics::{Diagnostic, Severity};
 pub use fingerprint::Fingerprint;
 pub use obs::publish_compile_metrics;

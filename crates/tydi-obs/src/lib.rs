@@ -53,8 +53,9 @@ macro_rules! span {
 }
 
 /// Escapes a string for embedding in a JSON string literal (used by
-/// both the trace exporter and the metrics serializer).
-pub(crate) fn escape_json(text: &str, out: &mut String) {
+/// the trace exporter, the metrics serializer, and protocol writers
+/// like `tydi-serve` that emit JSON without a serde dependency).
+pub fn escape_json(text: &str, out: &mut String) {
     for c in text.chars() {
         match c {
             '"' => out.push_str("\\\""),

@@ -13,9 +13,57 @@
 //! compile, one simulation batch), so long-lived processes like
 //! `tydic check --watch` report per-run values rather than process
 //! accumulations; incremental sites use `counter_add`.
+//!
+//! # Per-request scoping
+//!
+//! A long-lived server (the `tydic serve` daemon) publishes many
+//! runs' metrics concurrently; raw names would clobber each other.
+//! [`scoped`] pushes a thread-local name prefix (e.g. `req.17.`) that
+//! every mutation on that thread applies transparently — publication
+//! sites like `publish_compile_metrics` need no changes — and
+//! [`Snapshot::prefixed`] reads one request's namespace back out.
+//! Scoping is per-thread: work a scoped thread fans out to a pool
+//! lands unscoped, so scope the thread that publishes the totals.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
+
+thread_local! {
+    /// The active name prefix for this thread's metric mutations.
+    static SCOPE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// RAII guard for a thread-local metric name scope; see [`scoped`].
+#[derive(Debug)]
+pub struct Scope {
+    previous: Option<String>,
+}
+
+/// Prefixes every metric name this thread writes (or clears) with
+/// `prefix` until the returned guard drops, restoring the previous
+/// scope (scopes nest). Reads ([`snapshot`]) are unaffected: the
+/// registry stays global, scoped names are just distinct entries.
+pub fn scoped(prefix: impl Into<String>) -> Scope {
+    let prefix = prefix.into();
+    let previous = SCOPE.with(|scope| scope.replace(Some(prefix)));
+    Scope { previous }
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        let previous = self.previous.take();
+        SCOPE.with(|scope| *scope.borrow_mut() = previous);
+    }
+}
+
+/// The thread's scope prefix applied to `name`.
+fn scoped_name(name: &str) -> String {
+    SCOPE.with(|scope| match scope.borrow().as_deref() {
+        Some(prefix) => format!("{prefix}{name}"),
+        None => name.to_string(),
+    })
+}
 
 /// One histogram's aggregate state.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -78,10 +126,9 @@ fn with_registry<T>(f: impl FnOnce(&mut BTreeMap<String, Metric>) -> T) -> T {
 
 /// Adds `delta` to a counter, creating it at zero first.
 pub fn counter_add(name: &str, delta: u64) {
+    let name = scoped_name(name);
     with_registry(|registry| {
-        let entry = registry
-            .entry(name.to_string())
-            .or_insert(Metric::Counter(0));
+        let entry = registry.entry(name).or_insert(Metric::Counter(0));
         match entry {
             Metric::Counter(value) => *value += delta,
             other => *other = Metric::Counter(delta),
@@ -91,31 +138,35 @@ pub fn counter_add(name: &str, delta: u64) {
 
 /// Sets a counter to an absolute value (per-run publication sites).
 pub fn counter_set(name: &str, value: u64) {
+    let name = scoped_name(name);
     with_registry(|registry| {
-        registry.insert(name.to_string(), Metric::Counter(value));
+        registry.insert(name, Metric::Counter(value));
     });
 }
 
 /// Sets a gauge.
 pub fn gauge_set(name: &str, value: f64) {
+    let name = scoped_name(name);
     with_registry(|registry| {
-        registry.insert(name.to_string(), Metric::Gauge(value));
+        registry.insert(name, Metric::Gauge(value));
     });
 }
 
 /// Sets a text annotation.
 pub fn text_set(name: &str, value: impl Into<String>) {
+    let name = scoped_name(name);
     let value = value.into();
     with_registry(|registry| {
-        registry.insert(name.to_string(), Metric::Text(value));
+        registry.insert(name, Metric::Text(value));
     });
 }
 
 /// Records one histogram sample.
 pub fn histogram_record(name: &str, sample: f64) {
+    let name = scoped_name(name);
     with_registry(|registry| {
         let entry = registry
-            .entry(name.to_string())
+            .entry(name)
             .or_insert(Metric::Histogram(Histogram::default()));
         match entry {
             Metric::Histogram(h) => h.record(sample),
@@ -132,8 +183,9 @@ pub fn histogram_record(name: &str, sample: f64) {
 /// publication sites clear their namespace before re-publishing, so a
 /// second run never inherits stale entries from a first).
 pub fn clear_prefix(prefix: &str) {
+    let prefix = scoped_name(prefix);
     with_registry(|registry| {
-        registry.retain(|name, _| !name.starts_with(prefix));
+        registry.retain(|name, _| !name.starts_with(&prefix));
     });
 }
 
@@ -279,6 +331,45 @@ mod tests {
         assert_eq!(h.mean(), 2.0);
         reset();
         assert!(snapshot().entries.is_empty());
+    }
+
+    #[test]
+    fn thread_scope_prefixes_writes_and_clears() {
+        let _serial = serial();
+        reset();
+        counter_set("timings.wall", 1);
+        {
+            let _scope = scoped("req.7.");
+            counter_set("timings.wall", 2);
+            gauge_set("timings.parse_ms", 1.5);
+            text_set("par.levels", "1+2");
+            histogram_record("parse.file_ms", 3.0);
+            counter_add("cache.hits", 4);
+            {
+                let _inner = scoped("req.8.");
+                counter_set("timings.wall", 3);
+            }
+            // Nested scope restored to req.7.
+            counter_set("nested.restored", 1);
+            // A scoped clear only touches the scoped namespace.
+            clear_prefix("par.");
+        }
+        let snap = snapshot();
+        assert_eq!(snap.counter("timings.wall"), Some(1), "unscoped untouched");
+        assert_eq!(snap.counter("req.7.timings.wall"), Some(2));
+        assert_eq!(snap.counter("req.8.timings.wall"), Some(3));
+        assert_eq!(snap.gauge("req.7.timings.parse_ms"), Some(1.5));
+        assert_eq!(snap.counter("req.7.cache.hits"), Some(4));
+        assert_eq!(snap.counter("req.7.nested.restored"), Some(1));
+        assert_eq!(
+            snap.histogram("req.7.parse.file_ms").map(|h| h.count),
+            Some(1)
+        );
+        assert_eq!(snap.text("req.7.par.levels"), None, "scoped clear applied");
+        // Guard dropped: writes land unscoped again.
+        counter_set("after.scope", 9);
+        assert_eq!(snapshot().counter("after.scope"), Some(9));
+        reset();
     }
 
     #[test]

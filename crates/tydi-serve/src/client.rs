@@ -1,0 +1,103 @@
+//! The daemon client used by `tydic --daemon`: connect to the socket
+//! under the cache directory, spawning the daemon on demand, send one
+//! job per call, and surface connection failures so the caller can
+//! fall back to in-process compilation.
+
+use crate::protocol::{JobRequest, JobResponse};
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// When set (to anything), [`connect_or_spawn`] never starts a daemon —
+/// tests use this to pin down the fallback path.
+pub const NO_SPAWN_ENV: &str = "TYDIC_NO_SPAWN";
+
+/// How long [`connect_or_spawn`] waits for a freshly spawned daemon's
+/// socket to accept.
+const SPAWN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// One connection to a daemon.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<UnixStream>,
+}
+
+impl Client {
+    /// Connects to a daemon socket.
+    pub fn connect(socket: &Path) -> io::Result<Client> {
+        Ok(Client {
+            reader: BufReader::new(UnixStream::connect(socket)?),
+        })
+    }
+
+    /// Sends one job and reads its response.
+    pub fn request(&mut self, request: &JobRequest) -> io::Result<JobResponse> {
+        let line = request.to_json();
+        let stream = self.reader.get_mut();
+        stream.write_all(line.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection mid-request",
+            ));
+        }
+        JobResponse::parse(&response)
+            .map_err(|message| io::Error::new(io::ErrorKind::InvalidData, message))
+    }
+}
+
+/// Connects to the daemon owning `cache_dir`, launching `daemon_exe
+/// serve --cache-dir <dir>` first when nothing is listening (unless
+/// [`NO_SPAWN_ENV`] is set). The spawned daemon is detached: it
+/// outlives this client and keeps its cache warm for the next run.
+pub fn connect_or_spawn(
+    cache_dir: &Path,
+    socket: Option<&Path>,
+    daemon_exe: &Path,
+) -> io::Result<Client> {
+    let socket: PathBuf = socket
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| crate::socket_path(cache_dir));
+    if let Ok(client) = Client::connect(&socket) {
+        return Ok(client);
+    }
+    if std::env::var_os(NO_SPAWN_ENV).is_some() {
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            format!(
+                "no daemon on {} and {NO_SPAWN_ENV} forbids spawning one",
+                socket.display()
+            ),
+        ));
+    }
+    let mut command = std::process::Command::new(daemon_exe);
+    command
+        .arg("serve")
+        .arg("--cache-dir")
+        .arg(cache_dir)
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null());
+    command.spawn()?;
+    // The daemon binds its socket before serving; poll until it does.
+    let deadline = Instant::now() + SPAWN_DEADLINE;
+    loop {
+        match Client::connect(&socket) {
+            Ok(client) => return Ok(client),
+            Err(e) if Instant::now() >= deadline => {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "daemon spawned but {} did not accept within {SPAWN_DEADLINE:?}: {e}",
+                        socket.display()
+                    ),
+                ));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}

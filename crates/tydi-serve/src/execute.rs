@@ -1,0 +1,504 @@
+//! The shared job runner: one function that executes a compile job
+//! against a resident [`ArtifactCache`], producing exactly the bytes
+//! an in-process `tydic` run would have produced.
+//!
+//! Both the daemon and the byte-identity tests route through
+//! [`run_job`], and its output formatting deliberately mirrors
+//! `src/bin/tydic.rs` line for line — the acceptance bar for the
+//! daemon is that `tydic --daemon check` and `tydic check` are
+//! indistinguishable apart from latency.
+
+use crate::protocol::{DiagnosticInfo, JobKind, JobRequest, JobResponse};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use tydi_lang::{compile_with_cache, ArtifactCache, CompileOptions, CompileOutput, Stage};
+use tydi_obs::metrics::{self, Metric};
+use tydi_stdlib::{full_registry, stdlib_source, STDLIB_FILE_NAME};
+use tydi_vhdl::{generate_project_for_with, Backend, VhdlOptions};
+
+/// Runs one `check`/`build`/`analyze` job against the cache. When
+/// `scope` is non-empty (the daemon passes `req.<n>.`), every metric
+/// the job publishes lands under that thread-local prefix; the
+/// response embeds the prefix-stripped namespace as JSON and the
+/// namespace is scrubbed from the registry afterwards, so a long-lived
+/// daemon's registry does not grow with request count.
+pub fn run_job(request: &JobRequest, cache: &mut ArtifactCache, scope: &str) -> JobResponse {
+    debug_assert!(matches!(
+        request.kind,
+        JobKind::Check | JobKind::Build | JobKind::Analyze
+    ));
+    let started = Instant::now();
+    let scope_guard = (!scope.is_empty()).then(|| metrics::scoped(scope.to_string()));
+    let mut response = run_job_inner(request, cache);
+    if scope_guard.is_some() {
+        response.metrics_json = scoped_metrics_json(scope);
+        // Scrub this request's namespace (the guard is still active,
+        // so the empty prefix resolves to exactly `scope`).
+        metrics::clear_prefix("");
+    }
+    drop(scope_guard);
+    response.elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    response
+}
+
+fn run_job_inner(request: &JobRequest, cache: &mut ArtifactCache) -> JobResponse {
+    let mut response = JobResponse::new(request.id);
+    if request.files.is_empty() {
+        return JobResponse::failure(request.id, 2, "no input files");
+    }
+    // Validate job-level options before compiling, mirroring
+    // `parse_args` (same messages, same usage exit code).
+    let deny = match request.deny.as_deref() {
+        None => None,
+        Some(text) => match tydi_analyze::Severity::parse(text) {
+            Some(severity) => Some(severity),
+            None => {
+                return JobResponse::failure(
+                    request.id,
+                    2,
+                    format!("unknown --deny severity `{text}` (expected info|warning|error)"),
+                )
+            }
+        },
+    };
+    let backend = match request.emit.as_str() {
+        "ir" => None,
+        "vhdl" => Some(Backend::Vhdl),
+        "verilog" | "sv" | "systemverilog" => Some(Backend::SystemVerilog),
+        other => {
+            return JobResponse::failure(
+                request.id,
+                2,
+                format!("unknown --emit format `{other}` (expected ir|vhdl|verilog)"),
+            )
+        }
+    };
+
+    let sources = match load_sources(request) {
+        Ok(sources) => sources,
+        Err(message) => return JobResponse::failure(request.id, 2, message),
+    };
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(name, text)| (name.as_str(), text.as_str()))
+        .collect();
+    let compile_options = CompileOptions {
+        project_name: "tydic_out".to_string(),
+        enable_sugaring: request.sugaring,
+        run_drc: true,
+    };
+    let mut output = match compile_with_cache(&refs, &compile_options, cache) {
+        Ok(output) => output,
+        Err(failure) => {
+            response.ok = false;
+            response.exit_code = 1;
+            response.stderr = failure.render();
+            response.diagnostics = diagnostic_infos(&failure.diagnostics, &failure.files);
+            return response;
+        }
+    };
+    tydi_lang::publish_compile_metrics(&output);
+    for diagnostic in &output.diagnostics {
+        response.stderr.push_str(&diagnostic.render(&output.files));
+    }
+    response.diagnostics = diagnostic_infos(&output.diagnostics, &output.files);
+    let stats = output.project.stats();
+    response.stderr.push_str(&format!(
+        "ok: {} streamlet(s), {} implementation(s), {} connection(s) in {:?}\n",
+        stats.streamlets, stats.implementations, stats.connections, output.timings.wall
+    ));
+    response.warm = output
+        .stage_records
+        .iter()
+        .any(|record| matches!(record.stage, Stage::Elaborate) && record.reused > 0);
+
+    match request.kind {
+        JobKind::Check => {}
+        JobKind::Build => emit(request, backend, &output, &mut response),
+        JobKind::Analyze => analyze(request, deny, &mut output, &mut response),
+        JobKind::Status | JobKind::Shutdown => unreachable!("handled by the server"),
+    }
+    response
+}
+
+/// Reads the job's input files (the standard library is implicit
+/// unless the job disables it), mirroring the CLI's `load_sources`.
+fn load_sources(request: &JobRequest) -> Result<Vec<(String, String)>, String> {
+    let mut sources: Vec<(String, String)> = Vec::new();
+    if request.include_std {
+        sources.push((STDLIB_FILE_NAME.to_string(), stdlib_source().to_string()));
+    }
+    for file in &request.files {
+        let text =
+            std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+        sources.push((file.clone(), text));
+    }
+    Ok(sources)
+}
+
+/// `build` jobs: emit IR text or RTL through the netlist backends,
+/// mirroring the CLI's emit arm of `run`.
+fn emit(
+    request: &JobRequest,
+    backend: Option<Backend>,
+    output: &CompileOutput,
+    response: &mut JobResponse,
+) {
+    let out_dir = request.out_dir.as_ref().map(PathBuf::from);
+    match backend {
+        None => {
+            let text = tydi_ir::text::emit_project(&output.project);
+            match &out_dir {
+                Some(dir) => {
+                    let path = dir.join("project.tir");
+                    if let Err(e) =
+                        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &text))
+                    {
+                        response.fail(1, format!("write failed: {e}"));
+                        return;
+                    }
+                    response
+                        .stderr
+                        .push_str(&format!("wrote {}\n", path.display()));
+                    response.artifacts.push(path.display().to_string());
+                }
+                None => response.stdout.push_str(&text),
+            }
+        }
+        Some(backend) => {
+            let registry = full_registry();
+            tydi_fletcher::register_fletcher_rtl(&registry);
+            let generated = match generate_project_for_with(
+                &output.project,
+                &output.index,
+                &registry,
+                &VhdlOptions::default(),
+                backend,
+            ) {
+                Ok(generated) => generated,
+                Err(e) => {
+                    response.fail(1, format!("{backend} generation failed: {e}"));
+                    return;
+                }
+            };
+            match &out_dir {
+                Some(dir) => {
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        response.fail(1, format!("cannot create `{}`: {e}", dir.display()));
+                        return;
+                    }
+                    for file in &generated {
+                        let path = dir.join(&file.name);
+                        if let Err(e) = std::fs::write(&path, &file.contents) {
+                            response.fail(1, format!("write failed: {e}"));
+                            return;
+                        }
+                        response.artifacts.push(path.display().to_string());
+                    }
+                    response.stderr.push_str(&format!(
+                        "wrote {} file(s) to {}\n",
+                        generated.len(),
+                        dir.display()
+                    ));
+                }
+                None => {
+                    response
+                        .stdout
+                        .push_str(&tydi_vhdl::files_to_string(&generated, backend));
+                }
+            }
+        }
+    }
+}
+
+/// `analyze` jobs: static throughput/latency bounds and hazards,
+/// mirroring the CLI's `run_analyze`.
+fn analyze(
+    request: &JobRequest,
+    deny: Option<tydi_analyze::Severity>,
+    output: &mut CompileOutput,
+    response: &mut JobResponse,
+) {
+    let candidates = output.project.top_level_candidates();
+    let top = match request.top.as_deref() {
+        Some(top) => top.to_string(),
+        None => match candidates.first() {
+            Some(top) => top.to_string(),
+            None => {
+                response.fail(1, "no top-level implementation candidate found".to_string());
+                return;
+            }
+        },
+    };
+    let analyze_options = tydi_analyze::AnalyzeOptions {
+        clock: request.clock_mhz.map(|mhz| {
+            tydi_spec::clock::PhysicalClock::new(
+                tydi_spec::ClockDomain::default_domain(),
+                mhz * 1e6,
+            )
+        }),
+        ..tydi_analyze::AnalyzeOptions::default()
+    };
+    let started = Instant::now();
+    let report = match tydi_analyze::analyze(&output.project, &output.index, &top, &analyze_options)
+    {
+        Ok(report) => report,
+        Err(e) => {
+            response.fail(1, e.to_string());
+            return;
+        }
+    };
+    output.record_stage(Stage::Analyze, started.elapsed(), report.hazards.len());
+    tydi_lang::publish_compile_metrics(output);
+    tydi_obs::metrics::counter_set("analyze.hazards", report.hazards.len() as u64);
+    if request.json {
+        response.stdout.push_str(&report.to_json());
+    } else {
+        response.stdout.push_str(&report.to_string());
+    }
+    if let Some(deny) = deny {
+        let denied: Vec<&tydi_analyze::Hazard> = report.hazards_at_least(deny).collect();
+        if !denied.is_empty() {
+            for hazard in &denied {
+                let span = hazard
+                    .impl_name
+                    .as_deref()
+                    .and_then(|name| output.elab_info.impl_span(name));
+                let diagnostic = tydi_lang::Diagnostic::error(
+                    "analyze",
+                    format!("{}: {}", hazard.kind.name(), hazard.message),
+                    span,
+                );
+                response.stderr.push_str(&diagnostic.render(&output.files));
+            }
+            response.fail(
+                1,
+                format!(
+                    "analyze: {} hazard(s) at or above `{}` in `{top}`",
+                    denied.len(),
+                    deny.name()
+                ),
+            );
+        }
+    }
+}
+
+impl JobResponse {
+    /// Marks the job failed, appending the newline-terminated message
+    /// to stderr (the shape `tydic`'s error reporting produces).
+    fn fail(&mut self, exit_code: i32, message: String) {
+        self.ok = false;
+        self.exit_code = exit_code;
+        self.stderr.push_str(message.trim_end_matches('\n'));
+        self.stderr.push('\n');
+    }
+}
+
+/// Maps rendered-text diagnostics to their structured wire form.
+pub fn diagnostic_infos(
+    diagnostics: &[tydi_lang::Diagnostic],
+    files: &[tydi_lang::SourceFile],
+) -> Vec<DiagnosticInfo> {
+    diagnostics
+        .iter()
+        .map(|d| {
+            let location = d
+                .span
+                .and_then(|span| files.get(span.file).map(|file| (span, file)));
+            let (file, line, col) = match location {
+                Some((span, file)) => {
+                    let (line, col) = file.line_col(span.start);
+                    (file.name.to_string(), line as u64, col as u64)
+                }
+                None => (String::new(), 0, 0),
+            };
+            DiagnosticInfo {
+                severity: d.severity.to_string(),
+                stage: d.stage.to_string(),
+                message: d.message.clone(),
+                file,
+                line,
+                col,
+            }
+        })
+        .collect()
+}
+
+/// One request's metric namespace as a compact flat JSON object, with
+/// the scope prefix stripped, in the same value encoding as
+/// [`tydi_obs::metrics::Snapshot::to_json`].
+fn scoped_metrics_json(scope: &str) -> String {
+    let snapshot = metrics::snapshot();
+    let mut out = String::from("{");
+    for (index, (name, metric)) in snapshot.prefixed(scope).enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        crate::protocol::push_str(&mut out, &name[scope.len()..]);
+        out.push(':');
+        match metric {
+            Metric::Counter(value) => out.push_str(&value.to_string()),
+            Metric::Gauge(value) => out.push_str(&json_f64(*value)),
+            Metric::Text(value) => crate::protocol::push_str(&mut out, value),
+            Metric::Histogram(h) => out.push_str(&format!(
+                "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                h.count,
+                json_f64(h.sum),
+                json_f64(h.min),
+                json_f64(h.max)
+            )),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// `f64` as JSON, matching the metrics serializer: finite values
+/// verbatim (`.0` suffix for integral ones), non-finite as `null`.
+fn json_f64(value: f64) -> String {
+    if !value.is_finite() {
+        return "null".to_string();
+    }
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{value:.1}")
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Convenience for tests and the in-process fallback: run one job on
+/// a cache loaded from (and persisted back to) `cache_dir`.
+pub fn run_job_with_cache_dir(request: &JobRequest, cache_dir: &Path) -> JobResponse {
+    let mut cache = ArtifactCache::load(cache_dir);
+    let response = run_job(request, &mut cache, "");
+    if cache.is_dirty() {
+        let _ = cache.save(cache_dir);
+    }
+    response
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+package demo;
+type Byte = Stream(Bit(8));
+streamlet wire_s { i : Byte in, o : Byte out, }
+impl wire_i of wire_s { i => o, }
+";
+
+    fn write_source(dir: &Path, name: &str, text: &str) -> String {
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap();
+        path.display().to_string()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tydi-serve-exec-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn check_job_reports_the_summary_line() {
+        let dir = temp_dir("check");
+        let file = write_source(&dir, "demo.td", GOOD);
+        let mut request = JobRequest::new(JobKind::Check);
+        request.files = vec![file];
+        let mut cache = ArtifactCache::new();
+        let response = run_job(&request, &mut cache, "");
+        assert!(response.ok, "stderr: {}", response.stderr);
+        assert!(
+            response.stderr.contains("ok: ") && response.stderr.contains("streamlet(s)"),
+            "summary line present: {}",
+            response.stderr
+        );
+        assert!(response.stdout.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failing_job_carries_structured_diagnostics() {
+        let dir = temp_dir("fail");
+        let file = write_source(&dir, "bad.td", "package demo;\nconst x = ;\n");
+        let mut request = JobRequest::new(JobKind::Check);
+        request.files = vec![file.clone()];
+        let mut cache = ArtifactCache::new();
+        let response = run_job(&request, &mut cache, "");
+        assert!(!response.ok);
+        assert_eq!(response.exit_code, 1);
+        let error = response
+            .diagnostics
+            .iter()
+            .find(|d| d.severity == "error")
+            .expect("an error diagnostic");
+        assert_eq!(error.file, file);
+        assert!(error.line > 0 && error.col > 0, "span mapped: {error:?}");
+        assert!(response.stderr.contains("error:"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn build_job_writes_artifacts_into_out_dir() {
+        let dir = temp_dir("build");
+        let file = write_source(&dir, "demo.td", GOOD);
+        let out = dir.join("out");
+        let mut request = JobRequest::new(JobKind::Build);
+        request.files = vec![file];
+        request.out_dir = Some(out.display().to_string());
+        let mut cache = ArtifactCache::new();
+        let response = run_job(&request, &mut cache, "");
+        assert!(response.ok, "stderr: {}", response.stderr);
+        assert!(!response.artifacts.is_empty());
+        for artifact in &response.artifacts {
+            assert!(Path::new(artifact).exists(), "artifact on disk: {artifact}");
+        }
+        assert!(response.stderr.contains("wrote"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scoped_job_embeds_and_scrubs_its_metrics() {
+        let dir = temp_dir("scope");
+        let file = write_source(&dir, "demo.td", GOOD);
+        let mut request = JobRequest::new(JobKind::Check);
+        request.files = vec![file];
+        let mut cache = ArtifactCache::new();
+        let response = run_job(&request, &mut cache, "req.test-scope.");
+        assert!(response.ok, "stderr: {}", response.stderr);
+        let metrics = tydi_obs::json::parse(&response.metrics_json).unwrap();
+        assert!(
+            metrics.get("timings.wall_ms").is_some(),
+            "request metrics captured: {}",
+            response.metrics_json
+        );
+        let leftover = metrics::snapshot();
+        assert_eq!(
+            leftover.prefixed("req.test-scope.").count(),
+            0,
+            "request namespace scrubbed"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_options_fail_with_usage_exit_code() {
+        let mut cache = ArtifactCache::new();
+        let mut request = JobRequest::new(JobKind::Check);
+        let response = run_job(&request, &mut cache, "");
+        assert_eq!(response.exit_code, 2, "no input files");
+        request.files = vec!["x.td".to_string()];
+        request.emit = "edif".to_string();
+        let response = run_job(&request, &mut cache, "");
+        assert_eq!(response.exit_code, 2);
+        assert!(response.stderr.contains("unknown --emit format"));
+        request.emit = "ir".to_string();
+        request.deny = Some("fatal".to_string());
+        let response = run_job(&request, &mut cache, "");
+        assert_eq!(response.exit_code, 2);
+        assert!(response.stderr.contains("unknown --deny severity"));
+    }
+}

@@ -1,0 +1,621 @@
+//! The daemon's wire protocol: newline-delimited JSON jobs.
+//!
+//! One connection carries any number of requests; each request is a
+//! single line holding one JSON object, answered by a single response
+//! line. The codec is hand-rolled over [`tydi_obs::escape_json`] and
+//! [`tydi_obs::json::parse`] (the workspace has no serde), and every
+//! field is optional on the wire with a defined default, so old
+//! clients keep working against newer daemons.
+
+use tydi_obs::json::{self, Json};
+
+/// Protocol revision; bumped on incompatible changes. The daemon
+/// refuses requests from a different major revision.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// What a job asks the daemon to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Parse + elaborate + DRC; diagnostics only.
+    Check,
+    /// Check, then emit IR/VHDL/SystemVerilog.
+    Build,
+    /// Check, then run the static throughput/latency analysis.
+    Analyze,
+    /// Report daemon health: pid, uptime, request count, cache size.
+    Status,
+    /// Persist the cache and exit the daemon.
+    Shutdown,
+}
+
+impl JobKind {
+    /// The wire spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobKind::Check => "check",
+            JobKind::Build => "build",
+            JobKind::Analyze => "analyze",
+            JobKind::Status => "status",
+            JobKind::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(text: &str) -> Option<JobKind> {
+        match text {
+            "check" => Some(JobKind::Check),
+            "build" => Some(JobKind::Build),
+            "analyze" => Some(JobKind::Analyze),
+            "status" => Some(JobKind::Status),
+            "shutdown" => Some(JobKind::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// One job request line.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// What to do.
+    pub kind: JobKind,
+    /// Input file paths, resolved relative to the daemon's working
+    /// directory (clients send absolute paths).
+    pub files: Vec<String>,
+    /// Implicitly include the standard library (`--no-std` off).
+    pub include_std: bool,
+    /// Run the sugaring pass (`--no-sugar` off).
+    pub sugaring: bool,
+    /// `build`: output format (`ir`, `vhdl`, `verilog`).
+    pub emit: String,
+    /// `build`: write files into this directory instead of returning
+    /// the concatenated text on stdout.
+    pub out_dir: Option<String>,
+    /// `analyze`: top-level implementation override.
+    pub top: Option<String>,
+    /// `analyze`: deny severity (`info`/`warning`/`error`).
+    pub deny: Option<String>,
+    /// `analyze`: emit the JSON report instead of text.
+    pub json: bool,
+    /// `analyze`: clock frequency in MHz.
+    pub clock_mhz: Option<f64>,
+}
+
+impl JobRequest {
+    /// A request of the given kind with CLI-default settings.
+    pub fn new(kind: JobKind) -> JobRequest {
+        JobRequest {
+            id: 0,
+            kind,
+            files: Vec::new(),
+            include_std: true,
+            sugaring: true,
+            emit: if kind == JobKind::Build {
+                "vhdl".to_string()
+            } else {
+                "ir".to_string()
+            },
+            out_dir: None,
+            top: None,
+            deny: None,
+            json: false,
+            clock_mhz: None,
+        }
+    }
+
+    /// Serializes the request as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push('{');
+        push_key(&mut out, "v");
+        out.push_str(&PROTOCOL_VERSION.to_string());
+        push_sep_key(&mut out, "id");
+        out.push_str(&self.id.to_string());
+        push_sep_key(&mut out, "kind");
+        push_str(&mut out, self.kind.name());
+        push_sep_key(&mut out, "files");
+        out.push('[');
+        for (index, file) in self.files.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            push_str(&mut out, file);
+        }
+        out.push(']');
+        push_sep_key(&mut out, "include_std");
+        out.push_str(if self.include_std { "true" } else { "false" });
+        push_sep_key(&mut out, "sugaring");
+        out.push_str(if self.sugaring { "true" } else { "false" });
+        push_sep_key(&mut out, "emit");
+        push_str(&mut out, &self.emit);
+        push_sep_key(&mut out, "json");
+        out.push_str(if self.json { "true" } else { "false" });
+        if let Some(dir) = &self.out_dir {
+            push_sep_key(&mut out, "out_dir");
+            push_str(&mut out, dir);
+        }
+        if let Some(top) = &self.top {
+            push_sep_key(&mut out, "top");
+            push_str(&mut out, top);
+        }
+        if let Some(deny) = &self.deny {
+            push_sep_key(&mut out, "deny");
+            push_str(&mut out, deny);
+        }
+        if let Some(mhz) = self.clock_mhz {
+            push_sep_key(&mut out, "clock_mhz");
+            out.push_str(&format_number(mhz));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<JobRequest, String> {
+        let value = json::parse(line.trim())?;
+        let version = get_u64(&value, "v").unwrap_or(PROTOCOL_VERSION);
+        if version != PROTOCOL_VERSION {
+            return Err(format!(
+                "protocol version mismatch: daemon speaks {PROTOCOL_VERSION}, request is {version}"
+            ));
+        }
+        let kind_name = value
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("request has no `kind`")?;
+        let kind =
+            JobKind::parse(kind_name).ok_or_else(|| format!("unknown job kind `{kind_name}`"))?;
+        let mut request = JobRequest::new(kind);
+        request.id = get_u64(&value, "id").unwrap_or(0);
+        if let Some(files) = value.get("files").and_then(Json::as_array) {
+            request.files = files
+                .iter()
+                .filter_map(|f| f.as_str().map(str::to_string))
+                .collect();
+        }
+        if let Some(flag) = get_bool(&value, "include_std") {
+            request.include_std = flag;
+        }
+        if let Some(flag) = get_bool(&value, "sugaring") {
+            request.sugaring = flag;
+        }
+        if let Some(emit) = value.get("emit").and_then(Json::as_str) {
+            request.emit = emit.to_string();
+        }
+        if let Some(flag) = get_bool(&value, "json") {
+            request.json = flag;
+        }
+        request.out_dir = value
+            .get("out_dir")
+            .and_then(Json::as_str)
+            .map(String::from);
+        request.top = value.get("top").and_then(Json::as_str).map(String::from);
+        request.deny = value.get("deny").and_then(Json::as_str).map(String::from);
+        request.clock_mhz = value.get("clock_mhz").and_then(Json::as_f64);
+        Ok(request)
+    }
+}
+
+/// One structured diagnostic in a response, alongside the rendered
+/// text (LSP clients and tools consume these; terminals print the
+/// pre-rendered `stderr`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagnosticInfo {
+    /// `error`, `warning` or `note`.
+    pub severity: String,
+    /// Producing pipeline stage (`parse`, `drc`, ...).
+    pub stage: String,
+    /// The message, without location decoration.
+    pub message: String,
+    /// Source file name, empty when the diagnostic has no span.
+    pub file: String,
+    /// 1-based line, 0 when there is no span.
+    pub line: u64,
+    /// 1-based column, 0 when there is no span.
+    pub col: u64,
+}
+
+/// Daemon health, attached to `status` responses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatusInfo {
+    /// Daemon process id.
+    pub pid: u64,
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: f64,
+    /// Compile jobs served so far.
+    pub requests: u64,
+    /// Resident parse artifacts.
+    pub parse_entries: u64,
+    /// Resident elaboration artifacts.
+    pub elab_entries: u64,
+}
+
+/// One job response line.
+#[derive(Debug, Clone)]
+pub struct JobResponse {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Whether the job succeeded (mirrors a zero exit code).
+    pub ok: bool,
+    /// The exit code an in-process `tydic` run would have returned.
+    pub exit_code: i32,
+    /// Exactly what the in-process run would have written to stdout.
+    pub stdout: String,
+    /// Exactly what the in-process run would have written to stderr.
+    pub stderr: String,
+    /// Paths of files written by the job (`--out-dir` modes).
+    pub artifacts: Vec<String>,
+    /// Structured diagnostics (see [`DiagnosticInfo`]).
+    pub diagnostics: Vec<DiagnosticInfo>,
+    /// True when the elaborate stage was served from the warm cache.
+    pub warm: bool,
+    /// Wall-clock time the daemon spent on the job, in milliseconds.
+    pub elapsed_ms: f64,
+    /// This request's metrics namespace as one flat JSON object text
+    /// (scope prefix already stripped); `{}` when nothing was
+    /// published.
+    pub metrics_json: String,
+    /// Health payload, on `status` responses.
+    pub status: Option<StatusInfo>,
+}
+
+impl JobResponse {
+    /// An empty success response for the given request id.
+    pub fn new(id: u64) -> JobResponse {
+        JobResponse {
+            id,
+            ok: true,
+            exit_code: 0,
+            stdout: String::new(),
+            stderr: String::new(),
+            artifacts: Vec::new(),
+            diagnostics: Vec::new(),
+            warm: false,
+            elapsed_ms: 0.0,
+            metrics_json: "{}".to_string(),
+            status: None,
+        }
+    }
+
+    /// A failure response: `message` lands on stderr (newline
+    /// terminated, matching `tydic`'s error reporting).
+    pub fn failure(id: u64, exit_code: i32, message: impl Into<String>) -> JobResponse {
+        let mut message = message.into();
+        if !message.ends_with('\n') {
+            message.push('\n');
+        }
+        JobResponse {
+            ok: false,
+            exit_code,
+            stderr: message,
+            ..JobResponse::new(id)
+        }
+    }
+
+    /// Serializes the response as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.stdout.len() + self.stderr.len());
+        out.push('{');
+        push_key(&mut out, "v");
+        out.push_str(&PROTOCOL_VERSION.to_string());
+        push_sep_key(&mut out, "id");
+        out.push_str(&self.id.to_string());
+        push_sep_key(&mut out, "ok");
+        out.push_str(if self.ok { "true" } else { "false" });
+        push_sep_key(&mut out, "exit_code");
+        out.push_str(&self.exit_code.to_string());
+        push_sep_key(&mut out, "stdout");
+        push_str(&mut out, &self.stdout);
+        push_sep_key(&mut out, "stderr");
+        push_str(&mut out, &self.stderr);
+        push_sep_key(&mut out, "artifacts");
+        out.push('[');
+        for (index, path) in self.artifacts.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            push_str(&mut out, path);
+        }
+        out.push(']');
+        push_sep_key(&mut out, "diagnostics");
+        out.push('[');
+        for (index, d) in self.diagnostics.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_key(&mut out, "severity");
+            push_str(&mut out, &d.severity);
+            push_sep_key(&mut out, "stage");
+            push_str(&mut out, &d.stage);
+            push_sep_key(&mut out, "message");
+            push_str(&mut out, &d.message);
+            push_sep_key(&mut out, "file");
+            push_str(&mut out, &d.file);
+            push_sep_key(&mut out, "line");
+            out.push_str(&d.line.to_string());
+            push_sep_key(&mut out, "col");
+            out.push_str(&d.col.to_string());
+            out.push('}');
+        }
+        out.push(']');
+        push_sep_key(&mut out, "warm");
+        out.push_str(if self.warm { "true" } else { "false" });
+        push_sep_key(&mut out, "elapsed_ms");
+        out.push_str(&format_number(self.elapsed_ms));
+        push_sep_key(&mut out, "metrics");
+        out.push_str(if self.metrics_json.trim().is_empty() {
+            "{}"
+        } else {
+            self.metrics_json.trim()
+        });
+        if let Some(status) = &self.status {
+            push_sep_key(&mut out, "status");
+            out.push('{');
+            push_key(&mut out, "pid");
+            out.push_str(&status.pid.to_string());
+            push_sep_key(&mut out, "uptime_ms");
+            out.push_str(&format_number(status.uptime_ms));
+            push_sep_key(&mut out, "requests");
+            out.push_str(&status.requests.to_string());
+            push_sep_key(&mut out, "parse_entries");
+            out.push_str(&status.parse_entries.to_string());
+            push_sep_key(&mut out, "elab_entries");
+            out.push_str(&status.elab_entries.to_string());
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one response line.
+    pub fn parse(line: &str) -> Result<JobResponse, String> {
+        let value = json::parse(line.trim())?;
+        let mut response = JobResponse::new(get_u64(&value, "id").unwrap_or(0));
+        response.ok = get_bool(&value, "ok").unwrap_or(false);
+        response.exit_code = get_u64(&value, "exit_code").unwrap_or(1) as i32;
+        response.stdout = value
+            .get("stdout")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        response.stderr = value
+            .get("stderr")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        if let Some(paths) = value.get("artifacts").and_then(Json::as_array) {
+            response.artifacts = paths
+                .iter()
+                .filter_map(|p| p.as_str().map(str::to_string))
+                .collect();
+        }
+        if let Some(diagnostics) = value.get("diagnostics").and_then(Json::as_array) {
+            response.diagnostics = diagnostics
+                .iter()
+                .map(|d| DiagnosticInfo {
+                    severity: get_str(d, "severity"),
+                    stage: get_str(d, "stage"),
+                    message: get_str(d, "message"),
+                    file: get_str(d, "file"),
+                    line: get_u64(d, "line").unwrap_or(0),
+                    col: get_u64(d, "col").unwrap_or(0),
+                })
+                .collect();
+        }
+        response.warm = get_bool(&value, "warm").unwrap_or(false);
+        response.elapsed_ms = value
+            .get("elapsed_ms")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        if let Some(metrics) = value.get("metrics") {
+            response.metrics_json = json_to_string(metrics);
+        }
+        response.status = value.get("status").map(|s| StatusInfo {
+            pid: get_u64(s, "pid").unwrap_or(0),
+            uptime_ms: s.get("uptime_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            requests: get_u64(s, "requests").unwrap_or(0),
+            parse_entries: get_u64(s, "parse_entries").unwrap_or(0),
+            elab_entries: get_u64(s, "elab_entries").unwrap_or(0),
+        });
+        Ok(response)
+    }
+}
+
+/// Re-serializes a parsed [`Json`] value (used to round-trip the
+/// embedded metrics object, and by the LSP server to echo request
+/// ids that may be numbers or strings).
+pub fn json_to_string(value: &Json) -> String {
+    let mut out = String::new();
+    write_json(value, &mut out);
+    out
+}
+
+fn write_json(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Number(n) => out.push_str(&format_number(*n)),
+        Json::String(s) => push_str(out, s),
+        Json::Array(items) => {
+            out.push('[');
+            for (index, item) in items.iter().enumerate() {
+                if index > 0 {
+                    out.push(',');
+                }
+                write_json(item, out);
+            }
+            out.push(']');
+        }
+        Json::Object(members) => {
+            out.push('{');
+            for (index, (key, member)) in members.iter().enumerate() {
+                if index > 0 {
+                    out.push(',');
+                }
+                push_str(out, key);
+                out.push(':');
+                write_json(member, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// A JSON number: integral values without the float suffix (so ids
+/// round-trip as integers), non-finite as `null`.
+pub(crate) fn format_number(value: f64) -> String {
+    if !value.is_finite() {
+        return "null".to_string();
+    }
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+pub(crate) fn push_str(out: &mut String, text: &str) {
+    out.push('"');
+    tydi_obs::escape_json(text, out);
+    out.push('"');
+}
+
+fn push_key(out: &mut String, key: &str) {
+    push_str(out, key);
+    out.push(':');
+}
+
+fn push_sep_key(out: &mut String, key: &str) {
+    out.push(',');
+    push_key(out, key);
+}
+
+fn get_u64(value: &Json, key: &str) -> Option<u64> {
+    value.get(key).and_then(Json::as_f64).map(|n| n as u64)
+}
+
+fn get_bool(value: &Json, key: &str) -> Option<bool> {
+    match value.get(key) {
+        Some(Json::Bool(flag)) => Some(*flag),
+        _ => None,
+    }
+}
+
+fn get_str(value: &Json, key: &str) -> String {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let mut request = JobRequest::new(JobKind::Analyze);
+        request.id = 17;
+        request.files = vec!["a.td".to_string(), "dir/b \"q\".td".to_string()];
+        request.include_std = false;
+        request.sugaring = false;
+        request.emit = "verilog".to_string();
+        request.out_dir = Some("out".to_string());
+        request.top = Some("top_i".to_string());
+        request.deny = Some("warning".to_string());
+        request.json = true;
+        request.clock_mhz = Some(250.5);
+        let line = request.to_json();
+        assert!(!line.contains('\n'), "one line: {line}");
+        let back = JobRequest::parse(&line).unwrap();
+        assert_eq!(back.id, 17);
+        assert_eq!(back.kind, JobKind::Analyze);
+        assert_eq!(back.files, request.files);
+        assert!(!back.include_std);
+        assert!(!back.sugaring);
+        assert_eq!(back.emit, "verilog");
+        assert_eq!(back.out_dir.as_deref(), Some("out"));
+        assert_eq!(back.top.as_deref(), Some("top_i"));
+        assert_eq!(back.deny.as_deref(), Some("warning"));
+        assert!(back.json);
+        assert_eq!(back.clock_mhz, Some(250.5));
+    }
+
+    #[test]
+    fn request_defaults_match_the_cli() {
+        let check = JobRequest::parse(r#"{"kind":"check"}"#).unwrap();
+        assert_eq!(check.kind, JobKind::Check);
+        assert!(check.include_std && check.sugaring);
+        assert_eq!(check.emit, "ir");
+        let build = JobRequest::new(JobKind::Build);
+        assert_eq!(build.emit, "vhdl", "`build` defaults to VHDL like the CLI");
+    }
+
+    #[test]
+    fn request_parse_rejects_garbage() {
+        assert!(JobRequest::parse("not json").is_err());
+        assert!(JobRequest::parse(r#"{"id":1}"#).is_err(), "kind required");
+        assert!(JobRequest::parse(r#"{"kind":"dance"}"#).is_err());
+        assert!(
+            JobRequest::parse(r#"{"v":99,"kind":"check"}"#).is_err(),
+            "future protocol refused"
+        );
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let mut response = JobResponse::new(3);
+        response.ok = false;
+        response.exit_code = 1;
+        response.stdout = "line1\nline2\n".to_string();
+        response.stderr = "error: \"x\" [parse]\n".to_string();
+        response.artifacts = vec!["out/top.vhd".to_string()];
+        response.diagnostics = vec![DiagnosticInfo {
+            severity: "error".to_string(),
+            stage: "parse".to_string(),
+            message: "expected expression".to_string(),
+            file: "a.td".to_string(),
+            line: 3,
+            col: 11,
+        }];
+        response.warm = true;
+        response.elapsed_ms = 1.25;
+        response.metrics_json = r#"{"timings.wall_ms": 1.2}"#.to_string();
+        response.status = Some(StatusInfo {
+            pid: 42,
+            uptime_ms: 1000.0,
+            requests: 7,
+            parse_entries: 2,
+            elab_entries: 1,
+        });
+        let line = response.to_json();
+        assert!(!line.contains('\n'), "one line: {line}");
+        let back = JobResponse::parse(&line).unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.exit_code, 1);
+        assert_eq!(back.stdout, response.stdout);
+        assert_eq!(back.stderr, response.stderr);
+        assert_eq!(back.artifacts, response.artifacts);
+        assert_eq!(back.diagnostics, response.diagnostics);
+        assert!(back.warm);
+        assert_eq!(back.elapsed_ms, 1.25);
+        let metrics = json::parse(&back.metrics_json).unwrap();
+        assert_eq!(
+            metrics.get("timings.wall_ms").and_then(Json::as_f64),
+            Some(1.2)
+        );
+        assert_eq!(back.status.unwrap().requests, 7);
+    }
+
+    #[test]
+    fn failure_helper_terminates_stderr() {
+        let response = JobResponse::failure(9, 2, "no input files");
+        assert_eq!(response.stderr, "no input files\n");
+        assert_eq!(response.exit_code, 2);
+        assert!(!response.ok);
+    }
+}

@@ -1,0 +1,220 @@
+//! The warm compiler daemon: a unix-socket server holding one
+//! resident [`ArtifactCache`] and serving newline-delimited JSON jobs
+//! to concurrent clients.
+//!
+//! Each accepted connection gets its own worker thread; a connection
+//! carries any number of requests, answered in order. Compile jobs
+//! serialize on the cache mutex (the cache is the shared warm state —
+//! letting two compiles interleave on it would trade determinism for
+//! nothing, since elaboration itself already fans out on the rayon
+//! pool), while `status` requests only touch cheap atomics plus a
+//! short cache lock for the entry counts.
+//!
+//! Lifecycle: the socket lives under the cache directory
+//! ([`crate::socket_path`]), so one daemon serves one cache. On
+//! `shutdown` the daemon answers the request, persists the cache
+//! (merge-on-save through the cross-process [`CacheLock`]), removes
+//! its socket and pid files, and exits. A daemon killed without
+//! `shutdown` leaves a stale socket behind; the next `serve` detects
+//! it by failing to connect and rebinds.
+//!
+//! [`CacheLock`]: tydi_lang::CacheLock
+
+use crate::execute;
+use crate::protocol::{JobKind, JobRequest, JobResponse, StatusInfo};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use tydi_lang::ArtifactCache;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// The artifact cache directory the daemon owns (and the default
+    /// home of its socket).
+    pub cache_dir: PathBuf,
+    /// Socket path override (tests bind in scratch directories).
+    pub socket: Option<PathBuf>,
+    /// Exit after serving this many compile jobs (testing hook).
+    pub max_requests: Option<u64>,
+}
+
+impl ServeOptions {
+    /// Options for a daemon owning `cache_dir`.
+    pub fn new(cache_dir: impl Into<PathBuf>) -> ServeOptions {
+        ServeOptions {
+            cache_dir: cache_dir.into(),
+            socket: None,
+            max_requests: None,
+        }
+    }
+}
+
+/// Shared daemon state.
+struct ServerState {
+    cache: Mutex<ArtifactCache>,
+    cache_dir: PathBuf,
+    socket: PathBuf,
+    started: Instant,
+    /// Compile jobs served (status/shutdown excluded).
+    requests: AtomicU64,
+    /// Monotonic per-request metric-scope sequence (client-chosen ids
+    /// may collide across connections; this cannot).
+    sequence: AtomicU64,
+}
+
+/// Runs the daemon until a `shutdown` job arrives (this call does not
+/// return then: the handler persists the cache and exits the
+/// process), the `max_requests` testing hook trips, or accepting
+/// fails.
+pub fn serve(options: &ServeOptions) -> io::Result<()> {
+    std::fs::create_dir_all(&options.cache_dir)?;
+    let socket = options
+        .socket
+        .clone()
+        .unwrap_or_else(|| crate::socket_path(&options.cache_dir));
+    let listener = bind_socket(&socket)?;
+    let _ = std::fs::write(
+        options.cache_dir.join(crate::PID_FILE_NAME),
+        format!("{}\n", std::process::id()),
+    );
+    let state = Arc::new(ServerState {
+        cache: Mutex::new(ArtifactCache::load(&options.cache_dir)),
+        cache_dir: options.cache_dir.clone(),
+        socket: socket.clone(),
+        started: Instant::now(),
+        requests: AtomicU64::new(0),
+        sequence: AtomicU64::new(0),
+    });
+    eprintln!(
+        "tydic serve: listening on {} (pid {})",
+        socket.display(),
+        std::process::id()
+    );
+    for connection in listener.incoming() {
+        let Ok(stream) = connection else { continue };
+        let worker_state = Arc::clone(&state);
+        std::thread::spawn(move || {
+            let _ = handle_connection(stream, &worker_state);
+        });
+        if let Some(limit) = options.max_requests {
+            if state.requests.load(Ordering::SeqCst) >= limit {
+                break;
+            }
+        }
+    }
+    cleanup(&state);
+    Ok(())
+}
+
+/// Binds the listening socket, taking over a stale socket file left
+/// by a daemon that died without `shutdown` (detected by a refused
+/// connection). A live daemon on the socket is an error: two daemons
+/// on one cache would fight over the warm state.
+fn bind_socket(socket: &Path) -> io::Result<UnixListener> {
+    match UnixListener::bind(socket) {
+        Ok(listener) => Ok(listener),
+        Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+            if UnixStream::connect(socket).is_ok() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("a daemon is already serving {}", socket.display()),
+                ));
+            }
+            std::fs::remove_file(socket)?;
+            UnixListener::bind(socket)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn handle_connection(stream: UnixStream, state: &ServerState) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = match JobRequest::parse(&line) {
+            Err(message) => (JobResponse::failure(0, 2, message), false),
+            Ok(request) => dispatch(&request, state),
+        };
+        writeln!(writer, "{}", response.to_json())?;
+        writer.flush()?;
+        if shutdown {
+            cleanup(state);
+            // Exit from the worker thread: the acceptor is blocked in
+            // `incoming()` and holds no state worth unwinding.
+            std::process::exit(0);
+        }
+    }
+}
+
+/// Runs one request; the flag asks the caller to shut the daemon down
+/// after the response is flushed.
+fn dispatch(request: &JobRequest, state: &ServerState) -> (JobResponse, bool) {
+    match request.kind {
+        JobKind::Status => {
+            let (parse_entries, elab_entries) = {
+                let cache = lock(&state.cache);
+                (cache.parse_entries() as u64, cache.elab_entries() as u64)
+            };
+            let mut response = JobResponse::new(request.id);
+            response.status = Some(StatusInfo {
+                pid: std::process::id() as u64,
+                uptime_ms: state.started.elapsed().as_secs_f64() * 1e3,
+                requests: state.requests.load(Ordering::SeqCst),
+                parse_entries,
+                elab_entries,
+            });
+            (response, false)
+        }
+        JobKind::Shutdown => (JobResponse::new(request.id), true),
+        JobKind::Check | JobKind::Build | JobKind::Analyze => {
+            let sequence = state.sequence.fetch_add(1, Ordering::SeqCst);
+            let scope = format!("req.{sequence}.");
+            let mut cache = lock(&state.cache);
+            let response = execute::run_job(request, &mut cache, &scope);
+            // Persist after every job that changed the cache, so cold
+            // `tydic` runs and other daemons see this daemon's work;
+            // the dirty flag makes fully-warm jobs skip the disk.
+            if cache.is_dirty() {
+                if let Err(e) = cache.save(&state.cache_dir) {
+                    eprintln!(
+                        "warning: cannot persist cache to `{}`: {e}",
+                        state.cache_dir.display()
+                    );
+                }
+            }
+            drop(cache);
+            state.requests.fetch_add(1, Ordering::SeqCst);
+            (response, false)
+        }
+    }
+}
+
+/// Persists the cache and removes the daemon's socket and pid files.
+fn cleanup(state: &ServerState) {
+    let mut cache = lock(&state.cache);
+    if cache.is_dirty() {
+        let _ = cache.save(&state.cache_dir);
+    }
+    drop(cache);
+    let _ = std::fs::remove_file(&state.socket);
+    let _ = std::fs::remove_file(state.cache_dir.join(crate::PID_FILE_NAME));
+}
+
+fn lock(cache: &Mutex<ArtifactCache>) -> std::sync::MutexGuard<'_, ArtifactCache> {
+    match cache.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}

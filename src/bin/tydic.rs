@@ -6,6 +6,7 @@
 //! tydic build   <file.td>... [options]       compile with --emit vhdl default
 //! tydic sim     <file.td>... --top <impl>    batch-simulate scenarios
 //! tydic analyze <file.td>... [--top <impl>]  static throughput/hazard analysis
+//! tydic serve   [--lsp]                      warm compiler daemon / LSP server
 //! tydic --help | --version
 //!
 //! options:
@@ -20,6 +21,9 @@
 //!   --no-cache          disable the on-disk artifact cache
 //!   --cache-dir <dir>   artifact cache location (default: .tydic-cache)
 //!   -o, --out-dir <dir> write output files instead of stdout
+//!   --daemon            route check/compile/build/analyze through the
+//!                       warm `tydic serve` daemon (spawned on demand;
+//!                       falls back in-process if unreachable)
 //!
 //! check options:
 //!   --watch             stay resident: poll the input files' mtimes
@@ -42,6 +46,12 @@
 //!   --deny <severity>   exit nonzero if a hazard at or above
 //!                       info|warning|error is found
 //!   --clock-mhz <f>     scale throughput bounds to Hz
+//!
+//! serve options:
+//!   --lsp               speak the Language Server Protocol on stdio
+//!                       instead of serving the job socket
+//!   --socket <path>     unix socket path (default: <cache-dir>/serve.sock)
+//!   --max-requests <n>  exit after n compile jobs (testing hook)
 //! ```
 
 use std::fs;
@@ -89,7 +99,7 @@ impl EmitFormat {
 }
 
 const USAGE: &str = "\
-usage: tydic <check|compile|build|sim|analyze> <file.td>... [options]
+usage: tydic <check|compile|build|sim|analyze|serve> <file.td>... [options]
 
 commands:
   check      parse + elaborate + design-rule check only
@@ -98,6 +108,9 @@ commands:
   sim        check, then batch-simulate stimulus scenarios
   analyze    check, then statically bound per-stream throughput and
              latency and flag structural hazards (no simulation)
+  serve      stay resident as a warm compiler daemon on a unix socket
+             under the cache directory (or, with --lsp, speak the
+             Language Server Protocol on stdio)
 
 options:
   --emit ir|vhdl|verilog
@@ -120,6 +133,10 @@ options:
   -o, --out-dir <dir>
                     write output files into <dir> instead of stdout
                     (stdout prefixes each file with a `file:` banner)
+  --daemon          route the job through the warm `tydic serve`
+                    daemon for this cache directory, spawning it on
+                    demand; falls back to an in-process compile when
+                    the daemon cannot be reached
   -h, --help        print this help
   -V, --version     print the version
 
@@ -145,7 +162,14 @@ analyze options:
                     report format (default: text)
   --deny <severity> exit nonzero when a hazard at or above the given
                     severity (info|warning|error) is present
-  --clock-mhz <f>   clock frequency; also reports bounds in Hz";
+  --clock-mhz <f>   clock frequency; also reports bounds in Hz
+
+serve options:
+  --lsp             speak the Language Server Protocol on stdio (for
+                    editors) instead of serving the job socket
+  --socket <path>   unix socket path (default: <cache-dir>/serve.sock)
+  --max-requests <n>
+                    exit after n compile jobs (testing hook)";
 
 /// A usage or I/O error; rendered to stderr with the given exit code.
 struct CliError {
@@ -165,6 +189,15 @@ impl CliError {
         CliError {
             message: message.into(),
             code: 1,
+        }
+    }
+
+    /// A nonzero exit whose output has already been written (daemon
+    /// responses carry the job's stdout/stderr verbatim).
+    fn already_reported(code: u8) -> Self {
+        CliError {
+            message: String::new(),
+            code,
         }
     }
 }
@@ -212,6 +245,14 @@ struct Options {
     trace_fine: bool,
     /// Metrics-snapshot JSON output file.
     timings_json: Option<PathBuf>,
+    /// Route check/compile/build/analyze through the warm daemon.
+    daemon: bool,
+    /// `serve`: speak LSP on stdio instead of the job socket.
+    lsp: bool,
+    /// `serve`/`--daemon`: socket path override.
+    socket: Option<PathBuf>,
+    /// `serve`: exit after this many compile jobs (testing hook).
+    max_requests: Option<u64>,
 }
 
 fn parse_count<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, CliError> {
@@ -235,11 +276,11 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
     let Some((command, rest)) = args.split_first() else {
         return Err(CliError::usage(USAGE));
     };
-    let known = ["check", "compile", "build", "sim", "analyze"];
+    let known = ["check", "compile", "build", "sim", "analyze", "serve"];
     if !known.contains(&command.as_str()) {
         return Err(CliError::usage(format!(
-            "unknown command `{command}` (expected `check`, `compile`, `build`, `sim` or \
-             `analyze`)\n{USAGE}"
+            "unknown command `{command}` (expected `check`, `compile`, `build`, `sim`, \
+             `analyze` or `serve`)\n{USAGE}"
         )));
     }
 
@@ -273,6 +314,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
         trace: None,
         trace_fine: false,
         timings_json: None,
+        daemon: false,
+        lsp: false,
+        socket: None,
+        max_requests: None,
     };
     let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
@@ -367,13 +412,25 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
             "--clock-mhz" => {
                 options.clock_mhz = Some(parse_count("--clock-mhz", iter.next().cloned())?)
             }
+            "--daemon" => options.daemon = true,
+            "--lsp" => options.lsp = true,
+            "--socket" => {
+                let path = iter
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| CliError::usage("--socket needs a path"))?;
+                options.socket = Some(PathBuf::from(path));
+            }
+            "--max-requests" => {
+                options.max_requests = Some(parse_count("--max-requests", iter.next().cloned())?)
+            }
             other if other.starts_with('-') => {
                 return Err(CliError::usage(format!("unknown option `{other}`")));
             }
             file => options.files.push(file.to_string()),
         }
     }
-    if options.files.is_empty() {
+    if options.files.is_empty() && options.command != "serve" {
         return Err(CliError::usage("no input files"));
     }
     if options.command == "sim" && options.top.is_none() {
@@ -386,6 +443,15 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
     }
     if options.trace_fine && options.trace.is_none() {
         return Err(CliError::usage("--trace-fine needs --trace <file>"));
+    }
+    if options.lsp && options.command != "serve" {
+        return Err(CliError::usage("--lsp is only supported with `serve`"));
+    }
+    if options.daemon && matches!(options.command.as_str(), "sim" | "serve") {
+        return Err(CliError::usage(format!(
+            "--daemon is not supported with `{}`",
+            options.command
+        )));
     }
     Ok(Some(options))
 }
@@ -516,8 +582,10 @@ fn load_cache(options: &Options) -> ArtifactCache {
 
 /// Persists the cache when enabled and changed; persistence failures
 /// are warnings (compilation already succeeded or failed on its own
-/// terms).
-fn persist_cache(options: &Options, cache: &ArtifactCache) {
+/// terms). A successful save clears the cache's dirty flag, so a
+/// watch iteration that was served entirely from the cache skips the
+/// manifest rewrite and garbage-collection sweep.
+fn persist_cache(options: &Options, cache: &mut ArtifactCache) {
     if options.no_cache || !cache.is_dirty() {
         return;
     }
@@ -527,33 +595,47 @@ fn persist_cache(options: &Options, cache: &ArtifactCache) {
     }
 }
 
-/// `tydic check --watch`: compile, then poll the input files' size +
-/// mtime and recompile through the persistent artifact cache whenever
-/// something changes. Compile failures are reported and watching
-/// continues.
+/// `tydic check --watch`: compile, then poll the input files and
+/// recompile through the persistent artifact cache whenever something
+/// changes. Compile failures are reported and watching continues.
+///
+/// With `--daemon` the watcher is a thin client: every recompile is a
+/// job on the warm daemon (shared with every other `--daemon` client
+/// of this cache), and only the change detection runs here. A daemon
+/// that becomes unreachable mid-watch degrades to in-process compiles
+/// for that iteration.
 fn run_watch(options: &Options) -> Result<(), CliError> {
     let mut cache = load_cache(options);
     eprintln!(
         "watching {} file(s); recompiling on change (ctrl-c to stop)",
         options.files.len()
     );
-    let mut stamps = file_stamps(&options.files);
+    let mut stamps = WatchStamps::capture(&options.files);
     let mut runs = 0usize;
     loop {
         runs += 1;
-        match compile_once(options, &mut cache) {
-            Ok(_) => {}
-            Err(e) => eprintln!("{}", e.message.trim_end_matches('\n')),
+        let mut compiled_remotely = false;
+        if options.daemon {
+            match run_daemon_job(options) {
+                Ok(_code) => compiled_remotely = true, // output already replayed
+                Err(e) => {
+                    eprintln!("warning: daemon unavailable ({e}); compiling in-process")
+                }
+            }
         }
-        persist_cache(options, &cache);
+        if !compiled_remotely {
+            match compile_once(options, &mut cache) {
+                Ok(_) => {}
+                Err(e) => eprintln!("{}", e.message.trim_end_matches('\n')),
+            }
+            persist_cache(options, &mut cache);
+        }
         if options.watch_runs.is_some_and(|limit| runs >= limit) {
             return Ok(());
         }
         loop {
             std::thread::sleep(std::time::Duration::from_millis(options.poll_ms.max(10)));
-            let current = file_stamps(&options.files);
-            if current != stamps {
-                stamps = current;
+            if stamps.refresh(&options.files) {
                 eprintln!("change detected, recompiling...");
                 break;
             }
@@ -561,26 +643,193 @@ fn run_watch(options: &Options) -> Result<(), CliError> {
     }
 }
 
-/// Size + mtime per watched file (`None` for unreadable files, so a
-/// deleted file also registers as a change).
-fn file_stamps(files: &[String]) -> Vec<Option<(u64, std::time::SystemTime)>> {
-    files
+/// Change detection for `--watch`: size + mtime per watched file as
+/// the cheap first check, with a content-fingerprint fallback for the
+/// metadata blind spot — an edit that preserves the file's length
+/// within the filesystem's mtime granularity (e.g. two quick saves in
+/// the same second) leaves size and mtime untouched but must still
+/// trigger a recompile.
+struct WatchStamps {
+    /// Size + mtime per file (`None` for unreadable files, so a
+    /// deleted file also registers as a change).
+    meta: Vec<Option<(u64, std::time::SystemTime)>>,
+    /// Content fingerprint per file (the same hash the artifact cache
+    /// keys parses by).
+    content: Vec<Option<tydi_lang::Fingerprint>>,
+}
+
+impl WatchStamps {
+    fn capture(files: &[String]) -> WatchStamps {
+        WatchStamps {
+            meta: Self::metadata(files),
+            content: Self::fingerprints(files),
+        }
+    }
+
+    /// Re-stamps the files; returns true when anything changed. The
+    /// metadata pass is a stat per file; contents are only read (and
+    /// fingerprinted) when the metadata claims nothing moved.
+    fn refresh(&mut self, files: &[String]) -> bool {
+        let meta = Self::metadata(files);
+        if meta != self.meta {
+            self.meta = meta;
+            self.content = Self::fingerprints(files);
+            return true;
+        }
+        let content = Self::fingerprints(files);
+        if content != self.content {
+            self.content = content;
+            return true;
+        }
+        false
+    }
+
+    fn metadata(files: &[String]) -> Vec<Option<(u64, std::time::SystemTime)>> {
+        files
+            .iter()
+            .map(|file| {
+                fs::metadata(file)
+                    .ok()
+                    .and_then(|m| m.modified().ok().map(|t| (m.len(), t)))
+            })
+            .collect()
+    }
+
+    fn fingerprints(files: &[String]) -> Vec<Option<tydi_lang::Fingerprint>> {
+        files
+            .iter()
+            .map(|file| {
+                fs::read_to_string(file)
+                    .ok()
+                    .map(|text| tydi_lang::fingerprint::source_fingerprint(file, &text))
+            })
+            .collect()
+    }
+}
+
+/// `tydic serve`: stay resident as the warm compiler daemon (or, with
+/// `--lsp`, as a Language Server on stdio).
+#[cfg(unix)]
+fn run_serve(options: &Options) -> Result<(), CliError> {
+    let dir = absolute_path(&cache_dir(options));
+    if options.lsp {
+        let cache_dir = (!options.no_cache).then_some(dir.as_path());
+        return tydi_serve::lsp::run_stdio(cache_dir)
+            .map_err(|e| CliError::failure(format!("lsp server failed: {e}")));
+    }
+    let mut serve_options = tydi_serve::server::ServeOptions::new(dir);
+    serve_options.socket = options.socket.clone().map(|p| absolute_path(&p));
+    serve_options.max_requests = options.max_requests;
+    tydi_serve::server::serve(&serve_options)
+        .map_err(|e| CliError::failure(format!("serve failed: {e}")))
+}
+
+#[cfg(not(unix))]
+fn run_serve(options: &Options) -> Result<(), CliError> {
+    if options.lsp {
+        return tydi_serve::lsp::run_stdio(None)
+            .map_err(|e| CliError::failure(format!("lsp server failed: {e}")));
+    }
+    Err(CliError::failure(
+        "tydic serve needs unix domain sockets (only --lsp is available on this platform)",
+    ))
+}
+
+/// `--daemon`: sends this invocation as one job to the daemon owning
+/// the cache directory (spawning it on demand), replays the job's
+/// stdout/stderr verbatim, and returns its exit code. Any I/O error
+/// here makes the caller fall back to an in-process compile.
+#[cfg(unix)]
+fn run_daemon_job(options: &Options) -> Result<u8, std::io::Error> {
+    let kind = match options.command.as_str() {
+        "check" => tydi_serve::protocol::JobKind::Check,
+        "compile" | "build" => tydi_serve::protocol::JobKind::Build,
+        "analyze" => tydi_serve::protocol::JobKind::Analyze,
+        other => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                format!("`{other}` cannot run on the daemon"),
+            ))
+        }
+    };
+    let mut request = tydi_serve::protocol::JobRequest::new(kind);
+    request.id = std::process::id() as u64;
+    // The daemon's working directory is wherever it was first
+    // spawned; every path in the job must be absolute.
+    request.files = options
+        .files
         .iter()
-        .map(|file| {
-            fs::metadata(file)
-                .ok()
-                .and_then(|m| m.modified().ok().map(|t| (m.len(), t)))
-        })
-        .collect()
+        .map(|f| absolute_path(std::path::Path::new(f)).display().to_string())
+        .collect();
+    request.include_std = options.include_std;
+    request.sugaring = options.sugaring;
+    request.emit = match options.emit {
+        EmitFormat::Ir => "ir".to_string(),
+        EmitFormat::Vhdl => "vhdl".to_string(),
+        EmitFormat::Verilog => "verilog".to_string(),
+    };
+    request.out_dir = options
+        .out_dir
+        .as_ref()
+        .map(|dir| absolute_path(dir).display().to_string());
+    request.top = options.top.clone();
+    request.deny = options.deny.map(|severity| severity.name().to_string());
+    request.json = options.json;
+    request.clock_mhz = options.clock_mhz;
+
+    let dir = absolute_path(&cache_dir(options));
+    let exe = std::env::current_exe()?;
+    let mut client = tydi_serve::client::connect_or_spawn(&dir, options.socket.as_deref(), &exe)?;
+    let response = client.request(&request)?;
+    // Replay the job's output exactly where an in-process run would
+    // have put it (stdout write failures are broken pipes, ignored
+    // like everywhere else in this binary).
+    let _ = write!(std::io::stdout(), "{}", response.stdout);
+    eprint!("{}", response.stderr);
+    let _ = std::io::stdout().flush();
+    Ok(response.exit_code.clamp(0, 255) as u8)
+}
+
+#[cfg(not(unix))]
+fn run_daemon_job(_options: &Options) -> Result<u8, std::io::Error> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "the daemon needs unix domain sockets",
+    ))
+}
+
+/// Absolutizes a path against the current directory (without
+/// resolving symlinks — the path may not exist yet).
+fn absolute_path(path: &std::path::Path) -> PathBuf {
+    if path.is_absolute() {
+        path.to_path_buf()
+    } else {
+        std::env::current_dir()
+            .map(|cwd| cwd.join(path))
+            .unwrap_or_else(|_| path.to_path_buf())
+    }
 }
 
 fn run(options: &Options) -> Result<(), CliError> {
+    if options.command == "serve" {
+        return run_serve(options);
+    }
     if options.watch {
         return run_watch(options);
     }
+    if options.daemon {
+        match run_daemon_job(options) {
+            Ok(0) => return Ok(()),
+            Ok(code) => return Err(CliError::already_reported(code)),
+            // The fallback path: the daemon could not be reached (or
+            // spawned); compile in-process exactly as without
+            // `--daemon`, so the flag never makes a build fail.
+            Err(e) => eprintln!("warning: daemon unavailable ({e}); compiling in-process"),
+        }
+    }
     let mut cache = load_cache(options);
     let mut output = compile_once(options, &mut cache)?;
-    persist_cache(options, &cache);
+    persist_cache(options, &mut cache);
 
     if options.command == "check" {
         return Ok(());
@@ -871,8 +1120,12 @@ fn print_channel_stats(report: &tydi_sim::BatchReport) {
 }
 
 fn report(e: &CliError) -> ExitCode {
-    // Rendered compile failures are already newline-terminated.
-    eprintln!("{}", e.message.trim_end_matches('\n'));
+    // Rendered compile failures are already newline-terminated; an
+    // empty message means the output was already written (daemon
+    // responses replay the job's stdout/stderr verbatim).
+    if !e.message.is_empty() {
+        eprintln!("{}", e.message.trim_end_matches('\n'));
+    }
     ExitCode::from(e.code)
 }
 

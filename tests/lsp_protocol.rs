@@ -1,0 +1,134 @@
+//! End-to-end test of `tydic serve --lsp`: a scripted Language Server
+//! Protocol session over the real binary's stdio.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn frame(body: &str) -> Vec<u8> {
+    format!("Content-Length: {}\r\n\r\n{body}", body.len()).into_bytes()
+}
+
+/// Splits a byte stream of `Content-Length`-framed messages back into
+/// bodies.
+fn parse_frames(mut bytes: &[u8]) -> Vec<String> {
+    let mut frames = Vec::new();
+    while let Some(header_end) = bytes.windows(4).position(|w| w == b"\r\n\r\n") {
+        let header = String::from_utf8_lossy(&bytes[..header_end]);
+        let length: usize = header
+            .lines()
+            .find_map(|line| line.strip_prefix("Content-Length:"))
+            .and_then(|value| value.trim().parse().ok())
+            .expect("framed header");
+        let body_start = header_end + 4;
+        frames.push(String::from_utf8_lossy(&bytes[body_start..body_start + length]).into_owned());
+        bytes = &bytes[body_start + length..];
+    }
+    frames
+}
+
+#[test]
+fn lsp_session_over_stdio_publishes_diagnostics() {
+    let dir = std::env::temp_dir().join(format!("tydic-lsp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tydic"))
+        .arg("serve")
+        .arg("--lsp")
+        .arg("--cache-dir")
+        .arg(dir.join("cache"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn lsp server");
+
+    let good = "package demo;\\ntype Byte = Stream(Bit(8));\\nstreamlet wire_s { i : Byte in, o : Byte out, }\\nimpl wire_i of wire_s { i => o, }\\n";
+    let broken = "package demo;\\nconst x = ;\\n";
+    let uri = "file:///ws/demo.td";
+    {
+        let stdin = child.stdin.as_mut().expect("stdin");
+        stdin
+            .write_all(&frame(
+                r#"{"jsonrpc":"2.0","id":1,"method":"initialize","params":{}}"#,
+            ))
+            .unwrap();
+        stdin
+            .write_all(&frame(&format!(
+                r#"{{"jsonrpc":"2.0","method":"textDocument/didOpen","params":{{"textDocument":{{"uri":"{uri}","languageId":"tydi","version":1,"text":"{good}"}}}}}}"#
+            )))
+            .unwrap();
+        stdin
+            .write_all(&frame(&format!(
+                r#"{{"jsonrpc":"2.0","id":2,"method":"textDocument/hover","params":{{"textDocument":{{"uri":"{uri}"}},"position":{{"line":2,"character":12}}}}}}"#
+            )))
+            .unwrap();
+        stdin
+            .write_all(&frame(&format!(
+                r#"{{"jsonrpc":"2.0","method":"textDocument/didChange","params":{{"textDocument":{{"uri":"{uri}","version":2}},"contentChanges":[{{"text":"{broken}"}}]}}}}"#
+            )))
+            .unwrap();
+        stdin
+            .write_all(&frame(
+                r#"{"jsonrpc":"2.0","id":3,"method":"shutdown","params":{}}"#,
+            ))
+            .unwrap();
+        stdin
+            .write_all(&frame(r#"{"jsonrpc":"2.0","method":"exit","params":{}}"#))
+            .unwrap();
+        stdin.flush().unwrap();
+    }
+    let output = child.wait_with_output().expect("lsp server exit");
+    assert!(output.status.success(), "clean exit: {:?}", output.status);
+    let frames = parse_frames(&output.stdout);
+
+    let initialize = frames
+        .iter()
+        .find(|f| f.contains(r#""id":1"#))
+        .expect("initialize response");
+    assert!(
+        initialize.contains(r#""hoverProvider":true"#),
+        "capabilities: {initialize}"
+    );
+
+    let hover = frames
+        .iter()
+        .find(|f| f.contains(r#""id":2"#))
+        .expect("hover response");
+    assert!(
+        hover.contains("streamlet wire_s"),
+        "hover resolves the streamlet: {hover}"
+    );
+    assert!(
+        hover.contains("Stream"),
+        "hover shows the logical stream type: {hover}"
+    );
+
+    let publishes: Vec<&String> = frames
+        .iter()
+        .filter(|f| f.contains("textDocument/publishDiagnostics"))
+        .collect();
+    assert_eq!(
+        publishes.len(),
+        2,
+        "one publish per open/change: {frames:?}"
+    );
+    assert!(
+        !publishes[0].contains(r#""severity":1"#),
+        "good document has no errors: {}",
+        publishes[0]
+    );
+    assert!(
+        publishes[1].contains(r#""severity":1"#),
+        "broken edit publishes an error: {}",
+        publishes[1]
+    );
+
+    // The LSP server persisted its compile cache on exit.
+    assert!(
+        dir.join("cache").join("manifest.txt").exists(),
+        "cache persisted on exit"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,357 @@
+//! End-to-end tests of the `tydic serve` daemon over its unix-socket
+//! job protocol, against the real binary.
+//!
+//! Unix-only: the daemon's transport is a unix domain socket.
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use tydi_serve::client::Client;
+use tydi_serve::protocol::{JobKind, JobRequest};
+
+const GOOD: &str = "package demo;\ntype Byte = Stream(Bit(8));\n\
+                    streamlet wire_s { i : Byte in, o : Byte out, }\n\
+                    impl wire_i of wire_s { i => o, }\n";
+const BROKEN: &str = "package demo;\nconst x = ;\n";
+
+fn tydic() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tydic"))
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tydic-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create workdir");
+    dir
+}
+
+/// A daemon child plus the paths to talk to it; shut down on drop so
+/// a failing test never leaks a resident process.
+struct Daemon {
+    child: Child,
+    cache_dir: PathBuf,
+    socket: PathBuf,
+}
+
+impl Daemon {
+    fn spawn(cache_dir: &Path) -> Daemon {
+        let child = tydic()
+            .arg("serve")
+            .arg("--cache-dir")
+            .arg(cache_dir)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn daemon");
+        let socket = cache_dir.join("serve.sock");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Client::connect(&socket).is_err() {
+            assert!(Instant::now() < deadline, "daemon never bound {socket:?}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        Daemon {
+            child,
+            cache_dir: cache_dir.to_path_buf(),
+            socket,
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(&self.socket).expect("connect")
+    }
+
+    /// Graceful shutdown; asserts the daemon exits and cleans its
+    /// socket up.
+    fn shutdown(mut self) {
+        let mut client = self.client();
+        let response = client
+            .request(&JobRequest::new(JobKind::Shutdown))
+            .expect("shutdown response");
+        assert!(response.ok);
+        let status = self.child.wait().expect("daemon exit");
+        assert!(status.success(), "daemon exit status: {status:?}");
+        assert!(
+            !self.socket.exists(),
+            "socket removed on shutdown: {:?}",
+            self.socket
+        );
+        assert!(
+            !self.cache_dir.join("serve.pid").exists(),
+            "pid file removed on shutdown"
+        );
+        // Disarm the drop killer.
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn check_request(file: &Path) -> JobRequest {
+    let mut request = JobRequest::new(JobKind::Check);
+    request.files = vec![file.display().to_string()];
+    request
+}
+
+#[test]
+fn daemon_serves_warm_checks_and_survives_failing_compiles() {
+    let dir = workdir("warm");
+    let good = dir.join("good.td");
+    let broken = dir.join("broken.td");
+    std::fs::write(&good, GOOD).unwrap();
+    std::fs::write(&broken, BROKEN).unwrap();
+    let daemon = Daemon::spawn(&dir.join("cache"));
+
+    let mut client = daemon.client();
+    let cold = client.request(&check_request(&good)).expect("cold check");
+    assert!(cold.ok, "cold check: {}", cold.stderr);
+    assert!(cold.stderr.contains("ok: "), "summary: {}", cold.stderr);
+
+    // Second compile of the same design is served from the resident
+    // cache: the elaborate stage reports reuse.
+    let warm = client.request(&check_request(&good)).expect("warm check");
+    assert!(warm.ok && warm.warm, "warm flag set: {}", warm.stderr);
+
+    // A failing compile answers with diagnostics and a nonzero exit
+    // code — and the daemon keeps serving afterwards.
+    let failed = client
+        .request(&check_request(&broken))
+        .expect("broken check");
+    assert!(!failed.ok);
+    assert_eq!(failed.exit_code, 1);
+    assert!(
+        failed.stderr.contains("error:"),
+        "stderr: {}",
+        failed.stderr
+    );
+    let error = failed
+        .diagnostics
+        .iter()
+        .find(|d| d.severity == "error")
+        .expect("structured error diagnostic");
+    assert!(error.line > 0 && error.col > 0, "span mapped: {error:?}");
+
+    let after = client
+        .request(&check_request(&good))
+        .expect("check after failure");
+    assert!(after.ok && after.warm);
+
+    // Per-request metrics: the warm response embeds this job's own
+    // timings namespace.
+    let metrics = tydi_obs::json::parse(&after.metrics_json).expect("metrics parse");
+    assert!(
+        metrics.get("timings.wall_ms").is_some(),
+        "metrics: {}",
+        after.metrics_json
+    );
+
+    // Status reflects the served jobs.
+    let status = client
+        .request(&JobRequest::new(JobKind::Status))
+        .expect("status")
+        .status
+        .expect("status payload");
+    assert!(status.requests >= 4, "requests served: {status:?}");
+    assert!(status.elab_entries >= 1, "resident artifacts: {status:?}");
+    assert!(status.pid > 0 && status.uptime_ms >= 0.0);
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_handles_concurrent_clients() {
+    let dir = workdir("concurrent");
+    let daemon = Daemon::spawn(&dir.join("cache"));
+    let files: Vec<PathBuf> = (0..4)
+        .map(|index| {
+            let path = dir.join(format!("d{index}.td"));
+            std::fs::write(
+                &path,
+                format!(
+                    "package p{index};\ntype B = Stream(Bit(8));\n\
+                     streamlet s {{ i : B in, o : B out, }}\nimpl x of s {{ i => o, }}\n"
+                ),
+            )
+            .unwrap();
+            path
+        })
+        .collect();
+
+    let socket = daemon.socket.clone();
+    let handles: Vec<_> = files
+        .iter()
+        .cloned()
+        .map(|file| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&socket).expect("connect");
+                for _ in 0..3 {
+                    let response = client.request(&check_request(&file)).expect("request");
+                    assert!(response.ok, "concurrent check: {}", response.stderr);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+
+    let status = daemon
+        .client()
+        .request(&JobRequest::new(JobKind::Status))
+        .expect("status")
+        .status
+        .expect("status payload");
+    assert_eq!(status.requests, 12, "all jobs accounted: {status:?}");
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `tydic --daemon` vs plain `tydic`: diagnostics and artifacts must
+/// be byte-identical (the summary line embeds a wall time, so it is
+/// the one line allowed to differ).
+#[test]
+fn daemon_delegation_is_byte_identical_to_in_process() {
+    let dir = workdir("identical");
+    let good = dir.join("good.td");
+    let broken = dir.join("broken.td");
+    std::fs::write(&good, GOOD).unwrap();
+    std::fs::write(&broken, BROKEN).unwrap();
+    let cache = dir.join("cache");
+    let daemon = Daemon::spawn(&cache);
+
+    // Failing compile: stderr is pure diagnostics, compare verbatim.
+    let plain = tydic()
+        .arg("check")
+        .arg(&broken)
+        .arg("--no-cache")
+        .output()
+        .expect("plain check");
+    let delegated = tydic()
+        .arg("check")
+        .arg(&broken)
+        .arg("--daemon")
+        .arg("--cache-dir")
+        .arg(&cache)
+        .output()
+        .expect("daemon check");
+    assert_eq!(plain.status.code(), Some(1));
+    assert_eq!(delegated.status.code(), Some(1));
+    assert_eq!(
+        String::from_utf8_lossy(&plain.stderr),
+        String::from_utf8_lossy(&delegated.stderr),
+        "failing diagnostics byte-identical"
+    );
+
+    // Successful build: emitted IR text on stdout is byte-identical;
+    // stderr matches apart from the timing in the summary line.
+    let plain = tydic()
+        .arg("build")
+        .arg(&good)
+        .arg("--emit")
+        .arg("ir")
+        .arg("--no-cache")
+        .output()
+        .expect("plain build");
+    let delegated = tydic()
+        .arg("build")
+        .arg(&good)
+        .arg("--emit")
+        .arg("ir")
+        .arg("--daemon")
+        .arg("--cache-dir")
+        .arg(&cache)
+        .output()
+        .expect("daemon build");
+    assert!(plain.status.success() && delegated.status.success());
+    assert_eq!(plain.stdout, delegated.stdout, "emitted IR byte-identical");
+    let strip_timing = |stderr: &[u8]| -> Vec<String> {
+        String::from_utf8_lossy(stderr)
+            .lines()
+            .map(|line| match line.split_once(" in ") {
+                Some((head, _)) if line.starts_with("ok: ") => head.to_string(),
+                _ => line.to_string(),
+            })
+            .collect()
+    };
+    assert_eq!(
+        strip_timing(&plain.stderr),
+        strip_timing(&delegated.stderr),
+        "stderr identical apart from the wall time"
+    );
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_falls_back_in_process_when_unreachable() {
+    let dir = workdir("fallback");
+    let good = dir.join("good.td");
+    std::fs::write(&good, GOOD).unwrap();
+
+    // TYDIC_NO_SPAWN forbids starting a daemon, and none is running:
+    // the compile must still succeed, in-process, with a warning.
+    let out = tydic()
+        .arg("check")
+        .arg(&good)
+        .arg("--daemon")
+        .arg("--cache-dir")
+        .arg(dir.join("cache"))
+        .env("TYDIC_NO_SPAWN", "1")
+        .output()
+        .expect("fallback check");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "fallback: {stderr}");
+    assert!(
+        stderr.contains("warning: daemon unavailable"),
+        "fallback warned: {stderr}"
+    );
+    assert!(stderr.contains("ok: "), "compile ran in-process: {stderr}");
+    assert!(
+        !dir.join("cache").join("serve.sock").exists(),
+        "no daemon was spawned"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_requests_get_protocol_errors_not_hangs() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let dir = workdir("malformed");
+    let daemon = Daemon::spawn(&dir.join("cache"));
+
+    let mut stream = UnixStream::connect(&daemon.socket).expect("connect raw");
+    stream.write_all(b"this is not json\n").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("error response");
+    let response = tydi_serve::protocol::JobResponse::parse(&line).expect("parseable");
+    assert!(!response.ok);
+    assert_eq!(response.exit_code, 2);
+
+    // The connection (and the daemon) still work afterwards.
+    stream
+        .write_all(br#"{"kind":"status","id":5}"#)
+        .and_then(|()| stream.write_all(b"\n"))
+        .unwrap();
+    line.clear();
+    reader.read_line(&mut line).expect("status response");
+    let response = tydi_serve::protocol::JobResponse::parse(&line).expect("parseable");
+    assert!(response.ok);
+    assert_eq!(response.id, 5);
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
