@@ -439,7 +439,9 @@ impl CacheLock {
                 .open(&path)
             {
                 Ok(mut file) => {
-                    let _ = write!(file, "{}", std::process::id());
+                    // `<pid> <comm>`: the comm lets staleness checks
+                    // tell a recycled pid from the live holder.
+                    let _ = write!(file, "{} {}", std::process::id(), self_comm());
                     return Ok(CacheLock { path });
                 }
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
@@ -469,16 +471,32 @@ impl Drop for CacheLock {
     }
 }
 
-/// True when the lock file's holder provably no longer exists, or the
-/// holder cannot be probed and the file is old enough to presume
-/// abandoned. A just-created lock whose PID has not been written yet
-/// reads as empty and is *not* stale (its mtime is fresh).
+/// True when the lock file's holder provably no longer exists — the
+/// PID is gone from `/proc`, or it is back with a different
+/// `/proc/<pid>/comm` (the PID was recycled by an unrelated process;
+/// without the comm check a recycled PID would hold the lock forever)
+/// — or the holder cannot be probed and the file is old enough to
+/// presume abandoned. A just-created lock whose PID has not been
+/// written yet reads as empty and is *not* stale (its mtime is fresh).
 fn lock_is_stale(path: &Path) -> bool {
     if let Ok(text) = std::fs::read_to_string(path) {
-        if let Ok(pid) = text.trim().parse::<u32>() {
+        let mut fields = text.split_whitespace();
+        if let Some(Ok(pid)) = fields.next().map(str::parse::<u32>) {
             let proc_root = Path::new("/proc");
             if proc_root.is_dir() {
-                return !proc_root.join(pid.to_string()).exists();
+                let proc_dir = proc_root.join(pid.to_string());
+                if !proc_dir.exists() {
+                    return true;
+                }
+                if let (Some(recorded), Ok(current)) = (
+                    fields.next(),
+                    std::fs::read_to_string(proc_dir.join("comm")),
+                ) {
+                    return current.trim() != recorded;
+                }
+                // Old single-field lock, or comm unreadable: the pid
+                // being alive is all we can verify.
+                return false;
             }
         }
     }
@@ -493,6 +511,14 @@ fn lock_is_stale(path: &Path) -> bool {
         // the holder released it; retry immediately.
         Err(_) => true,
     }
+}
+
+/// This process's `comm` name (what `/proc/<pid>/comm` reports),
+/// recorded in lock files so staleness checks survive pid recycling.
+fn self_comm() -> String {
+    std::fs::read_to_string("/proc/self/comm")
+        .map(|s| s.trim().to_string())
+        .unwrap_or_default()
 }
 
 fn diag_line(diag: &Diagnostic) -> String {
@@ -766,7 +792,15 @@ mod tests {
         {
             let _lock = CacheLock::acquire(&dir).unwrap();
             let on_disk = std::fs::read_to_string(dir.join(LOCK_NAME)).unwrap();
-            assert_eq!(on_disk.trim(), std::process::id().to_string());
+            let mut fields = on_disk.split_whitespace();
+            assert_eq!(fields.next(), Some(std::process::id().to_string().as_str()));
+            if Path::new("/proc").is_dir() {
+                assert_eq!(
+                    fields.next(),
+                    Some(self_comm().as_str()),
+                    "lock records the holder's comm"
+                );
+            }
         }
         assert!(
             !dir.join(LOCK_NAME).exists(),
@@ -776,6 +810,39 @@ mod tests {
         // taken over instead of timing out.
         std::fs::write(dir.join(LOCK_NAME), "999999999").unwrap();
         let _lock = CacheLock::acquire(&dir).expect("stale lock takeover");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lock_takes_over_recycled_pids_by_comm_mismatch() {
+        if !Path::new("/proc").is_dir() {
+            return; // no procfs to probe on this platform
+        }
+        let dir = std::env::temp_dir().join(format!("tydic-lock-comm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Our own (alive) pid, but recorded under a different comm:
+        // that is exactly what a recycled pid looks like. Without the
+        // comm check this acquire would spin until LOCK_TIMEOUT.
+        std::fs::write(
+            dir.join(LOCK_NAME),
+            format!("{} definitely-not-this-process", std::process::id()),
+        )
+        .unwrap();
+        let started = std::time::Instant::now();
+        let _lock = CacheLock::acquire(&dir).expect("recycled-pid takeover");
+        assert!(
+            started.elapsed() < LOCK_TIMEOUT / 2,
+            "takeover is immediate, not a timeout"
+        );
+        // An alive pid with the matching comm stays locked.
+        drop(_lock);
+        std::fs::write(
+            dir.join(LOCK_NAME),
+            format!("{} {}", std::process::id(), self_comm()),
+        )
+        .unwrap();
+        assert!(!lock_is_stale(&dir.join(LOCK_NAME)));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -28,6 +28,7 @@ pub mod flow;
 pub mod hazards;
 pub mod rates;
 pub mod report;
+pub mod synthesize;
 #[cfg(test)]
 pub(crate) mod testutil;
 
@@ -36,6 +37,7 @@ pub use rates::{RateSolution, EPSILON};
 pub use report::{
     AnalysisReport, ChannelBound, Confidence, Hazard, HazardKind, PortBound, Severity, StallCone,
 };
+pub use synthesize::{synthesize_faults, SynthesizedFault};
 
 use tydi_ir::{Project, ProjectIndex};
 use tydi_spec::clock::PhysicalClock;

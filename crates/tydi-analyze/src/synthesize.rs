@@ -1,0 +1,127 @@
+//! Hazard → fault synthesis: turning static predictions into chaos
+//! experiments.
+//!
+//! The analyzer *predicts* where a design can wedge; the simulator's
+//! fault-injection engine can *provoke* it. This module closes the
+//! loop: for each hazard that describes a deadlockable condition, it
+//! synthesizes the [`FaultPlan`] that should trigger exactly that
+//! wedge. The differential suite then runs the plan and asserts the
+//! resulting deadlock's blocked channels land inside the predicted
+//! stall cones — turning the analyzer's bounds into tested guarantees.
+
+use crate::report::{AnalysisReport, Hazard, HazardKind};
+use tydi_sim::{Fault, FaultPlan};
+
+/// A chaos experiment derived from one hazard: the prediction it aims
+/// to confirm and the fault plan expected to provoke it.
+#[derive(Debug, Clone)]
+pub struct SynthesizedFault {
+    /// The hazard this plan targets.
+    pub hazard: Hazard,
+    /// The fault plan that should wedge the design if the prediction
+    /// is real.
+    pub plan: FaultPlan,
+}
+
+/// Synthesizes one fault plan per provocable hazard in `report`.
+///
+/// * [`HazardKind::CreditStarvation`] — the hazard names
+///   `[early_arm, late_arm]`; withholding the late arm's credit
+///   forever starves the join, so the early arm fills and the stall
+///   propagates upstream exactly as predicted.
+/// * [`HazardKind::DeadlockableCycle`] — the hazard lists the cycle's
+///   channels; permanently stalling any one of them guarantees the
+///   bounded-FIFO cycle fills and wedges.
+///
+/// Contention and rate-mismatch hazards describe throughput loss, not
+/// a wedge, so no fault is synthesized for them.
+pub fn synthesize_faults(report: &AnalysisReport) -> Vec<SynthesizedFault> {
+    report
+        .hazards
+        .iter()
+        .filter_map(|hazard| {
+            let channel = match hazard.kind {
+                HazardKind::CreditStarvation => hazard.channels.get(1),
+                HazardKind::DeadlockableCycle => hazard.channels.first(),
+                HazardKind::FanInContention | HazardKind::RateMismatch => None,
+            }?;
+            let plan = FaultPlan::new().with(Fault::Stall {
+                channel: channel.clone(),
+                from_cycle: 0,
+                cycles: u64::MAX,
+            });
+            Some(SynthesizedFault {
+                hazard: hazard.clone(),
+                plan,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Severity;
+
+    fn hazard(kind: HazardKind, channels: &[&str]) -> Hazard {
+        Hazard {
+            kind,
+            severity: Severity::Warning,
+            component: Some("top.join".to_string()),
+            impl_name: None,
+            channels: channels.iter().map(|c| c.to_string()).collect(),
+            message: String::new(),
+        }
+    }
+
+    fn report_with(hazards: Vec<Hazard>) -> AnalysisReport {
+        AnalysisReport {
+            top: "top_i".to_string(),
+            components: 0,
+            channels: Vec::new(),
+            outputs: Vec::new(),
+            hazards,
+            stall_cones: Vec::new(),
+            confidence: crate::report::Confidence::Exact,
+            converged: true,
+        }
+    }
+
+    #[test]
+    fn starvation_stalls_the_late_arm() {
+        let report = report_with(vec![hazard(
+            HazardKind::CreditStarvation,
+            &["early -> join", "late -> join"],
+        )]);
+        let synthesized = synthesize_faults(&report);
+        assert_eq!(synthesized.len(), 1);
+        assert_eq!(
+            synthesized[0].plan.faults,
+            vec![Fault::Stall {
+                channel: "late -> join".to_string(),
+                from_cycle: 0,
+                cycles: u64::MAX,
+            }]
+        );
+    }
+
+    #[test]
+    fn cycle_stalls_a_member_channel() {
+        let report = report_with(vec![hazard(
+            HazardKind::DeadlockableCycle,
+            &["a -> b", "b -> a"],
+        )]);
+        let synthesized = synthesize_faults(&report);
+        assert_eq!(synthesized.len(), 1);
+        assert_eq!(synthesized[0].plan.faults[0].target(), "a -> b");
+    }
+
+    #[test]
+    fn throughput_hazards_yield_no_fault() {
+        let report = report_with(vec![
+            hazard(HazardKind::FanInContention, &["x", "y"]),
+            hazard(HazardKind::RateMismatch, &["z"]),
+        ]);
+        assert!(synthesize_faults(&report).is_empty());
+    }
+}

@@ -17,6 +17,21 @@ pub const NO_SPAWN_ENV: &str = "TYDIC_NO_SPAWN";
 /// socket to accept.
 const SPAWN_DEADLINE: Duration = Duration::from_secs(5);
 
+/// First retry delay after a `busy` answer.
+const BACKOFF_INITIAL: Duration = Duration::from_millis(25);
+
+/// Retry delays double up to this cap.
+const BACKOFF_CAP: Duration = Duration::from_millis(400);
+
+/// Total time [`Client::request_with_retry`] keeps retrying `busy`
+/// answers before handing the last one to the caller.
+const BACKOFF_TOTAL: Duration = Duration::from_secs(5);
+
+/// The next delay in the capped exponential backoff schedule.
+fn next_backoff(delay: Duration) -> Duration {
+    (delay * 2).min(BACKOFF_CAP)
+}
+
 /// One connection to a daemon.
 #[derive(Debug)]
 pub struct Client {
@@ -47,6 +62,26 @@ impl Client {
         }
         JobResponse::parse(&response)
             .map_err(|message| io::Error::new(io::ErrorKind::InvalidData, message))
+    }
+
+    /// Sends one job, retrying `busy` answers (the daemon's admission
+    /// gate) with capped exponential backoff: 25ms doubling to 400ms,
+    /// for up to 5s. Any other answer — success, failure, `timeout`,
+    /// `internal_error` — returns immediately, as does the final
+    /// `busy` once the retry budget is spent (the caller surfaces its
+    /// exit code).
+    pub fn request_with_retry(&mut self, request: &JobRequest) -> io::Result<JobResponse> {
+        let deadline = Instant::now() + BACKOFF_TOTAL;
+        let mut delay = BACKOFF_INITIAL;
+        loop {
+            let response = self.request(request)?;
+            let now = Instant::now();
+            if response.error_kind.as_deref() != Some("busy") || now >= deadline {
+                return Ok(response);
+            }
+            std::thread::sleep(delay.min(deadline.saturating_duration_since(now)));
+            delay = next_backoff(delay);
+        }
     }
 }
 
@@ -99,5 +134,21 @@ pub fn connect_or_spawn(
             }
             Err(_) => std::thread::sleep(Duration::from_millis(20)),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_to_the_cap() {
+        let mut delay = BACKOFF_INITIAL;
+        let mut schedule = Vec::new();
+        for _ in 0..6 {
+            schedule.push(delay.as_millis());
+            delay = next_backoff(delay);
+        }
+        assert_eq!(schedule, vec![25, 50, 100, 200, 400, 400]);
     }
 }

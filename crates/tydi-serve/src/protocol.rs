@@ -80,6 +80,12 @@ pub struct JobRequest {
     pub json: bool,
     /// `analyze`: clock frequency in MHz.
     pub clock_mhz: Option<f64>,
+    /// Testing hook: sleep this long inside the job before compiling,
+    /// to pin down timeout and saturation behaviour determinstically.
+    pub test_sleep_ms: Option<u64>,
+    /// Testing hook: panic inside the job, to pin down the daemon's
+    /// panic isolation.
+    pub test_panic: bool,
 }
 
 impl JobRequest {
@@ -101,6 +107,8 @@ impl JobRequest {
             deny: None,
             json: false,
             clock_mhz: None,
+            test_sleep_ms: None,
+            test_panic: false,
         }
     }
 
@@ -146,6 +154,14 @@ impl JobRequest {
         if let Some(mhz) = self.clock_mhz {
             push_sep_key(&mut out, "clock_mhz");
             out.push_str(&format_number(mhz));
+        }
+        if let Some(ms) = self.test_sleep_ms {
+            push_sep_key(&mut out, "test_sleep_ms");
+            out.push_str(&ms.to_string());
+        }
+        if self.test_panic {
+            push_sep_key(&mut out, "test_panic");
+            out.push_str("true");
         }
         out.push('}');
         out
@@ -193,6 +209,8 @@ impl JobRequest {
         request.top = value.get("top").and_then(Json::as_str).map(String::from);
         request.deny = value.get("deny").and_then(Json::as_str).map(String::from);
         request.clock_mhz = value.get("clock_mhz").and_then(Json::as_f64);
+        request.test_sleep_ms = get_u64(&value, "test_sleep_ms");
+        request.test_panic = get_bool(&value, "test_panic").unwrap_or(false);
         Ok(request)
     }
 }
@@ -229,6 +247,15 @@ pub struct StatusInfo {
     pub parse_entries: u64,
     /// Resident elaboration artifacts.
     pub elab_entries: u64,
+    /// Compile jobs currently executing.
+    pub jobs_active: u64,
+    /// Jobs that exceeded the per-request wall-clock timeout.
+    pub jobs_timed_out: u64,
+    /// Jobs whose compile panicked (isolated; the daemon survived).
+    pub jobs_panicked: u64,
+    /// Milliseconds until the idle auto-shutdown fires, if configured.
+    /// Measured from the last served request.
+    pub idle_deadline_ms: Option<f64>,
 }
 
 /// One job response line.
@@ -256,6 +283,10 @@ pub struct JobResponse {
     /// (scope prefix already stripped); `{}` when nothing was
     /// published.
     pub metrics_json: String,
+    /// Machine-readable failure class for resilience errors: `busy`,
+    /// `timeout` or `internal_error`. `None` for ordinary compile
+    /// failures (diagnostics carry those).
+    pub error_kind: Option<String>,
     /// Health payload, on `status` responses.
     pub status: Option<StatusInfo>,
 }
@@ -274,6 +305,7 @@ impl JobResponse {
             warm: false,
             elapsed_ms: 0.0,
             metrics_json: "{}".to_string(),
+            error_kind: None,
             status: None,
         }
     }
@@ -290,6 +322,22 @@ impl JobResponse {
             exit_code,
             stderr: message,
             ..JobResponse::new(id)
+        }
+    }
+
+    /// A resilience failure with a machine-readable class. The exit
+    /// codes follow sysexits where one fits: `busy` is 75 (EX_TEMPFAIL
+    /// — the client should retry), `internal_error` is 70
+    /// (EX_SOFTWARE), and `timeout` borrows 124 from timeout(1).
+    pub fn resilience_failure(id: u64, kind: &str, message: impl Into<String>) -> JobResponse {
+        let exit_code = match kind {
+            "busy" => 75,
+            "timeout" => 124,
+            _ => 70,
+        };
+        JobResponse {
+            error_kind: Some(kind.to_string()),
+            ..JobResponse::failure(id, exit_code, message)
         }
     }
 
@@ -350,6 +398,10 @@ impl JobResponse {
         } else {
             self.metrics_json.trim()
         });
+        if let Some(kind) = &self.error_kind {
+            push_sep_key(&mut out, "error");
+            push_str(&mut out, kind);
+        }
         if let Some(status) = &self.status {
             push_sep_key(&mut out, "status");
             out.push('{');
@@ -363,6 +415,16 @@ impl JobResponse {
             out.push_str(&status.parse_entries.to_string());
             push_sep_key(&mut out, "elab_entries");
             out.push_str(&status.elab_entries.to_string());
+            push_sep_key(&mut out, "jobs_active");
+            out.push_str(&status.jobs_active.to_string());
+            push_sep_key(&mut out, "jobs_timed_out");
+            out.push_str(&status.jobs_timed_out.to_string());
+            push_sep_key(&mut out, "jobs_panicked");
+            out.push_str(&status.jobs_panicked.to_string());
+            if let Some(ms) = status.idle_deadline_ms {
+                push_sep_key(&mut out, "idle_deadline_ms");
+                out.push_str(&format_number(ms));
+            }
             out.push('}');
         }
         out.push('}');
@@ -412,12 +474,17 @@ impl JobResponse {
         if let Some(metrics) = value.get("metrics") {
             response.metrics_json = json_to_string(metrics);
         }
+        response.error_kind = value.get("error").and_then(Json::as_str).map(String::from);
         response.status = value.get("status").map(|s| StatusInfo {
             pid: get_u64(s, "pid").unwrap_or(0),
             uptime_ms: s.get("uptime_ms").and_then(Json::as_f64).unwrap_or(0.0),
             requests: get_u64(s, "requests").unwrap_or(0),
             parse_entries: get_u64(s, "parse_entries").unwrap_or(0),
             elab_entries: get_u64(s, "elab_entries").unwrap_or(0),
+            jobs_active: get_u64(s, "jobs_active").unwrap_or(0),
+            jobs_timed_out: get_u64(s, "jobs_timed_out").unwrap_or(0),
+            jobs_panicked: get_u64(s, "jobs_panicked").unwrap_or(0),
+            idle_deadline_ms: s.get("idle_deadline_ms").and_then(Json::as_f64),
         });
         Ok(response)
     }
@@ -591,6 +658,10 @@ mod tests {
             requests: 7,
             parse_entries: 2,
             elab_entries: 1,
+            jobs_active: 1,
+            jobs_timed_out: 3,
+            jobs_panicked: 2,
+            idle_deadline_ms: Some(250.5),
         });
         let line = response.to_json();
         assert!(!line.contains('\n'), "one line: {line}");
@@ -608,7 +679,56 @@ mod tests {
             metrics.get("timings.wall_ms").and_then(Json::as_f64),
             Some(1.2)
         );
-        assert_eq!(back.status.unwrap().requests, 7);
+        let status = back.status.unwrap();
+        assert_eq!(status.requests, 7);
+        assert_eq!(status.jobs_active, 1);
+        assert_eq!(status.jobs_timed_out, 3);
+        assert_eq!(status.jobs_panicked, 2);
+        assert_eq!(status.idle_deadline_ms, Some(250.5));
+    }
+
+    #[test]
+    fn test_hooks_round_trip_and_default_off() {
+        let mut request = JobRequest::new(JobKind::Check);
+        request.test_sleep_ms = Some(1500);
+        request.test_panic = true;
+        let back = JobRequest::parse(&request.to_json()).unwrap();
+        assert_eq!(back.test_sleep_ms, Some(1500));
+        assert!(back.test_panic);
+        // Old clients never send the hooks; parsing defaults them off.
+        let plain = JobRequest::parse(r#"{"kind":"check"}"#).unwrap();
+        assert_eq!(plain.test_sleep_ms, None);
+        assert!(!plain.test_panic);
+        assert!(!plain.to_json().contains("test_"), "hooks elided when off");
+    }
+
+    #[test]
+    fn resilience_failures_carry_a_machine_readable_kind() {
+        for (kind, exit_code) in [("busy", 75), ("timeout", 124), ("internal_error", 70)] {
+            let response = JobResponse::resilience_failure(5, kind, "try later");
+            assert_eq!(response.exit_code, exit_code, "{kind}");
+            assert!(!response.ok);
+            let back = JobResponse::parse(&response.to_json()).unwrap();
+            assert_eq!(back.error_kind.as_deref(), Some(kind));
+            assert_eq!(back.exit_code, exit_code);
+            assert_eq!(back.stderr, "try later\n");
+        }
+        // Ordinary failures have no kind, and elide the wire key.
+        let plain = JobResponse::failure(5, 2, "no input files");
+        assert!(!plain.to_json().contains("\"error\""));
+        let back = JobResponse::parse(&plain.to_json()).unwrap();
+        assert_eq!(back.error_kind, None);
+    }
+
+    #[test]
+    fn status_fields_default_for_old_daemons() {
+        // A pre-resilience daemon sends no jobs_* fields.
+        let line = r#"{"id":1,"ok":true,"exit_code":0,"status":{"pid":9,"uptime_ms":5,"requests":2,"parse_entries":0,"elab_entries":0}}"#;
+        let status = JobResponse::parse(line).unwrap().status.unwrap();
+        assert_eq!(status.jobs_active, 0);
+        assert_eq!(status.jobs_timed_out, 0);
+        assert_eq!(status.jobs_panicked, 0);
+        assert_eq!(status.idle_deadline_ms, None);
     }
 
     #[test]

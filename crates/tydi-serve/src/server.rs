@@ -10,13 +10,26 @@
 //! pool), while `status` requests only touch cheap atomics plus a
 //! short cache lock for the entry counts.
 //!
+//! Resilience: every compile job runs on its own thread under
+//! [`std::panic::catch_unwind`], so a crashing compile answers
+//! `internal_error` and the daemon keeps serving. A per-request
+//! wall-clock timeout ([`ServeOptions::job_timeout`]) answers
+//! `timeout` and abandons the job thread (it still releases the cache
+//! and scrubs its metric scope when it eventually finishes). An
+//! admission gate ([`ServeOptions::max_jobs`]) answers `busy` instead
+//! of queueing unboundedly; clients retry with capped exponential
+//! backoff. All of it is observable: the daemon publishes
+//! `serve.jobs.*` counters through [`tydi_obs::metrics`], and the
+//! `status` job renders them back to clients.
+//!
 //! Lifecycle: the socket lives under the cache directory
 //! ([`crate::socket_path`]), so one daemon serves one cache. On
 //! `shutdown` the daemon answers the request, persists the cache
 //! (merge-on-save through the cross-process [`CacheLock`]), removes
-//! its socket and pid files, and exits. A daemon killed without
-//! `shutdown` leaves a stale socket behind; the next `serve` detects
-//! it by failing to connect and rebinds.
+//! its socket and pid files, and exits; [`ServeOptions::idle_timeout`]
+//! does the same unprompted once the daemon has sat idle long enough.
+//! A daemon killed without `shutdown` leaves a stale socket behind;
+//! the next `serve` detects it by failing to connect and rebinds.
 //!
 //! [`CacheLock`]: tydi_lang::CacheLock
 
@@ -24,11 +37,13 @@ use crate::execute;
 use crate::protocol::{JobKind, JobRequest, JobResponse, StatusInfo};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 use tydi_lang::ArtifactCache;
+use tydi_obs::metrics;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -40,6 +55,13 @@ pub struct ServeOptions {
     pub socket: Option<PathBuf>,
     /// Exit after serving this many compile jobs (testing hook).
     pub max_requests: Option<u64>,
+    /// Per-request wall-clock limit; a job over it answers `timeout`.
+    pub job_timeout: Option<Duration>,
+    /// Admission gate: with this many compile jobs in flight, new ones
+    /// answer `busy` instead of queueing.
+    pub max_jobs: Option<u64>,
+    /// Exit (persisting the cache) after this long without a request.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl ServeOptions {
@@ -49,6 +71,9 @@ impl ServeOptions {
             cache_dir: cache_dir.into(),
             socket: None,
             max_requests: None,
+            job_timeout: None,
+            max_jobs: None,
+            idle_timeout: None,
         }
     }
 }
@@ -64,12 +89,38 @@ struct ServerState {
     /// Monotonic per-request metric-scope sequence (client-chosen ids
     /// may collide across connections; this cannot).
     sequence: AtomicU64,
+    /// Compile jobs currently in flight (admission-gate slot count).
+    active: AtomicU64,
+    /// When the daemon last heard from a client (idle-shutdown clock).
+    last_activity: Mutex<Instant>,
+    job_timeout: Option<Duration>,
+    max_jobs: Option<u64>,
+    idle_timeout: Option<Duration>,
+}
+
+impl ServerState {
+    /// Milliseconds until the idle shutdown fires, if configured.
+    fn idle_deadline_ms(&self) -> Option<f64> {
+        let limit = self.idle_timeout?;
+        let idle = self
+            .last_activity
+            .lock()
+            .map(|t| t.elapsed())
+            .unwrap_or_default();
+        Some(limit.saturating_sub(idle).as_secs_f64() * 1e3)
+    }
+
+    fn touch(&self) {
+        if let Ok(mut last) = self.last_activity.lock() {
+            *last = Instant::now();
+        }
+    }
 }
 
 /// Runs the daemon until a `shutdown` job arrives (this call does not
 /// return then: the handler persists the cache and exits the
-/// process), the `max_requests` testing hook trips, or accepting
-/// fails.
+/// process), the idle timeout fires, the `max_requests` testing hook
+/// trips, or accepting fails.
 pub fn serve(options: &ServeOptions) -> io::Result<()> {
     std::fs::create_dir_all(&options.cache_dir)?;
     let socket = options
@@ -77,9 +128,11 @@ pub fn serve(options: &ServeOptions) -> io::Result<()> {
         .clone()
         .unwrap_or_else(|| crate::socket_path(&options.cache_dir));
     let listener = bind_socket(&socket)?;
+    // The pid file records `<pid> <comm>` so stale-holder checks can
+    // tell a recycled pid from a live daemon (see `pid_file_is_live`).
     let _ = std::fs::write(
         options.cache_dir.join(crate::PID_FILE_NAME),
-        format!("{}\n", std::process::id()),
+        format!("{} {}\n", std::process::id(), self_comm()),
     );
     let state = Arc::new(ServerState {
         cache: Mutex::new(ArtifactCache::load(&options.cache_dir)),
@@ -88,12 +141,20 @@ pub fn serve(options: &ServeOptions) -> io::Result<()> {
         started: Instant::now(),
         requests: AtomicU64::new(0),
         sequence: AtomicU64::new(0),
+        active: AtomicU64::new(0),
+        last_activity: Mutex::new(Instant::now()),
+        job_timeout: options.job_timeout,
+        max_jobs: options.max_jobs,
+        idle_timeout: options.idle_timeout,
     });
     eprintln!(
         "tydic serve: listening on {} (pid {})",
         socket.display(),
         std::process::id()
     );
+    if let Some(limit) = options.idle_timeout {
+        spawn_idle_watchdog(Arc::clone(&state), limit);
+    }
     for connection in listener.incoming() {
         let Ok(stream) = connection else { continue };
         let worker_state = Arc::clone(&state);
@@ -110,15 +171,44 @@ pub fn serve(options: &ServeOptions) -> io::Result<()> {
     Ok(())
 }
 
+/// Shuts the daemon down once it has been idle (no requests, no jobs
+/// in flight) for `limit`. Goes through [`cleanup`], so the warm cache
+/// is persisted on the way out — an idle-evicted daemon loses no work.
+fn spawn_idle_watchdog(state: Arc<ServerState>, limit: Duration) {
+    std::thread::spawn(move || loop {
+        let idle = state
+            .last_activity
+            .lock()
+            .map(|t| t.elapsed())
+            .unwrap_or_default();
+        if idle >= limit && state.active.load(Ordering::SeqCst) == 0 {
+            eprintln!(
+                "tydic serve: idle for {:.1}s, shutting down",
+                idle.as_secs_f64()
+            );
+            cleanup(&state);
+            std::process::exit(0);
+        }
+        let nap = limit
+            .saturating_sub(idle)
+            .clamp(Duration::from_millis(20), Duration::from_millis(200));
+        std::thread::sleep(nap);
+    });
+}
+
 /// Binds the listening socket, taking over a stale socket file left
 /// by a daemon that died without `shutdown` (detected by a refused
-/// connection). A live daemon on the socket is an error: two daemons
-/// on one cache would fight over the warm state.
+/// connection, cross-checked against the pid file: a recorded holder
+/// that no longer runs `tydic` — dead pid or recycled pid with a
+/// different `/proc/<pid>/comm` — never blocks the takeover). A live
+/// daemon on the socket is an error: two daemons on one cache would
+/// fight over the warm state.
 fn bind_socket(socket: &Path) -> io::Result<UnixListener> {
     match UnixListener::bind(socket) {
         Ok(listener) => Ok(listener),
         Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
-            if UnixStream::connect(socket).is_ok() {
+            let holder_live = pid_file_is_live(socket);
+            if UnixStream::connect(socket).is_ok() && holder_live != Some(false) {
                 return Err(io::Error::new(
                     io::ErrorKind::AddrInUse,
                     format!("a daemon is already serving {}", socket.display()),
@@ -131,7 +221,44 @@ fn bind_socket(socket: &Path) -> io::Result<UnixListener> {
     }
 }
 
-fn handle_connection(stream: UnixStream, state: &ServerState) -> io::Result<()> {
+/// Whether the pid file next to `socket` names a process that is both
+/// alive and still a tydic daemon. `None` when there is nothing to
+/// verify (no pid file, old single-field format with no procfs, or no
+/// procfs at all) — the caller falls back to the connect probe alone.
+fn pid_file_is_live(socket: &Path) -> Option<bool> {
+    let pid_file = socket.parent()?.join(crate::PID_FILE_NAME);
+    let text = std::fs::read_to_string(pid_file).ok()?;
+    let mut fields = text.split_whitespace();
+    let pid: u32 = fields.next()?.parse().ok()?;
+    let recorded_comm = fields.next();
+    let proc_dir = Path::new("/proc").join(pid.to_string());
+    if !Path::new("/proc").is_dir() {
+        return None;
+    }
+    if !proc_dir.exists() {
+        return Some(false);
+    }
+    match (
+        recorded_comm,
+        std::fs::read_to_string(proc_dir.join("comm")),
+    ) {
+        // Comm mismatch: the pid was recycled by an unrelated process.
+        (Some(recorded), Ok(current)) => Some(current.trim() == recorded),
+        // Old-format pid file or unreadable comm: alive is all we know.
+        _ => Some(true),
+    }
+}
+
+/// This process's `comm` name (what `/proc/<pid>/comm` will report),
+/// recorded in lock and pid files so staleness checks survive pid
+/// recycling.
+fn self_comm() -> String {
+    std::fs::read_to_string("/proc/self/comm")
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|_| "tydic".to_string())
+}
+
+fn handle_connection(stream: UnixStream, state: &Arc<ServerState>) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut line = String::new();
@@ -143,10 +270,12 @@ fn handle_connection(stream: UnixStream, state: &ServerState) -> io::Result<()> 
         if line.trim().is_empty() {
             continue;
         }
+        state.touch();
         let (response, shutdown) = match JobRequest::parse(&line) {
             Err(message) => (JobResponse::failure(0, 2, message), false),
             Ok(request) => dispatch(&request, state),
         };
+        state.touch();
         writeln!(writer, "{}", response.to_json())?;
         writer.flush()?;
         if shutdown {
@@ -160,13 +289,16 @@ fn handle_connection(stream: UnixStream, state: &ServerState) -> io::Result<()> 
 
 /// Runs one request; the flag asks the caller to shut the daemon down
 /// after the response is flushed.
-fn dispatch(request: &JobRequest, state: &ServerState) -> (JobResponse, bool) {
+fn dispatch(request: &JobRequest, state: &Arc<ServerState>) -> (JobResponse, bool) {
     match request.kind {
         JobKind::Status => {
             let (parse_entries, elab_entries) = {
                 let cache = lock(&state.cache);
                 (cache.parse_entries() as u64, cache.elab_entries() as u64)
             };
+            // The resilience counters render from the tydi-obs
+            // registry — the same numbers `tydi-obs` exports.
+            let snapshot = metrics::snapshot();
             let mut response = JobResponse::new(request.id);
             response.status = Some(StatusInfo {
                 pid: std::process::id() as u64,
@@ -174,31 +306,148 @@ fn dispatch(request: &JobRequest, state: &ServerState) -> (JobResponse, bool) {
                 requests: state.requests.load(Ordering::SeqCst),
                 parse_entries,
                 elab_entries,
+                jobs_active: snapshot
+                    .counter("serve.jobs.active")
+                    .unwrap_or_else(|| state.active.load(Ordering::SeqCst)),
+                jobs_timed_out: snapshot.counter("serve.jobs.timed_out").unwrap_or(0),
+                jobs_panicked: snapshot.counter("serve.jobs.panicked").unwrap_or(0),
+                idle_deadline_ms: state.idle_deadline_ms(),
             });
             (response, false)
         }
         JobKind::Shutdown => (JobResponse::new(request.id), true),
-        JobKind::Check | JobKind::Build | JobKind::Analyze => {
-            let sequence = state.sequence.fetch_add(1, Ordering::SeqCst);
-            let scope = format!("req.{sequence}.");
-            let mut cache = lock(&state.cache);
-            let response = execute::run_job(request, &mut cache, &scope);
+        JobKind::Check | JobKind::Build | JobKind::Analyze => run_compile_job(request, state),
+    }
+}
+
+/// Runs one compile job through the admission gate, on its own thread,
+/// under panic isolation and the wall-clock timeout.
+fn run_compile_job(request: &JobRequest, state: &Arc<ServerState>) -> (JobResponse, bool) {
+    // Admission gate: claim an in-flight slot or answer `busy`.
+    let admitted = match state.max_jobs {
+        Some(max) => state
+            .active
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < max).then_some(n + 1)
+            })
+            .is_ok(),
+        None => {
+            state.active.fetch_add(1, Ordering::SeqCst);
+            true
+        }
+    };
+    if !admitted {
+        metrics::counter_add("serve.jobs.busy", 1);
+        let max = state.max_jobs.unwrap_or(0);
+        return (
+            JobResponse::resilience_failure(
+                request.id,
+                "busy",
+                format!("daemon is serving its maximum of {max} concurrent job(s); retry"),
+            ),
+            false,
+        );
+    }
+    metrics::counter_set("serve.jobs.active", state.active.load(Ordering::SeqCst));
+
+    let sequence = state.sequence.fetch_add(1, Ordering::SeqCst);
+    let scope = format!("req.{sequence}.");
+    let (sender, receiver) = mpsc::channel();
+    let job_state = Arc::clone(state);
+    let job_request = request.clone();
+    let job_scope = scope.clone();
+    std::thread::spawn(move || {
+        let outcome = {
+            // Lock the cache on the job thread, but catch panics
+            // *inside* the guard's scope: an unwinding compile then
+            // drops the guard normally instead of poisoning the mutex.
+            let mut cache = lock(&job_state.cache);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                run_one_job(&job_request, &mut cache, &job_scope)
+            }));
             // Persist after every job that changed the cache, so cold
             // `tydic` runs and other daemons see this daemon's work;
             // the dirty flag makes fully-warm jobs skip the disk.
             if cache.is_dirty() {
-                if let Err(e) = cache.save(&state.cache_dir) {
+                if let Err(e) = cache.save(&job_state.cache_dir) {
                     eprintln!(
                         "warning: cannot persist cache to `{}`: {e}",
-                        state.cache_dir.display()
+                        job_state.cache_dir.display()
                     );
                 }
             }
-            drop(cache);
-            state.requests.fetch_add(1, Ordering::SeqCst);
-            (response, false)
+            outcome
+        };
+        if outcome.is_err() {
+            // The panic unwound past `run_job`'s own scrub; clear the
+            // request's metric namespace from here (this thread's
+            // scope guard is gone, so the prefix resolves globally).
+            metrics::clear_prefix(&job_scope);
         }
+        job_state.active.fetch_sub(1, Ordering::SeqCst);
+        metrics::counter_set("serve.jobs.active", job_state.active.load(Ordering::SeqCst));
+        // The dispatcher may have timed out and gone away; that only
+        // drops the result of an already-abandoned job.
+        let _ = sender.send(outcome);
+    });
+
+    let outcome = match state.job_timeout {
+        None => receiver
+            .recv()
+            .map_err(|_| mpsc::RecvTimeoutError::Disconnected),
+        Some(limit) => receiver.recv_timeout(limit),
+    };
+    let response = match outcome {
+        Ok(Ok(response)) => {
+            state.requests.fetch_add(1, Ordering::SeqCst);
+            metrics::counter_set("serve.jobs.served", state.requests.load(Ordering::SeqCst));
+            response
+        }
+        Ok(Err(_panic)) => {
+            metrics::counter_add("serve.jobs.panicked", 1);
+            JobResponse::resilience_failure(
+                request.id,
+                "internal_error",
+                "compile job panicked; the daemon isolated it and keeps serving",
+            )
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            metrics::counter_add("serve.jobs.timed_out", 1);
+            let limit = state.job_timeout.unwrap_or_default();
+            JobResponse::resilience_failure(
+                request.id,
+                "timeout",
+                format!(
+                    "job exceeded the {:.1}s wall-clock limit",
+                    limit.as_secs_f64()
+                ),
+            )
+        }
+        // The job thread died without reporting — only possible if the
+        // send itself failed; account it like a panic.
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            metrics::counter_add("serve.jobs.panicked", 1);
+            JobResponse::resilience_failure(
+                request.id,
+                "internal_error",
+                "compile job vanished; the daemon keeps serving",
+            )
+        }
+    };
+    (response, false)
+}
+
+/// The job body run under panic isolation: the protocol's test hooks
+/// (deterministic ways to provoke a slow or crashing compile), then
+/// the real runner.
+fn run_one_job(request: &JobRequest, cache: &mut ArtifactCache, scope: &str) -> JobResponse {
+    if let Some(ms) = request.test_sleep_ms {
+        std::thread::sleep(Duration::from_millis(ms));
     }
+    if request.test_panic {
+        panic!("test hook: job {} requested a panic", request.id);
+    }
+    execute::run_job(request, cache, scope)
 }
 
 /// Persists the cache and removes the daemon's socket and pid files.
@@ -216,5 +465,53 @@ fn lock(cache: &Mutex<ArtifactCache>) -> std::sync::MutexGuard<'_, ArtifactCache
     match cache.lock() {
         Ok(guard) => guard,
         Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tydi-serve-pidfile-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn pid_file_liveness_detects_dead_and_recycled_holders() {
+        if !Path::new("/proc").is_dir() {
+            return; // no procfs to probe on this platform
+        }
+        let dir = temp_dir("live");
+        let socket = dir.join(crate::SOCKET_NAME);
+        let pid_file = dir.join(crate::PID_FILE_NAME);
+        // No pid file: nothing to verify.
+        assert_eq!(pid_file_is_live(&socket), None);
+        // Our own pid with our own comm: live.
+        std::fs::write(
+            &pid_file,
+            format!("{} {}\n", std::process::id(), self_comm()),
+        )
+        .unwrap();
+        assert_eq!(pid_file_is_live(&socket), Some(true));
+        // Our own pid recorded with a different comm: the pid was
+        // recycled by an unrelated process — not a live daemon.
+        std::fs::write(&pid_file, format!("{} not-a-tydic\n", std::process::id())).unwrap();
+        assert_eq!(pid_file_is_live(&socket), Some(false));
+        // A pid beyond pid_max: provably dead.
+        std::fs::write(&pid_file, "4194304999 tydic\n").unwrap();
+        assert_eq!(pid_file_is_live(&socket), Some(false));
+        // Old single-field format with a live pid: alive is all we know.
+        std::fs::write(&pid_file, format!("{}\n", std::process::id())).unwrap();
+        assert_eq!(pid_file_is_live(&socket), Some(true));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn self_comm_is_nonempty() {
+        assert!(!self_comm().is_empty());
     }
 }

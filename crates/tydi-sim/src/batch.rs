@@ -14,6 +14,7 @@
 use crate::behavior::BehaviorRegistry;
 use crate::channel::Packet;
 use crate::engine::{RunResult, SchedulerKind, SimError, Simulator, StopReason};
+use crate::fault::{FaultPlan, FaultStats};
 use crate::graph::{flatten, SimGraph};
 use crate::report::{BottleneckReport, ChannelStats, PortBlockage};
 use std::collections::HashMap;
@@ -34,6 +35,8 @@ pub struct Scenario {
     pub max_cycles: u64,
     /// Optional override of the quiescence threshold.
     pub idle_threshold: Option<u64>,
+    /// Optional fault plan woven into the run.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -46,6 +49,7 @@ impl Scenario {
             backpressure: Vec::new(),
             max_cycles: 100_000,
             idle_threshold: None,
+            faults: None,
         }
     }
 
@@ -78,6 +82,12 @@ impl Scenario {
         self.idle_threshold = Some(cycles);
         self
     }
+
+    /// Weaves a fault plan into the run.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Scenario {
+        self.faults = Some(plan);
+        self
+    }
 }
 
 /// The outcome of one scenario.
@@ -94,6 +104,9 @@ pub struct ScenarioReport {
     pub bottlenecks: BottleneckReport,
     /// Per-channel occupancy/credit statistics, sorted by name.
     pub channels: Vec<ChannelStats>,
+    /// What the scenario's injected faults actually did (all zeros
+    /// when no fault plan was set).
+    pub fault_stats: FaultStats,
 }
 
 impl ScenarioReport {
@@ -127,14 +140,24 @@ impl std::error::Error for BatchError {
 /// Aggregated outcomes of a scenario batch.
 #[derive(Debug, Clone, Default)]
 pub struct BatchReport {
-    /// Per-scenario reports, in submission order.
+    /// Per-scenario reports for the scenarios that ran, in submission
+    /// order.
     pub scenarios: Vec<ScenarioReport>,
+    /// Per-scenario failures, in submission order. A failing scenario
+    /// no longer aborts the batch: the remaining scenarios run to
+    /// completion and every failure is reported here, named.
+    pub errors: Vec<BatchError>,
 }
 
 impl BatchReport {
     /// Scenarios that ran to proven or assumed completion.
     pub fn completed(&self) -> usize {
         self.scenarios.iter().filter(|s| s.result.finished).count()
+    }
+
+    /// Number of scenarios that failed to run at all.
+    pub fn failed(&self) -> usize {
+        self.errors.len()
     }
 
     /// Names of scenarios that deadlocked.
@@ -214,11 +237,15 @@ impl fmt::Display for BatchReport {
                 s.delivered()
             )?;
         }
+        for e in &self.errors {
+            writeln!(f, "  {:<16} ERROR  {}", e.scenario, e.error)?;
+        }
         writeln!(
             f,
-            "  total: {} completed, {} deadlocked, {} packet(s) in {} cycles",
+            "  total: {} completed, {} deadlocked, {} failed, {} packet(s) in {} cycles",
             self.completed(),
             self.deadlocked().len(),
+            self.failed(),
             self.total_delivered(),
             self.total_cycles()
         )?;
@@ -267,8 +294,11 @@ impl<'a> SimBatch<'a> {
     }
 
     /// Runs all scenarios, sharded across threads, and aggregates
-    /// their reports. The first failure aborts the batch with the
-    /// offending scenario named.
+    /// their reports. A failing scenario does not abort the batch:
+    /// every scenario runs to completion and per-scenario failures
+    /// land in [`BatchReport::errors`], named and structured. Only a
+    /// design that cannot be flattened at all — no scenario could ever
+    /// run — fails the whole batch.
     ///
     /// The design is flattened exactly once; every scenario clones the
     /// resulting (empty-channel) [`SimGraph`] instead of re-walking the
@@ -286,11 +316,14 @@ impl<'a> SimBatch<'a> {
         let results = rayon::map_stealing(scenarios.len(), workers, |i| {
             self.run_scenario(&graph, &scenarios[i])
         });
-        let mut reports = Vec::with_capacity(results.len());
+        let mut report = BatchReport::default();
         for result in results {
-            reports.push(result?);
+            match result {
+                Ok(scenario) => report.scenarios.push(scenario),
+                Err(error) => report.errors.push(error),
+            }
         }
-        Ok(BatchReport { scenarios: reports })
+        Ok(report)
     }
 
     fn run_scenario(
@@ -316,6 +349,9 @@ impl<'a> SimBatch<'a> {
         for (port, packets) in &scenario.feeds {
             sim.feed(port, packets.iter().copied()).map_err(attribute)?;
         }
+        if let Some(plan) = &scenario.faults {
+            sim.set_fault_plan(plan).map_err(attribute)?;
+        }
         let result = sim.run(scenario.max_cycles);
         let mut outputs = Vec::new();
         for port in sim.output_ports() {
@@ -328,6 +364,7 @@ impl<'a> SimBatch<'a> {
             outputs,
             bottlenecks: sim.bottlenecks(),
             channels: sim.channel_stats(),
+            fault_stats: sim.fault_stats(),
         })
     }
 }
@@ -448,16 +485,110 @@ impl top_i of top_s {
     }
 
     #[test]
-    fn batch_errors_name_the_scenario() {
+    fn batch_errors_name_the_scenario_without_aborting_the_batch() {
         let project = pipeline_project();
         let registry = BehaviorRegistry::with_std();
-        let bad = vec![Scenario::new("typo").with_feed("nope", [Packet::data(1)])];
-        let err = SimBatch::new(&project, "top_i", &registry)
-            .run(&bad)
-            .expect_err("unknown port must fail");
+        // One broken scenario sandwiched between two good ones: the
+        // good ones still run, the failure is reported structured and
+        // named instead of aborting the whole batch.
+        let mix = vec![
+            Scenario::new("good-0").with_feed("i", (0..4).map(Packet::data)),
+            Scenario::new("typo").with_feed("nope", [Packet::data(1)]),
+            Scenario::new("good-1").with_feed("i", (4..8).map(Packet::data)),
+        ];
+        let report = SimBatch::new(&project, "top_i", &registry)
+            .run(&mix)
+            .expect("per-scenario errors must not abort the batch");
+        assert_eq!(report.scenarios.len(), 2);
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.failed(), 1);
+        let err = &report.errors[0];
         assert_eq!(err.scenario, "typo");
         assert!(matches!(err.error, SimError::UnknownBoundaryPort { .. }));
         assert!(err.to_string().contains("typo"));
+        // The rendered report names the failure too.
+        let text = report.to_string();
+        assert!(text.contains("typo"), "{text}");
+        assert!(text.contains("ERROR"), "{text}");
+        assert!(text.contains("1 failed"), "{text}");
+    }
+
+    #[test]
+    fn faulted_scenario_stalls_and_reports_blocked_channels() {
+        let project = pipeline_project();
+        let registry = BehaviorRegistry::with_std();
+        // Permanently stall the boundary output: the pipeline wedges
+        // exactly as if the consumer withheld ready forever.
+        let plan = FaultPlan::parse("stall(boundary.o,0,*)").expect("plan");
+        let faulty = vec![Scenario::new("stalled")
+            .with_feed("i", (0..16).map(Packet::data))
+            .with_faults(plan)
+            .with_max_cycles(5_000)];
+        let report = SimBatch::new(&project, "top_i", &registry)
+            .run(&faulty)
+            .expect("batch");
+        assert_eq!(report.deadlocked(), vec!["stalled"]);
+        let scenario = &report.scenarios[0];
+        let StopReason::Deadlocked {
+            blocked_channels, ..
+        } = &scenario.result.reason
+        else {
+            panic!("expected Deadlocked, got {:?}", scenario.result.reason);
+        };
+        assert!(blocked_channels.contains(&"boundary.o".to_string()));
+        assert!(scenario.fault_stats.gated_cycles > 0);
+    }
+
+    #[test]
+    fn unknown_fault_target_is_a_named_batch_error() {
+        let project = pipeline_project();
+        let registry = BehaviorRegistry::with_std();
+        let plan = FaultPlan::parse("stall(no.such.channel,0,*)").expect("plan");
+        let bad = vec![Scenario::new("ghost")
+            .with_feed("i", [Packet::data(1)])
+            .with_faults(plan)];
+        let report = SimBatch::new(&project, "top_i", &registry)
+            .run(&bad)
+            .expect("aggregated");
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.errors[0].scenario, "ghost");
+        assert!(matches!(
+            report.errors[0].error,
+            SimError::UnknownFaultTarget {
+                kind: "channel",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn fault_sweep_is_deterministic_per_seed() {
+        let project = pipeline_project();
+        let registry = BehaviorRegistry::with_std();
+        let base = FaultPlan::parse("jitter(boundary.o,1,3)").expect("plan");
+        let sweep = |seeds: &[u64]| -> Vec<String> {
+            let scenarios: Vec<Scenario> = seeds
+                .iter()
+                .map(|&seed| {
+                    Scenario::new(format!("fault-s{seed}"))
+                        .with_feed("i", (0..12).map(Packet::data))
+                        .with_faults(base.reseeded(seed))
+                })
+                .collect();
+            SimBatch::new(&project, "top_i", &registry)
+                .run(&scenarios)
+                .expect("sweep")
+                .scenarios
+                .iter()
+                .map(|s| format!("{:?}|{:?}", s.result, s.outputs))
+                .collect()
+        };
+        let first = sweep(&[1, 2, 3]);
+        let second = sweep(&[1, 2, 3]);
+        assert_eq!(first, second, "same seeds must replay identically");
+        // Different seeds roll different jitter: arrival schedules
+        // diverge between sweep arms.
+        assert_ne!(first[0], first[1]);
     }
 
     #[test]

@@ -72,6 +72,10 @@ pub struct Channel {
     /// Pushes rejected because the FIFO was full: credit stalls seen
     /// by the producer.
     refused: u64,
+    /// Set per cycle by the fault-injection engine: while true the
+    /// channel withholds credit regardless of FIFO occupancy, exactly
+    /// as if the consumer deasserted `ready`.
+    fault_blocked: bool,
 }
 
 impl Channel {
@@ -86,6 +90,7 @@ impl Channel {
             popped: false,
             max_occupancy: 0,
             refused: 0,
+            fault_blocked: false,
         }
     }
 
@@ -105,9 +110,29 @@ impl Channel {
         self.refused
     }
 
-    /// True when a push would be accepted this cycle.
+    /// True when a push would be accepted this cycle (FIFO space and
+    /// no injected credit fault).
     pub fn can_push(&self) -> bool {
+        self.has_space() && !self.fault_blocked
+    }
+
+    /// True when the FIFO itself has room, ignoring injected faults.
+    /// The scheduler uses this to distinguish "full" (a pop will free
+    /// credit and wake the producer) from "faulted" (credit returns at
+    /// a fault-transition cycle instead).
+    pub fn has_space(&self) -> bool {
         self.queue.len() + self.staged.len() < self.capacity
+    }
+
+    /// Applies or clears the per-cycle injected credit fault.
+    pub fn set_fault_blocked(&mut self, blocked: bool) {
+        self.fault_blocked = blocked;
+    }
+
+    /// True while an injected fault is withholding this channel's
+    /// credit.
+    pub fn fault_blocked(&self) -> bool {
+        self.fault_blocked
     }
 
     /// Pushes a packet; returns false when full.

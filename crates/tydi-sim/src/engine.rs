@@ -13,6 +13,7 @@
 
 use crate::behavior::{Behavior, BehaviorRegistry, IoCtx, Wake};
 use crate::channel::{Channel, Packet};
+use crate::fault::{self, Fault, FaultPlan, FaultStats};
 use crate::graph::{flatten, ComponentNode, GraphError, SimGraph};
 use crate::interp::SimInterpreter;
 use crate::report::{BottleneckReport, ChannelStats, PortBlockage, SimReport};
@@ -51,6 +52,16 @@ pub enum SimError {
         /// The boundary ports that do exist, sorted.
         available: Vec<String>,
     },
+    /// A fault plan targets a channel or component the flattened
+    /// design does not contain.
+    UnknownFaultTarget {
+        /// `"channel"` or `"component"`.
+        kind: &'static str,
+        /// The requested name.
+        target: String,
+        /// The names that do exist, sorted.
+        available: Vec<String>,
+    },
 }
 
 impl SimError {
@@ -84,6 +95,17 @@ impl std::fmt::Display for SimError {
                     available.join(", ")
                 )
             }
+            SimError::UnknownFaultTarget {
+                kind,
+                target,
+                available,
+            } => {
+                write!(
+                    f,
+                    "fault plan targets unknown {kind} `{target}` (available: {})",
+                    available.join(", ")
+                )
+            }
         }
     }
 }
@@ -114,6 +136,71 @@ struct Probe {
     received: Vec<(u64, Packet)>,
     /// Accept a packet only every `accept_every` cycles (1 = always).
     accept_every: u64,
+}
+
+/// A [`FaultPlan`] resolved against one flattened design: names mapped
+/// to channel/component indices, plus the per-channel gate state the
+/// scheduler uses to detect fault transitions.
+#[derive(Default)]
+struct FaultState {
+    /// `(channel, from, until-exclusive)` credit stalls.
+    stalls: Vec<(usize, u64, u64)>,
+    /// `(channel, effective seed, name salt, max_delay)` jitters.
+    jitters: Vec<(usize, u64, u64, u64)>,
+    /// `(channel, period)` periodic credit drops.
+    drops: Vec<(usize, u64)>,
+    /// `(component, at_cycle)` freezes.
+    freezes: Vec<(usize, u64)>,
+    /// Sorted unique channel indices carrying at least one credit
+    /// fault; `prev` holds the gate value last applied per entry.
+    gated: Vec<usize>,
+    prev: Vec<bool>,
+    stats: FaultStats,
+}
+
+impl FaultState {
+    fn is_empty(&self) -> bool {
+        self.stalls.is_empty()
+            && self.jitters.is_empty()
+            && self.drops.is_empty()
+            && self.freezes.is_empty()
+    }
+
+    /// Whether any fault withholds `channel`'s credit on `cycle` — a
+    /// pure function of the plan, so the schedule is reproducible.
+    fn blocked_at(&self, channel: usize, cycle: u64) -> bool {
+        self.stalls
+            .iter()
+            .any(|&(c, from, until)| c == channel && cycle >= from && cycle < until)
+            || self
+                .drops
+                .iter()
+                .any(|&(c, n)| c == channel && cycle % n == n - 1)
+            || self.jitters.iter().any(|&(c, seed, salt, max)| {
+                c == channel && max > 0 && !fault::mix(seed, salt, cycle).is_multiple_of(max + 1)
+            })
+    }
+
+    fn frozen(&self, component: usize, cycle: u64) -> bool {
+        self.freezes
+            .iter()
+            .any(|&(c, at)| c == component && cycle >= at)
+    }
+
+    /// The earliest cycle strictly after `cycle` at which some credit
+    /// gate may change state. Jitter and periodic drops can flip every
+    /// cycle, so their presence pins this to `cycle + 1`; permanent
+    /// stalls (`until == u64::MAX`) never transition.
+    fn next_transition(&self, cycle: u64) -> Option<u64> {
+        if !self.drops.is_empty() || self.jitters.iter().any(|&(_, _, _, max)| max > 0) {
+            return Some(cycle.saturating_add(1));
+        }
+        self.stalls
+            .iter()
+            .flat_map(|&(_, from, until)| [from, until])
+            .filter(|&at| at > cycle && at != u64::MAX)
+            .min()
+    }
 }
 
 /// Which cycle loop drives the simulation.
@@ -204,6 +291,8 @@ pub struct Simulator {
     channel_sinks: Vec<Vec<usize>>,
     /// Channel index -> components writing it (woken on new credit).
     channel_sources: Vec<Vec<usize>>,
+    /// Resolved fault plan (empty = no injection).
+    faults: FaultState,
 }
 
 /// Builds the behaviour for one flattened component, resolving its IR
@@ -353,7 +442,103 @@ impl Simulator {
             next_wake: vec![0; component_count],
             channel_sinks: graph.channel_sinks,
             channel_sources: graph.channel_sources,
+            faults: FaultState::default(),
         })
+    }
+
+    /// Installs a fault plan, resolving its channel and component
+    /// names against the flattened design. Replaces any previous plan;
+    /// unknown targets produce [`SimError::UnknownFaultTarget`].
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), SimError> {
+        let mut state = FaultState::default();
+        let channels = &self.channels;
+        let components = &self.components;
+        let channel_index = |name: &str| -> Result<usize, SimError> {
+            channels.iter().position(|c| c.name == name).ok_or_else(|| {
+                let mut available: Vec<String> = channels.iter().map(|c| c.name.clone()).collect();
+                available.sort();
+                SimError::UnknownFaultTarget {
+                    kind: "channel",
+                    target: name.to_string(),
+                    available,
+                }
+            })
+        };
+        let component_index = |name: &str| -> Result<usize, SimError> {
+            components
+                .iter()
+                .position(|c| c.node.path == name)
+                .ok_or_else(|| {
+                    let mut available: Vec<String> =
+                        components.iter().map(|c| c.node.path.clone()).collect();
+                    available.sort();
+                    SimError::UnknownFaultTarget {
+                        kind: "component",
+                        target: name.to_string(),
+                        available,
+                    }
+                })
+        };
+        for injected in &plan.faults {
+            match injected {
+                Fault::Stall {
+                    channel,
+                    from_cycle,
+                    cycles,
+                } => {
+                    state.stalls.push((
+                        channel_index(channel)?,
+                        *from_cycle,
+                        from_cycle.saturating_add(*cycles),
+                    ));
+                }
+                Fault::Jitter {
+                    channel,
+                    seed,
+                    max_delay,
+                } => {
+                    let effective = plan.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed;
+                    state.jitters.push((
+                        channel_index(channel)?,
+                        effective,
+                        fault::name_salt(channel),
+                        *max_delay,
+                    ));
+                }
+                Fault::Freeze {
+                    component,
+                    at_cycle,
+                } => {
+                    state.freezes.push((component_index(component)?, *at_cycle));
+                }
+                Fault::DropCredit { channel, every_n } => {
+                    state
+                        .drops
+                        .push((channel_index(channel)?, (*every_n).max(1)));
+                }
+            }
+        }
+        let mut gated: Vec<usize> = state
+            .stalls
+            .iter()
+            .map(|&(c, _, _)| c)
+            .chain(state.jitters.iter().map(|&(c, _, _, _)| c))
+            .chain(state.drops.iter().map(|&(c, _)| c))
+            .collect();
+        gated.sort_unstable();
+        gated.dedup();
+        state.prev = vec![false; gated.len()];
+        state.gated = gated;
+        for channel in &mut self.channels {
+            channel.set_fault_blocked(false);
+        }
+        self.faults = state;
+        Ok(())
+    }
+
+    /// Counters of what the installed faults actually did so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats
     }
 
     /// Selects the cycle loop (event-driven by default).
@@ -485,10 +670,39 @@ impl Simulator {
         due
     }
 
+    /// Applies this cycle's injected credit gates to the faulted
+    /// channels. A gate releasing (blocked last cycle, clear now) is a
+    /// credit event: producers are woken exactly as if a pop freed
+    /// FIFO space, so stalled components resume without polling.
+    fn apply_fault_gates(&mut self) {
+        let event_driven = matches!(self.scheduler, SchedulerKind::EventDriven);
+        for slot in 0..self.faults.gated.len() {
+            let channel = self.faults.gated[slot];
+            let blocked = self.faults.blocked_at(channel, self.cycle);
+            let was = self.faults.prev[slot];
+            self.faults.prev[slot] = blocked;
+            self.channels[channel].set_fault_blocked(blocked);
+            if blocked {
+                self.faults.stats.gated_cycles += 1;
+            }
+            if event_driven && was && !blocked {
+                let cycle = self.cycle;
+                for index in 0..self.channel_sources[channel].len() {
+                    let source = self.channel_sources[channel][index];
+                    schedule(&mut self.wakes, &mut self.next_wake, source, cycle);
+                }
+            }
+        }
+    }
+
     /// Advances one cycle; returns true when anything moved.
     pub fn step(&mut self) -> bool {
         let mut activity = false;
         let event_driven = matches!(self.scheduler, SchedulerKind::EventDriven);
+        // 0. Injected faults gate channel credit for this cycle.
+        if !self.faults.gated.is_empty() {
+            self.apply_fault_gates();
+        }
         // 1. Feeders inject stimuli.
         for feeder in self.feeders.values_mut() {
             if let Some(&packet) = feeder.pending.front() {
@@ -500,11 +714,19 @@ impl Simulator {
             }
         }
         // 2. Scheduled components tick (all of them under polling).
-        let due = if event_driven {
+        // Frozen components are dropped from the due list: their
+        // queued wake is consumed and they never reschedule.
+        let mut due = if event_driven {
             self.take_due()
         } else {
             (0..self.components.len()).collect()
         };
+        if !self.faults.freezes.is_empty() {
+            let before = due.len();
+            let (faults, cycle) = (&self.faults, self.cycle);
+            due.retain(|&index| !faults.frozen(index, cycle));
+            self.faults.stats.frozen_ticks += (before - due.len()) as u64;
+        }
         let mut hints: Vec<(usize, Wake)> = Vec::with_capacity(due.len());
         for index in due {
             let component = &mut self.components[index];
@@ -618,11 +840,15 @@ impl Simulator {
         let mut consider = |cycle: u64| {
             next = Some(next.map_or(cycle, |n: u64| n.min(cycle)));
         };
-        if self
-            .feeders
-            .values()
-            .any(|f| !f.pending.is_empty() && self.channels[f.channel].can_push())
-        {
+        // Feeder readiness consults the fault plan directly rather
+        // than the channel's gate flag, which is only refreshed when a
+        // step actually runs and may be stale after a skip.
+        let gate = |channel: usize| {
+            !self.faults.gated.is_empty() && self.faults.blocked_at(channel, self.cycle)
+        };
+        if self.feeders.values().any(|f| {
+            !f.pending.is_empty() && self.channels[f.channel].has_space() && !gate(f.channel)
+        }) {
             consider(self.cycle);
         }
         if let Some((&at, _)) = self.wakes.first_key_value() {
@@ -631,6 +857,19 @@ impl Simulator {
         for probe in self.probes.values() {
             if self.channels[probe.channel].has_visible() {
                 consider(next_accept(self.cycle, probe.accept_every));
+            }
+        }
+        // Fault-gate transitions release credit that nothing else will
+        // signal; while work remains in flight, the next transition is
+        // an event. Plans with only permanent stalls have none, so a
+        // provoked wedge still terminates as a *proven* deadlock.
+        if !self.faults.is_empty() {
+            let pending_work = self.feeders.values().any(|f| !f.pending.is_empty())
+                || self.channels.iter().any(|c| !c.is_empty());
+            if pending_work {
+                if let Some(at) = self.faults.next_transition(self.cycle) {
+                    consider(at.max(self.cycle));
+                }
             }
         }
         next
@@ -729,14 +968,32 @@ impl Simulator {
     }
 
     /// Channel names participating in the blocked cycle: every channel
-    /// still holding packets or with refused pushes, worst first by
-    /// (occupancy, refusals). Names match the flattened graph, so the
-    /// list lines up with the static analyzer's stall cones.
+    /// still holding packets, with refused pushes, or whose producer
+    /// recorded blocked-send pressure (behaviours that probe
+    /// `can_send` and note the blockage never attempt the push, so the
+    /// refusal counter alone would miss e.g. a fault-stalled but empty
+    /// channel), worst first by (occupancy, refusals). Names match the
+    /// flattened graph, so the list lines up with the static
+    /// analyzer's stall cones.
     fn blocked_channels(&self) -> Vec<String> {
+        let mut pressured: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for component in &self.components {
+            for (port, &cycles) in &component.blocked {
+                if cycles > 0 {
+                    if let Some(&channel) = component.node.outputs.get(port) {
+                        pressured.insert(channel);
+                    }
+                }
+            }
+        }
         let mut stuck: Vec<&Channel> = self
             .channels
             .iter()
-            .filter(|c| !c.is_empty() || c.refused_pushes() > 0)
+            .enumerate()
+            .filter(|(index, c)| {
+                !c.is_empty() || c.refused_pushes() > 0 || pressured.contains(index)
+            })
+            .map(|(_, c)| c)
             .collect();
         stuck.sort_by(|a, b| {
             (b.len(), b.refused_pushes(), &a.name).cmp(&(a.len(), a.refused_pushes(), &b.name))
@@ -800,6 +1057,18 @@ impl Simulator {
     /// Recorded state transitions: `(cycle, component, from, to)`.
     pub fn state_transitions(&self) -> &[(u64, String, String, String)] {
         &self.transitions
+    }
+
+    /// Hierarchical paths of all flattened components, sorted — the
+    /// valid targets for a `freeze` fault.
+    pub fn component_paths(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .components
+            .iter()
+            .map(|c| c.node.path.clone())
+            .collect();
+        v.sort();
+        v
     }
 
     /// Names of boundary input ports.
@@ -1292,6 +1561,250 @@ impl top_i of top_s {
             }
             other => panic!("expected UnknownBoundaryPort, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stall_fault_matches_probe_backpressure_semantics() {
+        // An indefinite stall on the boundary output behaves like a
+        // probe that never accepts: same deadlock classification, and
+        // the stalled channel is named in the blocked set.
+        let project = compile_app(
+            r#"
+package app;
+use std;
+type Byte = Stream(Bit(8));
+streamlet top_s { i : Byte in, o : Byte out, }
+impl top_i of top_s {
+    instance p(passthrough_i<type Byte>),
+    i => p.i,
+    p.o => o,
+}
+"#,
+        );
+        let registry = BehaviorRegistry::with_std();
+        let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();
+        sim.set_fault_plan(&FaultPlan::parse("stall(boundary.o,0,*)").unwrap())
+            .unwrap();
+        sim.feed("i", (0..20).map(Packet::data)).unwrap();
+        let result = sim.run(5000);
+        let StopReason::Deadlocked {
+            blocked_channels, ..
+        } = &result.reason
+        else {
+            panic!("expected Deadlocked, got {:?}", result.reason);
+        };
+        assert!(blocked_channels.contains(&"boundary.o".to_string()));
+        assert!(blocked_channels.contains(&"boundary.i".to_string()));
+        assert!(sim.fault_stats().gated_cycles > 0);
+    }
+
+    #[test]
+    fn finite_stall_delays_but_completes() {
+        let project = compile_app(
+            r#"
+package app;
+use std;
+type Byte = Stream(Bit(8));
+streamlet top_s { i : Byte in, o : Byte out, }
+impl top_i of top_s {
+    instance p(passthrough_i<type Byte>),
+    i => p.i,
+    p.o => o,
+}
+"#,
+        );
+        let registry = BehaviorRegistry::with_std();
+        let baseline = {
+            let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();
+            sim.feed("i", (0..8).map(Packet::data)).unwrap();
+            assert!(sim.run(10_000).finished);
+            sim.outputs("o").unwrap().last().unwrap().0
+        };
+        let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();
+        // Hold the input channel shut for 20 cycles, then release.
+        sim.set_fault_plan(&FaultPlan::parse("stall(boundary.i,0,20)").unwrap())
+            .unwrap();
+        sim.feed("i", (0..8).map(Packet::data)).unwrap();
+        let result = sim.run(10_000);
+        assert!(result.finished, "{result:?}");
+        let out = sim.outputs("o").unwrap();
+        assert_eq!(out.len(), 8);
+        assert!(
+            out.last().unwrap().0 >= baseline + 20,
+            "stall must delay delivery: {} vs baseline {}",
+            out.last().unwrap().0,
+            baseline
+        );
+    }
+
+    #[test]
+    fn frozen_component_deadlock_names_its_channels() {
+        let project = compile_app(
+            r#"
+package app;
+use std;
+type Byte = Stream(Bit(8));
+streamlet top_s { i : Byte in, o : Byte out, }
+impl top_i of top_s {
+    instance a(passthrough_i<type Byte>),
+    instance b(passthrough_i<type Byte>),
+    i => a.i,
+    a.o => b.i,
+    b.o => o,
+}
+"#,
+        );
+        let registry = BehaviorRegistry::with_std();
+        let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();
+        let frozen = sim
+            .component_paths()
+            .into_iter()
+            .find(|p| p.ends_with(".b"))
+            .expect("component b");
+        sim.set_fault_plan(&FaultPlan {
+            faults: vec![Fault::Freeze {
+                component: frozen.clone(),
+                at_cycle: 0,
+            }],
+            seed: 0,
+        })
+        .unwrap();
+        sim.feed("i", (0..20).map(Packet::data)).unwrap();
+        let result = sim.run(5000);
+        let StopReason::Deadlocked {
+            blocked_channels, ..
+        } = &result.reason
+        else {
+            panic!("expected Deadlocked, got {:?}", result.reason);
+        };
+        // The wedge is attributable to the frozen component: one of
+        // the blocked channels names it (its starved input hop,
+        // `... => b.i` in the flattened scheme).
+        assert!(
+            blocked_channels.iter().any(|c| c.contains("b.i")),
+            "blocked channels {blocked_channels:?} must name the frozen component `{frozen}`"
+        );
+        assert!(sim.fault_stats().frozen_ticks > 0);
+        assert!(!result.finished);
+    }
+
+    #[test]
+    fn faulted_run_agrees_across_schedulers() {
+        // Polling and event-driven must see the exact same faulted
+        // world: same outputs, same arrival cycles, same termination.
+        let source = r#"
+package app;
+use std;
+type Byte = Stream(Bit(8));
+streamlet top_s { i : Byte in, o : Byte out, }
+impl top_i of top_s {
+    instance a(passthrough_i<type Byte>),
+    instance b(passthrough_i<type Byte>),
+    i => a.i,
+    a.o => b.i,
+    b.o => o,
+}
+"#;
+        let project = compile_app(source);
+        let registry = BehaviorRegistry::with_std();
+        for spec in [
+            "stall(boundary.i,3,9)",
+            "drop(boundary.o,3)",
+            "jitter(boundary.o,42,2)",
+            "stall(boundary.o,0,*)",
+        ] {
+            let run = |kind: SchedulerKind| {
+                let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();
+                sim.set_scheduler(kind);
+                sim.set_fault_plan(&FaultPlan::parse(spec).unwrap())
+                    .unwrap();
+                sim.feed("i", (0..12).map(Packet::data)).unwrap();
+                let result = sim.run(10_000);
+                (result.finished, sim.outputs("o").unwrap().to_vec())
+            };
+            let (finished_poll, out_poll) = run(SchedulerKind::Polling);
+            let (finished_event, out_event) = run(SchedulerKind::EventDriven);
+            assert_eq!(finished_poll, finished_event, "{spec}");
+            assert_eq!(out_poll, out_event, "{spec}");
+        }
+    }
+
+    #[test]
+    fn drop_credit_throttles_delivery() {
+        let project = compile_app(
+            r#"
+package app;
+use std;
+type Byte = Stream(Bit(8));
+streamlet top_s { i : Byte in, o : Byte out, }
+impl top_i of top_s {
+    instance p(passthrough_i<type Byte>),
+    i => p.i,
+    p.o => o,
+}
+"#,
+        );
+        let registry = BehaviorRegistry::with_std();
+        let last_arrival = |spec: Option<&str>| {
+            let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();
+            if let Some(spec) = spec {
+                sim.set_fault_plan(&FaultPlan::parse(spec).unwrap())
+                    .unwrap();
+            }
+            sim.feed("i", (0..16).map(Packet::data)).unwrap();
+            assert!(sim.run(10_000).finished);
+            sim.outputs("o").unwrap().last().unwrap().0
+        };
+        let clean = last_arrival(None);
+        let dropped = last_arrival(Some("drop(boundary.i,2)"));
+        assert!(
+            dropped > clean,
+            "dropping every 2nd credit must slow delivery ({dropped} vs {clean})"
+        );
+    }
+
+    #[test]
+    fn unknown_fault_targets_error_with_availability() {
+        let project = compile_app(
+            r#"
+package app;
+use std;
+type Byte = Stream(Bit(8));
+streamlet top_s { i : Byte in, o : Byte out, }
+impl top_i of top_s {
+    instance p(passthrough_i<type Byte>),
+    i => p.i,
+    p.o => o,
+}
+"#,
+        );
+        let registry = BehaviorRegistry::with_std();
+        let mut sim = Simulator::new(&project, "top_i", &registry).unwrap();
+        let err = sim
+            .set_fault_plan(&FaultPlan::parse("stall(ghost,0,*)").unwrap())
+            .unwrap_err();
+        match err {
+            SimError::UnknownFaultTarget {
+                kind,
+                target,
+                available,
+            } => {
+                assert_eq!(kind, "channel");
+                assert_eq!(target, "ghost");
+                assert!(available.contains(&"boundary.i".to_string()));
+            }
+            other => panic!("expected UnknownFaultTarget, got {other:?}"),
+        }
+        let err = sim
+            .set_fault_plan(&FaultPlan::parse("freeze(ghost,0)").unwrap())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::UnknownFaultTarget {
+                kind: "component",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod behavior;
 pub mod builtin_behaviors;
 pub mod channel;
 pub mod engine;
+pub mod fault;
 pub mod graph;
 pub mod interp;
 pub mod report;
@@ -46,4 +47,5 @@ pub use batch::{BatchError, BatchReport, Scenario, ScenarioReport, SimBatch};
 pub use behavior::{Behavior, BehaviorRegistry, IoCtx, Wake};
 pub use channel::{Channel, Packet};
 pub use engine::{RunResult, SchedulerKind, SimError, Simulator, StopReason};
+pub use fault::{Fault, FaultParseError, FaultPlan, FaultStats};
 pub use report::{BottleneckReport, ChannelStats, PortBlockage, SimReport};

@@ -38,6 +38,8 @@
 //!   --max-cycles <n>    cycle budget per scenario (default: 100000)
 //!   --idle <n>          quiescence threshold in idle cycles
 //!   --polling           use the poll-everything cycle loop
+//!   --inject <spec>     inject faults (stall/jitter/freeze/drop clauses)
+//!   --inject-sweep <seeds>  rerun the fault plan per seed (comma list)
 //!
 //! analyze options:
 //!   --top <impl>        implementation to analyze (default: the
@@ -52,6 +54,11 @@
 //!                       instead of serving the job socket
 //!   --socket <path>     unix socket path (default: <cache-dir>/serve.sock)
 //!   --max-requests <n>  exit after n compile jobs (testing hook)
+//!   --job-timeout <ms>  per-job wall-clock limit (structured `timeout`)
+//!   --max-jobs <n>      admission gate: answer `busy` above n jobs
+//!   --idle-timeout <ms> exit (persisting the cache) after idling this long
+//!
+//! `tydic serve status` prints the running daemon's health.
 //! ```
 
 use std::fs;
@@ -154,6 +161,12 @@ sim options:
   --idle <n>        quiescence threshold in idle cycles (default: 64)
   --polling         use the poll-everything cycle loop instead of the
                     event-driven scheduler (for comparison)
+  --inject <spec>   inject faults; <spec> is `;`-separated clauses:
+                    stall(ch,from,n|*), jitter(ch,seed,max),
+                    freeze(comp,at), drop(ch,n)
+  --inject-sweep <seeds>
+                    rerun every scenario once per comma-separated
+                    seed, reseeding the fault plan's jitter each time
 
 analyze options:
   --top <impl>      implementation to analyze (default: the design's
@@ -169,7 +182,19 @@ serve options:
                     editors) instead of serving the job socket
   --socket <path>   unix socket path (default: <cache-dir>/serve.sock)
   --max-requests <n>
-                    exit after n compile jobs (testing hook)";
+                    exit after n compile jobs (testing hook)
+  --job-timeout <ms>
+                    per-job wall-clock limit; a job over it answers a
+                    structured `timeout` and the daemon keeps serving
+  --max-jobs <n>    admission gate: with n compile jobs in flight new
+                    ones answer `busy` (clients retry with backoff)
+  --idle-timeout <ms>
+                    exit after this long without a request, persisting
+                    the warm cache on the way out
+
+  `tydic serve status` prints the running daemon's health (uptime,
+  jobs served/active/timed-out/panicked, cache entries, idle
+  deadline) without spawning one.";
 
 /// A usage or I/O error; rendered to stderr with the given exit code.
 struct CliError {
@@ -223,6 +248,10 @@ struct Options {
     idle_threshold: Option<u64>,
     /// `sim`: use the polling cycle loop.
     polling: bool,
+    /// `sim`: fault-injection plan (parsed `--inject` spec).
+    inject: Option<tydi_sim::FaultPlan>,
+    /// `sim`: rerun each scenario once per sweep seed.
+    inject_sweep: Option<Vec<u64>>,
     /// Disable the on-disk artifact cache.
     no_cache: bool,
     /// Artifact cache directory override.
@@ -253,6 +282,12 @@ struct Options {
     socket: Option<PathBuf>,
     /// `serve`: exit after this many compile jobs (testing hook).
     max_requests: Option<u64>,
+    /// `serve`: per-job wall-clock limit in milliseconds.
+    job_timeout_ms: Option<u64>,
+    /// `serve`: admission-gate capacity.
+    max_jobs: Option<u64>,
+    /// `serve`: idle auto-shutdown threshold in milliseconds.
+    idle_timeout_ms: Option<u64>,
 }
 
 fn parse_count<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, CliError> {
@@ -303,6 +338,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
         max_cycles: 100_000,
         idle_threshold: None,
         polling: false,
+        inject: None,
+        inject_sweep: None,
         no_cache: false,
         cache_dir: None,
         watch: false,
@@ -318,6 +355,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
         lsp: false,
         socket: None,
         max_requests: None,
+        job_timeout_ms: None,
+        max_jobs: None,
+        idle_timeout_ms: None,
     };
     let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
@@ -385,6 +425,27 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
             }
             "--idle" => options.idle_threshold = Some(parse_count("--idle", iter.next().cloned())?),
             "--polling" => options.polling = true,
+            "--inject" => {
+                let spec = iter
+                    .next()
+                    .ok_or_else(|| CliError::usage("--inject needs a fault spec"))?;
+                options.inject = Some(
+                    tydi_sim::FaultPlan::parse(spec)
+                        .map_err(|e| CliError::usage(format!("--inject: {e}")))?,
+                );
+            }
+            "--inject-sweep" => {
+                let seeds = iter
+                    .next()
+                    .ok_or_else(|| CliError::usage("--inject-sweep needs comma-separated seeds"))?;
+                let parsed: Result<Vec<u64>, _> =
+                    seeds.split(',').map(|s| s.trim().parse::<u64>()).collect();
+                options.inject_sweep = Some(parsed.map_err(|_| {
+                    CliError::usage(format!(
+                        "--inject-sweep needs comma-separated seeds, got `{seeds}`"
+                    ))
+                })?);
+            }
             "--format" => {
                 let value = iter
                     .next()
@@ -424,6 +485,15 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
             "--max-requests" => {
                 options.max_requests = Some(parse_count("--max-requests", iter.next().cloned())?)
             }
+            "--job-timeout" => {
+                options.job_timeout_ms = Some(parse_count("--job-timeout", iter.next().cloned())?)
+            }
+            "--max-jobs" => {
+                options.max_jobs = Some(parse_count("--max-jobs", iter.next().cloned())?)
+            }
+            "--idle-timeout" => {
+                options.idle_timeout_ms = Some(parse_count("--idle-timeout", iter.next().cloned())?)
+            }
             other if other.starts_with('-') => {
                 return Err(CliError::usage(format!("unknown option `{other}`")));
             }
@@ -437,6 +507,12 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
         return Err(CliError::usage(
             "sim needs --top <impl> (the implementation to simulate)",
         ));
+    }
+    if options.inject_sweep.is_some() && options.inject.is_none() {
+        return Err(CliError::usage("--inject-sweep needs --inject <spec>"));
+    }
+    if options.inject.is_some() && options.command != "sim" {
+        return Err(CliError::usage("--inject is only supported with `sim`"));
     }
     if options.watch && options.command != "check" {
         return Err(CliError::usage("--watch is only supported with `check`"));
@@ -717,11 +793,76 @@ fn run_serve(options: &Options) -> Result<(), CliError> {
         return tydi_serve::lsp::run_stdio(cache_dir)
             .map_err(|e| CliError::failure(format!("lsp server failed: {e}")));
     }
+    match options.files.first().map(String::as_str) {
+        Some("status") => return run_serve_status(options, &dir),
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "unknown serve subcommand `{other}` (expected `status`, or no subcommand \
+                 to run the daemon)"
+            )))
+        }
+        None => {}
+    }
     let mut serve_options = tydi_serve::server::ServeOptions::new(dir);
     serve_options.socket = options.socket.clone().map(|p| absolute_path(&p));
     serve_options.max_requests = options.max_requests;
+    serve_options.job_timeout = options.job_timeout_ms.map(std::time::Duration::from_millis);
+    serve_options.max_jobs = options.max_jobs;
+    serve_options.idle_timeout = options
+        .idle_timeout_ms
+        .map(std::time::Duration::from_millis);
     tydi_serve::server::serve(&serve_options)
         .map_err(|e| CliError::failure(format!("serve failed: {e}")))
+}
+
+/// `tydic serve status`: query the running daemon's health over its
+/// socket (never spawning one) and render it for humans. The field
+/// values come off the daemon's tydi-obs registry via the `status`
+/// job.
+#[cfg(unix)]
+fn run_serve_status(options: &Options, dir: &std::path::Path) -> Result<(), CliError> {
+    let socket = options
+        .socket
+        .clone()
+        .map(|p| absolute_path(&p))
+        .unwrap_or_else(|| tydi_serve::socket_path(dir));
+    let mut client = tydi_serve::client::Client::connect(&socket)
+        .map_err(|e| CliError::failure(format!("no daemon on {}: {e}", socket.display())))?;
+    let mut request = tydi_serve::protocol::JobRequest::new(tydi_serve::protocol::JobKind::Status);
+    request.id = std::process::id() as u64;
+    let response = client
+        .request(&request)
+        .map_err(|e| CliError::failure(format!("status request failed: {e}")))?;
+    let status = response
+        .status
+        .ok_or_else(|| CliError::failure("daemon answered without a status payload"))?;
+    let mut stdout = std::io::stdout();
+    let _ = writeln!(
+        stdout,
+        "daemon pid {} up {:.1}s on {}",
+        status.pid,
+        status.uptime_ms / 1e3,
+        socket.display()
+    );
+    let _ = writeln!(
+        stdout,
+        "jobs: {} served, {} active, {} timed out, {} panicked",
+        status.requests, status.jobs_active, status.jobs_timed_out, status.jobs_panicked
+    );
+    let _ = writeln!(
+        stdout,
+        "cache: {} parse + {} elab entries",
+        status.parse_entries, status.elab_entries
+    );
+    match status.idle_deadline_ms {
+        Some(ms) => {
+            let _ = writeln!(stdout, "idle shutdown in {:.1}s", ms / 1e3);
+        }
+        None => {
+            let _ = writeln!(stdout, "idle shutdown: disabled");
+        }
+    }
+    Ok(())
 }
 
 #[cfg(not(unix))]
@@ -780,7 +921,9 @@ fn run_daemon_job(options: &Options) -> Result<u8, std::io::Error> {
     let dir = absolute_path(&cache_dir(options));
     let exe = std::env::current_exe()?;
     let mut client = tydi_serve::client::connect_or_spawn(&dir, options.socket.as_deref(), &exe)?;
-    let response = client.request(&request)?;
+    // A saturated daemon answers `busy`; retry with capped backoff
+    // before surfacing the failure.
+    let response = client.request_with_retry(&request)?;
     // Replay the job's output exactly where an in-process run would
     // have put it (stdout write failures are broken pipes, ignored
     // like everywhere else in this binary).
@@ -978,26 +1121,48 @@ fn run_sim(options: &Options, project: &tydi_ir::Project) -> Result<(), CliError
     let output_ports = probe_sim.output_ports();
     drop(probe_sim);
 
-    let scenarios: Vec<Scenario> = (0..options.scenarios.max(1))
-        .map(|k| {
-            let mut scenario =
-                Scenario::new(format!("scenario-{k}")).with_max_cycles(options.max_cycles);
-            if let Some(idle) = options.idle_threshold {
-                scenario = scenario.with_idle_threshold(idle);
-            }
-            for port in &input_ports {
-                let base = k as i64 * 1000;
-                scenario = scenario.with_feed(
-                    port,
-                    (0..options.packets as i64).map(|v| Packet::data(base + v)),
-                );
-            }
-            for port in &output_ports {
-                scenario = scenario.with_backpressure(port, 1 + k as u64 % 4);
-            }
-            scenario
-        })
-        .collect();
+    let make_scenario = |k: usize, name: String| {
+        let mut scenario = Scenario::new(name).with_max_cycles(options.max_cycles);
+        if let Some(idle) = options.idle_threshold {
+            scenario = scenario.with_idle_threshold(idle);
+        }
+        for port in &input_ports {
+            let base = k as i64 * 1000;
+            scenario = scenario.with_feed(
+                port,
+                (0..options.packets as i64).map(|v| Packet::data(base + v)),
+            );
+        }
+        for port in &output_ports {
+            scenario = scenario.with_backpressure(port, 1 + k as u64 % 4);
+        }
+        scenario
+    };
+    let count = options.scenarios.max(1);
+    let scenarios: Vec<Scenario> = match (&options.inject, &options.inject_sweep) {
+        (None, _) => (0..count)
+            .map(|k| make_scenario(k, format!("scenario-{k}")))
+            .collect(),
+        (Some(plan), None) => (0..count)
+            .map(|k| make_scenario(k, format!("scenario-{k}")).with_faults(plan.clone()))
+            .collect(),
+        // The sweep reruns every scenario once per seed; only the
+        // jitter faults actually vary with the seed, but the whole
+        // plan is reseeded so a sweep over a deterministic plan is a
+        // (cheap) replication check.
+        (Some(plan), Some(seeds)) => {
+            let make = &make_scenario;
+            seeds
+                .iter()
+                .flat_map(|&seed| {
+                    (0..count).map(move |k| {
+                        make(k, format!("scenario-{k}-seed-{seed}"))
+                            .with_faults(plan.reseeded(seed))
+                    })
+                })
+                .collect()
+        }
+    };
 
     let kind = if options.polling {
         SchedulerKind::Polling
@@ -1026,6 +1191,15 @@ fn run_sim(options: &Options, project: &tydi_ir::Project) -> Result<(), CliError
         },
         rayon::current_num_threads(),
     );
+    // Per-scenario failures are aggregated (every scenario ran), but
+    // they still fail the invocation.
+    if report.failed() > 0 {
+        return Err(CliError::failure(format!(
+            "simulation: {} of {} scenario(s) failed",
+            report.failed(),
+            scenarios.len()
+        )));
+    }
     Ok(())
 }
 
@@ -1036,6 +1210,21 @@ fn publish_sim_metrics(report: &tydi_sim::BatchReport) {
     use tydi_obs::metrics::counter_set;
     tydi_obs::metrics::clear_prefix("sim.");
     counter_set("sim.scenarios", report.scenarios.len() as u64);
+    counter_set("sim.scenarios_failed", report.failed() as u64);
+    let gated: u64 = report
+        .scenarios
+        .iter()
+        .map(|s| s.fault_stats.gated_cycles)
+        .sum();
+    let frozen: u64 = report
+        .scenarios
+        .iter()
+        .map(|s| s.fault_stats.frozen_ticks)
+        .sum();
+    if gated > 0 || frozen > 0 {
+        counter_set("sim.fault.gated_cycles", gated);
+        counter_set("sim.fault.frozen_ticks", frozen);
+    }
     for scenario in &report.scenarios {
         for c in &scenario.channels {
             let key = format!("sim.channel.{}.{}", scenario.scenario, c.name);

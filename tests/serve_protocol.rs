@@ -36,10 +36,15 @@ struct Daemon {
 
 impl Daemon {
     fn spawn(cache_dir: &Path) -> Daemon {
+        Daemon::spawn_with(cache_dir, &[])
+    }
+
+    fn spawn_with(cache_dir: &Path, extra_args: &[&str]) -> Daemon {
         let child = tydic()
             .arg("serve")
             .arg("--cache-dir")
             .arg(cache_dir)
+            .args(extra_args)
             .stdin(Stdio::null())
             .stdout(Stdio::null())
             .stderr(Stdio::null())
@@ -320,6 +325,215 @@ fn daemon_falls_back_in_process_when_unreachable() {
         !dir.join("cache").join("serve.sock").exists(),
         "no daemon was spawned"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn timed_out_job_answers_structured_timeout_and_daemon_keeps_serving() {
+    let dir = workdir("timeout");
+    let good = dir.join("good.td");
+    std::fs::write(&good, GOOD).unwrap();
+    let daemon = Daemon::spawn_with(&dir.join("cache"), &["--job-timeout", "200"]);
+
+    let mut client = daemon.client();
+    let mut slow = check_request(&good);
+    slow.test_sleep_ms = Some(1200);
+    let response = client.request(&slow).expect("timeout response");
+    assert!(!response.ok);
+    assert_eq!(response.error_kind.as_deref(), Some("timeout"));
+    assert_eq!(response.exit_code, 124);
+    assert!(
+        response.stderr.contains("wall-clock limit"),
+        "stderr: {}",
+        response.stderr
+    );
+
+    // The daemon keeps serving: once the abandoned job finishes its
+    // sleep and releases the cache, the next (fast) job succeeds. Wait
+    // out the remainder so the follow-up doesn't spend its own
+    // wall-clock budget queueing on the cache lock.
+    std::thread::sleep(Duration::from_millis(1200));
+    let after = client.request(&check_request(&good)).expect("after");
+    assert!(after.ok, "served after timeout: {}", after.stderr);
+
+    // The timeout is visible in status, rendered from the daemon's
+    // metrics registry.
+    let status = client
+        .request(&JobRequest::new(JobKind::Status))
+        .expect("status")
+        .status
+        .expect("status payload");
+    assert_eq!(status.jobs_timed_out, 1, "{status:?}");
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn saturated_daemon_answers_busy_and_backoff_recovers() {
+    let dir = workdir("busy");
+    let good = dir.join("good.td");
+    std::fs::write(&good, GOOD).unwrap();
+    let daemon = Daemon::spawn_with(&dir.join("cache"), &["--max-jobs", "1"]);
+
+    // Occupy the single slot with a sleeping job on its own connection.
+    let mut slow = check_request(&good);
+    slow.test_sleep_ms = Some(1500);
+    let socket = daemon.socket.clone();
+    let holder = std::thread::spawn(move || {
+        let mut client = Client::connect(&socket).expect("connect holder");
+        client.request(&slow).expect("slow job response")
+    });
+    std::thread::sleep(Duration::from_millis(250)); // let the slot fill
+
+    // A plain request is refused with a structured `busy`.
+    let mut client = daemon.client();
+    let refused = client.request(&check_request(&good)).expect("busy answer");
+    assert!(!refused.ok);
+    assert_eq!(refused.error_kind.as_deref(), Some("busy"));
+    assert_eq!(refused.exit_code, 75);
+
+    // The retrying client backs off until the slot frees, then wins.
+    let retried = client
+        .request_with_retry(&check_request(&good))
+        .expect("retried answer");
+    assert!(
+        retried.ok,
+        "backoff recovered: {} / {:?}",
+        retried.stderr, retried.error_kind
+    );
+
+    let held = holder.join().expect("holder thread");
+    assert!(held.ok, "the slow job itself succeeded: {}", held.stderr);
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panicking_job_is_isolated_and_counted() {
+    let dir = workdir("panic");
+    let good = dir.join("good.td");
+    std::fs::write(&good, GOOD).unwrap();
+    let daemon = Daemon::spawn(&dir.join("cache"));
+
+    let mut client = daemon.client();
+    let mut crashing = check_request(&good);
+    crashing.test_panic = true;
+    let response = client.request(&crashing).expect("panic response");
+    assert!(!response.ok);
+    assert_eq!(response.error_kind.as_deref(), Some("internal_error"));
+    assert_eq!(response.exit_code, 70);
+
+    // The daemon survived and serves byte-identical work afterwards.
+    let first = client.request(&check_request(&good)).expect("first");
+    let second = client.request(&check_request(&good)).expect("second");
+    assert!(first.ok && second.ok);
+    assert_eq!(first.stdout, second.stdout);
+
+    let status = client
+        .request(&JobRequest::new(JobKind::Status))
+        .expect("status")
+        .status
+        .expect("status payload");
+    assert_eq!(status.jobs_panicked, 1, "{status:?}");
+    assert_eq!(status.jobs_active, 0, "panicked job released its slot");
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn idle_shutdown_exits_cleanly_and_persists_the_cache() {
+    let dir = workdir("idle");
+    let good = dir.join("good.td");
+    std::fs::write(&good, GOOD).unwrap();
+    let cache = dir.join("cache");
+    let mut daemon = Daemon::spawn_with(&cache, &["--idle-timeout", "400"]);
+
+    // One compile dirties the resident cache.
+    let response = daemon
+        .client()
+        .request(&check_request(&good))
+        .expect("check");
+    assert!(response.ok, "stderr: {}", response.stderr);
+
+    // The status response advertises the pending idle deadline.
+    let status = daemon
+        .client()
+        .request(&JobRequest::new(JobKind::Status))
+        .expect("status")
+        .status
+        .expect("status payload");
+    let deadline = status.idle_deadline_ms.expect("idle deadline advertised");
+    assert!(deadline <= 400.0, "deadline within the limit: {status:?}");
+
+    // Left alone, the daemon exits on its own, cleanly.
+    let exit_deadline = Instant::now() + Duration::from_secs(10);
+    let status = loop {
+        if let Some(status) = daemon.child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(
+            Instant::now() < exit_deadline,
+            "daemon never idle-shut-down"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(status.success(), "idle shutdown exit: {status:?}");
+    assert!(!daemon.socket.exists(), "socket removed");
+    assert!(!cache.join("serve.pid").exists(), "pid file removed");
+    assert!(
+        cache.join("manifest.txt").exists(),
+        "warm cache persisted on the way out"
+    );
+    std::mem::forget(daemon); // already exited; nothing to kill
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_status_subcommand_renders_daemon_health() {
+    let dir = workdir("status-cli");
+    let good = dir.join("good.td");
+    std::fs::write(&good, GOOD).unwrap();
+    let cache = dir.join("cache");
+
+    // Without a daemon: a failure, not a spawn.
+    let out = tydic()
+        .args(["serve", "status", "--cache-dir"])
+        .arg(&cache)
+        .output()
+        .expect("status without daemon");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no daemon"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let daemon = Daemon::spawn_with(&cache, &["--idle-timeout", "60000"]);
+    let response = daemon
+        .client()
+        .request(&check_request(&good))
+        .expect("check");
+    assert!(response.ok);
+
+    let out = tydic()
+        .args(["serve", "status", "--cache-dir"])
+        .arg(&cache)
+        .output()
+        .expect("status with daemon");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "status ok: {stdout}");
+    assert!(stdout.contains("daemon pid "), "pid line: {stdout}");
+    assert!(
+        stdout.contains("jobs: 1 served, 0 active, 0 timed out, 0 panicked"),
+        "jobs line: {stdout}"
+    );
+    assert!(stdout.contains("cache: "), "cache line: {stdout}");
+    assert!(stdout.contains("idle shutdown in "), "deadline: {stdout}");
+
+    daemon.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
 
